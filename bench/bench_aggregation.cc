@@ -1,0 +1,61 @@
+// Table V reproduction: effect of the aggregation function F() in Eq. 7
+// (Ave / Sum / Max / Latest) on the activation task, plus the DESIGN.md
+// ablation of the negative-sampling distribution (unigram^0.75 vs
+// uniform). Expected shape: Ave best overall, Sum clearly worst, Max and
+// Latest close behind Ave.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/logging.h"
+#include "eval/activation_task.h"
+#include "eval/harness.h"
+
+int main() {
+  using namespace inf2vec;         // NOLINT
+  using namespace inf2vec::bench;  // NOLINT
+
+  for (DatasetKind kind :
+       {DatasetKind::kDiggLike, DatasetKind::kFlickrLike}) {
+    const Dataset d = MakeDataset(kind);
+    PrintBanner("Table V: aggregation functions", d);
+
+    ZooOptions options;
+    Result<Inf2vecModel> model = Inf2vecModel::Train(
+        d.world.graph, d.split.train, MakeInf2vecConfig(options));
+    INF2VEC_CHECK(model.ok()) << model.status().ToString();
+
+    ResultTable table("Aggregation comparison on " + d.name);
+    for (Aggregation kind_f : {Aggregation::kAve, Aggregation::kSum,
+                               Aggregation::kMax, Aggregation::kLatest}) {
+      EmbeddingPredictor pred = model.value().Predictor();
+      pred.set_aggregation(kind_f);
+      table.AddRow(AggregationName(kind_f),
+                   EvaluateActivation(pred, d.world.graph, d.split.test));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // Ablation: negative-sampling distribution (digg-like only).
+  {
+    const Dataset d = MakeDataset(DatasetKind::kDiggLike);
+    ZooOptions options;
+    ResultTable table("Negative-sampling ablation on " + d.name);
+    for (NegativeSamplerKind neg : {NegativeSamplerKind::kUnigram075,
+                                    NegativeSamplerKind::kUniform}) {
+      Inf2vecConfig config = MakeInf2vecConfig(options);
+      config.negative_kind = neg;
+      Result<Inf2vecModel> model =
+          Inf2vecModel::Train(d.world.graph, d.split.train, config);
+      INF2VEC_CHECK(model.ok()) << model.status().ToString();
+      const EmbeddingPredictor pred = model.value().Predictor();
+      table.AddRow(neg == NegativeSamplerKind::kUniform ? "neg-uniform"
+                                                        : "neg-unigram",
+                   EvaluateActivation(pred, d.world.graph, d.split.test));
+    }
+    table.Print();
+  }
+  std::printf("\nshape check vs paper Table V: Ave best, Sum worst.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table VI + Section V-D reproduction: the citation-network case study.
+//
+// Embedding model (skip-gram over first-order author influence pairs)
+// versus the conventional model (ST probabilities + Monte-Carlo), both
+// predicting each test author's top-10 future followers. Paper reference:
+// average precision 0.1863 (embedding) vs 0.0616 (conventional); the three
+// most prolific authors get 4/10-7/10 vs 0/10-4/10 hits.
+
+#include <cstdio>
+
+#include "citation/case_study.h"
+#include "citation/citation_generator.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace inf2vec;            // NOLINT
+  using namespace inf2vec::citation;  // NOLINT
+
+  std::printf("##### Table VI: citation case study #####\n\n");
+
+  CitationProfile profile;
+  profile.num_authors = 800;
+  profile.num_papers = 1600;
+  Rng rng(20180416);
+  Result<CitationData> data = GenerateCitationNetwork(profile, rng);
+  INF2VEC_CHECK(data.ok()) << data.status().ToString();
+  std::printf("synthetic citation network: %u authors, %zu influence "
+              "relationships (paper: 4,259 authors, 138,046 "
+              "relationships)\n\n",
+              data.value().num_authors,
+              data.value().influence_pairs.size());
+
+  CaseStudyOptions options;
+  options.mc_simulations = 1000;
+  Result<CaseStudyResult> result =
+      RunCitationCaseStudy(data.value(), options, rng);
+  INF2VEC_CHECK(result.ok()) << result.status().ToString();
+  const CaseStudyResult& r = result.value();
+
+  std::printf("%-28s %10s %14s\n", "", "Embedding", "Conventional");
+  for (const auto& ex : r.examples) {
+    std::printf("author %-20u  %6u/%u %12u/%u\n", ex.author,
+                ex.embedding_hits, options.top_k, ex.conventional_hits,
+                options.top_k);
+  }
+  std::printf("%-28s %10.4f %14.4f\n", "avg precision (all test authors)",
+              r.embedding_avg_precision, r.conventional_avg_precision);
+  std::printf("test authors: %zu\n", r.num_test_authors);
+  std::printf("\npaper reference: 0.1863 vs 0.0616 — the embedding model "
+              "should clearly beat the conventional model.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace inf2vec {
+namespace bench {
+namespace {
+
+constexpr uint64_t kWorldSeed = 20180416;  // ICDE 2018 opening day.
+constexpr uint64_t kSplitSeed = 7;
+
+}  // namespace
+
+Dataset MakeDataset(DatasetKind kind, double scale) {
+  synth::WorldProfile profile = kind == DatasetKind::kDiggLike
+                                    ? synth::WorldProfile::DiggLike()
+                                    : synth::WorldProfile::FlickrLike();
+  profile.num_users =
+      static_cast<uint32_t>(profile.num_users * scale);
+  profile.num_items =
+      static_cast<uint32_t>(profile.num_items * scale);
+  Rng rng(kWorldSeed);
+  Result<synth::World> world = synth::GenerateWorld(profile, rng);
+  INF2VEC_CHECK(world.ok()) << world.status().ToString();
+
+  Dataset dataset;
+  dataset.name = profile.name;
+  dataset.world = std::move(world).value();
+  Rng split_rng(kSplitSeed);
+  dataset.split = SplitLog(dataset.world.log, 0.8, 0.1, split_rng);
+  return dataset;
+}
+
+Inf2vecConfig MakeInf2vecConfig(const ZooOptions& options) {
+  Inf2vecConfig config;
+  config.dim = options.dim;
+  config.context.length = options.context_length;
+  config.context.alpha = options.alpha;
+  config.epochs = options.inf2vec_epochs;
+  config.sgd.num_negatives = options.num_negatives;
+  config.seed = options.seed;
+  return config;
+}
+
+ModelZoo::ModelZoo(const Dataset& dataset, const ZooOptions& options) {
+  const SocialGraph& graph = dataset.world.graph;
+  const ActionLog& train = dataset.split.train;
+
+  de_ = std::make_unique<IcBaselineModel>(
+      CreateDegreeModel(graph, options.mc_simulations));
+  st_ = std::make_unique<IcBaselineModel>(
+      CreateStaticModel(graph, train, options.mc_simulations));
+
+  EmOptions em_options;
+  em_options.iterations = options.em_iterations;
+  em_options.mc_simulations = options.mc_simulations;
+  em_ = std::make_unique<IcBaselineModel>(
+      CreateEmModel(graph, train, em_options));
+
+  EmbIcOptions emb_options;
+  emb_options.dim = options.dim;
+  emb_options.em_iterations = options.emb_ic_iterations;
+  emb_options.mc_simulations = options.mc_simulations;
+  emb_options.seed = options.seed + 1;
+  Result<EmbIcModel> emb = EmbIcModel::Train(graph, train, emb_options);
+  INF2VEC_CHECK(emb.ok()) << emb.status().ToString();
+  emb_ic_ = std::make_unique<EmbIcModel>(std::move(emb).value());
+
+  MfOptions mf_options;
+  mf_options.dim = options.dim;
+  mf_options.seed = options.seed + 2;
+  Result<MfBprModel> mf = MfBprModel::Train(graph.num_users(), train,
+                                            mf_options);
+  INF2VEC_CHECK(mf.ok()) << mf.status().ToString();
+  mf_ = std::make_unique<MfBprModel>(std::move(mf).value());
+  mf_pred_ = std::make_unique<EmbeddingPredictor>(mf_->Predictor());
+
+  Node2vecOptions n2v_options;
+  n2v_options.dim = options.dim;
+  n2v_options.seed = options.seed + 3;
+  Result<Node2vecModel> n2v = Node2vecModel::Train(graph, n2v_options);
+  INF2VEC_CHECK(n2v.ok()) << n2v.status().ToString();
+  node2vec_ = std::make_unique<Node2vecModel>(std::move(n2v).value());
+  node2vec_pred_ = std::make_unique<EmbeddingPredictor>(
+      node2vec_->Predictor());
+
+  Result<Inf2vecModel> inf =
+      Inf2vecModel::Train(graph, train, MakeInf2vecConfig(options));
+  INF2VEC_CHECK(inf.ok()) << inf.status().ToString();
+  inf2vec_ = std::make_unique<Inf2vecModel>(std::move(inf).value());
+  inf2vec_pred_ = std::make_unique<EmbeddingPredictor>(
+      inf2vec_->Predictor());
+}
+
+std::vector<std::pair<std::string, const InfluenceModel*>> ModelZoo::All()
+    const {
+  return {
+      {"DE", de_.get()},           {"ST", st_.get()},
+      {"EM", em_.get()},           {"Emb-IC", emb_ic_.get()},
+      {"MF", mf_pred_.get()},      {"Node2vec", node2vec_pred_.get()},
+      {"Inf2vec", inf2vec_pred_.get()},
+  };
+}
+
+void PrintBanner(const std::string& title, const Dataset& dataset) {
+  std::printf("##### %s #####\n", title.c_str());
+  std::printf(
+      "dataset %s: %u users, %llu edges, %zu episodes "
+      "(%zu train / %zu tune / %zu test), %llu actions\n\n",
+      dataset.name.c_str(), dataset.world.graph.num_users(),
+      static_cast<unsigned long long>(dataset.world.graph.num_edges()),
+      dataset.world.log.num_episodes(), dataset.split.train.num_episodes(),
+      dataset.split.tune.num_episodes(), dataset.split.test.num_episodes(),
+      static_cast<unsigned long long>(dataset.world.log.num_actions()));
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace inf2vec

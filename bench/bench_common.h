@@ -1,0 +1,91 @@
+#ifndef INF2VEC_BENCH_BENCH_COMMON_H_
+#define INF2VEC_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "action/action_log.h"
+#include "baselines/em_ic.h"
+#include "baselines/emb_ic.h"
+#include "baselines/ic_baseline.h"
+#include "baselines/mf_bpr.h"
+#include "baselines/node2vec.h"
+#include "core/inf2vec_model.h"
+#include "eval/metrics.h"
+#include "synth/world_generator.h"
+
+namespace inf2vec {
+namespace bench {
+
+/// A reproducible benchmark dataset: synthetic world + 80/10/10 split.
+/// Seeds are fixed so every bench binary sees identical data.
+struct Dataset {
+  std::string name;
+  synth::World world;
+  LogSplit split;
+};
+
+/// Which paper dataset the synthetic profile mirrors.
+enum class DatasetKind { kDiggLike, kFlickrLike };
+
+/// Builds the standard bench dataset. `scale` in (0, 1] shrinks the user
+/// and item counts proportionally for the faster sweep benches.
+Dataset MakeDataset(DatasetKind kind, double scale = 1.0);
+
+/// Shared hyper-parameters for the standard model roster. Defaults mirror
+/// the paper's Section V-A-2 with bench-friendly Monte-Carlo counts.
+struct ZooOptions {
+  uint32_t dim = 50;
+  uint32_t inf2vec_epochs = 16;
+  /// |N| per positive; the paper uses 5-10 and the upper end measurably
+  /// helps on the flickr-like data.
+  uint32_t num_negatives = 10;
+  uint32_t context_length = 50;
+  double alpha = 0.1;
+  uint32_t mc_simulations = 300;
+  uint32_t em_iterations = 15;
+  uint32_t emb_ic_iterations = 12;
+  uint64_t seed = 1;
+};
+
+/// The full evaluated roster of Section V-A-3, trained and ready to score.
+/// Owns every model; All() exposes them through the common interface in
+/// the paper's table order.
+class ModelZoo {
+ public:
+  ModelZoo(const Dataset& dataset, const ZooOptions& options);
+
+  /// (display name, scorer) in Table II row order.
+  std::vector<std::pair<std::string, const InfluenceModel*>> All() const;
+
+  const Inf2vecModel& inf2vec() const { return *inf2vec_; }
+  const EmbIcModel& emb_ic() const { return *emb_ic_; }
+  const MfBprModel& mf() const { return *mf_; }
+  const Node2vecModel& node2vec() const { return *node2vec_; }
+
+ private:
+  std::unique_ptr<IcBaselineModel> de_;
+  std::unique_ptr<IcBaselineModel> st_;
+  std::unique_ptr<IcBaselineModel> em_;
+  std::unique_ptr<EmbIcModel> emb_ic_;
+  std::unique_ptr<MfBprModel> mf_;
+  std::unique_ptr<Node2vecModel> node2vec_;
+  std::unique_ptr<Inf2vecModel> inf2vec_;
+  std::unique_ptr<EmbeddingPredictor> mf_pred_;
+  std::unique_ptr<EmbeddingPredictor> node2vec_pred_;
+  std::unique_ptr<EmbeddingPredictor> inf2vec_pred_;
+};
+
+/// Standard Inf2vec config derived from ZooOptions (exposed so sweep
+/// benches can vary one knob at a time).
+Inf2vecConfig MakeInf2vecConfig(const ZooOptions& options);
+
+/// Prints the standard bench banner: binary purpose + dataset stats.
+void PrintBanner(const std::string& title, const Dataset& dataset);
+
+}  // namespace bench
+}  // namespace inf2vec
+
+#endif  // INF2VEC_BENCH_BENCH_COMMON_H_

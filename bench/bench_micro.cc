@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark) for the hot paths: SGD pair update,
+// negative sampling, random walk with restart, influence-context
+// generation, cascade simulation, and embedding scoring. These are the
+// constants behind Fig. 9's slopes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "diffusion/context_generator.h"
+#include "diffusion/ic_model.h"
+#include "diffusion/propagation_network.h"
+#include "embedding/sgd_trainer.h"
+#include "util/alias_sampler.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace inf2vec;         // NOLINT
+using namespace inf2vec::bench;  // NOLINT
+
+const Dataset& SharedDataset() {
+  static const Dataset& dataset =
+      *new Dataset(MakeDataset(DatasetKind::kDiggLike, /*scale=*/0.5));
+  return dataset;
+}
+
+void BM_SgdTrainPair(benchmark::State& state) {
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
+  EmbeddingStore store(2000, dim);
+  Rng rng(1);
+  store.InitPaperDefault(rng);
+  const NegativeSampler sampler = NegativeSampler::CreateUniform(2000);
+  SgdOptions options;
+  SgdTrainer trainer(&store, &sampler, options);
+  UserId u = 0;
+  for (auto _ : state) {
+    trainer.TrainPair(u, (u + 7) % 2000, rng);
+    u = (u + 13) % 2000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgdTrainPair)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_EmbeddingScore(benchmark::State& state) {
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
+  EmbeddingStore store(1000, dim);
+  Rng rng(2);
+  store.InitPaperDefault(rng);
+  UserId u = 0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += store.Score(u, (u + 31) % 1000);
+    u = (u + 17) % 1000;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmbeddingScore)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_AliasSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> weights(n);
+  Rng rng(3);
+  for (double& w : weights) w = rng.UniformDouble(0.1, 10.0);
+  AliasSampler sampler;
+  INF2VEC_CHECK_OK(sampler.Build(weights));
+  uint64_t sink = 0;
+  for (auto _ : state) sink += sampler.Sample(rng);
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSample)->Arg(1000)->Arg(100000);
+
+void BM_RandomWalkContext(benchmark::State& state) {
+  const Dataset& d = SharedDataset();
+  const DiffusionEpisode& episode = d.split.train.episodes()[0];
+  const PropagationNetwork network(d.world.graph, episode);
+  Rng rng(4);
+  ContextOptions options;
+  options.length = static_cast<uint32_t>(state.range(0));
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const UserId u = network.users()[cursor % network.num_users()];
+    ++cursor;
+    benchmark::DoNotOptimize(
+        GenerateInfluenceContext(network, u, options, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomWalkContext)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_PropagationNetworkBuild(benchmark::State& state) {
+  const Dataset& d = SharedDataset();
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const DiffusionEpisode& episode =
+        d.split.train.episodes()[cursor % d.split.train.num_episodes()];
+    ++cursor;
+    benchmark::DoNotOptimize(PropagationNetwork(d.world.graph, episode));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PropagationNetworkBuild);
+
+void BM_CascadeSimulation(benchmark::State& state) {
+  const Dataset& d = SharedDataset();
+  Rng rng(5);
+  const std::vector<UserId> seeds = {0, 1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SimulateCascade(d.world.graph, d.world.true_probs, seeds, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CascadeSimulation);
+
+}  // namespace

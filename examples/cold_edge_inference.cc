@@ -1,0 +1,114 @@
+// Cold-edge inference: the sparsity argument from the paper's introduction.
+//
+// Per-edge learners (ST) can say nothing about a social edge that never
+// appeared in an observed propagation — its estimate is stuck at 0. An
+// embedding model still scores such an edge through the latent space,
+// because the endpoints' vectors were trained on *other* interactions.
+//
+// This example quantifies that: among social edges with ZERO observed
+// propagations in training, does the model's score still separate edges
+// with high planted probability from edges with low planted probability?
+//
+// Run:  ./cold_edge_inference
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/ic_baseline.h"
+#include "core/inf2vec_model.h"
+#include "diffusion/influence_pairs.h"
+#include "synth/world_generator.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace inf2vec;  // NOLINT: example brevity.
+
+/// Rank-correlation style score: AUC of `scores` against the top-quartile
+/// vs bottom-quartile of `truth`.
+double SeparationAuc(const std::vector<double>& scores,
+                     const std::vector<double>& truth) {
+  std::vector<size_t> order(truth.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return truth[a] < truth[b]; });
+  const size_t quartile = truth.size() / 4;
+  double wins = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < quartile; ++i) {
+    for (size_t j = truth.size() - quartile; j < truth.size(); ++j) {
+      total += 1.0;
+      if (scores[order[j]] > scores[order[i]]) {
+        wins += 1.0;
+      } else if (scores[order[j]] == scores[order[i]]) {
+        wins += 0.5;
+      }
+    }
+  }
+  return total > 0 ? wins / total : 0.5;
+}
+
+}  // namespace
+
+int main() {
+  synth::WorldProfile profile = synth::WorldProfile::DiggLike();
+  profile.num_users = 800;
+  profile.num_items = 150;
+  Rng rng(31);
+  Result<synth::World> world_result = synth::GenerateWorld(profile, rng);
+  INF2VEC_CHECK(world_result.ok()) << world_result.status().ToString();
+  const synth::World& world = world_result.value();
+
+  // Which edges ever carried an observed influence pair?
+  std::vector<bool> observed(world.graph.num_edges(), false);
+  for (const DiffusionEpisode& episode : world.log.episodes()) {
+    for (const InfluencePair& p :
+         ExtractInfluencePairs(world.graph, episode)) {
+      const int64_t e = world.graph.EdgeId(p.source, p.target);
+      if (e >= 0) observed[static_cast<uint64_t>(e)] = true;
+    }
+  }
+  uint64_t cold = 0;
+  for (bool b : observed) cold += b ? 0 : 1;
+  std::printf("social edges: %llu total, %llu (%.0f%%) never observed "
+              "propagating — the sparsity problem\n",
+              static_cast<unsigned long long>(world.graph.num_edges()),
+              static_cast<unsigned long long>(cold),
+              100.0 * cold / world.graph.num_edges());
+
+  // Train both learners on the full observed log.
+  Inf2vecConfig config;
+  config.dim = 32;
+  config.epochs = 5;
+  config.context.length = 20;
+  Result<Inf2vecModel> model =
+      Inf2vecModel::Train(world.graph, world.log, config);
+  INF2VEC_CHECK(model.ok()) << model.status().ToString();
+  const IcBaselineModel st = CreateStaticModel(world.graph, world.log, 1);
+
+  // Collect cold edges with their planted truth and both models' scores.
+  std::vector<double> truth;
+  std::vector<double> emb_scores;
+  std::vector<double> st_scores;
+  for (UserId u = 0; u < world.graph.num_users(); ++u) {
+    for (UserId v : world.graph.OutNeighbors(u)) {
+      const uint64_t e = static_cast<uint64_t>(world.graph.EdgeId(u, v));
+      if (observed[e]) continue;
+      truth.push_back(world.true_probs.Get(e));
+      emb_scores.push_back(model.value().Score(u, v));
+      st_scores.push_back(st.probs().Get(e));
+    }
+  }
+
+  const double emb_auc = SeparationAuc(emb_scores, truth);
+  const double st_auc = SeparationAuc(st_scores, truth);
+  std::printf("\nseparating truly-strong from truly-weak COLD edges "
+              "(quartile AUC):\n");
+  std::printf("  Inf2vec embedding : %.3f\n", emb_auc);
+  std::printf("  ST per-edge MLE   : %.3f   (stuck at its prior — every "
+              "cold edge scores 0)\n", st_auc);
+  std::printf("\nEmbeddings generalize to never-observed edges; per-edge "
+              "counting cannot. This is Section I's motivating claim.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Viral marketing: use learned influence embeddings to pick seed users —
+// the application that motivates influence-parameter learning in the
+// paper's introduction (Kempe et al.'s influence maximization).
+//
+// Pipeline:
+//   1. Generate a Digg-like synthetic world (social graph + cascades).
+//   2. Train Inf2vec on the observed cascades.
+//   3. Pick k seeds three ways: embedding-space greedy over the learned
+//      scores (SelectSeedsEmbedding), classical CELF greedy over the
+//      ST-estimated edge probabilities, and top-out-degree / random
+//      baselines.
+//   4. Validate every seed set by simulating the *ground-truth* cascade
+//      process the generator planted — something a real marketer cannot
+//      do, but our synthetic world can: whose seeds actually spread
+//      furthest?
+//
+// Run:  ./viral_marketing
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/ic_baseline.h"
+#include "core/inf2vec_model.h"
+#include "core/influence_maximization.h"
+#include "synth/world_generator.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace inf2vec;  // NOLINT: example brevity.
+
+std::vector<UserId> PickSeedsByDegree(const SocialGraph& graph, uint32_t k) {
+  std::vector<UserId> users(graph.num_users());
+  for (UserId u = 0; u < graph.num_users(); ++u) users[u] = u;
+  std::sort(users.begin(), users.end(), [&](UserId a, UserId b) {
+    return graph.OutDegree(a) > graph.OutDegree(b);
+  });
+  users.resize(k);
+  return users;
+}
+
+/// Ground-truth spread: average cascade size under the planted edge
+/// probabilities (the oracle a real marketer lacks).
+double TrueSpread(const synth::World& world,
+                  const std::vector<UserId>& seeds, Rng& rng) {
+  return EstimateSpread(world.graph, world.true_probs, seeds, 300, rng);
+}
+
+}  // namespace
+
+int main() {
+  synth::WorldProfile profile = synth::WorldProfile::DiggLike();
+  profile.num_users = 600;
+  profile.num_items = 150;
+  Rng rng(2024);
+  Result<synth::World> world_result = synth::GenerateWorld(profile, rng);
+  INF2VEC_CHECK(world_result.ok()) << world_result.status().ToString();
+  const synth::World& world = world_result.value();
+  std::printf("world: %u users, %llu edges, %zu cascades observed\n",
+              world.graph.num_users(),
+              static_cast<unsigned long long>(world.graph.num_edges()),
+              world.log.num_episodes());
+
+  // Learn influence two ways from the same observations.
+  Inf2vecConfig config;
+  config.dim = 32;
+  config.epochs = 8;
+  config.context.length = 20;
+  Result<Inf2vecModel> model =
+      Inf2vecModel::Train(world.graph, world.log, config);
+  INF2VEC_CHECK(model.ok()) << model.status().ToString();
+  const IcBaselineModel st = CreateStaticModel(world.graph, world.log, 1);
+
+  InfluenceMaxOptions options;
+  options.num_seeds = 5;
+  options.mc_simulations = 100;
+
+  Result<SeedSelection> emb =
+      SelectSeedsEmbedding(model.value().embeddings(), options);
+  INF2VEC_CHECK(emb.ok()) << emb.status().ToString();
+  Result<SeedSelection> celf_st =
+      SelectSeedsCelf(world.graph, st.probs(), options);
+  INF2VEC_CHECK(celf_st.ok()) << celf_st.status().ToString();
+  const std::vector<UserId> deg_seeds =
+      PickSeedsByDegree(world.graph, options.num_seeds);
+  std::vector<UserId> rnd_seeds;
+  Rng pick_rng(7);
+  while (rnd_seeds.size() < options.num_seeds) {
+    const UserId u =
+        static_cast<UserId>(pick_rng.UniformU64(world.graph.num_users()));
+    if (std::find(rnd_seeds.begin(), rnd_seeds.end(), u) ==
+        rnd_seeds.end()) {
+      rnd_seeds.push_back(u);
+    }
+  }
+
+  Rng sim_rng(99);
+  std::printf("\nexpected cascade size under the PLANTED truth:\n");
+  std::printf("  Inf2vec embedding greedy : %7.1f users\n",
+              TrueSpread(world, emb.value().seeds, sim_rng));
+  std::printf("  CELF over ST estimates   : %7.1f users\n",
+              TrueSpread(world, celf_st.value().seeds, sim_rng));
+  std::printf("  top-degree seeds         : %7.1f users\n",
+              TrueSpread(world, deg_seeds, sim_rng));
+  std::printf("  random seeds             : %7.1f users\n",
+              TrueSpread(world, rnd_seeds, sim_rng));
+
+  std::printf("\nInf2vec seeds: ");
+  for (UserId u : emb.value().seeds) std::printf("%u ", u);
+  std::printf("\nLearned embeddings recover influential users without ever "
+              "seeing the planted edge probabilities.\n");
+  return 0;
+}

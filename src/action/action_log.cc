@@ -1,0 +1,97 @@
+#include "action/action_log.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace inf2vec {
+
+Status DiffusionEpisode::Finalize() {
+  std::stable_sort(adoptions_.begin(), adoptions_.end(),
+                   [](const Adoption& a, const Adoption& b) {
+                     return a.time < b.time;
+                   });
+  // Keep only the earliest adoption per user.
+  std::unordered_set<UserId> seen;
+  seen.reserve(adoptions_.size());
+  std::vector<Adoption> unique;
+  unique.reserve(adoptions_.size());
+  for (const Adoption& a : adoptions_) {
+    if (seen.insert(a.user).second) unique.push_back(a);
+  }
+  adoptions_ = std::move(unique);
+  finalized_ = true;
+  return Status::OK();
+}
+
+bool DiffusionEpisode::Contains(UserId user) const {
+  for (const Adoption& a : adoptions_) {
+    if (a.user == user) return true;
+  }
+  return false;
+}
+
+void ActionLog::AddEpisode(DiffusionEpisode episode) {
+  INF2VEC_CHECK(episode.finalized())
+      << "episodes must be finalized before insertion";
+  episodes_.push_back(std::move(episode));
+}
+
+uint64_t ActionLog::num_actions() const {
+  uint64_t total = 0;
+  for (const DiffusionEpisode& e : episodes_) total += e.size();
+  return total;
+}
+
+uint32_t ActionLog::NumActiveUsers(uint32_t num_users) const {
+  std::vector<bool> active(num_users, false);
+  for (const DiffusionEpisode& e : episodes_) {
+    for (const Adoption& a : e.adoptions()) {
+      if (a.user < num_users) active[a.user] = true;
+    }
+  }
+  uint32_t count = 0;
+  for (bool b : active) count += b ? 1 : 0;
+  return count;
+}
+
+std::vector<uint64_t> ActionLog::UserActionCounts(uint32_t num_users) const {
+  std::vector<uint64_t> counts(num_users, 0);
+  for (const DiffusionEpisode& e : episodes_) {
+    for (const Adoption& a : e.adoptions()) {
+      if (a.user < num_users) ++counts[a.user];
+    }
+  }
+  return counts;
+}
+
+LogSplit SplitLog(const ActionLog& log, double train_fraction,
+                  double tune_fraction, Rng& rng) {
+  INF2VEC_CHECK(train_fraction >= 0.0 && tune_fraction >= 0.0 &&
+                train_fraction + tune_fraction <= 1.0)
+      << "invalid split fractions";
+  std::vector<size_t> order(log.num_episodes());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+
+  const size_t n = order.size();
+  const size_t n_train = static_cast<size_t>(train_fraction * n + 0.5);
+  const size_t n_tune =
+      std::min(n - n_train, static_cast<size_t>(tune_fraction * n + 0.5));
+
+  LogSplit split;
+  for (size_t i = 0; i < n; ++i) {
+    const DiffusionEpisode& episode = log.episodes()[order[i]];
+    if (i < n_train) {
+      split.train.AddEpisode(episode);
+    } else if (i < n_train + n_tune) {
+      split.tune.AddEpisode(episode);
+    } else {
+      split.test.AddEpisode(episode);
+    }
+  }
+  return split;
+}
+
+}  // namespace inf2vec

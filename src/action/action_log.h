@@ -1,0 +1,101 @@
+#ifndef INF2VEC_ACTION_ACTION_LOG_H_
+#define INF2VEC_ACTION_ACTION_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Dense item (story / photo / paper) identifier.
+using ItemId = uint32_t;
+
+/// Logical timestamp within an episode. The paper only uses the order of
+/// adoptions, so any monotone clock works; the synthetic generator uses
+/// cascade rounds scaled up plus jitter.
+using Timestamp = int64_t;
+
+/// One "(user, time)" adoption record inside a diffusion episode.
+struct Adoption {
+  UserId user;
+  Timestamp time;
+
+  friend bool operator==(const Adoption&, const Adoption&) = default;
+};
+
+/// A diffusion episode D_i: every adoption of one item, in chronological
+/// order (ties allowed; ties never form influence pairs, matching the
+/// strict t_u < t_v condition of Definition 1).
+class DiffusionEpisode {
+ public:
+  DiffusionEpisode() = default;
+  explicit DiffusionEpisode(ItemId item) : item_(item) {}
+
+  ItemId item() const { return item_; }
+  const std::vector<Adoption>& adoptions() const { return adoptions_; }
+  size_t size() const { return adoptions_.size(); }
+  bool empty() const { return adoptions_.empty(); }
+
+  /// Appends an adoption; call Finalize() after the last one.
+  void Add(UserId user, Timestamp time) { adoptions_.push_back({user, time}); }
+
+  /// Sorts by time (stable), drops duplicate users keeping their earliest
+  /// adoption, and validates. Must be called before the episode is consumed.
+  Status Finalize();
+
+  /// True once Finalize() succeeded.
+  bool finalized() const { return finalized_; }
+
+  /// True if `user` adopted in this episode. O(n); prefer building a lookup
+  /// for hot paths.
+  bool Contains(UserId user) const;
+
+ private:
+  ItemId item_ = 0;
+  std::vector<Adoption> adoptions_;
+  bool finalized_ = false;
+};
+
+/// The action log A = {D_i}: one finalized episode per item.
+class ActionLog {
+ public:
+  ActionLog() = default;
+
+  void AddEpisode(DiffusionEpisode episode);
+
+  const std::vector<DiffusionEpisode>& episodes() const { return episodes_; }
+  size_t num_episodes() const { return episodes_.size(); }
+
+  /// Total number of (user, item, time) actions.
+  uint64_t num_actions() const;
+
+  /// Number of distinct users appearing anywhere in the log; requires
+  /// `num_users` as the id-space bound.
+  uint32_t NumActiveUsers(uint32_t num_users) const;
+
+  /// How many times each user adopted anything (item frequency vector for
+  /// negative sampling / MF). Indexed by UserId, length num_users.
+  std::vector<uint64_t> UserActionCounts(uint32_t num_users) const;
+
+ private:
+  std::vector<DiffusionEpisode> episodes_;
+};
+
+/// The paper's 80/10/10 episode-level split.
+struct LogSplit {
+  ActionLog train;
+  ActionLog tune;
+  ActionLog test;
+};
+
+/// Randomly partitions episodes into train/tune/test by the given fractions
+/// (which must be non-negative and sum to <= 1; the remainder goes to test).
+LogSplit SplitLog(const ActionLog& log, double train_fraction,
+                  double tune_fraction, Rng& rng);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_ACTION_ACTION_LOG_H_

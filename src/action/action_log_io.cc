@@ -1,0 +1,53 @@
+#include "action/action_log_io.h"
+
+#include <map>
+
+#include "util/io.h"
+#include "util/string_util.h"
+
+namespace inf2vec {
+
+Result<ActionLog> LoadActionLog(const std::string& path) {
+  std::vector<std::string> lines;
+  INF2VEC_RETURN_IF_ERROR(ReadLines(path, &lines));
+
+  std::map<ItemId, DiffusionEpisode> by_item;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view trimmed = TrimString(lines[i]);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string_view> fields = SplitString(trimmed, '\t');
+    if (fields.size() < 3) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected 'user\\titem\\ttime'", i + 1));
+    }
+    uint32_t user = 0;
+    uint32_t item = 0;
+    int64_t time = 0;
+    INF2VEC_RETURN_IF_ERROR(ParseUint32(fields[0], &user));
+    INF2VEC_RETURN_IF_ERROR(ParseUint32(fields[1], &item));
+    INF2VEC_RETURN_IF_ERROR(ParseInt64(fields[2], &time));
+    auto [it, inserted] = by_item.try_emplace(item, DiffusionEpisode(item));
+    it->second.Add(user, time);
+  }
+
+  ActionLog log;
+  for (auto& [item, episode] : by_item) {
+    INF2VEC_RETURN_IF_ERROR(episode.Finalize());
+    if (!episode.empty()) log.AddEpisode(std::move(episode));
+  }
+  return log;
+}
+
+Status SaveActionLog(const ActionLog& log, const std::string& path) {
+  std::vector<std::string> lines;
+  lines.reserve(log.num_actions());
+  for (const DiffusionEpisode& episode : log.episodes()) {
+    for (const Adoption& a : episode.adoptions()) {
+      lines.push_back(StrFormat("%u\t%u\t%lld", a.user, episode.item(),
+                                static_cast<long long>(a.time)));
+    }
+  }
+  return WriteLines(path, lines);
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,23 @@
+#ifndef INF2VEC_ACTION_ACTION_LOG_IO_H_
+#define INF2VEC_ACTION_ACTION_LOG_IO_H_
+
+#include <string>
+
+#include "action/action_log.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Loads an action log from "user<TAB>item<TAB>time" lines ('#' comments
+/// and blank lines ignored), grouping rows into one episode per item.
+/// Within an episode the rows may arrive in any order; duplicates keep the
+/// earliest time.
+Result<ActionLog> LoadActionLog(const std::string& path);
+
+/// Writes the log back as "user<TAB>item<TAB>time" rows, episodes in log
+/// order, adoptions chronologically.
+Status SaveActionLog(const ActionLog& log, const std::string& path);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_ACTION_ACTION_LOG_IO_H_

@@ -1,0 +1,106 @@
+#include "baselines/em_ic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace inf2vec {
+
+EmStatistics::EmStatistics(const SocialGraph& graph, const ActionLog& log)
+    : trials_(graph.num_edges(), 0) {
+  for (const DiffusionEpisode& episode : log.episodes()) {
+    std::unordered_map<UserId, Timestamp> adopted_at;
+    adopted_at.reserve(episode.size());
+    for (const Adoption& a : episode.adoptions()) {
+      adopted_at.emplace(a.user, a.time);
+    }
+
+    // Trials: u acted and had a chance on out-neighbor v, i.e. v was not
+    // already active when u acted (v absent, or v strictly later).
+    for (const Adoption& a : episode.adoptions()) {
+      const UserId u = a.user;
+      if (u >= graph.num_users()) continue;
+      const auto nbrs = graph.OutNeighbors(u);
+      if (nbrs.empty()) continue;
+      const uint64_t first_edge =
+          static_cast<uint64_t>(graph.EdgeId(u, nbrs[0]));
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        const auto it = adopted_at.find(nbrs[k]);
+        if (it == adopted_at.end() || it->second > a.time) {
+          ++trials_[first_edge + k];
+        }
+      }
+    }
+
+    // Groups: activated users with at least one earlier-active in-neighbor.
+    for (const Adoption& a : episode.adoptions()) {
+      const UserId v = a.user;
+      if (v >= graph.num_users()) continue;
+      std::vector<uint64_t> parents;
+      for (UserId u : graph.InNeighbors(v)) {
+        const auto it = adopted_at.find(u);
+        if (it != adopted_at.end() && it->second < a.time) {
+          parents.push_back(static_cast<uint64_t>(graph.EdgeId(u, v)));
+        }
+      }
+      if (!parents.empty()) groups_.push_back(std::move(parents));
+    }
+  }
+}
+
+double EmIterate(const EmStatistics& stats, std::vector<double>* probs) {
+  constexpr double kEps = 1e-9;
+  std::vector<double>& p = *probs;
+  std::vector<double> responsibility_sum(p.size(), 0.0);
+  std::vector<uint64_t> positives(p.size(), 0);
+
+  double log_likelihood = 0.0;
+  for (const std::vector<uint64_t>& group : stats.groups()) {
+    double survival = 1.0;
+    for (uint64_t e : group) survival *= 1.0 - p[e];
+    const double activation = std::max(kEps, 1.0 - survival);
+    log_likelihood += std::log(activation);
+    for (uint64_t e : group) {
+      responsibility_sum[e] += p[e] / activation;
+      ++positives[e];
+    }
+  }
+
+  for (size_t e = 0; e < p.size(); ++e) {
+    const uint64_t trials = stats.trials()[e];
+    if (trials == 0) {
+      p[e] = 0.0;
+      continue;
+    }
+    INF2VEC_CHECK(positives[e] <= trials)
+        << "EM invariant violated: more successes than trials on edge " << e;
+    const uint64_t failures = trials - positives[e];
+    if (failures > 0) {
+      log_likelihood +=
+          static_cast<double>(failures) * std::log(std::max(kEps, 1.0 - p[e]));
+    }
+    p[e] = std::clamp(responsibility_sum[e] / static_cast<double>(trials),
+                      0.0, 1.0 - kEps);
+  }
+  return log_likelihood;
+}
+
+IcBaselineModel CreateEmModel(const SocialGraph& graph, const ActionLog& log,
+                              const EmOptions& options,
+                              EmDiagnostics* diagnostics) {
+  const EmStatistics stats(graph, log);
+  std::vector<double> probs(graph.num_edges(), options.initial_prob);
+  if (diagnostics != nullptr) diagnostics->log_likelihood.clear();
+  for (uint32_t iter = 0; iter < options.iterations; ++iter) {
+    const double ll = EmIterate(stats, &probs);
+    if (diagnostics != nullptr) diagnostics->log_likelihood.push_back(ll);
+  }
+  EdgeProbabilities edge_probs(graph);
+  edge_probs.raw() = std::move(probs);
+  return IcBaselineModel("EM", &graph, std::move(edge_probs),
+                         options.mc_simulations);
+}
+
+}  // namespace inf2vec

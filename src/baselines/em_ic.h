@@ -1,0 +1,61 @@
+#ifndef INF2VEC_BASELINES_EM_IC_H_
+#define INF2VEC_BASELINES_EM_IC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "action/action_log.h"
+#include "baselines/ic_baseline.h"
+#include "graph/social_graph.h"
+
+namespace inf2vec {
+
+/// Options for the Saito et al. (KES 2008) EM estimator of IC edge
+/// probabilities.
+struct EmOptions {
+  uint32_t iterations = 20;
+  /// Initial probability for every edge (Saito initializes uniformly).
+  double initial_prob = 0.1;
+  /// Monte-Carlo simulations for the resulting model's diffusion scoring.
+  uint32_t mc_simulations = 1000;
+};
+
+/// Per-iteration diagnostics for convergence tests and the Fig. 9 runtime
+/// bench.
+struct EmDiagnostics {
+  std::vector<double> log_likelihood;  // One entry per iteration.
+};
+
+/// Precomputed sufficient statistics of the EM estimator: for every
+/// activation of v with non-empty parent set B_v, the edge ids of B_v; plus
+/// per-edge trial counts (successes + failures). Building this once makes
+/// iterations cheap and is what the runtime bench times as "one iteration".
+class EmStatistics {
+ public:
+  EmStatistics(const SocialGraph& graph, const ActionLog& log);
+
+  /// Groups: parent edge-id lists, one per (episode, activated-user-with-
+  /// parents) occurrence.
+  const std::vector<std::vector<uint64_t>>& groups() const { return groups_; }
+  /// trials[e] = #episodes where edge e's source acted and had the chance
+  /// to influence the target (success or failure).
+  const std::vector<uint64_t>& trials() const { return trials_; }
+
+ private:
+  std::vector<std::vector<uint64_t>> groups_;
+  std::vector<uint64_t> trials_;
+};
+
+/// Runs one EM iteration in place over `probs` and returns the expected
+/// data log-likelihood under the *input* probabilities.
+double EmIterate(const EmStatistics& stats, std::vector<double>* probs);
+
+/// EM baseline: learns per-edge IC probabilities by EM and wraps them in
+/// an IcBaselineModel named "EM".
+IcBaselineModel CreateEmModel(const SocialGraph& graph, const ActionLog& log,
+                              const EmOptions& options,
+                              EmDiagnostics* diagnostics = nullptr);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_BASELINES_EM_IC_H_

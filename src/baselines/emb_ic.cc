@@ -1,0 +1,247 @@
+#include "baselines/emb_ic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/sigmoid_table.h"
+
+namespace inf2vec {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (size_t k = 0; k < a.size(); ++k) {
+    const double d = a[k] - b[k];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+EmbIcTrainer::EmbIcTrainer(const SocialGraph& graph, const ActionLog& log,
+                           const EmbIcOptions& options)
+    : graph_(graph),
+      options_(options),
+      stats_(graph, log),
+      store_(graph.num_users(), options.dim) {
+  Rng rng(options_.seed);
+  store_.InitUniform(-options_.init_scale, options_.init_scale, rng);
+  edge_src_.resize(graph.num_edges());
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    const auto nbrs = graph.OutNeighbors(u);
+    if (nbrs.empty()) continue;
+    const uint64_t first = static_cast<uint64_t>(graph.EdgeId(u, nbrs[0]));
+    for (size_t k = 0; k < nbrs.size(); ++k) edge_src_[first + k] = u;
+  }
+}
+
+double EmbIcTrainer::EdgeProbability(uint64_t edge_id) const {
+  const UserId u = edge_src_[edge_id];
+  const UserId v = graph_.EdgeDst(edge_id);
+  const double a = store_.target_bias(v) -
+                   SquaredDistance(store_.Source(u), store_.Target(v));
+  const double p = SigmoidTable::Exact(a);
+  return std::clamp(p, kEps, 1.0 - kEps);
+}
+
+double EmbIcTrainer::RunEmIteration() {
+  const size_t num_edges = graph_.num_edges();
+  const uint32_t dim = store_.dim();
+
+  // E-step: responsibilities R_e and positive counts under current params.
+  std::vector<double> prob(num_edges, 0.0);
+  for (size_t e = 0; e < num_edges; ++e) {
+    if (stats_.trials()[e] > 0) prob[e] = EdgeProbability(e);
+  }
+  std::vector<double> responsibility(num_edges, 0.0);
+  double log_likelihood = 0.0;
+  for (const std::vector<uint64_t>& group : stats_.groups()) {
+    double survival = 1.0;
+    for (uint64_t e : group) survival *= 1.0 - prob[e];
+    const double activation = std::max(kEps, 1.0 - survival);
+    log_likelihood += std::log(activation);
+    for (uint64_t e : group) responsibility[e] += prob[e] / activation;
+  }
+  for (size_t e = 0; e < num_edges; ++e) {
+    const uint64_t trials = stats_.trials()[e];
+    if (trials == 0) continue;
+    // Failure mass contributes (trials - R_e) * log(1 - p_e) in expectation;
+    // report the observed-data likelihood part for monitoring.
+    const double fail_weight =
+        static_cast<double>(trials) - responsibility[e];
+    if (fail_weight > 0) {
+      log_likelihood += fail_weight * std::log(std::max(kEps, 1.0 - prob[e]));
+    }
+  }
+
+  // M-step: gradient ascent on Q(theta) = sum_e [R_e log p_e +
+  // (trials_e - R_e) log(1 - p_e)] with p_e = sigmoid(a_e).
+  // dQ/da_e = R_e - trials_e * p_e.
+  for (uint32_t step = 0; step < options_.mstep_grad_steps; ++step) {
+    for (size_t e = 0; e < num_edges; ++e) {
+      const uint64_t trials = stats_.trials()[e];
+      if (trials == 0) continue;
+      const UserId u = edge_src_[e];
+      const UserId v = graph_.EdgeDst(static_cast<uint64_t>(e));
+      const std::span<double> omega = store_.Source(u);
+      const std::span<double> z = store_.Target(v);
+      const double a =
+          store_.target_bias(v) - SquaredDistance(omega, z);
+      const double p = SigmoidTable::Exact(a);
+      const double da = responsibility[e] - static_cast<double>(trials) * p;
+      // Normalize by trials so dense edges do not dominate the step size.
+      const double scale =
+          options_.learning_rate * da / static_cast<double>(trials);
+      for (uint32_t k = 0; k < dim; ++k) {
+        const double diff = omega[k] - z[k];
+        omega[k] += scale * (-2.0 * diff);
+        z[k] += scale * (2.0 * diff);
+      }
+      store_.mutable_target_bias(v) += scale;
+    }
+  }
+  return log_likelihood;
+}
+
+EdgeProbabilities EmbIcTrainer::MaterializeProbabilities() const {
+  EdgeProbabilities probs(graph_);
+  for (uint64_t e = 0; e < graph_.num_edges(); ++e) {
+    // Edges never observed in training keep a tiny floor probability
+    // rather than the raw model value: the model has no evidence there.
+    probs.Set(e, stats_.trials()[e] > 0 ? EdgeProbability(e) : kEps);
+  }
+  return probs;
+}
+
+NaiveEmbIcReplica::NaiveEmbIcReplica(uint32_t num_users, const ActionLog& log,
+                                     const EmbIcOptions& options)
+    : options_(options), store_(num_users, options.dim) {
+  Rng rng(options.seed);
+  store_.InitUniform(-options.init_scale, options.init_scale, rng);
+
+  cascades_.reserve(log.num_episodes());
+  for (const DiffusionEpisode& episode : log.episodes()) {
+    CascadeTerms cascade;
+    const std::vector<Adoption>& adoptions = episode.adoptions();
+    // Positive trials: every co-occurrence link (u before v), grouped per
+    // activated target for the noisy-or responsibility split.
+    for (size_t j = 0; j < adoptions.size(); ++j) {
+      const uint32_t begin = static_cast<uint32_t>(cascade.parents.size());
+      for (size_t i = 0; i < j; ++i) {
+        if (adoptions[i].time < adoptions[j].time) {
+          cascade.parents.push_back(
+              {adoptions[i].user, adoptions[j].user});
+        }
+      }
+      const uint32_t end = static_cast<uint32_t>(cascade.parents.size());
+      if (end > begin) cascade.activation_spans.push_back({begin, end});
+    }
+    // Failure trials: for each active user, |D_i| sampled non-adopting
+    // link targets (the original's failure mass over created links; the
+    // per-term cost is what matters for the runtime comparison).
+    for (const Adoption& a : adoptions) {
+      for (size_t s = 0; s < adoptions.size(); ++s) {
+        const UserId w = static_cast<UserId>(rng.UniformU64(num_users));
+        if (!episode.Contains(w)) cascade.failures.push_back({a.user, w});
+      }
+    }
+    num_trial_terms_ += cascade.parents.size() + cascade.failures.size();
+    cascades_.push_back(std::move(cascade));
+  }
+}
+
+double NaiveEmbIcReplica::PairProbability(UserId u, UserId v) const {
+  const double a = store_.target_bias(v) -
+                   SquaredDistance(store_.Source(u), store_.Target(v));
+  return std::clamp(SigmoidTable::Exact(a), kEps, 1.0 - kEps);
+}
+
+void NaiveEmbIcReplica::ApplyGradient(UserId u, UserId v, double da) {
+  const double scale = options_.learning_rate * da;
+  const std::span<double> omega = store_.Source(u);
+  const std::span<double> z = store_.Target(v);
+  for (uint32_t k = 0; k < store_.dim(); ++k) {
+    const double diff = omega[k] - z[k];
+    omega[k] += scale * (-2.0 * diff);
+    z[k] += scale * (2.0 * diff);
+  }
+  store_.mutable_target_bias(v) += scale;
+}
+
+double NaiveEmbIcReplica::RunEmIteration() {
+  double log_likelihood = 0.0;
+  for (const CascadeTerms& cascade : cascades_) {
+    // E-step per activation: responsibilities over the parent span.
+    std::vector<double> responsibility(cascade.parents.size(), 0.0);
+    for (const auto& [begin, end] : cascade.activation_spans) {
+      double survival = 1.0;
+      for (uint32_t i = begin; i < end; ++i) {
+        survival *= 1.0 - PairProbability(cascade.parents[i].first,
+                                          cascade.parents[i].second);
+      }
+      const double activation = std::max(kEps, 1.0 - survival);
+      log_likelihood += std::log(activation);
+      for (uint32_t i = begin; i < end; ++i) {
+        responsibility[i] = PairProbability(cascade.parents[i].first,
+                                            cascade.parents[i].second) /
+                            activation;
+      }
+    }
+    // M-step: per-term gradient ascent, the original's per-cascade sweep.
+    for (uint32_t step = 0; step < options_.mstep_grad_steps; ++step) {
+      for (size_t i = 0; i < cascade.parents.size(); ++i) {
+        const auto [u, v] = cascade.parents[i];
+        const double p = PairProbability(u, v);
+        ApplyGradient(u, v, responsibility[i] - p);
+      }
+      for (const auto& [u, w] : cascade.failures) {
+        const double p = PairProbability(u, w);
+        ApplyGradient(u, w, -p);
+        if (step == 0) log_likelihood += std::log(1.0 - p);
+      }
+    }
+  }
+  return log_likelihood;
+}
+
+Result<EmbIcModel> EmbIcModel::Train(const SocialGraph& graph,
+                                     const ActionLog& log,
+                                     const EmbIcOptions& options) {
+  if (log.num_episodes() == 0) {
+    return Status::InvalidArgument("action log has no episodes");
+  }
+  if (options.dim == 0) {
+    return Status::InvalidArgument("embedding dimension must be positive");
+  }
+  EmbIcTrainer trainer(graph, log, options);
+  for (uint32_t i = 0; i < options.em_iterations; ++i) {
+    trainer.RunEmIteration();
+  }
+  auto store = std::make_unique<EmbeddingStore>(trainer.embeddings());
+  EdgeProbabilities probs = trainer.MaterializeProbabilities();
+  return EmbIcModel(&graph, std::move(store), std::move(probs),
+                    options.mc_simulations);
+}
+
+double EmbIcModel::ScoreActivation(
+    UserId v, const std::vector<UserId>& active_influencers) const {
+  double survival = 1.0;
+  for (UserId u : active_influencers) {
+    const int64_t edge = graph_->EdgeId(u, v);
+    if (edge < 0) continue;
+    survival *= 1.0 - probs_.Get(static_cast<uint64_t>(edge));
+  }
+  return 1.0 - survival;
+}
+
+std::vector<double> EmbIcModel::ScoreDiffusion(const std::vector<UserId>& seeds,
+                                               Rng& rng) const {
+  return EstimateActivationProbabilities(*graph_, probs_, seeds,
+                                         mc_simulations_, rng);
+}
+
+}  // namespace inf2vec

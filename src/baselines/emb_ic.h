@@ -1,0 +1,152 @@
+#ifndef INF2VEC_BASELINES_EMB_IC_H_
+#define INF2VEC_BASELINES_EMB_IC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "action/action_log.h"
+#include "baselines/em_ic.h"
+#include "core/influence_model.h"
+#include "diffusion/ic_model.h"
+#include "embedding/embedding_store.h"
+#include "graph/social_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Options for the Emb-IC baseline: Bourigault et al.'s embedded cascade
+/// model (WSDM 2016). Each user gets a sender position omega_u and a
+/// receiver position z_v; the IC edge probability is distance-
+/// parameterized, p_uv = sigmoid(lambda_v - ||omega_u - z_v||^2), and the
+/// parameters are learned with a Saito-style EM loop whose M-step is
+/// gradient ascent on the expected complete-data log-likelihood.
+///
+/// Deviation from the original: trials are restricted to actual social
+/// edges (the original creates a link whenever u acts before v). This uses
+/// the real network structure — the deviation the Inf2vec paper itself
+/// argues for — and only helps the baseline.
+struct EmbIcOptions {
+  uint32_t dim = 50;
+  uint32_t em_iterations = 15;
+  /// Gradient ascent steps per M-step.
+  uint32_t mstep_grad_steps = 4;
+  double learning_rate = 0.05;
+  /// Uniform init range for positions.
+  double init_scale = 0.1;
+  uint32_t mc_simulations = 1000;
+  uint64_t seed = 7;
+};
+
+/// Incremental trainer so the Fig. 9 bench can time individual EM
+/// iterations. Usage: construct, call RunEmIteration() repeatedly, then
+/// Finalize().
+class EmbIcTrainer {
+ public:
+  EmbIcTrainer(const SocialGraph& graph, const ActionLog& log,
+               const EmbIcOptions& options);
+
+  /// One full EM iteration (E-step responsibilities + M-step gradient
+  /// ascent). Returns the expected complete-data log-likelihood under the
+  /// entering parameters.
+  double RunEmIteration();
+
+  /// Current edge probability under the learned positions.
+  double EdgeProbability(uint64_t edge_id) const;
+
+  const EmbeddingStore& embeddings() const { return store_; }
+
+  /// Materializes per-edge probabilities from the final positions.
+  EdgeProbabilities MaterializeProbabilities() const;
+
+ private:
+  const SocialGraph& graph_;
+  EmbIcOptions options_;
+  EmStatistics stats_;
+  EmbeddingStore store_;  // Source = omega, Target = z, target_bias = lambda.
+  std::vector<UserId> edge_src_;  // Cached endpoints per edge id.
+};
+
+/// Faithful-complexity replica of the ORIGINAL Emb-IC training pass, used
+/// only by the Fig. 9 runtime comparison. Two deliberate differences from
+/// EmbIcTrainer, both matching Bourigault et al.'s published algorithm:
+///  1. links are built from episode co-occurrence — a link (u, v) exists
+///     whenever u acts before v in some episode (the design the Inf2vec
+///     paper criticizes), not from the social graph;
+///  2. the E-step and M-step walk every (episode, target, parent) term
+///     individually, with per-term d-dimensional distance work — no
+///     per-edge sufficient-statistic aggregation.
+/// EmbIcTrainer above aggregates statistics per edge, which is a
+/// mathematically equivalent but much faster formulation; timing that
+/// optimized version against Inf2vec would misrepresent the paper's
+/// comparison, so the bench times this replica.
+class NaiveEmbIcReplica {
+ public:
+  NaiveEmbIcReplica(uint32_t num_users, const ActionLog& log,
+                    const EmbIcOptions& options);
+
+  /// One EM iteration over all per-cascade terms. Returns the expected
+  /// log-likelihood under the entering parameters.
+  double RunEmIteration();
+
+  /// Number of (episode, target, parent) trial terms processed per
+  /// iteration (the paper-scale cost driver).
+  uint64_t num_trial_terms() const { return num_trial_terms_; }
+
+ private:
+  struct CascadeTerms {
+    // For each activation with parents: index ranges into parents_.
+    std::vector<std::pair<uint32_t, uint32_t>> activation_spans;
+    std::vector<std::pair<UserId, UserId>> parents;  // (parent, target).
+    // Failed trials: (active user, never-activated co-occurring link tgt).
+    std::vector<std::pair<UserId, UserId>> failures;
+  };
+
+  double PairProbability(UserId u, UserId v) const;
+  void ApplyGradient(UserId u, UserId v, double da);
+
+  EmbIcOptions options_;
+  EmbeddingStore store_;
+  std::vector<CascadeTerms> cascades_;
+  uint64_t num_trial_terms_ = 0;
+};
+
+/// The trained Emb-IC baseline. Scores like the other IC methods (Eq. 8 /
+/// Monte-Carlo) over the materialized probabilities; additionally exposes
+/// the learned node representations for the visualization experiment.
+class EmbIcModel : public InfluenceModel {
+ public:
+  /// Trains with `options.em_iterations` EM rounds.
+  static Result<EmbIcModel> Train(const SocialGraph& graph,
+                                  const ActionLog& log,
+                                  const EmbIcOptions& options);
+
+  std::string name() const override { return "Emb-IC"; }
+  double ScoreActivation(
+      UserId v, const std::vector<UserId>& active_influencers) const override;
+  std::vector<double> ScoreDiffusion(const std::vector<UserId>& seeds,
+                                     Rng& rng) const override;
+
+  const EmbeddingStore& embeddings() const { return *store_; }
+  const EdgeProbabilities& probs() const { return probs_; }
+
+ private:
+  EmbIcModel(const SocialGraph* graph,
+             std::unique_ptr<EmbeddingStore> store, EdgeProbabilities probs,
+             uint32_t mc_simulations)
+      : graph_(graph),
+        store_(std::move(store)),
+        probs_(std::move(probs)),
+        mc_simulations_(mc_simulations) {}
+
+  const SocialGraph* graph_;
+  std::unique_ptr<EmbeddingStore> store_;
+  EdgeProbabilities probs_;
+  uint32_t mc_simulations_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_BASELINES_EMB_IC_H_

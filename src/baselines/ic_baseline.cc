@@ -1,0 +1,84 @@
+#include "baselines/ic_baseline.h"
+
+#include <algorithm>
+
+#include "diffusion/influence_pairs.h"
+#include "util/logging.h"
+
+namespace inf2vec {
+
+IcBaselineModel::IcBaselineModel(std::string name, const SocialGraph* graph,
+                                 EdgeProbabilities probs,
+                                 uint32_t mc_simulations)
+    : name_(std::move(name)),
+      graph_(graph),
+      probs_(std::move(probs)),
+      mc_simulations_(mc_simulations) {
+  INF2VEC_CHECK(graph_ != nullptr);
+  INF2VEC_CHECK(probs_.size() == graph_->num_edges())
+      << "edge probability table does not match graph";
+}
+
+double IcBaselineModel::ScoreActivation(
+    UserId v, const std::vector<UserId>& active_influencers) const {
+  double survival = 1.0;  // Probability that nobody activates v.
+  for (UserId u : active_influencers) {
+    const int64_t edge = graph_->EdgeId(u, v);
+    if (edge < 0) continue;  // Not a social edge; no influence channel.
+    survival *= 1.0 - probs_.Get(static_cast<uint64_t>(edge));
+  }
+  return 1.0 - survival;
+}
+
+std::vector<double> IcBaselineModel::ScoreDiffusion(
+    const std::vector<UserId>& seeds, Rng& rng) const {
+  return EstimateActivationProbabilities(*graph_, probs_, seeds,
+                                         mc_simulations_, rng);
+}
+
+IcBaselineModel CreateDegreeModel(const SocialGraph& graph,
+                                  uint32_t mc_simulations) {
+  EdgeProbabilities probs(graph);
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    const auto nbrs = graph.OutNeighbors(u);
+    if (nbrs.empty()) continue;
+    const uint64_t first_edge = static_cast<uint64_t>(graph.EdgeId(u, nbrs[0]));
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      probs.Set(first_edge + k,
+                1.0 / static_cast<double>(graph.InDegree(nbrs[k])));
+    }
+  }
+  return IcBaselineModel("DE", &graph, std::move(probs), mc_simulations);
+}
+
+IcBaselineModel CreateStaticModel(const SocialGraph& graph,
+                                  const ActionLog& log,
+                                  uint32_t mc_simulations) {
+  // A_u: episodes in which u acted; A_u2v: episodes with pair (u -> v).
+  std::vector<uint64_t> actions(graph.num_users(), 0);
+  std::vector<uint64_t> successes(graph.num_edges(), 0);
+  for (const DiffusionEpisode& episode : log.episodes()) {
+    for (const Adoption& a : episode.adoptions()) {
+      if (a.user < graph.num_users()) ++actions[a.user];
+    }
+    for (const InfluencePair& p : ExtractInfluencePairs(graph, episode)) {
+      const int64_t edge = graph.EdgeId(p.source, p.target);
+      if (edge >= 0) ++successes[static_cast<uint64_t>(edge)];
+    }
+  }
+
+  EdgeProbabilities probs(graph);
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    const auto nbrs = graph.OutNeighbors(u);
+    if (nbrs.empty() || actions[u] == 0) continue;
+    const uint64_t first_edge = static_cast<uint64_t>(graph.EdgeId(u, nbrs[0]));
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      const double p = static_cast<double>(successes[first_edge + k]) /
+                       static_cast<double>(actions[u]);
+      probs.Set(first_edge + k, std::min(1.0, p));
+    }
+  }
+  return IcBaselineModel("ST", &graph, std::move(probs), mc_simulations);
+}
+
+}  // namespace inf2vec

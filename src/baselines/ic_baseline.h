@@ -1,0 +1,58 @@
+#ifndef INF2VEC_BASELINES_IC_BASELINE_H_
+#define INF2VEC_BASELINES_IC_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "action/action_log.h"
+#include "core/influence_model.h"
+#include "diffusion/ic_model.h"
+#include "graph/social_graph.h"
+
+namespace inf2vec {
+
+/// InfluenceModel over explicit per-edge IC probabilities. All four
+/// IC-based methods of Section V-A-3 (DE, ST, EM, Emb-IC) score through
+/// this class; they differ only in how the probabilities were produced.
+///
+/// Activation scoring uses Eq. 8: Pr(v) = 1 - prod_u (1 - P_uv).
+/// Diffusion scoring runs `mc_simulations` Monte-Carlo cascades.
+class IcBaselineModel : public InfluenceModel {
+ public:
+  /// Does not own `graph`; it must outlive the model.
+  IcBaselineModel(std::string name, const SocialGraph* graph,
+                  EdgeProbabilities probs, uint32_t mc_simulations);
+
+  std::string name() const override { return name_; }
+
+  double ScoreActivation(
+      UserId v, const std::vector<UserId>& active_influencers) const override;
+
+  std::vector<double> ScoreDiffusion(const std::vector<UserId>& seeds,
+                                     Rng& rng) const override;
+
+  const EdgeProbabilities& probs() const { return probs_; }
+  uint32_t mc_simulations() const { return mc_simulations_; }
+
+ private:
+  std::string name_;
+  const SocialGraph* graph_;
+  EdgeProbabilities probs_;
+  uint32_t mc_simulations_;
+};
+
+/// DE baseline: P_uv = 1 / InDegree(v), the influence-maximization
+/// convention [Kempe et al. 2003].
+IcBaselineModel CreateDegreeModel(const SocialGraph& graph,
+                                  uint32_t mc_simulations);
+
+/// ST baseline: Goyal et al.'s static maximum-likelihood estimator,
+/// P_uv = A_u2v / A_u, where A_u2v counts episodes with influence pair
+/// (u -> v) and A_u counts episodes in which u acted.
+IcBaselineModel CreateStaticModel(const SocialGraph& graph,
+                                  const ActionLog& log,
+                                  uint32_t mc_simulations);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_BASELINES_IC_BASELINE_H_

@@ -1,0 +1,110 @@
+#include "baselines/mf_bpr.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/sigmoid_table.h"
+
+namespace inf2vec {
+namespace {
+
+/// Flattened co-action observations: one entry per (u, v, episode) with
+/// u != v, i.e. multiplicity equals the matrix entry. Also per-user
+/// positive sets for negative rejection.
+struct CoActionData {
+  std::vector<std::pair<UserId, UserId>> observations;
+  std::vector<std::unordered_set<UserId>> positives;  // Indexed by user.
+};
+
+/// Caps co-actor fan-out per (user, episode) so a single huge episode does
+/// not quadratically dominate the training stream.
+constexpr size_t kMaxCoActorsPerUser = 64;
+
+CoActionData BuildCoActions(uint32_t num_users, const ActionLog& log) {
+  CoActionData data;
+  data.positives.resize(num_users);
+  for (const DiffusionEpisode& episode : log.episodes()) {
+    const std::vector<Adoption>& adoptions = episode.adoptions();
+    const size_t n = adoptions.size();
+    // Deterministic stride subsampling keeps at most kMaxCoActorsPerUser
+    // co-actors per user while covering the episode evenly.
+    const size_t stride = std::max<size_t>(1, n / kMaxCoActorsPerUser);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i % stride; j < n; j += stride) {
+        if (i == j) continue;
+        const UserId u = adoptions[i].user;
+        const UserId v = adoptions[j].user;
+        if (u >= num_users || v >= num_users) continue;
+        data.observations.push_back({u, v});
+        data.positives[u].insert(v);
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+Result<MfBprModel> MfBprModel::Train(uint32_t num_users, const ActionLog& log,
+                                     const MfOptions& options) {
+  if (num_users == 0) {
+    return Status::InvalidArgument("num_users must be positive");
+  }
+  if (options.dim == 0) {
+    return Status::InvalidArgument("dimension must be positive");
+  }
+  CoActionData data = BuildCoActions(num_users, log);
+  if (data.observations.empty()) {
+    return Status::InvalidArgument("no co-action observations in the log");
+  }
+
+  Rng rng(options.seed);
+  auto store = std::make_unique<EmbeddingStore>(num_users, options.dim);
+  store->InitUniform(-0.05, 0.05, rng);
+
+  const uint32_t dim = options.dim;
+  const double lr = options.learning_rate;
+  const double reg = options.regularization;
+
+  for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(data.observations);
+    for (const auto& [u, v] : data.observations) {
+      // Negative: a user u never co-acted with.
+      UserId w = 0;
+      bool found = false;
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        w = static_cast<UserId>(rng.UniformU64(num_users));
+        if (w != u && data.positives[u].find(w) == data.positives[u].end()) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;  // u co-acted with nearly everyone.
+
+      const double x_uv = store->Score(u, v);
+      const double x_uw = store->Score(u, w);
+      // BPR gradient coefficient: sigma(-(x_uv - x_uw)).
+      const double coeff = SigmoidTable::Exact(-(x_uv - x_uw));
+
+      const std::span<double> p_u = store->Source(u);
+      const std::span<double> q_v = store->Target(v);
+      const std::span<double> q_w = store->Target(w);
+      for (uint32_t k = 0; k < dim; ++k) {
+        const double pu = p_u[k];
+        p_u[k] += lr * (coeff * (q_v[k] - q_w[k]) - reg * pu);
+        q_v[k] += lr * (coeff * pu - reg * q_v[k]);
+        q_w[k] += lr * (-coeff * pu - reg * q_w[k]);
+      }
+      // Source bias cancels in the BPR difference; only target biases move.
+      store->mutable_target_bias(v) +=
+          lr * (coeff - reg * store->target_bias(v));
+      store->mutable_target_bias(w) +=
+          lr * (-coeff - reg * store->target_bias(w));
+    }
+  }
+  return MfBprModel(options, std::move(store));
+}
+
+}  // namespace inf2vec

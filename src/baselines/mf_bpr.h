@@ -1,0 +1,56 @@
+#ifndef INF2VEC_BASELINES_MF_BPR_H_
+#define INF2VEC_BASELINES_MF_BPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "action/action_log.h"
+#include "core/aggregation.h"
+#include "core/embedding_predictor.h"
+#include "embedding/embedding_store.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Options for the MF baseline: user-user matrix factorization trained with
+/// Bayesian Personalized Ranking (Rendle et al., UAI 2009). The matrix
+/// entry for (u, v) is the number of common actions; BPR ranks observed
+/// co-actors above unobserved users. Captures only global user-interest
+/// similarity — no network structure, no propagation — which is exactly the
+/// role it plays in the paper's comparison.
+struct MfOptions {
+  uint32_t dim = 50;
+  uint32_t epochs = 10;
+  double learning_rate = 0.02;
+  double regularization = 0.01;
+  uint64_t seed = 13;
+  Aggregation aggregation = Aggregation::kAve;
+};
+
+/// Trained MF model. Source factors = "affects" side, target factors =
+/// "affected" side; prediction goes through the shared EmbeddingPredictor
+/// (Eq. 7), like the other representation methods.
+class MfBprModel {
+ public:
+  static Result<MfBprModel> Train(uint32_t num_users, const ActionLog& log,
+                                  const MfOptions& options);
+
+  const EmbeddingStore& embeddings() const { return *store_; }
+
+  /// InfluenceModel view; this model must outlive it.
+  EmbeddingPredictor Predictor() const {
+    return EmbeddingPredictor("MF", store_.get(), options_.aggregation);
+  }
+
+ private:
+  MfBprModel(MfOptions options, std::unique_ptr<EmbeddingStore> store)
+      : options_(options), store_(std::move(store)) {}
+
+  MfOptions options_;
+  std::unique_ptr<EmbeddingStore> store_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_BASELINES_MF_BPR_H_

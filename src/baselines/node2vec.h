@@ -1,0 +1,65 @@
+#ifndef INF2VEC_BASELINES_NODE2VEC_H_
+#define INF2VEC_BASELINES_NODE2VEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/embedding_predictor.h"
+#include "embedding/embedding_store.h"
+#include "embedding/negative_sampler.h"
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Options for the Node2vec baseline (Grover & Leskovec, KDD 2016): biased
+/// second-order random walks over the *social graph only* (no action log),
+/// then skip-gram with negative sampling. Walk counts are scaled down from
+/// the original defaults (r=10, l=80, w=10) to keep the laptop-scale bench
+/// fast; ratios are preserved.
+struct Node2vecOptions {
+  uint32_t dim = 50;
+  uint32_t walks_per_node = 6;
+  uint32_t walk_length = 20;
+  uint32_t window = 4;
+  /// node2vec return parameter p.
+  double return_param = 1.0;
+  /// node2vec in-out parameter q.
+  double inout_param = 1.0;
+  uint32_t epochs = 2;
+  double learning_rate = 0.025;
+  uint32_t num_negatives = 5;
+  NegativeSamplerKind negative_kind = NegativeSamplerKind::kUnigram075;
+  uint64_t seed = 21;
+  Aggregation aggregation = Aggregation::kAve;
+};
+
+/// Trained Node2vec model; scores through the shared EmbeddingPredictor.
+/// Uses network structure only, which is why the paper finds it weak on
+/// influence tasks — reproducing that gap is the point of this baseline.
+class Node2vecModel {
+ public:
+  static Result<Node2vecModel> Train(const SocialGraph& graph,
+                                     const Node2vecOptions& options);
+
+  const EmbeddingStore& embeddings() const { return *store_; }
+
+  EmbeddingPredictor Predictor() const {
+    return EmbeddingPredictor("Node2vec", store_.get(),
+                              options_.aggregation);
+  }
+
+ private:
+  Node2vecModel(Node2vecOptions options,
+                std::unique_ptr<EmbeddingStore> store)
+      : options_(options), store_(std::move(store)) {}
+
+  Node2vecOptions options_;
+  std::unique_ptr<EmbeddingStore> store_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_BASELINES_NODE2VEC_H_

@@ -1,0 +1,181 @@
+#include "citation/case_study.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "diffusion/ic_model.h"
+#include "embedding/embedding_store.h"
+#include "embedding/negative_sampler.h"
+#include "embedding/sgd_trainer.h"
+#include "graph/social_graph.h"
+
+namespace inf2vec {
+namespace citation {
+namespace {
+
+/// Top-k users by score, excluding `exclude` and anyone in `known`.
+std::vector<UserId> TopK(const std::vector<double>& scores, uint32_t k,
+                         UserId exclude,
+                         const std::unordered_set<UserId>& known) {
+  std::vector<UserId> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<UserId>(i);
+  std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    return scores[a] > scores[b];
+  });
+  std::vector<UserId> top;
+  for (UserId u : order) {
+    if (u == exclude || known.contains(u)) continue;
+    top.push_back(u);
+    if (top.size() >= k) break;
+  }
+  return top;
+}
+
+uint32_t CountHits(const std::vector<UserId>& predictions,
+                   const std::unordered_set<UserId>& truth) {
+  uint32_t hits = 0;
+  for (UserId u : predictions) hits += truth.contains(u) ? 1 : 0;
+  return hits;
+}
+
+}  // namespace
+
+Result<CaseStudyResult> RunCitationCaseStudy(const CitationData& data,
+                                             const CaseStudyOptions& options,
+                                             Rng& rng) {
+  if (data.influence_pairs.empty()) {
+    return Status::InvalidArgument("no influence pairs");
+  }
+
+  // 1. Random pair-level split (the paper splits the 138K relationships
+  // 80/20).
+  std::vector<InfluencePair> pairs = data.influence_pairs;
+  rng.Shuffle(pairs);
+  const size_t n_train =
+      static_cast<size_t>(options.train_fraction * pairs.size());
+  const std::vector<InfluencePair> train(pairs.begin(),
+                                         pairs.begin() + n_train);
+  const std::vector<InfluencePair> test(pairs.begin() + n_train, pairs.end());
+  if (train.empty() || test.empty()) {
+    return Status::InvalidArgument("degenerate train/test split");
+  }
+
+  // Known (train) and held-out (test) follower sets per author.
+  std::vector<std::unordered_set<UserId>> known(data.num_authors);
+  std::vector<std::unordered_set<UserId>> held_out(data.num_authors);
+  std::vector<uint64_t> source_freq(data.num_authors, 0);
+  std::vector<uint64_t> target_freq(data.num_authors, 0);
+  for (const InfluencePair& p : train) {
+    known[p.source].insert(p.target);
+    ++source_freq[p.source];
+    ++target_freq[p.target];
+  }
+  for (const InfluencePair& p : test) held_out[p.source].insert(p.target);
+
+  // 2. Embedding model: skip-gram over the raw first-order pairs.
+  EmbeddingStore store(data.num_authors, options.dim);
+  Rng train_rng = rng.Fork();
+  store.InitPaperDefault(train_rng);
+  Result<NegativeSampler> sampler = NegativeSampler::Create(
+      NegativeSamplerKind::kUnigram075, data.num_authors, target_freq);
+  if (!sampler.ok()) return sampler.status();
+  SgdOptions sgd;
+  sgd.learning_rate = options.learning_rate;
+  sgd.num_negatives = options.num_negatives;
+  SgdTrainer trainer(&store, &sampler.value(), sgd);
+  std::vector<InfluencePair> stream = train;
+  for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    train_rng.Shuffle(stream);
+    for (const InfluencePair& p : stream) {
+      trainer.TrainPair(p.source, p.target, train_rng);
+    }
+  }
+
+  // 3. Conventional model: ST probabilities over the distinct train-pair
+  // graph, scored by Monte-Carlo from each test author.
+  GraphBuilder builder(data.num_authors);
+  std::unordered_map<uint64_t, uint64_t> pair_multiplicity;
+  for (const InfluencePair& p : train) {
+    builder.AddEdge(p.source, p.target);
+    ++pair_multiplicity[(static_cast<uint64_t>(p.source) << 32) | p.target];
+  }
+  Result<SocialGraph> graph_result = builder.Build();
+  if (!graph_result.ok()) return graph_result.status();
+  const SocialGraph& graph = graph_result.value();
+
+  EdgeProbabilities st_probs(graph);
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    if (source_freq[u] == 0) continue;
+    const auto nbrs = graph.OutNeighbors(u);
+    if (nbrs.empty()) continue;
+    const uint64_t first = static_cast<uint64_t>(graph.EdgeId(u, nbrs[0]));
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      const uint64_t key = (static_cast<uint64_t>(u) << 32) | nbrs[k];
+      const double p = static_cast<double>(pair_multiplicity[key]) /
+                       static_cast<double>(source_freq[u]);
+      st_probs.Set(first + k, std::min(1.0, p));
+    }
+  }
+
+  // 4. Test authors: enough held-out followers; examples = most prolific.
+  std::vector<UserId> test_authors;
+  for (UserId a = 0; a < data.num_authors; ++a) {
+    if (held_out[a].size() >= options.min_test_followers) {
+      test_authors.push_back(a);
+    }
+  }
+  if (test_authors.empty()) {
+    return Status::InvalidArgument(
+        "no test authors with enough held-out followers");
+  }
+
+  CaseStudyResult result;
+  result.num_test_authors = test_authors.size();
+  double emb_precision_sum = 0.0;
+  double conv_precision_sum = 0.0;
+  std::vector<CaseStudyResult::AuthorExample> examples;
+
+  for (UserId author : test_authors) {
+    // Embedding prediction: rank everyone by x(author, v).
+    std::vector<double> emb_scores(data.num_authors, 0.0);
+    for (UserId v = 0; v < data.num_authors; ++v) {
+      emb_scores[v] = v == author ? -1e30 : store.Score(author, v);
+    }
+    const std::vector<UserId> emb_top =
+        TopK(emb_scores, options.top_k, author, known[author]);
+
+    // Conventional prediction: Monte-Carlo activation frequency from the
+    // single-seed cascade.
+    const std::vector<double> conv_scores = EstimateActivationProbabilities(
+        graph, st_probs, {author}, options.mc_simulations, rng);
+    const std::vector<UserId> conv_top =
+        TopK(conv_scores, options.top_k, author, known[author]);
+
+    const uint32_t emb_hits = CountHits(emb_top, held_out[author]);
+    const uint32_t conv_hits = CountHits(conv_top, held_out[author]);
+    emb_precision_sum +=
+        static_cast<double>(emb_hits) / static_cast<double>(options.top_k);
+    conv_precision_sum +=
+        static_cast<double>(conv_hits) / static_cast<double>(options.top_k);
+    examples.push_back({author, emb_hits, conv_hits});
+  }
+
+  result.embedding_avg_precision =
+      emb_precision_sum / static_cast<double>(test_authors.size());
+  result.conventional_avg_precision =
+      conv_precision_sum / static_cast<double>(test_authors.size());
+
+  // Keep the 3 authors with the most held-out followers as the Table VI
+  // style examples.
+  std::sort(examples.begin(), examples.end(),
+            [&](const auto& a, const auto& b) {
+              return held_out[a.author].size() > held_out[b.author].size();
+            });
+  if (examples.size() > 3) examples.resize(3);
+  result.examples = std::move(examples);
+  return result;
+}
+
+}  // namespace citation
+}  // namespace inf2vec

@@ -1,0 +1,135 @@
+#include "citation/citation_generator.h"
+
+#include <algorithm>
+
+namespace inf2vec {
+namespace citation {
+namespace {
+
+struct Paper {
+  uint32_t community;
+  std::vector<UserId> authors;
+};
+
+}  // namespace
+
+Result<CitationData> GenerateCitationNetwork(const CitationProfile& profile,
+                                             Rng& rng) {
+  if (profile.num_authors < profile.num_communities ||
+      profile.num_communities == 0) {
+    return Status::InvalidArgument(
+        "need at least one author per community");
+  }
+  if (profile.num_papers < 10) {
+    return Status::InvalidArgument("need at least 10 papers");
+  }
+
+  CitationData data;
+  data.num_authors = profile.num_authors;
+  data.author_community.resize(profile.num_authors);
+  // Authors partitioned into communities; heavier-weight authors (earlier
+  // ids inside each community) publish more, giving the hub structure a
+  // citation network has.
+  std::vector<std::vector<UserId>> community_authors(profile.num_communities);
+  for (UserId a = 0; a < profile.num_authors; ++a) {
+    const uint32_t c =
+        static_cast<uint32_t>(rng.UniformU64(profile.num_communities));
+    data.author_community[a] = c;
+    community_authors[c].push_back(a);
+  }
+  for (auto& members : community_authors) {
+    if (members.empty()) {
+      // Re-home an arbitrary author so sampling never sees an empty
+      // community.
+      const UserId a = static_cast<UserId>(rng.UniformU64(data.num_authors));
+      members.push_back(a);
+    }
+  }
+
+  auto sample_author = [&](uint32_t community) -> UserId {
+    const std::vector<UserId>& members = community_authors[community];
+    // Zipf-ish pick: squaring the uniform skews toward low indices (the
+    // community's prolific authors).
+    const double u = rng.UniformDouble();
+    const size_t idx = static_cast<size_t>(u * u * members.size());
+    return members[std::min(idx, members.size() - 1)];
+  };
+
+  std::vector<Paper> papers;
+  papers.reserve(profile.num_papers);
+  // Citation-count urn per community for preferential attachment.
+  std::vector<std::vector<uint32_t>> community_urn(profile.num_communities);
+  std::vector<std::vector<uint32_t>> community_papers(
+      profile.num_communities);
+  std::vector<uint32_t> global_urn;
+
+  for (uint32_t pid = 0; pid < profile.num_papers; ++pid) {
+    Paper paper;
+    paper.community =
+        static_cast<uint32_t>(rng.UniformU64(profile.num_communities));
+    const uint32_t num_authors = static_cast<uint32_t>(
+        1 + rng.UniformU64(profile.max_authors_per_paper));
+    for (uint32_t k = 0; k < num_authors; ++k) {
+      const UserId a = sample_author(paper.community);
+      if (std::find(paper.authors.begin(), paper.authors.end(), a) ==
+          paper.authors.end()) {
+        paper.authors.push_back(a);
+      }
+    }
+
+    // References to earlier papers.
+    if (pid > 0) {
+      const double jitter = rng.UniformDouble(0.5, 1.5);
+      const uint32_t num_refs = std::min<uint32_t>(
+          pid, static_cast<uint32_t>(
+                   std::max(1.0, profile.mean_refs_per_paper * jitter)));
+      std::vector<uint32_t> cited;
+      uint32_t attempts = 0;
+      while (cited.size() < num_refs && attempts < num_refs * 20) {
+        ++attempts;
+        uint32_t target = 0;
+        const bool same_community =
+            rng.Bernoulli(profile.intra_community_bias) &&
+            !community_papers[paper.community].empty();
+        const std::vector<uint32_t>& urn =
+            same_community ? community_urn[paper.community] : global_urn;
+        const std::vector<uint32_t>& pool =
+            community_papers[paper.community];
+        if (rng.Bernoulli(profile.preferential_ratio) && !urn.empty()) {
+          target = urn[rng.UniformU64(urn.size())];
+        } else if (same_community && !pool.empty()) {
+          target = pool[rng.UniformU64(pool.size())];
+        } else {
+          target = static_cast<uint32_t>(rng.UniformU64(pid));
+        }
+        if (std::find(cited.begin(), cited.end(), target) != cited.end()) {
+          continue;
+        }
+        cited.push_back(target);
+      }
+
+      for (uint32_t target : cited) {
+        const Paper& ref = papers[target];
+        for (UserId src : ref.authors) {
+          for (UserId dst : paper.authors) {
+            if (src != dst) data.influence_pairs.push_back({src, dst});
+          }
+        }
+        community_urn[ref.community].push_back(target);
+        global_urn.push_back(target);
+      }
+    }
+
+    community_papers[paper.community].push_back(pid);
+    global_urn.push_back(pid);
+    papers.push_back(std::move(paper));
+  }
+
+  if (data.influence_pairs.empty()) {
+    return Status::Internal("citation generator produced no influence pairs");
+  }
+  return data;
+}
+
+}  // namespace citation
+}  // namespace inf2vec

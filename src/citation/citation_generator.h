@@ -1,0 +1,50 @@
+#ifndef INF2VEC_CITATION_CITATION_GENERATOR_H_
+#define INF2VEC_CITATION_CITATION_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/influence_pairs.h"
+#include "graph/social_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace citation {
+
+/// Synthetic stand-in for the paper's "DBLP-Citation-network-V9" case
+/// study (Section V-D): a preferential-attachment citation DAG over
+/// community-structured authors. Papers cite earlier papers, biased toward
+/// the same research community and toward already-well-cited papers; a
+/// citation makes every author of the cited paper influence every author
+/// of the citing paper — exactly the paper's extraction rule.
+struct CitationProfile {
+  uint32_t num_authors = 800;
+  uint32_t num_papers = 1600;
+  uint32_t num_communities = 12;
+  /// Probability a citation stays inside the citing paper's community.
+  double intra_community_bias = 0.8;
+  /// Probability a citation target is chosen by citation-count preference
+  /// (vs uniformly among eligible papers).
+  double preferential_ratio = 0.7;
+  double mean_refs_per_paper = 8.0;
+  uint32_t max_authors_per_paper = 3;
+};
+
+/// The generated author-influence data: pairs carry multiplicity (one entry
+/// per citation event), like the 138K relationships of the real dataset.
+struct CitationData {
+  uint32_t num_authors = 0;
+  std::vector<InfluencePair> influence_pairs;
+  /// Community of each author (hidden truth; used by tests).
+  std::vector<uint32_t> author_community;
+};
+
+/// Generates the citation world. Deterministic given (profile, rng state).
+Result<CitationData> GenerateCitationNetwork(const CitationProfile& profile,
+                                             Rng& rng);
+
+}  // namespace citation
+}  // namespace inf2vec
+
+#endif  // INF2VEC_CITATION_CITATION_GENERATOR_H_

@@ -1,0 +1,53 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace inf2vec {
+
+double Aggregate(Aggregation kind, std::span<const double> scores) {
+  INF2VEC_CHECK(!scores.empty()) << "Aggregate over empty score list";
+  switch (kind) {
+    case Aggregation::kAve: {
+      double sum = 0.0;
+      for (double x : scores) sum += x;
+      return sum / static_cast<double>(scores.size());
+    }
+    case Aggregation::kSum: {
+      double sum = 0.0;
+      for (double x : scores) sum += x;
+      return sum;
+    }
+    case Aggregation::kMax:
+      return *std::max_element(scores.begin(), scores.end());
+    case Aggregation::kLatest:
+      return scores.back();
+  }
+  INF2VEC_CHECK(false) << "unreachable aggregation kind";
+  return 0.0;
+}
+
+std::string AggregationName(Aggregation kind) {
+  switch (kind) {
+    case Aggregation::kAve:
+      return "Ave";
+    case Aggregation::kSum:
+      return "Sum";
+    case Aggregation::kMax:
+      return "Max";
+    case Aggregation::kLatest:
+      return "Latest";
+  }
+  return "?";
+}
+
+Result<Aggregation> ParseAggregation(const std::string& name) {
+  if (name == "Ave") return Aggregation::kAve;
+  if (name == "Sum") return Aggregation::kSum;
+  if (name == "Max") return Aggregation::kMax;
+  if (name == "Latest") return Aggregation::kLatest;
+  return Status::InvalidArgument("unknown aggregation: " + name);
+}
+
+}  // namespace inf2vec

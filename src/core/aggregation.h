@@ -1,0 +1,32 @@
+#ifndef INF2VEC_CORE_AGGREGATION_H_
+#define INF2VEC_CORE_AGGREGATION_H_
+
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// The four aggregation functions F() of Eq. 7, merging per-influencer
+/// scores x(u, v) into one activation likelihood.
+enum class Aggregation {
+  kAve,     ///< Mean of all elements (paper default).
+  kSum,     ///< Sum of all elements.
+  kMax,     ///< Maximum element.
+  kLatest,  ///< Last element (most recent influencer).
+};
+
+/// Applies the aggregator. `scores` must be in chronological influencer
+/// order (kLatest takes the final element) and non-empty.
+double Aggregate(Aggregation kind, std::span<const double> scores);
+
+/// "Ave" / "Sum" / "Max" / "Latest" (table labels).
+std::string AggregationName(Aggregation kind);
+
+/// Parses a name produced by AggregationName (case-sensitive).
+Result<Aggregation> ParseAggregation(const std::string& name);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_CORE_AGGREGATION_H_

@@ -1,0 +1,38 @@
+#include "core/embedding_predictor.h"
+
+#include "util/logging.h"
+
+namespace inf2vec {
+
+EmbeddingPredictor::EmbeddingPredictor(std::string name,
+                                       const EmbeddingStore* store,
+                                       Aggregation aggregation)
+    : name_(std::move(name)), store_(store), aggregation_(aggregation) {
+  INF2VEC_CHECK(store_ != nullptr);
+}
+
+double EmbeddingPredictor::ScoreActivation(
+    UserId v, const std::vector<UserId>& active_influencers) const {
+  INF2VEC_CHECK(!active_influencers.empty())
+      << "candidate must have at least one active influencer";
+  std::vector<double> scores;
+  scores.reserve(active_influencers.size());
+  for (UserId u : active_influencers) scores.push_back(store_->Score(u, v));
+  return Aggregate(aggregation_, scores);
+}
+
+std::vector<double> EmbeddingPredictor::ScoreDiffusion(
+    const std::vector<UserId>& seeds, Rng& rng) const {
+  (void)rng;  // Deterministic scorer.
+  std::vector<double> out(store_->num_users(), 0.0);
+  std::vector<double> scores(seeds.size(), 0.0);
+  for (UserId v = 0; v < store_->num_users(); ++v) {
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      scores[i] = store_->Score(seeds[i], v);
+    }
+    out[v] = Aggregate(aggregation_, scores);
+  }
+  return out;
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,45 @@
+#ifndef INF2VEC_CORE_EMBEDDING_PREDICTOR_H_
+#define INF2VEC_CORE_EMBEDDING_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/influence_model.h"
+#include "embedding/embedding_store.h"
+
+namespace inf2vec {
+
+/// InfluenceModel adapter over a trained EmbeddingStore: Section IV-C's
+/// prediction rule. Shared by Inf2vec, Inf2vec-L, MF, and Node2vec — they
+/// differ only in how the store was trained.
+///
+/// Does not own the store; the store must outlive the predictor.
+class EmbeddingPredictor : public InfluenceModel {
+ public:
+  EmbeddingPredictor(std::string name, const EmbeddingStore* store,
+                     Aggregation aggregation);
+
+  std::string name() const override { return name_; }
+
+  /// Eq. 7: F({x(u, v) : u in S_v}).
+  double ScoreActivation(
+      UserId v, const std::vector<UserId>& active_influencers) const override;
+
+  /// Direct Eq. 7 per candidate over the seed set (no simulation).
+  std::vector<double> ScoreDiffusion(const std::vector<UserId>& seeds,
+                                     Rng& rng) const override;
+
+  Aggregation aggregation() const { return aggregation_; }
+  void set_aggregation(Aggregation aggregation) { aggregation_ = aggregation; }
+  const EmbeddingStore& store() const { return *store_; }
+
+ private:
+  std::string name_;
+  const EmbeddingStore* store_;
+  Aggregation aggregation_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_CORE_EMBEDDING_PREDICTOR_H_

@@ -1,0 +1,89 @@
+#include "core/inf2vec_model.h"
+
+#include <algorithm>
+
+#include "diffusion/propagation_network.h"
+#include "util/logging.h"
+
+namespace inf2vec {
+
+InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
+                                     const ActionLog& log,
+                                     const ContextOptions& options,
+                                     uint32_t num_users, Rng& rng) {
+  InfluenceCorpus corpus;
+  corpus.target_frequencies.assign(num_users, 0);
+  for (const DiffusionEpisode& episode : log.episodes()) {
+    const PropagationNetwork network(graph, episode);
+    for (const InfluenceContext& ctx :
+         GenerateEpisodeContexts(network, options, rng)) {
+      ++corpus.num_tuples;
+      for (UserId v : ctx.context) {
+        corpus.pairs.push_back({ctx.user, v});
+        if (v < num_users) ++corpus.target_frequencies[v];
+      }
+    }
+  }
+  return corpus;
+}
+
+Result<Inf2vecModel> Inf2vecModel::TrainFromCorpus(
+    const InfluenceCorpus& corpus, uint32_t num_users,
+    const Inf2vecConfig& config, std::vector<double>* epoch_objective) {
+  if (corpus.pairs.empty()) {
+    return Status::InvalidArgument(
+        "empty influence corpus: no influence pairs in the training log");
+  }
+  if (num_users == 0) {
+    return Status::InvalidArgument("num_users must be positive");
+  }
+
+  Rng rng(config.seed);
+  auto store = std::make_unique<EmbeddingStore>(num_users, config.dim);
+  store->InitPaperDefault(rng);
+
+  Result<NegativeSampler> sampler = NegativeSampler::Create(
+      config.negative_kind, num_users, corpus.target_frequencies);
+  if (!sampler.ok()) return sampler.status();
+
+  SgdTrainer trainer(store.get(), &sampler.value(), config.sgd);
+
+  std::vector<std::pair<UserId, UserId>> pairs = corpus.pairs;
+  if (epoch_objective != nullptr) epoch_objective->clear();
+
+  for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle_pairs) rng.Shuffle(pairs);
+    double objective_sum = 0.0;
+    for (const auto& [u, v] : pairs) {
+      objective_sum += trainer.TrainPair(u, v, rng);
+    }
+    if (epoch_objective != nullptr) {
+      epoch_objective->push_back(objective_sum /
+                                 static_cast<double>(pairs.size()));
+    }
+  }
+  return Inf2vecModel(config, std::move(store));
+}
+
+Result<Inf2vecModel> Inf2vecModel::Train(const SocialGraph& graph,
+                                         const ActionLog& log,
+                                         const Inf2vecConfig& config) {
+  if (log.num_episodes() == 0) {
+    return Status::InvalidArgument("action log has no episodes");
+  }
+  Rng rng(config.seed);
+  const InfluenceCorpus corpus = BuildInfluenceCorpus(
+      graph, log, config.context, graph.num_users(), rng);
+  // Offset the SGD stream from the corpus stream so the two phases do not
+  // share random state across configs with equal seeds.
+  Inf2vecConfig sgd_config = config;
+  sgd_config.seed = config.seed ^ 0x5deece66dULL;
+  Result<Inf2vecModel> model = TrainFromCorpus(corpus, graph.num_users(),
+                                               sgd_config, nullptr);
+  if (!model.ok()) return model.status();
+  Inf2vecModel out = std::move(model).value();
+  out.config_ = config;
+  return out;
+}
+
+}  // namespace inf2vec

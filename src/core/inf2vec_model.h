@@ -1,0 +1,109 @@
+#ifndef INF2VEC_CORE_INF2VEC_MODEL_H_
+#define INF2VEC_CORE_INF2VEC_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "action/action_log.h"
+#include "core/aggregation.h"
+#include "core/embedding_predictor.h"
+#include "diffusion/context_generator.h"
+#include "embedding/embedding_store.h"
+#include "embedding/negative_sampler.h"
+#include "embedding/sgd_trainer.h"
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// All knobs of Algorithm 2, defaulting to the paper's Section V-A-2
+/// settings: K = 50, L = 50, alpha = 0.1, gamma = 0.005, |N| = 5,
+/// Ave aggregation. Setting context.alpha = 1.0 gives the paper's
+/// Inf2vec-L ablation (local context only).
+struct Inf2vecConfig {
+  uint32_t dim = 50;
+  ContextOptions context;
+  SgdOptions sgd;
+  /// The paper "randomly generates" negatives — uniform sampling. The
+  /// word2vec-style unigram^0.75 alternative is available for ablation but
+  /// measurably *hurts* here: it cancels the activity-frequency signal the
+  /// conformity bias is supposed to learn (see bench_aggregation).
+  NegativeSamplerKind negative_kind = NegativeSamplerKind::kUniform;
+  /// Training epochs over the generated tuples; the paper observes
+  /// convergence after 10-20 iterations.
+  uint32_t epochs = 10;
+  /// Shuffle the flattened (u, v) training pairs each epoch. Algorithm 2
+  /// literally replays episodes in order; shuffling is standard SGD
+  /// practice and the default. Disable to match the paper verbatim.
+  bool shuffle_pairs = true;
+  Aggregation aggregation = Aggregation::kAve;
+  uint64_t seed = 42;
+
+  /// The Inf2vec-L ablation (Table IV): local influence context only.
+  static Inf2vecConfig LocalOnly() {
+    Inf2vecConfig config;
+    config.context.alpha = 1.0;
+    return config;
+  }
+};
+
+/// The trained corpus of Algorithm 2's first phase: the flattened
+/// (source, context-member) pairs from every (u, C_u^i) tuple. Exposed so
+/// benches can time context generation and per-iteration training
+/// separately (Fig. 9).
+struct InfluenceCorpus {
+  std::vector<std::pair<UserId, UserId>> pairs;
+  /// Times each user appears as a context member, for the unigram sampler.
+  std::vector<uint64_t> target_frequencies;
+  /// Number of (u, C_u^i) tuples the pairs came from (the paper's |P|).
+  uint64_t num_tuples = 0;
+};
+
+/// Builds the influence corpus: per episode, extract the propagation
+/// network and run Algorithm 1 for every participant.
+InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
+                                     const ActionLog& log,
+                                     const ContextOptions& options,
+                                     uint32_t num_users, Rng& rng);
+
+/// The Inf2vec model (Algorithm 2). Train() runs both phases and returns a
+/// model holding the learned EmbeddingStore; Predictor() adapts it to the
+/// common InfluenceModel interface.
+class Inf2vecModel {
+ public:
+  /// Trains on `graph` + `log` with `config`. Fails on empty input.
+  static Result<Inf2vecModel> Train(const SocialGraph& graph,
+                                    const ActionLog& log,
+                                    const Inf2vecConfig& config);
+
+  /// Phase-2 only: SGD epochs over a pre-built corpus (used by benches to
+  /// time one iteration). `epoch_objective`, if non-null, receives the mean
+  /// pair objective per epoch.
+  static Result<Inf2vecModel> TrainFromCorpus(
+      const InfluenceCorpus& corpus, uint32_t num_users,
+      const Inf2vecConfig& config, std::vector<double>* epoch_objective);
+
+  const EmbeddingStore& embeddings() const { return *store_; }
+  const Inf2vecConfig& config() const { return config_; }
+
+  /// Influence score x(u, v); convenience passthrough.
+  double Score(UserId u, UserId v) const { return store_->Score(u, v); }
+
+  /// InfluenceModel view bound to this model's embeddings. The model must
+  /// outlive the returned predictor.
+  EmbeddingPredictor Predictor(const std::string& name = "Inf2vec") const {
+    return EmbeddingPredictor(name, store_.get(), config_.aggregation);
+  }
+
+ private:
+  Inf2vecModel(Inf2vecConfig config, std::unique_ptr<EmbeddingStore> store)
+      : config_(config), store_(std::move(store)) {}
+
+  Inf2vecConfig config_;
+  std::unique_ptr<EmbeddingStore> store_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_CORE_INF2VEC_MODEL_H_

@@ -1,0 +1,114 @@
+#include "core/influence_maximization.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace inf2vec {
+
+double EstimateSpread(const SocialGraph& graph,
+                      const EdgeProbabilities& probs,
+                      const std::vector<UserId>& seeds,
+                      uint32_t mc_simulations, Rng& rng) {
+  if (seeds.empty() || mc_simulations == 0) return 0.0;
+  double total = 0.0;
+  for (uint32_t s = 0; s < mc_simulations; ++s) {
+    total += static_cast<double>(
+        SimulateCascade(graph, probs, seeds, rng).activated.size());
+  }
+  return total / static_cast<double>(mc_simulations);
+}
+
+Result<SeedSelection> SelectSeedsCelf(const SocialGraph& graph,
+                                      const EdgeProbabilities& probs,
+                                      const InfluenceMaxOptions& options) {
+  if (options.num_seeds == 0 || options.num_seeds > graph.num_users()) {
+    return Status::InvalidArgument("invalid seed count");
+  }
+  if (probs.size() != graph.num_edges()) {
+    return Status::InvalidArgument("probability table does not match graph");
+  }
+  Rng rng(options.seed);
+
+  // CELF: max-heap of (stale marginal gain, user, round-of-last-update).
+  struct Entry {
+    double gain;
+    UserId user;
+    uint32_t round;
+    bool operator<(const Entry& other) const { return gain < other.gain; }
+  };
+  std::priority_queue<Entry> heap;
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    const double gain =
+        EstimateSpread(graph, probs, {u}, options.mc_simulations, rng);
+    heap.push({gain, u, 0});
+  }
+
+  SeedSelection selection;
+  double current_spread = 0.0;
+  uint32_t round = 0;
+  while (selection.seeds.size() < options.num_seeds && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.round == round) {
+      // Gain is fresh for the current seed set: commit (submodularity
+      // guarantees no stale entry can beat it).
+      selection.seeds.push_back(top.user);
+      current_spread += top.gain;
+      selection.objective.push_back(current_spread);
+      ++round;
+    } else {
+      // Recompute the marginal gain against the current seed set.
+      std::vector<UserId> with = selection.seeds;
+      with.push_back(top.user);
+      const double spread =
+          EstimateSpread(graph, probs, with, options.mc_simulations, rng);
+      top.gain = std::max(0.0, spread - current_spread);
+      top.round = round;
+      heap.push(top);
+    }
+  }
+  return selection;
+}
+
+Result<SeedSelection> SelectSeedsEmbedding(const EmbeddingStore& store,
+                                           const InfluenceMaxOptions& options) {
+  const uint32_t n = store.num_users();
+  if (options.num_seeds == 0 || options.num_seeds > n) {
+    return Status::InvalidArgument("invalid seed count");
+  }
+
+  SeedSelection selection;
+  std::vector<double> covered(n, -1e30);
+  std::vector<bool> chosen(n, false);
+  double objective = 0.0;
+
+  for (uint32_t k = 0; k < options.num_seeds; ++k) {
+    UserId best = 0;
+    double best_gain = -1e30;
+    for (UserId u = 0; u < n; ++u) {
+      if (chosen[u]) continue;
+      double gain = 0.0;
+      for (UserId v = 0; v < n; ++v) {
+        if (v == u) continue;
+        const double x = store.Score(u, v);
+        if (x > covered[v]) {
+          gain += covered[v] <= -1e29 ? x : x - covered[v];
+        }
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = u;
+      }
+    }
+    chosen[best] = true;
+    selection.seeds.push_back(best);
+    objective += best_gain;
+    selection.objective.push_back(objective);
+    for (UserId v = 0; v < n; ++v) {
+      if (v != best) covered[v] = std::max(covered[v], store.Score(best, v));
+    }
+  }
+  return selection;
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,60 @@
+#ifndef INF2VEC_CORE_INFLUENCE_MAXIMIZATION_H_
+#define INF2VEC_CORE_INFLUENCE_MAXIMIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/ic_model.h"
+#include "embedding/embedding_store.h"
+#include "graph/social_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Influence maximization (Kempe-Kleinberg-Tardos): pick k seeds
+/// maximizing expected cascade size. The paper cites this as the canonical
+/// application of learned influence parameters [1]; this module provides
+/// both the classical Monte-Carlo greedy (with CELF lazy evaluation) over
+/// explicit edge probabilities, and a fast embedding-space greedy proxy
+/// over a trained Inf2vec model — the workflow behind the viral_marketing
+/// example.
+struct InfluenceMaxOptions {
+  uint32_t num_seeds = 5;
+  /// Monte-Carlo cascades per marginal-gain estimate (CELF greedy only).
+  uint32_t mc_simulations = 200;
+  uint64_t seed = 17;
+};
+
+/// Result of a seed-selection run.
+struct SeedSelection {
+  std::vector<UserId> seeds;  // In selection order.
+  /// Estimated expected spread after each selection (CELF) or the proxy
+  /// objective value (embedding greedy). Parallel to `seeds`.
+  std::vector<double> objective;
+};
+
+/// Classical greedy with CELF lazy re-evaluation over IC Monte-Carlo
+/// spread. Exact submodular guarantees (1 - 1/e within sampling noise) but
+/// expensive: O(k * n * simulations * cascade cost) worst case, heavily
+/// pruned in practice by CELF.
+Result<SeedSelection> SelectSeedsCelf(const SocialGraph& graph,
+                                      const EdgeProbabilities& probs,
+                                      const InfluenceMaxOptions& options);
+
+/// Embedding-space greedy: repeatedly add the user whose influence scores
+/// x(u, v) add the most coverage over max-covered targets. A fast proxy
+/// with the same max-coverage structure; no simulation, no edge
+/// probabilities required.
+Result<SeedSelection> SelectSeedsEmbedding(const EmbeddingStore& store,
+                                           const InfluenceMaxOptions& options);
+
+/// Expected cascade size of a fixed seed set under IC Monte-Carlo.
+double EstimateSpread(const SocialGraph& graph,
+                      const EdgeProbabilities& probs,
+                      const std::vector<UserId>& seeds,
+                      uint32_t mc_simulations, Rng& rng);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_CORE_INFLUENCE_MAXIMIZATION_H_

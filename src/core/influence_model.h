@@ -1,0 +1,42 @@
+#ifndef INF2VEC_CORE_INFLUENCE_MODEL_H_
+#define INF2VEC_CORE_INFLUENCE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace inf2vec {
+
+/// Common scoring interface implemented by every evaluated method (Inf2vec
+/// and all six baselines). The two evaluation tasks of Section V consume
+/// only this interface, so IC-based and representation-based methods are
+/// compared on equal footing (the paper's "fair and reasonable" ranking
+/// argument).
+class InfluenceModel {
+ public:
+  virtual ~InfluenceModel() = default;
+
+  /// Short display name ("Inf2vec", "ST", ...), used in result tables.
+  virtual std::string name() const = 0;
+
+  /// Activation-prediction score: likelihood that candidate `v` is
+  /// activated by `active_influencers` (v's already-active in-neighbors, in
+  /// chronological activation order — the order matters only for the
+  /// Latest aggregator). IC-based methods use Eq. 8; representation
+  /// methods use Eq. 7.
+  virtual double ScoreActivation(
+      UserId v, const std::vector<UserId>& active_influencers) const = 0;
+
+  /// Diffusion-prediction scores for every user given initially activated
+  /// `seeds` (chronological). IC-based methods run Monte-Carlo simulation;
+  /// representation methods aggregate x(u, v) over the seeds directly.
+  /// `rng` feeds the Monte-Carlo methods; deterministic scorers ignore it.
+  virtual std::vector<double> ScoreDiffusion(const std::vector<UserId>& seeds,
+                                             Rng& rng) const = 0;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_CORE_INFLUENCE_MODEL_H_

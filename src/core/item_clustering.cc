@@ -1,0 +1,151 @@
+#include "core/item_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace inf2vec {
+namespace {
+
+/// Sorted unique adopter ids of an episode, bounded by num_users.
+std::vector<UserId> AdopterSet(const DiffusionEpisode& episode,
+                               uint32_t num_users) {
+  std::vector<UserId> users;
+  users.reserve(episode.size());
+  for (const Adoption& a : episode.adoptions()) {
+    if (a.user < num_users) users.push_back(a.user);
+  }
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  return users;
+}
+
+}  // namespace
+
+Result<ItemClustering> ItemClustering::Fit(
+    const ActionLog& log, uint32_t num_users,
+    const ItemClusteringOptions& options) {
+  if (log.num_episodes() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty log");
+  }
+  if (options.num_clusters == 0 || num_users == 0) {
+    return Status::InvalidArgument("need clusters and users");
+  }
+  const uint32_t k =
+      std::min<uint32_t>(options.num_clusters,
+                         static_cast<uint32_t>(log.num_episodes()));
+
+  std::vector<std::vector<UserId>> items;
+  items.reserve(log.num_episodes());
+  for (const DiffusionEpisode& e : log.episodes()) {
+    items.push_back(AdopterSet(e, num_users));
+  }
+
+  ItemClustering clustering(num_users, k);
+  clustering.centroids_.assign(static_cast<size_t>(k) * num_users, 0.0);
+  clustering.assignments_.assign(items.size(), 0);
+
+  // Init: centroids from k distinct random episodes.
+  Rng rng(options.seed);
+  std::vector<size_t> order(items.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  for (uint32_t c = 0; c < k; ++c) {
+    const std::vector<UserId>& seed_item = items[order[c]];
+    if (seed_item.empty()) continue;
+    const double weight = 1.0 / std::sqrt(static_cast<double>(
+                                    seed_item.size()));
+    for (UserId u : seed_item) {
+      clustering.centroids_[static_cast<size_t>(c) * num_users + u] = weight;
+    }
+  }
+
+  for (uint32_t iter = 0; iter < options.iterations; ++iter) {
+    // Assign.
+    bool changed = false;
+    for (size_t i = 0; i < items.size(); ++i) {
+      uint32_t best = 0;
+      double best_dot = -1.0;
+      for (uint32_t c = 0; c < k; ++c) {
+        const double dot = clustering.CentroidDot(c, items[i]);
+        if (dot > best_dot) {
+          best_dot = dot;
+          best = c;
+        }
+      }
+      if (clustering.assignments_[i] != best) {
+        clustering.assignments_[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update: mean of normalized member vectors, re-normalized.
+    std::fill(clustering.centroids_.begin(), clustering.centroids_.end(),
+              0.0);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i].empty()) continue;
+      const uint32_t c = clustering.assignments_[i];
+      const double weight =
+          1.0 / std::sqrt(static_cast<double>(items[i].size()));
+      for (UserId u : items[i]) {
+        clustering.centroids_[static_cast<size_t>(c) * num_users + u] +=
+            weight;
+      }
+    }
+    for (uint32_t c = 0; c < k; ++c) {
+      double norm = 0.0;
+      double* row = clustering.centroids_.data() +
+                    static_cast<size_t>(c) * num_users;
+      for (uint32_t u = 0; u < num_users; ++u) norm += row[u] * row[u];
+      norm = std::sqrt(norm);
+      if (norm <= 1e-12) {
+        // Dead cluster: re-seed from a random episode.
+        const std::vector<UserId>& seed_item =
+            items[rng.UniformU64(items.size())];
+        if (!seed_item.empty()) {
+          const double weight =
+              1.0 / std::sqrt(static_cast<double>(seed_item.size()));
+          for (UserId u : seed_item) row[u] = weight;
+        }
+        continue;
+      }
+      for (uint32_t u = 0; u < num_users; ++u) row[u] /= norm;
+    }
+  }
+  return clustering;
+}
+
+double ItemClustering::CentroidDot(uint32_t cluster,
+                                   const std::vector<UserId>& adopters) const {
+  const double* row =
+      centroids_.data() + static_cast<size_t>(cluster) * num_users_;
+  double dot = 0.0;
+  for (UserId u : adopters) {
+    if (u < num_users_) dot += row[u];
+  }
+  return dot;
+}
+
+uint32_t ItemClustering::AssignAdopters(
+    const std::vector<UserId>& adopters) const {
+  uint32_t best = 0;
+  double best_dot = -1.0;
+  for (uint32_t c = 0; c < num_clusters_; ++c) {
+    const double dot = CentroidDot(c, adopters);
+    if (dot > best_dot) {
+      best_dot = dot;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<uint32_t> ItemClustering::ClusterSizes() const {
+  std::vector<uint32_t> sizes(num_clusters_, 0);
+  for (uint32_t a : assignments_) ++sizes[a];
+  return sizes;
+}
+
+}  // namespace inf2vec

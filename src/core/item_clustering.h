@@ -1,0 +1,65 @@
+#ifndef INF2VEC_CORE_ITEM_CLUSTERING_H_
+#define INF2VEC_CORE_ITEM_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "action/action_log.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Options for audience-based item clustering (spherical k-means over the
+/// L2-normalized adopter-indicator vectors of each episode). This is the
+/// unsupervised "topic" signal behind the topic-aware Inf2vec extension:
+/// items adopted by the same crowd get the same cluster.
+struct ItemClusteringOptions {
+  uint32_t num_clusters = 8;
+  uint32_t iterations = 12;
+  uint64_t seed = 5;
+};
+
+/// Learned clustering: per-episode assignments plus the centroids needed
+/// to place unseen episodes (prediction-time assignment from the already
+/// activated users).
+class ItemClustering {
+ public:
+  /// Clusters `log`'s episodes. Fails on an empty log or zero clusters.
+  /// `num_users` bounds the indicator dimension.
+  static Result<ItemClustering> Fit(const ActionLog& log, uint32_t num_users,
+                                    const ItemClusteringOptions& options);
+
+  uint32_t num_clusters() const { return num_clusters_; }
+
+  /// Cluster of training episode `index` (position in log.episodes()).
+  uint32_t ClusterOfEpisode(size_t index) const {
+    return assignments_[index];
+  }
+  const std::vector<uint32_t>& assignments() const { return assignments_; }
+
+  /// Nearest centroid (cosine) for an arbitrary adopter set; used to place
+  /// *test* episodes from their observed active users. Empty sets map to
+  /// cluster 0.
+  uint32_t AssignAdopters(const std::vector<UserId>& adopters) const;
+
+  /// Episodes per cluster, for capacity decisions downstream.
+  std::vector<uint32_t> ClusterSizes() const;
+
+ private:
+  ItemClustering(uint32_t num_users, uint32_t num_clusters)
+      : num_users_(num_users), num_clusters_(num_clusters) {}
+
+  double CentroidDot(uint32_t cluster,
+                     const std::vector<UserId>& adopters) const;
+
+  uint32_t num_users_;
+  uint32_t num_clusters_;
+  std::vector<uint32_t> assignments_;
+  /// Row-major num_clusters x num_users, rows L2-normalized.
+  std::vector<double> centroids_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_CORE_ITEM_CLUSTERING_H_

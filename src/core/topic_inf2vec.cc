@@ -1,0 +1,71 @@
+#include "core/topic_inf2vec.h"
+
+#include "core/aggregation.h"
+#include "util/logging.h"
+
+namespace inf2vec {
+
+Result<TopicInf2vecModel> TopicInf2vecModel::Train(
+    const SocialGraph& graph, const ActionLog& log,
+    const TopicInf2vecConfig& config) {
+  if (config.topic_weight < 0.0 || config.topic_weight > 1.0) {
+    return Status::InvalidArgument("topic_weight must be in [0, 1]");
+  }
+
+  Result<ItemClustering> clustering =
+      ItemClustering::Fit(log, graph.num_users(), config.clustering);
+  if (!clustering.ok()) return clustering.status();
+  auto clustering_ptr =
+      std::make_unique<ItemClustering>(std::move(clustering).value());
+
+  Result<Inf2vecModel> global = Inf2vecModel::Train(graph, log, config.base);
+  if (!global.ok()) return global.status();
+  auto global_ptr = std::make_unique<Inf2vecModel>(std::move(global).value());
+
+  // Partition the log by cluster.
+  const uint32_t k = clustering_ptr->num_clusters();
+  std::vector<ActionLog> cluster_logs(k);
+  for (size_t i = 0; i < log.num_episodes(); ++i) {
+    cluster_logs[clustering_ptr->ClusterOfEpisode(i)].AddEpisode(
+        log.episodes()[i]);
+  }
+
+  std::vector<std::unique_ptr<Inf2vecModel>> topic_models(k);
+  for (uint32_t c = 0; c < k; ++c) {
+    if (cluster_logs[c].num_episodes() < config.min_cluster_episodes) {
+      continue;  // Too little data: global fallback.
+    }
+    Inf2vecConfig topic_config = config.base;
+    topic_config.seed = config.base.seed + 1000 + c;
+    Result<Inf2vecModel> topic =
+        Inf2vecModel::Train(graph, cluster_logs[c], topic_config);
+    if (!topic.ok()) continue;  // Cluster degenerate (e.g. no pairs).
+    topic_models[c] =
+        std::make_unique<Inf2vecModel>(std::move(topic).value());
+  }
+
+  return TopicInf2vecModel(config, std::move(clustering_ptr),
+                           std::move(global_ptr), std::move(topic_models));
+}
+
+double TopicInf2vecModel::Score(uint32_t topic, UserId u, UserId v) const {
+  INF2VEC_CHECK(topic < topic_models_.size()) << "topic out of range";
+  const double global_score = global_->Score(u, v);
+  const Inf2vecModel* topical = topic_models_[topic].get();
+  if (topical == nullptr || config_.topic_weight == 0.0) {
+    return global_score;
+  }
+  return (1.0 - config_.topic_weight) * global_score +
+         config_.topic_weight * topical->Score(u, v);
+}
+
+double TopicInf2vecModel::ScoreActivation(
+    uint32_t topic, UserId v, const std::vector<UserId>& influencers) const {
+  INF2VEC_CHECK(!influencers.empty());
+  std::vector<double> scores;
+  scores.reserve(influencers.size());
+  for (UserId u : influencers) scores.push_back(Score(topic, u, v));
+  return Aggregate(config_.base.aggregation, scores);
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,76 @@
+#ifndef INF2VEC_CORE_TOPIC_INF2VEC_H_
+#define INF2VEC_CORE_TOPIC_INF2VEC_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/inf2vec_model.h"
+#include "core/item_clustering.h"
+
+namespace inf2vec {
+
+/// Configuration of the topic-aware Inf2vec extension — the first item on
+/// the paper's future-work list ("model the topic-aware influence
+/// propagation"). Episodes are clustered by audience; a global Inf2vec
+/// model is trained on everything and a topic model on each sufficiently
+/// large cluster; item-conditioned scores interpolate the two.
+struct TopicInf2vecConfig {
+  Inf2vecConfig base;
+  ItemClusteringOptions clustering;
+  /// Interpolation weight of the topic-specific score (0 = plain Inf2vec).
+  double topic_weight = 0.4;
+  /// Clusters with fewer training episodes than this fall back to the
+  /// global model only.
+  uint32_t min_cluster_episodes = 8;
+};
+
+/// Topic-aware influence model: x_z(u, v) = (1 - w) * x_global(u, v) +
+/// w * x_topic(z)(u, v), where z is the item's audience cluster. At
+/// prediction time the cluster of an unseen episode is inferred from its
+/// already-activated users, which are observable when the prediction is
+/// made (no test leakage).
+class TopicInf2vecModel {
+ public:
+  static Result<TopicInf2vecModel> Train(const SocialGraph& graph,
+                                         const ActionLog& log,
+                                         const TopicInf2vecConfig& config);
+
+  uint32_t num_topics() const { return clustering_->num_clusters(); }
+  const Inf2vecModel& global_model() const { return *global_; }
+  /// nullptr when the cluster fell below min_cluster_episodes.
+  const Inf2vecModel* topic_model(uint32_t cluster) const {
+    return topic_models_[cluster].get();
+  }
+  const ItemClustering& clustering() const { return *clustering_; }
+
+  /// Cluster for a partially observed episode (its active users so far).
+  uint32_t InferTopic(const std::vector<UserId>& active_users) const {
+    return clustering_->AssignAdopters(active_users);
+  }
+
+  /// Item-conditioned influence score.
+  double Score(uint32_t topic, UserId u, UserId v) const;
+
+  /// Item-conditioned Eq. 7 activation score.
+  double ScoreActivation(uint32_t topic, UserId v,
+                         const std::vector<UserId>& influencers) const;
+
+ private:
+  TopicInf2vecModel(TopicInf2vecConfig config,
+                    std::unique_ptr<ItemClustering> clustering,
+                    std::unique_ptr<Inf2vecModel> global,
+                    std::vector<std::unique_ptr<Inf2vecModel>> topic_models)
+      : config_(std::move(config)),
+        clustering_(std::move(clustering)),
+        global_(std::move(global)),
+        topic_models_(std::move(topic_models)) {}
+
+  TopicInf2vecConfig config_;
+  std::unique_ptr<ItemClustering> clustering_;
+  std::unique_ptr<Inf2vecModel> global_;
+  std::vector<std::unique_ptr<Inf2vecModel>> topic_models_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_CORE_TOPIC_INF2VEC_H_

@@ -1,0 +1,105 @@
+#include "diffusion/context_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace inf2vec {
+namespace {
+
+/// kForwardBfs local context: level-order expansion of the influence cone,
+/// uniformly subsampling the frontier level that overflows the budget.
+std::vector<UserId> ForwardBfsContext(const PropagationNetwork& network,
+                                      UserId start, uint32_t budget,
+                                      uint32_t max_depth, Rng& rng) {
+  std::vector<UserId> context;
+  if (budget == 0) return context;
+  std::unordered_set<UserId> visited = {start};
+  std::vector<UserId> frontier = {start};
+  for (uint32_t depth = 0; depth < max_depth && !frontier.empty() &&
+                           context.size() < budget;
+       ++depth) {
+    std::vector<UserId> next;
+    for (UserId u : frontier) {
+      for (UserId v : network.Successors(u)) {
+        if (visited.insert(v).second) next.push_back(v);
+      }
+    }
+    const uint32_t room = budget - static_cast<uint32_t>(context.size());
+    if (next.size() > room) {
+      next = rng.SampleWithoutReplacement(next, room);
+    }
+    context.insert(context.end(), next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return context;
+}
+
+}  // namespace
+
+InfluenceContext GenerateInfluenceContext(const PropagationNetwork& network,
+                                          UserId user,
+                                          const ContextOptions& options,
+                                          Rng& rng) {
+  INF2VEC_CHECK(options.alpha >= 0.0 && options.alpha <= 1.0)
+      << "alpha must be in [0, 1]";
+  InfluenceContext out;
+  out.user = user;
+
+  const uint32_t local_budget = static_cast<uint32_t>(
+      static_cast<double>(options.length) * options.alpha + 0.5);
+  const uint32_t global_budget = options.length - local_budget;
+
+  // Line 2 of Algorithm 1: local influence neighbors.
+  out.context =
+      options.strategy == LocalContextStrategy::kRandomWalkRestart
+          ? RandomWalkWithRestart(network, user, local_budget, options.walk,
+                                  rng)
+          : ForwardBfsContext(network, user, local_budget,
+                              options.bfs_max_depth, rng);
+
+  // Line 3: global user-similarity samples from V_i \ {user}.
+  if (global_budget > 0 && network.num_users() > 1) {
+    const std::vector<UserId>& participants = network.users();
+    if (!options.global_with_replacement &&
+        participants.size() > global_budget + 1) {
+      // Sample distinct users, rejecting the ego.
+      std::vector<UserId> pool;
+      pool.reserve(participants.size() - 1);
+      for (UserId p : participants) {
+        if (p != user) pool.push_back(p);
+      }
+      std::vector<UserId> sampled =
+          rng.SampleWithoutReplacement(pool, global_budget);
+      out.context.insert(out.context.end(), sampled.begin(), sampled.end());
+    } else {
+      // Small episode (or explicit request): sample with replacement.
+      uint32_t produced = 0;
+      uint32_t attempts = 0;
+      while (produced < global_budget && attempts < global_budget * 20) {
+        ++attempts;
+        const UserId pick =
+            participants[rng.UniformU64(participants.size())];
+        if (pick == user) continue;
+        out.context.push_back(pick);
+        ++produced;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<InfluenceContext> GenerateEpisodeContexts(
+    const PropagationNetwork& network, const ContextOptions& options,
+    Rng& rng) {
+  std::vector<InfluenceContext> contexts;
+  contexts.reserve(network.num_users());
+  for (UserId u : network.users()) {
+    InfluenceContext ctx = GenerateInfluenceContext(network, u, options, rng);
+    if (!ctx.context.empty()) contexts.push_back(std::move(ctx));
+  }
+  return contexts;
+}
+
+}  // namespace inf2vec

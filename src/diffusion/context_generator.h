@@ -1,0 +1,68 @@
+#ifndef INF2VEC_DIFFUSION_CONTEXT_GENERATOR_H_
+#define INF2VEC_DIFFUSION_CONTEXT_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/propagation_network.h"
+#include "diffusion/random_walk.h"
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace inf2vec {
+
+/// How the local influence neighborhood is harvested. The paper's
+/// conclusion explicitly flags "other approaches for context generation"
+/// as future work; kForwardBfs implements the natural alternative.
+enum class LocalContextStrategy {
+  /// Random walk with restart on the propagation network (the paper's
+  /// Algorithm 1).
+  kRandomWalkRestart,
+  /// Breadth-first expansion of the user's influence cone: emit direct
+  /// successors first, then successors-of-successors, ..., sampling
+  /// uniformly inside a level when the level alone overflows the budget.
+  /// Deterministic coverage of near influencees, no revisits.
+  kForwardBfs,
+};
+
+/// Parameters of Algorithm 1 (Generating Influence Context).
+struct ContextOptions {
+  /// Length threshold L: total context size budget. Paper default 50.
+  uint32_t length = 50;
+  /// Component weight alpha: fraction of the budget filled by the local
+  /// random walk; the remainder is global similarity samples. Paper default
+  /// 0.1; alpha = 1.0 yields the Inf2vec-L ablation.
+  double alpha = 0.1;
+  /// Whether global samples may repeat (sampling with replacement). The
+  /// paper samples "randomly"; default false (without replacement) when the
+  /// episode is large enough, falling back to with-replacement otherwise.
+  bool global_with_replacement = false;
+  LocalContextStrategy strategy = LocalContextStrategy::kRandomWalkRestart;
+  /// Depth cap for kForwardBfs (how many influence hops to expand).
+  uint32_t bfs_max_depth = 4;
+  RandomWalkOptions walk;
+};
+
+/// A user together with its generated influence context C_u^i.
+struct InfluenceContext {
+  UserId user;
+  std::vector<UserId> context;
+};
+
+/// Implements Algorithm 1: local random-walk context (L*alpha nodes) plus
+/// global user-similarity context (L*(1-alpha) uniform samples from the
+/// episode's participants, excluding `user` itself).
+InfluenceContext GenerateInfluenceContext(const PropagationNetwork& network,
+                                          UserId user,
+                                          const ContextOptions& options,
+                                          Rng& rng);
+
+/// Convenience: contexts for every participant of the episode, in adoption
+/// order (the P_{D_i} list of Algorithm 2).
+std::vector<InfluenceContext> GenerateEpisodeContexts(
+    const PropagationNetwork& network, const ContextOptions& options,
+    Rng& rng);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_DIFFUSION_CONTEXT_GENERATOR_H_

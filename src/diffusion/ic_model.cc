@@ -1,0 +1,64 @@
+#include "diffusion/ic_model.h"
+
+#include "util/logging.h"
+
+namespace inf2vec {
+
+CascadeResult SimulateCascade(const SocialGraph& graph,
+                              const EdgeProbabilities& probs,
+                              const std::vector<UserId>& seeds, Rng& rng) {
+  CascadeResult result;
+  std::vector<bool> active(graph.num_users(), false);
+
+  std::vector<UserId> frontier;
+  for (UserId s : seeds) {
+    INF2VEC_CHECK(s < graph.num_users()) << "seed out of range";
+    if (!active[s]) {
+      active[s] = true;
+      frontier.push_back(s);
+      result.activated.push_back(s);
+      result.rounds.push_back(0);
+    }
+  }
+
+  uint32_t round = 0;
+  while (!frontier.empty()) {
+    ++round;
+    std::vector<UserId> next;
+    for (UserId u : frontier) {
+      const auto nbrs = graph.OutNeighbors(u);
+      if (nbrs.empty()) continue;
+      // Out-edges of u occupy a contiguous edge-id range starting at the id
+      // of its first neighbor.
+      const uint64_t first_edge =
+          static_cast<uint64_t>(graph.EdgeId(u, nbrs[0]));
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        const UserId v = nbrs[k];
+        if (active[v]) continue;
+        if (rng.Bernoulli(probs.Get(first_edge + k))) {
+          active[v] = true;
+          next.push_back(v);
+          result.activated.push_back(v);
+          result.rounds.push_back(round);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+std::vector<double> EstimateActivationProbabilities(
+    const SocialGraph& graph, const EdgeProbabilities& probs,
+    const std::vector<UserId>& seeds, uint32_t num_simulations, Rng& rng) {
+  std::vector<double> freq(graph.num_users(), 0.0);
+  if (num_simulations == 0) return freq;
+  for (uint32_t s = 0; s < num_simulations; ++s) {
+    const CascadeResult run = SimulateCascade(graph, probs, seeds, rng);
+    for (UserId u : run.activated) freq[u] += 1.0;
+  }
+  for (double& f : freq) f /= num_simulations;
+  return freq;
+}
+
+}  // namespace inf2vec

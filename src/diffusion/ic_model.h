@@ -1,0 +1,57 @@
+#ifndef INF2VEC_DIFFUSION_IC_MODEL_H_
+#define INF2VEC_DIFFUSION_IC_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace inf2vec {
+
+/// Per-edge propagation probabilities for the Independent Cascade model,
+/// indexed by SocialGraph::EdgeId. Shared by the synthetic world generator
+/// (forward simulation) and the Monte-Carlo diffusion scorer.
+class EdgeProbabilities {
+ public:
+  explicit EdgeProbabilities(const SocialGraph& graph)
+      : probs_(graph.num_edges(), 0.0) {}
+  EdgeProbabilities(const SocialGraph& graph, double uniform)
+      : probs_(graph.num_edges(), uniform) {}
+
+  double Get(uint64_t edge_id) const { return probs_[edge_id]; }
+  void Set(uint64_t edge_id, double p) { probs_[edge_id] = p; }
+
+  size_t size() const { return probs_.size(); }
+  const std::vector<double>& raw() const { return probs_; }
+  std::vector<double>& raw() { return probs_; }
+
+ private:
+  std::vector<double> probs_;
+};
+
+/// Result of one IC cascade simulation: activated users with the round at
+/// which each activated (seeds are round 0).
+struct CascadeResult {
+  std::vector<UserId> activated;   // In activation order.
+  std::vector<uint32_t> rounds;    // Parallel to `activated`.
+};
+
+/// Runs one Independent Cascade from `seeds`: every newly activated node
+/// gets a single chance to activate each inactive out-neighbor v with
+/// probability probs[EdgeId(u, v)]. Stops when a round activates nobody.
+CascadeResult SimulateCascade(const SocialGraph& graph,
+                              const EdgeProbabilities& probs,
+                              const std::vector<UserId>& seeds, Rng& rng);
+
+/// Monte-Carlo activation-frequency estimate: fraction of `num_simulations`
+/// cascades in which each user activates. Seeds score 1. The estimator the
+/// paper uses (5,000 simulations) for scoring IC-based baselines on the
+/// diffusion-prediction task.
+std::vector<double> EstimateActivationProbabilities(
+    const SocialGraph& graph, const EdgeProbabilities& probs,
+    const std::vector<UserId>& seeds, uint32_t num_simulations, Rng& rng);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_DIFFUSION_IC_MODEL_H_

@@ -1,0 +1,115 @@
+#include "diffusion/influence_pairs.h"
+
+#include <algorithm>
+
+namespace inf2vec {
+namespace {
+
+uint64_t PairKey(UserId src, UserId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+}  // namespace
+
+std::vector<InfluencePair> ExtractInfluencePairs(
+    const SocialGraph& graph, const DiffusionEpisode& episode) {
+  // Adoption time per participating user for O(1) lookup.
+  std::unordered_map<UserId, Timestamp> adopted_at;
+  adopted_at.reserve(episode.size());
+  for (const Adoption& a : episode.adoptions()) adopted_at.emplace(a.user, a.time);
+
+  std::vector<InfluencePair> pairs;
+  for (const Adoption& a : episode.adoptions()) {
+    const UserId v = a.user;
+    if (v >= graph.num_users()) continue;
+    for (UserId u : graph.InNeighbors(v)) {
+      const auto it = adopted_at.find(u);
+      if (it != adopted_at.end() && it->second < a.time) {
+        pairs.push_back({u, v});
+      }
+    }
+  }
+  return pairs;
+}
+
+PairFrequencyTable::PairFrequencyTable(const SocialGraph& graph,
+                                       const ActionLog& log)
+    : source_counts_(graph.num_users(), 0),
+      target_counts_(graph.num_users(), 0) {
+  for (const DiffusionEpisode& episode : log.episodes()) {
+    for (const InfluencePair& p : ExtractInfluencePairs(graph, episode)) {
+      ++source_counts_[p.source];
+      ++target_counts_[p.target];
+      ++pair_counts_[PairKey(p.source, p.target)];
+      ++total_pairs_;
+    }
+  }
+}
+
+uint64_t PairFrequencyTable::SourceCount(UserId u) const {
+  return u < source_counts_.size() ? source_counts_[u] : 0;
+}
+
+uint64_t PairFrequencyTable::TargetCount(UserId u) const {
+  return u < target_counts_.size() ? target_counts_[u] : 0;
+}
+
+Histogram PairFrequencyTable::SourceFrequencyDistribution() const {
+  Histogram hist;
+  for (uint64_t c : source_counts_) {
+    if (c > 0) hist.Add(c);
+  }
+  return hist;
+}
+
+Histogram PairFrequencyTable::TargetFrequencyDistribution() const {
+  Histogram hist;
+  for (uint64_t c : target_counts_) {
+    if (c > 0) hist.Add(c);
+  }
+  return hist;
+}
+
+std::vector<std::pair<InfluencePair, uint64_t>> PairFrequencyTable::TopPairs(
+    size_t k) const {
+  std::vector<std::pair<InfluencePair, uint64_t>> items;
+  items.reserve(pair_counts_.size());
+  for (const auto& [key, count] : pair_counts_) {
+    const InfluencePair pair{static_cast<UserId>(key >> 32),
+                             static_cast<UserId>(key & 0xffffffffu)};
+    items.push_back({pair, count});
+  }
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    if (a.first.source != b.first.source) {
+      return a.first.source < b.first.source;
+    }
+    return a.first.target < b.first.target;
+  });
+  if (items.size() > k) items.resize(k);
+  return items;
+}
+
+Histogram ActiveFriendCountDistribution(const SocialGraph& graph,
+                                        const ActionLog& log) {
+  Histogram hist;
+  for (const DiffusionEpisode& episode : log.episodes()) {
+    std::unordered_map<UserId, Timestamp> adopted_at;
+    adopted_at.reserve(episode.size());
+    for (const Adoption& a : episode.adoptions()) {
+      adopted_at.emplace(a.user, a.time);
+    }
+    for (const Adoption& a : episode.adoptions()) {
+      if (a.user >= graph.num_users()) continue;
+      uint64_t active_friends = 0;
+      for (UserId u : graph.InNeighbors(a.user)) {
+        const auto it = adopted_at.find(u);
+        if (it != adopted_at.end() && it->second < a.time) ++active_friends;
+      }
+      hist.Add(active_friends);
+    }
+  }
+  return hist;
+}
+
+}  // namespace inf2vec

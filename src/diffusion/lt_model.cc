@@ -1,0 +1,102 @@
+#include "diffusion/lt_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace inf2vec {
+
+void LtWeights::NormalizeInWeights(const SocialGraph& graph) {
+  for (UserId v = 0; v < graph.num_users(); ++v) {
+    double total = 0.0;
+    for (UserId u : graph.InNeighbors(v)) {
+      total += weights_[graph.EdgeId(u, v)];
+    }
+    if (total <= 1.0 || total <= 0.0) continue;
+    for (UserId u : graph.InNeighbors(v)) {
+      const uint64_t e = static_cast<uint64_t>(graph.EdgeId(u, v));
+      weights_[e] /= total;
+    }
+  }
+}
+
+LtWeights LtWeights::UniformByInDegree(const SocialGraph& graph) {
+  LtWeights weights(graph);
+  for (UserId v = 0; v < graph.num_users(); ++v) {
+    const uint32_t indeg = graph.InDegree(v);
+    if (indeg == 0) continue;
+    for (UserId u : graph.InNeighbors(v)) {
+      weights.Set(static_cast<uint64_t>(graph.EdgeId(u, v)),
+                  1.0 / static_cast<double>(indeg));
+    }
+  }
+  return weights;
+}
+
+CascadeResult SimulateLtCascade(const SocialGraph& graph,
+                                const LtWeights& weights,
+                                const std::vector<UserId>& seeds, Rng& rng) {
+  INF2VEC_CHECK(weights.size() == graph.num_edges());
+  CascadeResult result;
+  const uint32_t n = graph.num_users();
+  std::vector<bool> active(n, false);
+  std::vector<double> pressure(n, 0.0);   // Sum of active in-weights.
+  std::vector<double> threshold(n, 0.0);  // Drawn lazily on first touch.
+  std::vector<bool> threshold_drawn(n, false);
+
+  std::vector<UserId> frontier;
+  for (UserId s : seeds) {
+    INF2VEC_CHECK(s < n) << "seed out of range";
+    if (!active[s]) {
+      active[s] = true;
+      frontier.push_back(s);
+      result.activated.push_back(s);
+      result.rounds.push_back(0);
+    }
+  }
+
+  uint32_t round = 0;
+  while (!frontier.empty()) {
+    ++round;
+    std::vector<UserId> next;
+    for (UserId u : frontier) {
+      const auto nbrs = graph.OutNeighbors(u);
+      if (nbrs.empty()) continue;
+      const uint64_t first_edge =
+          static_cast<uint64_t>(graph.EdgeId(u, nbrs[0]));
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        const UserId v = nbrs[k];
+        if (active[v]) continue;
+        pressure[v] += weights.Get(first_edge + k);
+        if (!threshold_drawn[v]) {
+          threshold[v] = rng.UniformDouble();
+          threshold_drawn[v] = true;
+        }
+        if (pressure[v] >= threshold[v]) {
+          active[v] = true;
+          next.push_back(v);
+          result.activated.push_back(v);
+          result.rounds.push_back(round);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+std::vector<double> EstimateLtActivationProbabilities(
+    const SocialGraph& graph, const LtWeights& weights,
+    const std::vector<UserId>& seeds, uint32_t num_simulations, Rng& rng) {
+  std::vector<double> freq(graph.num_users(), 0.0);
+  if (num_simulations == 0) return freq;
+  for (uint32_t s = 0; s < num_simulations; ++s) {
+    for (UserId u : SimulateLtCascade(graph, weights, seeds, rng).activated) {
+      freq[u] += 1.0;
+    }
+  }
+  for (double& f : freq) f /= num_simulations;
+  return freq;
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,58 @@
+#ifndef INF2VEC_DIFFUSION_LT_MODEL_H_
+#define INF2VEC_DIFFUSION_LT_MODEL_H_
+
+#include <vector>
+
+#include "diffusion/ic_model.h"
+#include "graph/social_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// The Linear Threshold model — the second prevalent diffusion model the
+/// paper's related-work section describes: an inactive node activates once
+/// the summed weights of its active in-neighbors exceed its (randomly
+/// drawn) threshold. Provided for substrate completeness and used by tests
+/// as an alternative planted process; the paper's evaluation itself is
+/// IC-based.
+///
+/// Edge weights are indexed like EdgeProbabilities; for each node v the
+/// incoming weights should sum to <= 1 (NormalizeInWeights enforces it).
+class LtWeights {
+ public:
+  explicit LtWeights(const SocialGraph& graph)
+      : weights_(graph.num_edges(), 0.0) {}
+
+  double Get(uint64_t edge_id) const { return weights_[edge_id]; }
+  void Set(uint64_t edge_id, double w) { weights_[edge_id] = w; }
+  size_t size() const { return weights_.size(); }
+
+  /// Scales every node's incoming weights so they sum to at most 1
+  /// (leaves nodes whose weights already satisfy the bound untouched).
+  void NormalizeInWeights(const SocialGraph& graph);
+
+  /// Uniform LT weights: w(u, v) = 1 / InDegree(v), the standard
+  /// parameter-free instantiation.
+  static LtWeights UniformByInDegree(const SocialGraph& graph);
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Runs one Linear Threshold cascade: thresholds theta_v ~ U[0, 1] are
+/// drawn per run; rounds proceed until no new activations. Returns
+/// activations in order with their rounds (seeds round 0).
+CascadeResult SimulateLtCascade(const SocialGraph& graph,
+                                const LtWeights& weights,
+                                const std::vector<UserId>& seeds, Rng& rng);
+
+/// Monte-Carlo activation-frequency estimate under LT (the analogue of
+/// EstimateActivationProbabilities).
+std::vector<double> EstimateLtActivationProbabilities(
+    const SocialGraph& graph, const LtWeights& weights,
+    const std::vector<UserId>& seeds, uint32_t num_simulations, Rng& rng);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_DIFFUSION_LT_MODEL_H_

@@ -1,0 +1,62 @@
+#include "diffusion/propagation_network.h"
+
+namespace inf2vec {
+
+PropagationNetwork::PropagationNetwork(const SocialGraph& graph,
+                                       const DiffusionEpisode& episode)
+    : item_(episode.item()) {
+  users_.reserve(episode.size());
+  local_index_.reserve(episode.size());
+  for (const Adoption& a : episode.adoptions()) {
+    if (local_index_.emplace(a.user, static_cast<uint32_t>(users_.size()))
+            .second) {
+      users_.push_back(a.user);
+    }
+  }
+  successors_.resize(users_.size());
+
+  for (const InfluencePair& p : ExtractInfluencePairs(graph, episode)) {
+    const auto it = local_index_.find(p.source);
+    if (it == local_index_.end()) continue;
+    successors_[it->second].push_back(p.target);
+    ++num_edges_;
+  }
+}
+
+const std::vector<UserId>& PropagationNetwork::Successors(UserId user) const {
+  const auto it = local_index_.find(user);
+  if (it == local_index_.end()) return empty_;
+  return successors_[it->second];
+}
+
+bool PropagationNetwork::IsAcyclic() const {
+  // Kahn's algorithm over local indices.
+  const size_t n = users_.size();
+  std::vector<uint32_t> indegree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (UserId succ : successors_[i]) {
+      const auto it = local_index_.find(succ);
+      if (it != local_index_.end()) ++indegree[it->second];
+    }
+  }
+  std::vector<uint32_t> frontier;
+  frontier.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) frontier.push_back(static_cast<uint32_t>(i));
+  }
+  size_t visited = 0;
+  while (!frontier.empty()) {
+    const uint32_t node = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    for (UserId succ : successors_[node]) {
+      const auto it = local_index_.find(succ);
+      if (it != local_index_.end() && --indegree[it->second] == 0) {
+        frontier.push_back(it->second);
+      }
+    }
+  }
+  return visited == n;
+}
+
+}  // namespace inf2vec

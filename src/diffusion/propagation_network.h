@@ -1,0 +1,61 @@
+#ifndef INF2VEC_DIFFUSION_PROPAGATION_NETWORK_H_
+#define INF2VEC_DIFFUSION_PROPAGATION_NETWORK_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "action/action_log.h"
+#include "diffusion/influence_pairs.h"
+#include "graph/social_graph.h"
+
+namespace inf2vec {
+
+/// Per-episode influence propagation network G_i (Definition 3): nodes are
+/// the episode's participants, edges are its social influence pairs. The
+/// time constraint makes it a DAG by construction; IsAcyclic() verifies.
+///
+/// Nodes are stored with compact local indices to keep walk state small;
+/// the public API speaks global UserIds.
+class PropagationNetwork {
+ public:
+  /// Builds from a social graph and one finalized episode.
+  PropagationNetwork(const SocialGraph& graph,
+                     const DiffusionEpisode& episode);
+
+  ItemId item() const { return item_; }
+
+  /// Episode participants (adoption order preserved).
+  const std::vector<UserId>& users() const { return users_; }
+  size_t num_users() const { return users_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// True if `user` participates in this episode.
+  bool ContainsUser(UserId user) const {
+    return local_index_.find(user) != local_index_.end();
+  }
+
+  /// Influence successors of `user` inside this episode (users this user's
+  /// adoption may have triggered). Empty span if user absent.
+  const std::vector<UserId>& Successors(UserId user) const;
+
+  uint32_t OutDegree(UserId user) const {
+    return static_cast<uint32_t>(Successors(user).size());
+  }
+
+  /// Topological sanity check; always true for data obeying the strict
+  /// time-order extraction, exposed for tests and corrupted-input guards.
+  bool IsAcyclic() const;
+
+ private:
+  ItemId item_ = 0;
+  std::vector<UserId> users_;
+  std::unordered_map<UserId, uint32_t> local_index_;
+  std::vector<std::vector<UserId>> successors_;  // Indexed by local index.
+  std::vector<UserId> empty_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_DIFFUSION_PROPAGATION_NETWORK_H_

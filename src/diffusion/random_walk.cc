@@ -1,0 +1,80 @@
+#include "diffusion/random_walk.h"
+
+#include <algorithm>
+
+namespace inf2vec {
+
+std::vector<UserId> RandomWalkWithRestart(const PropagationNetwork& network,
+                                          UserId start, uint32_t num_nodes,
+                                          const RandomWalkOptions& options,
+                                          Rng& rng) {
+  std::vector<UserId> visited;
+  if (num_nodes == 0) return visited;
+  visited.reserve(num_nodes);
+
+  UserId current = start;
+  const uint64_t max_steps =
+      static_cast<uint64_t>(num_nodes) * options.max_step_factor;
+  for (uint64_t step = 0; step < max_steps && visited.size() < num_nodes;
+       ++step) {
+    if (current != start && rng.Bernoulli(options.restart_prob)) {
+      current = start;
+    }
+    const std::vector<UserId>& succ = network.Successors(current);
+    if (succ.empty()) {
+      if (current == start) break;  // Start is a sink: no local context.
+      current = start;
+      continue;
+    }
+    current = succ[rng.UniformU64(succ.size())];
+    visited.push_back(current);
+  }
+  return visited;
+}
+
+std::vector<UserId> BiasedWalk(const SocialGraph& graph, UserId start,
+                               uint32_t walk_length, double return_param,
+                               double inout_param, Rng& rng) {
+  std::vector<UserId> walk;
+  walk.reserve(walk_length);
+  walk.push_back(start);
+  if (walk_length <= 1) return walk;
+
+  auto out = graph.OutNeighbors(start);
+  if (out.empty()) return walk;
+  walk.push_back(out[rng.UniformU64(out.size())]);
+
+  while (walk.size() < walk_length) {
+    const UserId prev = walk[walk.size() - 2];
+    const UserId curr = walk.back();
+    const auto nbrs = graph.OutNeighbors(curr);
+    if (nbrs.empty()) break;
+
+    // Rejection sampling of the node2vec transition kernel: propose a
+    // uniform neighbor, accept with weight/upper_bound. Weights: 1/p to go
+    // back to prev, 1 if candidate is also prev's neighbor (distance 1),
+    // 1/q otherwise (distance 2).
+    const double inv_p = 1.0 / return_param;
+    const double inv_q = 1.0 / inout_param;
+    const double upper = std::max({inv_p, 1.0, inv_q});
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const UserId candidate = nbrs[rng.UniformU64(nbrs.size())];
+      double weight;
+      if (candidate == prev) {
+        weight = inv_p;
+      } else if (graph.HasEdge(prev, candidate)) {
+        weight = 1.0;
+      } else {
+        weight = inv_q;
+      }
+      if (rng.UniformDouble() * upper <= weight) {
+        walk.push_back(candidate);
+        break;
+      }
+      if (attempt == 63) walk.push_back(candidate);  // Fallback: accept.
+    }
+  }
+  return walk;
+}
+
+}  // namespace inf2vec

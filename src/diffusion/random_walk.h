@@ -1,0 +1,44 @@
+#ifndef INF2VEC_DIFFUSION_RANDOM_WALK_H_
+#define INF2VEC_DIFFUSION_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/propagation_network.h"
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace inf2vec {
+
+/// Options for the random walk with restart used to harvest local influence
+/// context (Section IV-A-1). Defaults match the paper.
+struct RandomWalkOptions {
+  /// Probability of teleporting back to the start user at each step. The
+  /// paper fixes 0.5 "following the default setting of node2vec".
+  double restart_prob = 0.5;
+  /// Hard cap on simulated steps per requested node, guarding against
+  /// degenerate graphs where the walk keeps restarting into dead ends.
+  uint32_t max_step_factor = 20;
+};
+
+/// Runs a random walk with restart on the episode's propagation network,
+/// starting at `start`, collecting up to `num_nodes` visited users (the
+/// start user itself is never emitted; repeat visits are emitted again, as
+/// in DeepWalk-style corpus building). Returns fewer than `num_nodes` when
+/// the start has no successors or the walk exhausts its step budget.
+std::vector<UserId> RandomWalkWithRestart(const PropagationNetwork& network,
+                                          UserId start, uint32_t num_nodes,
+                                          const RandomWalkOptions& options,
+                                          Rng& rng);
+
+/// node2vec-style second-order biased walk over a full social graph
+/// (used by the Node2vec baseline). Generates a fixed-length node sequence
+/// beginning with `start`. `return_param` is node2vec's p, `inout_param`
+/// its q.
+std::vector<UserId> BiasedWalk(const SocialGraph& graph, UserId start,
+                               uint32_t walk_length, double return_param,
+                               double inout_param, Rng& rng);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_DIFFUSION_RANDOM_WALK_H_

@@ -1,0 +1,47 @@
+#include "embedding/embedding_store.h"
+
+#include "util/logging.h"
+
+namespace inf2vec {
+
+EmbeddingStore::EmbeddingStore(uint32_t num_users, uint32_t dim)
+    : num_users_(num_users),
+      dim_(dim),
+      source_(static_cast<size_t>(num_users) * dim, 0.0),
+      target_(static_cast<size_t>(num_users) * dim, 0.0),
+      source_bias_(num_users, 0.0),
+      target_bias_(num_users, 0.0) {
+  INF2VEC_CHECK(dim > 0) << "embedding dimension must be positive";
+}
+
+void EmbeddingStore::InitPaperDefault(Rng& rng) {
+  const double bound = 1.0 / static_cast<double>(dim_);
+  InitUniform(-bound, bound, rng);
+}
+
+void EmbeddingStore::InitUniform(double lo, double hi, Rng& rng) {
+  for (double& x : source_) x = rng.UniformDouble(lo, hi);
+  for (double& x : target_) x = rng.UniformDouble(lo, hi);
+  for (double& b : source_bias_) b = 0.0;
+  for (double& b : target_bias_) b = 0.0;
+}
+
+double EmbeddingStore::Score(UserId u, UserId v) const {
+  const std::span<const double> s = Source(u);
+  const std::span<const double> t = Target(v);
+  double dot = 0.0;
+  for (uint32_t k = 0; k < dim_; ++k) dot += s[k] * t[k];
+  return dot + source_bias_[u] + target_bias_[v];
+}
+
+std::vector<double> EmbeddingStore::ConcatenatedVector(UserId u) const {
+  std::vector<double> out;
+  out.reserve(2 * dim_);
+  const auto s = Source(u);
+  const auto t = Target(u);
+  out.insert(out.end(), s.begin(), s.end());
+  out.insert(out.end(), t.begin(), t.end());
+  return out;
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,73 @@
+#ifndef INF2VEC_EMBEDDING_EMBEDDING_STORE_H_
+#define INF2VEC_EMBEDDING_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace inf2vec {
+
+/// The learned parameters of a social-influence embedding (Definition 2):
+/// per user u a source vector S_u, a target vector T_u, an influence-ability
+/// bias b_u and a conformity bias b~_u. Stored as flat row-major buffers so
+/// the SGD inner loop is cache-friendly.
+///
+/// Also reused by the latent-factor baselines (MF treats S as the "affects"
+/// factor and T as the "affected" factor; Node2vec uses S as node vectors
+/// and T as context vectors).
+class EmbeddingStore {
+ public:
+  EmbeddingStore(uint32_t num_users, uint32_t dim);
+
+  uint32_t num_users() const { return num_users_; }
+  uint32_t dim() const { return dim_; }
+
+  /// Paper initialization: S, T ~ U[-1/K, 1/K], biases 0 (Algorithm 2
+  /// line 1).
+  void InitPaperDefault(Rng& rng);
+
+  /// Uniform init over [lo, hi) for vectors; biases reset to 0.
+  void InitUniform(double lo, double hi, Rng& rng);
+
+  std::span<double> Source(UserId u) {
+    return {source_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+  std::span<const double> Source(UserId u) const {
+    return {source_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+  std::span<double> Target(UserId u) {
+    return {target_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+  std::span<const double> Target(UserId u) const {
+    return {target_.data() + static_cast<size_t>(u) * dim_, dim_};
+  }
+
+  double source_bias(UserId u) const { return source_bias_[u]; }
+  double& mutable_source_bias(UserId u) { return source_bias_[u]; }
+  double target_bias(UserId u) const { return target_bias_[u]; }
+  double& mutable_target_bias(UserId u) { return target_bias_[u]; }
+
+  /// The influence score x(u, v) = S_u . T_v + b_u + b~_v (Section IV-C).
+  double Score(UserId u, UserId v) const;
+
+  /// Concatenation [S_u ; T_u] used by the visualization experiment.
+  std::vector<double> ConcatenatedVector(UserId u) const;
+
+  friend bool operator==(const EmbeddingStore&, const EmbeddingStore&) =
+      default;
+
+ private:
+  uint32_t num_users_;
+  uint32_t dim_;
+  std::vector<double> source_;       // num_users * dim
+  std::vector<double> target_;       // num_users * dim
+  std::vector<double> source_bias_;  // num_users
+  std::vector<double> target_bias_;  // num_users
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EMBEDDING_EMBEDDING_STORE_H_

@@ -1,0 +1,137 @@
+#include "embedding/hierarchical_softmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/sigmoid_table.h"
+
+namespace inf2vec {
+
+Result<HuffmanTree> HuffmanTree::Build(
+    const std::vector<uint64_t>& frequencies) {
+  if (frequencies.empty()) {
+    return Status::InvalidArgument("cannot build a Huffman tree of nothing");
+  }
+  const uint32_t n = static_cast<uint32_t>(frequencies.size());
+
+  HuffmanTree tree;
+  tree.num_leaves_ = n;
+  tree.paths_.resize(n);
+  tree.codes_.resize(n);
+  if (n == 1) return tree;  // Single leaf: empty path, P(v|u) = 1.
+
+  // Standard two-queue Huffman construction over node ids:
+  // ids [0, n) are leaves, [n, 2n-1) are internal nodes in creation order.
+  struct Node {
+    uint64_t weight;
+    uint32_t id;
+    bool operator>(const Node& other) const {
+      return weight != other.weight ? weight > other.weight
+                                    : id > other.id;
+    }
+  };
+  std::priority_queue<Node, std::vector<Node>, std::greater<Node>> heap;
+  for (uint32_t i = 0; i < n; ++i) heap.push({frequencies[i] + 1, i});
+
+  std::vector<uint32_t> parent(2 * n - 1, 0);
+  std::vector<bool> is_right(2 * n - 1, false);
+  uint32_t next_internal = n;
+  while (heap.size() > 1) {
+    const Node left = heap.top();
+    heap.pop();
+    const Node right = heap.top();
+    heap.pop();
+    parent[left.id] = next_internal;
+    parent[right.id] = next_internal;
+    is_right[right.id] = true;
+    heap.push({left.weight + right.weight, next_internal});
+    ++next_internal;
+  }
+  const uint32_t root = next_internal - 1;
+
+  // Extract root-to-leaf paths. Internal ids are remapped to [0, n-1) by
+  // subtracting n.
+  for (uint32_t leaf = 0; leaf < n; ++leaf) {
+    std::vector<uint32_t> path;
+    std::vector<bool> code;
+    uint32_t node = leaf;
+    while (node != root) {
+      code.push_back(is_right[node]);
+      node = parent[node];
+      path.push_back(node - n);
+    }
+    std::reverse(path.begin(), path.end());
+    std::reverse(code.begin(), code.end());
+    tree.paths_[leaf] = std::move(path);
+    tree.codes_[leaf] = std::move(code);
+  }
+  return tree;
+}
+
+size_t HuffmanTree::MaxCodeLength() const {
+  size_t max_len = 0;
+  for (const auto& code : codes_) max_len = std::max(max_len, code.size());
+  return max_len;
+}
+
+HierarchicalSoftmaxTrainer::HierarchicalSoftmaxTrainer(
+    EmbeddingStore* store, const HuffmanTree* tree, double learning_rate)
+    : store_(store),
+      tree_(tree),
+      learning_rate_(learning_rate),
+      dim_(store->dim()),
+      internal_(static_cast<size_t>(tree->num_internal()) * store->dim(),
+                0.0),
+      grad_buffer_(store->dim(), 0.0) {
+  INF2VEC_CHECK(store_ != nullptr);
+  INF2VEC_CHECK(tree_ != nullptr);
+  INF2VEC_CHECK(tree_->num_leaves() == store_->num_users())
+      << "tree and store disagree on the user count";
+}
+
+double HierarchicalSoftmaxTrainer::LogProbability(UserId u, UserId v) const {
+  const std::span<const double> s_u = store_->Source(u);
+  const std::vector<uint32_t>& path = tree_->PathOf(v);
+  const std::vector<bool>& code = tree_->CodeOf(v);
+  double log_prob = 0.0;
+  for (size_t step = 0; step < path.size(); ++step) {
+    const std::span<const double> w = InternalVector(path[step]);
+    double z = 0.0;
+    for (uint32_t k = 0; k < dim_; ++k) z += s_u[k] * w[k];
+    // P(branch) = sigma(z) for the right child, sigma(-z) for the left.
+    const double p = SigmoidTable::Exact(code[step] ? z : -z);
+    log_prob += std::log(std::max(p, 1e-15));
+  }
+  return log_prob;
+}
+
+double HierarchicalSoftmaxTrainer::TrainPair(UserId u, UserId v) {
+  const double objective = LogProbability(u, v);
+
+  const std::span<double> s_u = store_->Source(u);
+  const std::vector<uint32_t>& path = tree_->PathOf(v);
+  const std::vector<bool>& code = tree_->CodeOf(v);
+  std::fill(grad_buffer_.begin(), grad_buffer_.end(), 0.0);
+
+  for (size_t step = 0; step < path.size(); ++step) {
+    const std::span<double> w = InternalVector(path[step]);
+    double z = 0.0;
+    for (uint32_t k = 0; k < dim_; ++k) z += s_u[k] * w[k];
+    // d/dz log sigma(code ? z : -z) = target - sigma(z), with target = 1
+    // for the right branch and 0 for the left.
+    const double coeff =
+        (code[step] ? 1.0 : 0.0) - GlobalSigmoidTable().Sigmoid(z);
+    for (uint32_t k = 0; k < dim_; ++k) {
+      grad_buffer_[k] += coeff * w[k];
+      w[k] += learning_rate_ * coeff * s_u[k];
+    }
+  }
+  for (uint32_t k = 0; k < dim_; ++k) {
+    s_u[k] += learning_rate_ * grad_buffer_[k];
+  }
+  return objective;
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,85 @@
+#ifndef INF2VEC_EMBEDDING_HIERARCHICAL_SOFTMAX_H_
+#define INF2VEC_EMBEDDING_HIERARCHICAL_SOFTMAX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embedding/embedding_store.h"
+#include "graph/social_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Huffman-coded hierarchical softmax — the alternative to negative
+/// sampling used by DeepWalk (Morin & Bengio [23] via Perozzi et al. [11],
+/// both cited by the paper). Targets are leaves of a Huffman tree built
+/// from their corpus frequencies; P(v | u) decomposes into the product of
+/// binary decisions along v's root-to-leaf path, so one update costs
+/// O(log |V| * K) instead of O(|N| * K).
+///
+/// Provided as a drop-in alternative trainer over the same EmbeddingStore
+/// source vectors: the tree's internal nodes own the "output" parameters
+/// (the role T plays under negative sampling).
+class HuffmanTree {
+ public:
+  /// Builds the tree from per-user target frequencies (+1 smoothing keeps
+  /// zero-frequency users encodable). Fails on an empty vector.
+  static Result<HuffmanTree> Build(const std::vector<uint64_t>& frequencies);
+
+  uint32_t num_leaves() const { return num_leaves_; }
+  uint32_t num_internal() const { return num_leaves_ - 1; }
+
+  /// Root-to-leaf path of user `v`: the internal-node ids visited.
+  const std::vector<uint32_t>& PathOf(UserId v) const { return paths_[v]; }
+  /// Branch taken at each path step: true = right child (code bit 1).
+  const std::vector<bool>& CodeOf(UserId v) const { return codes_[v]; }
+
+  /// Maximum code length (diagnostics; O(log n) for balanced counts).
+  size_t MaxCodeLength() const;
+
+ private:
+  HuffmanTree() = default;
+
+  uint32_t num_leaves_ = 0;
+  std::vector<std::vector<uint32_t>> paths_;
+  std::vector<std::vector<bool>> codes_;
+};
+
+/// Skip-gram trainer with hierarchical softmax. Updates the store's Source
+/// vectors and its own internal-node parameter matrix.
+class HierarchicalSoftmaxTrainer {
+ public:
+  /// `store` supplies/receives the source vectors; internal-node vectors
+  /// are zero-initialized (the word2vec convention).
+  HierarchicalSoftmaxTrainer(EmbeddingStore* store, const HuffmanTree* tree,
+                             double learning_rate);
+
+  /// One positive (u -> v) update. Returns log P(v | u) under the entering
+  /// parameters (exact, since HS normalizes by construction).
+  double TrainPair(UserId u, UserId v);
+
+  /// Exact log P(v | u) without updating.
+  double LogProbability(UserId u, UserId v) const;
+
+  double learning_rate() const { return learning_rate_; }
+
+ private:
+  std::span<double> InternalVector(uint32_t node) {
+    return {internal_.data() + static_cast<size_t>(node) * dim_, dim_};
+  }
+  std::span<const double> InternalVector(uint32_t node) const {
+    return {internal_.data() + static_cast<size_t>(node) * dim_, dim_};
+  }
+
+  EmbeddingStore* store_;
+  const HuffmanTree* tree_;
+  double learning_rate_;
+  uint32_t dim_;
+  std::vector<double> internal_;  // num_internal x dim.
+  std::vector<double> grad_buffer_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EMBEDDING_HIERARCHICAL_SOFTMAX_H_

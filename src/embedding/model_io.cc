@@ -1,0 +1,117 @@
+#include "embedding/model_io.h"
+
+#include <cstring>
+
+#include "util/io.h"
+#include "util/string_util.h"
+
+namespace inf2vec {
+namespace {
+
+constexpr char kMagic[] = "I2VEMB1\n";
+constexpr size_t kMagicLen = 8;
+
+void AppendRaw(std::string* out, const void* data, size_t bytes) {
+  out->append(static_cast<const char*>(data), bytes);
+}
+
+template <typename T>
+bool ReadRaw(const std::string& buf, size_t* offset, T* out, size_t count) {
+  const size_t bytes = sizeof(T) * count;
+  if (*offset + bytes > buf.size()) return false;
+  std::memcpy(out, buf.data() + *offset, bytes);
+  *offset += bytes;
+  return true;
+}
+
+}  // namespace
+
+Status SaveEmbeddings(const EmbeddingStore& store, const std::string& path) {
+  std::string blob;
+  const uint32_t n = store.num_users();
+  const uint32_t dim = store.dim();
+  blob.reserve(kMagicLen + 8 +
+               sizeof(double) * (2 * static_cast<size_t>(n) * dim + 2 * n));
+  AppendRaw(&blob, kMagic, kMagicLen);
+  AppendRaw(&blob, &n, sizeof(n));
+  AppendRaw(&blob, &dim, sizeof(dim));
+  for (UserId u = 0; u < n; ++u) {
+    AppendRaw(&blob, store.Source(u).data(), sizeof(double) * dim);
+  }
+  for (UserId u = 0; u < n; ++u) {
+    AppendRaw(&blob, store.Target(u).data(), sizeof(double) * dim);
+  }
+  for (UserId u = 0; u < n; ++u) {
+    const double b = store.source_bias(u);
+    AppendRaw(&blob, &b, sizeof(b));
+  }
+  for (UserId u = 0; u < n; ++u) {
+    const double b = store.target_bias(u);
+    AppendRaw(&blob, &b, sizeof(b));
+  }
+  return WriteFile(path, blob);
+}
+
+Result<EmbeddingStore> LoadEmbeddings(const std::string& path) {
+  std::string blob;
+  INF2VEC_RETURN_IF_ERROR(ReadFile(path, &blob));
+  if (blob.size() < kMagicLen + 8 ||
+      std::memcmp(blob.data(), kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument("not an Inf2vec embedding file: " + path);
+  }
+  size_t offset = kMagicLen;
+  uint32_t n = 0;
+  uint32_t dim = 0;
+  if (!ReadRaw(blob, &offset, &n, 1) || !ReadRaw(blob, &offset, &dim, 1) ||
+      n == 0 || dim == 0) {
+    return Status::InvalidArgument("corrupt embedding header: " + path);
+  }
+  const size_t expected = kMagicLen + 8 +
+                          sizeof(double) * (2 * static_cast<size_t>(n) * dim +
+                                            2 * static_cast<size_t>(n));
+  if (blob.size() != expected) {
+    return Status::InvalidArgument(
+        StrFormat("embedding file size mismatch: got %zu want %zu",
+                  blob.size(), expected));
+  }
+
+  EmbeddingStore store(n, dim);
+  for (UserId u = 0; u < n; ++u) {
+    if (!ReadRaw(blob, &offset, store.Source(u).data(), dim)) {
+      return Status::Internal("truncated source block");
+    }
+  }
+  for (UserId u = 0; u < n; ++u) {
+    if (!ReadRaw(blob, &offset, store.Target(u).data(), dim)) {
+      return Status::Internal("truncated target block");
+    }
+  }
+  for (UserId u = 0; u < n; ++u) {
+    if (!ReadRaw(blob, &offset, &store.mutable_source_bias(u), 1)) {
+      return Status::Internal("truncated source-bias block");
+    }
+  }
+  for (UserId u = 0; u < n; ++u) {
+    if (!ReadRaw(blob, &offset, &store.mutable_target_bias(u), 1)) {
+      return Status::Internal("truncated target-bias block");
+    }
+  }
+  return store;
+}
+
+Status ExportEmbeddingsText(const EmbeddingStore& store,
+                            const std::string& path) {
+  std::vector<std::string> lines;
+  lines.reserve(store.num_users() + 1);
+  lines.push_back(StrFormat("%u %u", store.num_users(), store.dim()));
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    std::string line = StrFormat("%u %.17g %.17g", u, store.source_bias(u),
+                                 store.target_bias(u));
+    for (double x : store.Source(u)) line += StrFormat(" %.17g", x);
+    for (double x : store.Target(u)) line += StrFormat(" %.17g", x);
+    lines.push_back(std::move(line));
+  }
+  return WriteLines(path, lines);
+}
+
+}  // namespace inf2vec

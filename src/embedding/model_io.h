@@ -1,0 +1,27 @@
+#ifndef INF2VEC_EMBEDDING_MODEL_IO_H_
+#define INF2VEC_EMBEDDING_MODEL_IO_H_
+
+#include <string>
+
+#include "embedding/embedding_store.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Persists an EmbeddingStore as a little-endian binary blob:
+///   magic "I2VEMB1\n", uint32 num_users, uint32 dim,
+///   then S, T, b, b~ as contiguous float64 arrays.
+Status SaveEmbeddings(const EmbeddingStore& store, const std::string& path);
+
+/// Loads a store written by SaveEmbeddings; validates magic and sizes.
+Result<EmbeddingStore> LoadEmbeddings(const std::string& path);
+
+/// word2vec-style text export: header "num_users dim", then per user
+/// "u b_u b~_u S_u... T_u...". Intended for external analysis tools, not
+/// round-tripping (text loses low-order bits).
+Status ExportEmbeddingsText(const EmbeddingStore& store,
+                            const std::string& path);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EMBEDDING_MODEL_IO_H_

@@ -1,0 +1,59 @@
+#include "embedding/negative_sampler.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace inf2vec {
+
+Result<NegativeSampler> NegativeSampler::Create(
+    NegativeSamplerKind kind, uint32_t num_users,
+    const std::vector<uint64_t>& target_frequencies) {
+  if (num_users == 0) {
+    return Status::InvalidArgument("sampler needs at least one user");
+  }
+  NegativeSampler sampler(kind, num_users);
+  if (kind == NegativeSamplerKind::kUnigram075) {
+    if (target_frequencies.size() != num_users) {
+      return Status::InvalidArgument(
+          "target_frequencies size must equal num_users");
+    }
+    std::vector<double> weights(num_users);
+    for (uint32_t u = 0; u < num_users; ++u) {
+      weights[u] =
+          std::pow(static_cast<double>(target_frequencies[u] + 1), 0.75);
+    }
+    INF2VEC_RETURN_IF_ERROR(sampler.alias_.Build(weights));
+  }
+  return sampler;
+}
+
+NegativeSampler NegativeSampler::CreateUniform(uint32_t num_users) {
+  INF2VEC_CHECK(num_users > 0);
+  return NegativeSampler(NegativeSamplerKind::kUniform, num_users);
+}
+
+UserId NegativeSampler::Sample(Rng& rng, UserId exclude_a,
+                               UserId exclude_b) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const UserId w =
+        kind_ == NegativeSamplerKind::kUniform
+            ? static_cast<UserId>(rng.UniformU64(num_users_))
+            : static_cast<UserId>(alias_.Sample(rng));
+    if (w != exclude_a && w != exclude_b) return w;
+  }
+  // Degenerate universe; return anything valid.
+  return static_cast<UserId>(rng.UniformU64(num_users_));
+}
+
+void NegativeSampler::SampleMany(Rng& rng, UserId exclude_a, UserId exclude_b,
+                                 uint32_t count,
+                                 std::vector<UserId>* out) const {
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out->push_back(Sample(rng, exclude_a, exclude_b));
+  }
+}
+
+}  // namespace inf2vec

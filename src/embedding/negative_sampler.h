@@ -1,0 +1,60 @@
+#ifndef INF2VEC_EMBEDDING_NEGATIVE_SAMPLER_H_
+#define INF2VEC_EMBEDDING_NEGATIVE_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/alias_sampler.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Distribution the negatives are drawn from. The paper says "randomly
+/// sample"; kUnigram075 is the word2vec convention (frequency^0.75) and the
+/// library default; kUniform matches the literal reading. Both are
+/// benchmarked in the ablation.
+enum class NegativeSamplerKind {
+  kUniform,
+  kUnigram075,
+};
+
+/// Draws negative instances w for skip-gram training, avoiding the current
+/// positive pair's endpoints.
+class NegativeSampler {
+ public:
+  /// `target_frequencies[u]` = how often u appears as a context/target in
+  /// the training corpus; only used by kUnigram075 (users with frequency 0
+  /// get a +1 smoothing so every user remains sampleable).
+  static Result<NegativeSampler> Create(
+      NegativeSamplerKind kind, uint32_t num_users,
+      const std::vector<uint64_t>& target_frequencies);
+
+  /// Uniform sampler that needs no frequency table.
+  static NegativeSampler CreateUniform(uint32_t num_users);
+
+  NegativeSamplerKind kind() const { return kind_; }
+  uint32_t num_users() const { return num_users_; }
+
+  /// One negative, != exclude_a and != exclude_b (retry loop; falls back to
+  /// any user after a bounded number of rejections, which only matters for
+  /// pathological 1-2 user universes).
+  UserId Sample(Rng& rng, UserId exclude_a, UserId exclude_b) const;
+
+  /// `count` negatives into `out` (cleared first).
+  void SampleMany(Rng& rng, UserId exclude_a, UserId exclude_b,
+                  uint32_t count, std::vector<UserId>* out) const;
+
+ private:
+  NegativeSampler(NegativeSamplerKind kind, uint32_t num_users)
+      : kind_(kind), num_users_(num_users) {}
+
+  NegativeSamplerKind kind_;
+  uint32_t num_users_;
+  AliasSampler alias_;  // Only built for kUnigram075.
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EMBEDDING_NEGATIVE_SAMPLER_H_

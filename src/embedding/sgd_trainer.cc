@@ -1,0 +1,80 @@
+#include "embedding/sgd_trainer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/sigmoid_table.h"
+
+namespace inf2vec {
+
+SgdTrainer::SgdTrainer(EmbeddingStore* store, const NegativeSampler* sampler,
+                       const SgdOptions& options)
+    : store_(store), sampler_(sampler), options_(options) {
+  INF2VEC_CHECK(store_ != nullptr);
+  INF2VEC_CHECK(sampler_ != nullptr);
+  source_grad_.resize(store_->dim(), 0.0);
+}
+
+double SgdTrainer::SigmoidOf(double z) const {
+  return options_.use_sigmoid_table ? GlobalSigmoidTable().Sigmoid(z)
+                                    : SigmoidTable::Exact(z);
+}
+
+double SgdTrainer::TrainPair(UserId u, UserId v, Rng& rng) {
+  const uint32_t dim = store_->dim();
+  const double lr = options_.learning_rate;
+
+  sampler_->SampleMany(rng, u, v, options_.num_negatives, &negatives_);
+
+  const double objective = PairObjective(u, v, negatives_);
+
+  // Accumulate dL/dS_u across the positive and all negatives, applying it
+  // once at the end (Eq. 6 evaluates every term at the current S_u).
+  std::fill(source_grad_.begin(), source_grad_.end(), 0.0);
+  const std::span<double> s_u = store_->Source(u);
+  double bias_u_grad = 0.0;
+
+  {  // Positive term: coefficient (1 - sigma(z_v)).
+    const double z = store_->Score(u, v);
+    const double coeff = 1.0 - SigmoidOf(z);
+    const std::span<double> t_v = store_->Target(v);
+    for (uint32_t k = 0; k < dim; ++k) {
+      source_grad_[k] += coeff * t_v[k];
+      t_v[k] += lr * coeff * s_u[k];
+    }
+    if (options_.use_biases) {
+      bias_u_grad += coeff;
+      store_->mutable_target_bias(v) += lr * coeff;
+    }
+  }
+
+  for (UserId w : negatives_) {  // Negative terms: coefficient -sigma(z_w).
+    const double z = store_->Score(u, w);
+    const double coeff = -SigmoidOf(z);
+    const std::span<double> t_w = store_->Target(w);
+    for (uint32_t k = 0; k < dim; ++k) {
+      source_grad_[k] += coeff * t_w[k];
+      t_w[k] += lr * coeff * s_u[k];
+    }
+    if (options_.use_biases) {
+      bias_u_grad += coeff;
+      store_->mutable_target_bias(w) += lr * coeff;
+    }
+  }
+
+  for (uint32_t k = 0; k < dim; ++k) s_u[k] += lr * source_grad_[k];
+  if (options_.use_biases) store_->mutable_source_bias(u) += lr * bias_u_grad;
+
+  return objective;
+}
+
+double SgdTrainer::PairObjective(UserId u, UserId v,
+                                 const std::vector<UserId>& negatives) const {
+  double obj = std::log(SigmoidTable::Exact(store_->Score(u, v)));
+  for (UserId w : negatives) {
+    obj += std::log(SigmoidTable::Exact(-store_->Score(u, w)));
+  }
+  return obj;
+}
+
+}  // namespace inf2vec

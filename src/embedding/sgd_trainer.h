@@ -1,0 +1,64 @@
+#ifndef INF2VEC_EMBEDDING_SGD_TRAINER_H_
+#define INF2VEC_EMBEDDING_SGD_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embedding/embedding_store.h"
+#include "embedding/negative_sampler.h"
+#include "util/rng.h"
+
+namespace inf2vec {
+
+/// Hyper-parameters of the skip-gram-with-negative-sampling SGD step
+/// (Eq. 4-6 of the paper). Defaults follow Section V-A-2.
+struct SgdOptions {
+  /// Learning rate gamma; paper default 0.005.
+  double learning_rate = 0.005;
+  /// |N|, the number of negative instances per positive; paper: 5-10.
+  uint32_t num_negatives = 5;
+  /// Whether bias terms b_u / b~_v participate (Inf2vec: yes; the plain
+  /// Node2vec baseline trains without biases).
+  bool use_biases = true;
+  /// Use the fast lookup-table sigmoid; exact sigmoid when false (tests).
+  bool use_sigmoid_table = true;
+};
+
+/// Applies single (u, v) skip-gram updates against an EmbeddingStore.
+/// Stateless besides the option set; safe to share across corpora that
+/// target the same store. Not thread-safe with respect to the store.
+class SgdTrainer {
+ public:
+  SgdTrainer(EmbeddingStore* store, const NegativeSampler* sampler,
+             const SgdOptions& options);
+
+  /// One positive pair (u influences v): updates S_u, T_v, b_u, b~_v, then
+  /// draws options.num_negatives negatives w and updates S_u, T_w, b_u,
+  /// b~_w per Eq. 6. Returns the negative-sampling objective value of the
+  /// pair *before* the update (log sigma(z_v) + sum log sigma(-z_w)), a
+  /// convergence signal the caller may ignore.
+  double TrainPair(UserId u, UserId v, Rng& rng);
+
+  /// Objective of Eq. 4 for a pair without updating (used by tests and
+  /// convergence monitors); negatives supplied by the caller.
+  double PairObjective(UserId u, UserId v,
+                       const std::vector<UserId>& negatives) const;
+
+  const SgdOptions& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  double SigmoidOf(double z) const;
+
+  EmbeddingStore* store_;
+  const NegativeSampler* sampler_;
+  SgdOptions options_;
+  // Scratch buffers reused across TrainPair calls to avoid reallocations in
+  // the hot loop.
+  std::vector<UserId> negatives_;
+  std::vector<double> source_grad_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EMBEDDING_SGD_TRAINER_H_

@@ -1,0 +1,121 @@
+#include "eval/activation_task.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace inf2vec {
+
+std::vector<ActivationCase> BuildActivationCases(
+    const SocialGraph& graph, const DiffusionEpisode& episode) {
+  std::unordered_map<UserId, Timestamp> adopted_at;
+  adopted_at.reserve(episode.size());
+  for (const Adoption& a : episode.adoptions()) {
+    adopted_at.emplace(a.user, a.time);
+  }
+
+  std::vector<ActivationCase> cases;
+
+  // Positives: adopters influenced by earlier-adopting friends.
+  for (const Adoption& a : episode.adoptions()) {
+    if (a.user >= graph.num_users()) continue;
+    std::vector<std::pair<Timestamp, UserId>> earlier;
+    for (UserId u : graph.InNeighbors(a.user)) {
+      const auto it = adopted_at.find(u);
+      if (it != adopted_at.end() && it->second < a.time) {
+        earlier.push_back({it->second, u});
+      }
+    }
+    if (earlier.empty()) continue;
+    std::sort(earlier.begin(), earlier.end());
+    ActivationCase c;
+    c.candidate = a.user;
+    c.activated = true;
+    c.influencers.reserve(earlier.size());
+    for (const auto& [t, u] : earlier) c.influencers.push_back(u);
+    cases.push_back(std::move(c));
+  }
+
+  // Negatives: exposed non-adopters. Collect the out-neighborhood of all
+  // adopters instead of scanning every user (sparse-friendly).
+  std::unordered_set<UserId> negative_candidates;
+  for (const Adoption& a : episode.adoptions()) {
+    if (a.user >= graph.num_users()) continue;
+    for (UserId v : graph.OutNeighbors(a.user)) {
+      if (adopted_at.find(v) == adopted_at.end()) {
+        negative_candidates.insert(v);
+      }
+    }
+  }
+  for (UserId v : negative_candidates) {
+    std::vector<std::pair<Timestamp, UserId>> adopters;
+    for (UserId u : graph.InNeighbors(v)) {
+      const auto it = adopted_at.find(u);
+      if (it != adopted_at.end()) adopters.push_back({it->second, u});
+    }
+    if (adopters.empty()) continue;
+    std::sort(adopters.begin(), adopters.end());
+    ActivationCase c;
+    c.candidate = v;
+    c.activated = false;
+    c.influencers.reserve(adopters.size());
+    for (const auto& [t, u] : adopters) c.influencers.push_back(u);
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+namespace {
+
+std::vector<RankedQuery> BuildActivationQueries(const InfluenceModel& model,
+                                                const SocialGraph& graph,
+                                                const ActionLog& test_log) {
+  std::vector<RankedQuery> queries;
+  queries.reserve(test_log.num_episodes());
+  for (const DiffusionEpisode& episode : test_log.episodes()) {
+    const std::vector<ActivationCase> cases =
+        BuildActivationCases(graph, episode);
+    if (cases.empty()) continue;
+    RankedQuery query;
+    query.scores.reserve(cases.size());
+    query.labels.reserve(cases.size());
+    for (const ActivationCase& c : cases) {
+      query.scores.push_back(
+          model.ScoreActivation(c.candidate, c.influencers));
+      query.labels.push_back(c.activated);
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace
+
+RankingMetrics EvaluateActivation(const InfluenceModel& model,
+                                  const SocialGraph& graph,
+                                  const ActionLog& test_log) {
+  return AggregateQueries(BuildActivationQueries(model, graph, test_log));
+}
+
+std::vector<RankingMetrics> EvaluateActivationPerEpisode(
+    const InfluenceModel& model, const SocialGraph& graph,
+    const ActionLog& test_log) {
+  std::vector<RankingMetrics> per_episode;
+  for (const RankedQuery& query :
+       BuildActivationQueries(model, graph, test_log)) {
+    size_t num_pos = 0;
+    for (bool l : query.labels) num_pos += l ? 1 : 0;
+    if (num_pos == 0 || num_pos == query.labels.size()) continue;
+    RankingMetrics m;
+    m.auc = AucByRank(query);
+    m.map = AveragePrecision(query);
+    m.p10 = PrecisionAtN(query, 10);
+    m.p50 = PrecisionAtN(query, 50);
+    m.p100 = PrecisionAtN(query, 100);
+    m.num_queries = 1;
+    per_episode.push_back(m);
+  }
+  return per_episode;
+}
+
+}  // namespace inf2vec

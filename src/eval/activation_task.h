@@ -1,0 +1,47 @@
+#ifndef INF2VEC_EVAL_ACTIVATION_TASK_H_
+#define INF2VEC_EVAL_ACTIVATION_TASK_H_
+
+#include <vector>
+
+#include "action/action_log.h"
+#include "core/influence_model.h"
+#include "eval/metrics.h"
+#include "graph/social_graph.h"
+
+namespace inf2vec {
+
+/// One activation-prediction case: candidate `v` with the chronologically
+/// ordered activated in-neighbors S_v, and whether v really activated.
+struct ActivationCase {
+  UserId candidate;
+  std::vector<UserId> influencers;  // Chronological activation order.
+  bool activated;
+};
+
+/// Builds the Goyal-protocol cases for one test episode:
+///  * positives: adopters v with >= 1 in-neighbor adopting strictly before
+///    them; S_v = those earlier in-neighbors.
+///  * negatives: non-adopters v with >= 1 in-neighbor in the episode;
+///    S_v = all adopting in-neighbors.
+/// Adopters with no earlier-adopting friend are not candidates (their
+/// adoption was unobservable as an influence event).
+std::vector<ActivationCase> BuildActivationCases(
+    const SocialGraph& graph, const DiffusionEpisode& episode);
+
+/// Scores every case of every test episode with `model` and macro-averages
+/// the ranking metrics per episode (Section V-B-1).
+RankingMetrics EvaluateActivation(const InfluenceModel& model,
+                                  const SocialGraph& graph,
+                                  const ActionLog& test_log);
+
+/// Per-episode metrics for the episodes that define a ranking problem
+/// (>= 1 positive and >= 1 negative case). Episode usability depends only
+/// on the data, so two models evaluated on the same log yield aligned
+/// vectors — the pairing the Wilcoxon significance test needs.
+std::vector<RankingMetrics> EvaluateActivationPerEpisode(
+    const InfluenceModel& model, const SocialGraph& graph,
+    const ActionLog& test_log);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EVAL_ACTIVATION_TASK_H_

@@ -1,0 +1,58 @@
+#include "eval/diffusion_task.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace inf2vec {
+
+DiffusionCase BuildDiffusionCase(const DiffusionEpisode& episode,
+                                 const DiffusionTaskOptions& options) {
+  DiffusionCase c;
+  const std::vector<Adoption>& adoptions = episode.adoptions();
+  if (adoptions.empty()) return c;
+  const size_t num_seeds = std::min(
+      adoptions.size(),
+      std::max<size_t>(options.min_seeds,
+                       static_cast<size_t>(std::ceil(
+                           options.seed_fraction * adoptions.size()))));
+  for (size_t i = 0; i < adoptions.size(); ++i) {
+    if (i < num_seeds) {
+      c.seeds.push_back(adoptions[i].user);
+    } else {
+      c.ground_truth.push_back(adoptions[i].user);
+    }
+  }
+  return c;
+}
+
+RankingMetrics EvaluateDiffusion(const InfluenceModel& model,
+                                 uint32_t num_users,
+                                 const ActionLog& test_log,
+                                 const DiffusionTaskOptions& options,
+                                 Rng& rng) {
+  std::vector<RankedQuery> queries;
+  queries.reserve(test_log.num_episodes());
+  for (const DiffusionEpisode& episode : test_log.episodes()) {
+    const DiffusionCase c = BuildDiffusionCase(episode, options);
+    if (c.seeds.empty() || c.ground_truth.empty()) continue;
+
+    const std::vector<double> scores = model.ScoreDiffusion(c.seeds, rng);
+    std::unordered_set<UserId> seed_set(c.seeds.begin(), c.seeds.end());
+    std::unordered_set<UserId> truth(c.ground_truth.begin(),
+                                     c.ground_truth.end());
+
+    RankedQuery query;
+    query.scores.reserve(num_users - seed_set.size());
+    query.labels.reserve(num_users - seed_set.size());
+    for (UserId v = 0; v < num_users; ++v) {
+      if (seed_set.contains(v)) continue;
+      query.scores.push_back(scores[v]);
+      query.labels.push_back(truth.contains(v));
+    }
+    queries.push_back(std::move(query));
+  }
+  return AggregateQueries(queries);
+}
+
+}  // namespace inf2vec

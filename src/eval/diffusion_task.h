@@ -1,0 +1,45 @@
+#ifndef INF2VEC_EVAL_DIFFUSION_TASK_H_
+#define INF2VEC_EVAL_DIFFUSION_TASK_H_
+
+#include <vector>
+
+#include "action/action_log.h"
+#include "core/influence_model.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace inf2vec {
+
+/// Options of the diffusion-prediction protocol (Section V-B-2).
+struct DiffusionTaskOptions {
+  /// Fraction of each test episode's earliest adopters used as seeds; the
+  /// paper uses the first 5%.
+  double seed_fraction = 0.05;
+  /// Lower bound on the seed count so tiny episodes still seed something.
+  uint32_t min_seeds = 1;
+};
+
+/// One prepared diffusion query: seeds plus the ground-truth later
+/// adopters.
+struct DiffusionCase {
+  std::vector<UserId> seeds;         // Chronological.
+  std::vector<UserId> ground_truth;  // Adopters after the seed prefix.
+};
+
+/// Splits a test episode into seeds / ground truth per the protocol.
+/// Returns an empty ground truth when the episode is too small.
+DiffusionCase BuildDiffusionCase(const DiffusionEpisode& episode,
+                                 const DiffusionTaskOptions& options);
+
+/// For every test episode: score all non-seed users with the model
+/// (representation models use Eq. 7, IC models Monte-Carlo), label the
+/// later adopters positive, and macro-average the ranking metrics.
+RankingMetrics EvaluateDiffusion(const InfluenceModel& model,
+                                 uint32_t num_users,
+                                 const ActionLog& test_log,
+                                 const DiffusionTaskOptions& options,
+                                 Rng& rng);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EVAL_DIFFUSION_TASK_H_

@@ -1,0 +1,46 @@
+#include "eval/harness.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace inf2vec {
+
+ResultTable::ResultTable(std::string title) : title_(std::move(title)) {}
+
+void ResultTable::AddRow(const std::string& method,
+                         const RankingMetrics& metrics) {
+  rows_.push_back({method, metrics, /*is_stdev_row=*/false});
+}
+
+void ResultTable::AddRowWithStdev(const std::string& method,
+                                  const MetricsSummary& s) {
+  rows_.push_back({method, s.mean, /*is_stdev_row=*/false});
+  rows_.push_back({"(stdev)", s.stdev, /*is_stdev_row=*/true});
+}
+
+std::string ResultTable::ToString() const {
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  out += StrFormat("%-12s %8s %8s %8s %8s %8s\n", "Method", "AUC", "MAP",
+                   "P@10", "P@50", "P@100");
+  for (const Row& row : rows_) {
+    if (row.is_stdev_row) {
+      out += StrFormat("%-12s (%.4f) (%.4f) (%.4f) (%.4f) (%.4f)\n",
+                       row.label.c_str(), row.metrics.auc, row.metrics.map,
+                       row.metrics.p10, row.metrics.p50, row.metrics.p100);
+    } else {
+      out += StrFormat("%-12s %8.4f %8.4f %8.4f %8.4f %8.4f\n",
+                       row.label.c_str(), row.metrics.auc, row.metrics.map,
+                       row.metrics.p10, row.metrics.p50, row.metrics.p100);
+    }
+  }
+  return out;
+}
+
+void ResultTable::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace inf2vec

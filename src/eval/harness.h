@@ -1,0 +1,40 @@
+#ifndef INF2VEC_EVAL_HARNESS_H_
+#define INF2VEC_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace inf2vec {
+
+/// Formats paper-style result tables (method rows, AUC/MAP/P@N columns)
+/// with optional "(stdev)" sub-rows, matching Tables II-V.
+class ResultTable {
+ public:
+  explicit ResultTable(std::string title);
+
+  /// Plain row.
+  void AddRow(const std::string& method, const RankingMetrics& metrics);
+  /// Row with a following "(stdev sigma)" sub-row, as the paper prints for
+  /// Inf2vec.
+  void AddRowWithStdev(const std::string& method, const MetricsSummary& s);
+
+  /// Rendered fixed-width table.
+  std::string ToString() const;
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  struct Row {
+    std::string label;
+    RankingMetrics metrics;
+    bool is_stdev_row;
+  };
+  std::string title_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EVAL_HARNESS_H_

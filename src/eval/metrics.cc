@@ -1,0 +1,140 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace inf2vec {
+namespace {
+
+/// Indices of `scores` ordered by descending score, ties keeping original
+/// order (stable).
+std::vector<size_t> DescendingOrder(const std::vector<double>& scores) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+double AucByRank(const RankedQuery& query) {
+  INF2VEC_CHECK(query.scores.size() == query.labels.size());
+  const size_t n = query.scores.size();
+  size_t num_pos = 0;
+  for (bool l : query.labels) num_pos += l ? 1 : 0;
+  const size_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+
+  // Ascending by score; average ranks over tie groups.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return query.scores[a] < query.scores[b];
+  });
+
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n &&
+           query.scores[order[j + 1]] == query.scores[order[i]]) {
+      ++j;
+    }
+    // 1-based ranks i+1 .. j+1 share the average rank.
+    const double avg_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j + 1)) /
+                            2.0;
+    for (size_t k = i; k <= j; ++k) {
+      if (query.labels[order[k]]) rank_sum_pos += avg_rank;
+    }
+    i = j + 1;
+  }
+  const double num_pos_d = static_cast<double>(num_pos);
+  const double num_neg_d = static_cast<double>(num_neg);
+  return (rank_sum_pos - num_pos_d * (num_pos_d + 1.0) / 2.0) /
+         (num_pos_d * num_neg_d);
+}
+
+double AveragePrecision(const RankedQuery& query) {
+  INF2VEC_CHECK(query.scores.size() == query.labels.size());
+  const std::vector<size_t> order = DescendingOrder(query.scores);
+  double hits = 0.0;
+  double precision_sum = 0.0;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    if (query.labels[order[rank]]) {
+      hits += 1.0;
+      precision_sum += hits / static_cast<double>(rank + 1);
+    }
+  }
+  return hits > 0.0 ? precision_sum / hits : 0.0;
+}
+
+double PrecisionAtN(const RankedQuery& query, size_t n) {
+  INF2VEC_CHECK(query.scores.size() == query.labels.size());
+  if (query.scores.empty() || n == 0) return 0.0;
+  const std::vector<size_t> order = DescendingOrder(query.scores);
+  const size_t depth = std::min(n, order.size());
+  size_t hits = 0;
+  for (size_t rank = 0; rank < depth; ++rank) {
+    if (query.labels[order[rank]]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(depth);
+}
+
+RankingMetrics AggregateQueries(const std::vector<RankedQuery>& queries) {
+  RankingMetrics total;
+  for (const RankedQuery& q : queries) {
+    size_t num_pos = 0;
+    for (bool l : q.labels) num_pos += l ? 1 : 0;
+    if (num_pos == 0 || num_pos == q.labels.size()) continue;
+    total.auc += AucByRank(q);
+    total.map += AveragePrecision(q);
+    total.p10 += PrecisionAtN(q, 10);
+    total.p50 += PrecisionAtN(q, 50);
+    total.p100 += PrecisionAtN(q, 100);
+    ++total.num_queries;
+  }
+  if (total.num_queries > 0) {
+    const double n = static_cast<double>(total.num_queries);
+    total.auc /= n;
+    total.map /= n;
+    total.p10 /= n;
+    total.p50 /= n;
+    total.p100 /= n;
+  }
+  return total;
+}
+
+MetricsSummary SummarizeRuns(const std::vector<RankingMetrics>& runs) {
+  MetricsSummary summary;
+  summary.runs = runs.size();
+  if (runs.empty()) return summary;
+
+  auto accumulate = [&](auto member) {
+    double mean = 0.0;
+    for (const RankingMetrics& r : runs) mean += r.*member;
+    mean /= static_cast<double>(runs.size());
+    double var = 0.0;
+    for (const RankingMetrics& r : runs) {
+      const double d = r.*member - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(runs.size());
+    summary.mean.*member = mean;
+    summary.stdev.*member = std::sqrt(var);
+  };
+  accumulate(&RankingMetrics::auc);
+  accumulate(&RankingMetrics::map);
+  accumulate(&RankingMetrics::p10);
+  accumulate(&RankingMetrics::p50);
+  accumulate(&RankingMetrics::p100);
+  summary.mean.num_queries = runs.front().num_queries;
+  return summary;
+}
+
+}  // namespace inf2vec

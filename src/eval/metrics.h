@@ -1,0 +1,56 @@
+#ifndef INF2VEC_EVAL_METRICS_H_
+#define INF2VEC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace inf2vec {
+
+/// The five ranking metrics of the paper's tables: AUC, MAP, P@10/50/100.
+struct RankingMetrics {
+  double auc = 0.0;
+  double map = 0.0;
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p100 = 0.0;
+  /// Queries (episodes) that contributed; diagnostics only.
+  size_t num_queries = 0;
+};
+
+/// One ranking query: candidate scores with binary relevance labels.
+struct RankedQuery {
+  std::vector<double> scores;
+  std::vector<bool> labels;
+};
+
+/// ROC AUC via the rank-statistic formulation (Bradley 1997), with average
+/// ranks for tied scores — the paper's "ranking scheme" AUC. Returns 0.5
+/// when either class is empty.
+double AucByRank(const RankedQuery& query);
+
+/// Average precision of the descending-score ranking (ties keep input
+/// order). Returns 0 when there are no positives.
+double AveragePrecision(const RankedQuery& query);
+
+/// Precision among the top-n scored candidates. When fewer than n
+/// candidates exist the denominator shrinks to the candidate count, so a
+/// perfect ranking of a small episode still scores 1.0 (documented
+/// deviation: at paper scale every episode has >= n candidates).
+double PrecisionAtN(const RankedQuery& query, size_t n);
+
+/// Macro-averages the metrics over queries; queries lacking a positive or
+/// lacking a negative are skipped (they define no ranking problem).
+RankingMetrics AggregateQueries(const std::vector<RankedQuery>& queries);
+
+/// Element-wise mean and (population) standard deviation across runs, for
+/// the paper's "average of 10 runs (stdev)" reporting.
+struct MetricsSummary {
+  RankingMetrics mean;
+  RankingMetrics stdev;
+  size_t runs = 0;
+};
+MetricsSummary SummarizeRuns(const std::vector<RankingMetrics>& runs);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EVAL_METRICS_H_

@@ -1,0 +1,72 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace inf2vec {
+
+double NormalSurvival(double z) {
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+Result<WilcoxonResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired samples must have equal size");
+  }
+  // Non-zero differences with their magnitudes.
+  struct Diff {
+    double magnitude;
+    int sign;
+  };
+  std::vector<Diff> diffs;
+  diffs.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back({std::abs(d), d > 0 ? 1 : -1});
+  }
+  if (diffs.size() < 5) {
+    return Status::InvalidArgument(
+        "need at least 5 non-tied pairs for the Wilcoxon approximation");
+  }
+
+  std::sort(diffs.begin(), diffs.end(),
+            [](const Diff& x, const Diff& y) {
+              return x.magnitude < y.magnitude;
+            });
+
+  // Average ranks over tied magnitudes; accumulate the tie correction.
+  const size_t n = diffs.size();
+  double w_plus = 0.0;
+  double tie_correction = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && diffs[j + 1].magnitude == diffs[i].magnitude) ++j;
+    const double avg_rank =
+        (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    const double tie_size = static_cast<double>(j - i + 1);
+    if (tie_size > 1) {
+      tie_correction += tie_size * (tie_size * tie_size - 1.0);
+    }
+    for (size_t k = i; k <= j; ++k) {
+      if (diffs[k].sign > 0) w_plus += avg_rank;
+    }
+    i = j + 1;
+  }
+
+  const double n_d = static_cast<double>(n);
+  const double mean = n_d * (n_d + 1.0) / 4.0;
+  double variance = n_d * (n_d + 1.0) * (2.0 * n_d + 1.0) / 24.0 -
+                    tie_correction / 48.0;
+  variance = std::max(variance, 1e-12);
+
+  WilcoxonResult result;
+  result.num_effective_pairs = n;
+  result.z = (w_plus - mean) / std::sqrt(variance);
+  result.p_value = 2.0 * NormalSurvival(std::abs(result.z));
+  result.p_value = std::min(result.p_value, 1.0);
+  return result;
+}
+
+}  // namespace inf2vec

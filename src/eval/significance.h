@@ -1,0 +1,38 @@
+#ifndef INF2VEC_EVAL_SIGNIFICANCE_H_
+#define INF2VEC_EVAL_SIGNIFICANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Result of a paired two-sided Wilcoxon signed-rank test (normal
+/// approximation with tie correction). The paper reports that all
+/// Inf2vec-vs-baseline improvements are significant at p < 0.05; this is
+/// the machinery benches use to make the same claim over per-episode
+/// metric pairs.
+struct WilcoxonResult {
+  /// Standardized test statistic (signed: positive when `a` tends to
+  /// exceed `b`).
+  double z = 0.0;
+  /// Two-sided p-value under the normal approximation.
+  double p_value = 1.0;
+  /// Pairs with a non-zero difference (the effective sample size).
+  size_t num_effective_pairs = 0;
+};
+
+/// Paired two-sided Wilcoxon signed-rank test on equal-length samples.
+/// Fails when sizes differ or fewer than 5 non-tied pairs remain (the
+/// normal approximation is meaningless below that).
+Result<WilcoxonResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                          const std::vector<double>& b);
+
+/// Standard normal upper-tail survival function Q(z) = P(Z > z); exposed
+/// for tests.
+double NormalSurvival(double z);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EVAL_SIGNIFICANCE_H_

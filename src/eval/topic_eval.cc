@@ -1,0 +1,42 @@
+#include "eval/topic_eval.h"
+
+#include <algorithm>
+
+#include "eval/activation_task.h"
+
+namespace inf2vec {
+
+RankingMetrics EvaluateActivationTopicAware(const TopicInf2vecModel& model,
+                                            const SocialGraph& graph,
+                                            const ActionLog& test_log) {
+  std::vector<RankedQuery> queries;
+  queries.reserve(test_log.num_episodes());
+  for (const DiffusionEpisode& episode : test_log.episodes()) {
+    const std::vector<ActivationCase> cases =
+        BuildActivationCases(graph, episode);
+    if (cases.empty()) continue;
+
+    // Observable active users: everyone appearing as an influencer.
+    std::vector<UserId> active;
+    for (const ActivationCase& c : cases) {
+      active.insert(active.end(), c.influencers.begin(),
+                    c.influencers.end());
+    }
+    std::sort(active.begin(), active.end());
+    active.erase(std::unique(active.begin(), active.end()), active.end());
+    const uint32_t topic = model.InferTopic(active);
+
+    RankedQuery query;
+    query.scores.reserve(cases.size());
+    query.labels.reserve(cases.size());
+    for (const ActivationCase& c : cases) {
+      query.scores.push_back(
+          model.ScoreActivation(topic, c.candidate, c.influencers));
+      query.labels.push_back(c.activated);
+    }
+    queries.push_back(std::move(query));
+  }
+  return AggregateQueries(queries);
+}
+
+}  // namespace inf2vec

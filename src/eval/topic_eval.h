@@ -1,0 +1,22 @@
+#ifndef INF2VEC_EVAL_TOPIC_EVAL_H_
+#define INF2VEC_EVAL_TOPIC_EVAL_H_
+
+#include "action/action_log.h"
+#include "core/topic_inf2vec.h"
+#include "eval/metrics.h"
+#include "graph/social_graph.h"
+
+namespace inf2vec {
+
+/// Activation-prediction evaluation for the topic-aware extension.
+/// Identical protocol to EvaluateActivation, except each test episode is
+/// first assigned a topic from its *observed active users* (the union of
+/// the cases' influencer sets — information available at prediction time,
+/// so there is no test leakage), and cases are scored under that topic.
+RankingMetrics EvaluateActivationTopicAware(const TopicInf2vecModel& model,
+                                            const SocialGraph& graph,
+                                            const ActionLog& test_log);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EVAL_TOPIC_EVAL_H_

@@ -1,0 +1,42 @@
+#include "eval/tuning.h"
+
+#include "eval/activation_task.h"
+
+namespace inf2vec {
+
+Result<AlphaTuningResult> TuneAlpha(const SocialGraph& graph,
+                                    const ActionLog& train,
+                                    const ActionLog& tune,
+                                    const Inf2vecConfig& base,
+                                    const std::vector<double>& candidates) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no alpha candidates");
+  }
+  if (train.num_episodes() == 0 || tune.num_episodes() == 0) {
+    return Status::InvalidArgument("train and tune splits must be non-empty");
+  }
+  for (double alpha : candidates) {
+    if (alpha < 0.0 || alpha > 1.0) {
+      return Status::InvalidArgument("alpha candidates must be in [0, 1]");
+    }
+  }
+
+  AlphaTuningResult result;
+  double best_map = -1.0;
+  for (double alpha : candidates) {
+    Inf2vecConfig config = base;
+    config.context.alpha = alpha;
+    Result<Inf2vecModel> model = Inf2vecModel::Train(graph, train, config);
+    if (!model.ok()) return model.status();
+    const EmbeddingPredictor pred = model.value().Predictor();
+    const RankingMetrics metrics = EvaluateActivation(pred, graph, tune);
+    result.per_candidate.push_back(metrics);
+    if (metrics.map > best_map) {
+      best_map = metrics.map;
+      result.best_alpha = alpha;
+    }
+  }
+  return result;
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,34 @@
+#ifndef INF2VEC_EVAL_TUNING_H_
+#define INF2VEC_EVAL_TUNING_H_
+
+#include <vector>
+
+#include "action/action_log.h"
+#include "core/inf2vec_model.h"
+#include "eval/metrics.h"
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Hyper-parameter selection on the tuning split, the way the paper picks
+/// alpha = 0.1 ("based on the empirical study on tuning set"). Train on
+/// `train` for each candidate, evaluate activation MAP on `tune`, return
+/// the winner.
+struct AlphaTuningResult {
+  double best_alpha = 0.1;
+  /// Tune-split metrics per candidate, parallel to the input list.
+  std::vector<RankingMetrics> per_candidate;
+};
+
+/// Grid-searches the component weight alpha. `base` supplies every other
+/// hyper-parameter. Fails on an empty candidate list or empty splits.
+Result<AlphaTuningResult> TuneAlpha(const SocialGraph& graph,
+                                    const ActionLog& train,
+                                    const ActionLog& tune,
+                                    const Inf2vecConfig& base,
+                                    const std::vector<double>& candidates);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EVAL_TUNING_H_

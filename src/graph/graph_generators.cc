@@ -1,0 +1,84 @@
+#include "graph/graph_generators.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace inf2vec {
+
+Result<SocialGraph> GeneratePreferentialAttachment(
+    const PreferentialAttachmentOptions& options, Rng& rng) {
+  if (options.num_users < 2) {
+    return Status::InvalidArgument(
+        "preferential attachment needs at least 2 users");
+  }
+  if (options.mean_out_degree <= 0.0) {
+    return Status::InvalidArgument("mean_out_degree must be positive");
+  }
+
+  const uint32_t n = options.num_users;
+  GraphBuilder builder(n);
+
+  // `targets` is a repeated-node urn: nodes appear once per received edge
+  // plus once unconditionally, so drawing uniformly from it implements
+  // "preference by in-degree (+1 smoothing)".
+  std::vector<UserId> urn;
+  urn.reserve(static_cast<size_t>(n * options.mean_out_degree * 1.5) + n);
+  urn.push_back(0);
+
+  for (UserId u = 1; u < n; ++u) {
+    // Number of outgoing edges for the newcomer: 1 + Poisson-ish around the
+    // mean, implemented as a geometric-free simple rounding with jitter to
+    // avoid every node having identical degree.
+    const double jitter = rng.UniformDouble(0.5, 1.5);
+    uint32_t out_edges = static_cast<uint32_t>(
+        std::max(1.0, options.mean_out_degree * jitter + 0.5));
+    out_edges = std::min(out_edges, u);  // Cannot exceed existing nodes.
+
+    std::vector<UserId> chosen;
+    chosen.reserve(out_edges);
+    uint32_t attempts = 0;
+    while (chosen.size() < out_edges && attempts < out_edges * 20) {
+      ++attempts;
+      UserId target;
+      if (rng.Bernoulli(options.preference_ratio) && !urn.empty()) {
+        target = urn[rng.UniformU64(urn.size())];
+      } else {
+        target = static_cast<UserId>(rng.UniformU64(u));
+      }
+      if (target == u) continue;
+      if (std::find(chosen.begin(), chosen.end(), target) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(target);
+    }
+
+    for (UserId v : chosen) {
+      builder.AddEdge(u, v);
+      urn.push_back(v);
+      if (rng.Bernoulli(options.reciprocity)) {
+        builder.AddEdge(v, u);
+        urn.push_back(u);
+      }
+    }
+    urn.push_back(u);
+  }
+
+  return builder.Build();
+}
+
+Result<SocialGraph> GenerateErdosRenyi(uint32_t num_users, double edge_prob,
+                                       Rng& rng) {
+  if (edge_prob < 0.0 || edge_prob > 1.0) {
+    return Status::InvalidArgument("edge_prob must be in [0, 1]");
+  }
+  GraphBuilder builder(num_users);
+  for (UserId u = 0; u < num_users; ++u) {
+    for (UserId v = 0; v < num_users; ++v) {
+      if (u == v) continue;
+      if (rng.Bernoulli(edge_prob)) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,38 @@
+#ifndef INF2VEC_GRAPH_GRAPH_GENERATORS_H_
+#define INF2VEC_GRAPH_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Parameters for the directed preferential-attachment generator, the
+/// workhorse behind the synthetic Digg-like / Flickr-like social graphs.
+/// Produces heavy-tailed in- AND out-degree distributions, as observed on
+/// real follower graphs.
+struct PreferentialAttachmentOptions {
+  uint32_t num_users = 1000;
+  /// Average number of outgoing follow edges created per arriving user.
+  double mean_out_degree = 10.0;
+  /// Probability a new edge targets a node by in-degree preference (the
+  /// remainder picks uniformly), controlling tail heaviness.
+  double preference_ratio = 0.85;
+  /// Probability of also adding the reciprocal edge, modelling mutual
+  /// friendships (Digg/Flickr contact links are frequently reciprocated).
+  double reciprocity = 0.3;
+};
+
+/// Builds a directed scale-free graph. Ids 0..num_users-1; no self loops.
+Result<SocialGraph> GeneratePreferentialAttachment(
+    const PreferentialAttachmentOptions& options, Rng& rng);
+
+/// Erdos-Renyi G(n, p) directed graph; used by tests as a null model.
+Result<SocialGraph> GenerateErdosRenyi(uint32_t num_users, double edge_prob,
+                                       Rng& rng);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_GRAPH_GRAPH_GENERATORS_H_

@@ -1,0 +1,72 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/io.h"
+#include "util/string_util.h"
+
+namespace inf2vec {
+namespace {
+
+Status ParseEdgeLines(const std::vector<std::string>& lines,
+                      std::vector<Edge>* edges) {
+  edges->clear();
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view trimmed = TrimString(lines[i]);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    // Accept tab or single-space separation.
+    const char delim =
+        trimmed.find('\t') != std::string_view::npos ? '\t' : ' ';
+    const std::vector<std::string_view> fields = SplitString(trimmed, delim);
+    if (fields.size() < 2) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected 'src dst'", i + 1));
+    }
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    INF2VEC_RETURN_IF_ERROR(ParseUint32(fields[0], &src));
+    INF2VEC_RETURN_IF_ERROR(ParseUint32(fields[1], &dst));
+    edges->push_back({src, dst});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SocialGraph> LoadEdgeList(const std::string& path, uint32_t num_users) {
+  std::vector<std::string> lines;
+  INF2VEC_RETURN_IF_ERROR(ReadLines(path, &lines));
+  std::vector<Edge> edges;
+  INF2VEC_RETURN_IF_ERROR(ParseEdgeLines(lines, &edges));
+  GraphBuilder builder(num_users);
+  for (const Edge& e : edges) builder.AddEdge(e.src, e.dst);
+  return builder.Build();
+}
+
+Result<SocialGraph> LoadEdgeListAutoSize(const std::string& path) {
+  std::vector<std::string> lines;
+  INF2VEC_RETURN_IF_ERROR(ReadLines(path, &lines));
+  std::vector<Edge> edges;
+  INF2VEC_RETURN_IF_ERROR(ParseEdgeLines(lines, &edges));
+  uint32_t num_users = 0;
+  for (const Edge& e : edges) {
+    num_users = std::max(num_users, std::max(e.src, e.dst) + 1);
+  }
+  GraphBuilder builder(num_users);
+  for (const Edge& e : edges) builder.AddEdge(e.src, e.dst);
+  return builder.Build();
+}
+
+Status SaveEdgeList(const SocialGraph& graph, const std::string& path) {
+  std::vector<std::string> lines;
+  lines.reserve(graph.num_edges());
+  for (UserId u = 0; u < graph.num_users(); ++u) {
+    for (UserId v : graph.OutNeighbors(u)) {
+      lines.push_back(StrFormat("%u\t%u", u, v));
+    }
+  }
+  return WriteLines(path, lines);
+}
+
+}  // namespace inf2vec

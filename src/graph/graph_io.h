@@ -1,0 +1,24 @@
+#ifndef INF2VEC_GRAPH_GRAPH_IO_H_
+#define INF2VEC_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Loads a directed graph from edge-list text: one "src<TAB>dst" (or
+/// space-separated) pair per line; '#'-prefixed lines and blank lines are
+/// ignored. `num_users` must upper-bound every id in the file.
+Result<SocialGraph> LoadEdgeList(const std::string& path, uint32_t num_users);
+
+/// Like LoadEdgeList but infers num_users = 1 + max id seen.
+Result<SocialGraph> LoadEdgeListAutoSize(const std::string& path);
+
+/// Writes "src<TAB>dst" lines (sorted by src then dst).
+Status SaveEdgeList(const SocialGraph& graph, const std::string& path);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_GRAPH_GRAPH_IO_H_

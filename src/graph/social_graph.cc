@@ -1,0 +1,87 @@
+#include "graph/social_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace inf2vec {
+
+bool SocialGraph::HasEdge(UserId u, UserId v) const {
+  const auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+int64_t SocialGraph::EdgeId(UserId u, UserId v) const {
+  const auto nbrs = OutNeighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return -1;
+  return static_cast<int64_t>(out_offsets_[u] + (it - nbrs.begin()));
+}
+
+UserId SocialGraph::EdgeSrc(uint64_t e) const {
+  INF2VEC_CHECK(e < out_adj_.size());
+  // Offsets are non-decreasing; find the src bucket containing position e.
+  const auto it = std::upper_bound(out_offsets_.begin(), out_offsets_.end(), e);
+  return static_cast<UserId>((it - out_offsets_.begin()) - 1);
+}
+
+std::vector<Edge> SocialGraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(out_adj_.size());
+  for (UserId u = 0; u < num_users_; ++u) {
+    for (UserId v : OutNeighbors(u)) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+Result<SocialGraph> GraphBuilder::Build() const {
+  for (const Edge& e : edges_) {
+    if (e.src >= num_users_ || e.dst >= num_users_) {
+      return Status::InvalidArgument(StrFormat(
+          "edge (%u, %u) out of range for %u users", e.src, e.dst,
+          num_users_));
+    }
+    if (e.src == e.dst) {
+      return Status::InvalidArgument(
+          StrFormat("self-loop on user %u is not allowed", e.src));
+    }
+  }
+
+  std::vector<Edge> edges = edges_;
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  SocialGraph graph;
+  graph.num_users_ = num_users_;
+  graph.out_offsets_.assign(num_users_ + 1, 0);
+  graph.in_offsets_.assign(num_users_ + 1, 0);
+  graph.out_adj_.reserve(edges.size());
+
+  for (const Edge& e : edges) {
+    ++graph.out_offsets_[e.src + 1];
+    ++graph.in_offsets_[e.dst + 1];
+  }
+  for (uint32_t i = 0; i < num_users_; ++i) {
+    graph.out_offsets_[i + 1] += graph.out_offsets_[i];
+    graph.in_offsets_[i + 1] += graph.in_offsets_[i];
+  }
+
+  for (const Edge& e : edges) graph.out_adj_.push_back(e.dst);
+
+  // In-adjacency: counting sort by dst, preserving sorted src order by
+  // iterating edges sorted by (src, dst) and appending per-dst.
+  graph.in_adj_.assign(edges.size(), 0);
+  std::vector<uint64_t> cursor(graph.in_offsets_.begin(),
+                               graph.in_offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    graph.in_adj_[cursor[e.dst]++] = e.src;
+  }
+  // Sources arrive in ascending order per dst because `edges` is sorted by
+  // src first, so each in-neighbor list is already sorted.
+  return graph;
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,112 @@
+#ifndef INF2VEC_GRAPH_SOCIAL_GRAPH_H_
+#define INF2VEC_GRAPH_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Dense user identifier. Users are numbered 0..num_users-1; loaders remap
+/// external ids to this dense space.
+using UserId = uint32_t;
+
+/// A directed edge (u, v): "u is a friend of v" / v follows u, so activity
+/// flows u -> v (the paper's influence direction).
+struct Edge {
+  UserId src;
+  UserId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Immutable directed social graph in compressed-sparse-row form, with both
+/// out-adjacency (influence fan-out) and in-adjacency (a user's potential
+/// influencers). Neighbor lists are sorted, enabling O(log d) HasEdge.
+///
+/// Built via GraphBuilder; copy is allowed (it is a value type) but large
+/// graphs should be passed by const reference.
+class SocialGraph {
+ public:
+  SocialGraph() = default;
+
+  uint32_t num_users() const { return num_users_; }
+  uint64_t num_edges() const { return static_cast<uint64_t>(out_adj_.size()); }
+
+  /// Sorted out-neighbors of `u` (users that u can influence).
+  std::span<const UserId> OutNeighbors(UserId u) const {
+    return {out_adj_.data() + out_offsets_[u],
+            out_adj_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Sorted in-neighbors of `v` (users that can influence v).
+  std::span<const UserId> InNeighbors(UserId v) const {
+    return {in_adj_.data() + in_offsets_[v],
+            in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  uint32_t OutDegree(UserId u) const {
+    return static_cast<uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+
+  uint32_t InDegree(UserId v) const {
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// True iff the directed edge (u, v) exists. O(log OutDegree(u)).
+  bool HasEdge(UserId u, UserId v) const;
+
+  /// Index of edge (u, v) in the edge-id space [0, num_edges), or -1 if the
+  /// edge does not exist. Edge ids are stable and dense, so per-edge
+  /// parameter learners (ST/EM/DE) can store probabilities in flat arrays.
+  int64_t EdgeId(UserId u, UserId v) const;
+
+  /// Source endpoint of edge id `e` (dense id space).
+  UserId EdgeSrc(uint64_t e) const;
+  /// Destination endpoint of edge id `e`.
+  UserId EdgeDst(uint64_t e) const { return out_adj_[e]; }
+
+  /// All edges, materialized (test/IO convenience; O(|E|)).
+  std::vector<Edge> Edges() const;
+
+ private:
+  friend class GraphBuilder;
+
+  uint32_t num_users_ = 0;
+  std::vector<uint64_t> out_offsets_;  // size num_users_+1
+  std::vector<UserId> out_adj_;        // grouped by src, sorted per group
+  std::vector<uint64_t> in_offsets_;   // size num_users_+1
+  std::vector<UserId> in_adj_;         // grouped by dst, sorted per group
+};
+
+/// Accumulates edges then freezes them into a SocialGraph. Duplicate edges
+/// are collapsed; self-loops are rejected at Build time.
+class GraphBuilder {
+ public:
+  /// `num_users` fixes the id space; edges must stay within it.
+  explicit GraphBuilder(uint32_t num_users) : num_users_(num_users) {}
+
+  /// Queues a directed edge u -> v. Out-of-range endpoints fail at Build.
+  void AddEdge(UserId u, UserId v) { edges_.push_back({u, v}); }
+
+  /// Queues both directions (for undirected source data).
+  void AddUndirectedEdge(UserId u, UserId v) {
+    AddEdge(u, v);
+    AddEdge(v, u);
+  }
+
+  size_t pending_edges() const { return edges_.size(); }
+
+  /// Validates and freezes into CSR form. The builder can be reused after.
+  Result<SocialGraph> Build() const;
+
+ private:
+  uint32_t num_users_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_GRAPH_SOCIAL_GRAPH_H_

@@ -1,0 +1,243 @@
+#include "synth/world_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "diffusion/lt_model.h"
+#include "graph/graph_generators.h"
+#include "util/logging.h"
+
+namespace inf2vec {
+namespace synth {
+namespace {
+
+/// Draws a Pareto(1, tail) deviate: heavy-tailed, >= 1.
+double ParetoDeviate(double tail, Rng& rng) {
+  double u;
+  do {
+    u = rng.UniformDouble();
+  } while (u <= 1e-12);
+  return std::pow(u, -1.0 / tail);
+}
+
+/// Sharp topic mixture: one dominant topic, softmax-shaped tail.
+void FillTopicMixture(uint32_t num_topics, double concentration, Rng& rng,
+                      double* row) {
+  const uint32_t main_topic =
+      static_cast<uint32_t>(rng.UniformU64(num_topics));
+  double total = 0.0;
+  for (uint32_t t = 0; t < num_topics; ++t) {
+    const double logit = (t == main_topic ? concentration : 0.0) +
+                         0.25 * rng.Gaussian();
+    row[t] = std::exp(logit);
+    total += row[t];
+  }
+  for (uint32_t t = 0; t < num_topics; ++t) row[t] /= total;
+}
+
+double Dot(const double* a, const double* b, uint32_t n) {
+  double sum = 0.0;
+  for (uint32_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace
+
+WorldProfile WorldProfile::DiggLike() {
+  // Calibrated so the cascade branching factor R = E[out-degree] * E[p] is
+  // ~0.3 (subcritical): ~30% of adoptions are influence-driven, matching
+  // Fig. 3's CDF(0) ~ 0.7 for Digg.
+  WorldProfile p;
+  p.name = "digg-like";
+  p.num_users = 2000;
+  p.mean_out_degree = 10.0;
+  p.reciprocity = 0.3;
+  p.num_items = 400;
+  p.influence_scale = 0.0018;
+  p.spontaneous_rate = 0.025;
+  return p;
+}
+
+WorldProfile WorldProfile::FlickrLike() {
+  // Denser graph, branching factor ~0.45: about half of the adoptions are
+  // influence-driven, matching Fig. 3's CDF(0) ~ 0.5 for Flickr.
+  WorldProfile p;
+  p.name = "flickr-like";
+  p.num_users = 2400;
+  p.mean_out_degree = 24.0;
+  p.reciprocity = 0.45;
+  p.num_items = 320;
+  p.influence_scale = 0.0011;
+  p.spontaneous_rate = 0.02;
+  p.interest_concentration = 5.0;
+  return p;
+}
+
+double World::Interest(UserId u, ItemId i) const {
+  return Dot(user_topics.data() + static_cast<size_t>(u) * profile.num_topics,
+             item_topics.data() + static_cast<size_t>(i) * profile.num_topics,
+             profile.num_topics);
+}
+
+Result<World> GenerateWorld(const WorldProfile& profile, Rng& rng) {
+  if (profile.num_users < 10) {
+    return Status::InvalidArgument("world needs at least 10 users");
+  }
+  if (profile.num_topics == 0 || profile.num_items == 0) {
+    return Status::InvalidArgument("world needs topics and items");
+  }
+
+  World world;
+  world.profile = profile;
+
+  // 1. Scale-free social graph.
+  PreferentialAttachmentOptions graph_opts;
+  graph_opts.num_users = profile.num_users;
+  graph_opts.mean_out_degree = profile.mean_out_degree;
+  graph_opts.preference_ratio = profile.preference_ratio;
+  graph_opts.reciprocity = profile.reciprocity;
+  Result<SocialGraph> graph = GeneratePreferentialAttachment(graph_opts, rng);
+  if (!graph.ok()) return graph.status();
+  world.graph = std::move(graph).value();
+
+  // 2. Hidden per-user traits: heavy-tailed influence power, milder
+  // conformity, sharp topic interests.
+  const uint32_t n = profile.num_users;
+  const uint32_t num_topics = profile.num_topics;
+  std::vector<double> power(n);
+  std::vector<double> conformity(n);
+  for (UserId u = 0; u < n; ++u) {
+    power[u] = ParetoDeviate(profile.influence_tail, rng);
+    conformity[u] = ParetoDeviate(profile.influence_tail + 1.5, rng);
+  }
+  world.user_topics.resize(static_cast<size_t>(n) * num_topics);
+  for (UserId u = 0; u < n; ++u) {
+    FillTopicMixture(num_topics, profile.interest_concentration, rng,
+                     world.user_topics.data() +
+                         static_cast<size_t>(u) * num_topics);
+  }
+  world.item_topics.resize(static_cast<size_t>(profile.num_items) *
+                           num_topics);
+  for (ItemId i = 0; i < profile.num_items; ++i) {
+    FillTopicMixture(num_topics, profile.interest_concentration, rng,
+                     world.item_topics.data() +
+                         static_cast<size_t>(i) * num_topics);
+  }
+
+  // 3. Planted edge probabilities.
+  world.true_probs = EdgeProbabilities(world.graph);
+  for (UserId u = 0; u < n; ++u) {
+    const auto nbrs = world.graph.OutNeighbors(u);
+    if (nbrs.empty()) continue;
+    const uint64_t first_edge =
+        static_cast<uint64_t>(world.graph.EdgeId(u, nbrs[0]));
+    const double* theta_u =
+        world.user_topics.data() + static_cast<size_t>(u) * num_topics;
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      const UserId v = nbrs[k];
+      const double* theta_v =
+          world.user_topics.data() + static_cast<size_t>(v) * num_topics;
+      const double topic_sim = Dot(theta_u, theta_v, num_topics);
+      double p = profile.influence_scale * power[u] * conformity[v] *
+                 (1.0 + profile.topic_affinity_weight * topic_sim);
+      if (rng.Bernoulli(profile.strong_tie_prob)) {
+        p *= profile.strong_tie_boost;
+      }
+      world.true_probs.Set(first_edge + k,
+                           std::min(profile.max_edge_prob, p));
+    }
+  }
+
+  // 4. Cascades: spontaneous (interest-driven) arrivals plus timed
+  // propagation over the planted parameters (IC by default, LT when the
+  // profile asks for it — the learners never see which).
+  const bool use_lt =
+      profile.spread_model == WorldProfile::SpreadModel::kLinearThreshold;
+  LtWeights lt_weights(world.graph);
+  if (use_lt) {
+    for (uint64_t e = 0; e < world.graph.num_edges(); ++e) {
+      lt_weights.Set(e, profile.lt_weight_scale * world.true_probs.Get(e));
+    }
+    lt_weights.NormalizeInWeights(world.graph);
+  }
+
+  const uint32_t horizon = std::max<uint32_t>(profile.horizon, 2);
+  for (ItemId item = 0; item < profile.num_items; ++item) {
+    // Round at which each user activates; UINT32_MAX = never.
+    constexpr uint32_t kNever = 0xffffffffu;
+    std::vector<uint32_t> active_round(n, kNever);
+    std::vector<std::vector<UserId>> rounds(horizon + n + 2);
+    uint32_t last_round = 0;
+    // LT state, reset per episode; thresholds drawn lazily (< 0 = unset).
+    std::vector<double> pressure;
+    std::vector<double> threshold;
+    if (use_lt) {
+      pressure.assign(n, 0.0);
+      threshold.assign(n, -1.0);
+    }
+
+    for (UserId u = 0; u < n; ++u) {
+      const double interest = world.Interest(u, item);
+      const double p = std::min(
+          0.6, profile.spontaneous_rate * num_topics * interest);
+      if (rng.Bernoulli(p)) {
+        const uint32_t t = static_cast<uint32_t>(rng.UniformU64(horizon));
+        active_round[u] = t;
+        rounds[t].push_back(u);
+        last_round = std::max(last_round, t);
+      }
+    }
+
+    for (uint32_t t = 0; t <= last_round; ++t) {
+      for (UserId u : rounds[t]) {
+        if (active_round[u] != t) continue;  // Activated earlier elsewhere.
+        const auto nbrs = world.graph.OutNeighbors(u);
+        if (nbrs.empty()) continue;
+        const uint64_t first_edge =
+            static_cast<uint64_t>(world.graph.EdgeId(u, nbrs[0]));
+        for (size_t k = 0; k < nbrs.size(); ++k) {
+          const UserId v = nbrs[k];
+          if (active_round[v] <= t + 1) continue;  // Already active sooner.
+          bool fires;
+          if (use_lt) {
+            pressure[v] += lt_weights.Get(first_edge + k);
+            if (threshold[v] < 0.0) threshold[v] = rng.UniformDouble();
+            fires = pressure[v] >= threshold[v];
+          } else {
+            fires = rng.Bernoulli(world.true_probs.Get(first_edge + k));
+          }
+          if (fires) {
+            active_round[v] = t + 1;
+            rounds[t + 1].push_back(v);
+            last_round = std::max(last_round, t + 1);
+          }
+        }
+      }
+    }
+
+    // Materialize the episode with strictly ordered jittered timestamps:
+    // time = round * 1000 + jitter, jitter in [0, 1000).
+    DiffusionEpisode episode(item);
+    uint32_t adopters = 0;
+    for (UserId u = 0; u < n; ++u) {
+      if (active_round[u] == kNever) continue;
+      const Timestamp time =
+          static_cast<Timestamp>(active_round[u]) * 1000 +
+          static_cast<Timestamp>(rng.UniformU64(1000));
+      episode.Add(u, time);
+      ++adopters;
+    }
+    if (adopters < 3) continue;  // Too small to carry any signal.
+    INF2VEC_CHECK_OK(episode.Finalize());
+    world.log.AddEpisode(std::move(episode));
+  }
+
+  if (world.log.num_episodes() < 2) {
+    return Status::Internal(
+        "synthetic world produced too few episodes; raise spontaneous_rate");
+  }
+  return world;
+}
+
+}  // namespace synth
+}  // namespace inf2vec

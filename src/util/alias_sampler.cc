@@ -1,0 +1,74 @@
+#include "util/alias_sampler.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace inf2vec {
+
+Status AliasSampler::Build(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("AliasSampler: empty weight vector");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || std::isnan(w) || std::isinf(w)) {
+      return Status::InvalidArgument(
+          "AliasSampler: weights must be finite and non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("AliasSampler: weights sum to zero");
+  }
+
+  const size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities: mean 1.0.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: both queues should hold columns with scaled ~= 1.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+  return Status::OK();
+}
+
+uint32_t AliasSampler::Sample(Rng& rng) const {
+  INF2VEC_CHECK(!prob_.empty()) << "AliasSampler::Sample before Build";
+  const uint32_t column =
+      static_cast<uint32_t>(rng.UniformU64(prob_.size()));
+  return rng.UniformDouble() < prob_[column] ? column : alias_[column];
+}
+
+double AliasSampler::ProbabilityOf(uint32_t i) const {
+  INF2VEC_CHECK(i < prob_.size());
+  const size_t n = prob_.size();
+  double p = prob_[i] / n;
+  for (size_t col = 0; col < n; ++col) {
+    if (alias_[col] == i && prob_[col] < 1.0) p += (1.0 - prob_[col]) / n;
+  }
+  return p;
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,41 @@
+#ifndef INF2VEC_UTIL_ALIAS_SAMPLER_H_
+#define INF2VEC_UTIL_ALIAS_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Walker alias-method sampler: O(n) construction, O(1) draws from an
+/// arbitrary discrete distribution. Used for unigram^0.75 negative sampling
+/// and popularity-weighted seed selection in the synthetic generator.
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Builds the alias table for (unnormalized, non-negative) `weights`.
+  /// Fails if weights is empty, contains a negative/NaN entry, or sums to 0.
+  Status Build(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight. Requires a successful Build().
+  uint32_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Normalized probability of index `i` as reconstructed from the table;
+  /// exposed for testing.
+  double ProbabilityOf(uint32_t i) const;
+
+ private:
+  std::vector<double> prob_;     // Acceptance probability per column.
+  std::vector<uint32_t> alias_;  // Fallback index per column.
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_UTIL_ALIAS_SAMPLER_H_

@@ -1,0 +1,73 @@
+#include "util/flags.h"
+
+#include "util/string_util.h"
+
+namespace inf2vec {
+
+Result<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
+  FlagParser parser;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      parser.positional_.push_back(arg);
+      continue;
+    }
+    std::string key = arg.substr(2);
+    if (key.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      parser.values_[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag; otherwise a
+    // bare switch.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      parser.values_[key] = argv[++i];
+    } else {
+      parser.values_[key] = "";
+    }
+  }
+  return parser;
+}
+
+std::string FlagParser::GetString(const std::string& key,
+                                  const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<int64_t> FlagParser::GetInt(const std::string& key,
+                                   int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  int64_t value = 0;
+  INF2VEC_RETURN_IF_ERROR(ParseInt64(it->second, &value));
+  return value;
+}
+
+Result<double> FlagParser::GetDouble(const std::string& key,
+                                     double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  double value = 0.0;
+  INF2VEC_RETURN_IF_ERROR(ParseDouble(it->second, &value));
+  return value;
+}
+
+bool FlagParser::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  return v.empty() || v == "1" || v == "true" || v == "yes";
+}
+
+std::vector<std::string> FlagParser::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace inf2vec

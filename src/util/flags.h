@@ -1,0 +1,52 @@
+#ifndef INF2VEC_UTIL_FLAGS_H_
+#define INF2VEC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Minimal command-line flag parser for the CLI tools: supports
+/// "--key value", "--key=value", and bare "--switch" forms; everything
+/// else is positional. No global state — parse, then query.
+class FlagParser {
+ public:
+  /// Parses argv[1..). Fails on a dangling "--key" at the end only if the
+  /// key is followed by nothing and looks value-less ambiguous; bare
+  /// switches are stored with an empty value.
+  static Result<FlagParser> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+
+  /// Value of --key, or `fallback` when absent.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// Integer / double / boolean flag accessors; parse errors propagate.
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  /// Bare "--switch" (or --switch=true/1) reads as true.
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were provided but never queried are a common typo source;
+  /// the CLI calls this after dispatch to warn. Order unspecified.
+  std::vector<std::string> Keys() const;
+
+ private:
+  FlagParser() = default;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_UTIL_FLAGS_H_

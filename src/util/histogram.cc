@@ -1,0 +1,99 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace inf2vec {
+
+void Histogram::Add(uint64_t value, uint64_t weight) {
+  counts_[value] += weight;
+  total_count_ += weight;
+}
+
+uint64_t Histogram::CountOf(uint64_t value) const {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double Histogram::CdfAt(uint64_t value) const {
+  if (total_count_ == 0) return 0.0;
+  uint64_t below = 0;
+  for (const auto& [v, c] : counts_) {
+    if (v > value) break;
+    below += c;
+  }
+  return static_cast<double>(below) / static_cast<double>(total_count_);
+}
+
+double Histogram::Mean() const {
+  if (total_count_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [v, c] : counts_) {
+    sum += static_cast<double>(v) * static_cast<double>(c);
+  }
+  return sum / static_cast<double>(total_count_);
+}
+
+uint64_t Histogram::Max() const {
+  return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Histogram::Items() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+double Histogram::LogLogSlope() const {
+  // Least squares on logarithmically binned densities: values are grouped
+  // into bins [2^k, 2^(k+1)) and each bin contributes the point
+  // (log10 geometric-mid, log10 count/width). Log binning de-noises the
+  // sparse tail, which matters for the small-sample power-law checks the
+  // synthetic-data tests run.
+  constexpr int kMaxBins = 64;
+  double bin_count[kMaxBins] = {0.0};
+  for (const auto& [v, c] : counts_) {
+    if (v < 1 || c < 1) continue;
+    int bin = 0;
+    uint64_t x = v;
+    while (x > 1 && bin < kMaxBins - 1) {
+      x >>= 1;
+      ++bin;
+    }
+    bin_count[bin] += static_cast<double>(c);
+  }
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  int n = 0;
+  for (int bin = 0; bin < kMaxBins; ++bin) {
+    if (bin_count[bin] <= 0.0) continue;
+    const double lo = std::pow(2.0, bin);
+    const double width = lo;  // Bin [2^k, 2^(k+1)) has width 2^k.
+    const double mid = lo * std::sqrt(2.0);
+    const double x = std::log10(mid);
+    const double y = std::log10(bin_count[bin] / width);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+std::string Histogram::ToTsv(size_t max_rows) const {
+  std::vector<std::pair<uint64_t, uint64_t>> items = Items();
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (max_rows > 0 && items.size() > max_rows) items.resize(max_rows);
+  std::string out;
+  for (const auto& [v, c] : items) {
+    out += StrFormat("%llu\t%llu\n", static_cast<unsigned long long>(v),
+                     static_cast<unsigned long long>(c));
+  }
+  return out;
+}
+
+}  // namespace inf2vec

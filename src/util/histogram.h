@@ -1,0 +1,52 @@
+#ifndef INF2VEC_UTIL_HISTOGRAM_H_
+#define INF2VEC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace inf2vec {
+
+/// Frequency histogram over non-negative integer observations, with the
+/// summaries the paper's data-analysis figures need: count-of-counts
+/// (Fig. 1-2 power-law plots), CDF (Fig. 3), and a log-log slope estimate
+/// used by tests to assert power-law shape.
+class Histogram {
+ public:
+  void Add(uint64_t value) { Add(value, 1); }
+  void Add(uint64_t value, uint64_t weight);
+
+  uint64_t total_count() const { return total_count_; }
+  bool empty() const { return counts_.empty(); }
+
+  /// Number of observations equal to `value`.
+  uint64_t CountOf(uint64_t value) const;
+
+  /// P(X <= value) over all added observations. Returns 0 for an empty
+  /// histogram.
+  double CdfAt(uint64_t value) const;
+
+  double Mean() const;
+  uint64_t Max() const;
+
+  /// Sorted (value, count) pairs.
+  std::vector<std::pair<uint64_t, uint64_t>> Items() const;
+
+  /// Least-squares slope of log10(count) vs log10(value) over entries with
+  /// value >= 1; a power-law frequency plot has slope well below 0 (around
+  /// -1 to -3 for social data). Returns 0 when fewer than two usable points.
+  double LogLogSlope() const;
+
+  /// Renders "value<TAB>count" lines, largest-count values first capped to
+  /// `max_rows` (0 = unlimited).
+  std::string ToTsv(size_t max_rows) const;
+
+ private:
+  std::map<uint64_t, uint64_t> counts_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_UTIL_HISTOGRAM_H_

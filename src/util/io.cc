@@ -1,0 +1,58 @@
+#include "util/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace inf2vec {
+
+Status ReadLines(const std::string& path, std::vector<std::string>* lines) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  lines->clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines->push_back(line);
+  }
+  if (in.bad()) return Status::IOError("read failure: " + path);
+  return Status::OK();
+}
+
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  for (const std::string& line : lines) out << line << '\n';
+  out.flush();
+  if (!out.good()) return Status::IOError("write failure: " + path);
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure: " + path);
+  *contents = buffer.str();
+  return Status::OK();
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out.good()) return Status::IOError("write failure: " + path);
+  return Status::OK();
+}
+
+}  // namespace inf2vec

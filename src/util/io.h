@@ -1,0 +1,26 @@
+#ifndef INF2VEC_UTIL_IO_H_
+#define INF2VEC_UTIL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Reads a whole text file into `lines` (without trailing newlines).
+Status ReadLines(const std::string& path, std::vector<std::string>* lines);
+
+/// Writes `lines` to `path`, one per line, replacing any existing file.
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines);
+
+/// Reads a whole file into `contents` as raw bytes.
+Status ReadFile(const std::string& path, std::string* contents);
+
+/// Writes `contents` verbatim, replacing any existing file.
+Status WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_UTIL_IO_H_

@@ -1,0 +1,76 @@
+#ifndef INF2VEC_UTIL_LOGGING_H_
+#define INF2VEC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace inf2vec {
+
+/// Severity levels for the library logger, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+namespace internal_logging {
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Stream-style message collector. Emits to stderr on destruction; aborts
+/// the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+/// Sets the global log threshold (thread-compatible: call before spawning).
+inline void SetMinLogLevel(LogLevel level) {
+  internal_logging::SetMinLogLevel(level);
+}
+
+#define INF2VEC_LOG(level)                                                 \
+  (::inf2vec::LogLevel::k##level < ::inf2vec::internal_logging::MinLogLevel()) \
+      ? (void)0                                                            \
+      : ::inf2vec::internal_logging::LogMessageVoidify() &                 \
+            ::inf2vec::internal_logging::LogMessage(                       \
+                ::inf2vec::LogLevel::k##level, __FILE__, __LINE__)         \
+                .stream()
+
+/// CHECK-style assertion, active in all build types. Prefer these over
+/// <cassert> so release benchmarks keep the invariant checks that guard
+/// data-structure corruption.
+#define INF2VEC_CHECK(cond)                                           \
+  (cond) ? (void)0                                                    \
+         : ::inf2vec::internal_logging::LogMessageVoidify() &         \
+               ::inf2vec::internal_logging::LogMessage(               \
+                   ::inf2vec::LogLevel::kFatal, __FILE__, __LINE__)   \
+                   .stream()                                          \
+                   << "Check failed: " #cond " "
+
+#define INF2VEC_CHECK_OK(expr)                                       \
+  do {                                                               \
+    ::inf2vec::Status _st = (expr);                                  \
+    INF2VEC_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_UTIL_LOGGING_H_

@@ -1,0 +1,24 @@
+#include "util/sigmoid_table.h"
+
+#include <cmath>
+
+namespace inf2vec {
+
+SigmoidTable::SigmoidTable() : table_(kTableSize) {
+  for (size_t i = 0; i < kTableSize; ++i) {
+    // Midpoint of bucket i over [-kMaxExp, kMaxExp).
+    const double z =
+        -kMaxExp + (static_cast<double>(i) + 0.5) * (2.0 * kMaxExp) /
+                       static_cast<double>(kTableSize);
+    table_[i] = Exact(z);
+  }
+}
+
+double SigmoidTable::Exact(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+const SigmoidTable& GlobalSigmoidTable() {
+  static const SigmoidTable& table = *new SigmoidTable();
+  return table;
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,43 @@
+#ifndef INF2VEC_UTIL_SIGMOID_TABLE_H_
+#define INF2VEC_UTIL_SIGMOID_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace inf2vec {
+
+/// Precomputed sigmoid lookup table, the classic word2vec trick: SGD inner
+/// loops evaluate sigma(z) millions of times and exp() dominates otherwise.
+/// Values outside [-kMaxExp, kMaxExp] clamp to ~0 / ~1 which also acts as a
+/// gradient clip.
+class SigmoidTable {
+ public:
+  static constexpr double kMaxExp = 8.0;
+  static constexpr size_t kTableSize = 2048;
+
+  SigmoidTable();
+
+  /// Approximate sigma(z) = 1 / (1 + e^-z). Max absolute error ~4e-3 at the
+  /// default table size; monotone by construction.
+  double Sigmoid(double z) const {
+    if (z >= kMaxExp) return 1.0 - 1e-8;
+    if (z <= -kMaxExp) return 1e-8;
+    const size_t idx = static_cast<size_t>((z + kMaxExp) *
+                                           (kTableSize / (2.0 * kMaxExp)));
+    return table_[idx < kTableSize ? idx : kTableSize - 1];
+  }
+
+  /// Exact sigmoid; kept next to the table so call sites can switch when
+  /// accuracy matters more than speed (tests, gradient checks).
+  static double Exact(double z);
+
+ private:
+  std::vector<double> table_;
+};
+
+/// Process-wide shared instance (immutable after construction).
+const SigmoidTable& GlobalSigmoidTable();
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_UTIL_SIGMOID_TABLE_H_

@@ -1,0 +1,121 @@
+#ifndef INF2VEC_UTIL_STATUS_H_
+#define INF2VEC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace inf2vec {
+
+/// Error codes carried by Status. Mirrors the small, fixed vocabulary used
+/// by storage-engine style libraries (RocksDB / Arrow): a handful of broad
+/// categories, with detail in the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Return-value error type. Functions that can fail return a Status (or a
+/// Result<T>, see below) instead of throwing; callers are expected to check
+/// `ok()` before using any output parameters.
+///
+/// The OK state stores no message and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<CODE>: <message>" string, "OK" for success.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+namespace internal_status {
+/// Reports the bad access and aborts. Out-of-line so the header stays lean.
+[[noreturn]] void DieOnErrorAccess(const Status& status);
+}  // namespace internal_status
+
+/// Value-or-error holder. On success holds a T; on failure holds the Status
+/// explaining why no value exists. Accessing value() on an error aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: lets `return some_t;` work in Result-returning
+  /// functions, matching absl::StatusOr ergonomics.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from a non-OK Status: lets `return Status::...;` work.
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!status_.ok()) internal_status::DieOnErrorAccess(status_);
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define INF2VEC_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::inf2vec::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_UTIL_STATUS_H_

@@ -1,0 +1,109 @@
+#include "util/string_util.h"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace inf2vec {
+
+std::vector<std::string_view> SplitString(std::string_view text, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view TrimString(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+Status ParseInt64(std::string_view text, int64_t* out) {
+  const std::string buf(TrimString(text));
+  if (buf.empty()) return Status::InvalidArgument("empty integer field");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + buf);
+  }
+  if (end == buf.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not an integer: " + buf);
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status ParseUint32(std::string_view text, uint32_t* out) {
+  int64_t wide = 0;
+  INF2VEC_RETURN_IF_ERROR(ParseInt64(text, &wide));
+  if (wide < 0 || wide > std::numeric_limits<uint32_t>::max()) {
+    return Status::OutOfRange("value does not fit in uint32: " +
+                              std::string(text));
+  }
+  *out = static_cast<uint32_t>(wide);
+  return Status::OK();
+}
+
+Status ParseDouble(std::string_view text, double* out) {
+  const std::string buf(TrimString(text));
+  if (buf.empty()) return Status::InvalidArgument("empty double field");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double out of range: " + buf);
+  }
+  if (end == buf.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a double: " + buf);
+  }
+  *out = value;
+  return Status::OK();
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace inf2vec

@@ -1,0 +1,34 @@
+#ifndef INF2VEC_UTIL_STRING_UTIL_H_
+#define INF2VEC_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Splits `text` on `delim`, keeping empty fields (TSV semantics).
+std::vector<std::string_view> SplitString(std::string_view text, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view TrimString(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Strict full-string numeric parses; reject trailing garbage.
+Status ParseInt64(std::string_view text, int64_t* out);
+Status ParseUint32(std::string_view text, uint32_t* out);
+Status ParseDouble(std::string_view text, double* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,29 @@
+#ifndef INF2VEC_UTIL_TIMER_H_
+#define INF2VEC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace inf2vec {
+
+/// Simple steady-clock stopwatch for coarse phase timing in benches
+/// (fine-grained measurement belongs to google-benchmark).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_UTIL_TIMER_H_

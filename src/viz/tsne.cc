@@ -1,0 +1,229 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace inf2vec {
+namespace {
+
+/// Pairwise squared Euclidean distances, row-major n x n.
+std::vector<double> SquaredDistances(const std::vector<double>& data,
+                                     size_t n, size_t dim) {
+  std::vector<double> d2(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < dim; ++k) {
+        const double diff = data[i * dim + k] - data[j * dim + k];
+        sum += diff * diff;
+      }
+      d2[i * n + j] = sum;
+      d2[j * n + i] = sum;
+    }
+  }
+  return d2;
+}
+
+/// Row-conditional probabilities p_{j|i} with the precision (beta) found by
+/// binary search to match log(perplexity) entropy.
+void ConditionalProbabilities(const std::vector<double>& d2, size_t n,
+                              double perplexity, std::vector<double>* p) {
+  const double target_entropy = std::log(perplexity);
+  p->assign(n * n, 0.0);
+  std::vector<double> row(n);
+  for (size_t i = 0; i < n; ++i) {
+    double beta_lo = 0.0;
+    double beta_hi = 1e18;
+    double beta = 1.0;
+    for (int iter = 0; iter < 64; ++iter) {
+      double sum = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        row[j] = j == i ? 0.0 : std::exp(-beta * d2[i * n + j]);
+        sum += row[j];
+      }
+      if (sum <= 1e-300) {
+        beta_hi = beta;
+        beta = (beta_lo + beta_hi) / 2.0;
+        continue;
+      }
+      // Shannon entropy H = log(sum) + beta * E[d2].
+      double weighted = 0.0;
+      for (size_t j = 0; j < n; ++j) weighted += row[j] * d2[i * n + j];
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      const double diff = entropy - target_entropy;
+      if (std::abs(diff) < 1e-5) break;
+      if (diff > 0) {  // Entropy too high -> tighten kernel.
+        beta_lo = beta;
+        beta = beta_hi >= 1e18 ? beta * 2.0 : (beta_lo + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta_lo + beta_hi) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      row[j] = j == i ? 0.0 : std::exp(-beta * d2[i * n + j]);
+      sum += row[j];
+    }
+    if (sum <= 1e-300) sum = 1.0;
+    for (size_t j = 0; j < n; ++j) (*p)[i * n + j] = row[j] / sum;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<double>> RunTsne(const std::vector<double>& data, size_t n,
+                                    size_t input_dim,
+                                    const TsneOptions& options) {
+  if (n == 0 || input_dim == 0) {
+    return Status::InvalidArgument("t-SNE needs non-empty input");
+  }
+  if (data.size() != n * input_dim) {
+    return Status::InvalidArgument("t-SNE data size mismatch");
+  }
+  if (options.output_dim == 0) {
+    return Status::InvalidArgument("output_dim must be positive");
+  }
+  if (n < 4) {
+    return Status::InvalidArgument("t-SNE needs at least 4 points");
+  }
+  // Perplexity must leave room: effective neighbors < n.
+  const double perplexity =
+      std::min(options.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  const std::vector<double> d2 = SquaredDistances(data, n, input_dim);
+  std::vector<double> cond;
+  ConditionalProbabilities(d2, n, perplexity, &cond);
+
+  // Symmetrized joint probabilities.
+  std::vector<double> p(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      p[i * n + j] =
+          std::max(1e-12, (cond[i * n + j] + cond[j * n + i]) / (2.0 * n));
+    }
+  }
+
+  const size_t out_dim = options.output_dim;
+  Rng rng(options.seed);
+  std::vector<double> y(n * out_dim);
+  for (double& v : y) v = 1e-2 * rng.Gaussian();
+  std::vector<double> velocity(n * out_dim, 0.0);
+  std::vector<double> grad(n * out_dim, 0.0);
+  std::vector<double> q(n * n, 0.0);
+
+  for (uint32_t iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    const double momentum = iter < options.momentum_switch_iter
+                                ? options.initial_momentum
+                                : options.final_momentum;
+
+    // Student-t kernel numerators and normalizer.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double dist = 0.0;
+        for (size_t k = 0; k < out_dim; ++k) {
+          const double diff = y[i * out_dim + k] - y[j * out_dim + k];
+          dist += diff * diff;
+        }
+        const double num = 1.0 / (1.0 + dist);
+        q[i * n + j] = num;
+        q[j * n + i] = num;
+        q_sum += 2.0 * num;
+      }
+    }
+    if (q_sum <= 1e-300) q_sum = 1e-300;
+
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double num = q[i * n + j];
+        const double q_ij = std::max(1e-12, num / q_sum);
+        const double coeff =
+            4.0 * (exaggeration * p[i * n + j] - q_ij) * num;
+        for (size_t k = 0; k < out_dim; ++k) {
+          grad[i * out_dim + k] +=
+              coeff * (y[i * out_dim + k] - y[j * out_dim + k]);
+        }
+      }
+    }
+
+    for (size_t idx = 0; idx < n * out_dim; ++idx) {
+      velocity[idx] =
+          momentum * velocity[idx] - options.learning_rate * grad[idx];
+      y[idx] += velocity[idx];
+    }
+
+    // Re-center to keep coordinates bounded.
+    for (size_t k = 0; k < out_dim; ++k) {
+      double mean = 0.0;
+      for (size_t i = 0; i < n; ++i) mean += y[i * out_dim + k];
+      mean /= static_cast<double>(n);
+      for (size_t i = 0; i < n; ++i) y[i * out_dim + k] -= mean;
+    }
+  }
+  return y;
+}
+
+double MeanPairDistanceRatio(
+    const std::vector<double>& coords, size_t n, size_t dim,
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  if (pairs.empty() || n < 2) return 1.0;
+  auto distance = [&](size_t a, size_t b) {
+    double sum = 0.0;
+    for (size_t k = 0; k < dim; ++k) {
+      const double diff = coords[a * dim + k] - coords[b * dim + k];
+      sum += diff * diff;
+    }
+    return std::sqrt(sum);
+  };
+
+  double pair_mean = 0.0;
+  for (const auto& [a, b] : pairs) pair_mean += distance(a, b);
+  pair_mean /= static_cast<double>(pairs.size());
+
+  // Mean over all distinct pairs (O(n^2), fine at figure scale).
+  double all_mean = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      all_mean += distance(i, j);
+      ++count;
+    }
+  }
+  all_mean /= static_cast<double>(count);
+  return all_mean > 0.0 ? pair_mean / all_mean : 1.0;
+}
+
+double MeanPairNeighborRank(
+    const std::vector<double>& coords, size_t n, size_t dim,
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  if (pairs.empty() || n < 3) return 0.5;
+  auto squared_distance = [&](size_t a, size_t b) {
+    double sum = 0.0;
+    for (size_t k = 0; k < dim; ++k) {
+      const double diff = coords[a * dim + k] - coords[b * dim + k];
+      sum += diff * diff;
+    }
+    return sum;
+  };
+  auto rank_of = [&](size_t anchor, size_t partner) {
+    const double d = squared_distance(anchor, partner);
+    size_t closer = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == anchor || j == partner) continue;
+      if (squared_distance(anchor, j) < d) ++closer;
+    }
+    return static_cast<double>(closer) / static_cast<double>(n - 2);
+  };
+  double total = 0.0;
+  for (const auto& [a, b] : pairs) {
+    total += rank_of(a, b) + rank_of(b, a);
+  }
+  return total / (2.0 * static_cast<double>(pairs.size()));
+}
+
+}  // namespace inf2vec

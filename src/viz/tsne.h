@@ -1,0 +1,56 @@
+#ifndef INF2VEC_VIZ_TSNE_H_
+#define INF2VEC_VIZ_TSNE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+
+/// Options for exact t-SNE (van der Maaten & Hinton, JMLR 2008) — the
+/// dimension-reduction tool the paper uses for Fig. 6. Exact O(n^2) is the
+/// reference algorithm and comfortably handles the 524 points of the
+/// paper's figure.
+struct TsneOptions {
+  uint32_t output_dim = 2;
+  double perplexity = 30.0;
+  uint32_t iterations = 400;
+  double learning_rate = 100.0;
+  /// P-value multiplier during the first `exaggeration_iters` iterations.
+  double early_exaggeration = 4.0;
+  uint32_t exaggeration_iters = 80;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  uint32_t momentum_switch_iter = 200;
+  uint64_t seed = 3;
+};
+
+/// Embeds `n` points of dimension `input_dim` (row-major `data`, size
+/// n*input_dim) into options.output_dim dimensions. Returns row-major
+/// coordinates of size n*output_dim.
+Result<std::vector<double>> RunTsne(const std::vector<double>& data, size_t n,
+                                    size_t input_dim,
+                                    const TsneOptions& options);
+
+/// Fig. 6's quantitative proxy: how close the two endpoints of highlighted
+/// pairs sit in an embedding, relative to the typical inter-point distance.
+/// Values well below 1 mean the pairs are tightly co-located (what the
+/// paper shows for Inf2vec); ~1 means no better than random placement.
+double MeanPairDistanceRatio(
+    const std::vector<double>& coords, size_t n, size_t dim,
+    const std::vector<std::pair<size_t, size_t>>& pairs);
+
+/// Scale-invariant co-location measure: for each pair (a, b), the
+/// percentile rank of b among all points ordered by distance from a
+/// (0 = nearest neighbor, ~0.5 = random placement), averaged over both
+/// directions of every pair. Unlike the distance ratio this is immune to
+/// an embedding globally collapsing or stretching.
+double MeanPairNeighborRank(
+    const std::vector<double>& coords, size_t n, size_t dim,
+    const std::vector<std::pair<size_t, size_t>>& pairs);
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_VIZ_TSNE_H_

@@ -1,0 +1,85 @@
+#include "action/action_log_io.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/io.h"
+
+namespace inf2vec {
+namespace {
+
+class ActionLogIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("inf2vec_action_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ActionLogIoTest, LoadGroupsRowsIntoEpisodes) {
+  ASSERT_TRUE(WriteLines(Path("log.tsv"), {"# user item time", "1\t0\t10",
+                                           "2\t0\t5", "3\t1\t7"})
+                  .ok());
+  auto log = LoadActionLog(Path("log.tsv"));
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log.value().num_episodes(), 2u);
+  // Episode 0 sorted by time: user 2 (t=5) before user 1 (t=10).
+  const DiffusionEpisode& e0 = log.value().episodes()[0];
+  EXPECT_EQ(e0.item(), 0u);
+  ASSERT_EQ(e0.size(), 2u);
+  EXPECT_EQ(e0.adoptions()[0].user, 2u);
+}
+
+TEST_F(ActionLogIoTest, RoundTrip) {
+  DiffusionEpisode e0(0);
+  e0.Add(1, 100);
+  e0.Add(2, 200);
+  ASSERT_TRUE(e0.Finalize().ok());
+  DiffusionEpisode e1(1);
+  e1.Add(3, 50);
+  ASSERT_TRUE(e1.Finalize().ok());
+  ActionLog log;
+  log.AddEpisode(std::move(e0));
+  log.AddEpisode(std::move(e1));
+
+  ASSERT_TRUE(SaveActionLog(log, Path("log.tsv")).ok());
+  auto loaded = LoadActionLog(Path("log.tsv"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_episodes(), 2u);
+  EXPECT_EQ(loaded.value().num_actions(), 3u);
+  EXPECT_EQ(loaded.value().episodes()[0].adoptions()[1].time, 200);
+}
+
+TEST_F(ActionLogIoTest, RejectsMalformedRows) {
+  ASSERT_TRUE(WriteLines(Path("bad.tsv"), {"1\t2"}).ok());
+  EXPECT_FALSE(LoadActionLog(Path("bad.tsv")).ok());
+  ASSERT_TRUE(WriteLines(Path("bad2.tsv"), {"a\tb\tc"}).ok());
+  EXPECT_FALSE(LoadActionLog(Path("bad2.tsv")).ok());
+}
+
+TEST_F(ActionLogIoTest, MissingFileFails) {
+  EXPECT_EQ(LoadActionLog(Path("missing.tsv")).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(ActionLogIoTest, DuplicateUserKeepsEarliest) {
+  ASSERT_TRUE(
+      WriteLines(Path("dup.tsv"), {"1\t0\t10", "1\t0\t3", "2\t0\t5"}).ok());
+  auto log = LoadActionLog(Path("dup.tsv"));
+  ASSERT_TRUE(log.ok());
+  const DiffusionEpisode& e = log.value().episodes()[0];
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.adoptions()[0].user, 1u);
+  EXPECT_EQ(e.adoptions()[0].time, 3);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,119 @@
+#include "action/action_log.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+DiffusionEpisode MakeEpisode(ItemId item,
+                             std::vector<std::pair<UserId, Timestamp>> rows) {
+  DiffusionEpisode e(item);
+  for (const auto& [u, t] : rows) e.Add(u, t);
+  EXPECT_TRUE(e.Finalize().ok());
+  return e;
+}
+
+TEST(DiffusionEpisodeTest, FinalizeSortsByTime) {
+  const DiffusionEpisode e = MakeEpisode(1, {{5, 30}, {2, 10}, {9, 20}});
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e.adoptions()[0].user, 2u);
+  EXPECT_EQ(e.adoptions()[1].user, 9u);
+  EXPECT_EQ(e.adoptions()[2].user, 5u);
+}
+
+TEST(DiffusionEpisodeTest, FinalizeKeepsEarliestDuplicate) {
+  const DiffusionEpisode e = MakeEpisode(1, {{7, 50}, {7, 10}, {3, 30}});
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.adoptions()[0].user, 7u);
+  EXPECT_EQ(e.adoptions()[0].time, 10);
+  EXPECT_EQ(e.adoptions()[1].user, 3u);
+}
+
+TEST(DiffusionEpisodeTest, StableOrderForTies) {
+  const DiffusionEpisode e = MakeEpisode(1, {{1, 10}, {2, 10}, {3, 10}});
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e.adoptions()[0].user, 1u);
+  EXPECT_EQ(e.adoptions()[2].user, 3u);
+}
+
+TEST(DiffusionEpisodeTest, ContainsChecksUsers) {
+  const DiffusionEpisode e = MakeEpisode(1, {{4, 1}, {8, 2}});
+  EXPECT_TRUE(e.Contains(4));
+  EXPECT_TRUE(e.Contains(8));
+  EXPECT_FALSE(e.Contains(5));
+}
+
+TEST(ActionLogTest, CountsActionsAndUsers) {
+  ActionLog log;
+  log.AddEpisode(MakeEpisode(0, {{1, 1}, {2, 2}}));
+  log.AddEpisode(MakeEpisode(1, {{2, 1}, {3, 2}, {4, 3}}));
+  EXPECT_EQ(log.num_episodes(), 2u);
+  EXPECT_EQ(log.num_actions(), 5u);
+  EXPECT_EQ(log.NumActiveUsers(10), 4u);
+
+  const std::vector<uint64_t> counts = log.UserActionCounts(10);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[0], 0u);
+}
+
+TEST(SplitLogTest, FractionsRespected) {
+  ActionLog log;
+  for (ItemId i = 0; i < 100; ++i) {
+    log.AddEpisode(MakeEpisode(i, {{i % 10, 1}, {(i + 1) % 10, 2}}));
+  }
+  Rng rng(1);
+  const LogSplit split = SplitLog(log, 0.8, 0.1, rng);
+  EXPECT_EQ(split.train.num_episodes(), 80u);
+  EXPECT_EQ(split.tune.num_episodes(), 10u);
+  EXPECT_EQ(split.test.num_episodes(), 10u);
+}
+
+TEST(SplitLogTest, PartitionIsCompleteAndDisjoint) {
+  ActionLog log;
+  for (ItemId i = 0; i < 37; ++i) {
+    log.AddEpisode(MakeEpisode(i, {{1, 1}, {2, 2}}));
+  }
+  Rng rng(2);
+  const LogSplit split = SplitLog(log, 0.6, 0.2, rng);
+  std::set<ItemId> items;
+  for (const auto& e : split.train.episodes()) items.insert(e.item());
+  for (const auto& e : split.tune.episodes()) items.insert(e.item());
+  for (const auto& e : split.test.episodes()) items.insert(e.item());
+  EXPECT_EQ(items.size(), 37u);
+  EXPECT_EQ(split.train.num_episodes() + split.tune.num_episodes() +
+                split.test.num_episodes(),
+            37u);
+}
+
+TEST(SplitLogTest, DeterministicGivenSeed) {
+  ActionLog log;
+  for (ItemId i = 0; i < 20; ++i) {
+    log.AddEpisode(MakeEpisode(i, {{1, 1}, {2, 2}}));
+  }
+  Rng rng1(5);
+  Rng rng2(5);
+  const LogSplit a = SplitLog(log, 0.5, 0.25, rng1);
+  const LogSplit b = SplitLog(log, 0.5, 0.25, rng2);
+  ASSERT_EQ(a.test.num_episodes(), b.test.num_episodes());
+  for (size_t i = 0; i < a.test.num_episodes(); ++i) {
+    EXPECT_EQ(a.test.episodes()[i].item(), b.test.episodes()[i].item());
+  }
+}
+
+TEST(SplitLogTest, ZeroTuneFraction) {
+  ActionLog log;
+  for (ItemId i = 0; i < 10; ++i) {
+    log.AddEpisode(MakeEpisode(i, {{1, 1}, {2, 2}}));
+  }
+  Rng rng(3);
+  const LogSplit split = SplitLog(log, 0.8, 0.0, rng);
+  EXPECT_EQ(split.train.num_episodes(), 8u);
+  EXPECT_EQ(split.tune.num_episodes(), 0u);
+  EXPECT_EQ(split.test.num_episodes(), 2u);
+}
+
+}  // namespace
+}  // namespace inf2vec

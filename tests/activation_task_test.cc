@@ -1,0 +1,171 @@
+#include "eval/activation_task.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+/// Oracle that knows the true episode membership it was given.
+class OracleModel : public InfluenceModel {
+ public:
+  explicit OracleModel(std::set<UserId> positives, bool inverted = false)
+      : positives_(std::move(positives)), inverted_(inverted) {}
+
+  std::string name() const override { return "Oracle"; }
+  double ScoreActivation(UserId v,
+                         const std::vector<UserId>&) const override {
+    const double s = positives_.contains(v) ? 1.0 : 0.0;
+    return inverted_ ? -s : s;
+  }
+  std::vector<double> ScoreDiffusion(const std::vector<UserId>&,
+                                     Rng&) const override {
+    return {};
+  }
+
+ private:
+  std::set<UserId> positives_;
+  bool inverted_;
+};
+
+SocialGraph StarGraph() {
+  // 0 -> {1, 2, 3, 4}.
+  GraphBuilder builder(5);
+  for (UserId v = 1; v < 5; ++v) builder.AddEdge(0, v);
+  return std::move(builder.Build()).value();
+}
+
+DiffusionEpisode StarEpisode() {
+  // 0 adopts, then 1 and 2 follow; 3, 4 exposed but never adopt.
+  DiffusionEpisode e(0);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  e.Add(2, 3);
+  EXPECT_TRUE(e.Finalize().ok());
+  return e;
+}
+
+TEST(BuildActivationCasesTest, PositivesAndNegativesIdentified) {
+  const SocialGraph g = StarGraph();
+  const std::vector<ActivationCase> cases =
+      BuildActivationCases(g, StarEpisode());
+  // Positives: 1 and 2 (influencer 0). Negatives: 3 and 4 (exposed).
+  // User 0 has no earlier-adopting friends: not a candidate.
+  ASSERT_EQ(cases.size(), 4u);
+  int positives = 0;
+  for (const ActivationCase& c : cases) {
+    EXPECT_NE(c.candidate, 0u);
+    EXPECT_EQ(c.influencers, std::vector<UserId>{0});
+    positives += c.activated ? 1 : 0;
+  }
+  EXPECT_EQ(positives, 2);
+}
+
+TEST(BuildActivationCasesTest, InfluencersChronological) {
+  // 1 -> 3 and 2 -> 3; both adopt before 3.
+  GraphBuilder builder(4);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(2, 3);
+  const SocialGraph g = std::move(builder.Build()).value();
+  DiffusionEpisode e(0);
+  e.Add(2, 1);  // 2 first.
+  e.Add(1, 5);
+  e.Add(3, 9);
+  ASSERT_TRUE(e.Finalize().ok());
+  const std::vector<ActivationCase> cases = BuildActivationCases(g, e);
+  const auto it = std::find_if(cases.begin(), cases.end(), [](const auto& c) {
+    return c.candidate == 3;
+  });
+  ASSERT_NE(it, cases.end());
+  EXPECT_EQ(it->influencers, (std::vector<UserId>{2, 1}));
+  EXPECT_TRUE(it->activated);
+}
+
+TEST(BuildActivationCasesTest, AdopterWithOnlyLaterFriendsExcluded) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+  DiffusionEpisode e(0);
+  e.Add(1, 1);  // 1 adopts BEFORE its only in-neighbor 0.
+  e.Add(0, 2);
+  ASSERT_TRUE(e.Finalize().ok());
+  const std::vector<ActivationCase> cases = BuildActivationCases(g, e);
+  for (const ActivationCase& c : cases) EXPECT_NE(c.candidate, 1u);
+}
+
+TEST(EvaluateActivationTest, OracleGetsPerfectAuc) {
+  const SocialGraph g = StarGraph();
+  ActionLog test;
+  test.AddEpisode(StarEpisode());
+  const OracleModel oracle({1, 2});
+  const RankingMetrics m = EvaluateActivation(oracle, g, test);
+  EXPECT_EQ(m.num_queries, 1u);
+  EXPECT_DOUBLE_EQ(m.auc, 1.0);
+  EXPECT_DOUBLE_EQ(m.map, 1.0);
+}
+
+TEST(EvaluateActivationTest, AntiOracleGetsZeroAuc) {
+  const SocialGraph g = StarGraph();
+  ActionLog test;
+  test.AddEpisode(StarEpisode());
+  const OracleModel anti({1, 2}, /*inverted=*/true);
+  const RankingMetrics m = EvaluateActivation(anti, g, test);
+  EXPECT_DOUBLE_EQ(m.auc, 0.0);
+}
+
+TEST(EvaluateActivationPerEpisodeTest, MeanMatchesAggregateEvaluation) {
+  const SocialGraph g = StarGraph();
+  ActionLog test;
+  test.AddEpisode(StarEpisode());
+  {
+    DiffusionEpisode second(1);
+    second.Add(0, 1);
+    second.Add(3, 2);
+    ASSERT_TRUE(second.Finalize().ok());
+    test.AddEpisode(std::move(second));
+  }
+  const OracleModel oracle({1, 2, 3});
+  const RankingMetrics aggregate = EvaluateActivation(oracle, g, test);
+  const std::vector<RankingMetrics> per_episode =
+      EvaluateActivationPerEpisode(oracle, g, test);
+  ASSERT_EQ(per_episode.size(), aggregate.num_queries);
+  double auc_mean = 0.0;
+  double map_mean = 0.0;
+  for (const RankingMetrics& m : per_episode) {
+    auc_mean += m.auc;
+    map_mean += m.map;
+  }
+  auc_mean /= per_episode.size();
+  map_mean /= per_episode.size();
+  EXPECT_NEAR(auc_mean, aggregate.auc, 1e-12);
+  EXPECT_NEAR(map_mean, aggregate.map, 1e-12);
+}
+
+TEST(EvaluateActivationPerEpisodeTest, AlignedAcrossModels) {
+  // Episode usability must not depend on the model, so two models yield
+  // vectors of identical length (the pairing the Wilcoxon test needs).
+  const SocialGraph g = StarGraph();
+  ActionLog test;
+  test.AddEpisode(StarEpisode());
+  const OracleModel a({1, 2});
+  const OracleModel b({3, 4});
+  EXPECT_EQ(EvaluateActivationPerEpisode(a, g, test).size(),
+            EvaluateActivationPerEpisode(b, g, test).size());
+}
+
+TEST(EvaluateActivationTest, EpisodesWithoutCasesSkipped) {
+  const SocialGraph g = StarGraph();
+  ActionLog test;
+  DiffusionEpisode lonely(1);
+  lonely.Add(3, 1);  // No in-neighbors adopt; 3's followers don't exist.
+  ASSERT_TRUE(lonely.Finalize().ok());
+  test.AddEpisode(std::move(lonely));
+  const OracleModel oracle({1});
+  const RankingMetrics m = EvaluateActivation(oracle, g, test);
+  EXPECT_EQ(m.num_queries, 0u);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,56 @@
+#include "core/aggregation.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+const std::vector<double> kScores = {1.0, -2.0, 4.0, 0.5};
+
+TEST(AggregationTest, Ave) {
+  EXPECT_DOUBLE_EQ(Aggregate(Aggregation::kAve, kScores), 3.5 / 4.0);
+}
+
+TEST(AggregationTest, Sum) {
+  EXPECT_DOUBLE_EQ(Aggregate(Aggregation::kSum, kScores), 3.5);
+}
+
+TEST(AggregationTest, Max) {
+  EXPECT_DOUBLE_EQ(Aggregate(Aggregation::kMax, kScores), 4.0);
+}
+
+TEST(AggregationTest, LatestTakesLastElement) {
+  EXPECT_DOUBLE_EQ(Aggregate(Aggregation::kLatest, kScores), 0.5);
+}
+
+TEST(AggregationTest, SingleElementAllAgree) {
+  const std::vector<double> one = {2.5};
+  for (Aggregation kind : {Aggregation::kAve, Aggregation::kSum,
+                           Aggregation::kMax, Aggregation::kLatest}) {
+    EXPECT_DOUBLE_EQ(Aggregate(kind, one), 2.5);
+  }
+}
+
+TEST(AggregationTest, EmptyScoresDie) {
+  const std::vector<double> empty;
+  EXPECT_DEATH(Aggregate(Aggregation::kAve, empty), "empty");
+}
+
+TEST(AggregationTest, NamesRoundTrip) {
+  for (Aggregation kind : {Aggregation::kAve, Aggregation::kSum,
+                           Aggregation::kMax, Aggregation::kLatest}) {
+    auto parsed = ParseAggregation(AggregationName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+}
+
+TEST(AggregationTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(ParseAggregation("median").ok());
+  EXPECT_FALSE(ParseAggregation("ave").ok());  // Case-sensitive.
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,109 @@
+#include "util/alias_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace inf2vec {
+namespace {
+
+TEST(AliasSamplerTest, RejectsEmptyWeights) {
+  AliasSampler sampler;
+  EXPECT_FALSE(sampler.Build({}).ok());
+}
+
+TEST(AliasSamplerTest, RejectsNegativeWeight) {
+  AliasSampler sampler;
+  EXPECT_FALSE(sampler.Build({1.0, -0.5}).ok());
+}
+
+TEST(AliasSamplerTest, RejectsNanAndInf) {
+  AliasSampler sampler;
+  EXPECT_FALSE(sampler.Build({1.0, std::nan("")}).ok());
+  EXPECT_FALSE(sampler.Build({1.0, INFINITY}).ok());
+}
+
+TEST(AliasSamplerTest, RejectsAllZeroWeights) {
+  AliasSampler sampler;
+  EXPECT_FALSE(sampler.Build({0.0, 0.0}).ok());
+}
+
+TEST(AliasSamplerTest, SingleElementAlwaysSampled) {
+  AliasSampler sampler;
+  ASSERT_TRUE(sampler.Build({3.7}).ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightEntryNeverSampled) {
+  AliasSampler sampler;
+  ASSERT_TRUE(sampler.Build({1.0, 0.0, 1.0}).ok());
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(sampler.Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, ReconstructedProbabilitiesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler;
+  ASSERT_TRUE(sampler.Build(weights).ok());
+  const double total = 10.0;
+  for (uint32_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(sampler.ProbabilityOf(i), weights[i] / total, 1e-9);
+  }
+}
+
+TEST(AliasSamplerTest, EmpiricalDistributionMatches) {
+  const std::vector<double> weights = {5.0, 1.0, 3.0, 1.0};
+  AliasSampler sampler;
+  ASSERT_TRUE(sampler.Build(weights).ok());
+  Rng rng(3);
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0 * kDraws;
+    EXPECT_NEAR(counts[i], expected, 0.05 * kDraws);
+  }
+}
+
+TEST(AliasSamplerTest, HandlesExtremeWeightRatios) {
+  AliasSampler sampler;
+  ASSERT_TRUE(sampler.Build({1e-6, 1e6}).ok());
+  Rng rng(5);
+  int rare = 0;
+  for (int i = 0; i < 10000; ++i) rare += sampler.Sample(rng) == 0 ? 1 : 0;
+  EXPECT_LT(rare, 5);  // P(index 0) = 1e-12.
+}
+
+TEST(AliasSamplerTest, RebuildReplacesDistribution) {
+  AliasSampler sampler;
+  ASSERT_TRUE(sampler.Build({1.0, 0.0}).ok());
+  ASSERT_TRUE(sampler.Build({0.0, 1.0}).ok());
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 1u);
+}
+
+class AliasSamplerSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasSamplerSizeTest, UniformWeightsStayUniform) {
+  const int n = GetParam();
+  AliasSampler sampler;
+  ASSERT_TRUE(sampler.Build(std::vector<double>(n, 2.5)).ok());
+  EXPECT_EQ(sampler.size(), static_cast<size_t>(n));
+  Rng rng(11);
+  std::vector<int> counts(n, 0);
+  const int draws = 2000 * n;
+  for (int i = 0; i < draws; ++i) ++counts[sampler.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, 2000.0, 2000.0 * 0.25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AliasSamplerSizeTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64));
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,157 @@
+#include "diffusion/context_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+SocialGraph DenseDag() {
+  // Complete DAG over 8 nodes: i -> j for i < j.
+  GraphBuilder builder(8);
+  for (UserId i = 0; i < 8; ++i) {
+    for (UserId j = i + 1; j < 8; ++j) builder.AddEdge(i, j);
+  }
+  return std::move(builder.Build()).value();
+}
+
+PropagationNetwork DenseNetwork(const SocialGraph& g) {
+  DiffusionEpisode e(0);
+  for (UserId u = 0; u < 8; ++u) e.Add(u, u + 1);
+  EXPECT_TRUE(e.Finalize().ok());
+  return PropagationNetwork(g, e);
+}
+
+TEST(ContextGeneratorTest, BudgetSplitFollowsAlpha) {
+  const SocialGraph g = DenseDag();
+  const PropagationNetwork net = DenseNetwork(g);
+  Rng rng(1);
+  ContextOptions opts;
+  opts.length = 20;
+  opts.alpha = 0.5;
+  const InfluenceContext ctx = GenerateInfluenceContext(net, 0, opts, rng);
+  EXPECT_EQ(ctx.user, 0u);
+  // Start node 0 reaches everyone; both halves fill completely: 10 local +
+  // min(10, 7 distinct) global.
+  EXPECT_GE(ctx.context.size(), 15u);
+  EXPECT_LE(ctx.context.size(), 20u);
+}
+
+TEST(ContextGeneratorTest, AlphaOneIsLocalOnly) {
+  const SocialGraph g = DenseDag();
+  const PropagationNetwork net = DenseNetwork(g);
+  Rng rng(2);
+  ContextOptions opts;
+  opts.length = 12;
+  opts.alpha = 1.0;
+  const InfluenceContext ctx = GenerateInfluenceContext(net, 7, opts, rng);
+  // Node 7 is a sink: pure local context must be empty.
+  EXPECT_TRUE(ctx.context.empty());
+}
+
+TEST(ContextGeneratorTest, AlphaZeroIsGlobalOnly) {
+  const SocialGraph g = DenseDag();
+  const PropagationNetwork net = DenseNetwork(g);
+  Rng rng(3);
+  ContextOptions opts;
+  opts.length = 6;
+  opts.alpha = 0.0;
+  const InfluenceContext ctx = GenerateInfluenceContext(net, 7, opts, rng);
+  // Sink node still gets global-similarity context.
+  EXPECT_EQ(ctx.context.size(), 6u);
+}
+
+TEST(ContextGeneratorTest, EgoNeverInOwnContext) {
+  const SocialGraph g = DenseDag();
+  const PropagationNetwork net = DenseNetwork(g);
+  Rng rng(4);
+  ContextOptions opts;
+  opts.length = 30;
+  opts.alpha = 0.3;
+  for (UserId u = 0; u < 8; ++u) {
+    const InfluenceContext ctx = GenerateInfluenceContext(net, u, opts, rng);
+    EXPECT_EQ(std::count(ctx.context.begin(), ctx.context.end(), u), 0)
+        << "ego " << u << " leaked into its own context";
+  }
+}
+
+TEST(ContextGeneratorTest, ContextMembersAreEpisodeParticipants) {
+  const SocialGraph g = DenseDag();
+  // Episode covering only a subset {0, 2, 4}.
+  DiffusionEpisode e(0);
+  e.Add(0, 1);
+  e.Add(2, 2);
+  e.Add(4, 3);
+  ASSERT_TRUE(e.Finalize().ok());
+  const PropagationNetwork net(g, e);
+  Rng rng(5);
+  ContextOptions opts;
+  opts.length = 10;
+  opts.alpha = 0.5;
+  const InfluenceContext ctx = GenerateInfluenceContext(net, 0, opts, rng);
+  const std::set<UserId> allowed = {2, 4};
+  for (UserId v : ctx.context) EXPECT_TRUE(allowed.contains(v));
+}
+
+TEST(ContextGeneratorTest, GlobalSamplesDistinctWhenPoolLarge) {
+  const SocialGraph g = DenseDag();
+  const PropagationNetwork net = DenseNetwork(g);
+  Rng rng(6);
+  ContextOptions opts;
+  opts.length = 4;
+  opts.alpha = 0.0;
+  opts.global_with_replacement = false;
+  const InfluenceContext ctx = GenerateInfluenceContext(net, 0, opts, rng);
+  const std::set<UserId> unique(ctx.context.begin(), ctx.context.end());
+  EXPECT_EQ(unique.size(), ctx.context.size());
+}
+
+TEST(ContextGeneratorTest, EpisodeContextsSkipEmptyOnes) {
+  GraphBuilder builder(3);
+  const SocialGraph g = std::move(builder.Build()).value();  // No edges.
+  DiffusionEpisode e(0);
+  e.Add(0, 1);
+  ASSERT_TRUE(e.Finalize().ok());
+  const PropagationNetwork net(g, e);
+  Rng rng(7);
+  ContextOptions opts;
+  opts.length = 5;
+  // Single participant, no edges: neither local nor global context exists.
+  EXPECT_TRUE(GenerateEpisodeContexts(net, opts, rng).empty());
+}
+
+TEST(ContextGeneratorTest, EpisodeContextsCoverParticipants) {
+  const SocialGraph g = DenseDag();
+  const PropagationNetwork net = DenseNetwork(g);
+  Rng rng(8);
+  ContextOptions opts;
+  opts.length = 10;
+  opts.alpha = 0.1;
+  const std::vector<InfluenceContext> contexts =
+      GenerateEpisodeContexts(net, opts, rng);
+  EXPECT_EQ(contexts.size(), 8u);  // Everyone gets global context at least.
+}
+
+class ContextAlphaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ContextAlphaSweepTest, SizeNeverExceedsLength) {
+  const double alpha = GetParam();
+  const SocialGraph g = DenseDag();
+  const PropagationNetwork net = DenseNetwork(g);
+  Rng rng(9);
+  ContextOptions opts;
+  opts.length = 16;
+  opts.alpha = alpha;
+  for (UserId u = 0; u < 8; ++u) {
+    const InfluenceContext ctx = GenerateInfluenceContext(net, u, opts, rng);
+    EXPECT_LE(ctx.context.size(), opts.length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ContextAlphaSweepTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,119 @@
+// Tests for the kForwardBfs local-context strategy (the paper's
+// future-work alternative to the random walk of Algorithm 1).
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "diffusion/context_generator.h"
+
+namespace inf2vec {
+namespace {
+
+/// Chain 0 -> 1 -> 2 -> 3 -> 4 plus a wide fan 0 -> {5..9}.
+SocialGraph FanChainGraph() {
+  GraphBuilder builder(10);
+  for (UserId u = 0; u < 4; ++u) builder.AddEdge(u, u + 1);
+  for (UserId v = 5; v < 10; ++v) builder.AddEdge(0, v);
+  return std::move(builder.Build()).value();
+}
+
+PropagationNetwork FullNetwork(const SocialGraph& g) {
+  DiffusionEpisode e(0);
+  for (UserId u = 0; u < 10; ++u) e.Add(u, u + 1);
+  EXPECT_TRUE(e.Finalize().ok());
+  return PropagationNetwork(g, e);
+}
+
+ContextOptions BfsOptions(uint32_t length, uint32_t depth = 4) {
+  ContextOptions opts;
+  opts.length = length;
+  opts.alpha = 1.0;  // Local only: isolate the strategy under test.
+  opts.strategy = LocalContextStrategy::kForwardBfs;
+  opts.bfs_max_depth = depth;
+  return opts;
+}
+
+TEST(ForwardBfsContextTest, EmitsDirectSuccessorsFirst) {
+  const SocialGraph g = FanChainGraph();
+  const PropagationNetwork net = FullNetwork(g);
+  Rng rng(1);
+  const InfluenceContext ctx =
+      GenerateInfluenceContext(net, 0, BfsOptions(6), rng);
+  // Level 1 of node 0 = {1, 5, 6, 7, 8, 9} exactly fills the budget.
+  const std::set<UserId> got(ctx.context.begin(), ctx.context.end());
+  EXPECT_EQ(got, (std::set<UserId>{1, 5, 6, 7, 8, 9}));
+}
+
+TEST(ForwardBfsContextTest, ExpandsToHigherOrders) {
+  const SocialGraph g = FanChainGraph();
+  const PropagationNetwork net = FullNetwork(g);
+  Rng rng(2);
+  const InfluenceContext ctx =
+      GenerateInfluenceContext(net, 0, BfsOptions(9), rng);
+  const std::set<UserId> got(ctx.context.begin(), ctx.context.end());
+  // 6 direct successors + the chain continuation 2, 3 (depth 2, 3).
+  EXPECT_TRUE(got.contains(2));
+  EXPECT_TRUE(got.contains(3));
+  EXPECT_EQ(ctx.context.size(), 9u);
+}
+
+TEST(ForwardBfsContextTest, NoDuplicatesUnlikeRandomWalk) {
+  const SocialGraph g = FanChainGraph();
+  const PropagationNetwork net = FullNetwork(g);
+  Rng rng(3);
+  const InfluenceContext ctx =
+      GenerateInfluenceContext(net, 0, BfsOptions(50), rng);
+  std::set<UserId> unique(ctx.context.begin(), ctx.context.end());
+  EXPECT_EQ(unique.size(), ctx.context.size());
+}
+
+TEST(ForwardBfsContextTest, DepthCapLimitsReach) {
+  const SocialGraph g = FanChainGraph();
+  const PropagationNetwork net = FullNetwork(g);
+  Rng rng(4);
+  const InfluenceContext ctx =
+      GenerateInfluenceContext(net, 0, BfsOptions(50, /*depth=*/1), rng);
+  // Depth 1: only direct successors.
+  for (UserId v : ctx.context) {
+    EXPECT_TRUE(v == 1 || v >= 5) << "node " << v << " beyond depth 1";
+  }
+}
+
+TEST(ForwardBfsContextTest, SinkStartIsEmpty) {
+  const SocialGraph g = FanChainGraph();
+  const PropagationNetwork net = FullNetwork(g);
+  Rng rng(5);
+  EXPECT_TRUE(GenerateInfluenceContext(net, 9, BfsOptions(10), rng)
+                  .context.empty());
+}
+
+TEST(ForwardBfsContextTest, OverflowingLevelIsSubsampled) {
+  const SocialGraph g = FanChainGraph();
+  const PropagationNetwork net = FullNetwork(g);
+  Rng rng(6);
+  const InfluenceContext ctx =
+      GenerateInfluenceContext(net, 0, BfsOptions(3), rng);
+  EXPECT_EQ(ctx.context.size(), 3u);
+  // All sampled nodes must still be direct successors of 0.
+  for (UserId v : ctx.context) {
+    EXPECT_TRUE(v == 1 || v >= 5);
+  }
+}
+
+TEST(ForwardBfsContextTest, GlobalComponentStillApplies) {
+  const SocialGraph g = FanChainGraph();
+  const PropagationNetwork net = FullNetwork(g);
+  Rng rng(7);
+  ContextOptions opts = BfsOptions(20);
+  opts.alpha = 0.5;
+  const InfluenceContext ctx = GenerateInfluenceContext(net, 9, opts, rng);
+  // Sink node: local part empty, global half-budget (10) still fills
+  // (with replacement, since the 9-user pool is smaller than the budget).
+  EXPECT_EQ(ctx.context.size(), 10u);
+  for (UserId v : ctx.context) EXPECT_NE(v, 9u);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,125 @@
+#include "eval/diffusion_task.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+class SetOracle : public InfluenceModel {
+ public:
+  SetOracle(uint32_t num_users, std::set<UserId> hot)
+      : num_users_(num_users), hot_(std::move(hot)) {}
+
+  std::string name() const override { return "SetOracle"; }
+  double ScoreActivation(UserId, const std::vector<UserId>&) const override {
+    return 0.0;
+  }
+  std::vector<double> ScoreDiffusion(const std::vector<UserId>&,
+                                     Rng&) const override {
+    std::vector<double> scores(num_users_, 0.0);
+    for (UserId u : hot_) scores[u] = 1.0;
+    return scores;
+  }
+
+ private:
+  uint32_t num_users_;
+  std::set<UserId> hot_;
+};
+
+DiffusionEpisode Episode(std::vector<UserId> users) {
+  DiffusionEpisode e(0);
+  Timestamp t = 0;
+  for (UserId u : users) e.Add(u, ++t);
+  EXPECT_TRUE(e.Finalize().ok());
+  return e;
+}
+
+TEST(BuildDiffusionCaseTest, FivePercentSeedSplit) {
+  std::vector<UserId> users(100);
+  for (UserId u = 0; u < 100; ++u) users[u] = u;
+  DiffusionTaskOptions opts;
+  const DiffusionCase c = BuildDiffusionCase(Episode(users), opts);
+  EXPECT_EQ(c.seeds.size(), 5u);
+  EXPECT_EQ(c.ground_truth.size(), 95u);
+  EXPECT_EQ(c.seeds[0], 0u);  // Chronological prefix.
+  EXPECT_EQ(c.ground_truth[0], 5u);
+}
+
+TEST(BuildDiffusionCaseTest, MinSeedsOnTinyEpisode) {
+  DiffusionTaskOptions opts;
+  const DiffusionCase c = BuildDiffusionCase(Episode({7, 8, 9}), opts);
+  EXPECT_EQ(c.seeds.size(), 1u);
+  EXPECT_EQ(c.seeds[0], 7u);
+  EXPECT_EQ(c.ground_truth.size(), 2u);
+}
+
+TEST(BuildDiffusionCaseTest, EmptyEpisode) {
+  DiffusionTaskOptions opts;
+  DiffusionEpisode e(0);
+  ASSERT_TRUE(e.Finalize().ok());
+  const DiffusionCase c = BuildDiffusionCase(e, opts);
+  EXPECT_TRUE(c.seeds.empty());
+  EXPECT_TRUE(c.ground_truth.empty());
+}
+
+TEST(BuildDiffusionCaseTest, SeedFractionRespected) {
+  std::vector<UserId> users(40);
+  for (UserId u = 0; u < 40; ++u) users[u] = u;
+  DiffusionTaskOptions opts;
+  opts.seed_fraction = 0.25;
+  const DiffusionCase c = BuildDiffusionCase(Episode(users), opts);
+  EXPECT_EQ(c.seeds.size(), 10u);
+}
+
+TEST(EvaluateDiffusionTest, OracleScoresPerfectly) {
+  ActionLog test;
+  test.AddEpisode(Episode({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  // Seeds = {0}; ground truth = {1..9}.
+  const SetOracle oracle(20, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  DiffusionTaskOptions opts;
+  Rng rng(1);
+  const RankingMetrics m = EvaluateDiffusion(oracle, 20, test, opts, rng);
+  EXPECT_EQ(m.num_queries, 1u);
+  EXPECT_DOUBLE_EQ(m.auc, 1.0);
+  EXPECT_DOUBLE_EQ(m.map, 1.0);
+}
+
+TEST(EvaluateDiffusionTest, SeedsExcludedFromRanking) {
+  ActionLog test;
+  test.AddEpisode(Episode({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  // Oracle scores ONLY the seed high — which is excluded, so AUC is flat.
+  const SetOracle oracle(20, {0});
+  DiffusionTaskOptions opts;
+  Rng rng(2);
+  const RankingMetrics m = EvaluateDiffusion(oracle, 20, test, opts, rng);
+  EXPECT_DOUBLE_EQ(m.auc, 0.5);  // All remaining scores tie at 0.
+}
+
+TEST(EvaluateDiffusionTest, SkipsEpisodesWithoutGroundTruth) {
+  ActionLog test;
+  test.AddEpisode(Episode({3}));  // Single user: all seed, no truth.
+  const SetOracle oracle(10, {});
+  DiffusionTaskOptions opts;
+  Rng rng(3);
+  const RankingMetrics m = EvaluateDiffusion(oracle, 10, test, opts, rng);
+  EXPECT_EQ(m.num_queries, 0u);
+}
+
+TEST(EvaluateDiffusionTest, MacroAveragesAcrossEpisodes) {
+  ActionLog test;
+  test.AddEpisode(Episode({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  test.AddEpisode(Episode({10, 11, 12, 13, 14, 15, 16, 17, 18, 19}));
+  // Oracle perfect on episode 1, useless on episode 2.
+  const SetOracle oracle(20, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  DiffusionTaskOptions opts;
+  Rng rng(4);
+  const RankingMetrics m = EvaluateDiffusion(oracle, 20, test, opts, rng);
+  EXPECT_EQ(m.num_queries, 2u);
+  EXPECT_GT(m.auc, 0.5);
+  EXPECT_LT(m.auc, 1.0);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,133 @@
+#include "baselines/em_ic.h"
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+DiffusionEpisode Episode(ItemId item,
+                         std::vector<std::pair<UserId, Timestamp>> rows) {
+  DiffusionEpisode e(item);
+  for (const auto& [u, t] : rows) e.Add(u, t);
+  EXPECT_TRUE(e.Finalize().ok());
+  return e;
+}
+
+TEST(EmStatisticsTest, TrialsAndGroupsOnSingleEdge) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+
+  ActionLog log;
+  log.AddEpisode(Episode(0, {{0, 1}, {1, 2}}));  // Success.
+  log.AddEpisode(Episode(1, {{0, 1}}));          // Failure (1 never acts).
+  log.AddEpisode(Episode(2, {{1, 1}, {0, 2}}));  // 1 first: no trial.
+
+  const EmStatistics stats(g, log);
+  ASSERT_EQ(stats.trials().size(), 1u);
+  EXPECT_EQ(stats.trials()[0], 2u);  // Episodes 0 and 1.
+  ASSERT_EQ(stats.groups().size(), 1u);
+  EXPECT_EQ(stats.groups()[0], std::vector<uint64_t>{0});
+}
+
+TEST(EmIterateTest, SingleEdgeConvergesToMle) {
+  // One edge, 1 success out of 2 trials: EM fixed point is 0.5.
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+  ActionLog log;
+  log.AddEpisode(Episode(0, {{0, 1}, {1, 2}}));
+  log.AddEpisode(Episode(1, {{0, 1}}));
+  const EmStatistics stats(g, log);
+
+  std::vector<double> probs = {0.3};
+  for (int i = 0; i < 30; ++i) EmIterate(stats, &probs);
+  EXPECT_NEAR(probs[0], 0.5, 1e-6);
+}
+
+TEST(EmIterateTest, LogLikelihoodNonDecreasing) {
+  // Diamond graph with overlapping parents exercises the credit split.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(2, 3);
+  const SocialGraph g = std::move(builder.Build()).value();
+  ActionLog log;
+  log.AddEpisode(Episode(0, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}));
+  log.AddEpisode(Episode(1, {{0, 1}, {2, 2}}));
+  log.AddEpisode(Episode(2, {{1, 1}, {2, 2}, {3, 3}}));
+  log.AddEpisode(Episode(3, {{0, 1}}));
+  const EmStatistics stats(g, log);
+
+  std::vector<double> probs(g.num_edges(), 0.2);
+  double prev = EmIterate(stats, &probs);
+  for (int i = 0; i < 15; ++i) {
+    const double ll = EmIterate(stats, &probs);
+    EXPECT_GE(ll, prev - 1e-9) << "EM likelihood decreased at iter " << i;
+    prev = ll;
+  }
+}
+
+TEST(EmIterateTest, EdgeWithNoTrialsGoesToZero) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  const SocialGraph g = std::move(builder.Build()).value();
+  ActionLog log;
+  log.AddEpisode(Episode(0, {{0, 1}, {1, 2}}));  // Only edge (0,1) tried...
+  // ...wait: after 1 activates it tries 2, which never acts -> trial.
+  const EmStatistics stats(g, log);
+  std::vector<double> probs = {0.5, 0.5};
+  EmIterate(stats, &probs);
+  // Edge (1,2): 1 trial, 0 successes -> responsibility 0 -> p = 0.
+  EXPECT_DOUBLE_EQ(probs[g.EdgeId(1, 2)], 0.0);
+}
+
+TEST(EmIterateTest, SharedCreditSplitsBetweenParents) {
+  // Both 0 and 1 always act before 2; p should converge so that the noisy-
+  // or matches 2's empirical activation rate.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  const SocialGraph g = std::move(builder.Build()).value();
+  ActionLog log;
+  // 2 activates in 2 of 4 exposures.
+  log.AddEpisode(Episode(0, {{0, 1}, {1, 2}, {2, 3}}));
+  log.AddEpisode(Episode(1, {{0, 1}, {1, 2}, {2, 3}}));
+  log.AddEpisode(Episode(2, {{0, 1}, {1, 2}}));
+  log.AddEpisode(Episode(3, {{0, 1}, {1, 2}}));
+  const EmStatistics stats(g, log);
+  std::vector<double> probs(2, 0.3);
+  for (int i = 0; i < 60; ++i) EmIterate(stats, &probs);
+  const double p0 = probs[g.EdgeId(0, 2)];
+  const double p1 = probs[g.EdgeId(1, 2)];
+  EXPECT_NEAR(1.0 - (1.0 - p0) * (1.0 - p1), 0.5, 0.02);
+  // Symmetric data -> symmetric solution.
+  EXPECT_NEAR(p0, p1, 1e-6);
+}
+
+TEST(CreateEmModelTest, ProducesBoundedProbabilities) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  const SocialGraph g = std::move(builder.Build()).value();
+  ActionLog log;
+  log.AddEpisode(Episode(0, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}));
+  log.AddEpisode(Episode(1, {{0, 1}, {1, 2}}));
+
+  EmOptions options;
+  options.iterations = 10;
+  EmDiagnostics diag;
+  const IcBaselineModel model = CreateEmModel(g, log, options, &diag);
+  EXPECT_EQ(model.name(), "EM");
+  EXPECT_EQ(diag.log_likelihood.size(), 10u);
+  for (uint64_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(model.probs().Get(e), 0.0);
+    EXPECT_LE(model.probs().Get(e), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,151 @@
+#include "baselines/emb_ic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+DiffusionEpisode Episode(ItemId item,
+                         std::vector<std::pair<UserId, Timestamp>> rows) {
+  DiffusionEpisode e(item);
+  for (const auto& [u, t] : rows) e.Add(u, t);
+  EXPECT_TRUE(e.Finalize().ok());
+  return e;
+}
+
+/// Two-edge graph where edge (0,1) always succeeds and edge (0,2) always
+/// fails across many episodes.
+struct Fixture {
+  Fixture() {
+    GraphBuilder builder(3);
+    builder.AddEdge(0, 1);
+    builder.AddEdge(0, 2);
+    graph = std::move(builder.Build()).value();
+    for (ItemId i = 0; i < 20; ++i) {
+      log.AddEpisode(Episode(i, {{0, 1}, {1, 2}}));  // 1 follows, 2 never.
+    }
+  }
+  SocialGraph graph;
+  ActionLog log;
+};
+
+TEST(EmbIcTrainerTest, LearnsToSeparateGoodAndBadEdges) {
+  Fixture f;
+  EmbIcOptions options;
+  options.dim = 8;
+  options.em_iterations = 25;
+  options.learning_rate = 0.2;
+  EmbIcTrainer trainer(f.graph, f.log, options);
+  for (uint32_t i = 0; i < options.em_iterations; ++i) {
+    trainer.RunEmIteration();
+  }
+  const double p_good =
+      trainer.EdgeProbability(static_cast<uint64_t>(f.graph.EdgeId(0, 1)));
+  const double p_bad =
+      trainer.EdgeProbability(static_cast<uint64_t>(f.graph.EdgeId(0, 2)));
+  EXPECT_GT(p_good, p_bad + 0.2)
+      << "good=" << p_good << " bad=" << p_bad;
+}
+
+TEST(EmbIcTrainerTest, LikelihoodTrendsUpward) {
+  Fixture f;
+  EmbIcOptions options;
+  options.dim = 8;
+  options.learning_rate = 0.1;
+  EmbIcTrainer trainer(f.graph, f.log, options);
+  const double first = trainer.RunEmIteration();
+  double last = first;
+  for (int i = 0; i < 15; ++i) last = trainer.RunEmIteration();
+  EXPECT_GT(last, first);
+}
+
+TEST(EmbIcTrainerTest, MaterializedProbabilitiesAreValid) {
+  Fixture f;
+  EmbIcOptions options;
+  options.dim = 4;
+  EmbIcTrainer trainer(f.graph, f.log, options);
+  trainer.RunEmIteration();
+  const EdgeProbabilities probs = trainer.MaterializeProbabilities();
+  ASSERT_EQ(probs.size(), f.graph.num_edges());
+  for (uint64_t e = 0; e < probs.size(); ++e) {
+    EXPECT_GT(probs.Get(e), 0.0);
+    EXPECT_LT(probs.Get(e), 1.0);
+  }
+}
+
+TEST(EmbIcModelTest, TrainRejectsBadInput) {
+  Fixture f;
+  ActionLog empty;
+  EmbIcOptions options;
+  EXPECT_FALSE(EmbIcModel::Train(f.graph, empty, options).ok());
+  options.dim = 0;
+  EXPECT_FALSE(EmbIcModel::Train(f.graph, f.log, options).ok());
+}
+
+TEST(EmbIcModelTest, ScoresThroughIcSemantics) {
+  Fixture f;
+  EmbIcOptions options;
+  options.dim = 8;
+  options.em_iterations = 20;
+  options.learning_rate = 0.2;
+  options.mc_simulations = 200;
+  auto model = EmbIcModel::Train(f.graph, f.log, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().name(), "Emb-IC");
+
+  // Activation: user 1 (always influenced) must outscore user 2 (never).
+  const double s1 = model.value().ScoreActivation(1, {0});
+  const double s2 = model.value().ScoreActivation(2, {0});
+  EXPECT_GT(s1, s2);
+
+  // Diffusion scores live in [0, 1] and seeds are 1.
+  Rng rng(1);
+  const std::vector<double> scores = model.value().ScoreDiffusion({0}, rng);
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(NaiveEmbIcReplicaTest, CountsCoOccurrenceTrialTerms) {
+  // One episode of 3 adopters: positives = 3 ordered pairs; failures are
+  // sampled (3 draws per adopter, only non-adopters kept).
+  ActionLog log;
+  log.AddEpisode(Episode(0, {{0, 1}, {1, 2}, {2, 3}}));
+  EmbIcOptions options;
+  options.dim = 4;
+  const NaiveEmbIcReplica replica(50, log, options);
+  EXPECT_GE(replica.num_trial_terms(), 3u);
+  EXPECT_LE(replica.num_trial_terms(), 3u + 9u);
+}
+
+TEST(NaiveEmbIcReplicaTest, IterationsRunAndLikelihoodIsFinite) {
+  Fixture f;
+  EmbIcOptions options;
+  options.dim = 6;
+  options.learning_rate = 0.05;
+  NaiveEmbIcReplica replica(f.graph.num_users(), f.log, options);
+  double ll = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    ll = replica.RunEmIteration();
+    EXPECT_TRUE(std::isfinite(ll));
+  }
+  EXPECT_LT(ll, 0.0);  // Log-likelihood of probabilities is negative.
+}
+
+TEST(EmbIcModelTest, ExposesEmbeddingsForVisualization) {
+  Fixture f;
+  EmbIcOptions options;
+  options.dim = 6;
+  options.em_iterations = 2;
+  auto model = EmbIcModel::Train(f.graph, f.log, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().embeddings().dim(), 6u);
+  EXPECT_EQ(model.value().embeddings().num_users(), 3u);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,70 @@
+#include "core/embedding_predictor.h"
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+EmbeddingStore TinyStore() {
+  // 3 users, dim 1. Score(u, v) = s_u * t_v + b_u + bt_v.
+  EmbeddingStore store(3, 1);
+  store.Source(0)[0] = 1.0;
+  store.Source(1)[0] = 2.0;
+  store.Source(2)[0] = -1.0;
+  store.Target(0)[0] = 1.0;
+  store.Target(1)[0] = 0.5;
+  store.Target(2)[0] = 2.0;
+  store.mutable_source_bias(0) = 0.1;
+  store.mutable_target_bias(2) = 0.2;
+  return store;
+}
+
+TEST(EmbeddingPredictorTest, ScoreActivationAve) {
+  const EmbeddingStore store = TinyStore();
+  const EmbeddingPredictor pred("X", &store, Aggregation::kAve);
+  // x(0,2) = 1*2 + 0.1 + 0.2 = 2.3 ; x(1,2) = 2*2 + 0 + 0.2 = 4.2.
+  EXPECT_NEAR(pred.ScoreActivation(2, {0, 1}), (2.3 + 4.2) / 2.0, 1e-12);
+}
+
+TEST(EmbeddingPredictorTest, ScoreActivationLatestUsesOrder) {
+  const EmbeddingStore store = TinyStore();
+  const EmbeddingPredictor pred("X", &store, Aggregation::kLatest);
+  EXPECT_NEAR(pred.ScoreActivation(2, {0, 1}), 4.2, 1e-12);
+  EXPECT_NEAR(pred.ScoreActivation(2, {1, 0}), 2.3, 1e-12);
+}
+
+TEST(EmbeddingPredictorTest, ScoreActivationMax) {
+  const EmbeddingStore store = TinyStore();
+  const EmbeddingPredictor pred("X", &store, Aggregation::kMax);
+  EXPECT_NEAR(pred.ScoreActivation(2, {0, 1}), 4.2, 1e-12);
+}
+
+TEST(EmbeddingPredictorTest, EmptyInfluencersDie) {
+  const EmbeddingStore store = TinyStore();
+  const EmbeddingPredictor pred("X", &store, Aggregation::kAve);
+  EXPECT_DEATH(pred.ScoreActivation(2, {}), "at least one");
+}
+
+TEST(EmbeddingPredictorTest, ScoreDiffusionMatchesManualAggregation) {
+  const EmbeddingStore store = TinyStore();
+  const EmbeddingPredictor pred("X", &store, Aggregation::kAve);
+  Rng rng(1);
+  const std::vector<double> scores = pred.ScoreDiffusion({0, 1}, rng);
+  ASSERT_EQ(scores.size(), 3u);
+  for (UserId v = 0; v < 3; ++v) {
+    const double expected = (store.Score(0, v) + store.Score(1, v)) / 2.0;
+    EXPECT_NEAR(scores[v], expected, 1e-12);
+  }
+}
+
+TEST(EmbeddingPredictorTest, NameAndAggregationAccessors) {
+  const EmbeddingStore store = TinyStore();
+  EmbeddingPredictor pred("MyModel", &store, Aggregation::kSum);
+  EXPECT_EQ(pred.name(), "MyModel");
+  EXPECT_EQ(pred.aggregation(), Aggregation::kSum);
+  pred.set_aggregation(Aggregation::kMax);
+  EXPECT_EQ(pred.aggregation(), Aggregation::kMax);
+}
+
+}  // namespace
+}  // namespace inf2vec

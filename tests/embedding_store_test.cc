@@ -1,0 +1,101 @@
+#include "embedding/embedding_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+TEST(EmbeddingStoreTest, InitialStateIsZero) {
+  const EmbeddingStore store(4, 3);
+  EXPECT_EQ(store.num_users(), 4u);
+  EXPECT_EQ(store.dim(), 3u);
+  for (UserId u = 0; u < 4; ++u) {
+    for (double x : store.Source(u)) EXPECT_DOUBLE_EQ(x, 0.0);
+    for (double x : store.Target(u)) EXPECT_DOUBLE_EQ(x, 0.0);
+    EXPECT_DOUBLE_EQ(store.source_bias(u), 0.0);
+    EXPECT_DOUBLE_EQ(store.target_bias(u), 0.0);
+  }
+}
+
+TEST(EmbeddingStoreTest, PaperInitStaysInBound) {
+  EmbeddingStore store(50, 25);
+  Rng rng(1);
+  store.InitPaperDefault(rng);
+  const double bound = 1.0 / 25.0;
+  double max_abs = 0.0;
+  for (UserId u = 0; u < 50; ++u) {
+    for (double x : store.Source(u)) {
+      EXPECT_LT(std::abs(x), bound + 1e-12);
+      max_abs = std::max(max_abs, std::abs(x));
+    }
+    for (double x : store.Target(u)) EXPECT_LT(std::abs(x), bound + 1e-12);
+    EXPECT_DOUBLE_EQ(store.source_bias(u), 0.0);
+    EXPECT_DOUBLE_EQ(store.target_bias(u), 0.0);
+  }
+  EXPECT_GT(max_abs, bound * 0.5);  // Actually uses the range.
+}
+
+TEST(EmbeddingStoreTest, InitUniformResetsBiases) {
+  EmbeddingStore store(3, 2);
+  store.mutable_source_bias(1) = 5.0;
+  Rng rng(2);
+  store.InitUniform(-0.1, 0.1, rng);
+  EXPECT_DOUBLE_EQ(store.source_bias(1), 0.0);
+}
+
+TEST(EmbeddingStoreTest, ScoreIsDotPlusBiases) {
+  EmbeddingStore store(2, 3);
+  auto s = store.Source(0);
+  s[0] = 1.0;
+  s[1] = 2.0;
+  s[2] = -1.0;
+  auto t = store.Target(1);
+  t[0] = 0.5;
+  t[1] = 0.25;
+  t[2] = 2.0;
+  store.mutable_source_bias(0) = 0.125;
+  store.mutable_target_bias(1) = -0.5;
+  // 0.5 + 0.5 - 2 + 0.125 - 0.5 = -1.375.
+  EXPECT_DOUBLE_EQ(store.Score(0, 1), -1.375);
+}
+
+TEST(EmbeddingStoreTest, ScoreIsDirectional) {
+  EmbeddingStore store(2, 1);
+  store.Source(0)[0] = 1.0;
+  store.Target(1)[0] = 2.0;
+  store.Source(1)[0] = -3.0;
+  store.Target(0)[0] = 1.0;
+  EXPECT_DOUBLE_EQ(store.Score(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(store.Score(1, 0), -3.0);
+}
+
+TEST(EmbeddingStoreTest, ConcatenatedVector) {
+  EmbeddingStore store(1, 2);
+  store.Source(0)[0] = 1.0;
+  store.Source(0)[1] = 2.0;
+  store.Target(0)[0] = 3.0;
+  store.Target(0)[1] = 4.0;
+  EXPECT_EQ(store.ConcatenatedVector(0),
+            (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(EmbeddingStoreTest, SpansAliasUnderlyingStorage) {
+  EmbeddingStore store(2, 2);
+  store.Source(1)[0] = 9.0;
+  EXPECT_DOUBLE_EQ(store.Source(1)[0], 9.0);
+  EXPECT_DOUBLE_EQ(store.Source(0)[0], 0.0);  // No cross-row bleed.
+}
+
+TEST(EmbeddingStoreTest, EqualityComparesAllParameters) {
+  EmbeddingStore a(2, 2);
+  EmbeddingStore b(2, 2);
+  EXPECT_EQ(a, b);
+  b.mutable_target_bias(0) = 0.001;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,159 @@
+// Failure-injection tests: corrupted files, hostile inputs, and degenerate
+// data shapes must produce Status errors (or well-defined no-ops) — never
+// crashes or silent garbage.
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "action/action_log_io.h"
+#include "baselines/ic_baseline.h"
+#include "diffusion/influence_pairs.h"
+#include "diffusion/propagation_network.h"
+#include "embedding/model_io.h"
+#include "eval/activation_task.h"
+#include "graph/graph_io.h"
+#include "util/io.h"
+#include "util/rng.h"
+
+namespace inf2vec {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("inf2vec_fail_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FailureInjectionTest, TruncatedModelAtEveryBoundaryFailsCleanly) {
+  EmbeddingStore store(6, 3);
+  Rng rng(1);
+  store.InitUniform(-1, 1, rng);
+  ASSERT_TRUE(SaveEmbeddings(store, Path("m.bin")).ok());
+  std::string blob;
+  ASSERT_TRUE(ReadFile(Path("m.bin"), &blob).ok());
+
+  // Truncate at a spread of byte offsets including header boundaries.
+  for (size_t cut : {0ul, 4ul, 8ul, 15ul, 16ul, 17ul, blob.size() / 2,
+                     blob.size() - 1}) {
+    ASSERT_TRUE(WriteFile(Path("cut.bin"), blob.substr(0, cut)).ok());
+    auto loaded = LoadEmbeddings(Path("cut.bin"));
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut << " loaded silently";
+  }
+}
+
+TEST_F(FailureInjectionTest, HeaderCorruptionDetected) {
+  EmbeddingStore store(4, 2);
+  ASSERT_TRUE(SaveEmbeddings(store, Path("m.bin")).ok());
+  std::string blob;
+  ASSERT_TRUE(ReadFile(Path("m.bin"), &blob).ok());
+  // Claim absurd dimensions: size check must catch the mismatch.
+  std::string corrupt = blob;
+  corrupt[8] = static_cast<char>(0xff);  // num_users low byte.
+  ASSERT_TRUE(WriteFile(Path("c.bin"), corrupt).ok());
+  EXPECT_FALSE(LoadEmbeddings(Path("c.bin")).ok());
+}
+
+TEST_F(FailureInjectionTest, GraphLoaderRejectsHostileRows) {
+  const std::vector<std::string> bad_rows = {
+      "-1\t2",                     // Negative id.
+      "1\t99999999999999999999",   // Overflow.
+      "1.5\t2",                    // Non-integer.
+      "justonefield",              // Missing column.
+  };
+  for (const std::string& row : bad_rows) {
+    ASSERT_TRUE(WriteLines(Path("g.tsv"), {row}).ok());
+    EXPECT_FALSE(LoadEdgeListAutoSize(Path("g.tsv")).ok())
+        << "accepted: " << row;
+  }
+  // Whitespace-only lines are blank lines: skipped, not an error.
+  ASSERT_TRUE(WriteLines(Path("g.tsv"), {"\t", "0\t1"}).ok());
+  auto ok = LoadEdgeListAutoSize(Path("g.tsv"));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().num_edges(), 1u);
+}
+
+TEST_F(FailureInjectionTest, ActionLogLoaderRejectsHostileRows) {
+  for (const std::string& row :
+       {std::string("1\t2"), std::string("a\t0\t1"),
+        std::string("1\t0\tnotatime"), std::string("-5\t0\t1")}) {
+    ASSERT_TRUE(WriteLines(Path("a.tsv"), {row}).ok());
+    EXPECT_FALSE(LoadActionLog(Path("a.tsv")).ok()) << "accepted: " << row;
+  }
+}
+
+TEST_F(FailureInjectionTest, EpisodeWithIdenticalTimesYieldsNoPairs) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  const SocialGraph g = std::move(builder.Build()).value();
+  DiffusionEpisode e(0);
+  for (UserId u = 0; u < 4; ++u) e.Add(u, 42);
+  ASSERT_TRUE(e.Finalize().ok());
+  EXPECT_TRUE(ExtractInfluencePairs(g, e).empty());
+  const PropagationNetwork net(g, e);
+  EXPECT_EQ(net.num_edges(), 0u);
+  EXPECT_TRUE(net.IsAcyclic());
+}
+
+TEST_F(FailureInjectionTest, EvaluationOnForeignUsersIsSafe) {
+  // Action log mentions users beyond the graph's id space: pair
+  // extraction and evaluation must skip them rather than index OOB.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+  DiffusionEpisode e(0);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  e.Add(250, 3);  // Beyond num_users.
+  ASSERT_TRUE(e.Finalize().ok());
+  ActionLog log;
+  log.AddEpisode(std::move(e));
+
+  EXPECT_EQ(ExtractInfluencePairs(g, log.episodes()[0]).size(), 1u);
+  const IcBaselineModel de = CreateDegreeModel(g, 5);
+  const RankingMetrics m = EvaluateActivation(de, g, log);
+  EXPECT_LE(m.auc, 1.0);
+}
+
+TEST_F(FailureInjectionTest, EmptyGraphWithEpisodesDegradesGracefully) {
+  GraphBuilder builder(5);
+  const SocialGraph g = std::move(builder.Build()).value();  // No edges.
+  DiffusionEpisode e(0);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  ASSERT_TRUE(e.Finalize().ok());
+  ActionLog log;
+  log.AddEpisode(std::move(e));
+  const PairFrequencyTable table(g, log);
+  EXPECT_EQ(table.total_pairs(), 0u);
+  const IcBaselineModel st = CreateStaticModel(g, log, 5);
+  const RankingMetrics m = EvaluateActivation(st, g, log);
+  EXPECT_EQ(m.num_queries, 0u);  // Nobody is exposed without edges.
+}
+
+TEST_F(FailureInjectionTest, RandomBinaryGarbageNeverLoadsAsModel) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string garbage;
+    const size_t len = 16 + rng.UniformU64(256);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.UniformU64(256)));
+    }
+    ASSERT_TRUE(WriteFile(Path("junk.bin"), garbage).ok());
+    auto loaded = LoadEmbeddings(Path("junk.bin"));
+    EXPECT_FALSE(loaded.ok());
+  }
+}
+
+}  // namespace
+}  // namespace inf2vec

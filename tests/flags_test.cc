@@ -1,0 +1,90 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+FlagParser ParseArgs(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto parser = FlagParser::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(parser.ok());
+  return std::move(parser).value();
+}
+
+TEST(FlagParserTest, KeyValuePairs) {
+  const FlagParser p = ParseArgs({"--name", "alice", "--count", "7"});
+  EXPECT_TRUE(p.Has("name"));
+  EXPECT_EQ(p.GetString("name", ""), "alice");
+  EXPECT_EQ(p.GetInt("count", 0).value(), 7);
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  const FlagParser p = ParseArgs({"--rate=0.25", "--label=x=y"});
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate", 0.0).value(), 0.25);
+  EXPECT_EQ(p.GetString("label", ""), "x=y");  // Split on first '=' only.
+}
+
+TEST(FlagParserTest, BareSwitches) {
+  const FlagParser p = ParseArgs({"--verbose", "--dry-run", "--k", "3"});
+  EXPECT_TRUE(p.GetBool("verbose", false));
+  EXPECT_TRUE(p.GetBool("dry-run", false));
+  EXPECT_FALSE(p.GetBool("absent", false));
+  EXPECT_TRUE(p.GetBool("absent", true));
+}
+
+TEST(FlagParserTest, BoolValueForms) {
+  const FlagParser p =
+      ParseArgs({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(p.GetBool("a", false));
+  EXPECT_TRUE(p.GetBool("b", false));
+  EXPECT_TRUE(p.GetBool("c", false));
+  EXPECT_FALSE(p.GetBool("d", true));
+  EXPECT_FALSE(p.GetBool("e", true));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  const FlagParser p = ParseArgs({"train", "--dim", "8", "extra"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "train");
+  EXPECT_EQ(p.positional()[1], "extra");
+}
+
+TEST(FlagParserTest, SwitchFollowedByFlag) {
+  const FlagParser p = ParseArgs({"--local-only", "--dim", "16"});
+  EXPECT_TRUE(p.GetBool("local-only", false));
+  EXPECT_EQ(p.GetInt("dim", 0).value(), 16);
+}
+
+TEST(FlagParserTest, FallbacksWhenAbsent) {
+  const FlagParser p = ParseArgs({});
+  EXPECT_EQ(p.GetString("x", "def"), "def");
+  EXPECT_EQ(p.GetInt("x", 9).value(), 9);
+  EXPECT_DOUBLE_EQ(p.GetDouble("x", 1.5).value(), 1.5);
+}
+
+TEST(FlagParserTest, BadNumericValuesError) {
+  const FlagParser p = ParseArgs({"--n", "abc", "--d", "1.2.3"});
+  EXPECT_FALSE(p.GetInt("n", 0).ok());
+  EXPECT_FALSE(p.GetDouble("d", 0.0).ok());
+}
+
+TEST(FlagParserTest, BareDoubleDashRejected) {
+  std::vector<const char*> argv = {"prog", "--"};
+  auto parser = FlagParser::Parse(2, argv.data());
+  EXPECT_FALSE(parser.ok());
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  const FlagParser p = ParseArgs({"--k", "1", "--k", "2"});
+  EXPECT_EQ(p.GetInt("k", 0).value(), 2);
+}
+
+TEST(FlagParserTest, KeysListsProvidedFlags) {
+  const FlagParser p = ParseArgs({"--a", "1", "--b=2"});
+  const std::vector<std::string> keys = p.Keys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+}  // namespace
+}  // namespace inf2vec

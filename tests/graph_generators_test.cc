@@ -1,0 +1,103 @@
+#include "graph/graph_generators.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+TEST(PreferentialAttachmentTest, RejectsBadOptions) {
+  Rng rng(1);
+  PreferentialAttachmentOptions opts;
+  opts.num_users = 1;
+  EXPECT_FALSE(GeneratePreferentialAttachment(opts, rng).ok());
+  opts.num_users = 100;
+  opts.mean_out_degree = 0.0;
+  EXPECT_FALSE(GeneratePreferentialAttachment(opts, rng).ok());
+}
+
+TEST(PreferentialAttachmentTest, ProducesRequestedSize) {
+  Rng rng(2);
+  PreferentialAttachmentOptions opts;
+  opts.num_users = 500;
+  opts.mean_out_degree = 8.0;
+  const SocialGraph g =
+      std::move(GeneratePreferentialAttachment(opts, rng)).value();
+  EXPECT_EQ(g.num_users(), 500u);
+  // Roughly mean_out_degree edges per node (reciprocity adds more).
+  EXPECT_GT(g.num_edges(), 500u * 4);
+  EXPECT_LT(g.num_edges(), 500u * 30);
+}
+
+TEST(PreferentialAttachmentTest, InDegreesAreHeavyTailed) {
+  Rng rng(3);
+  PreferentialAttachmentOptions opts;
+  opts.num_users = 1500;
+  opts.mean_out_degree = 8.0;
+  const SocialGraph g =
+      std::move(GeneratePreferentialAttachment(opts, rng)).value();
+
+  uint32_t max_in = 0;
+  double mean_in = 0.0;
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    max_in = std::max(max_in, g.InDegree(u));
+    mean_in += g.InDegree(u);
+  }
+  mean_in /= g.num_users();
+  // Hubs should dwarf the mean — the signature of a heavy tail.
+  EXPECT_GT(max_in, 8 * mean_in);
+}
+
+TEST(PreferentialAttachmentTest, ReciprocityCreatesMutualEdges) {
+  Rng rng(4);
+  PreferentialAttachmentOptions opts;
+  opts.num_users = 300;
+  opts.reciprocity = 1.0;
+  const SocialGraph g =
+      std::move(GeneratePreferentialAttachment(opts, rng)).value();
+  uint64_t mutual = 0;
+  uint64_t total = 0;
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    for (UserId v : g.OutNeighbors(u)) {
+      ++total;
+      mutual += g.HasEdge(v, u) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(static_cast<double>(mutual) / total, 0.95);
+}
+
+TEST(PreferentialAttachmentTest, DeterministicGivenSeed) {
+  PreferentialAttachmentOptions opts;
+  opts.num_users = 200;
+  Rng rng1(42);
+  Rng rng2(42);
+  const SocialGraph g1 =
+      std::move(GeneratePreferentialAttachment(opts, rng1)).value();
+  const SocialGraph g2 =
+      std::move(GeneratePreferentialAttachment(opts, rng2)).value();
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_EQ(g1.Edges(), g2.Edges());
+}
+
+TEST(ErdosRenyiTest, RejectsBadProbability) {
+  Rng rng(5);
+  EXPECT_FALSE(GenerateErdosRenyi(10, -0.1, rng).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(10, 1.1, rng).ok());
+}
+
+TEST(ErdosRenyiTest, EdgeCountMatchesProbability) {
+  Rng rng(6);
+  const SocialGraph g = std::move(GenerateErdosRenyi(100, 0.1, rng)).value();
+  const double expected = 100.0 * 99.0 * 0.1;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.2 * expected);
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityIsEmpty) {
+  Rng rng(7);
+  const SocialGraph g = std::move(GenerateErdosRenyi(50, 0.0, rng)).value();
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace inf2vec

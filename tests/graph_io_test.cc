@@ -1,0 +1,84 @@
+#include "graph/graph_io.h"
+
+#include <filesystem>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "util/io.h"
+
+namespace inf2vec {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("inf2vec_graph_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(GraphIoTest, SaveLoadRoundTrip) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(4, 0);
+  const SocialGraph g = std::move(builder.Build()).value();
+  ASSERT_TRUE(SaveEdgeList(g, Path("g.tsv")).ok());
+
+  auto loaded = LoadEdgeList(Path("g.tsv"), 5);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_edges(), 3u);
+  EXPECT_TRUE(loaded.value().HasEdge(4, 0));
+}
+
+TEST_F(GraphIoTest, LoadIgnoresCommentsAndBlankLines) {
+  ASSERT_TRUE(WriteLines(Path("g.tsv"),
+                         {"# header", "", "0\t1", "  ", "# mid", "1\t2"})
+                  .ok());
+  auto loaded = LoadEdgeList(Path("g.tsv"), 3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_edges(), 2u);
+}
+
+TEST_F(GraphIoTest, LoadAcceptsSpaceSeparation) {
+  ASSERT_TRUE(WriteLines(Path("g.txt"), {"0 1", "2 0"}).ok());
+  auto loaded = LoadEdgeList(Path("g.txt"), 3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().HasEdge(2, 0));
+}
+
+TEST_F(GraphIoTest, AutoSizeInfersUserCount) {
+  ASSERT_TRUE(WriteLines(Path("g.tsv"), {"0\t7", "3\t2"}).ok());
+  auto loaded = LoadEdgeListAutoSize(Path("g.tsv"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_users(), 8u);
+}
+
+TEST_F(GraphIoTest, LoadRejectsMalformedLine) {
+  ASSERT_TRUE(WriteLines(Path("bad.tsv"), {"0\t1", "justone"}).ok());
+  EXPECT_FALSE(LoadEdgeList(Path("bad.tsv"), 3).ok());
+}
+
+TEST_F(GraphIoTest, LoadRejectsNonNumeric) {
+  ASSERT_TRUE(WriteLines(Path("bad.tsv"), {"a\tb"}).ok());
+  EXPECT_FALSE(LoadEdgeList(Path("bad.tsv"), 3).ok());
+}
+
+TEST_F(GraphIoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadEdgeList(Path("absent.tsv"), 3).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(GraphIoTest, LoadRejectsIdsBeyondDeclaredUsers) {
+  ASSERT_TRUE(WriteLines(Path("g.tsv"), {"0\t9"}).ok());
+  EXPECT_FALSE(LoadEdgeList(Path("g.tsv"), 3).ok());
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,52 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+RankingMetrics Metrics(double auc, double map) {
+  RankingMetrics m;
+  m.auc = auc;
+  m.map = map;
+  m.p10 = 0.1;
+  m.p50 = 0.05;
+  m.p100 = 0.025;
+  return m;
+}
+
+TEST(ResultTableTest, RendersTitleHeaderAndRows) {
+  ResultTable table("Activation prediction on digg-like");
+  table.AddRow("DE", Metrics(0.41, 0.017));
+  table.AddRow("Inf2vec", Metrics(0.89, 0.274));
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Activation prediction on digg-like"), std::string::npos);
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("AUC"), std::string::npos);
+  EXPECT_NE(out.find("P@100"), std::string::npos);
+  EXPECT_NE(out.find("DE"), std::string::npos);
+  EXPECT_NE(out.find("0.4100"), std::string::npos);
+  EXPECT_NE(out.find("Inf2vec"), std::string::npos);
+  EXPECT_NE(out.find("0.8900"), std::string::npos);
+}
+
+TEST(ResultTableTest, StdevRowsParenthesized) {
+  ResultTable table("t");
+  MetricsSummary summary;
+  summary.mean = Metrics(0.8, 0.2);
+  summary.stdev = Metrics(0.001, 0.002);
+  summary.runs = 10;
+  table.AddRowWithStdev("Inf2vec", summary);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("(stdev)"), std::string::npos);
+  EXPECT_NE(out.find("(0.0010)"), std::string::npos);
+}
+
+TEST(ResultTableTest, EmptyTableStillRendersHeader) {
+  ResultTable table("empty");
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace inf2vec

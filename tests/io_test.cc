@@ -1,0 +1,74 @@
+#include "util/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("inf2vec_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, WriteAndReadLinesRoundTrip) {
+  const std::vector<std::string> lines = {"alpha", "", "gamma delta"};
+  ASSERT_TRUE(WriteLines(Path("a.txt"), lines).ok());
+  std::vector<std::string> read;
+  ASSERT_TRUE(ReadLines(Path("a.txt"), &read).ok());
+  EXPECT_EQ(read, lines);
+}
+
+TEST_F(IoTest, ReadLinesStripsCarriageReturns) {
+  ASSERT_TRUE(WriteFile(Path("crlf.txt"), "one\r\ntwo\r\n").ok());
+  std::vector<std::string> read;
+  ASSERT_TRUE(ReadLines(Path("crlf.txt"), &read).ok());
+  ASSERT_EQ(read.size(), 2u);
+  EXPECT_EQ(read[0], "one");
+  EXPECT_EQ(read[1], "two");
+}
+
+TEST_F(IoTest, ReadMissingFileFails) {
+  std::vector<std::string> lines;
+  EXPECT_EQ(ReadLines(Path("missing.txt"), &lines).code(),
+            StatusCode::kIOError);
+  std::string contents;
+  EXPECT_EQ(ReadFile(Path("missing.txt"), &contents).code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(IoTest, WriteFileBinaryRoundTrip) {
+  std::string blob;
+  for (int i = 0; i < 256; ++i) blob.push_back(static_cast<char>(i));
+  ASSERT_TRUE(WriteFile(Path("bin"), blob).ok());
+  std::string read;
+  ASSERT_TRUE(ReadFile(Path("bin"), &read).ok());
+  EXPECT_EQ(read, blob);
+}
+
+TEST_F(IoTest, WriteReplacesExisting) {
+  ASSERT_TRUE(WriteFile(Path("f"), "long old contents here").ok());
+  ASSERT_TRUE(WriteFile(Path("f"), "new").ok());
+  std::string read;
+  ASSERT_TRUE(ReadFile(Path("f"), &read).ok());
+  EXPECT_EQ(read, "new");
+}
+
+TEST_F(IoTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteFile(Path("no_dir") + "/x/y", "data").ok());
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,106 @@
+#include "core/item_clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+DiffusionEpisode Episode(ItemId item, std::vector<UserId> users) {
+  DiffusionEpisode e(item);
+  Timestamp t = 0;
+  for (UserId u : users) e.Add(u, ++t);
+  EXPECT_TRUE(e.Finalize().ok());
+  return e;
+}
+
+/// Two disjoint audiences: items 0..9 adopted by users 0-4, items 10..19
+/// by users 5-9.
+ActionLog TwoAudienceLog() {
+  ActionLog log;
+  for (ItemId i = 0; i < 10; ++i) {
+    log.AddEpisode(Episode(i, {0, 1, 2, 3, 4}));
+  }
+  for (ItemId i = 10; i < 20; ++i) {
+    log.AddEpisode(Episode(i, {5, 6, 7, 8, 9}));
+  }
+  return log;
+}
+
+TEST(ItemClusteringTest, FitRejectsBadInput) {
+  ItemClusteringOptions options;
+  ActionLog empty;
+  EXPECT_FALSE(ItemClustering::Fit(empty, 10, options).ok());
+  options.num_clusters = 0;
+  EXPECT_FALSE(ItemClustering::Fit(TwoAudienceLog(), 10, options).ok());
+}
+
+TEST(ItemClusteringTest, SeparatesDisjointAudiences) {
+  ItemClusteringOptions options;
+  options.num_clusters = 2;
+  auto clustering = ItemClustering::Fit(TwoAudienceLog(), 10, options);
+  ASSERT_TRUE(clustering.ok());
+  // All first-half episodes share a cluster; second half the other.
+  const uint32_t first = clustering.value().ClusterOfEpisode(0);
+  const uint32_t second = clustering.value().ClusterOfEpisode(10);
+  EXPECT_NE(first, second);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(clustering.value().ClusterOfEpisode(i), first);
+  }
+  for (size_t i = 10; i < 20; ++i) {
+    EXPECT_EQ(clustering.value().ClusterOfEpisode(i), second);
+  }
+}
+
+TEST(ItemClusteringTest, AssignAdoptersMatchesTrainingClusters) {
+  ItemClusteringOptions options;
+  options.num_clusters = 2;
+  auto clustering = ItemClustering::Fit(TwoAudienceLog(), 10, options);
+  ASSERT_TRUE(clustering.ok());
+  const uint32_t first = clustering.value().ClusterOfEpisode(0);
+  const uint32_t second = clustering.value().ClusterOfEpisode(10);
+  EXPECT_EQ(clustering.value().AssignAdopters({0, 1, 2}), first);
+  EXPECT_EQ(clustering.value().AssignAdopters({7, 8}), second);
+}
+
+TEST(ItemClusteringTest, ClampsClusterCountToEpisodes) {
+  ActionLog log;
+  log.AddEpisode(Episode(0, {0, 1}));
+  log.AddEpisode(Episode(1, {2, 3}));
+  ItemClusteringOptions options;
+  options.num_clusters = 50;
+  auto clustering = ItemClustering::Fit(log, 10, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ(clustering.value().num_clusters(), 2u);
+}
+
+TEST(ItemClusteringTest, ClusterSizesSumToEpisodes) {
+  ItemClusteringOptions options;
+  options.num_clusters = 4;
+  auto clustering = ItemClustering::Fit(TwoAudienceLog(), 10, options);
+  ASSERT_TRUE(clustering.ok());
+  uint32_t total = 0;
+  for (uint32_t s : clustering.value().ClusterSizes()) total += s;
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(ItemClusteringTest, DeterministicGivenSeed) {
+  ItemClusteringOptions options;
+  options.num_clusters = 3;
+  options.seed = 9;
+  auto a = ItemClustering::Fit(TwoAudienceLog(), 10, options);
+  auto b = ItemClustering::Fit(TwoAudienceLog(), 10, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().assignments(), b.value().assignments());
+}
+
+TEST(ItemClusteringTest, EmptyAdopterSetMapsSomewhereValid) {
+  ItemClusteringOptions options;
+  options.num_clusters = 2;
+  auto clustering = ItemClustering::Fit(TwoAudienceLog(), 10, options);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_LT(clustering.value().AssignAdopters({}), 2u);
+}
+
+}  // namespace
+}  // namespace inf2vec

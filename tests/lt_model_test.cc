@@ -1,0 +1,120 @@
+#include "diffusion/lt_model.h"
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+SocialGraph ChainGraph() {
+  GraphBuilder builder(5);
+  for (UserId u = 0; u < 4; ++u) builder.AddEdge(u, u + 1);
+  return std::move(builder.Build()).value();
+}
+
+TEST(LtWeightsTest, UniformByInDegree) {
+  // Diamond: 0 -> {1, 2} -> 3.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(2, 3);
+  const SocialGraph g = std::move(builder.Build()).value();
+  const LtWeights w = LtWeights::UniformByInDegree(g);
+  EXPECT_DOUBLE_EQ(w.Get(g.EdgeId(0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(w.Get(g.EdgeId(1, 3)), 0.5);
+  EXPECT_DOUBLE_EQ(w.Get(g.EdgeId(2, 3)), 0.5);
+}
+
+TEST(LtWeightsTest, NormalizeCapsInWeightSums) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  const SocialGraph g = std::move(builder.Build()).value();
+  LtWeights w(g);
+  w.Set(g.EdgeId(0, 2), 0.9);
+  w.Set(g.EdgeId(1, 2), 0.9);
+  w.NormalizeInWeights(g);
+  EXPECT_NEAR(w.Get(g.EdgeId(0, 2)) + w.Get(g.EdgeId(1, 2)), 1.0, 1e-12);
+  // Already-feasible sums are untouched.
+  LtWeights w2(g);
+  w2.Set(g.EdgeId(0, 2), 0.3);
+  w2.NormalizeInWeights(g);
+  EXPECT_DOUBLE_EQ(w2.Get(g.EdgeId(0, 2)), 0.3);
+}
+
+TEST(LtCascadeTest, FullWeightChainActivatesEveryone) {
+  // Weight 1.0 on each chain edge: threshold <= 1 always met.
+  const SocialGraph g = ChainGraph();
+  LtWeights w(g);
+  for (UserId u = 0; u < 4; ++u) w.Set(g.EdgeId(u, u + 1), 1.0);
+  Rng rng(1);
+  const CascadeResult r = SimulateLtCascade(g, w, {0}, rng);
+  ASSERT_EQ(r.activated.size(), 5u);
+  EXPECT_EQ(r.rounds.back(), 4u);
+}
+
+TEST(LtCascadeTest, ZeroWeightsActivateOnlySeeds) {
+  const SocialGraph g = ChainGraph();
+  const LtWeights w(g);
+  Rng rng(2);
+  const CascadeResult r = SimulateLtCascade(g, w, {1, 3}, rng);
+  EXPECT_EQ(r.activated, (std::vector<UserId>{1, 3}));
+}
+
+TEST(LtCascadeTest, ActivationRateMatchesWeight) {
+  // Single edge weight 0.3: activation iff threshold <= 0.3 -> P = 0.3.
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+  LtWeights w(g);
+  w.Set(g.EdgeId(0, 1), 0.3);
+  Rng rng(3);
+  int hits = 0;
+  constexpr int kRuns = 20000;
+  for (int i = 0; i < kRuns; ++i) {
+    hits += SimulateLtCascade(g, w, {0}, rng).activated.size() == 2 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kRuns, 0.3, 0.02);
+}
+
+TEST(LtCascadeTest, PressureAccumulatesAcrossNeighbors) {
+  // v needs both parents: each weight 0.5, threshold uniform.
+  // P(activate | both active) = P(theta <= 1.0) = 1.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  const SocialGraph g = std::move(builder.Build()).value();
+  LtWeights w(g);
+  w.Set(g.EdgeId(0, 2), 0.5);
+  w.Set(g.EdgeId(1, 2), 0.5);
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    hits += SimulateLtCascade(g, w, {0, 1}, rng).activated.size() == 3 ? 1
+                                                                       : 0;
+  }
+  EXPECT_EQ(hits, 200);  // Summed pressure 1.0 >= any threshold.
+}
+
+TEST(LtEstimateTest, FrequenciesMatchClosedForm) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+  LtWeights w(g);
+  w.Set(g.EdgeId(0, 1), 0.4);
+  Rng rng(5);
+  const std::vector<double> freq =
+      EstimateLtActivationProbabilities(g, w, {0}, 30000, rng);
+  EXPECT_DOUBLE_EQ(freq[0], 1.0);
+  EXPECT_NEAR(freq[1], 0.4, 0.02);
+}
+
+TEST(LtCascadeTest, DuplicateSeedsCollapse) {
+  const SocialGraph g = ChainGraph();
+  const LtWeights w(g);
+  Rng rng(6);
+  EXPECT_EQ(SimulateLtCascade(g, w, {2, 2}, rng).activated.size(), 1u);
+}
+
+}  // namespace
+}  // namespace inf2vec

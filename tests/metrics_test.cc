@@ -1,0 +1,122 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+TEST(AucTest, PerfectRankingIsOne) {
+  const RankedQuery q = {{0.9, 0.8, 0.2, 0.1}, {true, true, false, false}};
+  EXPECT_DOUBLE_EQ(AucByRank(q), 1.0);
+}
+
+TEST(AucTest, InvertedRankingIsZero) {
+  const RankedQuery q = {{0.1, 0.2, 0.8, 0.9}, {true, true, false, false}};
+  EXPECT_DOUBLE_EQ(AucByRank(q), 0.0);
+}
+
+TEST(AucTest, AllTiedScoresGiveHalf) {
+  const RankedQuery q = {{0.5, 0.5, 0.5, 0.5}, {true, false, true, false}};
+  EXPECT_DOUBLE_EQ(AucByRank(q), 0.5);
+}
+
+TEST(AucTest, KnownMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}. Pairs won: (0.8 vs both)=2,
+  // (0.4 vs 0.2)=1 -> 3/4.
+  const RankedQuery q = {{0.8, 0.4, 0.6, 0.2}, {true, true, false, false}};
+  EXPECT_DOUBLE_EQ(AucByRank(q), 0.75);
+}
+
+TEST(AucTest, DegenerateClassesReturnHalf) {
+  EXPECT_DOUBLE_EQ(AucByRank({{1.0, 2.0}, {true, true}}), 0.5);
+  EXPECT_DOUBLE_EQ(AucByRank({{1.0, 2.0}, {false, false}}), 0.5);
+}
+
+TEST(AucTest, PartialTieUsesAverageRank) {
+  // pos: 0.5; neg: 0.5, 0.1. Tie with one neg -> 0.5 credit; win vs 0.1.
+  // AUC = (0.5 + 1) / 2 = 0.75.
+  const RankedQuery q = {{0.5, 0.5, 0.1}, {true, false, false}};
+  EXPECT_DOUBLE_EQ(AucByRank(q), 0.75);
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  const RankedQuery q = {{0.9, 0.8, 0.2, 0.1}, {true, true, false, false}};
+  EXPECT_DOUBLE_EQ(AveragePrecision(q), 1.0);
+}
+
+TEST(AveragePrecisionTest, KnownValue) {
+  // Ranking: pos, neg, pos -> AP = (1/1 + 2/3) / 2 = 5/6.
+  const RankedQuery q = {{0.9, 0.5, 0.4}, {true, false, true}};
+  EXPECT_DOUBLE_EQ(AveragePrecision(q), 5.0 / 6.0);
+}
+
+TEST(AveragePrecisionTest, NoPositivesIsZero) {
+  const RankedQuery q = {{0.9, 0.5}, {false, false}};
+  EXPECT_DOUBLE_EQ(AveragePrecision(q), 0.0);
+}
+
+TEST(PrecisionAtNTest, CountsTopN) {
+  const RankedQuery q = {{0.9, 0.8, 0.7, 0.1},
+                         {true, false, true, true}};
+  EXPECT_DOUBLE_EQ(PrecisionAtN(q, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(q, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(q, 3), 2.0 / 3.0);
+}
+
+TEST(PrecisionAtNTest, ShrinksDenominatorForSmallQueries) {
+  const RankedQuery q = {{0.9, 0.1}, {true, false}};
+  EXPECT_DOUBLE_EQ(PrecisionAtN(q, 10), 0.5);
+}
+
+TEST(PrecisionAtNTest, EmptyAndZeroN) {
+  EXPECT_DOUBLE_EQ(PrecisionAtN({{}, {}}, 10), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({{0.5}, {true}}, 0), 0.0);
+}
+
+TEST(AggregateQueriesTest, MacroAveragesAndSkipsDegenerate) {
+  std::vector<RankedQuery> queries;
+  queries.push_back({{0.9, 0.1}, {true, false}});   // AUC 1.
+  queries.push_back({{0.1, 0.9}, {true, false}});   // AUC 0.
+  queries.push_back({{0.5, 0.4}, {true, true}});    // Degenerate: skipped.
+  queries.push_back({{0.5, 0.4}, {false, false}});  // Degenerate: skipped.
+  const RankingMetrics m = AggregateQueries(queries);
+  EXPECT_EQ(m.num_queries, 2u);
+  EXPECT_DOUBLE_EQ(m.auc, 0.5);
+}
+
+TEST(AggregateQueriesTest, EmptyInput) {
+  const RankingMetrics m = AggregateQueries({});
+  EXPECT_EQ(m.num_queries, 0u);
+  EXPECT_DOUBLE_EQ(m.auc, 0.0);
+}
+
+TEST(SummarizeRunsTest, MeanAndStdev) {
+  RankingMetrics a;
+  a.auc = 0.8;
+  a.map = 0.2;
+  RankingMetrics b;
+  b.auc = 0.6;
+  b.map = 0.4;
+  const MetricsSummary s = SummarizeRuns({a, b});
+  EXPECT_EQ(s.runs, 2u);
+  EXPECT_DOUBLE_EQ(s.mean.auc, 0.7);
+  EXPECT_DOUBLE_EQ(s.stdev.auc, 0.1);
+  EXPECT_DOUBLE_EQ(s.mean.map, 0.3);
+  EXPECT_DOUBLE_EQ(s.stdev.map, 0.1);
+}
+
+TEST(SummarizeRunsTest, SingleRunHasZeroStdev) {
+  RankingMetrics a;
+  a.auc = 0.8;
+  const MetricsSummary s = SummarizeRuns({a});
+  EXPECT_DOUBLE_EQ(s.mean.auc, 0.8);
+  EXPECT_DOUBLE_EQ(s.stdev.auc, 0.0);
+}
+
+TEST(SummarizeRunsTest, EmptyRuns) {
+  const MetricsSummary s = SummarizeRuns({});
+  EXPECT_EQ(s.runs, 0u);
+}
+
+}  // namespace
+}  // namespace inf2vec

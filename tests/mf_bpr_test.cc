@@ -1,0 +1,108 @@
+#include "baselines/mf_bpr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace inf2vec {
+namespace {
+
+DiffusionEpisode Episode(ItemId item, std::vector<UserId> users) {
+  DiffusionEpisode e(item);
+  Timestamp t = 0;
+  for (UserId u : users) e.Add(u, ++t);
+  EXPECT_TRUE(e.Finalize().ok());
+  return e;
+}
+
+/// Two disjoint interest groups: {0..4} co-act, {5..9} co-act.
+ActionLog TwoCommunityLog() {
+  ActionLog log;
+  ItemId item = 0;
+  for (int rep = 0; rep < 12; ++rep) {
+    log.AddEpisode(Episode(item++, {0, 1, 2, 3, 4}));
+    log.AddEpisode(Episode(item++, {5, 6, 7, 8, 9}));
+  }
+  return log;
+}
+
+TEST(MfBprTest, TrainRejectsBadInput) {
+  ActionLog empty;
+  MfOptions options;
+  EXPECT_FALSE(MfBprModel::Train(10, empty, options).ok());
+  EXPECT_FALSE(MfBprModel::Train(0, TwoCommunityLog(), options).ok());
+  options.dim = 0;
+  EXPECT_FALSE(MfBprModel::Train(10, TwoCommunityLog(), options).ok());
+}
+
+TEST(MfBprTest, CoActorsOutrankStrangers) {
+  MfOptions options;
+  options.dim = 8;
+  options.epochs = 12;
+  auto model = MfBprModel::Train(10, TwoCommunityLog(), options);
+  ASSERT_TRUE(model.ok());
+  const EmbeddingStore& store = model.value().embeddings();
+
+  // Average within-community score must beat cross-community score.
+  double same = 0.0;
+  double cross = 0.0;
+  int same_n = 0;
+  int cross_n = 0;
+  for (UserId u = 0; u < 10; ++u) {
+    for (UserId v = 0; v < 10; ++v) {
+      if (u == v) continue;
+      const bool same_group = (u < 5) == (v < 5);
+      if (same_group) {
+        same += store.Score(u, v);
+        ++same_n;
+      } else {
+        cross += store.Score(u, v);
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n + 0.1);
+}
+
+TEST(MfBprTest, PredictorUsesSharedInterface) {
+  MfOptions options;
+  options.dim = 4;
+  options.epochs = 2;
+  auto model = MfBprModel::Train(10, TwoCommunityLog(), options);
+  ASSERT_TRUE(model.ok());
+  const EmbeddingPredictor pred = model.value().Predictor();
+  EXPECT_EQ(pred.name(), "MF");
+  EXPECT_TRUE(std::isfinite(pred.ScoreActivation(1, {0, 2})));
+}
+
+TEST(MfBprTest, DeterministicGivenSeed) {
+  MfOptions options;
+  options.dim = 4;
+  options.epochs = 2;
+  options.seed = 77;
+  auto m1 = MfBprModel::Train(10, TwoCommunityLog(), options);
+  auto m2 = MfBprModel::Train(10, TwoCommunityLog(), options);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m1.value().embeddings(), m2.value().embeddings());
+}
+
+TEST(MfBprTest, ParametersStayFinite) {
+  MfOptions options;
+  options.dim = 8;
+  options.epochs = 20;
+  options.learning_rate = 0.1;
+  auto model = MfBprModel::Train(10, TwoCommunityLog(), options);
+  ASSERT_TRUE(model.ok());
+  const EmbeddingStore& store = model.value().embeddings();
+  for (UserId u = 0; u < 10; ++u) {
+    for (double x : store.Source(u)) EXPECT_TRUE(std::isfinite(x));
+    for (double x : store.Target(u)) EXPECT_TRUE(std::isfinite(x));
+    EXPECT_TRUE(std::isfinite(store.target_bias(u)));
+  }
+}
+
+}  // namespace
+}  // namespace inf2vec

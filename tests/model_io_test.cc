@@ -1,0 +1,100 @@
+#include "embedding/model_io.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/io.h"
+#include "util/rng.h"
+
+namespace inf2vec {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("inf2vec_model_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+EmbeddingStore RandomStore(uint32_t users, uint32_t dim, uint64_t seed) {
+  EmbeddingStore store(users, dim);
+  Rng rng(seed);
+  store.InitUniform(-1.0, 1.0, rng);
+  for (UserId u = 0; u < users; ++u) {
+    store.mutable_source_bias(u) = rng.UniformDouble(-2.0, 2.0);
+    store.mutable_target_bias(u) = rng.UniformDouble(-2.0, 2.0);
+  }
+  return store;
+}
+
+TEST_F(ModelIoTest, BinaryRoundTripIsExact) {
+  const EmbeddingStore store = RandomStore(17, 9, 1);
+  ASSERT_TRUE(SaveEmbeddings(store, Path("m.bin")).ok());
+  auto loaded = LoadEmbeddings(Path("m.bin"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), store);
+}
+
+TEST_F(ModelIoTest, LoadRejectsWrongMagic) {
+  ASSERT_TRUE(WriteFile(Path("bad.bin"), "NOTMAGIC plus data").ok());
+  EXPECT_EQ(LoadEmbeddings(Path("bad.bin")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModelIoTest, LoadRejectsTruncatedFile) {
+  const EmbeddingStore store = RandomStore(5, 4, 2);
+  ASSERT_TRUE(SaveEmbeddings(store, Path("m.bin")).ok());
+  std::string blob;
+  ASSERT_TRUE(ReadFile(Path("m.bin"), &blob).ok());
+  blob.resize(blob.size() - 16);
+  ASSERT_TRUE(WriteFile(Path("trunc.bin"), blob).ok());
+  EXPECT_FALSE(LoadEmbeddings(Path("trunc.bin")).ok());
+}
+
+TEST_F(ModelIoTest, LoadRejectsTrailingGarbage) {
+  const EmbeddingStore store = RandomStore(5, 4, 3);
+  ASSERT_TRUE(SaveEmbeddings(store, Path("m.bin")).ok());
+  std::string blob;
+  ASSERT_TRUE(ReadFile(Path("m.bin"), &blob).ok());
+  blob += "extra";
+  ASSERT_TRUE(WriteFile(Path("pad.bin"), blob).ok());
+  EXPECT_FALSE(LoadEmbeddings(Path("pad.bin")).ok());
+}
+
+TEST_F(ModelIoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadEmbeddings(Path("none.bin")).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(ModelIoTest, TextExportHasHeaderAndRows) {
+  const EmbeddingStore store = RandomStore(3, 2, 4);
+  ASSERT_TRUE(ExportEmbeddingsText(store, Path("m.txt")).ok());
+  std::vector<std::string> lines;
+  ASSERT_TRUE(ReadLines(Path("m.txt"), &lines).ok());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "3 2");
+  EXPECT_EQ(lines[1].substr(0, 2), "0 ");
+}
+
+TEST_F(ModelIoTest, RoundTripPreservesScores) {
+  const EmbeddingStore store = RandomStore(8, 5, 5);
+  ASSERT_TRUE(SaveEmbeddings(store, Path("m.bin")).ok());
+  const EmbeddingStore loaded = std::move(LoadEmbeddings(Path("m.bin"))).value();
+  for (UserId u = 0; u < 8; ++u) {
+    for (UserId v = 0; v < 8; ++v) {
+      EXPECT_DOUBLE_EQ(loaded.Score(u, v), store.Score(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace inf2vec

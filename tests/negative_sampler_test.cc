@@ -1,0 +1,85 @@
+#include "embedding/negative_sampler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+TEST(NegativeSamplerTest, CreateRejectsZeroUsers) {
+  EXPECT_FALSE(
+      NegativeSampler::Create(NegativeSamplerKind::kUniform, 0, {}).ok());
+}
+
+TEST(NegativeSamplerTest, UnigramRequiresMatchingFrequencyVector) {
+  EXPECT_FALSE(NegativeSampler::Create(NegativeSamplerKind::kUnigram075, 5,
+                                       {1, 2, 3})
+                   .ok());
+}
+
+TEST(NegativeSamplerTest, SampleAvoidsExclusions) {
+  const NegativeSampler sampler = NegativeSampler::CreateUniform(5);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const UserId w = sampler.Sample(rng, 1, 3);
+    EXPECT_NE(w, 1u);
+    EXPECT_NE(w, 3u);
+    EXPECT_LT(w, 5u);
+  }
+}
+
+TEST(NegativeSamplerTest, SampleManyProducesCount) {
+  const NegativeSampler sampler = NegativeSampler::CreateUniform(10);
+  Rng rng(2);
+  std::vector<UserId> out;
+  sampler.SampleMany(rng, 0, 1, 7, &out);
+  EXPECT_EQ(out.size(), 7u);
+  sampler.SampleMany(rng, 0, 1, 0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(NegativeSamplerTest, UniformCoversAllUsers) {
+  const NegativeSampler sampler = NegativeSampler::CreateUniform(6);
+  Rng rng(3);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 12000; ++i) ++counts[sampler.Sample(rng, 6, 6)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(NegativeSamplerTest, UnigramPrefersFrequentTargets) {
+  // User 0 appears 100x as a target, user 1 never.
+  auto sampler = NegativeSampler::Create(NegativeSamplerKind::kUnigram075, 3,
+                                         {100, 0, 0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(4);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[sampler.value().Sample(rng, 3, 3)];
+  }
+  // weights: 101^0.75 ~ 31.9 vs 1 vs 1 -> user 0 gets ~94%.
+  EXPECT_GT(counts[0], 8800);
+  EXPECT_GT(counts[1], 50);  // +1 smoothing keeps everyone sampleable.
+  EXPECT_GT(counts[2], 50);
+}
+
+TEST(NegativeSamplerTest, UnigramFlatFrequenciesStayUniform) {
+  auto sampler = NegativeSampler::Create(NegativeSamplerKind::kUnigram075, 4,
+                                         {5, 5, 5, 5});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[sampler.value().Sample(rng, 4, 4)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(NegativeSamplerTest, DegenerateUniverseStillReturns) {
+  // Two users, both excluded: the bounded retry must still terminate.
+  const NegativeSampler sampler = NegativeSampler::CreateUniform(2);
+  Rng rng(6);
+  const UserId w = sampler.Sample(rng, 0, 1);
+  EXPECT_LT(w, 2u);
+}
+
+}  // namespace
+}  // namespace inf2vec

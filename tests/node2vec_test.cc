@@ -1,0 +1,118 @@
+#include "baselines/node2vec.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_generators.h"
+
+namespace inf2vec {
+namespace {
+
+/// Barbell graph: two dense cliques joined by one bridge edge. Node2vec
+/// should place same-clique nodes closer than cross-clique nodes.
+SocialGraph BarbellGraph() {
+  GraphBuilder builder(12);
+  for (UserId u = 0; u < 6; ++u) {
+    for (UserId v = 0; v < 6; ++v) {
+      if (u != v) builder.AddEdge(u, v);
+    }
+  }
+  for (UserId u = 6; u < 12; ++u) {
+    for (UserId v = 6; v < 12; ++v) {
+      if (u != v) builder.AddEdge(u, v);
+    }
+  }
+  builder.AddUndirectedEdge(5, 6);
+  return std::move(builder.Build()).value();
+}
+
+TEST(Node2vecTest, TrainRejectsBadOptions) {
+  const SocialGraph g = BarbellGraph();
+  Node2vecOptions options;
+  options.dim = 0;
+  EXPECT_FALSE(Node2vecModel::Train(g, options).ok());
+  options = Node2vecOptions();
+  options.walk_length = 1;
+  EXPECT_FALSE(Node2vecModel::Train(g, options).ok());
+}
+
+TEST(Node2vecTest, TrainOnEdgelessGraphFails) {
+  GraphBuilder builder(5);
+  const SocialGraph g = std::move(builder.Build()).value();
+  Node2vecOptions options;
+  EXPECT_FALSE(Node2vecModel::Train(g, options).ok());
+}
+
+TEST(Node2vecTest, CapturesCommunityStructure) {
+  const SocialGraph g = BarbellGraph();
+  Node2vecOptions options;
+  options.dim = 8;
+  options.walks_per_node = 8;
+  options.walk_length = 15;
+  options.epochs = 3;
+  auto model = Node2vecModel::Train(g, options);
+  ASSERT_TRUE(model.ok());
+  const EmbeddingStore& store = model.value().embeddings();
+
+  double same = 0.0;
+  double cross = 0.0;
+  int same_n = 0;
+  int cross_n = 0;
+  for (UserId u = 0; u < 12; ++u) {
+    for (UserId v = 0; v < 12; ++v) {
+      if (u == v) continue;
+      if ((u < 6) == (v < 6)) {
+        same += store.Score(u, v);
+        ++same_n;
+      } else {
+        cross += store.Score(u, v);
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(Node2vecTest, BiasesRemainZero) {
+  const SocialGraph g = BarbellGraph();
+  Node2vecOptions options;
+  options.dim = 4;
+  options.walks_per_node = 2;
+  options.walk_length = 8;
+  options.epochs = 1;
+  auto model = Node2vecModel::Train(g, options);
+  ASSERT_TRUE(model.ok());
+  for (UserId u = 0; u < 12; ++u) {
+    EXPECT_DOUBLE_EQ(model.value().embeddings().source_bias(u), 0.0);
+    EXPECT_DOUBLE_EQ(model.value().embeddings().target_bias(u), 0.0);
+  }
+}
+
+TEST(Node2vecTest, DeterministicGivenSeed) {
+  const SocialGraph g = BarbellGraph();
+  Node2vecOptions options;
+  options.dim = 4;
+  options.walks_per_node = 2;
+  options.walk_length = 8;
+  options.epochs = 1;
+  options.seed = 5;
+  auto m1 = Node2vecModel::Train(g, options);
+  auto m2 = Node2vecModel::Train(g, options);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m1.value().embeddings(), m2.value().embeddings());
+}
+
+TEST(Node2vecTest, PredictorName) {
+  const SocialGraph g = BarbellGraph();
+  Node2vecOptions options;
+  options.dim = 4;
+  options.walks_per_node = 1;
+  options.walk_length = 5;
+  options.epochs = 1;
+  auto model = Node2vecModel::Train(g, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().Predictor().name(), "Node2vec");
+}
+
+}  // namespace
+}  // namespace inf2vec

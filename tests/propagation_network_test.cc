@@ -1,0 +1,145 @@
+#include "diffusion/propagation_network.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+SocialGraph Fig5Graph() {
+  GraphBuilder builder(5);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 0);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(0, 1);
+  return std::move(builder.Build()).value();
+}
+
+DiffusionEpisode Fig5Episode() {
+  DiffusionEpisode e(7);
+  e.Add(3, 1);
+  e.Add(1, 2);
+  e.Add(2, 3);
+  e.Add(0, 4);
+  e.Add(4, 5);
+  EXPECT_TRUE(e.Finalize().ok());
+  return e;
+}
+
+TEST(PropagationNetworkTest, BuildsFig5Network) {
+  const SocialGraph g = Fig5Graph();
+  const PropagationNetwork net(g, Fig5Episode());
+
+  EXPECT_EQ(net.item(), 7u);
+  EXPECT_EQ(net.num_users(), 5u);
+  EXPECT_EQ(net.num_edges(), 4u);
+
+  // u4 (id 3) -> {u5 (4), u1 (0)}.
+  std::vector<UserId> succ3 = net.Successors(3);
+  std::sort(succ3.begin(), succ3.end());
+  EXPECT_EQ(succ3, (std::vector<UserId>{0, 4}));
+  EXPECT_EQ(net.Successors(1), std::vector<UserId>{2});
+  EXPECT_EQ(net.Successors(2), std::vector<UserId>{0});
+  EXPECT_TRUE(net.Successors(4).empty());
+  EXPECT_TRUE(net.Successors(0).empty());
+}
+
+TEST(PropagationNetworkTest, UsersPreserveAdoptionOrder) {
+  const SocialGraph g = Fig5Graph();
+  const PropagationNetwork net(g, Fig5Episode());
+  EXPECT_EQ(net.users(), (std::vector<UserId>{3, 1, 2, 0, 4}));
+}
+
+TEST(PropagationNetworkTest, ContainsUser) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+  DiffusionEpisode e(0);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  ASSERT_TRUE(e.Finalize().ok());
+  const PropagationNetwork net(g, e);
+  EXPECT_TRUE(net.ContainsUser(0));
+  EXPECT_TRUE(net.ContainsUser(1));
+  EXPECT_FALSE(net.ContainsUser(5));
+}
+
+TEST(PropagationNetworkTest, AbsentUserHasNoSuccessors) {
+  const SocialGraph g = Fig5Graph();
+  const PropagationNetwork net(g, Fig5Episode());
+  DiffusionEpisode small(1);
+  small.Add(3, 1);
+  ASSERT_TRUE(small.Finalize().ok());
+  const PropagationNetwork tiny(g, small);
+  EXPECT_TRUE(tiny.Successors(4).empty());
+}
+
+TEST(PropagationNetworkTest, IsAcyclicOnTimeOrderedData) {
+  const SocialGraph g = Fig5Graph();
+  const PropagationNetwork net(g, Fig5Episode());
+  EXPECT_TRUE(net.IsAcyclic());
+}
+
+TEST(PropagationNetworkTest, EmptyEpisode) {
+  const SocialGraph g = Fig5Graph();
+  DiffusionEpisode e(0);
+  ASSERT_TRUE(e.Finalize().ok());
+  const PropagationNetwork net(g, e);
+  EXPECT_EQ(net.num_users(), 0u);
+  EXPECT_EQ(net.num_edges(), 0u);
+  EXPECT_TRUE(net.IsAcyclic());
+}
+
+TEST(PropagationNetworkTest, MultipleParentsAndChildren) {
+  // Diamond: 0 -> {1, 2} -> 3.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(2, 3);
+  const SocialGraph g = std::move(builder.Build()).value();
+  DiffusionEpisode e(0);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  e.Add(2, 3);
+  e.Add(3, 4);
+  ASSERT_TRUE(e.Finalize().ok());
+  const PropagationNetwork net(g, e);
+  EXPECT_EQ(net.num_edges(), 4u);
+  EXPECT_EQ(net.OutDegree(0), 2u);
+  EXPECT_TRUE(net.IsAcyclic());
+}
+
+class PropagationNetworkPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropagationNetworkPropertyTest, AlwaysAcyclicOnRandomEpisodes) {
+  Rng rng(GetParam());
+  GraphBuilder builder(40);
+  for (int i = 0; i < 400; ++i) {
+    const UserId u = static_cast<UserId>(rng.UniformU64(40));
+    const UserId v = static_cast<UserId>(rng.UniformU64(40));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  const SocialGraph g = std::move(builder.Build()).value();
+
+  for (int trial = 0; trial < 10; ++trial) {
+    DiffusionEpisode e(trial);
+    const uint32_t participants = 5 + rng.UniformU64(30);
+    for (uint32_t i = 0; i < participants; ++i) {
+      e.Add(static_cast<UserId>(rng.UniformU64(40)),
+            static_cast<Timestamp>(rng.UniformU64(1000)));
+    }
+    ASSERT_TRUE(e.Finalize().ok());
+    const PropagationNetwork net(g, e);
+    EXPECT_TRUE(net.IsAcyclic());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationNetworkPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,160 @@
+#include "diffusion/random_walk.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+SocialGraph ChainGraph() {
+  // 0 -> 1 -> 2 -> 3 -> 4.
+  GraphBuilder builder(5);
+  for (UserId u = 0; u < 4; ++u) builder.AddEdge(u, u + 1);
+  return std::move(builder.Build()).value();
+}
+
+PropagationNetwork ChainNetwork(const SocialGraph& g) {
+  DiffusionEpisode e(0);
+  for (UserId u = 0; u < 5; ++u) e.Add(u, u + 1);
+  EXPECT_TRUE(e.Finalize().ok());
+  return PropagationNetwork(g, e);
+}
+
+TEST(RandomWalkTest, CollectsRequestedNodeCount) {
+  const SocialGraph g = ChainGraph();
+  const PropagationNetwork net = ChainNetwork(g);
+  Rng rng(1);
+  RandomWalkOptions opts;
+  const std::vector<UserId> visited =
+      RandomWalkWithRestart(net, 0, 10, opts, rng);
+  EXPECT_EQ(visited.size(), 10u);
+}
+
+TEST(RandomWalkTest, NeverEmitsStartUser) {
+  const SocialGraph g = ChainGraph();
+  const PropagationNetwork net = ChainNetwork(g);
+  Rng rng(2);
+  RandomWalkOptions opts;
+  for (int trial = 0; trial < 20; ++trial) {
+    for (UserId v : RandomWalkWithRestart(net, 2, 8, opts, rng)) {
+      EXPECT_NE(v, 2u);
+    }
+  }
+}
+
+TEST(RandomWalkTest, OnlyVisitsReachableNodes) {
+  const SocialGraph g = ChainGraph();
+  const PropagationNetwork net = ChainNetwork(g);
+  Rng rng(3);
+  RandomWalkOptions opts;
+  const std::vector<UserId> visited =
+      RandomWalkWithRestart(net, 2, 50, opts, rng);
+  for (UserId v : visited) EXPECT_GE(v, 3u);  // Downstream of 2 only.
+}
+
+TEST(RandomWalkTest, SinkStartYieldsEmptyContext) {
+  const SocialGraph g = ChainGraph();
+  const PropagationNetwork net = ChainNetwork(g);
+  Rng rng(4);
+  RandomWalkOptions opts;
+  EXPECT_TRUE(RandomWalkWithRestart(net, 4, 10, opts, rng).empty());
+}
+
+TEST(RandomWalkTest, ZeroBudgetYieldsEmpty) {
+  const SocialGraph g = ChainGraph();
+  const PropagationNetwork net = ChainNetwork(g);
+  Rng rng(5);
+  RandomWalkOptions opts;
+  EXPECT_TRUE(RandomWalkWithRestart(net, 0, 0, opts, rng).empty());
+}
+
+TEST(RandomWalkTest, RestartKeepsWalkLocal) {
+  // Star: 0 -> {1..9}, and a long chain hanging off node 1.
+  GraphBuilder builder(30);
+  for (UserId v = 1; v < 10; ++v) builder.AddEdge(0, v);
+  for (UserId v = 10; v < 29; ++v) builder.AddEdge(v, v + 1);
+  builder.AddEdge(1, 10);
+  const SocialGraph g = std::move(builder.Build()).value();
+  DiffusionEpisode e(0);
+  for (UserId u = 0; u < 30; ++u) e.Add(u, u + 1);
+  ASSERT_TRUE(e.Finalize().ok());
+  const PropagationNetwork net(g, e);
+
+  Rng rng(6);
+  RandomWalkOptions opts;
+  opts.restart_prob = 0.9;  // Aggressive restart: rarely go deep.
+  int deep_visits = 0;
+  int total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    for (UserId v : RandomWalkWithRestart(net, 0, 20, opts, rng)) {
+      ++total;
+      deep_visits += v >= 15 ? 1 : 0;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_LT(static_cast<double>(deep_visits) / total, 0.05);
+}
+
+TEST(RandomWalkTest, HighOrderNodesReachableWithLowRestart) {
+  const SocialGraph g = ChainGraph();
+  const PropagationNetwork net = ChainNetwork(g);
+  Rng rng(7);
+  RandomWalkOptions opts;
+  opts.restart_prob = 0.1;
+  std::set<UserId> seen;
+  for (int trial = 0; trial < 50; ++trial) {
+    for (UserId v : RandomWalkWithRestart(net, 0, 10, opts, rng)) {
+      seen.insert(v);
+    }
+  }
+  // The walk should reach 3+ hops out (high-order influence).
+  EXPECT_TRUE(seen.contains(3));
+  EXPECT_TRUE(seen.contains(4));
+}
+
+TEST(BiasedWalkTest, WalkFollowsEdges) {
+  const SocialGraph g = ChainGraph();
+  Rng rng(8);
+  const std::vector<UserId> walk = BiasedWalk(g, 0, 5, 1.0, 1.0, rng);
+  ASSERT_EQ(walk.size(), 5u);
+  EXPECT_EQ(walk[0], 0u);
+  for (size_t i = 1; i < walk.size(); ++i) {
+    EXPECT_TRUE(g.HasEdge(walk[i - 1], walk[i]));
+  }
+}
+
+TEST(BiasedWalkTest, StopsAtSink) {
+  const SocialGraph g = ChainGraph();
+  Rng rng(9);
+  const std::vector<UserId> walk = BiasedWalk(g, 3, 10, 1.0, 1.0, rng);
+  // 3 -> 4 then stuck.
+  EXPECT_EQ(walk, (std::vector<UserId>{3, 4}));
+}
+
+TEST(BiasedWalkTest, LowReturnParamAvoidsBacktracking) {
+  // Triangle with reciprocal edges: backtracking always possible.
+  GraphBuilder builder(3);
+  builder.AddUndirectedEdge(0, 1);
+  builder.AddUndirectedEdge(1, 2);
+  builder.AddUndirectedEdge(2, 0);
+  const SocialGraph g = std::move(builder.Build()).value();
+  Rng rng(10);
+  int backtracks = 0;
+  int steps = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<UserId> walk =
+        BiasedWalk(g, 0, 10, /*return_param=*/100.0, /*inout_param=*/1.0,
+                   rng);
+    for (size_t i = 2; i < walk.size(); ++i) {
+      ++steps;
+      backtracks += walk[i] == walk[i - 2] ? 1 : 0;
+    }
+  }
+  ASSERT_GT(steps, 0);
+  // With p=100 the 1/p backtrack weight is tiny.
+  EXPECT_LT(static_cast<double>(backtracks) / steps, 0.15);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,149 @@
+#include "embedding/sgd_trainer.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/sigmoid_table.h"
+
+namespace inf2vec {
+namespace {
+
+/// Numerical gradient of the positive-only objective log sigma(Score(u,v))
+/// with respect to one scalar parameter accessed through `get`/`set`.
+double NumericalGradient(EmbeddingStore* store, UserId u, UserId v,
+                         double* param) {
+  constexpr double kH = 1e-6;
+  const double saved = *param;
+  *param = saved + kH;
+  const double hi = std::log(SigmoidTable::Exact(store->Score(u, v)));
+  *param = saved - kH;
+  const double lo = std::log(SigmoidTable::Exact(store->Score(u, v)));
+  *param = saved;
+  return (hi - lo) / (2.0 * kH);
+}
+
+class SgdGradientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<EmbeddingStore>(4, 3);
+    Rng rng(11);
+    store_->InitUniform(-0.5, 0.5, rng);
+    store_->mutable_source_bias(0) = 0.3;
+    store_->mutable_target_bias(1) = -0.2;
+    sampler_ = std::make_unique<NegativeSampler>(
+        NegativeSampler::CreateUniform(4));
+  }
+
+  std::unique_ptr<EmbeddingStore> store_;
+  std::unique_ptr<NegativeSampler> sampler_;
+};
+
+TEST_F(SgdGradientTest, PositiveTermMatchesNumericalGradient) {
+  SgdOptions opts;
+  opts.learning_rate = 1e-4;  // Small enough that update ~ lr * gradient.
+  opts.num_negatives = 0;     // Positive term only: deterministic.
+  opts.use_sigmoid_table = false;
+  SgdTrainer trainer(store_.get(), sampler_.get(), opts);
+
+  const UserId u = 0;
+  const UserId v = 1;
+  EmbeddingStore before = *store_;
+
+  // Numerical gradients at the pre-update point.
+  std::vector<double> num_grad_s(3), num_grad_t(3);
+  for (uint32_t k = 0; k < 3; ++k) {
+    num_grad_s[k] =
+        NumericalGradient(&before, u, v, &before.Source(u)[k]);
+    num_grad_t[k] =
+        NumericalGradient(&before, u, v, &before.Target(v)[k]);
+  }
+  const double num_grad_bu =
+      NumericalGradient(&before, u, v, &before.mutable_source_bias(u));
+  const double num_grad_bv =
+      NumericalGradient(&before, u, v, &before.mutable_target_bias(v));
+
+  Rng rng(1);
+  trainer.TrainPair(u, v, rng);
+
+  for (uint32_t k = 0; k < 3; ++k) {
+    const double applied_s =
+        (store_->Source(u)[k] - before.Source(u)[k]) / opts.learning_rate;
+    EXPECT_NEAR(applied_s, num_grad_s[k], 1e-3) << "S_u[" << k << "]";
+    const double applied_t =
+        (store_->Target(v)[k] - before.Target(v)[k]) / opts.learning_rate;
+    EXPECT_NEAR(applied_t, num_grad_t[k], 1e-3) << "T_v[" << k << "]";
+  }
+  EXPECT_NEAR(
+      (store_->source_bias(u) - before.source_bias(u)) / opts.learning_rate,
+      num_grad_bu, 1e-3);
+  EXPECT_NEAR(
+      (store_->target_bias(v) - before.target_bias(v)) / opts.learning_rate,
+      num_grad_bv, 1e-3);
+}
+
+TEST_F(SgdGradientTest, NegativeUpdatePushesScoreDown) {
+  SgdOptions opts;
+  opts.learning_rate = 0.05;
+  opts.num_negatives = 3;
+  SgdTrainer trainer(store_.get(), sampler_.get(), opts);
+  Rng rng(2);
+
+  // Train (0 -> 1) heavily; scores of (0 -> other) should not blow up.
+  const double before_01 = store_->Score(0, 1);
+  for (int i = 0; i < 300; ++i) trainer.TrainPair(0, 1, rng);
+  EXPECT_GT(store_->Score(0, 1), before_01);
+}
+
+TEST_F(SgdGradientTest, ObjectiveImprovesWithTraining) {
+  SgdOptions opts;
+  opts.learning_rate = 0.05;
+  opts.num_negatives = 2;
+  SgdTrainer trainer(store_.get(), sampler_.get(), opts);
+  Rng rng(3);
+
+  // Fixed evaluation set.
+  const std::vector<UserId> negs = {2, 3};
+  const double before = trainer.PairObjective(0, 1, negs);
+  for (int i = 0; i < 200; ++i) trainer.TrainPair(0, 1, rng);
+  const double after = trainer.PairObjective(0, 1, negs);
+  EXPECT_GT(after, before);
+}
+
+TEST_F(SgdGradientTest, BiasesFrozenWhenDisabled) {
+  SgdOptions opts;
+  opts.learning_rate = 0.1;
+  opts.num_negatives = 2;
+  opts.use_biases = false;
+  SgdTrainer trainer(store_.get(), sampler_.get(), opts);
+  Rng rng(4);
+  const double bu = store_->source_bias(0);
+  const double bv = store_->target_bias(1);
+  for (int i = 0; i < 50; ++i) trainer.TrainPair(0, 1, rng);
+  EXPECT_DOUBLE_EQ(store_->source_bias(0), bu);
+  EXPECT_DOUBLE_EQ(store_->target_bias(1), bv);
+}
+
+TEST_F(SgdGradientTest, TrainPairReturnsPreUpdateObjective) {
+  SgdOptions opts;
+  opts.learning_rate = 0.0;  // No movement: returned value is reproducible.
+  opts.num_negatives = 0;
+  opts.use_sigmoid_table = false;
+  SgdTrainer trainer(store_.get(), sampler_.get(), opts);
+  Rng rng(5);
+  const double expected =
+      std::log(SigmoidTable::Exact(store_->Score(0, 1)));
+  EXPECT_NEAR(trainer.TrainPair(0, 1, rng), expected, 1e-12);
+}
+
+TEST_F(SgdGradientTest, SelfPairDoesNotCrash) {
+  SgdOptions opts;
+  SgdTrainer trainer(store_.get(), sampler_.get(), opts);
+  Rng rng(6);
+  trainer.TrainPair(2, 2, rng);  // Degenerate but must be safe.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,55 @@
+#include "util/sigmoid_table.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+TEST(SigmoidTableTest, ExactMatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(SigmoidTable::Exact(0.0), 0.5);
+  EXPECT_NEAR(SigmoidTable::Exact(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+  EXPECT_NEAR(SigmoidTable::Exact(-2.0), 1.0 / (1.0 + std::exp(2.0)), 1e-15);
+}
+
+TEST(SigmoidTableTest, TableApproximatesExactWithinTolerance) {
+  const SigmoidTable& table = GlobalSigmoidTable();
+  for (double z = -7.9; z <= 7.9; z += 0.013) {
+    EXPECT_NEAR(table.Sigmoid(z), SigmoidTable::Exact(z), 5e-3)
+        << "at z=" << z;
+  }
+}
+
+TEST(SigmoidTableTest, ClampsOutsideRange) {
+  const SigmoidTable& table = GlobalSigmoidTable();
+  EXPECT_GT(table.Sigmoid(100.0), 0.999);
+  EXPECT_LT(table.Sigmoid(-100.0), 0.001);
+  EXPECT_GT(table.Sigmoid(100.0), table.Sigmoid(7.9));
+}
+
+TEST(SigmoidTableTest, MonotoneNonDecreasing) {
+  const SigmoidTable& table = GlobalSigmoidTable();
+  double prev = 0.0;
+  for (double z = -10.0; z <= 10.0; z += 0.05) {
+    const double s = table.Sigmoid(z);
+    EXPECT_GE(s, prev) << "at z=" << z;
+    prev = s;
+  }
+}
+
+TEST(SigmoidTableTest, SymmetryAroundZero) {
+  const SigmoidTable& table = GlobalSigmoidTable();
+  for (double z = 0.1; z < 8.0; z += 0.7) {
+    EXPECT_NEAR(table.Sigmoid(z) + table.Sigmoid(-z), 1.0, 1e-2);
+  }
+}
+
+TEST(SigmoidTableTest, GlobalInstanceIsStable) {
+  const SigmoidTable& a = GlobalSigmoidTable();
+  const SigmoidTable& b = GlobalSigmoidTable();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace inf2vec

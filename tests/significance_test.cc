@@ -1,0 +1,95 @@
+#include "eval/significance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace inf2vec {
+namespace {
+
+TEST(NormalSurvivalTest, KnownValues) {
+  EXPECT_NEAR(NormalSurvival(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalSurvival(1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormalSurvival(-1.96), 0.975, 1e-3);
+  EXPECT_LT(NormalSurvival(5.0), 1e-6);
+}
+
+TEST(WilcoxonTest, RejectsMismatchedSizes) {
+  EXPECT_FALSE(WilcoxonSignedRank({1, 2, 3}, {1, 2}).ok());
+}
+
+TEST(WilcoxonTest, RejectsTooFewEffectivePairs) {
+  // All ties except 3 pairs.
+  EXPECT_FALSE(WilcoxonSignedRank({1, 1, 1, 2, 3, 4},
+                                  {1, 1, 1, 1, 1, 1})
+                   .ok());
+}
+
+TEST(WilcoxonTest, ClearDominanceIsSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    const double base = rng.UniformDouble();
+    b.push_back(base);
+    a.push_back(base + 0.1 + 0.01 * rng.UniformDouble());  // Always higher.
+  }
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().z, 0.0);
+  EXPECT_LT(result.value().p_value, 0.001);
+  EXPECT_EQ(result.value().num_effective_pairs, 40u);
+}
+
+TEST(WilcoxonTest, SymmetricNoiseIsNotSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(2);
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(rng.Gaussian());
+    b.push_back(rng.Gaussian());
+  }
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().p_value, 0.05);
+}
+
+TEST(WilcoxonTest, SignOfZTracksDirection) {
+  std::vector<double> lo(20);
+  std::vector<double> hi(20);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    lo[i] = rng.UniformDouble();
+    hi[i] = lo[i] + 0.5;
+  }
+  auto up = WilcoxonSignedRank(hi, lo);
+  auto down = WilcoxonSignedRank(lo, hi);
+  ASSERT_TRUE(up.ok());
+  ASSERT_TRUE(down.ok());
+  EXPECT_GT(up.value().z, 0.0);
+  EXPECT_LT(down.value().z, 0.0);
+  EXPECT_NEAR(up.value().p_value, down.value().p_value, 1e-12);
+}
+
+TEST(WilcoxonTest, TiedPairsAreDropped) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 7};
+  std::vector<double> b = {0, 1, 2, 3, 4, 5, 7, 7};  // Last two tie.
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_effective_pairs, 6u);
+}
+
+TEST(WilcoxonTest, TieCorrectionKeepsVariancePositive) {
+  // All differences have identical magnitude: maximal ties in ranks.
+  std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  std::vector<double> b = {0, 1, 2, 3, 4, 5};
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isfinite(result.value().z));
+  EXPECT_LT(result.value().p_value, 0.05);  // 6/6 in one direction.
+}
+
+}  // namespace
+}  // namespace inf2vec

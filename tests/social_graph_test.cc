@@ -1,0 +1,163 @@
+#include "graph/social_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace inf2vec {
+namespace {
+
+SocialGraph SmallGraph() {
+  // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0, 3 isolated.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  auto result = builder.Build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoints) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 5);
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoops) {
+  GraphBuilder builder(3);
+  builder.AddEdge(1, 1);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GraphBuilderTest, CollapsesDuplicateEdges) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, UndirectedAddsBothDirections) {
+  GraphBuilder builder(3);
+  builder.AddUndirectedEdge(0, 1);
+  const SocialGraph g = std::move(builder.Build()).value();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+}
+
+TEST(GraphBuilderTest, EmptyGraphBuilds) {
+  GraphBuilder builder(5);
+  const SocialGraph g = std::move(builder.Build()).value();
+  EXPECT_EQ(g.num_users(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.OutNeighbors(3).empty());
+  EXPECT_TRUE(g.InNeighbors(3).empty());
+}
+
+TEST(SocialGraphTest, AdjacencyContents) {
+  const SocialGraph g = SmallGraph();
+  EXPECT_EQ(g.num_users(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+
+  const auto out0 = g.OutNeighbors(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0], 1u);
+  EXPECT_EQ(out0[1], 2u);
+
+  const auto in2 = g.InNeighbors(2);
+  ASSERT_EQ(in2.size(), 2u);
+  EXPECT_EQ(in2[0], 0u);
+  EXPECT_EQ(in2[1], 1u);
+
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_EQ(g.InDegree(3), 0u);
+}
+
+TEST(SocialGraphTest, HasEdgeAndEdgeId) {
+  const SocialGraph g = SmallGraph();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(3, 0));
+
+  // Edge ids are dense 0..num_edges-1, grouped by source.
+  std::set<int64_t> ids;
+  for (const Edge& e : g.Edges()) {
+    const int64_t id = g.EdgeId(e.src, e.dst);
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, static_cast<int64_t>(g.num_edges()));
+    ids.insert(id);
+    EXPECT_EQ(g.EdgeSrc(static_cast<uint64_t>(id)), e.src);
+    EXPECT_EQ(g.EdgeDst(static_cast<uint64_t>(id)), e.dst);
+  }
+  EXPECT_EQ(ids.size(), g.num_edges());
+  EXPECT_EQ(g.EdgeId(0, 3), -1);
+}
+
+TEST(SocialGraphTest, OutEdgeIdsAreContiguousPerSource) {
+  const SocialGraph g = SmallGraph();
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    const auto nbrs = g.OutNeighbors(u);
+    if (nbrs.empty()) continue;
+    const int64_t first = g.EdgeId(u, nbrs[0]);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      EXPECT_EQ(g.EdgeId(u, nbrs[k]), first + static_cast<int64_t>(k));
+    }
+  }
+}
+
+TEST(SocialGraphTest, EdgesMaterializesAll) {
+  const SocialGraph g = SmallGraph();
+  const std::vector<Edge> edges = g.Edges();
+  EXPECT_EQ(edges.size(), 4u);
+  EXPECT_NE(std::find(edges.begin(), edges.end(), Edge{2, 0}), edges.end());
+}
+
+class RandomGraphPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphPropertyTest, CsrInvariantsHold) {
+  Rng rng(GetParam());
+  const uint32_t n = 30;
+  GraphBuilder builder(n);
+  for (int i = 0; i < 200; ++i) {
+    const UserId u = static_cast<UserId>(rng.UniformU64(n));
+    const UserId v = static_cast<UserId>(rng.UniformU64(n));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  const SocialGraph g = std::move(builder.Build()).value();
+
+  // Out and in edge counts agree.
+  uint64_t out_total = 0;
+  uint64_t in_total = 0;
+  for (UserId u = 0; u < n; ++u) {
+    out_total += g.OutDegree(u);
+    in_total += g.InDegree(u);
+    // Neighbor lists sorted and self-loop-free.
+    const auto out = g.OutNeighbors(u);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    EXPECT_EQ(std::find(out.begin(), out.end(), u), out.end());
+    const auto in = g.InNeighbors(u);
+    EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+  }
+  EXPECT_EQ(out_total, g.num_edges());
+  EXPECT_EQ(in_total, g.num_edges());
+
+  // Every out edge appears as an in edge.
+  for (UserId u = 0; u < n; ++u) {
+    for (UserId v : g.OutNeighbors(u)) {
+      const auto in = g.InNeighbors(v);
+      EXPECT_TRUE(std::binary_search(in.begin(), in.end(), u));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace inf2vec

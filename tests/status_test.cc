@@ -1,0 +1,88 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("the message");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: the message");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  const Status s = Status::NotFound("missing");
+  const Status copy = s;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.code(), StatusCode::kNotFound);
+  EXPECT_EQ(copy.message(), "missing");
+}
+
+TEST(ResultTest, HoldsValueOnSuccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsStatusOnFailure) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, WorksWithNonDefaultConstructibleTypes) {
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  Result<NoDefault> r(NoDefault(7));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().value, 7);
+  Result<NoDefault> err(Status::Internal("boom"));
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(ResultTest, ValueAccessOnErrorDies) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_DEATH((void)r.value(), "Result::value");
+}
+
+Status FailsInner() { return Status::IOError("inner"); }
+
+Status Outer() {
+  INF2VEC_RETURN_IF_ERROR(FailsInner());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  const Status s = Outer();
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,96 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  const auto parts = SplitString("a\tb\tc", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  const auto parts = SplitString("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitStringTest, NoDelimiterYieldsWhole) {
+  const auto parts = SplitString("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(TrimStringTest, StripsWhitespaceBothSides) {
+  EXPECT_EQ(TrimString("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimString(""), "");
+  EXPECT_EQ(TrimString("   "), "");
+  EXPECT_EQ(TrimString("inner space kept"), "inner space kept");
+}
+
+TEST(JoinStringsTest, Joins) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v).ok());
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-17", &v).ok());
+  EXPECT_EQ(v, -17);
+  EXPECT_TRUE(ParseInt64("  99  ", &v).ok());
+  EXPECT_EQ(v, 99);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64("", &v).ok());
+  EXPECT_FALSE(ParseInt64("abc", &v).ok());
+  EXPECT_FALSE(ParseInt64("12x", &v).ok());
+  EXPECT_FALSE(ParseInt64("1.5", &v).ok());
+}
+
+TEST(ParseInt64Test, RejectsOverflow) {
+  int64_t v = 0;
+  EXPECT_EQ(ParseInt64("99999999999999999999999", &v).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ParseUint32Test, ParsesAndBoundsChecks) {
+  uint32_t v = 0;
+  EXPECT_TRUE(ParseUint32("4294967295", &v).ok());
+  EXPECT_EQ(v, 4294967295u);
+  EXPECT_FALSE(ParseUint32("4294967296", &v).ok());
+  EXPECT_FALSE(ParseUint32("-1", &v).ok());
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v).ok());
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e-3", &v).ok());
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v).ok());
+  EXPECT_FALSE(ParseDouble("x", &v).ok());
+  EXPECT_FALSE(ParseDouble("1.5z", &v).ok());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,72 @@
+#include "eval/topic_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/activation_task.h"
+#include "synth/world_generator.h"
+
+namespace inf2vec {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    synth::WorldProfile profile = synth::WorldProfile::DiggLike();
+    profile.num_users = 300;
+    profile.num_items = 80;
+    Rng rng(21);
+    world = std::move(synth::GenerateWorld(profile, rng)).value();
+    Rng split_rng(22);
+    split = SplitLog(world.log, 0.8, 0.0, split_rng);
+
+    TopicInf2vecConfig config;
+    config.base.dim = 10;
+    config.base.epochs = 2;
+    config.base.context.length = 8;
+    config.clustering.num_clusters = 4;
+    model = std::make_unique<TopicInf2vecModel>(
+        std::move(TopicInf2vecModel::Train(world.graph, split.train, config))
+            .value());
+  }
+  synth::World world{};
+  LogSplit split;
+  std::unique_ptr<TopicInf2vecModel> model;
+};
+
+TEST(TopicEvalTest, EmptyTestLogYieldsNoQueries) {
+  Fixture f;
+  ActionLog empty;
+  const RankingMetrics m =
+      EvaluateActivationTopicAware(*f.model, f.world.graph, empty);
+  EXPECT_EQ(m.num_queries, 0u);
+}
+
+TEST(TopicEvalTest, QueryCountMatchesPlainEvaluation) {
+  Fixture f;
+  const RankingMetrics topical =
+      EvaluateActivationTopicAware(*f.model, f.world.graph, f.split.test);
+  const RankingMetrics plain = EvaluateActivation(
+      f.model->global_model().Predictor(), f.world.graph, f.split.test);
+  // Same protocol -> same usable episodes.
+  EXPECT_EQ(topical.num_queries, plain.num_queries);
+}
+
+TEST(TopicEvalTest, ZeroTopicWeightReproducesGlobalScores) {
+  Fixture f;
+  TopicInf2vecConfig config;
+  config.base.dim = 10;
+  config.base.epochs = 2;
+  config.base.context.length = 8;
+  config.clustering.num_clusters = 4;
+  config.topic_weight = 0.0;
+  auto zero = TopicInf2vecModel::Train(f.world.graph, f.split.train, config);
+  ASSERT_TRUE(zero.ok());
+  const RankingMetrics topical = EvaluateActivationTopicAware(
+      zero.value(), f.world.graph, f.split.test);
+  const RankingMetrics plain = EvaluateActivation(
+      zero.value().global_model().Predictor(), f.world.graph, f.split.test);
+  EXPECT_NEAR(topical.auc, plain.auc, 1e-12);
+  EXPECT_NEAR(topical.map, plain.map, 1e-12);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,114 @@
+#include "core/topic_inf2vec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/topic_eval.h"
+#include "synth/world_generator.h"
+
+namespace inf2vec {
+namespace {
+
+synth::World SmallWorld(uint64_t seed) {
+  synth::WorldProfile profile = synth::WorldProfile::DiggLike();
+  profile.num_users = 400;
+  profile.num_items = 120;
+  Rng rng(seed);
+  auto world = synth::GenerateWorld(profile, rng);
+  EXPECT_TRUE(world.ok());
+  return std::move(world).value();
+}
+
+TopicInf2vecConfig FastConfig() {
+  TopicInf2vecConfig config;
+  config.base.dim = 12;
+  config.base.epochs = 3;
+  config.base.context.length = 10;
+  config.clustering.num_clusters = 4;
+  config.min_cluster_episodes = 5;
+  return config;
+}
+
+TEST(TopicInf2vecTest, TrainRejectsBadWeight) {
+  const synth::World w = SmallWorld(1);
+  TopicInf2vecConfig config = FastConfig();
+  config.topic_weight = 1.5;
+  EXPECT_FALSE(TopicInf2vecModel::Train(w.graph, w.log, config).ok());
+}
+
+TEST(TopicInf2vecTest, TrainsGlobalAndTopicModels) {
+  const synth::World w = SmallWorld(2);
+  auto model = TopicInf2vecModel::Train(w.graph, w.log, FastConfig());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model.value().num_topics(), 4u);
+  // At least one cluster should be big enough to get its own model.
+  int trained = 0;
+  for (uint32_t c = 0; c < model.value().num_topics(); ++c) {
+    trained += model.value().topic_model(c) != nullptr ? 1 : 0;
+  }
+  EXPECT_GT(trained, 0);
+}
+
+TEST(TopicInf2vecTest, ZeroWeightEqualsGlobalScore) {
+  const synth::World w = SmallWorld(3);
+  TopicInf2vecConfig config = FastConfig();
+  config.topic_weight = 0.0;
+  auto model = TopicInf2vecModel::Train(w.graph, w.log, config);
+  ASSERT_TRUE(model.ok());
+  for (UserId u = 0; u < 20; ++u) {
+    EXPECT_DOUBLE_EQ(model.value().Score(0, u, (u + 1) % 20),
+                     model.value().global_model().Score(u, (u + 1) % 20));
+  }
+}
+
+TEST(TopicInf2vecTest, ScoreInterpolatesWhenTopicModelExists) {
+  const synth::World w = SmallWorld(4);
+  TopicInf2vecConfig config = FastConfig();
+  config.topic_weight = 0.5;
+  auto model = TopicInf2vecModel::Train(w.graph, w.log, config);
+  ASSERT_TRUE(model.ok());
+  for (uint32_t c = 0; c < model.value().num_topics(); ++c) {
+    if (model.value().topic_model(c) == nullptr) continue;
+    const double expected =
+        0.5 * model.value().global_model().Score(1, 2) +
+        0.5 * model.value().topic_model(c)->Score(1, 2);
+    EXPECT_NEAR(model.value().Score(c, 1, 2), expected, 1e-12);
+    return;
+  }
+  GTEST_SKIP() << "no cluster reached min_cluster_episodes";
+}
+
+TEST(TopicInf2vecTest, InferTopicIsInRange) {
+  const synth::World w = SmallWorld(5);
+  auto model = TopicInf2vecModel::Train(w.graph, w.log, FastConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model.value().InferTopic({0, 1, 2}), model.value().num_topics());
+}
+
+TEST(TopicInf2vecTest, ScoreActivationAggregates) {
+  const synth::World w = SmallWorld(6);
+  auto model = TopicInf2vecModel::Train(w.graph, w.log, FastConfig());
+  ASSERT_TRUE(model.ok());
+  const double a = model.value().Score(0, 3, 7);
+  const double b = model.value().Score(0, 4, 7);
+  EXPECT_NEAR(model.value().ScoreActivation(0, 7, {3, 4}), (a + b) / 2.0,
+              1e-12);
+}
+
+TEST(TopicInf2vecTest, TopicAwareEvaluationRuns) {
+  const synth::World w = SmallWorld(7);
+  Rng rng(8);
+  const LogSplit split = SplitLog(w.log, 0.8, 0.0, rng);
+  auto model = TopicInf2vecModel::Train(w.graph, split.train, FastConfig());
+  ASSERT_TRUE(model.ok());
+  const RankingMetrics m =
+      EvaluateActivationTopicAware(model.value(), w.graph, split.test);
+  EXPECT_GT(m.num_queries, 0u);
+  EXPECT_GT(m.auc, 0.0);
+  EXPECT_LE(m.auc, 1.0);
+  EXPECT_TRUE(std::isfinite(m.map));
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,110 @@
+#include "viz/tsne.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace inf2vec {
+namespace {
+
+TEST(TsneTest, RejectsBadInput) {
+  TsneOptions opts;
+  EXPECT_FALSE(RunTsne({}, 0, 5, opts).ok());
+  EXPECT_FALSE(RunTsne({1.0, 2.0}, 2, 2, opts).ok());  // Size mismatch.
+  EXPECT_FALSE(RunTsne({1, 2, 3, 4, 5, 6}, 3, 2, opts).ok());  // n < 4.
+  opts.output_dim = 0;
+  EXPECT_FALSE(RunTsne(std::vector<double>(20, 0.0), 10, 2, opts).ok());
+}
+
+TEST(TsneTest, OutputHasRequestedShape) {
+  Rng rng(1);
+  std::vector<double> data(20 * 5);
+  for (double& x : data) x = rng.Gaussian();
+  TsneOptions opts;
+  opts.iterations = 50;
+  auto result = RunTsne(data, 20, 5, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 20u * 2);
+  for (double x : result.value()) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(TsneTest, SeparatesTwoGaussianClusters) {
+  // 30 points at (0,...,0) + noise, 30 at (10,...,10) + noise.
+  Rng rng(2);
+  const size_t n = 60;
+  const size_t d = 6;
+  std::vector<double> data(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    const double center = i < 30 ? 0.0 : 10.0;
+    for (size_t k = 0; k < d; ++k) {
+      data[i * d + k] = center + 0.3 * rng.Gaussian();
+    }
+  }
+  TsneOptions opts;
+  opts.iterations = 300;
+  opts.perplexity = 10.0;
+  auto result = RunTsne(data, n, d, opts);
+  ASSERT_TRUE(result.ok());
+  const std::vector<double>& y = result.value();
+
+  auto dist = [&](size_t a, size_t b) {
+    const double dx = y[a * 2] - y[b * 2];
+    const double dy = y[a * 2 + 1] - y[b * 2 + 1];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double intra = 0.0;
+  double inter = 0.0;
+  int intra_n = 0;
+  int inter_n = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if ((i < 30) == (j < 30)) {
+        intra += dist(i, j);
+        ++intra_n;
+      } else {
+        inter += dist(i, j);
+        ++inter_n;
+      }
+    }
+  }
+  EXPECT_GT(inter / inter_n, 2.0 * (intra / intra_n))
+      << "clusters not separated in the embedding";
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  Rng rng(3);
+  std::vector<double> data(10 * 3);
+  for (double& x : data) x = rng.Gaussian();
+  TsneOptions opts;
+  opts.iterations = 40;
+  auto a = RunTsne(data, 10, 3, opts);
+  auto b = RunTsne(data, 10, 3, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(MeanPairDistanceRatioTest, TightPairsScoreBelowOne) {
+  // 4 points: two coincident pairs far apart.
+  const std::vector<double> coords = {0.0, 0.0, 0.1, 0.0,
+                                      10.0, 0.0, 10.1, 0.0};
+  const double ratio =
+      MeanPairDistanceRatio(coords, 4, 2, {{0, 1}, {2, 3}});
+  EXPECT_LT(ratio, 0.1);
+}
+
+TEST(MeanPairDistanceRatioTest, RandomPairsScoreNearOne) {
+  const std::vector<double> coords = {0.0, 0.0, 0.1, 0.0,
+                                      10.0, 0.0, 10.1, 0.0};
+  // Pair the far-apart points.
+  const double ratio =
+      MeanPairDistanceRatio(coords, 4, 2, {{0, 2}, {1, 3}});
+  EXPECT_GT(ratio, 0.9);
+}
+
+TEST(MeanPairDistanceRatioTest, EmptyPairsReturnOne) {
+  EXPECT_DOUBLE_EQ(MeanPairDistanceRatio({0, 0, 1, 1}, 2, 2, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace inf2vec

@@ -1,0 +1,103 @@
+#include "eval/tuning.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "synth/world_generator.h"
+
+namespace inf2vec {
+namespace {
+
+struct Splits {
+  synth::World world;
+  LogSplit split;
+};
+
+Splits MakeSplits(uint64_t seed) {
+  synth::WorldProfile profile = synth::WorldProfile::DiggLike();
+  profile.num_users = 300;
+  profile.num_items = 80;
+  Rng rng(seed);
+  auto world = synth::GenerateWorld(profile, rng);
+  EXPECT_TRUE(world.ok());
+  Splits s{std::move(world).value(), {}};
+  Rng split_rng(seed + 1);
+  s.split = SplitLog(s.world.log, 0.7, 0.2, split_rng);
+  return s;
+}
+
+Inf2vecConfig FastConfig() {
+  Inf2vecConfig config;
+  config.dim = 12;
+  config.epochs = 2;
+  config.context.length = 10;
+  return config;
+}
+
+TEST(TuneAlphaTest, RejectsBadInput) {
+  const Splits s = MakeSplits(1);
+  EXPECT_FALSE(TuneAlpha(s.world.graph, s.split.train, s.split.tune,
+                         FastConfig(), {})
+                   .ok());
+  EXPECT_FALSE(TuneAlpha(s.world.graph, s.split.train, s.split.tune,
+                         FastConfig(), {0.1, 1.5})
+                   .ok());
+  ActionLog empty;
+  EXPECT_FALSE(TuneAlpha(s.world.graph, empty, s.split.tune, FastConfig(),
+                         {0.1})
+                   .ok());
+  EXPECT_FALSE(TuneAlpha(s.world.graph, s.split.train, empty, FastConfig(),
+                         {0.1})
+                   .ok());
+}
+
+TEST(TuneAlphaTest, ReturnsCandidateWithBestTuneMap) {
+  const Splits s = MakeSplits(2);
+  const std::vector<double> candidates = {0.0, 0.1, 0.5, 1.0};
+  auto result = TuneAlpha(s.world.graph, s.split.train, s.split.tune,
+                          FastConfig(), candidates);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().per_candidate.size(), candidates.size());
+
+  // The reported winner is the argmax of the reported per-candidate MAPs.
+  double best_map = -1.0;
+  double best_alpha = -1.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (result.value().per_candidate[i].map > best_map) {
+      best_map = result.value().per_candidate[i].map;
+      best_alpha = candidates[i];
+    }
+  }
+  EXPECT_DOUBLE_EQ(result.value().best_alpha, best_alpha);
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(),
+                      result.value().best_alpha),
+            candidates.end());
+}
+
+TEST(TuneAlphaTest, SingleCandidateWinsTrivially) {
+  const Splits s = MakeSplits(3);
+  auto result = TuneAlpha(s.world.graph, s.split.train, s.split.tune,
+                          FastConfig(), {0.25});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().best_alpha, 0.25);
+}
+
+TEST(TuneAlphaTest, DeterministicGivenConfigSeed) {
+  const Splits s = MakeSplits(4);
+  const std::vector<double> candidates = {0.1, 0.9};
+  auto a = TuneAlpha(s.world.graph, s.split.train, s.split.tune,
+                     FastConfig(), candidates);
+  auto b = TuneAlpha(s.world.graph, s.split.train, s.split.tune,
+                     FastConfig(), candidates);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().best_alpha, b.value().best_alpha);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value().per_candidate[i].map,
+                     b.value().per_candidate[i].map);
+  }
+}
+
+}  // namespace
+}  // namespace inf2vec

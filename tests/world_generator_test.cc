@@ -1,0 +1,177 @@
+#include "synth/world_generator.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "diffusion/influence_pairs.h"
+
+namespace inf2vec {
+namespace {
+
+synth::World SmallWorld(uint64_t seed) {
+  synth::WorldProfile profile = synth::WorldProfile::DiggLike();
+  profile.num_users = 600;
+  profile.num_items = 100;
+  Rng rng(seed);
+  auto world = synth::GenerateWorld(profile, rng);
+  EXPECT_TRUE(world.ok()) << world.status().ToString();
+  return std::move(world).value();
+}
+
+TEST(WorldGeneratorTest, RejectsDegenerateProfiles) {
+  Rng rng(1);
+  synth::WorldProfile p;
+  p.num_users = 3;
+  EXPECT_FALSE(synth::GenerateWorld(p, rng).ok());
+  p = synth::WorldProfile();
+  p.num_topics = 0;
+  EXPECT_FALSE(synth::GenerateWorld(p, rng).ok());
+}
+
+TEST(WorldGeneratorTest, BasicShapes) {
+  const synth::World w = SmallWorld(2);
+  EXPECT_EQ(w.graph.num_users(), 600u);
+  EXPECT_GT(w.graph.num_edges(), 600u);
+  EXPECT_GT(w.log.num_episodes(), 20u);
+  EXPECT_EQ(w.true_probs.size(), w.graph.num_edges());
+  EXPECT_EQ(w.user_topics.size(), 600u * w.profile.num_topics);
+}
+
+TEST(WorldGeneratorTest, TopicMixturesAreNormalized) {
+  const synth::World w = SmallWorld(3);
+  for (UserId u = 0; u < 50; ++u) {
+    double sum = 0.0;
+    for (uint32_t t = 0; t < w.profile.num_topics; ++t) {
+      const double x = w.UserTopic(u, t);
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(WorldGeneratorTest, PlantedProbabilitiesAreBounded) {
+  const synth::World w = SmallWorld(4);
+  for (uint64_t e = 0; e < w.true_probs.size(); ++e) {
+    EXPECT_GE(w.true_probs.Get(e), 0.0);
+    EXPECT_LE(w.true_probs.Get(e), w.profile.max_edge_prob);
+  }
+}
+
+TEST(WorldGeneratorTest, EpisodesAreChronologicalAndUserUnique) {
+  const synth::World w = SmallWorld(5);
+  for (const DiffusionEpisode& e : w.log.episodes()) {
+    EXPECT_GE(e.size(), 3u);
+    std::set<UserId> seen;
+    Timestamp prev = -1;
+    for (const Adoption& a : e.adoptions()) {
+      EXPECT_GE(a.time, prev);
+      prev = a.time;
+      EXPECT_TRUE(seen.insert(a.user).second);
+      EXPECT_LT(a.user, w.graph.num_users());
+    }
+  }
+}
+
+TEST(WorldGeneratorTest, SourceFrequenciesAreHeavyTailed) {
+  // Fig. 1 shape: log-log slope of the source-frequency histogram clearly
+  // negative.
+  const synth::World w = SmallWorld(6);
+  const PairFrequencyTable table(w.graph, w.log);
+  ASSERT_GT(table.total_pairs(), 100u);
+  const double slope = table.SourceFrequencyDistribution().LogLogSlope();
+  EXPECT_LT(slope, -0.4) << "source-frequency distribution not heavy-tailed";
+}
+
+TEST(WorldGeneratorTest, TargetFrequenciesAreHeavyTailed) {
+  const synth::World w = SmallWorld(7);
+  const PairFrequencyTable table(w.graph, w.log);
+  const double slope = table.TargetFrequencyDistribution().LogLogSlope();
+  EXPECT_LT(slope, -0.4);
+}
+
+TEST(WorldGeneratorTest, DiggLikeZeroFriendShareNearPaper) {
+  // Fig. 3: ~70% of Digg adoptions happen with zero previously-active
+  // friends. The generator targets that regime; allow a generous band.
+  const synth::World w = SmallWorld(8);
+  const Histogram h = ActiveFriendCountDistribution(w.graph, w.log);
+  const double at_zero = h.CdfAt(0);
+  EXPECT_GT(at_zero, 0.5);
+  EXPECT_LT(at_zero, 0.9);
+}
+
+TEST(WorldGeneratorTest, FlickrLikeHasLowerZeroFriendShare) {
+  synth::WorldProfile digg = synth::WorldProfile::DiggLike();
+  digg.num_users = 600;
+  digg.num_items = 80;
+  synth::WorldProfile flickr = synth::WorldProfile::FlickrLike();
+  flickr.num_users = 600;
+  flickr.num_items = 80;
+  Rng rng1(9);
+  Rng rng2(9);
+  const synth::World dw = std::move(synth::GenerateWorld(digg, rng1)).value();
+  const synth::World fw =
+      std::move(synth::GenerateWorld(flickr, rng2)).value();
+  const double digg_zero =
+      ActiveFriendCountDistribution(dw.graph, dw.log).CdfAt(0);
+  const double flickr_zero =
+      ActiveFriendCountDistribution(fw.graph, fw.log).CdfAt(0);
+  EXPECT_GT(digg_zero, flickr_zero)
+      << "digg-like should be more spontaneous than flickr-like";
+}
+
+TEST(WorldGeneratorTest, DeterministicGivenSeed) {
+  synth::WorldProfile p = synth::WorldProfile::DiggLike();
+  p.num_users = 200;
+  p.num_items = 30;
+  Rng rng1(10);
+  Rng rng2(10);
+  const synth::World a = std::move(synth::GenerateWorld(p, rng1)).value();
+  const synth::World b = std::move(synth::GenerateWorld(p, rng2)).value();
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.log.num_episodes(), b.log.num_episodes());
+  EXPECT_EQ(a.log.num_actions(), b.log.num_actions());
+}
+
+TEST(WorldGeneratorTest, LinearThresholdWorldsGenerate) {
+  synth::WorldProfile profile = synth::WorldProfile::DiggLike();
+  profile.num_users = 400;
+  profile.num_items = 80;
+  profile.spread_model =
+      synth::WorldProfile::SpreadModel::kLinearThreshold;
+  Rng rng(31);
+  auto world = synth::GenerateWorld(profile, rng);
+  ASSERT_TRUE(world.ok()) << world.status().ToString();
+  EXPECT_GT(world.value().log.num_episodes(), 10u);
+  // Influence still happens under LT: some adoptions have active friends.
+  const Histogram h =
+      ActiveFriendCountDistribution(world.value().graph, world.value().log);
+  EXPECT_LT(h.CdfAt(0), 0.999);
+}
+
+TEST(WorldGeneratorTest, SpreadModelChangesTheCascades) {
+  synth::WorldProfile ic = synth::WorldProfile::DiggLike();
+  ic.num_users = 300;
+  ic.num_items = 40;
+  synth::WorldProfile lt = ic;
+  lt.spread_model = synth::WorldProfile::SpreadModel::kLinearThreshold;
+  Rng rng1(33);
+  Rng rng2(33);
+  const synth::World a = std::move(synth::GenerateWorld(ic, rng1)).value();
+  const synth::World b = std::move(synth::GenerateWorld(lt, rng2)).value();
+  EXPECT_NE(a.log.num_actions(), b.log.num_actions());
+}
+
+TEST(WorldGeneratorTest, InterestComputesDotProduct) {
+  const synth::World w = SmallWorld(11);
+  double manual = 0.0;
+  for (uint32_t t = 0; t < w.profile.num_topics; ++t) {
+    manual += w.UserTopic(3, t) * w.ItemTopic(2, t);
+  }
+  EXPECT_NEAR(w.Interest(3, 2), manual, 1e-12);
+}
+
+}  // namespace
+}  // namespace inf2vec

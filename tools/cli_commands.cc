@@ -1,0 +1,282 @@
+#include "cli_commands.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "action/action_log_io.h"
+#include "core/inf2vec_model.h"
+#include "embedding/model_io.h"
+#include "eval/activation_task.h"
+#include "eval/diffusion_task.h"
+#include "eval/harness.h"
+#include "graph/graph_io.h"
+#include "synth/world_generator.h"
+
+namespace inf2vec {
+namespace cli {
+namespace {
+
+/// Loads the graph + action log named by --graph / --actions.
+Status LoadWorldInputs(const FlagParser& flags, SocialGraph* graph,
+                       ActionLog* log) {
+  const std::string graph_path = flags.GetString("graph", "");
+  const std::string actions_path = flags.GetString("actions", "");
+  if (graph_path.empty() || actions_path.empty()) {
+    return Status::InvalidArgument("--graph and --actions are required");
+  }
+  Result<SocialGraph> g = LoadEdgeListAutoSize(graph_path);
+  INF2VEC_RETURN_IF_ERROR(g.status());
+  Result<ActionLog> a = LoadActionLog(actions_path);
+  INF2VEC_RETURN_IF_ERROR(a.status());
+  *graph = std::move(g).value();
+  *log = std::move(a).value();
+  // Action ids must fit the graph's user space.
+  for (const DiffusionEpisode& e : log->episodes()) {
+    for (const Adoption& adoption : e.adoptions()) {
+      if (adoption.user >= graph->num_users()) {
+        return Status::InvalidArgument(
+            "action log references user beyond the graph's id space");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Inf2vecConfig> ConfigFromFlags(const FlagParser& flags) {
+  Inf2vecConfig config;
+  Result<int64_t> dim = flags.GetInt("dim", config.dim);
+  INF2VEC_RETURN_IF_ERROR(dim.status());
+  config.dim = static_cast<uint32_t>(dim.value());
+  Result<double> alpha = flags.GetDouble("alpha", config.context.alpha);
+  INF2VEC_RETURN_IF_ERROR(alpha.status());
+  config.context.alpha = alpha.value();
+  Result<int64_t> length = flags.GetInt("length", config.context.length);
+  INF2VEC_RETURN_IF_ERROR(length.status());
+  config.context.length = static_cast<uint32_t>(length.value());
+  Result<int64_t> epochs = flags.GetInt("epochs", config.epochs);
+  INF2VEC_RETURN_IF_ERROR(epochs.status());
+  config.epochs = static_cast<uint32_t>(epochs.value());
+  Result<double> lr = flags.GetDouble("lr", config.sgd.learning_rate);
+  INF2VEC_RETURN_IF_ERROR(lr.status());
+  config.sgd.learning_rate = lr.value();
+  Result<int64_t> negatives =
+      flags.GetInt("negatives", config.sgd.num_negatives);
+  INF2VEC_RETURN_IF_ERROR(negatives.status());
+  config.sgd.num_negatives = static_cast<uint32_t>(negatives.value());
+  Result<int64_t> seed = flags.GetInt("seed", config.seed);
+  INF2VEC_RETURN_IF_ERROR(seed.status());
+  config.seed = static_cast<uint64_t>(seed.value());
+  if (flags.GetBool("local-only", false)) config.context.alpha = 1.0;
+  if (flags.GetBool("bfs-context", false)) {
+    config.context.strategy = LocalContextStrategy::kForwardBfs;
+  }
+  if (config.dim == 0 || config.context.length == 0 || config.epochs == 0) {
+    return Status::InvalidArgument("dim, length and epochs must be positive");
+  }
+  return config;
+}
+
+}  // namespace
+
+Status RunGenerate(const FlagParser& flags) {
+  const std::string out_dir = flags.GetString("out", "");
+  if (out_dir.empty()) return Status::InvalidArgument("--out is required");
+  const std::string profile_name = flags.GetString("profile", "digg");
+
+  synth::WorldProfile profile;
+  if (profile_name == "digg") {
+    profile = synth::WorldProfile::DiggLike();
+  } else if (profile_name == "flickr") {
+    profile = synth::WorldProfile::FlickrLike();
+  } else {
+    return Status::InvalidArgument("--profile must be digg or flickr");
+  }
+  Result<int64_t> users = flags.GetInt("users", profile.num_users);
+  INF2VEC_RETURN_IF_ERROR(users.status());
+  profile.num_users = static_cast<uint32_t>(users.value());
+  Result<int64_t> items = flags.GetInt("items", profile.num_items);
+  INF2VEC_RETURN_IF_ERROR(items.status());
+  profile.num_items = static_cast<uint32_t>(items.value());
+  Result<int64_t> seed = flags.GetInt("seed", 42);
+  INF2VEC_RETURN_IF_ERROR(seed.status());
+
+  Rng rng(static_cast<uint64_t>(seed.value()));
+  Result<synth::World> world = synth::GenerateWorld(profile, rng);
+  INF2VEC_RETURN_IF_ERROR(world.status());
+
+  const std::string graph_path = out_dir + "/graph.tsv";
+  const std::string actions_path = out_dir + "/actions.tsv";
+  INF2VEC_RETURN_IF_ERROR(SaveEdgeList(world.value().graph, graph_path));
+  INF2VEC_RETURN_IF_ERROR(SaveActionLog(world.value().log, actions_path));
+  std::printf("wrote %s (%u users, %llu edges)\n", graph_path.c_str(),
+              world.value().graph.num_users(),
+              static_cast<unsigned long long>(
+                  world.value().graph.num_edges()));
+  std::printf("wrote %s (%zu episodes, %llu actions)\n",
+              actions_path.c_str(), world.value().log.num_episodes(),
+              static_cast<unsigned long long>(
+                  world.value().log.num_actions()));
+  return Status::OK();
+}
+
+Status RunTrain(const FlagParser& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) return Status::InvalidArgument("--model is required");
+  SocialGraph graph;
+  ActionLog log;
+  INF2VEC_RETURN_IF_ERROR(LoadWorldInputs(flags, &graph, &log));
+  Result<Inf2vecConfig> config = ConfigFromFlags(flags);
+  INF2VEC_RETURN_IF_ERROR(config.status());
+
+  Result<Inf2vecModel> model =
+      Inf2vecModel::Train(graph, log, config.value());
+  INF2VEC_RETURN_IF_ERROR(model.status());
+  INF2VEC_RETURN_IF_ERROR(
+      SaveEmbeddings(model.value().embeddings(), model_path));
+  std::printf("trained K=%u on %zu episodes; model -> %s\n",
+              config.value().dim, log.num_episodes(), model_path.c_str());
+  return Status::OK();
+}
+
+Status RunScore(const FlagParser& flags) {
+  Result<EmbeddingStore> store =
+      LoadEmbeddings(flags.GetString("model", ""));
+  INF2VEC_RETURN_IF_ERROR(store.status());
+  Result<int64_t> source = flags.GetInt("source", -1);
+  INF2VEC_RETURN_IF_ERROR(source.status());
+  Result<int64_t> target = flags.GetInt("target", -1);
+  INF2VEC_RETURN_IF_ERROR(target.status());
+  if (source.value() < 0 || target.value() < 0 ||
+      source.value() >= store.value().num_users() ||
+      target.value() >= store.value().num_users()) {
+    return Status::InvalidArgument("--source/--target out of range");
+  }
+  std::printf("x(%lld -> %lld) = %+.6f\n",
+              static_cast<long long>(source.value()),
+              static_cast<long long>(target.value()),
+              store.value().Score(static_cast<UserId>(source.value()),
+                                  static_cast<UserId>(target.value())));
+  return Status::OK();
+}
+
+Status RunTop(const FlagParser& flags) {
+  Result<EmbeddingStore> store =
+      LoadEmbeddings(flags.GetString("model", ""));
+  INF2VEC_RETURN_IF_ERROR(store.status());
+  Result<int64_t> source = flags.GetInt("source", -1);
+  INF2VEC_RETURN_IF_ERROR(source.status());
+  Result<int64_t> k = flags.GetInt("k", 10);
+  INF2VEC_RETURN_IF_ERROR(k.status());
+  if (source.value() < 0 || source.value() >= store.value().num_users()) {
+    return Status::InvalidArgument("--source out of range");
+  }
+  const UserId u = static_cast<UserId>(source.value());
+
+  std::vector<UserId> order(store.value().num_users());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    return store.value().Score(u, a) > store.value().Score(u, b);
+  });
+  std::printf("top-%lld users most influenced by %u:\n",
+              static_cast<long long>(k.value()), u);
+  int64_t printed = 0;
+  for (UserId v : order) {
+    if (v == u) continue;
+    std::printf("  %-8u %+.6f\n", v, store.value().Score(u, v));
+    if (++printed >= k.value()) break;
+  }
+  return Status::OK();
+}
+
+Status RunEvaluate(const FlagParser& flags) {
+  SocialGraph graph;
+  ActionLog log;
+  INF2VEC_RETURN_IF_ERROR(LoadWorldInputs(flags, &graph, &log));
+  Result<EmbeddingStore> store =
+      LoadEmbeddings(flags.GetString("model", ""));
+  INF2VEC_RETURN_IF_ERROR(store.status());
+  if (store.value().num_users() < graph.num_users()) {
+    return Status::InvalidArgument("model smaller than graph user space");
+  }
+  Result<Aggregation> aggregation =
+      ParseAggregation(flags.GetString("aggregation", "Ave"));
+  INF2VEC_RETURN_IF_ERROR(aggregation.status());
+  const EmbeddingPredictor predictor("model", &store.value(),
+                                     aggregation.value());
+
+  const std::string task = flags.GetString("task", "activation");
+  RankingMetrics metrics;
+  if (task == "activation") {
+    metrics = EvaluateActivation(predictor, graph, log);
+  } else if (task == "diffusion") {
+    DiffusionTaskOptions options;
+    Result<double> fraction =
+        flags.GetDouble("seed-fraction", options.seed_fraction);
+    INF2VEC_RETURN_IF_ERROR(fraction.status());
+    options.seed_fraction = fraction.value();
+    Rng rng(1);
+    metrics = EvaluateDiffusion(predictor, graph.num_users(), log, options,
+                                rng);
+  } else {
+    return Status::InvalidArgument("--task must be activation or diffusion");
+  }
+  ResultTable table(task + " evaluation");
+  table.AddRow("model", metrics);
+  table.Print();
+  std::printf("episodes evaluated: %zu\n", metrics.num_queries);
+  return Status::OK();
+}
+
+Status RunExportText(const FlagParser& flags) {
+  Result<EmbeddingStore> store =
+      LoadEmbeddings(flags.GetString("model", ""));
+  INF2VEC_RETURN_IF_ERROR(store.status());
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return Status::InvalidArgument("--out is required");
+  INF2VEC_RETURN_IF_ERROR(ExportEmbeddingsText(store.value(), out));
+  std::printf("exported %u x %u embeddings -> %s\n",
+              store.value().num_users(), store.value().dim(), out.c_str());
+  return Status::OK();
+}
+
+std::string UsageText() {
+  return
+      "inf2vec_cli <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate     synthesize a digg/flickr-like dataset to TSV files\n"
+      "               --profile digg|flickr --out DIR [--users N --items N"
+      " --seed S]\n"
+      "  train        train Inf2vec on TSV inputs, save a binary model\n"
+      "               --graph F --actions F --model OUT [--dim --alpha"
+      " --length --epochs --lr --negatives --seed --local-only"
+      " --bfs-context]\n"
+      "  score        print x(u -> v)\n"
+      "               --model F --source U --target V\n"
+      "  top          print the k users most influenced by a user\n"
+      "               --model F --source U [--k 10]\n"
+      "  evaluate     run a paper evaluation task against a model\n"
+      "               --graph F --actions F --model F [--task"
+      " activation|diffusion --aggregation Ave|Sum|Max|Latest]\n"
+      "  export-text  dump a model to a text matrix\n"
+      "               --model F --out F\n";
+}
+
+Status Dispatch(const FlagParser& flags) {
+  if (flags.positional().empty()) {
+    return Status::InvalidArgument("missing command\n" + UsageText());
+  }
+  const std::string& command = flags.positional()[0];
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "train") return RunTrain(flags);
+  if (command == "score") return RunScore(flags);
+  if (command == "top") return RunTop(flags);
+  if (command == "evaluate") return RunEvaluate(flags);
+  if (command == "export-text") return RunExportText(flags);
+  return Status::InvalidArgument("unknown command '" + command + "'\n" +
+                                 UsageText());
+}
+
+}  // namespace cli
+}  // namespace inf2vec

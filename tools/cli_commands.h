@@ -1,0 +1,41 @@
+#ifndef INF2VEC_TOOLS_CLI_COMMANDS_H_
+#define INF2VEC_TOOLS_CLI_COMMANDS_H_
+
+#include <string>
+
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace cli {
+
+/// The `inf2vec_cli` subcommands, each taking its parsed flags. All output
+/// goes to stdout; errors come back as Status so main() owns the exit code.
+///
+///   generate     --profile digg|flickr --out DIR [--users N --items N --seed S]
+///   train        --graph F --actions F --model OUT
+///                [--dim K --alpha A --length L --epochs E --lr G
+///                 --negatives N --seed S --local-only --bfs-context]
+///   score        --model F --source U --target V
+///   top          --model F --source U [--k 10]
+///   evaluate     --graph F --actions F --model F [--task activation|diffusion]
+///                [--seed-fraction 0.05 --aggregation Ave|Sum|Max|Latest]
+///   export-text  --model F --out F
+Status RunGenerate(const FlagParser& flags);
+Status RunTrain(const FlagParser& flags);
+Status RunScore(const FlagParser& flags);
+Status RunTop(const FlagParser& flags);
+Status RunEvaluate(const FlagParser& flags);
+Status RunExportText(const FlagParser& flags);
+
+/// Dispatches on the first positional argument; returns InvalidArgument
+/// with the usage text for unknown commands.
+Status Dispatch(const FlagParser& flags);
+
+/// The usage/help text.
+std::string UsageText();
+
+}  // namespace cli
+}  // namespace inf2vec
+
+#endif  // INF2VEC_TOOLS_CLI_COMMANDS_H_
