@@ -6,6 +6,7 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/sigmoid_table.h"
+#include "util/thread_pool.h"
 
 namespace inf2vec {
 namespace {
@@ -68,41 +69,74 @@ Result<MfBprModel> MfBprModel::Train(uint32_t num_users, const ActionLog& log,
   const double lr = options.learning_rate;
   const double reg = options.regularization;
 
+  // One BPR step for the observation (u, v); `step_rng` draws the
+  // negative. Safe to run Hogwild: updates are sparse rows of the shared
+  // store (see EmbeddingStore's concurrency contract for the benign-race
+  // model; races here are intentional under num_threads > 1, hence the
+  // sanitizer annotation).
+  const auto train_observation = [&](UserId u, UserId v, Rng& step_rng)
+                                     INF2VEC_NO_SANITIZE_THREAD {
+    // Negative: a user u never co-acted with.
+    UserId w = 0;
+    bool found = false;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      w = static_cast<UserId>(step_rng.UniformU64(num_users));
+      if (w != u && data.positives[u].find(w) == data.positives[u].end()) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return;  // u co-acted with nearly everyone.
+
+    const double x_uv = store->Score(u, v);
+    const double x_uw = store->Score(u, w);
+    // BPR gradient coefficient: sigma(-(x_uv - x_uw)).
+    const double coeff = SigmoidTable::Exact(-(x_uv - x_uw));
+
+    const std::span<double> p_u = store->Source(u);
+    const std::span<double> q_v = store->Target(v);
+    const std::span<double> q_w = store->Target(w);
+    for (uint32_t k = 0; k < dim; ++k) {
+      const double pu = p_u[k];
+      p_u[k] += lr * (coeff * (q_v[k] - q_w[k]) - reg * pu);
+      q_v[k] += lr * (coeff * pu - reg * q_v[k]);
+      q_w[k] += lr * (-coeff * pu - reg * q_w[k]);
+    }
+    // Source bias cancels in the BPR difference; only target biases move.
+    store->mutable_target_bias(v) +=
+        lr * (coeff - reg * store->target_bias(v));
+    store->mutable_target_bias(w) +=
+        lr * (-coeff - reg * store->target_bias(w));
+  };
+
+  const uint32_t num_threads =
+      ThreadPool::ResolveThreadCount(options.num_threads);
+  if (num_threads <= 1) {
+    for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+      rng.Shuffle(data.observations);
+      for (const auto& [u, v] : data.observations) {
+        train_observation(u, v, rng);
+      }
+    }
+    return MfBprModel(options, std::move(store));
+  }
+
+  ThreadPool pool(num_threads);
+  std::vector<Rng> shard_rngs;
+  shard_rngs.reserve(num_threads);
+  for (uint32_t s = 0; s < num_threads; ++s) {
+    shard_rngs.emplace_back(ThreadPool::ShardSeed(options.seed, s));
+  }
   for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
     rng.Shuffle(data.observations);
-    for (const auto& [u, v] : data.observations) {
-      // Negative: a user u never co-acted with.
-      UserId w = 0;
-      bool found = false;
-      for (int attempt = 0; attempt < 32; ++attempt) {
-        w = static_cast<UserId>(rng.UniformU64(num_users));
-        if (w != u && data.positives[u].find(w) == data.positives[u].end()) {
-          found = true;
-          break;
-        }
-      }
-      if (!found) continue;  // u co-acted with nearly everyone.
-
-      const double x_uv = store->Score(u, v);
-      const double x_uw = store->Score(u, w);
-      // BPR gradient coefficient: sigma(-(x_uv - x_uw)).
-      const double coeff = SigmoidTable::Exact(-(x_uv - x_uw));
-
-      const std::span<double> p_u = store->Source(u);
-      const std::span<double> q_v = store->Target(v);
-      const std::span<double> q_w = store->Target(w);
-      for (uint32_t k = 0; k < dim; ++k) {
-        const double pu = p_u[k];
-        p_u[k] += lr * (coeff * (q_v[k] - q_w[k]) - reg * pu);
-        q_v[k] += lr * (coeff * pu - reg * q_v[k]);
-        q_w[k] += lr * (-coeff * pu - reg * q_w[k]);
-      }
-      // Source bias cancels in the BPR difference; only target biases move.
-      store->mutable_target_bias(v) +=
-          lr * (coeff - reg * store->target_bias(v));
-      store->mutable_target_bias(w) +=
-          lr * (-coeff - reg * store->target_bias(w));
-    }
+    pool.ParallelFor(0, data.observations.size(),
+                     [&](uint32_t shard, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         train_observation(data.observations[i].first,
+                                           data.observations[i].second,
+                                           shard_rngs[shard]);
+                       }
+                     });
   }
   return MfBprModel(options, std::move(store));
 }

@@ -26,6 +26,9 @@ struct MfOptions {
   double regularization = 0.01;
   uint64_t seed = 13;
   Aggregation aggregation = Aggregation::kAve;
+  /// Hogwild workers for the BPR epochs. 1 = bit-reproducible serial
+  /// path; 0 = all hardware threads.
+  uint32_t num_threads = 1;
 };
 
 /// Trained MF model. Source factors = "affects" side, target factors =

@@ -34,6 +34,9 @@ struct Node2vecOptions {
   NegativeSamplerKind negative_kind = NegativeSamplerKind::kUnigram075;
   uint64_t seed = 21;
   Aggregation aggregation = Aggregation::kAve;
+  /// Hogwild workers for the SGD epochs (walk generation stays serial).
+  /// 1 = bit-reproducible serial path; 0 = all hardware threads.
+  uint32_t num_threads = 1;
 };
 
 /// Trained Node2vec model; scores through the shared EmbeddingPredictor.

@@ -1,11 +1,31 @@
 #include "core/inf2vec_model.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "diffusion/propagation_network.h"
 #include "util/logging.h"
 
 namespace inf2vec {
+namespace {
+
+/// Appends one episode's Algorithm-1 output to a corpus fragment.
+void AccumulateEpisode(const SocialGraph& graph,
+                       const DiffusionEpisode& episode,
+                       const ContextOptions& options, uint32_t num_users,
+                       Rng& rng, InfluenceCorpus* corpus) {
+  const PropagationNetwork network(graph, episode);
+  for (const InfluenceContext& ctx :
+       GenerateEpisodeContexts(network, options, rng)) {
+    ++corpus->num_tuples;
+    for (UserId v : ctx.context) {
+      corpus->pairs.push_back({ctx.user, v});
+      if (v < num_users) ++corpus->target_frequencies[v];
+    }
+  }
+}
+
+}  // namespace
 
 InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
                                      const ActionLog& log,
@@ -14,14 +34,45 @@ InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
   InfluenceCorpus corpus;
   corpus.target_frequencies.assign(num_users, 0);
   for (const DiffusionEpisode& episode : log.episodes()) {
-    const PropagationNetwork network(graph, episode);
-    for (const InfluenceContext& ctx :
-         GenerateEpisodeContexts(network, options, rng)) {
-      ++corpus.num_tuples;
-      for (UserId v : ctx.context) {
-        corpus.pairs.push_back({ctx.user, v});
-        if (v < num_users) ++corpus.target_frequencies[v];
-      }
+    AccumulateEpisode(graph, episode, options, num_users, rng, &corpus);
+  }
+  return corpus;
+}
+
+InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
+                                     const ActionLog& log,
+                                     const ContextOptions& options,
+                                     uint32_t num_users, uint64_t seed,
+                                     ThreadPool& pool) {
+  const std::vector<DiffusionEpisode>& episodes = log.episodes();
+  std::vector<InfluenceCorpus> fragments(pool.num_threads());
+  pool.ParallelFor(0, episodes.size(),
+                   [&](uint32_t shard, size_t begin, size_t end) {
+                     Rng rng(ThreadPool::ShardSeed(seed, shard));
+                     InfluenceCorpus& fragment = fragments[shard];
+                     fragment.target_frequencies.assign(num_users, 0);
+                     for (size_t i = begin; i < end; ++i) {
+                       AccumulateEpisode(graph, episodes[i], options,
+                                         num_users, rng, &fragment);
+                     }
+                   });
+
+  // Deterministic merge: shard s covers a contiguous episode range below
+  // shard s+1's, so fragment order IS episode order.
+  InfluenceCorpus corpus;
+  corpus.target_frequencies.assign(num_users, 0);
+  size_t total_pairs = 0;
+  for (const InfluenceCorpus& fragment : fragments) {
+    total_pairs += fragment.pairs.size();
+  }
+  corpus.pairs.reserve(total_pairs);
+  for (const InfluenceCorpus& fragment : fragments) {
+    corpus.pairs.insert(corpus.pairs.end(), fragment.pairs.begin(),
+                        fragment.pairs.end());
+    corpus.num_tuples += fragment.num_tuples;
+    if (fragment.target_frequencies.empty()) continue;  // Unclaimed shard.
+    for (uint32_t u = 0; u < num_users; ++u) {
+      corpus.target_frequencies[u] += fragment.target_frequencies[u];
     }
   }
   return corpus;
@@ -46,19 +97,64 @@ Result<Inf2vecModel> Inf2vecModel::TrainFromCorpus(
       config.negative_kind, num_users, corpus.target_frequencies);
   if (!sampler.ok()) return sampler.status();
 
-  SgdTrainer trainer(store.get(), &sampler.value(), config.sgd);
-
   std::vector<std::pair<UserId, UserId>> pairs = corpus.pairs;
   if (epoch_objective != nullptr) epoch_objective->clear();
+  const bool want_objective = epoch_objective != nullptr;
+
+  const uint32_t num_threads =
+      ThreadPool::ResolveThreadCount(config.num_threads);
+  if (num_threads <= 1) {
+    // Serial reference path: identical RNG stream and update order to the
+    // pre-parallel implementation, hence bit-for-bit reproducible.
+    SgdTrainer trainer(store.get(), &sampler.value(), config.sgd);
+    for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+      if (config.shuffle_pairs) rng.Shuffle(pairs);
+      double objective_sum = 0.0;
+      for (const auto& [u, v] : pairs) {
+        objective_sum += trainer.TrainPair(u, v, rng, want_objective);
+      }
+      if (epoch_objective != nullptr) {
+        epoch_objective->push_back(objective_sum /
+                                   static_cast<double>(pairs.size()));
+      }
+    }
+    return Inf2vecModel(config, std::move(store));
+  }
+
+  // Hogwild epochs: each epoch statically partitions the shuffled pair
+  // vector across the pool; workers own their SgdTrainer (scratch buffers)
+  // and RNG stream but share the EmbeddingStore lock-free. The shuffle
+  // stays on the master rng so the pair sequence matches the serial path.
+  ThreadPool pool(num_threads);
+  std::vector<SgdTrainer> trainers;
+  std::vector<Rng> shard_rngs;
+  trainers.reserve(num_threads);
+  shard_rngs.reserve(num_threads);
+  for (uint32_t s = 0; s < num_threads; ++s) {
+    trainers.emplace_back(store.get(), &sampler.value(), config.sgd);
+    shard_rngs.emplace_back(ThreadPool::ShardSeed(config.seed, s));
+  }
+  std::vector<double> shard_objective(num_threads, 0.0);
 
   for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
     if (config.shuffle_pairs) rng.Shuffle(pairs);
-    double objective_sum = 0.0;
-    for (const auto& [u, v] : pairs) {
-      objective_sum += trainer.TrainPair(u, v, rng);
-    }
+    std::fill(shard_objective.begin(), shard_objective.end(), 0.0);
+    pool.ParallelFor(0, pairs.size(),
+                     [&](uint32_t shard, size_t begin, size_t end) {
+                       SgdTrainer& trainer = trainers[shard];
+                       Rng& shard_rng = shard_rngs[shard];
+                       double sum = 0.0;
+                       for (size_t i = begin; i < end; ++i) {
+                         sum += trainer.TrainPair(pairs[i].first,
+                                                  pairs[i].second, shard_rng,
+                                                  want_objective);
+                       }
+                       shard_objective[shard] = sum;
+                     });
     if (epoch_objective != nullptr) {
-      epoch_objective->push_back(objective_sum /
+      const double total = std::accumulate(shard_objective.begin(),
+                                           shard_objective.end(), 0.0);
+      epoch_objective->push_back(total /
                                  static_cast<double>(pairs.size()));
     }
   }
@@ -71,9 +167,18 @@ Result<Inf2vecModel> Inf2vecModel::Train(const SocialGraph& graph,
   if (log.num_episodes() == 0) {
     return Status::InvalidArgument("action log has no episodes");
   }
-  Rng rng(config.seed);
-  const InfluenceCorpus corpus = BuildInfluenceCorpus(
-      graph, log, config.context, graph.num_users(), rng);
+  const uint32_t num_threads =
+      ThreadPool::ResolveThreadCount(config.num_threads);
+  InfluenceCorpus corpus;
+  if (num_threads <= 1) {
+    Rng rng(config.seed);
+    corpus = BuildInfluenceCorpus(graph, log, config.context,
+                                  graph.num_users(), rng);
+  } else {
+    ThreadPool pool(num_threads);
+    corpus = BuildInfluenceCorpus(graph, log, config.context,
+                                  graph.num_users(), config.seed, pool);
+  }
   // Offset the SGD stream from the corpus stream so the two phases do not
   // share random state across configs with equal seeds.
   Inf2vecConfig sgd_config = config;

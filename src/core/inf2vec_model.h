@@ -14,6 +14,7 @@
 #include "embedding/sgd_trainer.h"
 #include "graph/social_graph.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace inf2vec {
 
@@ -39,6 +40,15 @@ struct Inf2vecConfig {
   bool shuffle_pairs = true;
   Aggregation aggregation = Aggregation::kAve;
   uint64_t seed = 42;
+  /// Worker threads for corpus generation and SGD. 1 (the default) is the
+  /// fully serial reference path and is bit-for-bit reproducible against
+  /// pre-parallel builds for a fixed seed. 0 means "use all hardware
+  /// threads". With > 1 threads, corpus generation shards episodes across
+  /// the pool (deterministic for a fixed thread count) and SGD epochs run
+  /// Hogwild: lock-free workers over a static partition of the shuffled
+  /// pairs, so trained parameters vary run-to-run at the floating-point
+  /// noise level while the objective matches the serial run to ~1%.
+  uint32_t num_threads = 1;
 
   /// The Inf2vec-L ablation (Table IV): local influence context only.
   static Inf2vecConfig LocalOnly() {
@@ -66,6 +76,18 @@ InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
                                      const ActionLog& log,
                                      const ContextOptions& options,
                                      uint32_t num_users, Rng& rng);
+
+/// Parallel corpus build: episodes are sharded across `pool`, each shard
+/// runs Algorithm 1 with its own RNG stream (ThreadPool::ShardSeed(seed,
+/// shard)) into a private corpus fragment, and fragments are concatenated
+/// in shard order — i.e. episode order — afterward. Deterministic for a
+/// fixed (seed, thread count); different thread counts yield different
+/// (equally valid) corpora because the RNG sharding changes.
+InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
+                                     const ActionLog& log,
+                                     const ContextOptions& options,
+                                     uint32_t num_users, uint64_t seed,
+                                     ThreadPool& pool);
 
 /// The Inf2vec model (Algorithm 2). Train() runs both phases and returns a
 /// model holding the learned EmbeddingStore; Predictor() adapts it to the

@@ -2,6 +2,7 @@
 
 #include "core/aggregation.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace inf2vec {
 
@@ -31,17 +32,34 @@ Result<TopicInf2vecModel> TopicInf2vecModel::Train(
   }
 
   std::vector<std::unique_ptr<Inf2vecModel>> topic_models(k);
-  for (uint32_t c = 0; c < k; ++c) {
+  const auto train_cluster = [&](uint32_t c, uint32_t cluster_threads) {
     if (cluster_logs[c].num_episodes() < config.min_cluster_episodes) {
-      continue;  // Too little data: global fallback.
+      return;  // Too little data: global fallback.
     }
     Inf2vecConfig topic_config = config.base;
     topic_config.seed = config.base.seed + 1000 + c;
+    topic_config.num_threads = cluster_threads;
     Result<Inf2vecModel> topic =
         Inf2vecModel::Train(graph, cluster_logs[c], topic_config);
-    if (!topic.ok()) continue;  // Cluster degenerate (e.g. no pairs).
+    if (!topic.ok()) return;  // Cluster degenerate (e.g. no pairs).
     topic_models[c] =
         std::make_unique<Inf2vecModel>(std::move(topic).value());
+  };
+  const uint32_t num_threads =
+      ThreadPool::ResolveThreadCount(config.base.num_threads);
+  if (num_threads > 1 && k > 1) {
+    // Cluster jobs are the parallel unit here: each cluster trains on its
+    // single shard thread (num_threads = 1, the deterministic serial
+    // path), so the per-cluster seeds yield identical models regardless
+    // of how clusters land on workers.
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(0, k, [&](uint32_t, size_t begin, size_t end) {
+      for (size_t c = begin; c < end; ++c) {
+        train_cluster(static_cast<uint32_t>(c), 1);
+      }
+    });
+  } else {
+    for (uint32_t c = 0; c < k; ++c) train_cluster(c, 1);
   }
 
   return TopicInf2vecModel(config, std::move(clustering_ptr),

@@ -59,6 +59,12 @@ InfluenceContext GenerateInfluenceContext(const PropagationNetwork& network,
 
 /// Convenience: contexts for every participant of the episode, in adoption
 /// order (the P_{D_i} list of Algorithm 2).
+///
+/// Thread-compatibility: both generators take the network and options by
+/// const reference and touch no global state — the only mutation is the
+/// caller's Rng. Concurrent calls from the parallel corpus builder are
+/// safe as long as each thread passes its own Rng (and its own episodes'
+/// networks; PropagationNetwork itself is immutable after construction).
 std::vector<InfluenceContext> GenerateEpisodeContexts(
     const PropagationNetwork& network, const ContextOptions& options,
     Rng& rng);

@@ -16,7 +16,9 @@ namespace inf2vec {
 /// time constraint makes it a DAG by construction; IsAcyclic() verifies.
 ///
 /// Nodes are stored with compact local indices to keep walk state small;
-/// the public API speaks global UserIds.
+/// the public API speaks global UserIds. Immutable after construction, so
+/// const accessors are safe to call from multiple threads (the parallel
+/// corpus builder constructs one per episode inside its own shard).
 class PropagationNetwork {
  public:
   /// Builds from a social graph and one finalized episode.

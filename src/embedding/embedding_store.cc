@@ -1,6 +1,7 @@
 #include "embedding/embedding_store.h"
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace inf2vec {
 
@@ -26,6 +27,7 @@ void EmbeddingStore::InitUniform(double lo, double hi, Rng& rng) {
   for (double& b : target_bias_) b = 0.0;
 }
 
+INF2VEC_NO_SANITIZE_THREAD
 double EmbeddingStore::Score(UserId u, UserId v) const {
   const std::span<const double> s = Source(u);
   const std::span<const double> t = Target(v);

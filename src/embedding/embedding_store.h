@@ -18,6 +18,17 @@ namespace inf2vec {
 /// Also reused by the latent-factor baselines (MF treats S as the "affects"
 /// factor and T as the "affected" factor; Node2vec uses S as node vectors
 /// and T as context vectors).
+///
+/// Concurrency contract (Hogwild training): the store performs NO internal
+/// synchronization. During lock-free parallel SGD, worker threads read and
+/// write the spans returned by Source()/Target() and the bias slots while
+/// other workers do the same, and Score() may read rows that are being
+/// written concurrently — i.e. Score() is "ScoreUnsafe" under parallel
+/// training: it can observe a torn mix of pre- and post-update
+/// coordinates. This is the standard Hogwild trade (Niu et al. 2011):
+/// updates are sparse, collisions are rare, and the perturbation behaves
+/// like bounded gradient noise. Outside training (no concurrent writers)
+/// every const method is safely shareable across threads.
 class EmbeddingStore {
  public:
   EmbeddingStore(uint32_t num_users, uint32_t dim);
@@ -51,6 +62,9 @@ class EmbeddingStore {
   double& mutable_target_bias(UserId u) { return target_bias_[u]; }
 
   /// The influence score x(u, v) = S_u . T_v + b_u + b~_v (Section IV-C).
+  /// Unsynchronized: under concurrent Hogwild writers this reads whatever
+  /// coordinate values are in memory at the moment (see the class-level
+  /// concurrency contract); with no concurrent writers it is exact.
   double Score(UserId u, UserId v) const;
 
   /// Concatenation [S_u ; T_u] used by the visualization experiment.

@@ -22,6 +22,12 @@ enum class NegativeSamplerKind {
 
 /// Draws negative instances w for skip-gram training, avoiding the current
 /// positive pair's endpoints.
+///
+/// A `const NegativeSampler` is shareable across threads: Sample() and
+/// SampleMany() are const, mutate only the caller-supplied Rng/output, and
+/// read only state frozen at construction — which is why the Hogwild
+/// training workers all draw from one shared instance (each with its own
+/// Rng stream).
 class NegativeSampler {
  public:
   /// `target_frequencies[u]` = how often u appears as a context/target in

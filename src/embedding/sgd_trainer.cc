@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/sigmoid_table.h"
+#include "util/thread_pool.h"
 
 namespace inf2vec {
 
@@ -20,22 +21,27 @@ double SgdTrainer::SigmoidOf(double z) const {
                                     : SigmoidTable::Exact(z);
 }
 
-double SgdTrainer::TrainPair(UserId u, UserId v, Rng& rng) {
+INF2VEC_NO_SANITIZE_THREAD
+double SgdTrainer::TrainPair(UserId u, UserId v, Rng& rng,
+                             bool want_objective) {
   const uint32_t dim = store_->dim();
   const double lr = options_.learning_rate;
 
   sampler_->SampleMany(rng, u, v, options_.num_negatives, &negatives_);
 
-  const double objective = PairObjective(u, v, negatives_);
-
   // Accumulate dL/dS_u across the positive and all negatives, applying it
-  // once at the end (Eq. 6 evaluates every term at the current S_u).
+  // once at the end (Eq. 6 evaluates every term at the current S_u). Each
+  // score z is computed once and feeds both the gradient coefficient and
+  // (when requested) the objective term; skipping the objective keeps the
+  // hot path free of std::log entirely.
+  double objective = 0.0;
   std::fill(source_grad_.begin(), source_grad_.end(), 0.0);
   const std::span<double> s_u = store_->Source(u);
   double bias_u_grad = 0.0;
 
   {  // Positive term: coefficient (1 - sigma(z_v)).
     const double z = store_->Score(u, v);
+    if (want_objective) objective += std::log(SigmoidTable::Exact(z));
     const double coeff = 1.0 - SigmoidOf(z);
     const std::span<double> t_v = store_->Target(v);
     for (uint32_t k = 0; k < dim; ++k) {
@@ -50,6 +56,7 @@ double SgdTrainer::TrainPair(UserId u, UserId v, Rng& rng) {
 
   for (UserId w : negatives_) {  // Negative terms: coefficient -sigma(z_w).
     const double z = store_->Score(u, w);
+    if (want_objective) objective += std::log(SigmoidTable::Exact(-z));
     const double coeff = -SigmoidOf(z);
     const std::span<double> t_w = store_->Target(w);
     for (uint32_t k = 0; k < dim; ++k) {

@@ -25,8 +25,16 @@ struct SgdOptions {
 };
 
 /// Applies single (u, v) skip-gram updates against an EmbeddingStore.
-/// Stateless besides the option set; safe to share across corpora that
-/// target the same store. Not thread-safe with respect to the store.
+/// Stateless besides the option set and per-instance scratch buffers;
+/// safe to share across corpora that target the same store.
+///
+/// Threading: a single SgdTrainer is NOT thread-safe (it owns scratch
+/// buffers), but multiple SgdTrainer instances MAY train against the same
+/// EmbeddingStore concurrently without locks — that is the Hogwild
+/// execution model the parallel training pipeline uses. The resulting
+/// races on store parameters are intentional and benign for sparse
+/// updates; see EmbeddingStore's concurrency contract and
+/// docs/ALGORITHMS.md ("Parallel training").
 class SgdTrainer {
  public:
   SgdTrainer(EmbeddingStore* store, const NegativeSampler* sampler,
@@ -35,9 +43,13 @@ class SgdTrainer {
   /// One positive pair (u influences v): updates S_u, T_v, b_u, b~_v, then
   /// draws options.num_negatives negatives w and updates S_u, T_w, b_u,
   /// b~_w per Eq. 6. Returns the negative-sampling objective value of the
-  /// pair *before* the update (log sigma(z_v) + sum log sigma(-z_w)), a
-  /// convergence signal the caller may ignore.
-  double TrainPair(UserId u, UserId v, Rng& rng);
+  /// pair (log sigma(z_v) + sum log sigma(-z_w)), a convergence signal the
+  /// caller may ignore — pass want_objective = false to skip its log()
+  /// evaluations entirely (returns 0.0; the updates are identical either
+  /// way). Each term's z is evaluated just before that term's update, so
+  /// when a negative is drawn more than once in the same call the later
+  /// objective term sees the earlier micro-update.
+  double TrainPair(UserId u, UserId v, Rng& rng, bool want_objective = true);
 
   /// Objective of Eq. 4 for a pair without updating (used by tests and
   /// convergence monitors); negatives supplied by the caller.

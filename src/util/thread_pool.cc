@@ -1,0 +1,110 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace inf2vec {
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(ResolveThreadCount(num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+uint32_t ThreadPool::ResolveThreadCount(uint32_t requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+uint64_t ThreadPool::ShardSeed(uint64_t base_seed, uint64_t shard) {
+  // splitmix64 finalizer over the shard index.
+  uint64_t z = shard + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return base_seed ^ (z ^ (z >> 31));
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, const ShardFn& fn) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  const uint32_t shards = static_cast<uint32_t>(
+      std::min<size_t>(num_threads_, n));
+  if (shards <= 1) {
+    fn(0, begin, end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    INF2VEC_CHECK(job_shards_ == 0 && pending_ == 0)
+        << "ThreadPool::ParallelFor is not reentrant";
+    job_fn_ = &fn;
+    job_begin_ = begin;
+    job_size_ = n;
+    job_shards_ = shards;
+    next_shard_ = 0;
+    pending_ = shards;
+  }
+  work_cv_.notify_all();
+  RunShards();  // The caller is worker zero-or-more; shards are claimed.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return stop_ || next_shard_ < job_shards_; });
+      if (stop_) return;
+    }
+    RunShards();
+  }
+}
+
+void ThreadPool::RunShards() {
+  for (;;) {
+    uint32_t shard = 0;
+    size_t shard_begin = 0;
+    size_t shard_end = 0;
+    const ShardFn* fn = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_shard_ >= job_shards_) return;
+      shard = next_shard_++;
+      // Near-equal contiguous ranges; the first (size % shards) shards
+      // absorb one extra element each.
+      const size_t chunk = job_size_ / job_shards_;
+      const size_t extra = job_size_ % job_shards_;
+      shard_begin = job_begin_ + shard * chunk +
+                    std::min<size_t>(shard, extra);
+      shard_end = shard_begin + chunk + (shard < extra ? 1 : 0);
+      fn = job_fn_;
+    }
+    (*fn)(shard, shard_begin, shard_end);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = (--pending_ == 0);
+      if (last) {
+        job_shards_ = 0;  // Park workers until the next job is posted.
+        job_fn_ = nullptr;
+      }
+    }
+    if (last) done_cv_.notify_all();
+  }
+}
+
+}  // namespace inf2vec

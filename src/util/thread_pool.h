@@ -1,0 +1,97 @@
+#ifndef INF2VEC_UTIL_THREAD_POOL_H_
+#define INF2VEC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace inf2vec {
+
+/// Marks a function whose data races are intentional (Hogwild-style
+/// lock-free SGD: sparse unsynchronized updates to a shared parameter
+/// store, after Niu et al. 2011 and the word2vec reference code). Builds
+/// with -DINF2VEC_SANITIZE=thread suppress race reports inside such
+/// functions; the races are benign by the Hogwild argument (see
+/// docs/ALGORITHMS.md, "Parallel training").
+#if defined(__clang__) || defined(__GNUC__)
+#define INF2VEC_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#else
+#define INF2VEC_NO_SANITIZE_THREAD
+#endif
+
+/// A small fixed-size worker pool for data-parallel loops. The pool owns
+/// `num_threads - 1` worker threads; the calling thread participates in
+/// every ParallelFor, so `ThreadPool(1)` spawns no threads at all and runs
+/// shard functions inline on the caller.
+///
+/// Determinism contract: ParallelFor always splits [begin, end) into the
+/// same contiguous shards for a given (range, thread count), and
+/// ShardSeed() derives a fixed per-shard RNG stream from a base seed, so
+/// any computation whose result depends only on (shard index, shard range,
+/// shard RNG) is reproducible for a fixed thread count. Which OS thread
+/// executes which shard is NOT deterministic; do not key behavior on
+/// std::this_thread.
+///
+/// ParallelFor is not reentrant: shard functions must not call back into
+/// the same pool.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` resolves to the hardware concurrency (at least 1).
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// `fn(shard, shard_begin, shard_end)` over a disjoint contiguous
+  /// partition of [begin, end) into min(num_threads, end - begin) shards
+  /// of near-equal size (earlier shards get the remainder). Blocks until
+  /// every shard completes. Shard 0 covers the lowest indices, so
+  /// concatenating per-shard results in shard order preserves input order.
+  void ParallelFor(
+      size_t begin, size_t end,
+      const std::function<void(uint32_t shard, size_t shard_begin,
+                               size_t shard_end)>& fn);
+
+  /// The per-shard RNG stream seed: `base_seed ^ splitmix64(shard)`. The
+  /// hash term is never 0 (splitmix64 has no fixed point at 0), so shard
+  /// streams are decorrelated from each other and from Rng(base_seed)
+  /// itself.
+  static uint64_t ShardSeed(uint64_t base_seed, uint64_t shard);
+
+  /// 0 -> max(1, std::thread::hardware_concurrency()); anything else is
+  /// returned unchanged.
+  static uint32_t ResolveThreadCount(uint32_t requested);
+
+ private:
+  using ShardFn =
+      std::function<void(uint32_t shard, size_t begin, size_t end)>;
+
+  void WorkerLoop();
+  /// Claims and runs shards of the current job until none remain.
+  void RunShards();
+
+  const uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: job posted / stop.
+  std::condition_variable done_cv_;   // Signals the caller: job drained.
+  const ShardFn* job_fn_ = nullptr;   // Guarded by mu_ (set per job).
+  size_t job_begin_ = 0;
+  size_t job_size_ = 0;
+  uint32_t job_shards_ = 0;           // 0 <=> no job outstanding.
+  uint32_t next_shard_ = 0;
+  uint32_t pending_ = 0;              // Shards claimed but not finished.
+  bool stop_ = false;
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_UTIL_THREAD_POOL_H_

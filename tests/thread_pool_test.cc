@@ -1,0 +1,145 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/inf2vec_model.h"
+#include "synth/world_generator.h"
+
+namespace inf2vec {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCountZeroMeansHardware) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(3), 3u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(257);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(0, visits.size(),
+                   [&](uint32_t, size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       visits[i].fetch_add(1);
+                     }
+                   });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ShardsAreContiguousOrderedAndBalanced) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> ranges(4, {0, 0});
+  pool.ParallelFor(10, 33, [&](uint32_t shard, size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges[shard] = {begin, end};
+  });
+  // 23 items over 4 shards: sizes 6,6,6,5, shard s starts where s-1 ends.
+  const std::vector<std::pair<size_t, size_t>> expected = {
+      {10, 16}, {16, 22}, {22, 28}, {28, 33}};
+  EXPECT_EQ(ranges, expected);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineAsOneShard) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.ParallelFor(5, 25, [&](uint32_t shard, size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(shard, 0u);
+    EXPECT_EQ(begin, 5u);
+    EXPECT_EQ(end, 25u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanItemsShrinksShardCount) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::set<uint32_t> shards;
+  std::vector<int> visits(3, 0);
+  pool.ParallelFor(0, 3, [&](uint32_t shard, size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    shards.insert(shard);
+    for (size_t i = begin; i < end; ++i) ++visits[i];
+  });
+  EXPECT_LE(shards.size(), 3u);
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(7, 7, [&](uint32_t, size_t, size_t) { ++calls; });
+  pool.ParallelFor(9, 3, [&](uint32_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(0, 100, [&](uint32_t, size_t begin, size_t end) {
+      int64_t local = 0;
+      for (size_t i = begin; i < end; ++i) {
+        local += static_cast<int64_t>(i);
+      }
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, ShardSeedsAreDistinctAndDecorrelatedFromBase) {
+  const uint64_t base = 42;
+  std::set<uint64_t> seeds = {base};
+  for (uint64_t shard = 0; shard < 64; ++shard) {
+    EXPECT_TRUE(seeds.insert(ThreadPool::ShardSeed(base, shard)).second)
+        << "collision at shard " << shard;
+  }
+  // Fixed derivation: the scheme is part of the reproducibility contract.
+  EXPECT_EQ(ThreadPool::ShardSeed(base, 7),
+            ThreadPool::ShardSeed(base, 7));
+}
+
+/// Hogwild smoke test: a tiny 4-thread end-to-end training job. Exercises
+/// the parallel corpus builder and the lock-free SGD epochs (run this
+/// under -DINF2VEC_SANITIZE=thread to validate the benign-race
+/// annotations; keep the world tiny so TSan's shadow memory stays cheap).
+TEST(ThreadPoolTest, HogwildTrainingSmoke) {
+  synth::WorldProfile profile = synth::WorldProfile::DiggLike();
+  profile.num_users = 120;
+  profile.num_items = 25;
+  profile.mean_out_degree = 5.0;
+  Rng world_rng(77);
+  Result<synth::World> world = synth::GenerateWorld(profile, world_rng);
+  ASSERT_TRUE(world.ok());
+
+  Inf2vecConfig config;
+  config.dim = 8;
+  config.epochs = 2;
+  config.context.length = 8;
+  config.num_threads = 4;
+  Result<Inf2vecModel> model =
+      Inf2vecModel::Train(world.value().graph, world.value().log, config);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const EmbeddingStore& store = model.value().embeddings();
+  EXPECT_EQ(store.num_users(), world.value().graph.num_users());
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    for (double x : store.Source(u)) EXPECT_TRUE(std::isfinite(x));
+    for (double x : store.Target(u)) EXPECT_TRUE(std::isfinite(x));
+    EXPECT_TRUE(std::isfinite(store.source_bias(u)));
+    EXPECT_TRUE(std::isfinite(store.target_bias(u)));
+  }
+}
+
+}  // namespace
+}  // namespace inf2vec

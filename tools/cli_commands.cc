@@ -67,6 +67,13 @@ Result<Inf2vecConfig> ConfigFromFlags(const FlagParser& flags) {
   Result<int64_t> seed = flags.GetInt("seed", config.seed);
   INF2VEC_RETURN_IF_ERROR(seed.status());
   config.seed = static_cast<uint64_t>(seed.value());
+  Result<int64_t> threads = flags.GetInt("threads", config.num_threads);
+  INF2VEC_RETURN_IF_ERROR(threads.status());
+  if (threads.value() < 0) {
+    return Status::InvalidArgument(
+        "--threads must be >= 0 (0 = all hardware threads)");
+  }
+  config.num_threads = static_cast<uint32_t>(threads.value());
   if (flags.GetBool("local-only", false)) config.context.alpha = 1.0;
   if (flags.GetBool("bfs-context", false)) {
     config.context.strategy = LocalContextStrategy::kForwardBfs;
@@ -250,8 +257,10 @@ std::string UsageText() {
       " --seed S]\n"
       "  train        train Inf2vec on TSV inputs, save a binary model\n"
       "               --graph F --actions F --model OUT [--dim --alpha"
-      " --length --epochs --lr --negatives --seed --local-only"
+      " --length --epochs --lr --negatives --seed --threads --local-only"
       " --bfs-context]\n"
+      "               --threads N: parallel (Hogwild) training; 1 = serial"
+      " (default), 0 = all cores\n"
       "  score        print x(u -> v)\n"
       "               --model F --source U --target V\n"
       "  top          print the k users most influenced by a user\n"
