@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace inf2vec {
@@ -90,12 +92,24 @@ double EmIterate(const EmStatistics& stats, std::vector<double>* probs) {
 IcBaselineModel CreateEmModel(const SocialGraph& graph, const ActionLog& log,
                               const EmOptions& options,
                               EmDiagnostics* diagnostics) {
+  obs::TraceSpan train_span("CreateEmModel", "baseline");
   const EmStatistics stats(graph, log);
   std::vector<double> probs(graph.num_edges(), options.initial_prob);
   if (diagnostics != nullptr) diagnostics->log_likelihood.clear();
+  obs::Counter* iteration_counter = nullptr;
+  obs::Gauge* likelihood_gauge = nullptr;
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    iteration_counter = registry.GetCounter("em_ic.iterations");
+    likelihood_gauge = registry.GetGauge("em_ic.log_likelihood");
+  }
   for (uint32_t iter = 0; iter < options.iterations; ++iter) {
     const double ll = EmIterate(stats, &probs);
     if (diagnostics != nullptr) diagnostics->log_likelihood.push_back(ll);
+    if (iteration_counter != nullptr) {
+      iteration_counter->Increment();
+      likelihood_gauge->Set(ll);
+    }
   }
   EdgeProbabilities edge_probs(graph);
   edge_probs.raw() = std::move(probs);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/sigmoid_table.h"
@@ -46,6 +48,13 @@ CoActionData BuildCoActions(uint32_t num_users, const ActionLog& log) {
   return data;
 }
 
+void RecordMfBprEpoch(uint64_t observations) {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  registry.GetCounter("mf_bpr.epochs")->Increment();
+  registry.GetCounter("mf_bpr.observations_trained")->Increment(observations);
+}
+
 }  // namespace
 
 Result<MfBprModel> MfBprModel::Train(uint32_t num_users, const ActionLog& log,
@@ -56,7 +65,13 @@ Result<MfBprModel> MfBprModel::Train(uint32_t num_users, const ActionLog& log,
   if (options.dim == 0) {
     return Status::InvalidArgument("dimension must be positive");
   }
+  obs::TraceSpan train_span("MfBprModel::Train", "baseline");
   CoActionData data = BuildCoActions(num_users, log);
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("mf_bpr.observations")
+        ->Increment(data.observations.size());
+  }
   if (data.observations.empty()) {
     return Status::InvalidArgument("no co-action observations in the log");
   }
@@ -117,6 +132,7 @@ Result<MfBprModel> MfBprModel::Train(uint32_t num_users, const ActionLog& log,
       for (const auto& [u, v] : data.observations) {
         train_observation(u, v, rng);
       }
+      RecordMfBprEpoch(data.observations.size());
     }
     return MfBprModel(options, std::move(store));
   }
@@ -137,6 +153,7 @@ Result<MfBprModel> MfBprModel::Train(uint32_t num_users, const ActionLog& log,
                                            shard_rngs[shard]);
                        }
                      });
+    RecordMfBprEpoch(data.observations.size());
   }
   return MfBprModel(options, std::move(store));
 }

@@ -4,10 +4,24 @@
 
 #include "diffusion/random_walk.h"
 #include "embedding/sgd_trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace inf2vec {
+namespace {
+
+/// Same epoch-granularity counters as Inf2vecModel, under the baseline's
+/// own prefix so one report can hold both.
+void RecordNode2vecEpoch(uint64_t pairs) {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  registry.GetCounter("node2vec.epochs")->Increment();
+  registry.GetCounter("node2vec.pairs_trained")->Increment(pairs);
+}
+
+}  // namespace
 
 Result<Node2vecModel> Node2vecModel::Train(const SocialGraph& graph,
                                            const Node2vecOptions& options) {
@@ -19,6 +33,7 @@ Result<Node2vecModel> Node2vecModel::Train(const SocialGraph& graph,
   }
 
   Rng rng(options.seed);
+  obs::TraceSpan train_span("Node2vecModel::Train", "baseline");
 
   // 1. Walk corpus: (center, context) skip-gram pairs within the window.
   std::vector<std::pair<UserId, UserId>> pairs;
@@ -47,6 +62,11 @@ Result<Node2vecModel> Node2vecModel::Train(const SocialGraph& graph,
     return Status::InvalidArgument(
         "node2vec produced no training pairs (graph has no usable walks)");
   }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("node2vec.pairs")
+        ->Increment(pairs.size());
+  }
 
   // 2. Skip-gram with negative sampling, no bias terms (plain node2vec).
   auto store = std::make_unique<EmbeddingStore>(graph.num_users(),
@@ -70,6 +90,7 @@ Result<Node2vecModel> Node2vecModel::Train(const SocialGraph& graph,
       for (const auto& [u, v] : pairs) {
         trainer.TrainPair(u, v, rng, /*want_objective=*/false);
       }
+      RecordNode2vecEpoch(pairs.size());
     }
     return Node2vecModel(options, std::move(store));
   }
@@ -96,6 +117,7 @@ Result<Node2vecModel> Node2vecModel::Train(const SocialGraph& graph,
                                                    /*want_objective=*/false);
                        }
                      });
+    RecordNode2vecEpoch(pairs.size());
   }
   return Node2vecModel(options, std::move(store));
 }

@@ -1,13 +1,66 @@
 #include "core/inf2vec_model.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "diffusion/propagation_network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace inf2vec {
 namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Corpus-level tallies, recorded once per build (deterministic counts:
+/// identical for serial and pooled builds of the same corpus).
+void RecordCorpusMetrics(const InfluenceCorpus& corpus,
+                         size_t num_episodes) {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  registry.GetCounter("corpus.episodes")->Increment(num_episodes);
+  registry.GetCounter("corpus.tuples")->Increment(corpus.num_tuples);
+  registry.GetCounter("corpus.pairs")->Increment(corpus.pairs.size());
+}
+
+/// Per-epoch bookkeeping shared by the serial and Hogwild paths: metric
+/// counters (epoch-granularity, deterministic across thread counts),
+/// objective recording, and the user epoch callback. Runs on the training
+/// thread outside the hot pair loop.
+void FinishEpoch(const Inf2vecConfig& config, uint32_t epoch, uint64_t pairs,
+                 double objective_sum, bool have_objective, double seconds,
+                 std::vector<double>* epoch_objective) {
+  const double mean_objective =
+      pairs == 0 ? 0.0 : objective_sum / static_cast<double>(pairs);
+  if (epoch_objective != nullptr) epoch_objective->push_back(mean_objective);
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry.GetCounter("sgd.epochs")->Increment();
+    registry.GetCounter("sgd.pairs_trained")->Increment(pairs);
+    registry.GetGauge("sgd.learning_rate")->Set(config.sgd.learning_rate);
+    if (have_objective) {
+      registry.GetGauge("sgd.objective")->Set(mean_objective);
+    }
+  }
+  if (config.epoch_callback) {
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.total_epochs = config.epochs;
+    stats.objective = mean_objective;
+    stats.learning_rate = config.sgd.learning_rate;
+    stats.pairs = pairs;
+    stats.seconds = seconds;
+    stats.pairs_per_second =
+        seconds > 0.0 ? static_cast<double>(pairs) / seconds : 0.0;
+    config.epoch_callback(stats);
+  }
+}
 
 /// Appends one episode's Algorithm-1 output to a corpus fragment.
 void AccumulateEpisode(const SocialGraph& graph,
@@ -31,11 +84,13 @@ InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
                                      const ActionLog& log,
                                      const ContextOptions& options,
                                      uint32_t num_users, Rng& rng) {
+  obs::TraceSpan span("BuildInfluenceCorpus", "corpus");
   InfluenceCorpus corpus;
   corpus.target_frequencies.assign(num_users, 0);
   for (const DiffusionEpisode& episode : log.episodes()) {
     AccumulateEpisode(graph, episode, options, num_users, rng, &corpus);
   }
+  RecordCorpusMetrics(corpus, log.episodes().size());
   return corpus;
 }
 
@@ -44,6 +99,7 @@ InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
                                      const ContextOptions& options,
                                      uint32_t num_users, uint64_t seed,
                                      ThreadPool& pool) {
+  obs::TraceSpan span("BuildInfluenceCorpus", "corpus");
   const std::vector<DiffusionEpisode>& episodes = log.episodes();
   std::vector<InfluenceCorpus> fragments(pool.num_threads());
   pool.ParallelFor(0, episodes.size(),
@@ -75,6 +131,7 @@ InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
       corpus.target_frequencies[u] += fragment.target_frequencies[u];
     }
   }
+  RecordCorpusMetrics(corpus, episodes.size());
   return corpus;
 }
 
@@ -99,7 +156,8 @@ Result<Inf2vecModel> Inf2vecModel::TrainFromCorpus(
 
   std::vector<std::pair<UserId, UserId>> pairs = corpus.pairs;
   if (epoch_objective != nullptr) epoch_objective->clear();
-  const bool want_objective = epoch_objective != nullptr;
+  const bool want_objective =
+      epoch_objective != nullptr || static_cast<bool>(config.epoch_callback);
 
   const uint32_t num_threads =
       ThreadPool::ResolveThreadCount(config.num_threads);
@@ -108,15 +166,17 @@ Result<Inf2vecModel> Inf2vecModel::TrainFromCorpus(
     // pre-parallel implementation, hence bit-for-bit reproducible.
     SgdTrainer trainer(store.get(), &sampler.value(), config.sgd);
     for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
-      if (config.shuffle_pairs) rng.Shuffle(pairs);
+      const auto epoch_start = std::chrono::steady_clock::now();
       double objective_sum = 0.0;
-      for (const auto& [u, v] : pairs) {
-        objective_sum += trainer.TrainPair(u, v, rng, want_objective);
+      {
+        obs::TraceSpan span("sgd.epoch", "train");
+        if (config.shuffle_pairs) rng.Shuffle(pairs);
+        for (const auto& [u, v] : pairs) {
+          objective_sum += trainer.TrainPair(u, v, rng, want_objective);
+        }
       }
-      if (epoch_objective != nullptr) {
-        epoch_objective->push_back(objective_sum /
-                                   static_cast<double>(pairs.size()));
-      }
+      FinishEpoch(config, epoch, pairs.size(), objective_sum, want_objective,
+                  SecondsSince(epoch_start), epoch_objective);
     }
     return Inf2vecModel(config, std::move(store));
   }
@@ -137,26 +197,29 @@ Result<Inf2vecModel> Inf2vecModel::TrainFromCorpus(
   std::vector<double> shard_objective(num_threads, 0.0);
 
   for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
-    if (config.shuffle_pairs) rng.Shuffle(pairs);
-    std::fill(shard_objective.begin(), shard_objective.end(), 0.0);
-    pool.ParallelFor(0, pairs.size(),
-                     [&](uint32_t shard, size_t begin, size_t end) {
-                       SgdTrainer& trainer = trainers[shard];
-                       Rng& shard_rng = shard_rngs[shard];
-                       double sum = 0.0;
-                       for (size_t i = begin; i < end; ++i) {
-                         sum += trainer.TrainPair(pairs[i].first,
-                                                  pairs[i].second, shard_rng,
-                                                  want_objective);
-                       }
-                       shard_objective[shard] = sum;
-                     });
-    if (epoch_objective != nullptr) {
-      const double total = std::accumulate(shard_objective.begin(),
-                                           shard_objective.end(), 0.0);
-      epoch_objective->push_back(total /
-                                 static_cast<double>(pairs.size()));
+    const auto epoch_start = std::chrono::steady_clock::now();
+    {
+      obs::TraceSpan span("sgd.epoch", "train");
+      if (config.shuffle_pairs) rng.Shuffle(pairs);
+      std::fill(shard_objective.begin(), shard_objective.end(), 0.0);
+      pool.ParallelFor(0, pairs.size(),
+                       [&](uint32_t shard, size_t begin, size_t end) {
+                         SgdTrainer& trainer = trainers[shard];
+                         Rng& shard_rng = shard_rngs[shard];
+                         double sum = 0.0;
+                         for (size_t i = begin; i < end; ++i) {
+                           sum += trainer.TrainPair(pairs[i].first,
+                                                    pairs[i].second,
+                                                    shard_rng,
+                                                    want_objective);
+                         }
+                         shard_objective[shard] = sum;
+                       });
     }
+    const double total = std::accumulate(shard_objective.begin(),
+                                         shard_objective.end(), 0.0);
+    FinishEpoch(config, epoch, pairs.size(), total, want_objective,
+                SecondsSince(epoch_start), epoch_objective);
   }
   return Inf2vecModel(config, std::move(store));
 }
@@ -169,6 +232,7 @@ Result<Inf2vecModel> Inf2vecModel::Train(const SocialGraph& graph,
   }
   const uint32_t num_threads =
       ThreadPool::ResolveThreadCount(config.num_threads);
+  const auto corpus_start = std::chrono::steady_clock::now();
   InfluenceCorpus corpus;
   if (num_threads <= 1) {
     Rng rng(config.seed);
@@ -179,12 +243,21 @@ Result<Inf2vecModel> Inf2vecModel::Train(const SocialGraph& graph,
     corpus = BuildInfluenceCorpus(graph, log, config.context,
                                   graph.num_users(), config.seed, pool);
   }
+  const double corpus_seconds = SecondsSince(corpus_start);
   // Offset the SGD stream from the corpus stream so the two phases do not
   // share random state across configs with equal seeds.
   Inf2vecConfig sgd_config = config;
   sgd_config.seed = config.seed ^ 0x5deece66dULL;
+  const auto sgd_start = std::chrono::steady_clock::now();
   Result<Inf2vecModel> model = TrainFromCorpus(corpus, graph.num_users(),
                                                sgd_config, nullptr);
+  if (obs::MetricsEnabled()) {
+    // Phase split of the end-to-end run (Fig. 9's two-phase accounting);
+    // set here because the phase boundary is internal to Train().
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry.GetGauge("train.corpus_seconds")->Set(corpus_seconds);
+    registry.GetGauge("train.sgd_seconds")->Set(SecondsSince(sgd_start));
+  }
   if (!model.ok()) return model.status();
   Inf2vecModel out = std::move(model).value();
   out.config_ = config;

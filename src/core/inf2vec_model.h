@@ -2,6 +2,7 @@
 #define INF2VEC_CORE_INF2VEC_MODEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -17,6 +18,19 @@
 #include "util/thread_pool.h"
 
 namespace inf2vec {
+
+/// Per-epoch training progress, delivered to Inf2vecConfig::epoch_callback
+/// right after each SGD epoch finishes. `objective` is the mean pair
+/// objective (Eq. 4 contribution averaged over pairs) for that epoch.
+struct EpochStats {
+  uint32_t epoch = 0;        // 0-based.
+  uint32_t total_epochs = 0;
+  double objective = 0.0;
+  double learning_rate = 0.0;
+  uint64_t pairs = 0;        // Pairs trained this epoch.
+  double seconds = 0.0;      // Wall time of this epoch.
+  double pairs_per_second = 0.0;
+};
 
 /// All knobs of Algorithm 2, defaulting to the paper's Section V-A-2
 /// settings: K = 50, L = 50, alpha = 0.1, gamma = 0.005, |N| = 5,
@@ -49,6 +63,11 @@ struct Inf2vecConfig {
   /// pairs, so trained parameters vary run-to-run at the floating-point
   /// noise level while the objective matches the serial run to ~1%.
   uint32_t num_threads = 1;
+  /// Invoked on the training thread after every SGD epoch (progress lines,
+  /// run reports). Setting it turns on per-pair objective accumulation,
+  /// which costs one extra fused objective evaluation per update — leave
+  /// unset for maximum-throughput runs.
+  std::function<void(const EpochStats&)> epoch_callback;
 
   /// The Inf2vec-L ablation (Table IV): local influence context only.
   static Inf2vecConfig LocalOnly() {

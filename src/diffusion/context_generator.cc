@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace inf2vec {
@@ -58,6 +59,7 @@ InfluenceContext GenerateInfluenceContext(const PropagationNetwork& network,
                                   rng)
           : ForwardBfsContext(network, user, local_budget,
                               options.bfs_max_depth, rng);
+  const size_t local_nodes = out.context.size();
 
   // Line 3: global user-similarity samples from V_i \ {user}.
   if (global_budget > 0 && network.num_users() > 1) {
@@ -86,6 +88,18 @@ InfluenceContext GenerateInfluenceContext(const PropagationNetwork& network,
         ++produced;
       }
     }
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    static obs::Counter* contexts = registry.GetCounter("context.generated");
+    static obs::Counter* local = registry.GetCounter("context.local_nodes");
+    static obs::Counter* global = registry.GetCounter("context.global_nodes");
+    static obs::HistogramMetric* local_length =
+        registry.GetHistogram("context.local_length");
+    contexts->Increment();
+    local->Increment(local_nodes);
+    global->Increment(out.context.size() - local_nodes);
+    local_length->Record(local_nodes);
   }
   return out;
 }

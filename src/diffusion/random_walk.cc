@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace inf2vec {
 
 std::vector<UserId> RandomWalkWithRestart(const PropagationNetwork& network,
@@ -13,21 +15,35 @@ std::vector<UserId> RandomWalkWithRestart(const PropagationNetwork& network,
   visited.reserve(num_nodes);
 
   UserId current = start;
+  uint64_t steps_taken = 0;
+  uint64_t restarts = 0;
   const uint64_t max_steps =
       static_cast<uint64_t>(num_nodes) * options.max_step_factor;
   for (uint64_t step = 0; step < max_steps && visited.size() < num_nodes;
        ++step) {
+    ++steps_taken;
     if (current != start && rng.Bernoulli(options.restart_prob)) {
       current = start;
+      ++restarts;
     }
     const std::vector<UserId>& succ = network.Successors(current);
     if (succ.empty()) {
       if (current == start) break;  // Start is a sink: no local context.
       current = start;
+      ++restarts;
       continue;
     }
     current = succ[rng.UniformU64(succ.size())];
     visited.push_back(current);
+  }
+  // Batched: one striped add per walk, not per step.
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* steps_counter =
+        obs::MetricsRegistry::Default().GetCounter("walk.steps");
+    static obs::Counter* restart_counter =
+        obs::MetricsRegistry::Default().GetCounter("walk.restarts");
+    steps_counter->Increment(steps_taken);
+    restart_counter->Increment(restarts);
   }
   return visited;
 }

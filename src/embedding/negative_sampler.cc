@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace inf2vec {
@@ -33,17 +34,42 @@ NegativeSampler NegativeSampler::CreateUniform(uint32_t num_users) {
   return NegativeSampler(NegativeSamplerKind::kUniform, num_users);
 }
 
-UserId NegativeSampler::Sample(Rng& rng, UserId exclude_a,
-                               UserId exclude_b) const {
+UserId NegativeSampler::SampleCounted(Rng& rng, UserId exclude_a,
+                                      UserId exclude_b,
+                                      uint64_t* rejected) const {
   for (int attempt = 0; attempt < 64; ++attempt) {
     const UserId w =
         kind_ == NegativeSamplerKind::kUniform
             ? static_cast<UserId>(rng.UniformU64(num_users_))
             : static_cast<UserId>(alias_.Sample(rng));
     if (w != exclude_a && w != exclude_b) return w;
+    ++*rejected;
   }
   // Degenerate universe; return anything valid.
   return static_cast<UserId>(rng.UniformU64(num_users_));
+}
+
+namespace {
+
+void RecordDrawStats(uint64_t draws, uint64_t rejected) {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  static obs::Counter* draws_counter =
+      registry.GetCounter("negative_sampler.draws");
+  static obs::Counter* rejected_counter =
+      registry.GetCounter("negative_sampler.rejected");
+  draws_counter->Increment(draws);
+  if (rejected > 0) rejected_counter->Increment(rejected);
+}
+
+}  // namespace
+
+UserId NegativeSampler::Sample(Rng& rng, UserId exclude_a,
+                               UserId exclude_b) const {
+  uint64_t rejected = 0;
+  const UserId w = SampleCounted(rng, exclude_a, exclude_b, &rejected);
+  RecordDrawStats(/*draws=*/1, rejected);
+  return w;
 }
 
 void NegativeSampler::SampleMany(Rng& rng, UserId exclude_a, UserId exclude_b,
@@ -51,9 +77,11 @@ void NegativeSampler::SampleMany(Rng& rng, UserId exclude_a, UserId exclude_b,
                                  std::vector<UserId>* out) const {
   out->clear();
   out->reserve(count);
+  uint64_t rejected = 0;
   for (uint32_t i = 0; i < count; ++i) {
-    out->push_back(Sample(rng, exclude_a, exclude_b));
+    out->push_back(SampleCounted(rng, exclude_a, exclude_b, &rejected));
   }
+  RecordDrawStats(/*draws=*/count, rejected);
 }
 
 }  // namespace inf2vec

@@ -56,6 +56,11 @@ class NegativeSampler {
   NegativeSampler(NegativeSamplerKind kind, uint32_t num_users)
       : kind_(kind), num_users_(num_users) {}
 
+  /// Sample() plus an out-param rejection tally so SampleMany can batch the
+  /// metric update to one striped add per call instead of one per draw.
+  UserId SampleCounted(Rng& rng, UserId exclude_a, UserId exclude_b,
+                       uint64_t* rejected) const;
+
   NegativeSamplerKind kind_;
   uint32_t num_users_;
   AliasSampler alias_;  // Only built for kUnigram075.

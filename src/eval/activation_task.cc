@@ -4,6 +4,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace inf2vec {
 
 std::vector<ActivationCase> BuildActivationCases(
@@ -70,12 +73,24 @@ namespace {
 std::vector<RankedQuery> BuildActivationQueries(const InfluenceModel& model,
                                                 const SocialGraph& graph,
                                                 const ActionLog& test_log) {
+  obs::TraceSpan span("EvaluateActivation", "eval");
+  obs::Counter* episode_counter = nullptr;
+  obs::Counter* case_counter = nullptr;
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    episode_counter = registry.GetCounter("eval.activation.episodes");
+    case_counter = registry.GetCounter("eval.activation.cases");
+  }
   std::vector<RankedQuery> queries;
   queries.reserve(test_log.num_episodes());
   for (const DiffusionEpisode& episode : test_log.episodes()) {
     const std::vector<ActivationCase> cases =
         BuildActivationCases(graph, episode);
     if (cases.empty()) continue;
+    if (episode_counter != nullptr) {
+      episode_counter->Increment();
+      case_counter->Increment(cases.size());
+    }
     RankedQuery query;
     query.scores.reserve(cases.size());
     query.labels.reserve(cases.size());

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace inf2vec {
 
 DiffusionCase BuildDiffusionCase(const DiffusionEpisode& episode,
@@ -31,11 +34,18 @@ RankingMetrics EvaluateDiffusion(const InfluenceModel& model,
                                  const ActionLog& test_log,
                                  const DiffusionTaskOptions& options,
                                  Rng& rng) {
+  obs::TraceSpan span("EvaluateDiffusion", "eval");
+  obs::Counter* episode_counter =
+      obs::MetricsEnabled()
+          ? obs::MetricsRegistry::Default().GetCounter(
+                "eval.diffusion.episodes")
+          : nullptr;
   std::vector<RankedQuery> queries;
   queries.reserve(test_log.num_episodes());
   for (const DiffusionEpisode& episode : test_log.episodes()) {
     const DiffusionCase c = BuildDiffusionCase(episode, options);
     if (c.seeds.empty() || c.ground_truth.empty()) continue;
+    if (episode_counter != nullptr) episode_counter->Increment();
 
     const std::vector<double> scores = model.ScoreDiffusion(c.seeds, rng);
     std::unordered_set<UserId> seed_set(c.seeds.begin(), c.seeds.end());

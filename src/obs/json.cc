@@ -1,0 +1,409 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace inf2vec {
+namespace obs {
+
+bool JsonValue::AsBool() const {
+  INF2VEC_CHECK(kind_ == Kind::kBool) << "JSON value is not a bool";
+  return bool_;
+}
+
+int64_t JsonValue::AsInt() const {
+  INF2VEC_CHECK(kind_ == Kind::kInt) << "JSON value is not an integer";
+  return int_;
+}
+
+double JsonValue::AsDouble() const {
+  INF2VEC_CHECK(is_number()) << "JSON value is not a number";
+  return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+}
+
+const std::string& JsonValue::AsString() const {
+  INF2VEC_CHECK(kind_ == Kind::kString) << "JSON value is not a string";
+  return string_;
+}
+
+void JsonValue::Append(JsonValue value) {
+  INF2VEC_CHECK(kind_ == Kind::kArray) << "Append needs a JSON array";
+  array_.push_back(std::move(value));
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  INF2VEC_CHECK(kind_ == Kind::kArray) << "items() needs a JSON array";
+  return array_;
+}
+
+size_t JsonValue::size() const {
+  INF2VEC_CHECK(kind_ == Kind::kArray || kind_ == Kind::kObject)
+      << "size() needs a JSON container";
+  return kind_ == Kind::kArray ? array_.size() : object_.size();
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  INF2VEC_CHECK(kind_ == Kind::kObject) << "Set needs a JSON object";
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  INF2VEC_CHECK(kind_ == Kind::kObject) << "members() needs a JSON object";
+  return object_;
+}
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan.
+  std::string s = StrFormat("%.17g", value);
+  // Round-trippable but tidy: prefer the shortest representation that
+  // parses back exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    std::string candidate = StrFormat("%.*g", precision, value);
+    if (std::strtod(candidate.c_str(), nullptr) == value) {
+      s = candidate;
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(indent * (depth + 1), ' ') : "";
+  const std::string close_pad =
+      indent > 0 ? "\n" + std::string(indent * depth, ' ') : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt:
+      *out += StrFormat("%lld", static_cast<long long>(int_));
+      return;
+    case Kind::kDouble:
+      *out += FormatDouble(double_);
+      return;
+    case Kind::kString:
+      *out += '"';
+      *out += JsonEscape(string_);
+      *out += '"';
+      return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) *out += ',';
+        *out += pad;
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      *out += close_pad;
+      *out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) *out += ',';
+        *out += pad;
+        *out += '"';
+        *out += JsonEscape(object_[i].first);
+        *out += '"';
+        *out += colon;
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      *out += close_pad;
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string view; `pos` advances past
+/// consumed input.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    Result<JsonValue> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      Result<std::string> s = ParseString();
+      if (!s.ok()) return s.status();
+      return JsonValue(std::move(s).value());
+    }
+    if (ConsumeLiteral("null")) return JsonValue();
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("invalid number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    if (!is_double) {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size()) {
+        return JsonValue(static_cast<int64_t>(v));
+      }
+    }
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("invalid number");
+    return JsonValue(d);
+  }
+
+  Result<std::string> ParseString() {
+    if (text_[pos_] != '"') return Error("expected '\"'");
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          const long code = std::strtol(hex.c_str(), nullptr, 16);
+          // Only the control-character range is emitted by our writer;
+          // decode the BMP code point naively as a byte when it fits.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else {
+            out += '?';  // Out-of-subset escape; preserve length, not data.
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      Result<JsonValue> element = ParseValue();
+      if (!element.ok()) return element;
+      array.Append(std::move(element).value());
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return array;
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Error("expected ':' after object key");
+      }
+      ++pos_;
+      Result<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      object.Set(key.value(), std::move(value).value());
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return object;
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace obs
+}  // namespace inf2vec

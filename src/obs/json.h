@@ -1,0 +1,104 @@
+#ifndef INF2VEC_OBS_JSON_H_
+#define INF2VEC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inf2vec {
+namespace obs {
+
+/// Minimal JSON document model for the observability layer: run reports
+/// and trace files are emitted through it, and tests parse the emitted
+/// bytes back to prove the round trip. Deliberately small — no external
+/// dependency, insertion-ordered objects (so reports render in a stable,
+/// human-friendly key order), and integer/double distinction preserved so
+/// uint64 counters do not pass through a double.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}  // NOLINT
+  /// Any non-bool integral type maps to kInt (one template so mixed-width
+  /// counters do not hit overload ambiguity).
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  JsonValue(T value)  // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<int64_t>(value)) {}
+  JsonValue(double value) : kind_(Kind::kDouble), double_(value) {}  // NOLINT
+  JsonValue(std::string value)  // NOLINT
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(const char* value)  // NOLINT
+      : kind_(Kind::kString), string_(value) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  /// Typed accessors; the kind must match (checked).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  /// Numeric value as double (accepts kInt and kDouble).
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Array ops (value must be an array — checked).
+  void Append(JsonValue value);
+  const std::vector<JsonValue>& items() const;
+  size_t size() const;
+
+  /// Object ops (value must be an object — checked). Set replaces an
+  /// existing key in place, otherwise appends; emission preserves order.
+  void Set(const std::string& key, JsonValue value);
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per
+  /// level, 0 emits compact single-line JSON.
+  std::string Dump(int indent = 2) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, anything
+/// else after the value is an error). Supports the full emitted subset:
+/// null/bool/int/double/string (with escapes)/array/object.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Escapes a string for embedding in a JSON document (no surrounding
+/// quotes). Exposed for the streaming trace writer.
+std::string JsonEscape(const std::string& raw);
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_JSON_H_

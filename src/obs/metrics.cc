@@ -1,0 +1,248 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<uint32_t> g_next_thread_index{0};
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableMetrics(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint32_t CurrentThreadIndex() {
+  thread_local const uint32_t index =
+      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+void HistogramMetric::Record(uint64_t value) {
+  Stripe& stripe = stripes_[CurrentThreadIndex() % kMetricStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.histogram.Add(value);
+}
+
+Histogram HistogramMetric::Snapshot() const {
+  Histogram merged = MakeShard();
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    merged.Merge(stripe.histogram);
+  }
+  return merged;
+}
+
+HistogramMetric::HistogramMetric(std::string name,
+                                 std::vector<uint64_t> boundaries)
+    : name_(std::move(name)), boundaries_(std::move(boundaries)) {
+  for (Stripe& stripe : stripes_) stripe.histogram = MakeShard();
+}
+
+Histogram HistogramMetric::MakeShard() const {
+  return boundaries_.empty() ? Histogram() : Histogram(boundaries_);
+}
+
+void HistogramMetric::Reset() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.histogram = MakeShard();
+  }
+}
+
+std::vector<uint64_t> DurationBoundariesUs() {
+  std::vector<uint64_t> boundaries;
+  for (uint64_t decade = 1; decade <= 1000000000ULL; decade *= 10) {
+    boundaries.push_back(decade);
+    boundaries.push_back(decade * 2);
+    boundaries.push_back(decade * 5);
+  }
+  return boundaries;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter(name));
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge(name));
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(
+    const std::string& name, std::vector<uint64_t> boundaries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<HistogramMetric>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot.reset(new HistogramMetric(name, std::move(boundaries)));
+  } else {
+    INF2VEC_CHECK(slot->boundaries_ == boundaries ||
+                  boundaries.empty())
+        << "histogram '" << name << "' re-registered with other boundaries";
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+uint64_t MetricsRegistry::Snapshot::CounterOr0(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsRegistry::Snapshot::GaugeOr(const std::string& name,
+                                          double fallback) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+const Histogram* MetricsRegistry::Snapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+JsonValue MetricsRegistry::ScrapeJson() const {
+  const Snapshot snapshot = Scrape();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.Set(name, value);
+  }
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.Set(name, value);
+  }
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    JsonValue summary = JsonValue::Object();
+    summary.Set("count", histogram.total_count());
+    summary.Set("mean", histogram.Mean());
+    summary.Set("max", histogram.Max());
+    summary.Set("p50", histogram.Quantile(0.5));
+    summary.Set("p90", histogram.Quantile(0.9));
+    summary.Set("p99", histogram.Quantile(0.99));
+    histograms.Set(name, std::move(summary));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+namespace {
+
+/// ThreadPool -> default registry bridge. Handles are resolved lazily so
+/// constructing the observer does not touch the registry.
+class PoolMetricsObserver : public ThreadPoolObserver {
+ public:
+  void OnShard(uint32_t /*shard*/, double queue_wait_us,
+               double exec_us) override {
+    if (!MetricsEnabled()) return;
+    Handles().shards->Increment();
+    Handles().wait_us->Record(static_cast<uint64_t>(queue_wait_us));
+    Handles().exec_us->Record(static_cast<uint64_t>(exec_us));
+  }
+
+  void OnJob(uint32_t /*shards*/, size_t items, double total_us) override {
+    if (!MetricsEnabled()) return;
+    Handles().jobs->Increment();
+    Handles().job_items->Increment(items);
+    Handles().job_us->Record(static_cast<uint64_t>(total_us));
+  }
+
+ private:
+  struct Handle {
+    Counter* jobs;
+    Counter* shards;
+    Counter* job_items;
+    HistogramMetric* wait_us;
+    HistogramMetric* exec_us;
+    HistogramMetric* job_us;
+  };
+  static const Handle& Handles() {
+    static const Handle handle = [] {
+      MetricsRegistry& registry = MetricsRegistry::Default();
+      return Handle{
+          registry.GetCounter("threadpool.jobs"),
+          registry.GetCounter("threadpool.shards"),
+          registry.GetCounter("threadpool.job_items"),
+          registry.GetHistogram("threadpool.shard_wait_us",
+                                DurationBoundariesUs()),
+          registry.GetHistogram("threadpool.shard_exec_us",
+                                DurationBoundariesUs()),
+          registry.GetHistogram("threadpool.job_us", DurationBoundariesUs()),
+      };
+    }();
+    return handle;
+  }
+};
+
+PoolMetricsObserver* PoolObserverInstance() {
+  static PoolMetricsObserver* observer = new PoolMetricsObserver();
+  return observer;
+}
+
+}  // namespace
+
+void InstallThreadPoolMetrics() {
+  SetThreadPoolObserver(PoolObserverInstance());
+}
+
+void UninstallThreadPoolMetrics() {
+  if (GetThreadPoolObserver() == PoolObserverInstance()) {
+    SetThreadPoolObserver(nullptr);
+  }
+}
+
+}  // namespace obs
+}  // namespace inf2vec

@@ -1,0 +1,180 @@
+#ifndef INF2VEC_OBS_METRICS_H_
+#define INF2VEC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/histogram.h"
+
+namespace inf2vec {
+namespace obs {
+
+/// Process-wide recording switch, off by default. Every instrumentation
+/// site is written as `if (obs::MetricsEnabled()) { ... }`, so a disabled
+/// build of the hot path costs one relaxed atomic load and a predictable
+/// branch — the property bench_obs_overhead verifies.
+bool MetricsEnabled();
+void EnableMetrics(bool enabled);
+
+/// Index of the calling thread in a small dense id space (first call
+/// assigns the next free id). Used to pick metric stripes and trace track
+/// ids; stable for the lifetime of the thread.
+uint32_t CurrentThreadIndex();
+
+/// Number of independent write stripes per metric. Hogwild worker counts
+/// are far below this, so concurrent writers almost never share a stripe.
+inline constexpr uint32_t kMetricStripes = 16;
+
+/// Monotonic counter. Increment is lock-free: a relaxed fetch_add on the
+/// calling thread's stripe; Value() sums the stripes (so totals are exact
+/// — every increment lands — while writers never contend on one cache
+/// line). Handles are created by MetricsRegistry and live as long as the
+/// registry; call sites cache the pointer.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    cells_[CurrentThreadIndex() % kMetricStripes].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void Reset() {
+    for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  std::string name_;
+  std::array<Cell, kMetricStripes> cells_;
+};
+
+/// Last-write-wins floating-point gauge (learning rate, phase seconds,
+/// final objective...). Relaxed atomic store/load.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-sharded histogram: each stripe owns a util::Histogram behind its
+/// own (in practice uncontended) mutex; Snapshot() merges the stripes with
+/// Histogram::Merge. With fixed boundaries the merged result is identical
+/// whatever thread recorded which observation — the determinism contract
+/// the run-report tests rely on.
+class HistogramMetric {
+ public:
+  void Record(uint64_t value);
+  /// Merged view across stripes.
+  Histogram Snapshot() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  /// Empty boundaries = exact-value histogram.
+  HistogramMetric(std::string name, std::vector<uint64_t> boundaries);
+  void Reset();
+  Histogram MakeShard() const;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    Histogram histogram;
+  };
+  std::string name_;
+  std::vector<uint64_t> boundaries_;
+  std::array<Stripe, kMetricStripes> stripes_;
+};
+
+/// Pre-built bucket boundaries for microsecond durations: 1-2-5 series
+/// from 1us to 1e9us (~17 minutes), 28 buckets.
+std::vector<uint64_t> DurationBoundariesUs();
+
+/// Name-addressed metric store. Get* registers on first use and returns a
+/// stable handle afterwards (same name => same handle), so hot paths fetch
+/// once and record through the pointer. Scraping walks every metric
+/// name-sorted. One process-wide Default() instance backs the whole
+/// pipeline; tests may Reset() it between cases.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `boundaries` applies on first registration; later calls for the same
+  /// name return the existing histogram (boundaries must then match —
+  /// checked).
+  HistogramMetric* GetHistogram(const std::string& name,
+                                std::vector<uint64_t> boundaries = {});
+
+  /// Zeroes every metric; handles stay valid.
+  void Reset();
+
+  /// Point-in-time copy of every metric, name-sorted.
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram>> histograms;
+
+    /// Counter value by name, 0 when absent.
+    uint64_t CounterOr0(const std::string& name) const;
+    /// Gauge value by name, fallback when absent.
+    double GaugeOr(const std::string& name, double fallback) const;
+    const Histogram* FindHistogram(const std::string& name) const;
+  };
+  Snapshot Scrape() const;
+
+  /// Scrape rendered as the report's "metrics" section: counters/gauges as
+  /// flat objects, histograms summarized as count/mean/max/p50/p90/p99.
+  JsonValue ScrapeJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Installs a ThreadPoolObserver that records pool activity into the
+/// default registry (threadpool.jobs / threadpool.shards counters,
+/// threadpool.shard_wait_us / threadpool.shard_exec_us histograms).
+/// Idempotent; recording still honours MetricsEnabled().
+void InstallThreadPoolMetrics();
+/// Removes the observer installed above (used by tests).
+void UninstallThreadPoolMetrics();
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_METRICS_H_

@@ -1,0 +1,127 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+
+namespace inf2vec {
+namespace obs {
+
+RunReport::RunReport(std::string command) : command_(std::move(command)) {}
+
+void RunReport::SetConfig(const std::string& key, JsonValue value) {
+  config_.Set(key, std::move(value));
+}
+
+void RunReport::AddPhase(const std::string& name, double seconds) {
+  phases_.emplace_back(name, seconds);
+}
+
+void RunReport::AddEpoch(const EpochRow& row) { epochs_.push_back(row); }
+
+void RunReport::SetSection(const std::string& name, JsonValue value) {
+  for (auto& [n, v] : sections_) {
+    if (n == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  sections_.emplace_back(name, std::move(value));
+}
+
+void RunReport::FinalizeFromRegistry(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snapshot = registry.Scrape();
+
+  // Context-composition stats: how Algorithm 1 actually split the L budget
+  // between local random-walk nodes and global similarity samples, plus
+  // the walk shape (the paper's L*alpha vs L*(1-alpha) contract).
+  const uint64_t local = snapshot.CounterOr0("context.local_nodes");
+  const uint64_t global = snapshot.CounterOr0("context.global_nodes");
+  const uint64_t total_nodes = local + global;
+  JsonValue context = JsonValue::Object();
+  context.Set("contexts", snapshot.CounterOr0("context.generated"));
+  context.Set("local_nodes", local);
+  context.Set("global_nodes", global);
+  context.Set("local_fraction",
+              total_nodes == 0
+                  ? 0.0
+                  : static_cast<double>(local) /
+                        static_cast<double>(total_nodes));
+  context.Set("global_fraction",
+              total_nodes == 0
+                  ? 0.0
+                  : static_cast<double>(global) /
+                        static_cast<double>(total_nodes));
+  if (const Histogram* walk_length =
+          snapshot.FindHistogram("context.local_length")) {
+    context.Set("mean_walk_length", walk_length->Mean());
+  } else {
+    context.Set("mean_walk_length", 0.0);
+  }
+  context.Set("walk_steps", snapshot.CounterOr0("walk.steps"));
+  context.Set("restarts", snapshot.CounterOr0("walk.restarts"));
+  SetSection("context", std::move(context));
+
+  // Negative-sampler draw stats.
+  const uint64_t draws = snapshot.CounterOr0("negative_sampler.draws");
+  const uint64_t rejected = snapshot.CounterOr0("negative_sampler.rejected");
+  JsonValue sampler = JsonValue::Object();
+  sampler.Set("draws", draws);
+  sampler.Set("rejected", rejected);
+  sampler.Set("rejection_rate",
+              draws == 0 ? 0.0
+                         : static_cast<double>(rejected) /
+                               static_cast<double>(draws + rejected));
+  SetSection("negative_sampler", std::move(sampler));
+
+  SetSection("metrics", registry.ScrapeJson());
+}
+
+JsonValue RunReport::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("schema_version", 1);
+  out.Set("command", command_);
+  out.Set("config", config_);
+
+  JsonValue phases = JsonValue::Array();
+  for (const auto& [name, seconds] : phases_) {
+    JsonValue phase = JsonValue::Object();
+    phase.Set("name", name);
+    phase.Set("seconds", seconds);
+    phases.Append(std::move(phase));
+  }
+  out.Set("phases", std::move(phases));
+
+  JsonValue epochs = JsonValue::Array();
+  for (const EpochRow& row : epochs_) {
+    JsonValue epoch = JsonValue::Object();
+    epoch.Set("epoch", row.epoch);
+    epoch.Set("objective", row.objective);
+    epoch.Set("learning_rate", row.learning_rate);
+    epoch.Set("pairs", row.pairs);
+    epoch.Set("seconds", row.seconds);
+    epoch.Set("pairs_per_second", row.pairs_per_second);
+    epochs.Append(std::move(epoch));
+  }
+  out.Set("epochs", std::move(epochs));
+
+  for (const auto& [name, value] : sections_) {
+    out.Set(name, value);
+  }
+  return out;
+}
+
+Status RunReport::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open metrics output file: " + path);
+  }
+  const std::string json = ToJson().Dump(2) + "\n";
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to metrics output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace inf2vec

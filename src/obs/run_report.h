@@ -1,0 +1,76 @@
+#ifndef INF2VEC_OBS_RUN_REPORT_H_
+#define INF2VEC_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace obs {
+
+/// Structured per-run summary (--metrics-out): one JSON document capturing
+/// what ran, with what configuration, where the wall time went, how the
+/// objective converged, and what the pipeline's metrics counted. Schema
+/// (validated by tools/check_run_report.py, documented in
+/// docs/OBSERVABILITY.md):
+///
+///   {
+///     "schema_version": 1,
+///     "command": "train",
+///     "config": {"dim": 50, ...},              // echo of the effective knobs
+///     "phases": [{"name": "corpus", "seconds": 1.2}, ...],
+///     "epochs": [{"epoch": 0, "objective": -2.1, "learning_rate": 0.005,
+///                 "pairs": 12345, "seconds": 0.4,
+///                 "pairs_per_second": 30862.5}, ...],
+///     "context": {...},                        // derived composition stats
+///     "negative_sampler": {...},               // derived draw stats
+///     "eval": {...},                           // present after an eval phase
+///     "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
+///   }
+class RunReport {
+ public:
+  explicit RunReport(std::string command);
+
+  /// Effective-configuration echo, any JSON-able value.
+  void SetConfig(const std::string& key, JsonValue value);
+
+  /// Coarse wall-time accounting; phases render in insertion order.
+  void AddPhase(const std::string& name, double seconds);
+
+  struct EpochRow {
+    uint32_t epoch = 0;
+    double objective = 0.0;
+    double learning_rate = 0.0;
+    uint64_t pairs = 0;
+    double seconds = 0.0;
+    double pairs_per_second = 0.0;
+  };
+  void AddEpoch(const EpochRow& row);
+
+  /// Attaches or replaces a free-form top-level section ("eval", ...).
+  void SetSection(const std::string& name, JsonValue value);
+
+  /// Pulls the registry into the report: the raw "metrics" section plus
+  /// the derived "context" (local/global composition, mean walk length,
+  /// restarts) and "negative_sampler" (draws, rejection rate) sections.
+  void FinalizeFromRegistry(const MetricsRegistry& registry);
+
+  JsonValue ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  std::string command_;
+  JsonValue config_ = JsonValue::Object();
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<EpochRow> epochs_;
+  std::vector<std::pair<std::string, JsonValue>> sections_;
+};
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_RUN_REPORT_H_

@@ -1,0 +1,127 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace inf2vec {
+namespace obs {
+
+TraceCollector::TraceCollector(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+TraceCollector& TraceCollector::Default() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+uint64_t TraceCollector::NowMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceCollector::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  // Full: overwrite the oldest (the cursor always points at it once the
+  // ring has wrapped).
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceCollector::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!wrapped_) return ring_;
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<ptrdiff_t>(next_));
+  return out;
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string TraceCollector::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ',';
+    out += StrFormat(
+        "\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+        "\"ts\": %llu, \"dur\": %llu, \"pid\": 1, \"tid\": %u}",
+        JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(),
+        static_cast<unsigned long long>(e.start_us),
+        static_cast<unsigned long long>(e.duration_us), e.tid);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceCollector::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  const std::string json = ToChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+TraceSpan::TraceSpan(std::string name, std::string category,
+                     TraceCollector* collector)
+    : collector_(collector != nullptr && collector->enabled() ? collector
+                                                              : nullptr) {
+  if (collector_ == nullptr) return;
+  name_ = std::move(name);
+  category_ = std::move(category);
+  start_us_ = collector_->NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (collector_ == nullptr) return;
+  const uint64_t end_us = collector_->NowMicros();
+  collector_->Record(TraceEvent{
+      std::move(name_), std::move(category_), CurrentThreadIndex(), start_us_,
+      end_us - start_us_});
+}
+
+}  // namespace obs
+}  // namespace inf2vec

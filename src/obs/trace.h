@@ -1,0 +1,102 @@
+#ifndef INF2VEC_OBS_TRACE_H_
+#define INF2VEC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inf2vec {
+namespace obs {
+
+/// One completed span, chrome://tracing "X" (complete) event semantics:
+/// half-open interval [start_us, start_us + duration_us) on track `tid`.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint32_t tid = 0;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+};
+
+/// Fixed-capacity ring buffer of completed spans. Recording is guarded by
+/// one mutex — spans close at phase/epoch/shard granularity, orders of
+/// magnitude below pair-level work, so the lock never sees real
+/// contention. When the ring is full the OLDEST event is overwritten: a
+/// trace of a long run keeps its tail, which is where the interesting
+/// convergence behaviour lives. Disabled (the default) collectors record
+/// nothing; TraceSpan checks the flag once at construction.
+class TraceCollector {
+ public:
+  static constexpr size_t kDefaultCapacity = 16384;
+
+  explicit TraceCollector(size_t capacity = kDefaultCapacity);
+
+  /// The process-wide collector every TraceSpan uses by default.
+  static TraceCollector& Default();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since this collector's epoch (construction or Clear).
+  uint64_t NowMicros() const;
+
+  void Record(TraceEvent event);
+
+  /// Buffered events, oldest first. Copy — safe to export while spans are
+  /// still being recorded.
+  std::vector<TraceEvent> Events() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const;
+
+  /// Empties the ring and restarts the time epoch.
+  void Clear();
+
+  /// chrome://tracing / Perfetto-loadable JSON object.
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // Guarded by mu_.
+  size_t next_ = 0;               // Ring write cursor. Guarded by mu_.
+  bool wrapped_ = false;          // Guarded by mu_.
+  uint64_t dropped_ = 0;          // Guarded by mu_.
+  std::chrono::steady_clock::time_point epoch_;  // Guarded by mu_.
+};
+
+/// RAII span: captures the start time at construction, records a
+/// TraceEvent into the collector at destruction. When the collector is
+/// disabled at construction the span is inert (two relaxed loads total).
+/// Spans may nest freely across scopes and threads; the viewer nests by
+/// interval containment per track.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, std::string category = "inf2vec",
+                     TraceCollector* collector = &TraceCollector::Default());
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCollector* collector_;  // Null when inert.
+  std::string name_;
+  std::string category_;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_TRACE_H_

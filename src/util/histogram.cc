@@ -3,13 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace inf2vec {
 
+Histogram::Histogram(std::vector<uint64_t> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  INF2VEC_CHECK(!boundaries_.empty())
+      << "fixed-boundary histogram needs at least one boundary";
+  for (size_t i = 1; i < boundaries_.size(); ++i) {
+    INF2VEC_CHECK(boundaries_[i - 1] < boundaries_[i])
+        << "histogram boundaries must be strictly increasing";
+  }
+}
+
+uint64_t Histogram::BucketOf(uint64_t value) const {
+  if (boundaries_.empty()) return value;
+  // Largest boundary <= value; values below the first boundary land in the
+  // first bucket so every observation is counted.
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  return it == boundaries_.begin() ? boundaries_.front() : *(it - 1);
+}
+
 void Histogram::Add(uint64_t value, uint64_t weight) {
-  counts_[value] += weight;
+  counts_[BucketOf(value)] += weight;
   total_count_ += weight;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  INF2VEC_CHECK(boundaries_ == other.boundaries_)
+      << "Merge requires identical histogram boundary configurations";
+  for (const auto& [value, count] : other.counts_) {
+    counts_[value] += count;
+  }
+  total_count_ += other.total_count_;
 }
 
 uint64_t Histogram::CountOf(uint64_t value) const {
@@ -38,6 +67,20 @@ double Histogram::Mean() const {
 
 uint64_t Histogram::Max() const {
   return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  INF2VEC_CHECK(q >= 0.0 && q <= 1.0) << "quantile must be in [0, 1]";
+  if (total_count_ == 0) return 0;
+  // Smallest value whose cumulative count reaches ceil(q * total), i.e.
+  // CdfAt(value) >= q; q = 0 yields the minimum, q = 1 the maximum.
+  const double target = q * static_cast<double>(total_count_);
+  uint64_t cumulative = 0;
+  for (const auto& [value, count] : counts_) {
+    cumulative += count;
+    if (static_cast<double>(cumulative) >= target) return value;
+  }
+  return counts_.rbegin()->first;
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> Histogram::Items() const {

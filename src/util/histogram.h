@@ -12,10 +12,32 @@ namespace inf2vec {
 /// summaries the paper's data-analysis figures need: count-of-counts
 /// (Fig. 1-2 power-law plots), CDF (Fig. 3), and a log-log slope estimate
 /// used by tests to assert power-law shape.
+///
+/// Two construction modes:
+///  * exact (default): every distinct value keeps its own count;
+///  * fixed-boundary: observations are bucketized to the largest boundary
+///    <= value (values below the first boundary count under the first
+///    boundary). Fixed boundaries make thread-sharded histograms combine
+///    deterministically with Merge() regardless of per-shard value sets —
+///    the representation the observability metrics layer relies on.
 class Histogram {
  public:
+  Histogram() = default;
+  /// Fixed-boundary mode. `boundaries` must be non-empty and strictly
+  /// increasing (checked).
+  explicit Histogram(std::vector<uint64_t> boundaries);
+
   void Add(uint64_t value) { Add(value, 1); }
   void Add(uint64_t value, uint64_t weight);
+
+  /// Adds every count of `other` into this histogram. Both histograms must
+  /// have identical boundary configurations (both exact, or both the same
+  /// fixed boundaries — checked); the combined result is then independent
+  /// of shard/merge order.
+  void Merge(const Histogram& other);
+
+  /// Empty for exact mode; the construction boundaries otherwise.
+  const std::vector<uint64_t>& boundaries() const { return boundaries_; }
 
   uint64_t total_count() const { return total_count_; }
   bool empty() const { return counts_.empty(); }
@@ -30,6 +52,11 @@ class Histogram {
   double Mean() const;
   uint64_t Max() const;
 
+  /// Smallest recorded value v with CdfAt(v) >= q, for q in [0, 1]
+  /// (checked). Returns 0 for an empty histogram. In fixed-boundary mode
+  /// the result is the bucket's lower boundary.
+  uint64_t Quantile(double q) const;
+
   /// Sorted (value, count) pairs.
   std::vector<std::pair<uint64_t, uint64_t>> Items() const;
 
@@ -43,6 +70,10 @@ class Histogram {
   std::string ToTsv(size_t max_rows) const;
 
  private:
+  /// Maps a raw observation to its bucket key (identity in exact mode).
+  uint64_t BucketOf(uint64_t value) const;
+
+  std::vector<uint64_t> boundaries_;  // Empty <=> exact mode.
   std::map<uint64_t, uint64_t> counts_;
   uint64_t total_count_ = 0;
 };

@@ -35,6 +35,37 @@ const char* Basename(const char* path) {
 }
 
 }  // namespace
+}  // namespace internal_logging
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarning, LogLevel::kError,
+                         LogLevel::kFatal}) {
+    if (name == LogLevelName(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace internal_logging {
 
 LogLevel MinLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));

@@ -9,9 +9,18 @@ namespace inf2vec {
 /// Severity levels for the library logger, lowest to highest.
 enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
 
+/// Lower-case level name ("debug", "info", ...); never null.
+const char* LogLevelName(LogLevel level);
+
+/// Parses "debug" / "info" / "warning" / "error" / "fatal" (exact,
+/// lower-case). Returns false and leaves `*out` untouched on anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
 namespace internal_logging {
 
 /// Global minimum level; messages below it are dropped. Defaults to kInfo.
+/// Backed by a relaxed std::atomic, so the level may be read — and changed —
+/// from any thread at any time, including while Hogwild workers are logging.
 LogLevel MinLogLevel();
 void SetMinLogLevel(LogLevel level);
 
@@ -41,7 +50,8 @@ struct LogMessageVoidify {
 
 }  // namespace internal_logging
 
-/// Sets the global log threshold (thread-compatible: call before spawning).
+/// Sets the global log threshold (thread-safe: the threshold is a relaxed
+/// atomic, so concurrent readers in worker threads are fine).
 inline void SetMinLogLevel(LogLevel level) {
   internal_logging::SetMinLogLevel(level);
 }

@@ -1,10 +1,30 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/logging.h"
 
 namespace inf2vec {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::atomic<ThreadPoolObserver*> g_pool_observer{nullptr};
+
+double MicrosSince(SteadyClock::time_point start, SteadyClock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+}  // namespace
+
+void SetThreadPoolObserver(ThreadPoolObserver* observer) {
+  g_pool_observer.store(observer, std::memory_order_release);
+}
+
+ThreadPoolObserver* GetThreadPoolObserver() {
+  return g_pool_observer.load(std::memory_order_acquire);
+}
 
 ThreadPool::ThreadPool(uint32_t num_threads)
     : num_threads_(ResolveThreadCount(num_threads)) {
@@ -41,15 +61,26 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, const ShardFn& fn) {
   const size_t n = end - begin;
   const uint32_t shards = static_cast<uint32_t>(
       std::min<size_t>(num_threads_, n));
+  ThreadPoolObserver* observer = GetThreadPoolObserver();
   if (shards <= 1) {
+    if (observer == nullptr) {
+      fn(0, begin, end);
+      return;
+    }
+    const SteadyClock::time_point start = SteadyClock::now();
     fn(0, begin, end);
+    const double exec_us = MicrosSince(start, SteadyClock::now());
+    observer->OnShard(0, /*queue_wait_us=*/0.0, exec_us);
+    observer->OnJob(1, n, exec_us);
     return;
   }
+  const SteadyClock::time_point post_time = SteadyClock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     INF2VEC_CHECK(job_shards_ == 0 && pending_ == 0)
         << "ThreadPool::ParallelFor is not reentrant";
     job_fn_ = &fn;
+    job_post_time_ = post_time;
     job_begin_ = begin;
     job_size_ = n;
     job_shards_ = shards;
@@ -58,8 +89,13 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, const ShardFn& fn) {
   }
   work_cv_.notify_all();
   RunShards();  // The caller is worker zero-or-more; shards are claimed.
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  if (observer != nullptr) {
+    observer->OnJob(shards, n, MicrosSince(post_time, SteadyClock::now()));
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -75,11 +111,13 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::RunShards() {
+  ThreadPoolObserver* observer = GetThreadPoolObserver();
   for (;;) {
     uint32_t shard = 0;
     size_t shard_begin = 0;
     size_t shard_end = 0;
     const ShardFn* fn = nullptr;
+    double wait_us = 0.0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (next_shard_ >= job_shards_) return;
@@ -92,8 +130,17 @@ void ThreadPool::RunShards() {
                     std::min<size_t>(shard, extra);
       shard_end = shard_begin + chunk + (shard < extra ? 1 : 0);
       fn = job_fn_;
+      if (observer != nullptr) {
+        wait_us = MicrosSince(job_post_time_, SteadyClock::now());
+      }
     }
+    const SteadyClock::time_point exec_start =
+        observer != nullptr ? SteadyClock::now() : SteadyClock::time_point();
     (*fn)(shard, shard_begin, shard_end);
+    if (observer != nullptr) {
+      observer->OnShard(shard, wait_us,
+                        MicrosSince(exec_start, SteadyClock::now()));
+    }
     bool last = false;
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -1,6 +1,7 @@
 #ifndef INF2VEC_UTIL_THREAD_POOL_H_
 #define INF2VEC_UTIL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -22,6 +23,29 @@ namespace inf2vec {
 #else
 #define INF2VEC_NO_SANITIZE_THREAD
 #endif
+
+/// Observation hook for pool activity, used by the observability layer to
+/// collect per-shard queue-wait / execution timings without making the
+/// util layer depend on it. Implementations must be thread-safe: OnShard
+/// fires on whichever thread ran the shard, concurrently across shards.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+  /// One shard of a ParallelFor finished. `queue_wait_us` is the time from
+  /// job posting to this shard being claimed; `exec_us` the shard-function
+  /// runtime.
+  virtual void OnShard(uint32_t shard, double queue_wait_us,
+                       double exec_us) = 0;
+  /// A whole ParallelFor drained (called once, on the posting thread).
+  virtual void OnJob(uint32_t shards, size_t items, double total_us) = 0;
+};
+
+/// Installs a process-wide pool observer (nullptr to remove). The observer
+/// must outlive all pool activity; when none is installed (the default)
+/// the pool takes no timestamps — the cost is one relaxed atomic load per
+/// shard.
+void SetThreadPoolObserver(ThreadPoolObserver* observer);
+ThreadPoolObserver* GetThreadPoolObserver();
 
 /// A small fixed-size worker pool for data-parallel loops. The pool owns
 /// `num_threads - 1` worker threads; the calling thread participates in
@@ -84,6 +108,7 @@ class ThreadPool {
   std::condition_variable work_cv_;   // Signals workers: job posted / stop.
   std::condition_variable done_cv_;   // Signals the caller: job drained.
   const ShardFn* job_fn_ = nullptr;   // Guarded by mu_ (set per job).
+  std::chrono::steady_clock::time_point job_post_time_;  // Guarded by mu_.
   size_t job_begin_ = 0;
   size_t job_size_ = 0;
   uint32_t job_shards_ = 0;           // 0 <=> no job outstanding.

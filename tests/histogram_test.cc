@@ -93,6 +93,86 @@ TEST(HistogramTest, LogLogSlopeOfFlatDistributionIsZero) {
   EXPECT_NEAR(h.LogLogSlope(), 0.0, 1e-9);
 }
 
+TEST(HistogramTest, FixedBoundariesBucketByLowerBound) {
+  Histogram h({1, 10, 100});
+  EXPECT_EQ(h.boundaries(), (std::vector<uint64_t>{1, 10, 100}));
+  h.Add(0);     // Below the first boundary: clamped into the first bucket.
+  h.Add(5);     // -> 1
+  h.Add(10);    // -> 10
+  h.Add(99);    // -> 10
+  h.Add(1000);  // -> 100
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_EQ(h.CountOf(1), 2u);
+  EXPECT_EQ(h.CountOf(10), 2u);
+  EXPECT_EQ(h.CountOf(100), 1u);
+}
+
+TEST(HistogramTest, ExactModeHasNoBoundaries) {
+  Histogram h;
+  h.Add(12345);
+  EXPECT_TRUE(h.boundaries().empty());
+  EXPECT_EQ(h.CountOf(12345), 1u);
+}
+
+TEST(HistogramTest, MergeAddsExactCountsOrderIndependently) {
+  Histogram a;
+  a.Add(1, 3);
+  a.Add(5, 2);
+  Histogram b;
+  b.Add(5, 1);
+  b.Add(9, 4);
+  Histogram ab = a;
+  ab.Merge(b);
+  Histogram ba = b;
+  ba.Merge(a);
+  EXPECT_EQ(ab.total_count(), 10u);
+  EXPECT_EQ(ab.CountOf(5), 3u);
+  EXPECT_EQ(ab.Items(), ba.Items());
+}
+
+TEST(HistogramTest, MergeFixedBoundaryShardsMatchesSingleHistogram) {
+  const std::vector<uint64_t> boundaries = {1, 2, 5, 10, 20, 50, 100};
+  Histogram combined(boundaries);
+  Histogram shard_a(boundaries);
+  Histogram shard_b(boundaries);
+  for (uint64_t v = 1; v <= 200; ++v) {
+    combined.Add(v);
+    (v % 2 == 0 ? shard_a : shard_b).Add(v);
+  }
+  Histogram merged(boundaries);
+  merged.Merge(shard_a);
+  merged.Merge(shard_b);
+  EXPECT_EQ(merged.Items(), combined.Items());
+  EXPECT_EQ(merged.total_count(), combined.total_count());
+}
+
+TEST(HistogramTest, MergeEmptyHistogramIsNoOp) {
+  Histogram h;
+  h.Add(7, 2);
+  h.Merge(Histogram());
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_EQ(h.CountOf(7), 2u);
+}
+
+TEST(HistogramTest, QuantileWalksCumulativeCounts) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_EQ(h.Quantile(0.0), 1u);
+  EXPECT_EQ(h.Quantile(0.5), 50u);
+  EXPECT_EQ(h.Quantile(0.9), 90u);
+  EXPECT_EQ(h.Quantile(1.0), 100u);
+  EXPECT_EQ(Histogram().Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, QuantileOnFixedBucketsReturnsLowerBoundary) {
+  Histogram h({1, 10, 100});
+  h.Add(3);    // -> 1
+  h.Add(40);   // -> 10
+  h.Add(500);  // -> 100
+  EXPECT_EQ(h.Quantile(0.34), 10u);
+  EXPECT_EQ(h.Quantile(1.0), 100u);
+}
+
 TEST(HistogramTest, ToTsvOrdersByCountAndRespectsCap) {
   Histogram h;
   h.Add(1, 5);

@@ -1,0 +1,113 @@
+#include "obs/trace.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+TEST(TraceCollectorTest, DisabledCollectorRecordsNothingViaSpans) {
+  TraceCollector collector(8);
+  ASSERT_FALSE(collector.enabled());
+  { TraceSpan span("noop", "test", &collector); }
+  EXPECT_EQ(collector.size(), 0u);
+}
+
+TEST(TraceCollectorTest, SpansRecordNameCategoryAndDuration) {
+  TraceCollector collector(8);
+  collector.set_enabled(true);
+  { TraceSpan span("work", "test", &collector); }
+  ASSERT_EQ(collector.size(), 1u);
+  const std::vector<TraceEvent> events = collector.Events();
+  const TraceEvent& e = events[0];
+  EXPECT_EQ(e.name, "work");
+  EXPECT_EQ(e.category, "test");
+  EXPECT_GE(e.duration_us, 0u);
+}
+
+TEST(TraceCollectorTest, NestedSpansCloseInnerFirst) {
+  TraceCollector collector(8);
+  collector.set_enabled(true);
+  {
+    TraceSpan outer("outer", "test", &collector);
+    { TraceSpan inner("inner", "test", &collector); }
+  }
+  ASSERT_EQ(collector.size(), 2u);
+  const std::vector<TraceEvent> events = collector.Events();
+  // Destruction order: inner records before outer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  // The outer interval contains the inner one (that containment is how
+  // chrome://tracing reconstructs nesting).
+  EXPECT_LE(events[1].start_us, events[0].start_us);
+  EXPECT_GE(events[1].start_us + events[1].duration_us,
+            events[0].start_us + events[0].duration_us);
+}
+
+TEST(TraceCollectorTest, RingOverflowKeepsNewestEvents) {
+  TraceCollector collector(4);
+  collector.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    collector.Record(TraceEvent{"e" + std::to_string(i), "test", 0,
+                                static_cast<uint64_t>(i), 1});
+  }
+  EXPECT_EQ(collector.size(), 4u);
+  EXPECT_EQ(collector.dropped(), 6u);
+  const std::vector<TraceEvent> events = collector.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first order over the surviving (newest) window: e6..e9.
+  EXPECT_EQ(events[0].name, "e6");
+  EXPECT_EQ(events[3].name, "e9");
+}
+
+TEST(TraceCollectorTest, ClearEmptiesRingAndRestartsEpoch) {
+  TraceCollector collector(4);
+  collector.set_enabled(true);
+  collector.Record(TraceEvent{"old", "test", 0, 0, 1});
+  collector.Clear();
+  EXPECT_EQ(collector.size(), 0u);
+  EXPECT_EQ(collector.dropped(), 0u);
+}
+
+TEST(TraceCollectorTest, ChromeTraceJsonIsValidAndComplete) {
+  TraceCollector collector(8);
+  collector.set_enabled(true);
+  collector.Record(TraceEvent{"phase \"a\"", "cat", 3, 10, 25});
+  collector.Record(TraceEvent{"phase_b", "cat", 0, 40, 5});
+
+  const std::string json = collector.ToChromeTraceJson();
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = parsed.value();
+  EXPECT_EQ(root.Find("displayTimeUnit")->AsString(), "ms");
+
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  const JsonValue& first = events->items()[0];
+  // Quotes in span names survive the escape/parse round trip.
+  EXPECT_EQ(first.Find("name")->AsString(), "phase \"a\"");
+  EXPECT_EQ(first.Find("ph")->AsString(), "X");
+  EXPECT_EQ(first.Find("ts")->AsInt(), 10);
+  EXPECT_EQ(first.Find("dur")->AsInt(), 25);
+  EXPECT_EQ(first.Find("pid")->AsInt(), 1);
+  EXPECT_EQ(first.Find("tid")->AsInt(), 3);
+}
+
+TEST(TraceCollectorTest, SpanAgainstDefaultCollectorHonoursEnableFlag) {
+  TraceCollector& collector = TraceCollector::Default();
+  collector.Clear();
+  collector.set_enabled(true);
+  { TraceSpan span("default-span"); }
+  EXPECT_EQ(collector.size(), 1u);
+  collector.set_enabled(false);
+  collector.Clear();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace inf2vec

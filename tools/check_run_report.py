@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Schema validator for inf2vec --metrics-out run reports.
+
+Usage: check_run_report.py REPORT.json [--command train] [--expect-epochs N]
+                           [--expect-eval] [--trace TRACE.json]
+
+Exits 0 when the report (and optional trace) match the schema documented in
+docs/OBSERVABILITY.md, 1 with a diagnostic otherwise. Kept dependency-free
+(stdlib json only) so it runs in any CI image.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise SchemaError(message)
+
+
+def check_number(obj, key, where):
+    require(key in obj, f"{where}: missing key '{key}'")
+    require(isinstance(obj[key], (int, float)) and not isinstance(obj[key], bool),
+            f"{where}: '{key}' must be a number, got {type(obj[key]).__name__}")
+
+
+def check_fraction(obj, key, where):
+    check_number(obj, key, where)
+    require(0.0 <= obj[key] <= 1.0, f"{where}: '{key}'={obj[key]} not in [0, 1]")
+
+
+def check_report(report, args):
+    require(isinstance(report, dict), "report root must be a JSON object")
+    require(report.get("schema_version") == SCHEMA_VERSION,
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {report.get('schema_version')!r}")
+    require(isinstance(report.get("command"), str) and report["command"],
+            "command must be a non-empty string")
+    if args.command:
+        require(report["command"] == args.command,
+                f"command is '{report['command']}', expected '{args.command}'")
+    require(isinstance(report.get("config"), dict), "config must be an object")
+
+    phases = report.get("phases")
+    require(isinstance(phases, list), "phases must be an array")
+    for i, phase in enumerate(phases):
+        where = f"phases[{i}]"
+        require(isinstance(phase, dict), f"{where}: must be an object")
+        require(isinstance(phase.get("name"), str) and phase["name"],
+                f"{where}: needs a non-empty name")
+        check_number(phase, "seconds", where)
+        require(phase["seconds"] >= 0, f"{where}: negative seconds")
+
+    epochs = report.get("epochs")
+    require(isinstance(epochs, list), "epochs must be an array")
+    for i, epoch in enumerate(epochs):
+        where = f"epochs[{i}]"
+        require(isinstance(epoch, dict), f"{where}: must be an object")
+        for key in ("epoch", "objective", "learning_rate", "pairs", "seconds",
+                    "pairs_per_second"):
+            check_number(epoch, key, where)
+        require(epoch["epoch"] == i, f"{where}: epoch index {epoch['epoch']} "
+                f"out of order (expected {i})")
+        require(epoch["pairs"] >= 0 and epoch["seconds"] >= 0,
+                f"{where}: negative pairs/seconds")
+    if args.expect_epochs is not None:
+        require(len(epochs) == args.expect_epochs,
+                f"expected {args.expect_epochs} epoch rows, got {len(epochs)}")
+
+    context = report.get("context")
+    require(isinstance(context, dict), "context section must be an object")
+    for key in ("contexts", "local_nodes", "global_nodes", "walk_steps",
+                "restarts", "mean_walk_length"):
+        check_number(context, key, "context")
+    check_fraction(context, "local_fraction", "context")
+    check_fraction(context, "global_fraction", "context")
+    total = context["local_nodes"] + context["global_nodes"]
+    if total > 0:
+        got = context["local_fraction"] + context["global_fraction"]
+        require(abs(got - 1.0) < 1e-9,
+                f"context fractions sum to {got}, expected 1")
+
+    sampler = report.get("negative_sampler")
+    require(isinstance(sampler, dict), "negative_sampler must be an object")
+    check_number(sampler, "draws", "negative_sampler")
+    check_number(sampler, "rejected", "negative_sampler")
+    check_fraction(sampler, "rejection_rate", "negative_sampler")
+
+    metrics = report.get("metrics")
+    require(isinstance(metrics, dict), "metrics section must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        require(isinstance(metrics.get(section), dict),
+                f"metrics.{section} must be an object")
+    for name, value in metrics["counters"].items():
+        require(isinstance(value, int) and value >= 0,
+                f"counter '{name}' must be a non-negative integer")
+    for name, summary in metrics["histograms"].items():
+        for key in ("count", "mean", "max", "p50", "p90", "p99"):
+            check_number(summary, key, f"histogram '{name}'")
+
+    if args.expect_eval:
+        ev = report.get("eval")
+        require(isinstance(ev, dict), "eval section missing or not an object")
+        for key in ("auc", "map", "p10", "p50", "p100", "num_queries"):
+            check_number(ev, key, "eval")
+        require(0.0 <= ev["auc"] <= 1.0, f"eval.auc={ev['auc']} not in [0, 1]")
+
+
+def check_trace(trace):
+    require(isinstance(trace, dict), "trace root must be a JSON object")
+    require(trace.get("displayTimeUnit") == "ms",
+            "trace displayTimeUnit must be 'ms'")
+    events = trace.get("traceEvents")
+    require(isinstance(events, list) and events,
+            "traceEvents must be a non-empty array")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        require(isinstance(event, dict), f"{where}: must be an object")
+        require(event.get("ph") == "X", f"{where}: ph must be 'X'")
+        require(isinstance(event.get("name"), str) and event["name"],
+                f"{where}: needs a name")
+        for key in ("ts", "dur", "pid", "tid"):
+            require(isinstance(event.get(key), int) and event[key] >= 0,
+                    f"{where}: '{key}' must be a non-negative integer")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="path to a --metrics-out JSON report")
+    parser.add_argument("--command", help="expected command name")
+    parser.add_argument("--expect-epochs", type=int,
+                        help="exact number of epoch rows required")
+    parser.add_argument("--expect-eval", action="store_true",
+                        help="require a valid eval section")
+    parser.add_argument("--trace", help="also validate a --trace-out file")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            report = json.load(f)
+        check_report(report, args)
+        if args.trace:
+            with open(args.trace, "r", encoding="utf-8") as f:
+                check_trace(json.load(f))
+    except (OSError, json.JSONDecodeError, SchemaError) as e:
+        print(f"check_run_report: FAIL: {e}", file=sys.stderr)
+        return 1
+    print("check_run_report: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

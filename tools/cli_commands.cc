@@ -1,6 +1,7 @@
 #include "cli_commands.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <numeric>
 
@@ -11,11 +12,65 @@
 #include "eval/diffusion_task.h"
 #include "eval/harness.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "synth/world_generator.h"
+#include "util/logging.h"
 
 namespace inf2vec {
 namespace cli {
 namespace {
+
+/// Run report for the in-flight command; non-null only while Dispatch is
+/// executing with --metrics-out, so the Run* commands can contribute
+/// config echo, phases, and epoch rows.
+obs::RunReport* g_active_report = nullptr;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Applies the global observability flags (--log-level, --metrics-out,
+/// --trace-out) before the command runs.
+Status SetupObservability(const FlagParser& flags) {
+  const std::string level_name = flags.GetString("log-level", "");
+  if (!level_name.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(level_name, &level)) {
+      return Status::InvalidArgument(
+          "--log-level must be one of debug, info, warning, error, fatal");
+    }
+    SetMinLogLevel(level);
+  }
+  if (!flags.GetString("metrics-out", "").empty()) {
+    obs::MetricsRegistry::Default().Reset();
+    obs::EnableMetrics(true);
+    obs::InstallThreadPoolMetrics();
+  }
+  if (!flags.GetString("trace-out", "").empty()) {
+    obs::TraceCollector::Default().Clear();
+    obs::TraceCollector::Default().set_enabled(true);
+  }
+  return Status::OK();
+}
+
+/// RankingMetrics as the report's "eval" payload.
+obs::JsonValue EvalSection(const std::string& task,
+                           const RankingMetrics& metrics) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("task", task);
+  out.Set("auc", metrics.auc);
+  out.Set("map", metrics.map);
+  out.Set("p10", metrics.p10);
+  out.Set("p50", metrics.p50);
+  out.Set("p100", metrics.p100);
+  out.Set("num_queries", metrics.num_queries);
+  return out;
+}
+
 
 /// Loads the graph + action log named by --graph / --actions.
 Status LoadWorldInputs(const FlagParser& flags, SocialGraph* graph,
@@ -116,33 +171,121 @@ Status RunGenerate(const FlagParser& flags) {
   const std::string actions_path = out_dir + "/actions.tsv";
   INF2VEC_RETURN_IF_ERROR(SaveEdgeList(world.value().graph, graph_path));
   INF2VEC_RETURN_IF_ERROR(SaveActionLog(world.value().log, actions_path));
-  std::printf("wrote %s (%u users, %llu edges)\n", graph_path.c_str(),
-              world.value().graph.num_users(),
-              static_cast<unsigned long long>(
-                  world.value().graph.num_edges()));
-  std::printf("wrote %s (%zu episodes, %llu actions)\n",
-              actions_path.c_str(), world.value().log.num_episodes(),
-              static_cast<unsigned long long>(
-                  world.value().log.num_actions()));
+  INF2VEC_LOG(Info) << "wrote " << graph_path << " ("
+                    << world.value().graph.num_users() << " users, "
+                    << world.value().graph.num_edges() << " edges)";
+  INF2VEC_LOG(Info) << "wrote " << actions_path << " ("
+                    << world.value().log.num_episodes() << " episodes, "
+                    << world.value().log.num_actions() << " actions)";
   return Status::OK();
 }
 
 Status RunTrain(const FlagParser& flags) {
   const std::string model_path = flags.GetString("model", "");
   if (model_path.empty()) return Status::InvalidArgument("--model is required");
+  const std::string eval_task = flags.GetString("eval-task", "");
+  if (!eval_task.empty() && eval_task != "activation" &&
+      eval_task != "diffusion") {
+    return Status::InvalidArgument(
+        "--eval-task must be activation or diffusion");
+  }
+
+  const auto load_start = std::chrono::steady_clock::now();
   SocialGraph graph;
   ActionLog log;
   INF2VEC_RETURN_IF_ERROR(LoadWorldInputs(flags, &graph, &log));
-  Result<Inf2vecConfig> config = ConfigFromFlags(flags);
-  INF2VEC_RETURN_IF_ERROR(config.status());
+  const double load_seconds = SecondsSince(load_start);
+  Result<Inf2vecConfig> config_result = ConfigFromFlags(flags);
+  INF2VEC_RETURN_IF_ERROR(config_result.status());
+  Inf2vecConfig config = config_result.value();
 
-  Result<Inf2vecModel> model =
-      Inf2vecModel::Train(graph, log, config.value());
+  obs::RunReport* report = g_active_report;
+  if (report != nullptr) {
+    report->SetConfig("dim", config.dim);
+    report->SetConfig("alpha", config.context.alpha);
+    report->SetConfig("length", config.context.length);
+    report->SetConfig("epochs", config.epochs);
+    report->SetConfig("learning_rate", config.sgd.learning_rate);
+    report->SetConfig("num_negatives", config.sgd.num_negatives);
+    report->SetConfig("seed", config.seed);
+    report->SetConfig("num_threads", config.num_threads);
+    report->SetConfig("shuffle_pairs", config.shuffle_pairs);
+    report->SetConfig(
+        "local_context",
+        config.context.strategy == LocalContextStrategy::kForwardBfs
+            ? "forward_bfs"
+            : "random_walk_restart");
+    report->AddPhase("load", load_seconds);
+  }
+
+  // Per-epoch progress/report hook. Either sink turns on objective
+  // accumulation; leave both off for maximum-throughput runs.
+  const bool progress = flags.GetBool("progress", false);
+  if (progress || report != nullptr) {
+    config.epoch_callback = [report, progress](const EpochStats& stats) {
+      if (report != nullptr) {
+        report->AddEpoch({stats.epoch, stats.objective, stats.learning_rate,
+                          stats.pairs, stats.seconds,
+                          stats.pairs_per_second});
+      }
+      if (progress) {
+        const double eta_seconds =
+            stats.seconds *
+            static_cast<double>(stats.total_epochs - stats.epoch - 1);
+        std::fprintf(stderr,
+                     "epoch %u/%u objective=%.6f pairs/s=%.0f eta=%.1fs\n",
+                     stats.epoch + 1, stats.total_epochs, stats.objective,
+                     stats.pairs_per_second, eta_seconds);
+      }
+    };
+  }
+
+  const auto train_start = std::chrono::steady_clock::now();
+  Result<Inf2vecModel> model = Inf2vecModel::Train(graph, log, config);
   INF2VEC_RETURN_IF_ERROR(model.status());
+  const double train_seconds = SecondsSince(train_start);
+  if (report != nullptr) {
+    // Phase split measured inside Train() (corpus build vs SGD epochs).
+    const obs::MetricsRegistry::Snapshot snapshot =
+        obs::MetricsRegistry::Default().Scrape();
+    report->AddPhase("corpus",
+                     snapshot.GaugeOr("train.corpus_seconds", 0.0));
+    report->AddPhase("sgd", snapshot.GaugeOr("train.sgd_seconds", 0.0));
+    report->AddPhase("train", train_seconds);
+  }
+
   INF2VEC_RETURN_IF_ERROR(
       SaveEmbeddings(model.value().embeddings(), model_path));
-  std::printf("trained K=%u on %zu episodes; model -> %s\n",
-              config.value().dim, log.num_episodes(), model_path.c_str());
+  INF2VEC_LOG(Info) << "trained K=" << config.dim << " on "
+                    << log.num_episodes() << " episodes; model -> "
+                    << model_path;
+
+  // Optional single-run train+eval: score the fresh model on the training
+  // world and attach the result to the report.
+  if (!eval_task.empty()) {
+    const auto eval_start = std::chrono::steady_clock::now();
+    const EmbeddingPredictor predictor = model.value().Predictor();
+    RankingMetrics metrics;
+    if (eval_task == "activation") {
+      metrics = EvaluateActivation(predictor, graph, log);
+    } else {
+      DiffusionTaskOptions options;
+      Result<double> fraction =
+          flags.GetDouble("seed-fraction", options.seed_fraction);
+      INF2VEC_RETURN_IF_ERROR(fraction.status());
+      options.seed_fraction = fraction.value();
+      Rng rng(1);
+      metrics = EvaluateDiffusion(predictor, graph.num_users(), log, options,
+                                  rng);
+    }
+    if (report != nullptr) {
+      report->AddPhase("eval", SecondsSince(eval_start));
+      report->SetSection("eval", EvalSection(eval_task, metrics));
+    }
+    ResultTable table(eval_task + " evaluation");
+    table.AddRow("model", metrics);
+    table.Print();
+  }
   return Status::OK();
 }
 
@@ -213,6 +356,7 @@ Status RunEvaluate(const FlagParser& flags) {
                                      aggregation.value());
 
   const std::string task = flags.GetString("task", "activation");
+  const auto eval_start = std::chrono::steady_clock::now();
   RankingMetrics metrics;
   if (task == "activation") {
     metrics = EvaluateActivation(predictor, graph, log);
@@ -228,6 +372,13 @@ Status RunEvaluate(const FlagParser& flags) {
   } else {
     return Status::InvalidArgument("--task must be activation or diffusion");
   }
+  if (g_active_report != nullptr) {
+    g_active_report->SetConfig("task", task);
+    g_active_report->SetConfig("aggregation",
+                               flags.GetString("aggregation", "Ave"));
+    g_active_report->AddPhase("eval", SecondsSince(eval_start));
+    g_active_report->SetSection("eval", EvalSection(task, metrics));
+  }
   ResultTable table(task + " evaluation");
   table.AddRow("model", metrics);
   table.Print();
@@ -242,8 +393,8 @@ Status RunExportText(const FlagParser& flags) {
   const std::string out = flags.GetString("out", "");
   if (out.empty()) return Status::InvalidArgument("--out is required");
   INF2VEC_RETURN_IF_ERROR(ExportEmbeddingsText(store.value(), out));
-  std::printf("exported %u x %u embeddings -> %s\n",
-              store.value().num_users(), store.value().dim(), out.c_str());
+  INF2VEC_LOG(Info) << "exported " << store.value().num_users() << " x "
+                    << store.value().dim() << " embeddings -> " << out;
   return Status::OK();
 }
 
@@ -261,6 +412,10 @@ std::string UsageText() {
       " --bfs-context]\n"
       "               --threads N: parallel (Hogwild) training; 1 = serial"
       " (default), 0 = all cores\n"
+      "               --progress: per-epoch status lines (objective,"
+      " pairs/s, ETA) on stderr\n"
+      "               --eval-task activation|diffusion: evaluate the fresh"
+      " model in the same run\n"
       "  score        print x(u -> v)\n"
       "               --model F --source U --target V\n"
       "  top          print the k users most influenced by a user\n"
@@ -269,7 +424,13 @@ std::string UsageText() {
       "               --graph F --actions F --model F [--task"
       " activation|diffusion --aggregation Ave|Sum|Max|Latest]\n"
       "  export-text  dump a model to a text matrix\n"
-      "               --model F --out F\n";
+      "               --model F --out F\n"
+      "\n"
+      "global flags (any command):\n"
+      "  --log-level debug|info|warning|error   log threshold (default"
+      " info)\n"
+      "  --metrics-out F   write a structured JSON run report\n"
+      "  --trace-out F     write a chrome://tracing / Perfetto trace\n";
 }
 
 Status Dispatch(const FlagParser& flags) {
@@ -277,14 +438,44 @@ Status Dispatch(const FlagParser& flags) {
     return Status::InvalidArgument("missing command\n" + UsageText());
   }
   const std::string& command = flags.positional()[0];
-  if (command == "generate") return RunGenerate(flags);
-  if (command == "train") return RunTrain(flags);
-  if (command == "score") return RunScore(flags);
-  if (command == "top") return RunTop(flags);
-  if (command == "evaluate") return RunEvaluate(flags);
-  if (command == "export-text") return RunExportText(flags);
-  return Status::InvalidArgument("unknown command '" + command + "'\n" +
-                                 UsageText());
+  Status (*run)(const FlagParser&) = nullptr;
+  if (command == "generate") run = RunGenerate;
+  if (command == "train") run = RunTrain;
+  if (command == "score") run = RunScore;
+  if (command == "top") run = RunTop;
+  if (command == "evaluate") run = RunEvaluate;
+  if (command == "export-text") run = RunExportText;
+  if (run == nullptr) {
+    return Status::InvalidArgument("unknown command '" + command + "'\n" +
+                                   UsageText());
+  }
+
+  INF2VEC_RETURN_IF_ERROR(SetupObservability(flags));
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+
+  obs::RunReport report(command);
+  if (!metrics_out.empty()) g_active_report = &report;
+  Status status;
+  {
+    obs::TraceSpan span(command, "cli");
+    status = run(flags);
+  }
+  g_active_report = nullptr;
+
+  if (status.ok() && !metrics_out.empty()) {
+    report.FinalizeFromRegistry(obs::MetricsRegistry::Default());
+    INF2VEC_RETURN_IF_ERROR(report.WriteJson(metrics_out));
+    INF2VEC_LOG(Info) << "wrote run report -> " << metrics_out;
+  }
+  if (status.ok() && !trace_out.empty()) {
+    INF2VEC_RETURN_IF_ERROR(
+        obs::TraceCollector::Default().WriteChromeTrace(trace_out));
+    INF2VEC_LOG(Info) << "wrote trace ("
+                      << obs::TraceCollector::Default().size()
+                      << " spans) -> " << trace_out;
+  }
+  return status;
 }
 
 }  // namespace cli

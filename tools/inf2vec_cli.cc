@@ -1,21 +1,20 @@
 // inf2vec_cli: train, inspect, and evaluate social influence embeddings
 // from the command line. See `inf2vec_cli` with no arguments for usage.
 
-#include <cstdio>
-
 #include "cli_commands.h"
 #include "util/flags.h"
+#include "util/logging.h"
 
 int main(int argc, char** argv) {
   using namespace inf2vec;  // NOLINT: thin entry point.
   Result<FlagParser> flags = FlagParser::Parse(argc, argv);
   if (!flags.ok()) {
-    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    INF2VEC_LOG(Error) << flags.status().ToString();
     return 2;
   }
   const Status status = cli::Dispatch(flags.value());
   if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    INF2VEC_LOG(Error) << status.ToString();
     return 1;
   }
   return 0;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# End-to-end observability check, run by ctest (label: obs).
+#
+#   run_report_check.sh <inf2vec_cli> <check_run_report.py>
+#
+# Generates a tiny synthetic world, runs one train+eval with --metrics-out
+# and --trace-out, and schema-validates both artifacts.
+set -euo pipefail
+
+CLI="$1"
+CHECKER="$2"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+"${CLI}" generate --profile digg --out "${WORKDIR}" \
+    --users 200 --items 25 --seed 7
+
+"${CLI}" train \
+    --graph "${WORKDIR}/graph.tsv" --actions "${WORKDIR}/actions.tsv" \
+    --model "${WORKDIR}/model.bin" \
+    --epochs 3 --threads 2 --eval-task activation --progress \
+    --metrics-out "${WORKDIR}/report.json" \
+    --trace-out "${WORKDIR}/trace.json"
+
+python3 "${CHECKER}" "${WORKDIR}/report.json" \
+    --command train --expect-epochs 3 --expect-eval \
+    --trace "${WORKDIR}/trace.json"
+
+# The standalone evaluate command must also produce a schema-valid report.
+"${CLI}" evaluate \
+    --graph "${WORKDIR}/graph.tsv" --actions "${WORKDIR}/actions.tsv" \
+    --model "${WORKDIR}/model.bin" --task activation \
+    --metrics-out "${WORKDIR}/eval_report.json" > /dev/null
+
+python3 "${CHECKER}" "${WORKDIR}/eval_report.json" \
+    --command evaluate --expect-epochs 0 --expect-eval
