@@ -9,9 +9,23 @@
 
 #include "bench_common.h"
 #include "util/logging.h"
+#include "util/timer.h"
 #include "eval/activation_task.h"
 #include "eval/harness.h"
 #include "eval/significance.h"
+
+namespace {
+
+void SetMetricColumns(inf2vec::obs::JsonValue& row,
+                      const inf2vec::RankingMetrics& m) {
+  row.Set("auc", m.auc);
+  row.Set("map", m.map);
+  row.Set("p10", m.p10);
+  row.Set("p50", m.p50);
+  row.Set("p100", m.p100);
+}
+
+}  // namespace
 
 int main() {
   using namespace inf2vec;         // NOLINT
@@ -19,6 +33,8 @@ int main() {
 
   constexpr int kInf2vecRuns = 5;
 
+  BenchReport report("activation");
+  report.SetConfig("inf2vec_runs", kInf2vecRuns);
   for (DatasetKind kind :
        {DatasetKind::kDiggLike, DatasetKind::kFlickrLike}) {
     const Dataset d = MakeDataset(kind);
@@ -30,12 +46,18 @@ int main() {
     ResultTable table("Activation prediction on " + d.name);
     for (const auto& [name, model] : zoo.All()) {
       if (name == "Inf2vec") continue;  // Reported with stdev below.
-      table.AddRow(name,
-                   EvaluateActivation(*model, d.world.graph, d.split.test));
+      WallTimer timer;
+      const RankingMetrics metrics =
+          EvaluateActivation(*model, d.world.graph, d.split.test);
+      table.AddRow(name, metrics);
+      SetMetricColumns(report.AddResult(d.name + "/" + name,
+                                        timer.ElapsedSeconds() * 1000.0),
+                       metrics);
     }
 
     // Inf2vec: mean and stdev over seeds (paper: average of 10 runs).
     std::vector<RankingMetrics> runs;
+    WallTimer inf_timer;
     for (int run = 0; run < kInf2vecRuns; ++run) {
       ZooOptions run_options = options;
       run_options.seed = 1000 + run;
@@ -45,7 +67,13 @@ int main() {
       const EmbeddingPredictor pred = model.value().Predictor();
       runs.push_back(EvaluateActivation(pred, d.world.graph, d.split.test));
     }
-    table.AddRowWithStdev("Inf2vec", SummarizeRuns(runs));
+    const MetricsSummary summary = SummarizeRuns(runs);
+    table.AddRowWithStdev("Inf2vec", summary);
+    SetMetricColumns(
+        report.AddResult(d.name + "/Inf2vec",
+                         inf_timer.ElapsedSeconds() * 1000.0,
+                         /*throughput=*/0.0, kInf2vecRuns),
+        summary.mean);
     table.Print();
 
     // The paper: "all reported improvements over baseline methods are
@@ -77,6 +105,7 @@ int main() {
     }
     std::printf("\n");
   }
+  report.Write();
   std::printf(
       "shape check vs paper Table II: Inf2vec > {ST, EM} > Emb-IC; MF solid "
       "AUC; DE and Node2vec near the bottom.\n");

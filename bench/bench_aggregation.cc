@@ -8,6 +8,7 @@
 
 #include "bench_common.h"
 #include "util/logging.h"
+#include "util/timer.h"
 #include "eval/activation_task.h"
 #include "eval/harness.h"
 
@@ -15,6 +16,7 @@ int main() {
   using namespace inf2vec;         // NOLINT
   using namespace inf2vec::bench;  // NOLINT
 
+  BenchReport report("aggregation");
   for (DatasetKind kind :
        {DatasetKind::kDiggLike, DatasetKind::kFlickrLike}) {
     const Dataset d = MakeDataset(kind);
@@ -30,8 +32,15 @@ int main() {
                                Aggregation::kMax, Aggregation::kLatest}) {
       EmbeddingPredictor pred = model.value().Predictor();
       pred.set_aggregation(kind_f);
-      table.AddRow(AggregationName(kind_f),
-                   EvaluateActivation(pred, d.world.graph, d.split.test));
+      WallTimer timer;
+      const RankingMetrics m =
+          EvaluateActivation(pred, d.world.graph, d.split.test);
+      table.AddRow(AggregationName(kind_f), m);
+      obs::JsonValue& row =
+          report.AddResult(d.name + "/" + AggregationName(kind_f),
+                           timer.ElapsedSeconds() * 1000.0);
+      row.Set("auc", m.auc);
+      row.Set("map", m.map);
     }
     table.Print();
     std::printf("\n");
@@ -46,16 +55,25 @@ int main() {
                                     NegativeSamplerKind::kUniform}) {
       Inf2vecConfig config = MakeInf2vecConfig(options);
       config.negative_kind = neg;
+      WallTimer timer;
       Result<Inf2vecModel> model =
           Inf2vecModel::Train(d.world.graph, d.split.train, config);
       INF2VEC_CHECK(model.ok()) << model.status().ToString();
       const EmbeddingPredictor pred = model.value().Predictor();
-      table.AddRow(neg == NegativeSamplerKind::kUniform ? "neg-uniform"
-                                                        : "neg-unigram",
-                   EvaluateActivation(pred, d.world.graph, d.split.test));
+      const RankingMetrics m =
+          EvaluateActivation(pred, d.world.graph, d.split.test);
+      const char* label = neg == NegativeSamplerKind::kUniform
+                              ? "neg-uniform"
+                              : "neg-unigram";
+      table.AddRow(label, m);
+      obs::JsonValue& row = report.AddResult(
+          d.name + "/" + label, timer.ElapsedSeconds() * 1000.0);
+      row.Set("auc", m.auc);
+      row.Set("map", m.map);
     }
     table.Print();
   }
+  report.Write();
   std::printf("\nshape check vs paper Table V: Ave best, Sum worst.\n");
   return 0;
 }

@@ -8,12 +8,15 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "citation/case_study.h"
 #include "citation/citation_generator.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 int main() {
   using namespace inf2vec;            // NOLINT
+  using namespace inf2vec::bench;     // NOLINT
   using namespace inf2vec::citation;  // NOLINT
 
   std::printf("##### Table VI: citation case study #####\n\n");
@@ -32,10 +35,12 @@ int main() {
 
   CaseStudyOptions options;
   options.mc_simulations = 1000;
+  WallTimer timer;
   Result<CaseStudyResult> result =
       RunCitationCaseStudy(data.value(), options, rng);
   INF2VEC_CHECK(result.ok()) << result.status().ToString();
   const CaseStudyResult& r = result.value();
+  const double wall_ms = timer.ElapsedSeconds() * 1000.0;
 
   std::printf("%-28s %10s %14s\n", "", "Embedding", "Conventional");
   for (const auto& ex : r.examples) {
@@ -46,6 +51,17 @@ int main() {
   std::printf("%-28s %10.4f %14.4f\n", "avg precision (all test authors)",
               r.embedding_avg_precision, r.conventional_avg_precision);
   std::printf("test authors: %zu\n", r.num_test_authors);
+
+  BenchReport report("citation");
+  report.SetConfig("authors", profile.num_authors);
+  report.SetConfig("papers", profile.num_papers);
+  report.SetConfig("mc_simulations", options.mc_simulations);
+  obs::JsonValue& row = report.AddResult("case_study", wall_ms);
+  row.Set("embedding_avg_precision", r.embedding_avg_precision);
+  row.Set("conventional_avg_precision", r.conventional_avg_precision);
+  row.Set("test_authors", static_cast<int64_t>(r.num_test_authors));
+  report.Write();
+
   std::printf("\npaper reference: 0.1863 vs 0.0616 — the embedding model "
               "should clearly beat the conventional model.\n");
   return 0;

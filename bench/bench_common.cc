@@ -104,6 +104,55 @@ std::vector<std::pair<std::string, const InfluenceModel*>> ModelZoo::All()
   };
 }
 
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::SetConfig(const std::string& key, obs::JsonValue value) {
+  config_.Set(key, std::move(value));
+}
+
+void BenchReport::SetSummary(const std::string& key, obs::JsonValue value) {
+  summary_.Set(key, std::move(value));
+}
+
+obs::JsonValue& BenchReport::AddResult(const std::string& row_name,
+                                       double wall_ms, double throughput,
+                                       uint64_t repetitions) {
+  obs::JsonValue row = obs::JsonValue::Object();
+  row.Set("name", obs::JsonValue(row_name));
+  row.Set("wall_ms", obs::JsonValue(wall_ms));
+  if (throughput > 0.0) row.Set("throughput", obs::JsonValue(throughput));
+  row.Set("repetitions",
+          obs::JsonValue(static_cast<int64_t>(repetitions)));
+  results_.push_back(std::move(row));
+  return results_.back();
+}
+
+obs::JsonValue BenchReport::ToJson() const {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("schema_version", obs::JsonValue(static_cast<int64_t>(1)));
+  doc.Set("bench", obs::JsonValue(name_));
+  doc.Set("config", config_);
+  if (!summary_.members().empty()) doc.Set("summary", summary_);
+  obs::JsonValue rows = obs::JsonValue::Array();
+  for (const obs::JsonValue& row : results_) rows.Append(row);
+  doc.Set("results", std::move(rows));
+  return doc;
+}
+
+void BenchReport::Write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to open %s for writing\n", path.c_str());
+    return;
+  }
+  const std::string text = ToJson().Dump(2) + "\n";
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  std::fflush(stdout);
+}
+
 void PrintBanner(const std::string& title, const Dataset& dataset) {
   std::printf("##### %s #####\n", title.c_str());
   std::printf(

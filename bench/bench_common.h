@@ -14,6 +14,7 @@
 #include "baselines/node2vec.h"
 #include "core/inf2vec_model.h"
 #include "eval/metrics.h"
+#include "obs/json.h"
 #include "synth/world_generator.h"
 
 namespace inf2vec {
@@ -84,6 +85,51 @@ Inf2vecConfig MakeInf2vecConfig(const ZooOptions& options);
 
 /// Prints the standard bench banner: binary purpose + dataset stats.
 void PrintBanner(const std::string& title, const Dataset& dataset);
+
+/// Unified machine-readable bench output: every bench binary routes its
+/// measurements through this writer, so any two BENCH_*.json files diff
+/// with tools/bench_compare.py (and tools/bench_gate.sh gates them in
+/// ctest). Schema v1:
+///
+///   {"schema_version": 1, "bench": "<name>",
+///    "config": {...},                    // knob echo, bench-specific
+///    "summary": {...},                   // optional headline numbers
+///    "results": [{"name": "<row>", "wall_ms": W, "throughput": T,
+///                 "repetitions": R, ...extra columns...}]}
+///
+/// `throughput` is units/second (higher is better); rows measuring pure
+/// latency pass <= 0, which omits the key and makes comparators fall back
+/// to wall_ms (lower is better). Row names must be unique per bench —
+/// they are the join key when diffing two files.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Bench-configuration echo (dataset, epochs, dims...).
+  void SetConfig(const std::string& key, obs::JsonValue value);
+
+  /// Headline numbers outside the per-row results (overheads, gates...).
+  void SetSummary(const std::string& key, obs::JsonValue value);
+
+  /// Appends a measured row; the returned object is live until Write, so
+  /// callers can attach extra columns with Set().
+  obs::JsonValue& AddResult(const std::string& row_name, double wall_ms,
+                            double throughput = 0.0,
+                            uint64_t repetitions = 1);
+
+  obs::JsonValue ToJson() const;
+
+  /// Writes BENCH_<name>.json into the working directory and prints the
+  /// path (best-effort: a write failure is reported, not fatal — the
+  /// human-readable stdout tables already happened).
+  void Write() const;
+
+ private:
+  std::string name_;
+  obs::JsonValue config_ = obs::JsonValue::Object();
+  obs::JsonValue summary_ = obs::JsonValue::Object();
+  std::vector<obs::JsonValue> results_;
+};
 
 }  // namespace bench
 }  // namespace inf2vec

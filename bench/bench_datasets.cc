@@ -11,6 +11,7 @@
 
 #include "bench_common.h"
 #include "diffusion/influence_pairs.h"
+#include "util/timer.h"
 
 int main() {
   using namespace inf2vec;         // NOLINT
@@ -20,8 +21,10 @@ int main() {
   std::printf("%-12s %8s %10s %7s %9s %12s %14s\n", "Dataset", "#User",
               "#Edge", "#Item", "#Action", "#InflPairs",
               "density(e/u)");
+  BenchReport report("datasets");
   for (DatasetKind kind :
        {DatasetKind::kDiggLike, DatasetKind::kFlickrLike}) {
+    WallTimer timer;
     const Dataset d = MakeDataset(kind);
     const PairFrequencyTable pairs(d.world.graph, d.world.log);
     std::printf("%-12s %8u %10llu %7zu %9llu %12llu %14.1f\n",
@@ -32,7 +35,17 @@ int main() {
                 static_cast<unsigned long long>(pairs.total_pairs()),
                 static_cast<double>(d.world.graph.num_edges()) /
                     d.world.graph.num_users());
+    obs::JsonValue& row =
+        report.AddResult(d.name, timer.ElapsedSeconds() * 1000.0);
+    row.Set("users", d.world.graph.num_users());
+    row.Set("edges", d.world.graph.num_edges());
+    row.Set("items", static_cast<int64_t>(d.world.log.num_episodes()));
+    row.Set("actions", d.world.log.num_actions());
+    row.Set("influence_pairs", pairs.total_pairs());
+    row.Set("density", static_cast<double>(d.world.graph.num_edges()) /
+                           d.world.graph.num_users());
   }
+  report.Write();
   std::printf(
       "\npaper reference: Digg 7.9M influence pairs, Flickr 5.3M; shape to "
       "check: flickr-like graph is denser per user, digg-like log yields "

@@ -19,6 +19,7 @@ int main() {
   using namespace inf2vec;         // NOLINT
   using namespace inf2vec::bench;  // NOLINT
 
+  BenchReport report("diffusion");
   for (DatasetKind kind :
        {DatasetKind::kDiggLike, DatasetKind::kFlickrLike}) {
     const Dataset d = MakeDataset(kind);
@@ -26,6 +27,7 @@ int main() {
 
     ZooOptions options;
     const ModelZoo zoo(d, options);
+    report.SetConfig("mc_simulations", options.mc_simulations);
     std::printf("Monte-Carlo simulations per IC-model query: %u\n\n",
                 options.mc_simulations);
 
@@ -43,6 +45,11 @@ int main() {
                          name == "Emb-IC";
       (is_ic ? ic_seconds : rep_seconds) += elapsed;
       table.AddRow(name, metrics);
+      obs::JsonValue& row =
+          report.AddResult(d.name + "/" + name, elapsed * 1000.0);
+      row.Set("auc", metrics.auc);
+      row.Set("map", metrics.map);
+      row.Set("monte_carlo", is_ic);
     }
     table.Print();
     std::printf(
@@ -51,5 +58,6 @@ int main() {
         "miniature.\n\n",
         ic_seconds, rep_seconds);
   }
+  report.Write();
   return 0;
 }

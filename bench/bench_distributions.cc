@@ -13,6 +13,7 @@
 #include "bench_common.h"
 #include "diffusion/influence_pairs.h"
 #include "util/histogram.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -43,28 +44,38 @@ void PrintLogBinned(const char* label, const Histogram& hist) {
 int main() {
   using namespace inf2vec::bench;  // NOLINT
 
+  BenchReport report("distributions");
   for (DatasetKind kind :
        {DatasetKind::kDiggLike, DatasetKind::kFlickrLike}) {
     const Dataset d = MakeDataset(kind);
     PrintBanner("Figures 1-3: influence-pair distributions", d);
 
+    WallTimer timer;
     const PairFrequencyTable pairs(d.world.graph, d.world.log);
     std::printf("total influence pairs: %llu\n\n",
                 static_cast<unsigned long long>(pairs.total_pairs()));
-    PrintLogBinned("Fig. 1: times a user acts as SOURCE",
-                   pairs.SourceFrequencyDistribution());
+    const Histogram source = pairs.SourceFrequencyDistribution();
+    const Histogram target = pairs.TargetFrequencyDistribution();
+    PrintLogBinned("Fig. 1: times a user acts as SOURCE", source);
     std::printf("\n");
-    PrintLogBinned("Fig. 2: times a user acts as TARGET",
-                   pairs.TargetFrequencyDistribution());
+    PrintLogBinned("Fig. 2: times a user acts as TARGET", target);
 
     const Histogram cdf = ActiveFriendCountDistribution(d.world.graph,
                                                         d.world.log);
+    const double wall_ms = timer.ElapsedSeconds() * 1000.0;
     std::printf("\nFig. 3: CDF of #active friends before adoption\n");
     for (uint64_t x : {0ULL, 1ULL, 2ULL, 3ULL, 5ULL, 10ULL, 20ULL}) {
       std::printf("  CDF(%2llu) = %.3f\n",
                   static_cast<unsigned long long>(x), cdf.CdfAt(x));
     }
     std::printf("paper reference: CDF(0) = 0.7 on Digg, 0.5 on Flickr\n\n");
+
+    obs::JsonValue& row = report.AddResult(d.name, wall_ms);
+    row.Set("total_pairs", pairs.total_pairs());
+    row.Set("source_loglog_slope", source.LogLogSlope());
+    row.Set("target_loglog_slope", target.LogLogSlope());
+    row.Set("cdf_zero_active_friends", cdf.CdfAt(0));
   }
+  report.Write();
   return 0;
 }

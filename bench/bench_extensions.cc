@@ -14,11 +14,25 @@
 #include "eval/harness.h"
 #include "eval/topic_eval.h"
 #include "util/logging.h"
+#include "util/timer.h"
+
+namespace {
+
+void AddExtensionRow(inf2vec::bench::BenchReport& report,
+                     const std::string& name, double wall_ms,
+                     const inf2vec::RankingMetrics& m) {
+  inf2vec::obs::JsonValue& row = report.AddResult(name, wall_ms);
+  row.Set("auc", m.auc);
+  row.Set("map", m.map);
+}
+
+}  // namespace
 
 int main() {
   using namespace inf2vec;         // NOLINT
   using namespace inf2vec::bench;  // NOLINT
 
+  BenchReport report("extensions");
   for (DatasetKind kind :
        {DatasetKind::kDiggLike, DatasetKind::kFlickrLike}) {
     const Dataset d = MakeDataset(kind);
@@ -28,33 +42,43 @@ int main() {
     ResultTable table("Extension ablation on " + d.name);
 
     // Plain Inf2vec (Algorithm 1 / random walk).
+    WallTimer base_timer;
     Result<Inf2vecModel> base = Inf2vecModel::Train(
         d.world.graph, d.split.train, MakeInf2vecConfig(options));
     INF2VEC_CHECK(base.ok()) << base.status().ToString();
-    table.AddRow("Inf2vec", EvaluateActivation(base.value().Predictor(),
-                                               d.world.graph, d.split.test));
+    const RankingMetrics base_m = EvaluateActivation(
+        base.value().Predictor(), d.world.graph, d.split.test);
+    table.AddRow("Inf2vec", base_m);
+    AddExtensionRow(report, d.name + "/Inf2vec",
+                    base_timer.ElapsedSeconds() * 1000.0, base_m);
 
     // Forward-BFS local context.
     Inf2vecConfig bfs_config = MakeInf2vecConfig(options);
     bfs_config.context.strategy = LocalContextStrategy::kForwardBfs;
+    WallTimer bfs_timer;
     Result<Inf2vecModel> bfs =
         Inf2vecModel::Train(d.world.graph, d.split.train, bfs_config);
     INF2VEC_CHECK(bfs.ok()) << bfs.status().ToString();
-    table.AddRow("Inf2vec-BFS",
-                 EvaluateActivation(bfs.value().Predictor(), d.world.graph,
-                                    d.split.test));
+    const RankingMetrics bfs_m = EvaluateActivation(
+        bfs.value().Predictor(), d.world.graph, d.split.test);
+    table.AddRow("Inf2vec-BFS", bfs_m);
+    AddExtensionRow(report, d.name + "/Inf2vec-BFS",
+                    bfs_timer.ElapsedSeconds() * 1000.0, bfs_m);
 
     // Topic-aware interpolation.
     TopicInf2vecConfig topic_config;
     topic_config.base = MakeInf2vecConfig(options);
     topic_config.clustering.num_clusters = 8;
     topic_config.topic_weight = 0.4;
+    WallTimer topic_timer;
     Result<TopicInf2vecModel> topic =
         TopicInf2vecModel::Train(d.world.graph, d.split.train, topic_config);
     INF2VEC_CHECK(topic.ok()) << topic.status().ToString();
-    table.AddRow("Topic-Inf2vec",
-                 EvaluateActivationTopicAware(topic.value(), d.world.graph,
-                                              d.split.test));
+    const RankingMetrics topic_m = EvaluateActivationTopicAware(
+        topic.value(), d.world.graph, d.split.test);
+    table.AddRow("Topic-Inf2vec", topic_m);
+    AddExtensionRow(report, d.name + "/Topic-Inf2vec",
+                    topic_timer.ElapsedSeconds() * 1000.0, topic_m);
 
     table.Print();
     int trained_topics = 0;
@@ -64,6 +88,7 @@ int main() {
     std::printf("topic models trained: %d of %u clusters\n\n",
                 trained_topics, topic.value().num_topics());
   }
+  report.Write();
   std::printf(
       "reading: the extensions are exploratory (the paper only sketches "
       "them); parity with plain Inf2vec already validates the plumbing, "

@@ -7,6 +7,7 @@
 
 #include "bench_common.h"
 #include "util/logging.h"
+#include "util/timer.h"
 #include "eval/activation_task.h"
 #include "eval/diffusion_task.h"
 #include "eval/harness.h"
@@ -15,6 +16,7 @@ int main() {
   using namespace inf2vec;         // NOLINT
   using namespace inf2vec::bench;  // NOLINT
 
+  BenchReport report("inf2vec_l");
   for (DatasetKind kind :
        {DatasetKind::kDiggLike, DatasetKind::kFlickrLike}) {
     const Dataset d = MakeDataset(kind);
@@ -37,26 +39,53 @@ int main() {
 
     {
       ResultTable table("Activation prediction on " + d.name);
-      table.AddRow("Inf2vec-L", EvaluateActivation(local_pred, d.world.graph,
-                                                   d.split.test));
-      table.AddRow("Inf2vec", EvaluateActivation(full_pred, d.world.graph,
-                                                 d.split.test));
+      WallTimer timer;
+      const RankingMetrics local_m =
+          EvaluateActivation(local_pred, d.world.graph, d.split.test);
+      const RankingMetrics full_m =
+          EvaluateActivation(full_pred, d.world.graph, d.split.test);
+      const double ms = timer.ElapsedSeconds() * 1000.0 / 2.0;
+      table.AddRow("Inf2vec-L", local_m);
+      table.AddRow("Inf2vec", full_m);
       table.Print();
+      for (const auto& [variant, m] :
+           {std::pair<const char*, const RankingMetrics&>{"Inf2vec-L",
+                                                          local_m},
+            {"Inf2vec", full_m}}) {
+        obs::JsonValue& row = report.AddResult(
+            d.name + "/activation/" + variant, ms);
+        row.Set("auc", m.auc);
+        row.Set("map", m.map);
+      }
     }
     {
       DiffusionTaskOptions task;
       Rng rng(5);
       ResultTable table("Diffusion prediction on " + d.name);
-      table.AddRow("Inf2vec-L",
-                   EvaluateDiffusion(local_pred, d.world.graph.num_users(),
-                                     d.split.test, task, rng));
-      table.AddRow("Inf2vec",
-                   EvaluateDiffusion(full_pred, d.world.graph.num_users(),
-                                     d.split.test, task, rng));
+      WallTimer timer;
+      const RankingMetrics local_m =
+          EvaluateDiffusion(local_pred, d.world.graph.num_users(),
+                            d.split.test, task, rng);
+      const RankingMetrics full_m =
+          EvaluateDiffusion(full_pred, d.world.graph.num_users(),
+                            d.split.test, task, rng);
+      const double ms = timer.ElapsedSeconds() * 1000.0 / 2.0;
+      table.AddRow("Inf2vec-L", local_m);
+      table.AddRow("Inf2vec", full_m);
       table.Print();
+      for (const auto& [variant, m] :
+           {std::pair<const char*, const RankingMetrics&>{"Inf2vec-L",
+                                                          local_m},
+            {"Inf2vec", full_m}}) {
+        obs::JsonValue& row =
+            report.AddResult(d.name + "/diffusion/" + variant, ms);
+        row.Set("auc", m.auc);
+        row.Set("map", m.map);
+      }
     }
     std::printf("\n");
   }
+  report.Write();
   std::printf("shape check vs paper Table IV: Inf2vec-L < Inf2vec on every "
               "metric, both tasks.\n");
   return 0;

@@ -5,9 +5,16 @@
 // granularity, so the expected overhead is a handful of striped atomic
 // adds per epoch plus one relaxed load per negative-sampling batch.
 //
-// Measures median epoch time over repeated TrainFromCorpus runs with
-// metrics disabled vs enabled and emits BENCH_obs_overhead.json with the
-// relative overhead for the driver to check.
+// Resolving a 2% signal on a shared box needs a careful design — on this
+// class of machine, back-to-back *identical* serial runs differ by 10-30%
+// in CPU time (frequency scaling, hypervisor steal). So the bench
+// interleaves the two arms at *epoch* granularity inside one training
+// run: `EnableMetrics` is toggled between epochs through the epoch
+// callback, adjacent epochs do bit-identical SGD work and share the
+// machine's clock state, and the overhead estimate is the median of the
+// per-adjacent-pair (enabled/disabled) CPU-time ratios. Emits
+// BENCH_obs_overhead.json with the relative overhead for the driver to
+// check.
 
 #include <algorithm>
 #include <cstdio>
@@ -24,98 +31,115 @@ namespace {
 using namespace inf2vec;         // NOLINT
 using namespace inf2vec::bench;  // NOLINT
 
-/// Seconds per SGD run (config.epochs epochs) on the pre-built corpus.
-/// Median over `repeats` runs to shed scheduler noise on small machines.
-double MedianTrainSeconds(const InfluenceCorpus& corpus, uint32_t num_users,
-                          const Inf2vecConfig& config, int repeats) {
-  std::vector<double> seconds;
-  seconds.reserve(static_cast<size_t>(repeats));
-  for (int r = 0; r < repeats; ++r) {
-    WallTimer timer;
-    Result<Inf2vecModel> model =
-        Inf2vecModel::TrainFromCorpus(corpus, num_users, config, nullptr);
-    INF2VEC_CHECK(model.ok()) << model.status().ToString();
-    seconds.push_back(timer.ElapsedSeconds());
-  }
-  std::sort(seconds.begin(), seconds.end());
-  return seconds[seconds.size() / 2];
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
 }
 
 }  // namespace
 
 int main() {
-  const Dataset d = MakeDataset(DatasetKind::kDiggLike);
+  // Half-scale dataset: epochs short enough to afford ~40 measured pairs,
+  // which is what the median needs to push its standard error below the
+  // gate on a machine with ~10% per-epoch timing noise.
+  const Dataset d = MakeDataset(DatasetKind::kDiggLike, 0.5);
   PrintBanner("Observability overhead: metrics on vs off", d);
+
+  // Epochs 0..kWarmup-1 page in embeddings, allocator arenas, and the
+  // first-touch cost of both arms; each following (even, odd) epoch pair
+  // is one disabled/enabled measurement.
+  constexpr uint32_t kWarmupEpochs = 2;
+  constexpr int kMeasuredPairs = 40;
 
   ZooOptions zoo;
   Inf2vecConfig config = MakeInf2vecConfig(zoo);
-  config.epochs = 6;
+  config.epochs = kWarmupEpochs + 2 * kMeasuredPairs;
 
   Rng rng(config.seed);
   const InfluenceCorpus corpus =
       BuildInfluenceCorpus(d.world.graph, d.split.train, config.context,
                            d.world.graph.num_users(), rng);
   INF2VEC_CHECK(!corpus.pairs.empty());
-  std::printf("corpus: %zu pairs, %u epochs per run\n\n",
-              corpus.pairs.size(), config.epochs);
+  std::printf("corpus: %zu pairs, %u epochs (%d measured pairs)\n\n",
+              corpus.pairs.size(), config.epochs, kMeasuredPairs);
 
-  constexpr int kRepeats = 7;
-
-  // Warm-up run (page in embeddings, sigmoid table, allocator arenas).
-  obs::EnableMetrics(false);
-  MedianTrainSeconds(corpus, d.world.graph.num_users(), config, 1);
-
-  const double off_seconds = MedianTrainSeconds(
-      corpus, d.world.graph.num_users(), config, kRepeats);
+  // Per-epoch CPU time, measured callback-to-callback on the training
+  // thread. Odd epochs run with metrics enabled (epoch 0 starts disabled;
+  // the callback flips the switch for the next epoch — counters for a
+  // finished epoch are recorded before the callback fires, so the toggle
+  // cleanly brackets whole epochs).
+  std::vector<double> epoch_seconds;
+  CpuTimer epoch_timer;
+  config.epoch_callback = [&](const EpochStats& stats) {
+    epoch_seconds.push_back(epoch_timer.ElapsedSeconds());
+    obs::EnableMetrics((stats.epoch + 1) % 2 == 1);
+    epoch_timer.Restart();
+  };
 
   obs::MetricsRegistry::Default().Reset();
-  obs::EnableMetrics(true);
   obs::InstallThreadPoolMetrics();
-  const double on_seconds = MedianTrainSeconds(
-      corpus, d.world.graph.num_users(), config, kRepeats);
+  obs::EnableMetrics(false);
+  epoch_timer.Restart();
+  Result<Inf2vecModel> model = Inf2vecModel::TrainFromCorpus(
+      corpus, d.world.graph.num_users(), config, nullptr);
   obs::EnableMetrics(false);
   obs::UninstallThreadPoolMetrics();
+  INF2VEC_CHECK(model.ok()) << model.status().ToString();
+  INF2VEC_CHECK(epoch_seconds.size() == config.epochs);
 
-  const double overhead = off_seconds > 0.0
-                              ? (on_seconds - off_seconds) / off_seconds
-                              : 0.0;
+  std::vector<double> off_epochs, on_epochs, ratios;
+  for (uint32_t k = kWarmupEpochs; k + 1 < config.epochs; k += 2) {
+    const double off = epoch_seconds[k];      // Even epoch: disabled.
+    const double on = epoch_seconds[k + 1];   // Odd epoch: enabled.
+    off_epochs.push_back(off);
+    on_epochs.push_back(on);
+    ratios.push_back(off > 0.0 ? on / off : 1.0);
+    std::printf("  pair %2u: off %.4fs  on %.4fs  ratio %.4f\n",
+                (k - kWarmupEpochs) / 2, off, on, ratios.back());
+  }
+  const double overhead = Median(ratios) - 1.0;
+  const double off_seconds = Median(off_epochs);
+  const double on_seconds = Median(on_epochs);
+
+  // Exactness cross-check: exactly the odd epochs were counted.
+  const uint64_t enabled_epochs = config.epochs / 2;
   const uint64_t pairs_counted =
       obs::MetricsRegistry::Default().GetCounter("sgd.pairs_trained")->Value();
   const uint64_t expected_pairs =
-      static_cast<uint64_t>(corpus.pairs.size()) * config.epochs * kRepeats;
+      static_cast<uint64_t>(corpus.pairs.size()) * enabled_epochs;
   INF2VEC_CHECK(pairs_counted == expected_pairs)
       << "metrics lost updates: counted " << pairs_counted << ", expected "
       << expected_pairs;
 
-  std::printf("%-18s %12s %12s\n", "metrics", "median(s)", "pairs/sec");
-  const double pairs_per_run = static_cast<double>(corpus.pairs.size()) *
-                               static_cast<double>(config.epochs);
-  std::printf("%-18s %12.4f %12.0f\n", "disabled", off_seconds,
-              pairs_per_run / off_seconds);
-  std::printf("%-18s %12.4f %12.0f\n", "enabled", on_seconds,
-              pairs_per_run / on_seconds);
+  std::printf("\n%-18s %16s %12s\n", "metrics", "median cpu(s)/ep",
+              "pairs/sec");
+  const double pairs_per_epoch = static_cast<double>(corpus.pairs.size());
+  std::printf("%-18s %16.4f %12.0f\n", "disabled", off_seconds,
+              pairs_per_epoch / off_seconds);
+  std::printf("%-18s %16.4f %12.0f\n", "enabled", on_seconds,
+              pairs_per_epoch / on_seconds);
   std::printf("\noverhead: %+.2f%% (acceptance gate: < 2%%)\n",
               100.0 * overhead);
 
-  const char* path = "BENCH_obs_overhead.json";
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return 1;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"obs_overhead\",\n");
-  std::fprintf(f, "  \"world\": \"%s\",\n", d.name.c_str());
-  std::fprintf(f, "  \"corpus_pairs\": %zu,\n", corpus.pairs.size());
-  std::fprintf(f, "  \"epochs\": %u,\n", config.epochs);
-  std::fprintf(f, "  \"repeats\": %d,\n", kRepeats);
-  std::fprintf(f, "  \"disabled_seconds\": %.6f,\n", off_seconds);
-  std::fprintf(f, "  \"enabled_seconds\": %.6f,\n", on_seconds);
-  std::fprintf(f, "  \"relative_overhead\": %.6f,\n", overhead);
-  std::fprintf(f, "  \"gate\": 0.02,\n");
-  std::fprintf(f, "  \"pass\": %s\n", overhead < 0.02 ? "true" : "false");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path);
+  BenchReport report("obs_overhead");
+  report.SetConfig("world", d.name);
+  report.SetConfig("corpus_pairs",
+                   static_cast<int64_t>(corpus.pairs.size()));
+  report.SetConfig("epochs", config.epochs);
+  report.SetConfig("measured_pairs", kMeasuredPairs);
+  report.SetSummary("disabled_seconds", off_seconds);
+  report.SetSummary("enabled_seconds", on_seconds);
+  report.SetSummary("relative_overhead", overhead);
+  report.SetSummary("gate", 0.02);
+  report.SetSummary("pass", overhead < 0.02);
+  report
+      .AddResult("metrics_disabled", off_seconds * 1000.0,
+                 pairs_per_epoch / off_seconds, kMeasuredPairs)
+      .Set("median_epoch_seconds", off_seconds);
+  report
+      .AddResult("metrics_enabled", on_seconds * 1000.0,
+                 pairs_per_epoch / on_seconds, kMeasuredPairs)
+      .Set("median_epoch_seconds", on_seconds);
+  report.Write();
   return 0;
 }

@@ -72,44 +72,34 @@ RunResult RunAt(const Dataset& d, Inf2vecConfig config, uint32_t threads) {
   return result;
 }
 
-void WriteJson(const std::string& path, const Dataset& d,
-               const Inf2vecConfig& config,
-               const std::vector<RunResult>& results) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"parallel_train\",\n");
-  std::fprintf(f, "  \"world\": \"%s\",\n", d.name.c_str());
-  std::fprintf(f, "  \"users\": %u,\n", d.world.graph.num_users());
-  std::fprintf(f, "  \"episodes\": %zu,\n", d.split.train.num_episodes());
-  std::fprintf(f, "  \"epochs\": %u,\n", config.epochs);
-  std::fprintf(f, "  \"dim\": %u,\n", config.dim);
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               ThreadPool::ResolveThreadCount(0));
-  std::fprintf(f, "  \"results\": [\n");
+void WriteBenchJson(const Dataset& d, const Inf2vecConfig& config,
+                    const std::vector<RunResult>& results) {
+  BenchReport report("parallel_train");
+  report.SetConfig("world", d.name);
+  report.SetConfig("users", d.world.graph.num_users());
+  report.SetConfig("episodes",
+                   static_cast<int64_t>(d.split.train.num_episodes()));
+  report.SetConfig("epochs", config.epochs);
+  report.SetConfig("dim", config.dim);
+  report.SetConfig("hardware_concurrency",
+                   ThreadPool::ResolveThreadCount(0));
   const RunResult& serial = results.front();
-  for (size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
-    std::fprintf(
-        f,
-        "    {\"threads\": %u, \"corpus_seconds\": %.6f, "
-        "\"sgd_seconds\": %.6f, \"total_seconds\": %.6f, "
-        "\"pairs_per_second\": %.1f, \"speedup_total\": %.3f, "
-        "\"final_objective\": %.6f, "
-        "\"objective_rel_delta\": %.6f}%s\n",
-        r.threads, r.corpus_seconds, r.sgd_seconds, r.total_seconds,
-        r.pairs_per_second, serial.total_seconds / r.total_seconds,
-        r.final_objective,
-        std::fabs(r.final_objective - serial.final_objective) /
-            std::fabs(serial.final_objective),
-        i + 1 < results.size() ? "," : "");
+  for (const RunResult& r : results) {
+    obs::JsonValue& row =
+        report.AddResult("threads=" + std::to_string(r.threads),
+                         r.total_seconds * 1000.0, r.pairs_per_second,
+                         config.epochs);
+    row.Set("threads", r.threads);
+    row.Set("corpus_seconds", r.corpus_seconds);
+    row.Set("sgd_seconds", r.sgd_seconds);
+    row.Set("total_seconds", r.total_seconds);
+    row.Set("speedup_total", serial.total_seconds / r.total_seconds);
+    row.Set("final_objective", r.final_objective);
+    row.Set("objective_rel_delta",
+            std::fabs(r.final_objective - serial.final_objective) /
+                std::fabs(serial.final_objective));
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  report.Write();
 }
 
 }  // namespace
@@ -148,7 +138,7 @@ int main() {
     std::fflush(stdout);
   }
 
-  WriteJson("BENCH_parallel_train.json", d, config, results);
+  WriteBenchJson(d, config, results);
 
   std::printf(
       "\nshape check: pairs/sec should scale near-linearly with threads up"

@@ -71,6 +71,7 @@ double TimeOptimizedEmbIcIteration(const SocialGraph& graph,
 int main() {
   const uint32_t kDims[] = {10, 25, 50, 100};
 
+  BenchReport report("runtime");
   for (DatasetKind kind :
        {DatasetKind::kDiggLike, DatasetKind::kFlickrLike}) {
     const Dataset d = MakeDataset(kind);
@@ -114,6 +115,14 @@ int main() {
       std::printf("%-6u %12.3f %14.3f %16.3f %18.3f %8.1fx\n", dim, inf_s,
                   emb_s, emb_aggr_s, pairs_s, emb_s / inf_s);
       std::fflush(stdout);
+      obs::JsonValue& row = report.AddResult(
+          d.name + "/K=" + std::to_string(dim), inf_s * 1000.0,
+          static_cast<double>(corpus.pairs.size()) / inf_s);
+      row.Set("inf2vec_seconds", inf_s);
+      row.Set("emb_ic_seconds", emb_s);
+      row.Set("emb_ic_aggr_seconds", emb_aggr_s);
+      row.Set("inf2vec_pairs_seconds", pairs_s);
+      row.Set("speedup", emb_s / inf_s);
     }
     std::printf("(Emb-IC = faithful per-cascade replica over %llu "
                 "co-occurrence trial terms, as published; Emb-IC-aggr = "
@@ -174,8 +183,15 @@ int main() {
       std::printf("%-6u %12.3f %14.3f %8.1fx\n", dim, inf_s, emb_s,
                   emb_s / inf_s);
       std::fflush(stdout);
+      obs::JsonValue& row = report.AddResult(
+          "paper-geometry/K=" + std::to_string(dim), inf_s * 1000.0,
+          static_cast<double>(corpus.pairs.size()) / inf_s);
+      row.Set("inf2vec_seconds", inf_s);
+      row.Set("emb_ic_seconds", emb_s);
+      row.Set("speedup", emb_s / inf_s);
     }
   }
+  report.Write();
 
   std::printf(
       "\nshape check vs paper Fig. 9: runtime linear in K for both methods;"

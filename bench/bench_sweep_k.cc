@@ -7,6 +7,7 @@
 
 #include "bench_common.h"
 #include "util/logging.h"
+#include "util/timer.h"
 #include "eval/activation_task.h"
 
 int main() {
@@ -16,6 +17,8 @@ int main() {
   const uint32_t kDims[] = {2, 5, 10, 25, 50, 100, 150};
   constexpr int kRuns = 2;  // Seeds averaged to de-noise the curve.
 
+  BenchReport report("sweep_k");
+  report.SetConfig("runs_per_point", kRuns);
   for (DatasetKind kind :
        {DatasetKind::kDiggLike, DatasetKind::kFlickrLike}) {
     const Dataset d = MakeDataset(kind);
@@ -23,6 +26,7 @@ int main() {
     std::printf("%-8s %-8s %-8s\n", "K", "MAP", "AUC");
     for (uint32_t dim : kDims) {
       std::vector<RankingMetrics> runs;
+      WallTimer timer;
       for (int run = 0; run < kRuns; ++run) {
         ZooOptions options;
         options.dim = dim;
@@ -37,9 +41,16 @@ int main() {
       const MetricsSummary s = SummarizeRuns(runs);
       std::printf("%-8u %-8.4f %-8.4f\n", dim, s.mean.map, s.mean.auc);
       std::fflush(stdout);
+      obs::JsonValue& row =
+          report.AddResult(d.name + "/K=" + std::to_string(dim),
+                           timer.ElapsedSeconds() * 1000.0,
+                           /*throughput=*/0.0, kRuns);
+      row.Set("map", s.mean.map);
+      row.Set("auc", s.mean.auc);
     }
     std::printf("\n");
   }
+  report.Write();
   std::printf("shape check vs paper Fig. 7: rising then saturating/dipping "
               "MAP; peak in the K = 50-100 region.\n");
   return 0;

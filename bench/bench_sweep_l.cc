@@ -7,6 +7,7 @@
 
 #include "bench_common.h"
 #include "util/logging.h"
+#include "util/timer.h"
 #include "eval/activation_task.h"
 
 int main() {
@@ -16,6 +17,9 @@ int main() {
   const uint32_t kLengths[] = {5, 10, 25, 50, 75, 100};
   constexpr int kRuns = 2;  // Seeds averaged to de-noise the curve.
 
+  BenchReport report("sweep_l");
+  report.SetConfig("runs_per_point", kRuns);
+  report.SetConfig("dataset_scale", 0.7);
   for (DatasetKind kind :
        {DatasetKind::kDiggLike, DatasetKind::kFlickrLike}) {
     const Dataset d = MakeDataset(kind, /*scale=*/0.7);
@@ -23,6 +27,7 @@ int main() {
     std::printf("%-8s %-8s %-8s\n", "L", "MAP", "AUC");
     for (uint32_t length : kLengths) {
       std::vector<RankingMetrics> runs;
+      WallTimer timer;
       for (int run = 0; run < kRuns; ++run) {
         ZooOptions options;
         options.context_length = length;
@@ -37,9 +42,16 @@ int main() {
       const MetricsSummary s = SummarizeRuns(runs);
       std::printf("%-8u %-8.4f %-8.4f\n", length, s.mean.map, s.mean.auc);
       std::fflush(stdout);
+      obs::JsonValue& row =
+          report.AddResult(d.name + "/L=" + std::to_string(length),
+                           timer.ElapsedSeconds() * 1000.0,
+                           /*throughput=*/0.0, kRuns);
+      row.Set("map", s.mean.map);
+      row.Set("auc", s.mean.auc);
     }
     std::printf("\n");
   }
+  report.Write();
   std::printf("shape check vs paper Fig. 8: MAP grows with L and "
               "saturates; larger L costs proportionally more time.\n");
   return 0;

@@ -16,6 +16,7 @@
 
 #include "bench_common.h"
 #include "util/logging.h"
+#include "util/timer.h"
 #include "diffusion/influence_pairs.h"
 #include "viz/tsne.h"
 
@@ -93,7 +94,7 @@ double MeanRetrievalRank(const PlotData& plot,
 
 template <typename ScoreFn>
 void Report(const char* name, const EmbeddingStore& store,
-            const PlotData& plot, ScoreFn score) {
+            const PlotData& plot, ScoreFn score, BenchReport* bench) {
   const size_t n = plot.nodes.size();
   const size_t dim = 2 * store.dim();
   const std::vector<double> high = ConcatMatrix(store, plot.nodes);
@@ -101,8 +102,10 @@ void Report(const char* name, const EmbeddingStore& store,
   TsneOptions tsne;
   tsne.iterations = 250;
   tsne.perplexity = 20.0;
+  WallTimer tsne_timer;
   Result<std::vector<double>> coords = RunTsne(high, n, dim, tsne);
   INF2VEC_CHECK(coords.ok()) << coords.status().ToString();
+  const double tsne_ms = tsne_timer.ElapsedSeconds() * 1000.0;
 
   // Percentile rank of pair partners (0 = nearest neighbor, 0.5 = random
   // placement), in the original embedding space and the 2-D map.
@@ -129,6 +132,12 @@ void Report(const char* name, const EmbeddingStore& store,
   }
   std::printf("\n");
   std::fflush(stdout);
+
+  obs::JsonValue& row = bench->AddResult(name, tsne_ms);
+  row.Set("retrieval_rank_top5", retrieval_top5);
+  row.Set("retrieval_rank_all", retrieval_all);
+  row.Set("tsne_partner_rank_top5", low_top5);
+  row.Set("tsne_partner_rank_all", low_all);
 }
 
 }  // namespace
@@ -145,6 +154,10 @@ int main() {
   ZooOptions options;
   const ModelZoo zoo(d, options);
 
+  BenchReport bench("visualization");
+  bench.SetConfig("top_pairs", 150);
+  bench.SetConfig("plotted_nodes", static_cast<int64_t>(plot.nodes.size()));
+
   // Each model is scored by its own influence-similarity notion: the
   // latent-factor models by their bilinear score, Emb-IC by its
   // distance-parameterized edge probability argument.
@@ -158,16 +171,17 @@ int main() {
       d2 += diff * diff;
     }
     return emb_ic_store.target_bias(v) - d2;
-  });
+  }, &bench);
   const EmbeddingStore& mf_store = zoo.mf().embeddings();
   Report("MF", mf_store, plot,
-         [&](UserId u, UserId v) { return mf_store.Score(u, v); });
+         [&](UserId u, UserId v) { return mf_store.Score(u, v); }, &bench);
   const EmbeddingStore& n2v_store = zoo.node2vec().embeddings();
   Report("Node2vec", n2v_store, plot,
-         [&](UserId u, UserId v) { return n2v_store.Score(u, v); });
+         [&](UserId u, UserId v) { return n2v_store.Score(u, v); }, &bench);
   const EmbeddingStore& inf_store = zoo.inf2vec().embeddings();
   Report("Inf2vec", inf_store, plot,
-         [&](UserId u, UserId v) { return inf_store.Score(u, v); });
+         [&](UserId u, UserId v) { return inf_store.Score(u, v); }, &bench);
+  bench.Write();
 
   std::printf("\nshape check vs paper Fig. 6: Inf2vec's influence-retrieval "
               "ranks are the smallest — given a frequent pair's source, its "

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "obs/run_status.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -93,6 +94,7 @@ IcBaselineModel CreateEmModel(const SocialGraph& graph, const ActionLog& log,
                               const EmOptions& options,
                               EmDiagnostics* diagnostics) {
   obs::TraceSpan train_span("CreateEmModel", "baseline");
+  obs::RunStatus::Default().SetPhase("baseline:em_ic");
   const EmStatistics stats(graph, log);
   std::vector<double> probs(graph.num_edges(), options.initial_prob);
   if (diagnostics != nullptr) diagnostics->log_likelihood.clear();

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "obs/run_status.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -66,6 +67,7 @@ Result<MfBprModel> MfBprModel::Train(uint32_t num_users, const ActionLog& log,
     return Status::InvalidArgument("dimension must be positive");
   }
   obs::TraceSpan train_span("MfBprModel::Train", "baseline");
+  obs::RunStatus::Default().SetPhase("baseline:mf_bpr");
   CoActionData data = BuildCoActions(num_users, log);
   if (obs::MetricsEnabled()) {
     obs::MetricsRegistry::Default()

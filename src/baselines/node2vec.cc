@@ -5,6 +5,7 @@
 #include "diffusion/random_walk.h"
 #include "embedding/sgd_trainer.h"
 #include "obs/metrics.h"
+#include "obs/run_status.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -34,6 +35,7 @@ Result<Node2vecModel> Node2vecModel::Train(const SocialGraph& graph,
 
   Rng rng(options.seed);
   obs::TraceSpan train_span("Node2vecModel::Train", "baseline");
+  obs::RunStatus::Default().SetPhase("baseline:node2vec");
 
   // 1. Walk corpus: (center, context) skip-gram pairs within the window.
   std::vector<std::pair<UserId, UserId>> pairs;

@@ -6,6 +6,7 @@
 
 #include "diffusion/propagation_network.h"
 #include "obs/metrics.h"
+#include "obs/run_status.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -48,6 +49,11 @@ void FinishEpoch(const Inf2vecConfig& config, uint32_t epoch, uint64_t pairs,
       registry.GetGauge("sgd.objective")->Set(mean_objective);
     }
   }
+  const double pairs_per_second =
+      seconds > 0.0 ? static_cast<double>(pairs) / seconds : 0.0;
+  // Live /statusz progress: epoch granularity, one uncontended lock.
+  obs::RunStatus::Default().UpdateEpoch(epoch, config.epochs, mean_objective,
+                                        pairs_per_second, seconds);
   if (config.epoch_callback) {
     EpochStats stats;
     stats.epoch = epoch;
@@ -56,8 +62,7 @@ void FinishEpoch(const Inf2vecConfig& config, uint32_t epoch, uint64_t pairs,
     stats.learning_rate = config.sgd.learning_rate;
     stats.pairs = pairs;
     stats.seconds = seconds;
-    stats.pairs_per_second =
-        seconds > 0.0 ? static_cast<double>(pairs) / seconds : 0.0;
+    stats.pairs_per_second = pairs_per_second;
     config.epoch_callback(stats);
   }
 }
@@ -161,6 +166,8 @@ Result<Inf2vecModel> Inf2vecModel::TrainFromCorpus(
 
   const uint32_t num_threads =
       ThreadPool::ResolveThreadCount(config.num_threads);
+  obs::RunStatus::Default().SetPhase("sgd");
+  obs::RunStatus::Default().SetThreads(num_threads);
   if (num_threads <= 1) {
     // Serial reference path: identical RNG stream and update order to the
     // pre-parallel implementation, hence bit-for-bit reproducible.
@@ -232,6 +239,8 @@ Result<Inf2vecModel> Inf2vecModel::Train(const SocialGraph& graph,
   }
   const uint32_t num_threads =
       ThreadPool::ResolveThreadCount(config.num_threads);
+  obs::RunStatus::Default().SetPhase("corpus");
+  obs::RunStatus::Default().SetThreads(num_threads);
   const auto corpus_start = std::chrono::steady_clock::now();
   InfluenceCorpus corpus;
   if (num_threads <= 1) {

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "obs/run_status.h"
 #include "obs/trace.h"
 
 namespace inf2vec {
@@ -74,6 +75,7 @@ std::vector<RankedQuery> BuildActivationQueries(const InfluenceModel& model,
                                                 const SocialGraph& graph,
                                                 const ActionLog& test_log) {
   obs::TraceSpan span("EvaluateActivation", "eval");
+  obs::RunStatus::Default().SetPhase("eval:activation");
   obs::Counter* episode_counter = nullptr;
   obs::Counter* case_counter = nullptr;
   if (obs::MetricsEnabled()) {

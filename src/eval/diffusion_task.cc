@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "obs/run_status.h"
 #include "obs/trace.h"
 
 namespace inf2vec {
@@ -35,6 +36,7 @@ RankingMetrics EvaluateDiffusion(const InfluenceModel& model,
                                  const DiffusionTaskOptions& options,
                                  Rng& rng) {
   obs::TraceSpan span("EvaluateDiffusion", "eval");
+  obs::RunStatus::Default().SetPhase("eval:diffusion");
   obs::Counter* episode_counter =
       obs::MetricsEnabled()
           ? obs::MetricsRegistry::Default().GetCounter(

@@ -1,0 +1,89 @@
+#include "obs/build_info.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+#ifndef INF2VEC_GIT_SHA
+#define INF2VEC_GIT_SHA "unknown"
+#endif
+#ifndef INF2VEC_BUILD_TYPE
+#define INF2VEC_BUILD_TYPE "unknown"
+#endif
+#ifndef INF2VEC_BUILD_FLAGS
+#define INF2VEC_BUILD_FLAGS "unknown"
+#endif
+
+std::string CompilerVersion() {
+#if defined(__VERSION__)
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return __VERSION__;
+#endif
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* info = [] {
+    auto* b = new BuildInfo();
+    b->git_sha = INF2VEC_GIT_SHA;
+    b->compiler = CompilerVersion();
+    b->build_type = INF2VEC_BUILD_TYPE;
+    b->build_flags = INF2VEC_BUILD_FLAGS;
+    b->cxx_standard = std::to_string(__cplusplus);
+    return b;
+  }();
+  return *info;
+}
+
+std::string Hostname() {
+  char buffer[256];
+  if (gethostname(buffer, sizeof(buffer)) != 0) return "";
+  buffer[sizeof(buffer) - 1] = '\0';
+  return buffer;
+}
+
+uint64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes; macOS in bytes. The build only
+  // targets Linux, so scale by 1024 unconditionally.
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024ULL;
+}
+
+JsonValue BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  JsonValue out = JsonValue::Object();
+  out.Set("git_sha", info.git_sha);
+  out.Set("compiler", info.compiler);
+  out.Set("build_type", info.build_type);
+  out.Set("build_flags", info.build_flags);
+  out.Set("cxx_standard", info.cxx_standard);
+  return out;
+}
+
+JsonValue EnvironmentJson() {
+  JsonValue out = JsonValue::Object();
+  out.Set("hostname", Hostname());
+  out.Set("pid", static_cast<int64_t>(getpid()));
+  out.Set("hardware_concurrency",
+          static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  out.Set("peak_rss_bytes", PeakRssBytes());
+  out.Set("build", BuildInfoJson());
+  return out;
+}
+
+}  // namespace obs
+}  // namespace inf2vec

@@ -1,0 +1,46 @@
+#ifndef INF2VEC_OBS_BUILD_INFO_H_
+#define INF2VEC_OBS_BUILD_INFO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+
+namespace inf2vec {
+namespace obs {
+
+/// Compile-time provenance, baked in by src/obs/CMakeLists.txt at
+/// configure time (git sha) and by the preprocessor (compiler, flags).
+/// Every field falls back to "unknown" outside a git checkout or when the
+/// build system did not provide the define.
+struct BuildInfo {
+  std::string git_sha;
+  std::string compiler;
+  std::string build_type;
+  std::string build_flags;
+  std::string cxx_standard;
+};
+
+/// The process's build provenance (computed once).
+const BuildInfo& GetBuildInfo();
+
+/// Runtime environment probes. Both degrade gracefully: empty hostname /
+/// zero RSS when the underlying syscall fails.
+std::string Hostname();
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss).
+uint64_t PeakRssBytes();
+
+/// The "build" block: git_sha, compiler, build_type, build_flags,
+/// cxx_standard.
+JsonValue BuildInfoJson();
+
+/// The full environment-provenance block shared by the run report's
+/// "environment" section and the stats server's /varz endpoint: the build
+/// block plus hostname, pid, hardware_concurrency, and peak_rss_bytes
+/// (sampled at call time, so the report sees the end-of-run peak).
+JsonValue EnvironmentJson();
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_BUILD_INFO_H_

@@ -1,0 +1,225 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/build_info.h"
+#include "obs/prometheus.h"
+#include "obs/run_status.h"
+#include "util/logging.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+struct HttpResponse {
+  int code = 200;
+  std::string reason = "OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Serializes and writes the whole response; best-effort (a client that
+/// hung up mid-write is its own problem). MSG_NOSIGNAL keeps a dead peer
+/// from raising SIGPIPE in the training process.
+void SendResponse(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.code) + " " +
+                    response.reason + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// First line of "METHOD SP PATH SP VERSION"; empty method on garbage.
+void ParseRequestLine(const std::string& request, std::string* method,
+                      std::string* path) {
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return;
+  *method = line.substr(0, sp1);
+  *path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Ignore any query string: /metrics?foo=1 routes as /metrics.
+  const size_t query = path->find('?');
+  if (query != std::string::npos) path->resize(query);
+}
+
+}  // namespace
+
+StatsServer::StatsServer(StatsServerOptions options, MetricsRegistry* registry)
+    : options_(std::move(options)), registry_(registry) {}
+
+StatsServer::~StatsServer() { Stop(); }
+
+Status StatsServer::Start() {
+  if (running_) return Status::FailedPrecondition("stats server already running");
+
+  if (pipe(wake_pipe_) != 0) {
+    return Status::Internal(std::string("pipe() failed: ") +
+                            std::strerror(errno));
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    Stop();
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    Stop();
+    return Status::InvalidArgument("bad stats server bind address: " +
+                                   options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    Stop();
+    return Status::IOError("cannot bind stats server to " +
+                           options_.bind_address + ":" +
+                           std::to_string(options_.port) + ": " + error);
+  }
+  if (listen(listen_fd_, 16) != 0) {
+    const std::string error = std::strerror(errno);
+    Stop();
+    return Status::IOError("listen() failed: " + error);
+  }
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  running_ = true;
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  if (running_) {
+    // One byte through the self-pipe unblocks every poll() in the server
+    // thread (accept loop and any in-flight connection read).
+    const char wake = 'x';
+    ssize_t ignored = write(wake_pipe_[1], &wake, 1);
+    (void)ignored;
+    thread_.join();
+    running_ = false;
+  }
+  for (int* fd : {&listen_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
+    if (*fd >= 0) {
+      close(*fd);
+      *fd = -1;
+    }
+  }
+  port_ = 0;
+}
+
+bool StatsServer::WaitReadable(int fd) {
+  for (;;) {
+    pollfd fds[2];
+    fds[0].fd = fd;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    const int n = poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (fds[1].revents != 0) return false;  // Stop() fired.
+    if (fds[0].revents != 0) return true;
+  }
+}
+
+void StatsServer::AcceptLoop() {
+  while (WaitReadable(listen_fd_)) {
+    const int client_fd = accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    HandleConnection(client_fd);
+    close(client_fd);
+  }
+}
+
+void StatsServer::HandleConnection(int client_fd) {
+  // Read until the end of the request head; GET requests have no body.
+  // 8 KB is far beyond any sane request line + headers — anything longer
+  // is garbage and gets a 400.
+  std::string request;
+  constexpr size_t kMaxRequestBytes = 8192;
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    if (!WaitReadable(client_fd)) return;  // Stop() during a slow request.
+    char buffer[1024];
+    const ssize_t n = recv(client_fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // Peer closed (or error) before a full head.
+    request.append(buffer, static_cast<size_t>(n));
+  }
+
+  std::string method;
+  std::string path;
+  ParseRequestLine(request, &method, &path);
+
+  HttpResponse response;
+  if (method.empty()) {
+    response.code = 400;
+    response.reason = "Bad Request";
+    response.body = "malformed request\n";
+  } else if (method != "GET") {
+    response.code = 405;
+    response.reason = "Method Not Allowed";
+    response.body = "only GET is supported\n";
+  } else if (path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheus(registry_->Scrape());
+  } else if (path == "/statusz") {
+    response.content_type = "application/json";
+    response.body = RunStatus::Default().ToJson().Dump(2) + "\n";
+  } else if (path == "/varz") {
+    response.content_type = "application/json";
+    response.body = EnvironmentJson().Dump(2) + "\n";
+  } else if (path == "/healthz") {
+    response.body = "ok\n";
+  } else if (path == "/") {
+    response.body =
+        "inf2vec stats server\n"
+        "endpoints: /metrics /statusz /varz /healthz\n";
+  } else {
+    response.code = 404;
+    response.reason = "Not Found";
+    response.body = "unknown path " + path + "\n";
+  }
+  SendResponse(client_fd, response);
+}
+
+}  // namespace obs
+}  // namespace inf2vec

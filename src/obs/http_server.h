@@ -1,0 +1,81 @@
+#ifndef INF2VEC_OBS_HTTP_SERVER_H_
+#define INF2VEC_OBS_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace obs {
+
+struct StatsServerOptions {
+  /// TCP port to listen on; 0 asks the kernel for an ephemeral port
+  /// (query the result with port() after Start — the test path).
+  uint16_t port = 0;
+  /// Loopback by default: the stats plane is an operator tool, not a
+  /// public API.
+  std::string bind_address = "127.0.0.1";
+};
+
+/// Dependency-free embedded stats server: blocking POSIX sockets on one
+/// background thread, GET-only, one short-lived connection at a time.
+/// Endpoints:
+///
+///   /metrics  Prometheus text exposition of the registry (obs/prometheus)
+///   /statusz  live run status JSON (obs/run_status)
+///   /healthz  200 "ok"
+///   /varz     build + environment provenance JSON (obs/build_info)
+///
+/// Responses are tiny (a scrape of every metric is a few KB), so serving
+/// inline on the accept thread keeps the design at ~zero cost for the
+/// training threads: handlers only ever *read* (Scrape(), RunStatus
+/// snapshot) through the existing thread-safe interfaces.
+///
+/// Shutdown is deterministic: Stop() wakes the accept loop through a
+/// self-pipe (the loop polls {listen_fd, pipe} and every in-flight
+/// connection polls {client_fd, pipe}), joins the thread, and closes the
+/// socket — no leaked thread, port released on return. Destruction stops
+/// a running server.
+class StatsServer {
+ public:
+  explicit StatsServer(StatsServerOptions options,
+                       MetricsRegistry* registry = &MetricsRegistry::Default());
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. Fails (without leaking
+  /// fds) when the port is taken or the address does not parse.
+  Status Start();
+
+  /// Idempotent; safe to call on a never-started server.
+  void Stop();
+
+  bool running() const { return running_; }
+  /// Bound port (the kernel's pick when options.port was 0); 0 before
+  /// Start.
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+  /// Waits until `fd` is readable or the stop pipe fires; false on stop.
+  bool WaitReadable(int fd);
+
+  StatsServerOptions options_;
+  MetricsRegistry* registry_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // [read, write]; written once by Stop().
+  uint16_t port_ = 0;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_HTTP_SERVER_H_

@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -263,13 +264,19 @@ class Parser {
     const std::string token = text_.substr(start, pos_ - start);
     char* end = nullptr;
     if (!is_double) {
+      errno = 0;
       const long long v = std::strtoll(token.c_str(), &end, 10);
-      if (end == token.c_str() + token.size()) {
+      if (end == token.c_str() + token.size() && errno != ERANGE) {
         return JsonValue(static_cast<int64_t>(v));
       }
+      // An int64-overflowing literal falls through to the double path
+      // (keeping magnitude at reduced precision), where the finiteness
+      // check below still rejects truly unrepresentable values.
     }
+    errno = 0;
     const double d = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) return Error("invalid number");
+    if (!std::isfinite(d)) return Error("number out of range");
     return JsonValue(d);
   }
 

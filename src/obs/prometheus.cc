@@ -1,0 +1,64 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cinttypes>
+
+#include "util/string_util.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+/// %.17g is always round-trippable for doubles; gauges are operator-facing
+/// so tidy short forms matter less than exactness here.
+std::string FormatValue(double value) { return StrFormat("%.17g", value); }
+
+void AppendHistogram(const std::string& name, const Histogram& histogram,
+                     std::string* out) {
+  *out += "# TYPE " + name + " histogram\n";
+  uint64_t cumulative = 0;
+  uint64_t weighted_sum = 0;
+  for (const auto& [bucket, count] : histogram.Items()) {
+    cumulative += count;
+    weighted_sum += bucket * count;
+    *out += name + "_bucket{le=\"" + std::to_string(bucket) + "\"} " +
+            std::to_string(cumulative) + "\n";
+  }
+  *out += name + "_bucket{le=\"+Inf\"} " +
+          std::to_string(histogram.total_count()) + "\n";
+  *out += name + "_sum " + std::to_string(weighted_sum) + "\n";
+  *out += name + "_count " + std::to_string(histogram.total_count()) + "\n";
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "inf2vec_";
+  for (char c : name) {
+    const bool valid = std::isalnum(static_cast<unsigned char>(c)) ||
+                       c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = PrometheusName(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = PrometheusName(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + FormatValue(value) + "\n";
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    AppendHistogram(PrometheusName(name), histogram, &out);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace inf2vec

@@ -1,0 +1,36 @@
+#ifndef INF2VEC_OBS_PROMETHEUS_H_
+#define INF2VEC_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace inf2vec {
+namespace obs {
+
+/// Maps a dotted registry metric name onto the Prometheus exposition
+/// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every '.' (and any other invalid
+/// character) becomes '_', a leading digit gains a '_' prefix, and the
+/// whole name is prefixed "inf2vec_". So "sgd.pairs_trained" renders as
+/// "inf2vec_sgd_pairs_trained".
+std::string PrometheusName(const std::string& name);
+
+/// Renders a registry snapshot as Prometheus text exposition format 0.0.4.
+/// Deterministic: the snapshot is name-sorted, so two renders of equal
+/// snapshots are byte-identical (the property the /metrics-vs-Scrape tests
+/// pin down).
+///
+///  * counters  -> `# TYPE n_total counter` + `n_total <value>` (the
+///    _total suffix is the Prometheus counter convention);
+///  * gauges    -> `# TYPE n gauge` + `n <value>`;
+///  * histograms -> `# TYPE n histogram` + cumulative `n_bucket{le="b"}`
+///    rows (one per recorded bucket, counts attributed to the bucket's
+///    lower boundary — see docs/OBSERVABILITY.md), an `le="+Inf"` row,
+///    `n_sum` (lower-boundary approximation of the observation sum) and
+///    `n_count`.
+std::string RenderPrometheus(const MetricsRegistry::Snapshot& snapshot);
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_PROMETHEUS_H_

@@ -1,0 +1,71 @@
+#include "obs/run_status.h"
+
+namespace inf2vec {
+namespace obs {
+
+RunStatus& RunStatus::Default() {
+  static RunStatus* status = new RunStatus();
+  return *status;
+}
+
+void RunStatus::StartCommand(const std::string& command) {
+  std::lock_guard<std::mutex> lock(mu_);
+  command_ = command;
+  phase_ = "starting";
+  threads_ = 1;
+  epochs_done_ = 0;
+  total_epochs_ = 0;
+  objective_ = 0.0;
+  pairs_per_second_ = 0.0;
+  last_epoch_seconds_ = 0.0;
+  have_epoch_ = false;
+  start_ = std::chrono::steady_clock::now();
+}
+
+void RunStatus::SetPhase(const std::string& phase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  phase_ = phase;
+}
+
+void RunStatus::SetThreads(uint32_t threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_ = threads;
+}
+
+void RunStatus::UpdateEpoch(uint32_t epoch, uint32_t total_epochs,
+                            double objective, double pairs_per_second,
+                            double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epochs_done_ = epoch + 1;  // `epoch` is 0-based; report finished count.
+  total_epochs_ = total_epochs;
+  objective_ = objective;
+  pairs_per_second_ = pairs_per_second;
+  last_epoch_seconds_ = seconds;
+  have_epoch_ = true;
+}
+
+JsonValue RunStatus::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue out = JsonValue::Object();
+  out.Set("command", command_);
+  out.Set("phase", phase_);
+  out.Set("epoch", epochs_done_);
+  out.Set("total_epochs", total_epochs_);
+  out.Set("objective", objective_);
+  out.Set("pairs_per_second", pairs_per_second_);
+  const double eta =
+      have_epoch_ && total_epochs_ > epochs_done_
+          ? last_epoch_seconds_ *
+                static_cast<double>(total_epochs_ - epochs_done_)
+          : (have_epoch_ ? 0.0 : -1.0);
+  out.Set("eta_seconds", eta);
+  out.Set("threads", threads_);
+  out.Set("uptime_seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count());
+  return out;
+}
+
+}  // namespace obs
+}  // namespace inf2vec

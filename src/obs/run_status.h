@@ -1,0 +1,72 @@
+#ifndef INF2VEC_OBS_RUN_STATUS_H_
+#define INF2VEC_OBS_RUN_STATUS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+
+namespace inf2vec {
+namespace obs {
+
+/// Live "what is this process doing right now" state behind the stats
+/// server's /statusz endpoint. The training pipeline updates it at phase
+/// and epoch granularity (never inside per-pair loops): Inf2vecModel sets
+/// the phase around corpus build and SGD and reports every finished epoch,
+/// the baselines and eval tasks set their phases, and the CLI stamps the
+/// command at dispatch. All updates go through one mutex — they are orders
+/// of magnitude rarer than the work they describe, so the lock is
+/// uncontended in practice and the reader (the HTTP thread) always sees a
+/// consistent row.
+class RunStatus {
+ public:
+  static RunStatus& Default();
+
+  RunStatus() = default;
+  RunStatus(const RunStatus&) = delete;
+  RunStatus& operator=(const RunStatus&) = delete;
+
+  /// Resets every field and restarts the uptime clock; called once at CLI
+  /// dispatch (and by tests).
+  void StartCommand(const std::string& command);
+
+  /// Current coarse phase ("corpus", "sgd", "eval:activation", ...).
+  void SetPhase(const std::string& phase);
+
+  /// Worker threads the current phase runs with.
+  void SetThreads(uint32_t threads);
+
+  /// Progress of the finished SGD epoch. `seconds` is that epoch's wall
+  /// time and feeds the remaining-epochs ETA.
+  void UpdateEpoch(uint32_t epoch, uint32_t total_epochs, double objective,
+                   double pairs_per_second, double seconds);
+
+  /// The /statusz document:
+  ///   {command, phase, epoch, total_epochs, objective, pairs_per_second,
+  ///    eta_seconds, threads, uptime_seconds}
+  /// `epoch` is the 1-based count of finished epochs (0 = none yet);
+  /// `eta_seconds` extrapolates the last epoch's wall time over the
+  /// remaining epochs, -1 before the first epoch finishes.
+  JsonValue ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string command_;
+  std::string phase_ = "idle";
+  uint32_t threads_ = 1;
+  uint32_t epochs_done_ = 0;
+  uint32_t total_epochs_ = 0;
+  double objective_ = 0.0;
+  double pairs_per_second_ = 0.0;
+  double last_epoch_seconds_ = 0.0;
+  bool have_epoch_ = false;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_RUN_STATUS_H_

@@ -1,0 +1,108 @@
+#include "obs/snapshotter.h"
+
+#include <algorithm>
+
+namespace inf2vec {
+namespace obs {
+
+MetricsSnapshotter::MetricsSnapshotter(SnapshotterOptions options,
+                                       MetricsRegistry* registry)
+    : options_(std::move(options)), registry_(registry) {
+  options_.interval_ms = std::max<uint32_t>(options_.interval_ms, 10);
+}
+
+MetricsSnapshotter::~MetricsSnapshotter() { Stop(); }
+
+Status MetricsSnapshotter::Start() {
+  if (running_) {
+    return Status::FailedPrecondition("snapshotter already running");
+  }
+  file_ = std::fopen(options_.path.c_str(), "w");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open snapshot output file: " +
+                           options_.path);
+  }
+  seq_ = 0;
+  lines_written_.store(0, std::memory_order_relaxed);
+  previous_counters_.clear();
+  stop_requested_ = false;
+  start_ = std::chrono::steady_clock::now();
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void MetricsSnapshotter::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+void MetricsSnapshotter::Loop() {
+  for (;;) {
+    bool stopping;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                   [this] { return stop_requested_; });
+      stopping = stop_requested_;
+    }
+    // On stop, take one last snapshot so the series always covers the end
+    // of the run, then exit.
+    WriteSnapshot();
+    if (stopping) return;
+  }
+}
+
+void MetricsSnapshotter::WriteSnapshot() {
+  const MetricsRegistry::Snapshot snapshot = registry_->Scrape();
+  const uint64_t uptime_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+
+  JsonValue counters = JsonValue::Object();
+  JsonValue deltas = JsonValue::Object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.Set(name, value);
+    uint64_t previous = 0;
+    for (const auto& [n, v] : previous_counters_) {
+      if (n == name) {
+        previous = v;
+        break;
+      }
+    }
+    // Counters are monotone; guard anyway so a registry Reset() mid-run
+    // yields a zero delta instead of wrapping.
+    deltas.Set(name, value >= previous ? value - previous : 0);
+  }
+  previous_counters_ = snapshot.counters;
+
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.Set(name, value);
+  }
+
+  JsonValue line = JsonValue::Object();
+  line.Set("schema_version", 1);
+  line.Set("seq", seq_++);
+  line.Set("uptime_ms", uptime_ms);
+  line.Set("counters", std::move(counters));
+  line.Set("deltas", std::move(deltas));
+  line.Set("gauges", std::move(gauges));
+
+  const std::string text = line.Dump(0) + "\n";
+  std::fwrite(text.data(), 1, text.size(), file_);
+  std::fflush(file_);
+  lines_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace inf2vec

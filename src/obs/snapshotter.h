@@ -1,0 +1,84 @@
+#ifndef INF2VEC_OBS_SNAPSHOTTER_H_
+#define INF2VEC_OBS_SNAPSHOTTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace obs {
+
+struct SnapshotterOptions {
+  std::string path;
+  /// Wall-clock spacing between snapshots. Clamped to >= 10ms.
+  uint32_t interval_ms = 1000;
+};
+
+/// Background thread that appends one compact JSON line per interval to
+/// `path`, turning the registry into a post-hoc throughput time series
+/// even when nothing scrapes /metrics. Line schema (schema_version 1,
+/// validated by tools/check_snapshot.py):
+///
+///   {"schema_version": 1, "seq": N, "uptime_ms": T,
+///    "counters": {name: cumulative, ...},
+///    "deltas":   {name: since-previous-line, ...},
+///    "gauges":   {name: value, ...}}
+///
+/// Counters are cumulative AND delta'd so consumers can plot rates without
+/// re-diffing; gauges are last-write-wins. Histograms are omitted — their
+/// summaries live in the run report and /metrics. Stop() (and the
+/// destructor) writes one final line before joining, so even runs shorter
+/// than the interval produce a usable series.
+class MetricsSnapshotter {
+ public:
+  explicit MetricsSnapshotter(
+      SnapshotterOptions options,
+      MetricsRegistry* registry = &MetricsRegistry::Default());
+  ~MetricsSnapshotter();
+
+  MetricsSnapshotter(const MetricsSnapshotter&) = delete;
+  MetricsSnapshotter& operator=(const MetricsSnapshotter&) = delete;
+
+  /// Opens the output (truncating) and spawns the snapshot thread.
+  Status Start();
+
+  /// Deterministic shutdown: final snapshot, thread joined, file closed.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+  /// Lines written so far (including the final Stop() line).
+  uint64_t lines_written() const { return lines_written_; }
+
+ private:
+  void Loop();
+  void WriteSnapshot();
+
+  SnapshotterOptions options_;
+  MetricsRegistry* registry_;
+  std::FILE* file_ = nullptr;
+  bool running_ = false;
+  uint64_t seq_ = 0;
+  std::atomic<uint64_t> lines_written_{0};
+  std::vector<std::pair<std::string, uint64_t>> previous_counters_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // Guarded by mu_.
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_SNAPSHOTTER_H_

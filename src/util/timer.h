@@ -1,6 +1,8 @@
 #ifndef INF2VEC_UTIL_TIMER_H_
 #define INF2VEC_UTIL_TIMER_H_
 
+#include <sys/resource.h>
+
 #include <chrono>
 
 namespace inf2vec {
@@ -22,6 +24,32 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Process CPU-time stopwatch (getrusage user+system, summed over all
+/// threads). On a shared machine this is far less noisy than wall time
+/// for a CPU-bound section — time scheduled out simply does not count —
+/// which is what tight relative comparisons (the obs-overhead gate) need.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+    const auto seconds = [](const timeval& tv) {
+      return static_cast<double>(tv.tv_sec) +
+             static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    return seconds(usage.ru_utime) + seconds(usage.ru_stime);
+  }
+
+  double start_;
 };
 
 }  // namespace inf2vec

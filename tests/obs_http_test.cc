@@ -1,0 +1,268 @@
+// Embedded stats-server tests, driven by a tiny in-test POSIX HTTP client
+// (no curl dependency): endpoint routing, the /metrics-equals-Scrape()
+// exactness contract, opt-in isolation via a private registry, concurrent
+// scrapes under writer load (the TSan target), and deterministic shutdown
+// with port release.
+
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/run_status.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+struct HttpResponse {
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.0-style client: one request, read to EOF.
+HttpResponse Fetch(uint16_t port, const std::string& target) {
+  HttpResponse response;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return response;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return response;
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return response;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) return response;
+  const size_t space = raw.find(' ');
+  if (space == std::string::npos || space + 4 > line_end) return response;
+  response.status = std::stoi(raw.substr(space + 1, 3));
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return response;
+  response.headers = raw.substr(0, header_end);
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+TEST(StatsServerTest, ServesHealthzAndIndex) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  const HttpResponse health = Fetch(server.port(), "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  const HttpResponse index = Fetch(server.port(), "/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(StatsServerTest, MetricsBodyEqualsScrapeExactly) {
+  MetricsRegistry registry;
+  registry.GetCounter("sgd.pairs_trained")->Increment(12345);
+  registry.GetCounter("corpus.contexts")->Increment(7);
+  registry.GetGauge("train.objective")->Set(-0.6931);
+  registry.GetHistogram("walk.length", {1, 10, 100})->Record(42);
+
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  const HttpResponse metrics = Fetch(server.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.headers.find("text/plain; version=0.0.4"),
+            std::string::npos)
+      << metrics.headers;
+  // No writers are active, so the body must equal a render of Scrape()
+  // byte for byte — the server adds no metrics of its own.
+  EXPECT_EQ(metrics.body, RenderPrometheus(registry.Scrape()));
+
+  server.Stop();
+}
+
+TEST(StatsServerTest, StatuszReflectsRunStatus) {
+  RunStatus::Default().StartCommand("http-test");
+  RunStatus::Default().SetPhase("sgd");
+  RunStatus::Default().UpdateEpoch(/*epoch=*/2, /*total_epochs=*/10,
+                                   /*objective=*/-0.5,
+                                   /*pairs_per_second=*/1e6,
+                                   /*seconds=*/0.25);
+
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+  const HttpResponse statusz = Fetch(server.port(), "/statusz");
+  server.Stop();
+
+  EXPECT_EQ(statusz.status, 200);
+  Result<JsonValue> doc = ParseJson(statusz.body);
+  ASSERT_TRUE(doc.ok()) << statusz.body;
+  EXPECT_EQ(doc.value().Find("command")->AsString(), "http-test");
+  EXPECT_EQ(doc.value().Find("phase")->AsString(), "sgd");
+  EXPECT_EQ(doc.value().Find("epoch")->AsInt(), 3);  // 1-based done count.
+  EXPECT_EQ(doc.value().Find("total_epochs")->AsInt(), 10);
+}
+
+TEST(StatsServerTest, VarzCarriesBuildProvenance) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+  const HttpResponse varz = Fetch(server.port(), "/varz");
+  server.Stop();
+
+  EXPECT_EQ(varz.status, 200);
+  Result<JsonValue> doc = ParseJson(varz.body);
+  ASSERT_TRUE(doc.ok()) << varz.body;
+  ASSERT_NE(doc.value().Find("build"), nullptr);
+  EXPECT_FALSE(doc.value().Find("build")->Find("git_sha")->AsString()
+                   .empty());
+  EXPECT_GT(doc.value().Find("peak_rss_bytes")->AsInt(), 0);
+}
+
+TEST(StatsServerTest, UnknownPathIs404) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  EXPECT_EQ(Fetch(server.port(), "/does-not-exist").status, 404);
+  EXPECT_EQ(Fetch(server.port(), "/metrics/deeper").status, 404);
+
+  server.Stop();
+}
+
+TEST(StatsServerTest, ConcurrentScrapesUnderWriterLoadStayExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("load.increments");
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr uint64_t kIncrements = 20000;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < kIncrements; ++i) counter->Increment();
+    done.store(true, std::memory_order_release);
+  });
+
+  // Scrape over HTTP while the writer hammers the counter; collect the
+  // responses and assert only after the writer is joined (an ASSERT while
+  // the thread is joinable would terminate the process).
+  std::vector<HttpResponse> scrapes;
+  int fetches = 0;
+  while (!done.load(std::memory_order_acquire) || fetches < 3) {
+    scrapes.push_back(Fetch(server.port(), "/metrics"));
+    ++fetches;
+  }
+  writer.join();
+
+  uint64_t last = 0;
+  // Newline-anchored so the "# TYPE ... counter" line does not match.
+  const std::string needle = "\ninf2vec_load_increments_total ";
+  for (const HttpResponse& metrics : scrapes) {
+    ASSERT_EQ(metrics.status, 200) << metrics.headers;
+    const size_t pos = metrics.body.find(needle);
+    ASSERT_NE(pos, std::string::npos) << metrics.body;
+    const uint64_t value =
+        std::stoull(metrics.body.substr(pos + needle.size()));
+    // Every observed value is a plausible point in a monotone series.
+    EXPECT_GE(value, last);
+    EXPECT_LE(value, kIncrements);
+    last = value;
+  }
+
+  // Quiescent again: exact equality with a direct Scrape.
+  const HttpResponse final_metrics = Fetch(server.port(), "/metrics");
+  EXPECT_EQ(final_metrics.body, RenderPrometheus(registry.Scrape()));
+  EXPECT_NE(final_metrics.body.find("inf2vec_load_increments_total 20000"),
+            std::string::npos);
+
+  server.Stop();
+}
+
+TEST(StatsServerTest, StopJoinsThreadAndReleasesPort) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+  ASSERT_GT(port, 0);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // Idempotent.
+
+  // The strongest portable proof the port was released: bind it again.
+  StatsServer second(StatsServerOptions{port, "127.0.0.1"}, &registry);
+  ASSERT_TRUE(second.Start().ok());
+  EXPECT_EQ(second.port(), port);
+  EXPECT_EQ(Fetch(second.port(), "/healthz").status, 200);
+  second.Stop();
+}
+
+TEST(StatsServerTest, StartFailsCleanlyOnTakenPort) {
+  MetricsRegistry registry;
+  StatsServer first(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(first.Start().ok());
+
+  StatsServer second(StatsServerOptions{first.port(), "127.0.0.1"},
+                     &registry);
+  EXPECT_FALSE(second.Start().ok());
+  EXPECT_FALSE(second.running());
+
+  // The failed server must not have disturbed the running one.
+  EXPECT_EQ(Fetch(first.port(), "/healthz").status, 200);
+  first.Stop();
+}
+
+TEST(StatsServerTest, DestructorStopsRunningServer) {
+  MetricsRegistry registry;
+  uint16_t port = 0;
+  {
+    StatsServer server(StatsServerOptions{}, &registry);
+    ASSERT_TRUE(server.Start().ok());
+    port = server.port();
+  }
+  // Out of scope: port must be free again.
+  StatsServer next(StatsServerOptions{port, "127.0.0.1"}, &registry);
+  EXPECT_TRUE(next.Start().ok());
+  next.Stop();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace inf2vec

@@ -1,0 +1,137 @@
+// Parser hardening tests for obs/json: full round trips through
+// Dump+ParseJson, and the malformed-input catalogue — truncated
+// documents, bad escapes, and overflowing numbers must all surface as
+// Status errors, never crashes or silent garbage.
+
+#include "obs/json.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+JsonValue MakeNestedDoc() {
+  JsonValue inner = JsonValue::Object();
+  inner.Set("pi", 3.25);
+  inner.Set("count", static_cast<uint64_t>(1) << 62);
+  inner.Set("negative", static_cast<int64_t>(-42));
+  inner.Set("label", "quotes \" backslash \\ newline \n tab \t");
+  inner.Set("flag", true);
+  inner.Set("nothing", JsonValue());
+
+  JsonValue list = JsonValue::Array();
+  list.Append(1);
+  list.Append("two");
+  list.Append(JsonValue::Array());
+  list.Append(inner);
+
+  JsonValue root = JsonValue::Object();
+  root.Set("schema_version", 1);
+  root.Set("values", std::move(list));
+  root.Set("nested", std::move(inner));
+  return root;
+}
+
+TEST(ObsJsonTest, RoundTripsNestedDocumentPretty) {
+  const JsonValue doc = MakeNestedDoc();
+  Result<JsonValue> parsed = ParseJson(doc.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Dump(2), doc.Dump(2));
+}
+
+TEST(ObsJsonTest, RoundTripsNestedDocumentCompact) {
+  const JsonValue doc = MakeNestedDoc();
+  Result<JsonValue> parsed = ParseJson(doc.Dump(0));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Dump(0), doc.Dump(0));
+}
+
+TEST(ObsJsonTest, PreservesIntegerDoubleDistinction) {
+  Result<JsonValue> parsed = ParseJson("{\"i\": 7, \"d\": 7.0}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("i")->kind(), JsonValue::Kind::kInt);
+  EXPECT_EQ(parsed.value().Find("d")->kind(), JsonValue::Kind::kDouble);
+  EXPECT_EQ(parsed.value().Find("i")->AsInt(), 7);
+}
+
+TEST(ObsJsonTest, RejectsTruncatedDocuments) {
+  const std::vector<std::string> truncated = {
+      "",
+      "{",
+      "{\"a\"",
+      "{\"a\":",
+      "{\"a\": 1",
+      "{\"a\": 1,",
+      "[1, 2",
+      "[1, 2,",
+      "\"unterminated",
+      "{\"outer\": {\"inner\": [1, {\"deep\": ",
+  };
+  for (const std::string& text : truncated) {
+    Result<JsonValue> parsed = ParseJson(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted truncated input: " << text;
+  }
+}
+
+TEST(ObsJsonTest, RejectsBadEscapes) {
+  const std::vector<std::string> bad = {
+      "\"\\q\"",          // Unknown escape.
+      "\"\\u12\"",        // Truncated \u escape.
+      "\"trailing\\\"",   // Escape swallows the closing quote.
+      "{\"k\\x\": 1}",    // Bad escape inside an object key.
+  };
+  for (const std::string& text : bad) {
+    Result<JsonValue> parsed = ParseJson(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted bad escape: " << text;
+  }
+}
+
+TEST(ObsJsonTest, RejectsOverflowingNumbers) {
+  // Exponents far past the double range must error out, not round to
+  // infinity or crash.
+  for (const std::string& text :
+       {std::string("1e999"), std::string("-1e999"),
+        std::string("[1, 2, 1e999]"), std::string("{\"x\": -1e999}")}) {
+    Result<JsonValue> parsed = ParseJson(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted overflowing number: " << text;
+  }
+}
+
+TEST(ObsJsonTest, IntegerOverflowFallsBackToDouble) {
+  // Wider than int64 but still representable as a finite double: the
+  // parser degrades to kDouble instead of wrapping or erroring.
+  Result<JsonValue> parsed = ParseJson("123456789012345678901234567890");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().kind(), JsonValue::Kind::kDouble);
+  EXPECT_GT(parsed.value().AsDouble(), 1e29);
+}
+
+TEST(ObsJsonTest, RejectsMalformedNumbers) {
+  for (const std::string& text :
+       {std::string("-"), std::string("1.2.3"), std::string("nan"),
+        std::string("inf"), std::string("1e"), std::string("--1")}) {
+    Result<JsonValue> parsed = ParseJson(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted malformed number: " << text;
+  }
+}
+
+TEST(ObsJsonTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseJson("{} extra").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_TRUE(ParseJson("{}  \n\t ").ok());  // Trailing whitespace is fine.
+}
+
+TEST(ObsJsonTest, EscapeHelperCoversControlCharacters) {
+  const std::string escaped = JsonEscape(std::string("a\"b\\c\x01d\n"));
+  Result<JsonValue> parsed = ParseJson("\"" + escaped + "\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().AsString(), std::string("a\"b\\c\x01d\n"));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace inf2vec

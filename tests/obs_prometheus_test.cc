@@ -1,0 +1,128 @@
+// Prometheus exposition tests: name sanitization onto the metric-name
+// grammar, counter _total convention (TYPE line and sample line must share
+// the suffixed name), gauge round-trippable formatting, and histogram
+// bucket rows that are cumulative and monotone with a trailing +Inf/_sum/
+// _count trio.
+
+#include "obs/prometheus.h"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(PrometheusNameTest, MapsDotsAndPrefixes) {
+  EXPECT_EQ(PrometheusName("sgd.pairs_trained"),
+            "inf2vec_sgd_pairs_trained");
+  EXPECT_EQ(PrometheusName("threadpool.shard_wait_us"),
+            "inf2vec_threadpool_shard_wait_us");
+}
+
+TEST(PrometheusNameTest, SanitizesInvalidCharacters) {
+  EXPECT_EQ(PrometheusName("a-b c/d"), "inf2vec_a_b_c_d");
+  EXPECT_EQ(PrometheusName("weird!@#"), "inf2vec_weird___");
+  // Leading digits are fine behind the inf2vec_ prefix; colons survive.
+  EXPECT_EQ(PrometheusName("0day:x"), "inf2vec_0day:x");
+}
+
+TEST(PrometheusRenderTest, CounterTypeLineMatchesSampleName) {
+  MetricsRegistry registry;
+  EnableMetrics(true);
+  registry.GetCounter("sgd.pairs_trained")->Increment(123);
+  const std::string text = RenderPrometheus(registry.Scrape());
+  EnableMetrics(false);
+
+  EXPECT_TRUE(
+      Contains(text, "# TYPE inf2vec_sgd_pairs_trained_total counter\n"))
+      << text;
+  EXPECT_TRUE(Contains(text, "\ninf2vec_sgd_pairs_trained_total 123\n") ||
+              text.rfind("inf2vec_sgd_pairs_trained_total 123\n") == 0 ||
+              Contains(text, "counter\ninf2vec_sgd_pairs_trained_total 123"))
+      << text;
+}
+
+TEST(PrometheusRenderTest, GaugeRendersRoundTrippableValue) {
+  MetricsRegistry registry;
+  registry.GetGauge("train.learning_rate")->Set(0.025);
+  const std::string text = RenderPrometheus(registry.Scrape());
+  EXPECT_TRUE(Contains(text, "# TYPE inf2vec_train_learning_rate gauge\n"))
+      << text;
+  EXPECT_TRUE(Contains(text, "inf2vec_train_learning_rate 0.025")) << text;
+}
+
+TEST(PrometheusRenderTest, HistogramBucketsAreCumulativeAndMonotone) {
+  MetricsRegistry registry;
+  EnableMetrics(true);
+  HistogramMetric* h =
+      registry.GetHistogram("rpc.latency_us", {10, 100, 1000});
+  h->Record(5);     // -> bucket 0 (le 10 region, keyed by lower boundary).
+  h->Record(50);    // -> bucket 10.
+  h->Record(50);    // -> bucket 10.
+  h->Record(5000);  // -> bucket 1000.
+  EnableMetrics(false);
+
+  const std::string text = RenderPrometheus(registry.Scrape());
+  EXPECT_TRUE(Contains(text, "# TYPE inf2vec_rpc_latency_us histogram\n"))
+      << text;
+  EXPECT_TRUE(Contains(text, "inf2vec_rpc_latency_us_bucket{le=\"+Inf\"} 4"))
+      << text;
+  EXPECT_TRUE(Contains(text, "inf2vec_rpc_latency_us_count 4")) << text;
+
+  // Walk the bucket rows in order: cumulative counts never decrease and
+  // end at total_count.
+  std::istringstream lines(text);
+  std::string line;
+  uint64_t previous = 0;
+  uint64_t last_seen = 0;
+  int bucket_rows = 0;
+  while (std::getline(lines, line)) {
+    const std::string prefix = "inf2vec_rpc_latency_us_bucket{le=";
+    if (line.rfind(prefix, 0) != 0) continue;
+    ++bucket_rows;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const uint64_t value = std::stoull(line.substr(space + 1));
+    EXPECT_GE(value, previous) << "bucket counts must be cumulative: "
+                               << text;
+    previous = value;
+    last_seen = value;
+  }
+  EXPECT_GE(bucket_rows, 2) << text;
+  EXPECT_EQ(last_seen, 4u) << text;
+}
+
+TEST(PrometheusRenderTest, DeterministicForEqualSnapshots) {
+  MetricsRegistry registry;
+  EnableMetrics(true);
+  registry.GetCounter("b.second")->Increment(2);
+  registry.GetCounter("a.first")->Increment(1);
+  registry.GetGauge("c.third")->Set(3.5);
+  EnableMetrics(false);
+
+  const std::string once = RenderPrometheus(registry.Scrape());
+  const std::string twice = RenderPrometheus(registry.Scrape());
+  EXPECT_EQ(once, twice);
+  // Name-sorted: a.first renders before b.second.
+  EXPECT_LT(once.find("inf2vec_a_first_total"),
+            once.find("inf2vec_b_second_total"));
+}
+
+TEST(PrometheusRenderTest, EmptySnapshotRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(RenderPrometheus(registry.Scrape()), "");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace inf2vec

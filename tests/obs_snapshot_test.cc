@@ -1,0 +1,143 @@
+// Metrics-snapshotter tests: the background thread turns a registry into a
+// JSONL time series with monotone seq/uptime/counters, per-line deltas, and
+// a guaranteed final line on Stop() even for runs shorter than the
+// interval.
+
+#include "obs/snapshotter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+std::string TempPath(const std::string& stem) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/" + stem;
+}
+
+std::vector<JsonValue> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<JsonValue> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Result<JsonValue> parsed = ParseJson(line);
+    EXPECT_TRUE(parsed.ok()) << "bad JSONL line: " << line;
+    if (parsed.ok()) lines.push_back(std::move(parsed.value()));
+  }
+  return lines;
+}
+
+TEST(MetricsSnapshotterTest, WritesFinalLineOnImmediateStop) {
+  const std::string path = TempPath("snap_immediate.jsonl");
+  MetricsRegistry registry;
+  registry.GetCounter("fast.count")->Increment(3);
+
+  MetricsSnapshotter snapshotter({path, /*interval_ms=*/60000}, &registry);
+  ASSERT_TRUE(snapshotter.Start().ok());
+  snapshotter.Stop();
+
+  // A 60s interval never fires, but Stop() still flushes one line.
+  const std::vector<JsonValue> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(snapshotter.lines_written(), 1u);
+  EXPECT_EQ(lines[0].Find("schema_version")->AsInt(), 1);
+  EXPECT_EQ(lines[0].Find("seq")->AsInt(), 0);
+  EXPECT_EQ(lines[0].Find("counters")->Find("fast.count")->AsInt(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsSnapshotterTest, SeriesIsMonotoneWithCorrectDeltas) {
+  const std::string path = TempPath("snap_series.jsonl");
+  MetricsRegistry registry;
+  Counter* pairs = registry.GetCounter("sgd.pairs_trained");
+  Gauge* lr = registry.GetGauge("train.learning_rate");
+
+  MetricsSnapshotter snapshotter({path, /*interval_ms=*/10}, &registry);
+  ASSERT_TRUE(snapshotter.Start().ok());
+  for (int i = 0; i < 5; ++i) {
+    pairs->Increment(100);
+    lr->Set(0.025 - 0.001 * i);
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  snapshotter.Stop();
+  snapshotter.Stop();  // Idempotent.
+  EXPECT_FALSE(snapshotter.running());
+
+  const std::vector<JsonValue> lines = ReadLines(path);
+  ASSERT_GE(lines.size(), 2u) << "10ms interval over ~75ms must tick";
+  EXPECT_EQ(snapshotter.lines_written(), lines.size());
+
+  int64_t previous_uptime = -1;
+  int64_t previous_count = 0;
+  int64_t delta_sum = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const JsonValue& line = lines[i];
+    EXPECT_EQ(line.Find("schema_version")->AsInt(), 1);
+    EXPECT_EQ(line.Find("seq")->AsInt(), static_cast<int64_t>(i));
+    const int64_t uptime = line.Find("uptime_ms")->AsInt();
+    EXPECT_GE(uptime, previous_uptime);
+    previous_uptime = uptime;
+
+    const int64_t count =
+        line.Find("counters")->Find("sgd.pairs_trained")->AsInt();
+    EXPECT_GE(count, previous_count) << "cumulative counter went backwards";
+    const int64_t delta =
+        line.Find("deltas")->Find("sgd.pairs_trained")->AsInt();
+    EXPECT_EQ(delta, count - previous_count)
+        << "delta must equal the cumulative step at seq " << i;
+    previous_count = count;
+    delta_sum += delta;
+  }
+  // Deltas telescope back to the final cumulative value.
+  EXPECT_EQ(delta_sum, previous_count);
+  EXPECT_EQ(previous_count, 500);
+  // Gauges are last-write-wins; the final line carries the final set.
+  EXPECT_NEAR(lines.back().Find("gauges")->Find("train.learning_rate")
+                  ->AsDouble(),
+              0.021, 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsSnapshotterTest, StartTruncatesPreviousSeries) {
+  const std::string path = TempPath("snap_truncate.jsonl");
+  MetricsRegistry registry;
+  {
+    MetricsSnapshotter first({path, 60000}, &registry);
+    ASSERT_TRUE(first.Start().ok());
+  }  // Destructor stops and writes the final line.
+  {
+    MetricsSnapshotter second({path, 60000}, &registry);
+    ASSERT_TRUE(second.Start().ok());
+    second.Stop();
+  }
+  // The second run starts its own series at seq 0 in a truncated file.
+  const std::vector<JsonValue> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].Find("seq")->AsInt(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsSnapshotterTest, StartFailsOnUnwritablePath) {
+  MetricsRegistry registry;
+  MetricsSnapshotter snapshotter(
+      {"/no-such-directory/nested/snap.jsonl", 1000}, &registry);
+  EXPECT_FALSE(snapshotter.Start().ok());
+  EXPECT_FALSE(snapshotter.running());
+  snapshotter.Stop();  // Safe on a never-started snapshotter.
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace inf2vec

@@ -1,0 +1,111 @@
+// RunStatus (/statusz state) and build_info (environment provenance)
+// tests: command reset semantics, monotone epoch progress, the ETA
+// extrapolation contract, and the provenance keys the run report and
+// /varz both depend on.
+
+#include "obs/run_status.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/build_info.h"
+#include "obs/json.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+TEST(RunStatusTest, StartCommandResetsEverything) {
+  RunStatus status;
+  status.StartCommand("train");
+  status.SetPhase("sgd");
+  status.SetThreads(4);
+  status.UpdateEpoch(0, 10, -0.7, 1e6, 0.5);
+
+  status.StartCommand("evaluate");
+  const JsonValue doc = status.ToJson();
+  EXPECT_EQ(doc.Find("command")->AsString(), "evaluate");
+  EXPECT_EQ(doc.Find("phase")->AsString(), "starting");
+  EXPECT_EQ(doc.Find("epoch")->AsInt(), 0);
+  EXPECT_EQ(doc.Find("total_epochs")->AsInt(), 0);
+  EXPECT_EQ(doc.Find("threads")->AsInt(), 1);
+  // No epoch has finished since the reset: ETA is the -1 sentinel.
+  EXPECT_DOUBLE_EQ(doc.Find("eta_seconds")->AsDouble(), -1.0);
+}
+
+TEST(RunStatusTest, EpochProgressIsMonotoneAndOneBased) {
+  RunStatus status;
+  status.StartCommand("train");
+  int64_t previous = 0;
+  for (uint32_t epoch = 0; epoch < 5; ++epoch) {
+    status.UpdateEpoch(epoch, 5, -0.5 + 0.01 * epoch, 2e6, 0.1);
+    const JsonValue doc = status.ToJson();
+    const int64_t done = doc.Find("epoch")->AsInt();
+    // /statusz reports the 1-based count of *finished* epochs.
+    EXPECT_EQ(done, static_cast<int64_t>(epoch) + 1);
+    EXPECT_GT(done, previous) << "epoch must advance monotonically";
+    previous = done;
+  }
+  EXPECT_EQ(status.ToJson().Find("total_epochs")->AsInt(), 5);
+}
+
+TEST(RunStatusTest, EtaExtrapolatesRemainingEpochs) {
+  RunStatus status;
+  status.StartCommand("train");
+  // 3 of 10 epochs finished, the last one in 2s: 7 remain -> ETA 14s.
+  status.UpdateEpoch(2, 10, -0.4, 1e6, 2.0);
+  EXPECT_DOUBLE_EQ(status.ToJson().Find("eta_seconds")->AsDouble(), 14.0);
+  // All epochs done: nothing remains.
+  status.UpdateEpoch(9, 10, -0.3, 1e6, 2.0);
+  EXPECT_DOUBLE_EQ(status.ToJson().Find("eta_seconds")->AsDouble(), 0.0);
+}
+
+TEST(RunStatusTest, ToJsonCarriesLiveTrainingFields) {
+  RunStatus status;
+  status.StartCommand("train");
+  status.SetPhase("corpus");
+  status.SetThreads(8);
+  status.UpdateEpoch(0, 3, -0.6931, 1.5e6, 0.25);
+
+  const JsonValue doc = status.ToJson();
+  EXPECT_EQ(doc.Find("phase")->AsString(), "corpus");
+  EXPECT_EQ(doc.Find("threads")->AsInt(), 8);
+  EXPECT_DOUBLE_EQ(doc.Find("objective")->AsDouble(), -0.6931);
+  EXPECT_DOUBLE_EQ(doc.Find("pairs_per_second")->AsDouble(), 1.5e6);
+  EXPECT_GE(doc.Find("uptime_seconds")->AsDouble(), 0.0);
+}
+
+TEST(BuildInfoTest, ProvenanceFieldsAreNeverEmpty) {
+  const BuildInfo& info = GetBuildInfo();
+  EXPECT_FALSE(info.git_sha.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.build_type.empty());
+  EXPECT_FALSE(info.cxx_standard.empty());
+}
+
+TEST(BuildInfoTest, RuntimeProbesReportThisProcess) {
+  // getrusage-based peak RSS: a running test binary occupies memory.
+  EXPECT_GT(PeakRssBytes(), 0u);
+  // Hostname may be empty only if the syscall fails, which would itself be
+  // a finding on any supported platform.
+  EXPECT_FALSE(Hostname().empty());
+}
+
+TEST(BuildInfoTest, EnvironmentJsonHasFullProvenanceBlock) {
+  const JsonValue env = EnvironmentJson();
+  ASSERT_NE(env.Find("hostname"), nullptr);
+  EXPECT_GT(env.Find("pid")->AsInt(), 0);
+  EXPECT_GT(env.Find("hardware_concurrency")->AsInt(), 0);
+  EXPECT_GT(env.Find("peak_rss_bytes")->AsInt(), 0);
+  const JsonValue* build = env.Find("build");
+  ASSERT_NE(build, nullptr);
+  for (const char* key :
+       {"git_sha", "compiler", "build_type", "build_flags", "cxx_standard"}) {
+    ASSERT_NE(build->Find(key), nullptr) << key;
+    EXPECT_FALSE(build->Find(key)->AsString().empty()) << key;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace inf2vec

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Regression diff for two unified BENCH_*.json files.
+
+Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+                        [--fail-on-missing]
+
+Both files must follow the bench_common.BenchReport schema (schema_version
+1: {"bench", "config", "results": [{"name", "wall_ms", "throughput"?,
+"repetitions"}]}). Rows are joined by their unique "name". Rows carrying a
+positive "throughput" compare on throughput (higher is better); all other
+rows fall back to "wall_ms" (lower is better). A row regresses when the
+candidate is worse than the baseline by more than --threshold percent.
+
+Exits 0 when no row regresses, 1 on any regression or schema problem.
+Dependency-free (stdlib json only) so it runs in any CI image.
+"""
+
+import argparse
+import json
+import sys
+
+
+class BenchError(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise BenchError(message)
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise BenchError(f"{path}: {e}") from e
+    require(isinstance(report, dict), f"{path}: root must be a JSON object")
+    require(report.get("schema_version") == 1,
+            f"{path}: schema_version must be 1, "
+            f"got {report.get('schema_version')!r}")
+    require(isinstance(report.get("bench"), str) and report["bench"],
+            f"{path}: 'bench' must be a non-empty string")
+    require(isinstance(report.get("config"), dict),
+            f"{path}: 'config' must be an object")
+    results = report.get("results")
+    require(isinstance(results, list) and results,
+            f"{path}: 'results' must be a non-empty array")
+    rows = {}
+    for i, row in enumerate(results):
+        where = f"{path}: results[{i}]"
+        require(isinstance(row, dict), f"{where}: must be an object")
+        name = row.get("name")
+        require(isinstance(name, str) and name,
+                f"{where}: needs a non-empty 'name'")
+        require(name not in rows, f"{where}: duplicate row name '{name}'")
+        wall = row.get("wall_ms")
+        require(isinstance(wall, (int, float)) and not isinstance(wall, bool)
+                and wall >= 0, f"{where}: 'wall_ms' must be a number >= 0")
+        thr = row.get("throughput")
+        if thr is not None:
+            require(isinstance(thr, (int, float)) and not
+                    isinstance(thr, bool) and thr > 0,
+                    f"{where}: 'throughput', when present, must be > 0")
+        rows[name] = row
+    return report, rows
+
+
+def compare_row(name, base, cand, threshold_pct):
+    """Returns (metric, base_value, cand_value, delta_pct, regressed)."""
+    if base.get("throughput") is not None and \
+            cand.get("throughput") is not None:
+        b, c = base["throughput"], cand["throughput"]
+        delta = 100.0 * (c - b) / b
+        return ("throughput", b, c, delta, delta < -threshold_pct)
+    b, c = base["wall_ms"], cand["wall_ms"]
+    if b <= 0:
+        return ("wall_ms", b, c, 0.0, False)
+    delta = 100.0 * (c - b) / b
+    return ("wall_ms", b, c, delta, delta > threshold_pct)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="regression threshold in percent (default 5)")
+    parser.add_argument("--fail-on-missing", action="store_true",
+                        help="also fail when a baseline row is absent "
+                             "from the candidate")
+    args = parser.parse_args()
+
+    try:
+        base_report, base_rows = load_report(args.baseline)
+        cand_report, cand_rows = load_report(args.candidate)
+        require(base_report["bench"] == cand_report["bench"],
+                f"bench mismatch: '{base_report['bench']}' vs "
+                f"'{cand_report['bench']}'")
+    except BenchError as e:
+        print(f"bench_compare: FAIL: {e}", file=sys.stderr)
+        return 1
+
+    regressions = []
+    missing = [n for n in base_rows if n not in cand_rows]
+    for name, base in base_rows.items():
+        cand = cand_rows.get(name)
+        if cand is None:
+            continue
+        metric, b, c, delta, regressed = compare_row(
+            name, base, cand, args.threshold)
+        tag = "REGRESSION" if regressed else "ok"
+        print(f"  {tag:10s} {name}: {metric} {b:.4g} -> {c:.4g} "
+              f"({delta:+.2f}%)")
+        if regressed:
+            regressions.append(name)
+    for name in missing:
+        print(f"  MISSING    {name}: present in baseline only")
+    new_rows = [n for n in cand_rows if n not in base_rows]
+    for name in new_rows:
+        print(f"  NEW        {name}: present in candidate only")
+
+    failed = bool(regressions) or (args.fail_on_missing and missing)
+    verdict = "FAIL" if failed else "OK"
+    print(f"bench_compare: {verdict}: {len(regressions)} regression(s), "
+          f"{len(missing)} missing, {len(new_rows)} new "
+          f"(threshold {args.threshold:.1f}%)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Bench-regression gate over the unified BENCH_*.json schema.
+#
+#   bench_gate.sh BASELINE.json CANDIDATE.json [THRESHOLD_PCT]
+#       Diffs candidate against baseline with bench_compare.py; exits
+#       nonzero when any row regresses by more than THRESHOLD_PCT
+#       (default 5).
+#
+#   bench_gate.sh --self-test
+#       Proves the gate trips: synthesizes a baseline, checks that an
+#       identical candidate passes (exit 0) and that a candidate with an
+#       injected >=5% regression fails (exit nonzero). Run by ctest
+#       (label: bench_gate).
+set -euo pipefail
+
+TOOLS_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+COMPARE="${TOOLS_DIR}/bench_compare.py"
+
+if [[ "${1:-}" == "--self-test" ]]; then
+  WORKDIR="$(mktemp -d)"
+  trap 'rm -rf "${WORKDIR}"' EXIT
+
+  cat > "${WORKDIR}/baseline.json" <<'EOF'
+{
+  "schema_version": 1,
+  "bench": "self_test",
+  "config": {"epochs": 4},
+  "results": [
+    {"name": "sgd", "wall_ms": 1000.0, "throughput": 50000.0,
+     "repetitions": 4},
+    {"name": "corpus", "wall_ms": 400.0, "repetitions": 1}
+  ]
+}
+EOF
+
+  # Identical files must pass.
+  if ! python3 "${COMPARE}" "${WORKDIR}/baseline.json" \
+      "${WORKDIR}/baseline.json" --threshold 5; then
+    echo "bench_gate self-test: FAIL (identical files rejected)" >&2
+    exit 1
+  fi
+
+  # A 10% throughput drop plus a 10% wall_ms increase must fail.
+  sed -e 's/50000\.0/45000.0/' -e 's/"wall_ms": 400\.0/"wall_ms": 440.0/' \
+      "${WORKDIR}/baseline.json" > "${WORKDIR}/regressed.json"
+  if python3 "${COMPARE}" "${WORKDIR}/baseline.json" \
+      "${WORKDIR}/regressed.json" --threshold 5; then
+    echo "bench_gate self-test: FAIL (injected regression passed)" >&2
+    exit 1
+  fi
+
+  echo "bench_gate self-test: OK (pass path and fail path both verified)"
+  exit 0
+fi
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: bench_gate.sh BASELINE.json CANDIDATE.json [THRESHOLD_PCT]" >&2
+  echo "       bench_gate.sh --self-test" >&2
+  exit 2
+fi
+
+exec python3 "${COMPARE}" "$1" "$2" --threshold "${3:-5}"

@@ -112,6 +112,24 @@ def check_report(report, args):
             check_number(ev, key, "eval")
         require(0.0 <= ev["auc"] <= 1.0, f"eval.auc={ev['auc']} not in [0, 1]")
 
+    if args.expect_environment:
+        env = report.get("environment")
+        require(isinstance(env, dict),
+                "environment section missing or not an object")
+        require(isinstance(env.get("hostname"), str),
+                "environment.hostname must be a string")
+        for key in ("pid", "hardware_concurrency", "peak_rss_bytes"):
+            check_number(env, key, "environment")
+        require(env["peak_rss_bytes"] > 0,
+                "environment.peak_rss_bytes must be positive")
+        build = env.get("build")
+        require(isinstance(build, dict),
+                "environment.build must be an object")
+        for key in ("git_sha", "compiler", "build_type", "build_flags",
+                    "cxx_standard"):
+            require(isinstance(build.get(key), str) and build[key],
+                    f"environment.build.{key} must be a non-empty string")
+
 
 def check_trace(trace):
     require(isinstance(trace, dict), "trace root must be a JSON object")
@@ -139,6 +157,8 @@ def main():
                         help="exact number of epoch rows required")
     parser.add_argument("--expect-eval", action="store_true",
                         help="require a valid eval section")
+    parser.add_argument("--expect-environment", action="store_true",
+                        help="require a valid environment provenance section")
     parser.add_argument("--trace", help="also validate a --trace-out file")
     args = parser.parse_args()
 

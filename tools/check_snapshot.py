@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Schema validator for --metrics-snapshot-out JSONL time series.
+
+Usage: check_snapshot.py SNAPSHOT.jsonl [--min-lines N]
+
+Each line must be a self-contained JSON object:
+  {"schema_version": 1, "seq": N, "uptime_ms": T,
+   "counters": {name: cumulative_int}, "deltas": {name: int_since_prev},
+   "gauges": {name: number}}
+with seq counting up from 0, uptime_ms non-decreasing, and every counter
+non-negative and non-decreasing across lines. Exits 0 on success, 1 with a
+diagnostic otherwise. Dependency-free (stdlib json only).
+"""
+
+import argparse
+import json
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise SchemaError(message)
+
+
+def check_counter_map(obj, key, where):
+    require(isinstance(obj.get(key), dict), f"{where}: '{key}' must be "
+            "an object")
+    for name, value in obj[key].items():
+        require(isinstance(value, int) and not isinstance(value, bool)
+                and value >= 0,
+                f"{where}: {key}['{name}'] must be a non-negative integer, "
+                f"got {value!r}")
+
+
+def check_lines(lines, path):
+    prev_uptime = -1
+    prev_counters = {}
+    for i, raw in enumerate(lines):
+        where = f"{path}:{i + 1}"
+        try:
+            snap = json.loads(raw)
+        except json.JSONDecodeError as e:
+            raise SchemaError(f"{where}: not valid JSON: {e}") from e
+        require(isinstance(snap, dict), f"{where}: must be a JSON object")
+        require(snap.get("schema_version") == 1,
+                f"{where}: schema_version must be 1, "
+                f"got {snap.get('schema_version')!r}")
+        require(snap.get("seq") == i,
+                f"{where}: seq must be {i}, got {snap.get('seq')!r}")
+        uptime = snap.get("uptime_ms")
+        require(isinstance(uptime, int) and uptime >= 0,
+                f"{where}: uptime_ms must be a non-negative integer")
+        require(uptime >= prev_uptime, f"{where}: uptime_ms went backwards "
+                f"({prev_uptime} -> {uptime})")
+        prev_uptime = uptime
+
+        check_counter_map(snap, "counters", where)
+        check_counter_map(snap, "deltas", where)
+        require(isinstance(snap.get("gauges"), dict),
+                f"{where}: 'gauges' must be an object")
+        for name, value in snap["gauges"].items():
+            require(isinstance(value, (int, float)) and not
+                    isinstance(value, bool),
+                    f"{where}: gauges['{name}'] must be a number")
+
+        for name, value in snap["counters"].items():
+            prev = prev_counters.get(name, 0)
+            require(value >= prev, f"{where}: counter '{name}' went "
+                    f"backwards ({prev} -> {value})")
+        prev_counters = dict(snap["counters"])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot", help="path to a JSONL snapshot file")
+    parser.add_argument("--min-lines", type=int, default=1,
+                        help="minimum number of snapshot lines required")
+    args = parser.parse_args()
+
+    try:
+        with open(args.snapshot, "r", encoding="utf-8") as f:
+            lines = [line for line in f.read().splitlines() if line.strip()]
+        if len(lines) < args.min_lines:
+            raise SchemaError(f"expected >= {args.min_lines} lines, "
+                              f"got {len(lines)}")
+        check_lines(lines, args.snapshot)
+    except (OSError, SchemaError) as e:
+        print(f"check_snapshot: FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"check_snapshot: OK ({len(lines)} snapshots)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 
 #include "action/action_log_io.h"
@@ -12,8 +13,12 @@
 #include "eval/diffusion_task.h"
 #include "eval/harness.h"
 #include "graph/graph_io.h"
+#include "obs/build_info.h"
+#include "obs/http_server.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
+#include "obs/run_status.h"
+#include "obs/snapshotter.h"
 #include "obs/trace.h"
 #include "synth/world_generator.h"
 #include "util/logging.h"
@@ -34,7 +39,10 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 /// Applies the global observability flags (--log-level, --metrics-out,
-/// --trace-out) before the command runs.
+/// --trace-out, --serve-port, --metrics-snapshot-out) before the command
+/// runs. Any of --metrics-out / --serve-port / --metrics-snapshot-out
+/// turns metric recording on; the registry is reset once so every sink
+/// sees the same run-scoped counts.
 Status SetupObservability(const FlagParser& flags) {
   const std::string level_name = flags.GetString("log-level", "");
   if (!level_name.empty()) {
@@ -45,7 +53,10 @@ Status SetupObservability(const FlagParser& flags) {
     }
     SetMinLogLevel(level);
   }
-  if (!flags.GetString("metrics-out", "").empty()) {
+  const bool want_metrics =
+      !flags.GetString("metrics-out", "").empty() || flags.Has("serve-port") ||
+      !flags.GetString("metrics-snapshot-out", "").empty();
+  if (want_metrics) {
     obs::MetricsRegistry::Default().Reset();
     obs::EnableMetrics(true);
     obs::InstallThreadPoolMetrics();
@@ -430,7 +441,14 @@ std::string UsageText() {
       "  --log-level debug|info|warning|error   log threshold (default"
       " info)\n"
       "  --metrics-out F   write a structured JSON run report\n"
-      "  --trace-out F     write a chrome://tracing / Perfetto trace\n";
+      "  --trace-out F     write a chrome://tracing / Perfetto trace\n"
+      "  --serve-port P    embedded stats server on 127.0.0.1:P for the\n"
+      "                    run: /metrics (Prometheus), /statusz, /varz,\n"
+      "                    /healthz; 0 = kernel-picked port\n"
+      "  --metrics-snapshot-out F           append periodic registry\n"
+      "                    snapshots as JSONL time series\n"
+      "  --metrics-snapshot-interval-ms N   snapshot spacing (default"
+      " 1000)\n";
 }
 
 Status Dispatch(const FlagParser& flags) {
@@ -453,6 +471,43 @@ Status Dispatch(const FlagParser& flags) {
   INF2VEC_RETURN_IF_ERROR(SetupObservability(flags));
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string trace_out = flags.GetString("trace-out", "");
+  obs::RunStatus::Default().StartCommand(command);
+
+  // Live telemetry plane: --serve-port exposes /metrics, /statusz, /varz
+  // and /healthz for the lifetime of the command (port 0 = kernel-picked).
+  std::unique_ptr<obs::StatsServer> server;
+  if (flags.Has("serve-port")) {
+    Result<int64_t> port = flags.GetInt("serve-port", 0);
+    INF2VEC_RETURN_IF_ERROR(port.status());
+    if (port.value() < 0 || port.value() > 65535) {
+      return Status::InvalidArgument("--serve-port must be in [0, 65535]");
+    }
+    obs::StatsServerOptions options;
+    options.port = static_cast<uint16_t>(port.value());
+    server = std::make_unique<obs::StatsServer>(options);
+    INF2VEC_RETURN_IF_ERROR(server->Start());
+    INF2VEC_LOG(Info) << "stats server on http://127.0.0.1:"
+                      << server->port()
+                      << " (/metrics /statusz /varz /healthz)";
+  }
+
+  // Periodic metrics time series: one JSONL line per interval.
+  std::unique_ptr<obs::MetricsSnapshotter> snapshotter;
+  const std::string snapshot_out = flags.GetString("metrics-snapshot-out", "");
+  if (!snapshot_out.empty()) {
+    Result<int64_t> interval =
+        flags.GetInt("metrics-snapshot-interval-ms", 1000);
+    INF2VEC_RETURN_IF_ERROR(interval.status());
+    if (interval.value() <= 0) {
+      return Status::InvalidArgument(
+          "--metrics-snapshot-interval-ms must be positive");
+    }
+    obs::SnapshotterOptions options;
+    options.path = snapshot_out;
+    options.interval_ms = static_cast<uint32_t>(interval.value());
+    snapshotter = std::make_unique<obs::MetricsSnapshotter>(options);
+    INF2VEC_RETURN_IF_ERROR(snapshotter->Start());
+  }
 
   obs::RunReport report(command);
   if (!metrics_out.empty()) g_active_report = &report;
@@ -462,8 +517,17 @@ Status Dispatch(const FlagParser& flags) {
     status = run(flags);
   }
   g_active_report = nullptr;
+  obs::RunStatus::Default().SetPhase(status.ok() ? "done" : "failed");
+
+  if (snapshotter != nullptr) {
+    snapshotter->Stop();  // Final snapshot line + deterministic join.
+    INF2VEC_LOG(Info) << "wrote " << snapshotter->lines_written()
+                      << " metric snapshots -> " << snapshot_out;
+  }
+  if (server != nullptr) server->Stop();
 
   if (status.ok() && !metrics_out.empty()) {
+    report.SetSection("environment", obs::EnvironmentJson());
     report.FinalizeFromRegistry(obs::MetricsRegistry::Default());
     INF2VEC_RETURN_IF_ERROR(report.WriteJson(metrics_out));
     INF2VEC_LOG(Info) << "wrote run report -> " << metrics_out;

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # End-to-end observability check, run by ctest (label: obs).
 #
-#   run_report_check.sh <inf2vec_cli> <check_run_report.py>
+#   run_report_check.sh <inf2vec_cli> <check_run_report.py> \
+#                       <check_snapshot.py>
 #
-# Generates a tiny synthetic world, runs one train+eval with --metrics-out
-# and --trace-out, and schema-validates both artifacts.
+# Generates a tiny synthetic world, runs one train+eval with --metrics-out,
+# --trace-out, and --metrics-snapshot-out, and schema-validates all three
+# artifacts. Also checks that without --serve-port the CLI never starts the
+# stats server.
 set -euo pipefail
 
 CLI="$1"
 CHECKER="$2"
+SNAPSHOT_CHECKER="$3"
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "${WORKDIR}"' EXIT
 
@@ -20,11 +24,25 @@ trap 'rm -rf "${WORKDIR}"' EXIT
     --model "${WORKDIR}/model.bin" \
     --epochs 3 --threads 2 --eval-task activation --progress \
     --metrics-out "${WORKDIR}/report.json" \
-    --trace-out "${WORKDIR}/trace.json"
+    --trace-out "${WORKDIR}/trace.json" \
+    --metrics-snapshot-out "${WORKDIR}/snapshots.jsonl" \
+    --metrics-snapshot-interval-ms 50 2> "${WORKDIR}/train.log"
+cat "${WORKDIR}/train.log" >&2
+
+# The stats server is strictly opt-in: no --serve-port, no socket.
+if grep -q "stats server" "${WORKDIR}/train.log"; then
+  echo "run_report_check: FAIL: stats server started without --serve-port" >&2
+  exit 1
+fi
 
 python3 "${CHECKER}" "${WORKDIR}/report.json" \
     --command train --expect-epochs 3 --expect-eval \
+    --expect-environment \
     --trace "${WORKDIR}/trace.json"
+
+# The snapshot series must parse, count up from seq 0, and contain at
+# least the final flushed-on-stop line.
+python3 "${SNAPSHOT_CHECKER}" "${WORKDIR}/snapshots.jsonl" --min-lines 1
 
 # The standalone evaluate command must also produce a schema-valid report.
 "${CLI}" evaluate \
