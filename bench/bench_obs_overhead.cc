@@ -55,10 +55,10 @@ int main() {
   Inf2vecConfig config = MakeInf2vecConfig(zoo);
   config.epochs = kWarmupEpochs + 2 * kMeasuredPairs;
 
-  Rng rng(config.seed);
   const InfluenceCorpus corpus =
       BuildInfluenceCorpus(d.world.graph, d.split.train, config.context,
-                           d.world.graph.num_users(), rng);
+                           d.world.graph.num_users(),
+                           CorpusBuildOptions{.seed = config.seed});
   INF2VEC_CHECK(!corpus.pairs.empty());
   std::printf("corpus: %zu pairs, %u epochs (%d measured pairs)\n\n",
               corpus.pairs.size(), config.epochs, kMeasuredPairs);

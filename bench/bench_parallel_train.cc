@@ -43,16 +43,15 @@ RunResult RunAt(const Dataset& d, Inf2vecConfig config, uint32_t threads) {
   WallTimer corpus_timer;
   InfluenceCorpus corpus;
   if (threads <= 1) {
-    Rng rng(config.seed);
     corpus = BuildInfluenceCorpus(d.world.graph, d.split.train,
-                                  config.context,
-                                  d.world.graph.num_users(), rng);
+                                  config.context, d.world.graph.num_users(),
+                                  CorpusBuildOptions{.seed = config.seed});
   } else {
     ThreadPool pool(threads);
-    corpus = BuildInfluenceCorpus(d.world.graph, d.split.train,
-                                  config.context,
-                                  d.world.graph.num_users(), config.seed,
-                                  pool);
+    corpus = BuildInfluenceCorpus(
+        d.world.graph, d.split.train, config.context,
+        d.world.graph.num_users(),
+        CorpusBuildOptions{.seed = config.seed, .pool = &pool});
   }
   result.corpus_seconds = corpus_timer.ElapsedSeconds();
   result.corpus_pairs = corpus.pairs.size();

@@ -80,11 +80,11 @@ int main() {
     // Inf2vec corpus via Algorithm 1 (L = 50) and the first-order-pairs
     // corpus for the footnote comparison.
     ZooOptions zoo;
-    Rng rng(3);
     const InfluenceCorpus corpus =
         BuildInfluenceCorpus(d.world.graph, d.split.train,
                              MakeInf2vecConfig(zoo).context,
-                             d.world.graph.num_users(), rng);
+                             d.world.graph.num_users(),
+                             CorpusBuildOptions{.seed = 3});
     InfluenceCorpus pairs_only;
     pairs_only.target_frequencies.assign(d.world.graph.num_users(), 0);
     for (const DiffusionEpisode& episode : d.split.train.episodes()) {
@@ -154,11 +154,10 @@ int main() {
 
     ZooOptions zoo;
     zoo.num_negatives = 5;  // The paper's lower |N| bound, as in its Fig. 9.
-    Rng corpus_rng(3);
     const InfluenceCorpus corpus = BuildInfluenceCorpus(
         world.value().graph, world.value().log,
-        MakeInf2vecConfig(zoo).context,
-        world.value().graph.num_users(), corpus_rng);
+        MakeInf2vecConfig(zoo).context, world.value().graph.num_users(),
+        CorpusBuildOptions{.seed = 3});
     std::printf("Inf2vec corpus: %zu pairs\n", corpus.pairs.size());
 
     std::printf("%-6s %12s %14s %9s\n", "K", "Inf2vec(s)", "Emb-IC(s)",

@@ -1,0 +1,212 @@
+// Closed-loop load bench for the online influence-query service. Drives
+// InfluenceService directly (no HTTP, no socket noise) so the numbers
+// isolate the serving kernel: seed gather + Eq. 7 scoring for single
+// queries, the cache-blocked heap scan for top-k, and thread-pool
+// sharding for batches. Each arm records per-request latency and reports
+// p50/p99 plus sustained QPS through BENCH_serve.json.
+//
+// Four arms:
+//   score_cold    rotating seed sets sized past the LRU, every gather a miss
+//   score_cached  one hot seed set, every gather a hit
+//   topk          k=10 full-table scan (throughput row: queries/sec)
+//   batch         1024-item ScoreBatch calls (throughput row: items/sec)
+//
+// Metrics recording is enabled, matching the production `serve` command,
+// so latencies include the striped-counter cost the real server pays.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "embedding/model_io.h"
+#include "obs/metrics.h"
+#include "serve/influence_service.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace inf2vec;         // NOLINT
+using namespace inf2vec::bench;  // NOLINT
+using serve::InfluenceService;
+
+constexpr uint32_t kNumUsers = 10000;
+constexpr uint32_t kDim = 64;
+constexpr uint32_t kNumSeedSets = 1024;  // > LRU capacity: cold arm misses.
+constexpr uint32_t kSeedsPerSet = 4;
+constexpr uint32_t kColdQueries = 4000;
+constexpr uint32_t kCachedQueries = 20000;
+constexpr uint32_t kTopKQueries = 60;
+constexpr uint32_t kBatchSize = 1024;
+constexpr uint32_t kBatchCalls = 8;
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double PercentileUs(std::vector<uint64_t>& latencies, double q) {
+  INF2VEC_CHECK(!latencies.empty());
+  std::sort(latencies.begin(), latencies.end());
+  const double rank = q * static_cast<double>(latencies.size() - 1);
+  return static_cast<double>(latencies[static_cast<size_t>(rank + 0.5)]);
+}
+
+struct ArmStats {
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Runs `n` iterations of `fn`, timing each; returns wall/QPS/percentiles.
+template <typename Fn>
+ArmStats RunArm(uint32_t n, Fn&& fn) {
+  std::vector<uint64_t> latencies;
+  latencies.reserve(n);
+  const WallTimer wall;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t start = NowUs();
+    fn(i);
+    latencies.push_back(NowUs() - start);
+  }
+  ArmStats stats;
+  stats.wall_ms = wall.ElapsedMillis();
+  stats.qps = static_cast<double>(n) / (stats.wall_ms / 1000.0);
+  stats.p50_us = PercentileUs(latencies, 0.50);
+  stats.p99_us = PercentileUs(latencies, 0.99);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  obs::MetricsRegistry::Default().Reset();
+  obs::EnableMetrics(true);
+
+  // Synthetic fixed-seed model: serving cost depends only on table shape,
+  // not on learned values, so training here would add minutes for nothing.
+  Rng rng(4242);
+  EmbeddingStore store(kNumUsers, kDim);
+  store.InitUniform(-0.5, 0.5, rng);
+  for (UserId u = 0; u < kNumUsers; ++u) {
+    store.mutable_source_bias(u) = rng.UniformDouble(-0.1, 0.1);
+    store.mutable_target_bias(u) = rng.UniformDouble(-0.1, 0.1);
+  }
+  ModelArtifact artifact;
+  artifact.store = std::move(store);
+  artifact.metadata.dim = kDim;
+
+  serve::ServiceOptions options;
+  options.num_threads = 0;  // All hardware threads for the batch arm.
+  auto service_or =
+      InfluenceService::FromArtifact(std::move(artifact), options);
+  INF2VEC_CHECK(service_or.ok()) << service_or.status().ToString();
+  const InfluenceService service = std::move(service_or).value();
+  service.Warm();
+
+  // Distinct seed sets; kNumSeedSets exceeds the LRU capacity, so
+  // round-robin rotation through them defeats the cache (cold arm) while
+  // reusing set 0 alone always hits (cached arm).
+  std::vector<std::vector<UserId>> seed_sets(kNumSeedSets);
+  for (auto& seeds : seed_sets) {
+    seeds.reserve(kSeedsPerSet);
+    for (uint32_t i = 0; i < kSeedsPerSet; ++i) {
+      seeds.push_back(static_cast<UserId>(rng.UniformU64(kNumUsers)));
+    }
+  }
+
+  std::printf("serve bench: %u users, dim %u, %u seed sets x %u seeds\n\n",
+              kNumUsers, kDim, kNumSeedSets, kSeedsPerSet);
+
+  const ArmStats cold = RunArm(kColdQueries, [&](uint32_t i) {
+    serve::ScoreRequest request;
+    request.candidate = (i * 7) % kNumUsers;
+    request.seeds = seed_sets[i % kNumSeedSets];
+    const auto result = service.ScoreActivation(request);
+    INF2VEC_CHECK(result.ok()) << result.status().ToString();
+  });
+
+  const ArmStats cached = RunArm(kCachedQueries, [&](uint32_t i) {
+    serve::ScoreRequest request;
+    request.candidate = (i * 13) % kNumUsers;
+    request.seeds = seed_sets[0];
+    const auto result = service.ScoreActivation(request);
+    INF2VEC_CHECK(result.ok()) << result.status().ToString();
+  });
+
+  const ArmStats topk = RunArm(kTopKQueries, [&](uint32_t i) {
+    serve::TopKRequest request;
+    request.seeds = seed_sets[i % kNumSeedSets];
+    request.k = 10;
+    const auto result = service.TopK(request);
+    INF2VEC_CHECK(result.ok()) << result.status().ToString();
+    INF2VEC_CHECK(result.value().entries.size() == 10u);
+  });
+
+  const ArmStats batch = RunArm(kBatchCalls, [&](uint32_t call) {
+    serve::BatchScoreRequest request;
+    request.items.reserve(kBatchSize);
+    for (uint32_t i = 0; i < kBatchSize; ++i) {
+      serve::BatchItem item;
+      item.candidate = (call * kBatchSize + i * 3) % kNumUsers;
+      item.seeds = seed_sets[(call * kBatchSize + i) % kNumSeedSets];
+      request.items.push_back(std::move(item));
+    }
+    const auto result = service.ScoreBatch(request);
+    INF2VEC_CHECK(result.ok()) << result.status().ToString();
+  });
+  // The batch row's throughput is items/sec, not calls/sec.
+  const double batch_items_per_sec =
+      static_cast<double>(kBatchCalls) * kBatchSize / (batch.wall_ms / 1000.0);
+
+  std::printf("%-14s %10s %12s %12s %12s\n", "arm", "wall ms", "qps",
+              "p50 us", "p99 us");
+  const auto print_arm = [](const char* name, const ArmStats& s, double qps) {
+    std::printf("%-14s %10.1f %12.0f %12.0f %12.0f\n", name, s.wall_ms, qps,
+                s.p50_us, s.p99_us);
+  };
+  print_arm("score_cold", cold, cold.qps);
+  print_arm("score_cached", cached, cached.qps);
+  print_arm("topk", topk, topk.qps);
+  print_arm("batch", batch, batch_items_per_sec);
+
+  const auto& cache = service.seed_cache();
+  std::printf("\nseed cache: %zu entries, %llu hits, %llu misses\n",
+              cache.size(), static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.misses()));
+
+  BenchReport report("serve");
+  report.SetConfig("num_users", static_cast<int64_t>(kNumUsers));
+  report.SetConfig("dim", static_cast<int64_t>(kDim));
+  report.SetConfig("seeds_per_set", static_cast<int64_t>(kSeedsPerSet));
+  report.SetConfig("seed_sets", static_cast<int64_t>(kNumSeedSets));
+  report.SetConfig("batch_size", static_cast<int64_t>(kBatchSize));
+  report.SetSummary("score_cached_p50_us", cached.p50_us);
+  report.SetSummary("score_cached_p99_us", cached.p99_us);
+  report.SetSummary("batch_items_per_sec", batch_items_per_sec);
+
+  const auto add_row = [&report](const char* name, const ArmStats& s,
+                                 double qps, uint64_t reps) {
+    obs::JsonValue& row = report.AddResult(name, s.wall_ms, qps, reps);
+    row.Set("p50_us", s.p50_us);
+    row.Set("p99_us", s.p99_us);
+  };
+  add_row("score_cold", cold, cold.qps, kColdQueries);
+  add_row("score_cached", cached, cached.qps, kCachedQueries);
+  add_row("topk", topk, topk.qps, kTopKQueries);
+  add_row("batch", batch, batch_items_per_sec,
+          static_cast<uint64_t>(kBatchCalls) * kBatchSize);
+  report.Write();
+
+  obs::EnableMetrics(false);
+  obs::MetricsRegistry::Default().Reset();
+  return 0;
+}

@@ -83,12 +83,12 @@ void AccumulateEpisode(const SocialGraph& graph,
   }
 }
 
-}  // namespace
-
-InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
-                                     const ActionLog& log,
-                                     const ContextOptions& options,
-                                     uint32_t num_users, Rng& rng) {
+/// Serial reference build over an externally owned RNG stream (the old
+/// Rng& overload's body; the options path seeds a fresh stream).
+InfluenceCorpus BuildCorpusSerial(const SocialGraph& graph,
+                                  const ActionLog& log,
+                                  const ContextOptions& options,
+                                  uint32_t num_users, Rng& rng) {
   obs::TraceSpan span("BuildInfluenceCorpus", "corpus");
   InfluenceCorpus corpus;
   corpus.target_frequencies.assign(num_users, 0);
@@ -99,11 +99,11 @@ InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
   return corpus;
 }
 
-InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
-                                     const ActionLog& log,
-                                     const ContextOptions& options,
-                                     uint32_t num_users, uint64_t seed,
-                                     ThreadPool& pool) {
+InfluenceCorpus BuildCorpusPooled(const SocialGraph& graph,
+                                  const ActionLog& log,
+                                  const ContextOptions& options,
+                                  uint32_t num_users, uint64_t seed,
+                                  ThreadPool& pool) {
   obs::TraceSpan span("BuildInfluenceCorpus", "corpus");
   const std::vector<DiffusionEpisode>& episodes = log.episodes();
   std::vector<InfluenceCorpus> fragments(pool.num_threads());
@@ -138,6 +138,36 @@ InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
   }
   RecordCorpusMetrics(corpus, episodes.size());
   return corpus;
+}
+
+}  // namespace
+
+InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
+                                     const ActionLog& log,
+                                     const ContextOptions& options,
+                                     uint32_t num_users,
+                                     const CorpusBuildOptions& build) {
+  if (build.pool == nullptr) {
+    Rng rng(build.seed);
+    return BuildCorpusSerial(graph, log, options, num_users, rng);
+  }
+  return BuildCorpusPooled(graph, log, options, num_users, build.seed,
+                           *build.pool);
+}
+
+InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
+                                     const ActionLog& log,
+                                     const ContextOptions& options,
+                                     uint32_t num_users, Rng& rng) {
+  return BuildCorpusSerial(graph, log, options, num_users, rng);
+}
+
+InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
+                                     const ActionLog& log,
+                                     const ContextOptions& options,
+                                     uint32_t num_users, uint64_t seed,
+                                     ThreadPool& pool) {
+  return BuildCorpusPooled(graph, log, options, num_users, seed, pool);
 }
 
 Result<Inf2vecModel> Inf2vecModel::TrainFromCorpus(
@@ -243,14 +273,16 @@ Result<Inf2vecModel> Inf2vecModel::Train(const SocialGraph& graph,
   obs::RunStatus::Default().SetThreads(num_threads);
   const auto corpus_start = std::chrono::steady_clock::now();
   InfluenceCorpus corpus;
+  CorpusBuildOptions build;
+  build.seed = config.seed;
   if (num_threads <= 1) {
-    Rng rng(config.seed);
     corpus = BuildInfluenceCorpus(graph, log, config.context,
-                                  graph.num_users(), rng);
+                                  graph.num_users(), build);
   } else {
     ThreadPool pool(num_threads);
+    build.pool = &pool;
     corpus = BuildInfluenceCorpus(graph, log, config.context,
-                                  graph.num_users(), config.seed, pool);
+                                  graph.num_users(), build);
   }
   const double corpus_seconds = SecondsSince(corpus_start);
   // Offset the SGD stream from the corpus stream so the two phases do not

@@ -89,19 +89,45 @@ struct InfluenceCorpus {
   uint64_t num_tuples = 0;
 };
 
+/// How BuildInfluenceCorpus executes: one options struct replaces the old
+/// serial (Rng&) / parallel (seed, ThreadPool&) overload pair.
+struct CorpusBuildOptions {
+  /// Base RNG seed. Serial builds draw from Rng(seed) exactly as the old
+  /// Rng& overload did with a fresh Rng; pooled builds derive per-shard
+  /// streams with ThreadPool::ShardSeed(seed, shard).
+  uint64_t seed = 42;
+  /// Null (the default) runs the bit-identical serial reference path.
+  /// Non-null shards episodes across the pool, each shard with its own
+  /// RNG stream into a private corpus fragment, and concatenates the
+  /// fragments in shard order — i.e. episode order — afterward.
+  /// Deterministic for a fixed (seed, thread count); different thread
+  /// counts yield different (equally valid) corpora because the RNG
+  /// sharding changes.
+  ThreadPool* pool = nullptr;
+};
+
 /// Builds the influence corpus: per episode, extract the propagation
-/// network and run Algorithm 1 for every participant.
+/// network and run Algorithm 1 for every participant. See
+/// CorpusBuildOptions for the serial/parallel execution contract.
+InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
+                                     const ActionLog& log,
+                                     const ContextOptions& options,
+                                     uint32_t num_users,
+                                     const CorpusBuildOptions& build);
+
+/// Deprecated serial entry point; equivalent to CorpusBuildOptions with a
+/// null pool except that it continues the caller's RNG stream. Will be
+/// removed one release after the CorpusBuildOptions migration.
+[[deprecated("use BuildInfluenceCorpus(..., CorpusBuildOptions{seed})")]]
 InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
                                      const ActionLog& log,
                                      const ContextOptions& options,
                                      uint32_t num_users, Rng& rng);
 
-/// Parallel corpus build: episodes are sharded across `pool`, each shard
-/// runs Algorithm 1 with its own RNG stream (ThreadPool::ShardSeed(seed,
-/// shard)) into a private corpus fragment, and fragments are concatenated
-/// in shard order — i.e. episode order — afterward. Deterministic for a
-/// fixed (seed, thread count); different thread counts yield different
-/// (equally valid) corpora because the RNG sharding changes.
+/// Deprecated parallel entry point; forwards to CorpusBuildOptions{seed,
+/// &pool}. Will be removed one release after the migration.
+[[deprecated(
+    "use BuildInfluenceCorpus(..., CorpusBuildOptions{seed, &pool})")]]
 InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
                                      const ActionLog& log,
                                      const ContextOptions& options,

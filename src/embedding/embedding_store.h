@@ -32,6 +32,10 @@ namespace inf2vec {
 class EmbeddingStore {
  public:
   EmbeddingStore(uint32_t num_users, uint32_t dim);
+  /// Empty (0 x 0) store; a placeholder until a real table is assigned
+  /// (e.g. ModelArtifact before load). Bypasses the positive-dim check
+  /// the sized constructor enforces.
+  EmbeddingStore() : num_users_(0), dim_(0) {}
 
   uint32_t num_users() const { return num_users_; }
   uint32_t dim() const { return dim_; }

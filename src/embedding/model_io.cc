@@ -8,8 +8,12 @@
 namespace inf2vec {
 namespace {
 
-constexpr char kMagic[] = "I2VEMB1\n";
+constexpr char kMagicV1[] = "I2VEMB1\n";
+constexpr char kMagicV2[] = "I2VEMB2\n";
 constexpr size_t kMagicLen = 8;
+/// Sanity cap for the metadata block: real headers are a few hundred
+/// bytes, so anything larger is a corrupt length field.
+constexpr uint32_t kMaxMetadataBytes = 1 << 20;
 
 void AppendRaw(std::string* out, const void* data, size_t bytes) {
   out->append(static_cast<const char*>(data), bytes);
@@ -24,55 +28,38 @@ bool ReadRaw(const std::string& buf, size_t* offset, T* out, size_t count) {
   return true;
 }
 
-}  // namespace
-
-Status SaveEmbeddings(const EmbeddingStore& store, const std::string& path) {
-  std::string blob;
+/// The shared float64 payload: S, T, b, b~ blocks in that order.
+void AppendPayload(const EmbeddingStore& store, std::string* blob) {
   const uint32_t n = store.num_users();
   const uint32_t dim = store.dim();
-  blob.reserve(kMagicLen + 8 +
-               sizeof(double) * (2 * static_cast<size_t>(n) * dim + 2 * n));
-  AppendRaw(&blob, kMagic, kMagicLen);
-  AppendRaw(&blob, &n, sizeof(n));
-  AppendRaw(&blob, &dim, sizeof(dim));
   for (UserId u = 0; u < n; ++u) {
-    AppendRaw(&blob, store.Source(u).data(), sizeof(double) * dim);
+    AppendRaw(blob, store.Source(u).data(), sizeof(double) * dim);
   }
   for (UserId u = 0; u < n; ++u) {
-    AppendRaw(&blob, store.Target(u).data(), sizeof(double) * dim);
+    AppendRaw(blob, store.Target(u).data(), sizeof(double) * dim);
   }
   for (UserId u = 0; u < n; ++u) {
     const double b = store.source_bias(u);
-    AppendRaw(&blob, &b, sizeof(b));
+    AppendRaw(blob, &b, sizeof(b));
   }
   for (UserId u = 0; u < n; ++u) {
     const double b = store.target_bias(u);
-    AppendRaw(&blob, &b, sizeof(b));
+    AppendRaw(blob, &b, sizeof(b));
   }
-  return WriteFile(path, blob);
 }
 
-Result<EmbeddingStore> LoadEmbeddings(const std::string& path) {
-  std::string blob;
-  INF2VEC_RETURN_IF_ERROR(ReadFile(path, &blob));
-  if (blob.size() < kMagicLen + 8 ||
-      std::memcmp(blob.data(), kMagic, kMagicLen) != 0) {
-    return Status::InvalidArgument("not an Inf2vec embedding file: " + path);
-  }
-  size_t offset = kMagicLen;
-  uint32_t n = 0;
-  uint32_t dim = 0;
-  if (!ReadRaw(blob, &offset, &n, 1) || !ReadRaw(blob, &offset, &dim, 1) ||
-      n == 0 || dim == 0) {
-    return Status::InvalidArgument("corrupt embedding header: " + path);
-  }
-  const size_t expected = kMagicLen + 8 +
+/// Reads the payload; `offset` must point just past the (n, dim) header
+/// and the blob must end exactly where the payload does.
+Result<EmbeddingStore> ReadPayload(const std::string& blob, size_t offset,
+                                   uint32_t n, uint32_t dim,
+                                   const std::string& path) {
+  const size_t expected = offset +
                           sizeof(double) * (2 * static_cast<size_t>(n) * dim +
                                             2 * static_cast<size_t>(n));
   if (blob.size() != expected) {
     return Status::InvalidArgument(
-        StrFormat("embedding file size mismatch: got %zu want %zu",
-                  blob.size(), expected));
+        StrFormat("embedding file size mismatch: got %zu want %zu (%s)",
+                  blob.size(), expected, path.c_str()));
   }
 
   EmbeddingStore store(n, dim);
@@ -97,6 +84,165 @@ Result<EmbeddingStore> LoadEmbeddings(const std::string& path) {
     }
   }
   return store;
+}
+
+}  // namespace
+
+obs::JsonValue ModelMetadata::ToJson() const {
+  obs::JsonValue json = obs::JsonValue::Object();
+  json.Set("format_version", format_version);
+  json.Set("aggregation", aggregation);
+  obs::JsonValue config = obs::JsonValue::Object();
+  config.Set("dim", dim);
+  config.Set("length", context_length);
+  config.Set("alpha", alpha);
+  config.Set("epochs", epochs);
+  config.Set("learning_rate", learning_rate);
+  config.Set("num_negatives", num_negatives);
+  config.Set("seed", seed);
+  config.Set("num_threads", num_threads);
+  json.Set("config", std::move(config));
+  json.Set("git_sha", git_sha);
+  return json;
+}
+
+Result<ModelMetadata> ModelMetadata::FromJson(const obs::JsonValue& json) {
+  if (json.kind() != obs::JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("model metadata must be a JSON object");
+  }
+  ModelMetadata metadata;
+  if (const obs::JsonValue* v = json.Find("format_version")) {
+    metadata.format_version = static_cast<uint32_t>(v->AsInt());
+  }
+  if (const obs::JsonValue* v = json.Find("aggregation")) {
+    metadata.aggregation = v->AsString();
+  }
+  if (const obs::JsonValue* v = json.Find("git_sha")) {
+    metadata.git_sha = v->AsString();
+  }
+  if (const obs::JsonValue* config = json.Find("config")) {
+    if (config->kind() != obs::JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("model metadata 'config' must be an object");
+    }
+    if (const obs::JsonValue* v = config->Find("dim")) {
+      metadata.dim = static_cast<uint32_t>(v->AsInt());
+    }
+    if (const obs::JsonValue* v = config->Find("length")) {
+      metadata.context_length = static_cast<uint32_t>(v->AsInt());
+    }
+    if (const obs::JsonValue* v = config->Find("alpha")) {
+      metadata.alpha = v->AsDouble();
+    }
+    if (const obs::JsonValue* v = config->Find("epochs")) {
+      metadata.epochs = static_cast<uint32_t>(v->AsInt());
+    }
+    if (const obs::JsonValue* v = config->Find("learning_rate")) {
+      metadata.learning_rate = v->AsDouble();
+    }
+    if (const obs::JsonValue* v = config->Find("num_negatives")) {
+      metadata.num_negatives = static_cast<uint32_t>(v->AsInt());
+    }
+    if (const obs::JsonValue* v = config->Find("seed")) {
+      metadata.seed = static_cast<uint64_t>(v->AsInt());
+    }
+    if (const obs::JsonValue* v = config->Find("num_threads")) {
+      metadata.num_threads = static_cast<uint32_t>(v->AsInt());
+    }
+  }
+  return metadata;
+}
+
+Status SaveModelArtifact(const EmbeddingStore& store,
+                         const ModelMetadata& metadata,
+                         const std::string& path) {
+  ModelMetadata stamped = metadata;
+  stamped.format_version = 2;
+  const std::string meta_json = stamped.ToJson().Dump(0);
+  if (meta_json.size() > kMaxMetadataBytes) {
+    return Status::InvalidArgument("model metadata block too large");
+  }
+
+  std::string blob;
+  const uint32_t n = store.num_users();
+  const uint32_t dim = store.dim();
+  const uint32_t meta_len = static_cast<uint32_t>(meta_json.size());
+  blob.reserve(kMagicLen + 4 + meta_json.size() + 8 +
+               sizeof(double) * (2 * static_cast<size_t>(n) * dim + 2 * n));
+  AppendRaw(&blob, kMagicV2, kMagicLen);
+  AppendRaw(&blob, &meta_len, sizeof(meta_len));
+  blob += meta_json;
+  AppendRaw(&blob, &n, sizeof(n));
+  AppendRaw(&blob, &dim, sizeof(dim));
+  AppendPayload(store, &blob);
+  return WriteFile(path, blob);
+}
+
+Status SaveEmbeddings(const EmbeddingStore& store, const std::string& path) {
+  return SaveModelArtifact(store, ModelMetadata(), path);
+}
+
+Status SaveEmbeddingsV1(const EmbeddingStore& store, const std::string& path) {
+  std::string blob;
+  const uint32_t n = store.num_users();
+  const uint32_t dim = store.dim();
+  blob.reserve(kMagicLen + 8 +
+               sizeof(double) * (2 * static_cast<size_t>(n) * dim + 2 * n));
+  AppendRaw(&blob, kMagicV1, kMagicLen);
+  AppendRaw(&blob, &n, sizeof(n));
+  AppendRaw(&blob, &dim, sizeof(dim));
+  AppendPayload(store, &blob);
+  return WriteFile(path, blob);
+}
+
+Result<ModelArtifact> LoadModelArtifact(const std::string& path) {
+  std::string blob;
+  INF2VEC_RETURN_IF_ERROR(ReadFile(path, &blob));
+  if (blob.size() < kMagicLen + 8) {
+    return Status::InvalidArgument("not an Inf2vec embedding file: " + path);
+  }
+
+  size_t offset = kMagicLen;
+  ModelMetadata metadata;
+  if (std::memcmp(blob.data(), kMagicV2, kMagicLen) == 0) {
+    uint32_t meta_len = 0;
+    if (!ReadRaw(blob, &offset, &meta_len, 1) ||
+        meta_len > kMaxMetadataBytes ||
+        offset + meta_len > blob.size()) {
+      return Status::InvalidArgument("corrupt model metadata header: " + path);
+    }
+    const std::string meta_json = blob.substr(offset, meta_len);
+    offset += meta_len;
+    Result<obs::JsonValue> parsed = obs::ParseJson(meta_json);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("corrupt model metadata JSON: " +
+                                     parsed.status().message());
+    }
+    Result<ModelMetadata> from_json = ModelMetadata::FromJson(parsed.value());
+    INF2VEC_RETURN_IF_ERROR(from_json.status());
+    metadata = std::move(from_json).value();
+    metadata.format_version = 2;
+  } else if (std::memcmp(blob.data(), kMagicV1, kMagicLen) == 0) {
+    // Legacy artifact: no self-description; defaults + version marker.
+    metadata.format_version = 1;
+  } else {
+    return Status::InvalidArgument("not an Inf2vec embedding file: " + path);
+  }
+
+  uint32_t n = 0;
+  uint32_t dim = 0;
+  if (!ReadRaw(blob, &offset, &n, 1) || !ReadRaw(blob, &offset, &dim, 1) ||
+      n == 0 || dim == 0) {
+    return Status::InvalidArgument("corrupt embedding header: " + path);
+  }
+  Result<EmbeddingStore> store = ReadPayload(blob, offset, n, dim, path);
+  INF2VEC_RETURN_IF_ERROR(store.status());
+  return ModelArtifact{std::move(store).value(), std::move(metadata)};
+}
+
+Result<EmbeddingStore> LoadEmbeddings(const std::string& path) {
+  Result<ModelArtifact> artifact = LoadModelArtifact(path);
+  INF2VEC_RETURN_IF_ERROR(artifact.status());
+  return std::move(artifact).value().store;
 }
 
 Status ExportEmbeddingsText(const EmbeddingStore& store,

@@ -1,19 +1,76 @@
 #ifndef INF2VEC_EMBEDDING_MODEL_IO_H_
 #define INF2VEC_EMBEDDING_MODEL_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "embedding/embedding_store.h"
+#include "obs/json.h"
 #include "util/status.h"
 
 namespace inf2vec {
 
-/// Persists an EmbeddingStore as a little-endian binary blob:
-///   magic "I2VEMB1\n", uint32 num_users, uint32 dim,
-///   then S, T, b, b~ as contiguous float64 arrays.
+/// Self-describing header of a saved model artifact (format I2VEMB2): the
+/// aggregation rule the embeddings were trained for, a training-config
+/// echo, and the git sha of the producing binary, so a served model can
+/// report its own provenance (/modelz). Aggregation travels as its table
+/// label ("Ave"/"Sum"/"Max"/"Latest") rather than the core enum — the
+/// embedding layer stays below core in the dependency order.
+struct ModelMetadata {
+  uint32_t format_version = 2;
+  std::string aggregation = "Ave";
+  /// Training-config echo (K, L, alpha, epochs, seed and friends). Zeroes
+  /// mean "unknown" — a legacy I2VEMB1 file or an untracked save path.
+  uint32_t dim = 0;
+  uint32_t context_length = 0;
+  double alpha = 0.0;
+  uint32_t epochs = 0;
+  double learning_rate = 0.0;
+  uint32_t num_negatives = 0;
+  uint64_t seed = 0;
+  uint32_t num_threads = 0;
+  /// Git sha of the binary that trained the model ("unknown" outside a
+  /// checkout), from obs::GetBuildInfo at save time.
+  std::string git_sha;
+
+  /// JSON form embedded in the artifact and served at /modelz.
+  obs::JsonValue ToJson() const;
+  /// Inverse of ToJson; unknown keys are ignored, missing keys keep their
+  /// defaults (forward compatibility within version 2).
+  static Result<ModelMetadata> FromJson(const obs::JsonValue& json);
+};
+
+/// A loaded model: the embedding table plus its self-description. Legacy
+/// I2VEMB1 files load with metadata.format_version == 1 and defaults
+/// elsewhere.
+struct ModelArtifact {
+  EmbeddingStore store;
+  ModelMetadata metadata;
+};
+
+/// Persists an EmbeddingStore as a little-endian binary blob, format
+/// I2VEMB2:
+///   magic "I2VEMB2\n", uint32 metadata byte length, metadata JSON,
+///   uint32 num_users, uint32 dim, then S, T, b, b~ as contiguous
+///   float64 arrays.
+Status SaveModelArtifact(const EmbeddingStore& store,
+                         const ModelMetadata& metadata,
+                         const std::string& path);
+
+/// SaveModelArtifact with default (unknown-provenance) metadata; kept so
+/// existing save call sites produce valid v2 artifacts unchanged.
 Status SaveEmbeddings(const EmbeddingStore& store, const std::string& path);
 
-/// Loads a store written by SaveEmbeddings; validates magic and sizes.
+/// Writes the legacy I2VEMB1 layout (no metadata block). Retained for
+/// downgrade tooling and the backward-compatibility tests; new code saves
+/// v2 via SaveModelArtifact.
+Status SaveEmbeddingsV1(const EmbeddingStore& store, const std::string& path);
+
+/// Loads either format; validates magic and sizes.
+Result<ModelArtifact> LoadModelArtifact(const std::string& path);
+
+/// Loads a store written by any SaveEmbeddings version, dropping the
+/// metadata; validates magic and sizes.
 Result<EmbeddingStore> LoadEmbeddings(const std::string& path);
 
 /// word2vec-style text export: header "num_users dim", then per user

@@ -18,13 +18,6 @@ namespace inf2vec {
 namespace obs {
 namespace {
 
-struct HttpResponse {
-  int code = 200;
-  std::string reason = "OK";
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
-
 /// Serializes and writes the whole response; best-effort (a client that
 /// hung up mid-write is its own problem). MSG_NOSIGNAL keeps a dead peer
 /// from raising SIGPIPE in the training process.
@@ -47,9 +40,23 @@ void SendResponse(int fd, const HttpResponse& response) {
   }
 }
 
-/// First line of "METHOD SP PATH SP VERSION"; empty method on garbage.
-void ParseRequestLine(const std::string& request, std::string* method,
-                      std::string* path) {
+const char* ReasonFor(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+/// First line of "METHOD SP TARGET SP VERSION"; empty method on garbage.
+/// The target splits into path + decoded query parameters.
+void ParseRequestLine(const std::string& request, HttpRequest* parsed) {
   const size_t line_end = request.find("\r\n");
   const std::string line =
       line_end == std::string::npos ? request : request.substr(0, line_end);
@@ -57,19 +64,142 @@ void ParseRequestLine(const std::string& request, std::string* method,
   if (sp1 == std::string::npos) return;
   const size_t sp2 = line.find(' ', sp1 + 1);
   if (sp2 == std::string::npos) return;
-  *method = line.substr(0, sp1);
-  *path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  // Ignore any query string: /metrics?foo=1 routes as /metrics.
-  const size_t query = path->find('?');
-  if (query != std::string::npos) path->resize(query);
+  parsed->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Dispatch is on the bare path: /metrics?foo=1 routes as /metrics and
+  // the query string becomes structured parameters.
+  const size_t query = target.find('?');
+  if (query != std::string::npos) {
+    parsed->query = ParseQueryString(target.substr(query + 1));
+    target.resize(query);
+  }
+  parsed->path = std::move(target);
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
 }
 
 }  // namespace
 
+bool HttpRequest::HasQuery(const std::string& key) const {
+  for (const auto& [k, v] : query) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string HttpRequest::QueryOr(const std::string& key,
+                                 const std::string& fallback) const {
+  for (const auto& [k, v] : query) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+HttpResponse HttpResponse::Text(int code, std::string body) {
+  HttpResponse response;
+  response.code = code;
+  response.reason = ReasonFor(code);
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::Json(int code, std::string body) {
+  HttpResponse response = Text(code, std::move(body));
+  response.content_type = "application/json";
+  return response;
+}
+
+std::string UrlDecode(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '+') {
+      out += ' ';
+    } else if (raw[i] == '%' && i + 2 < raw.size() &&
+               HexDigit(raw[i + 1]) >= 0 && HexDigit(raw[i + 2]) >= 0) {
+      out += static_cast<char>(HexDigit(raw[i + 1]) * 16 +
+                               HexDigit(raw[i + 2]));
+      i += 2;
+    } else {
+      out += raw[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> ParseQueryString(
+    const std::string& query) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    const std::string piece = query.substr(start, end - start);
+    if (!piece.empty()) {
+      const size_t eq = piece.find('=');
+      if (eq == std::string::npos) {
+        out.emplace_back(UrlDecode(piece), "");
+      } else {
+        out.emplace_back(UrlDecode(piece.substr(0, eq)),
+                         UrlDecode(piece.substr(eq + 1)));
+      }
+    }
+    if (end == query.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
 StatsServer::StatsServer(StatsServerOptions options, MetricsRegistry* registry)
-    : options_(std::move(options)), registry_(registry) {}
+    : options_(std::move(options)), registry_(registry) {
+  RegisterBuiltinEndpoints();
+}
 
 StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::Handle(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handlers_[path] = std::move(handler);
+}
+
+std::vector<std::string> StatsServer::HandledPaths() const {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  std::vector<std::string> paths;
+  paths.reserve(handlers_.size());
+  for (const auto& [path, handler] : handlers_) paths.push_back(path);
+  return paths;
+}
+
+void StatsServer::RegisterBuiltinEndpoints() {
+  Handle("/metrics", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheus(registry_->Scrape());
+    return response;
+  });
+  Handle("/statusz", [](const HttpRequest&) {
+    return HttpResponse::Json(200,
+                              RunStatus::Default().ToJson().Dump(2) + "\n");
+  });
+  Handle("/varz", [](const HttpRequest&) {
+    return HttpResponse::Json(200, EnvironmentJson().Dump(2) + "\n");
+  });
+  Handle("/healthz", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "ok\n");
+  });
+  Handle("/", [this](const HttpRequest&) {
+    std::string body = "inf2vec stats server\nendpoints:";
+    for (const std::string& path : HandledPaths()) {
+      if (path != "/") body += " " + path;
+    }
+    return HttpResponse::Text(200, body + "\n");
+  });
+}
 
 Status StatsServer::Start() {
   if (running_) return Status::FailedPrecondition("stats server already running");
@@ -185,38 +315,26 @@ void StatsServer::HandleConnection(int client_fd) {
     request.append(buffer, static_cast<size_t>(n));
   }
 
-  std::string method;
-  std::string path;
-  ParseRequestLine(request, &method, &path);
+  HttpRequest parsed;
+  ParseRequestLine(request, &parsed);
 
   HttpResponse response;
-  if (method.empty()) {
-    response.code = 400;
-    response.reason = "Bad Request";
-    response.body = "malformed request\n";
-  } else if (method != "GET") {
-    response.code = 405;
-    response.reason = "Method Not Allowed";
-    response.body = "only GET is supported\n";
-  } else if (path == "/metrics") {
-    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    response.body = RenderPrometheus(registry_->Scrape());
-  } else if (path == "/statusz") {
-    response.content_type = "application/json";
-    response.body = RunStatus::Default().ToJson().Dump(2) + "\n";
-  } else if (path == "/varz") {
-    response.content_type = "application/json";
-    response.body = EnvironmentJson().Dump(2) + "\n";
-  } else if (path == "/healthz") {
-    response.body = "ok\n";
-  } else if (path == "/") {
-    response.body =
-        "inf2vec stats server\n"
-        "endpoints: /metrics /statusz /varz /healthz\n";
+  if (parsed.method.empty()) {
+    response = HttpResponse::Text(400, "malformed request\n");
+  } else if (parsed.method != "GET") {
+    response = HttpResponse::Text(405, "only GET is supported\n");
   } else {
-    response.code = 404;
-    response.reason = "Not Found";
-    response.body = "unknown path " + path + "\n";
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      const auto it = handlers_.find(parsed.path);
+      if (it != handlers_.end()) handler = it->second;
+    }
+    if (handler) {
+      response = handler(parsed);
+    } else {
+      response = HttpResponse::Text(404, "unknown path " + parsed.path + "\n");
+    }
   }
   SendResponse(client_fd, response);
 }

@@ -2,14 +2,53 @@
 #define INF2VEC_OBS_HTTP_SERVER_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/status.h"
 
 namespace inf2vec {
 namespace obs {
+
+/// A parsed GET request as seen by endpoint handlers: the path with any
+/// query string already stripped, plus the decoded query parameters in
+/// request order (duplicate keys preserved; first wins for QueryOr).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::vector<std::pair<std::string, std::string>> query;
+
+  bool HasQuery(const std::string& key) const;
+  /// First value of `key`, or `fallback` when absent.
+  std::string QueryOr(const std::string& key,
+                      const std::string& fallback) const;
+};
+
+/// What a handler sends back; defaults to an empty 200 text/plain.
+struct HttpResponse {
+  int code = 200;
+  std::string reason = "OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Text(int code, std::string body);
+  static HttpResponse Json(int code, std::string body);
+};
+
+/// Percent-decodes a URL component ('+' becomes space; malformed %XX
+/// sequences pass through verbatim).
+std::string UrlDecode(const std::string& raw);
+
+/// Splits "a=1&b=x%20y" into decoded key/value pairs (missing '=' yields
+/// an empty value). Exposed for tests and for handlers that re-parse.
+std::vector<std::pair<std::string, std::string>> ParseQueryString(
+    const std::string& query);
 
 struct StatsServerOptions {
   /// TCP port to listen on; 0 asks the kernel for an ephemeral port
@@ -22,17 +61,24 @@ struct StatsServerOptions {
 
 /// Dependency-free embedded stats server: blocking POSIX sockets on one
 /// background thread, GET-only, one short-lived connection at a time.
-/// Endpoints:
+/// Built-in endpoints (registered at construction):
 ///
 ///   /metrics  Prometheus text exposition of the registry (obs/prometheus)
 ///   /statusz  live run status JSON (obs/run_status)
 ///   /healthz  200 "ok"
 ///   /varz     build + environment provenance JSON (obs/build_info)
 ///
+/// Further endpoints register through Handle() — the serving subsystem
+/// (src/serve) adds /score, /topk and /modelz this way. Dispatch strips
+/// the query string before matching, so "/metrics?foo=1" routes to
+/// /metrics and handlers read parameters from HttpRequest::query.
+///
 /// Responses are tiny (a scrape of every metric is a few KB), so serving
 /// inline on the accept thread keeps the design at ~zero cost for the
-/// training threads: handlers only ever *read* (Scrape(), RunStatus
-/// snapshot) through the existing thread-safe interfaces.
+/// training threads: handlers must only *read* shared state through
+/// thread-safe interfaces (Scrape(), RunStatus snapshot, an immutable
+/// model artifact) — they run on the server thread while the process
+/// works.
 ///
 /// Shutdown is deterministic: Stop() wakes the accept loop through a
 /// self-pipe (the loop polls {listen_fd, pipe} and every in-flight
@@ -41,12 +87,22 @@ struct StatsServerOptions {
 /// a running server.
 class StatsServer {
  public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
   explicit StatsServer(StatsServerOptions options,
                        MetricsRegistry* registry = &MetricsRegistry::Default());
   ~StatsServer();
 
   StatsServer(const StatsServer&) = delete;
   StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Registers (or replaces) the handler for an exact path. Thread-safe;
+  /// may be called before or after Start. The handler runs on the server
+  /// thread and must be safe against concurrent process activity.
+  void Handle(const std::string& path, Handler handler);
+
+  /// Registered paths, sorted (the "/" index lists them).
+  std::vector<std::string> HandledPaths() const;
 
   /// Binds, listens, and spawns the accept thread. Fails (without leaking
   /// fds) when the port is taken or the address does not parse.
@@ -61,6 +117,7 @@ class StatsServer {
   uint16_t port() const { return port_; }
 
  private:
+  void RegisterBuiltinEndpoints();
   void AcceptLoop();
   void HandleConnection(int client_fd);
   /// Waits until `fd` is readable or the stop pipe fires; false on stop.
@@ -68,6 +125,8 @@ class StatsServer {
 
   StatsServerOptions options_;
   MetricsRegistry* registry_;
+  mutable std::mutex handlers_mu_;
+  std::map<std::string, Handler> handlers_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // [read, write]; written once by Stop().
   uint16_t port_ = 0;

@@ -1,0 +1,391 @@
+#include "serve/influence_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <unordered_set>
+
+namespace inf2vec {
+namespace serve {
+namespace {
+
+uint64_t SteadyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-seed Eq. 7 terms for one candidate, then F(). The dot accumulates
+/// coordinates in index order and the per-seed scores land in seed order,
+/// so the result is bit-identical to EmbeddingPredictor::ScoreActivation
+/// (which calls EmbeddingStore::Score per seed and aggregates).
+double ScoreCandidate(const SeedBlock& block, const double* target,
+                      double target_bias, Aggregation aggregation,
+                      std::vector<double>* scratch) {
+  const size_t num_seeds = block.num_seeds();
+  scratch->resize(num_seeds);
+  for (size_t i = 0; i < num_seeds; ++i) {
+    const double* source = block.source_row(i);
+    double dot = 0.0;
+    for (uint32_t k = 0; k < block.dim; ++k) dot += source[k] * target[k];
+    (*scratch)[i] = dot + block.source_biases[i] + target_bias;
+  }
+  return Aggregate(aggregation, *scratch);
+}
+
+/// Ranking order of the top-k result: descending score, ties broken by
+/// ascending user id.
+bool BetterThan(const TopKEntry& a, const TopKEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.user < b.user;
+}
+
+}  // namespace
+
+InfluenceService::InfluenceService(ModelArtifact artifact,
+                                   ServiceOptions options,
+                                   std::string model_path,
+                                   obs::MetricsRegistry* registry)
+    : artifact_(std::make_unique<ModelArtifact>(std::move(artifact))),
+      options_(std::move(options)),
+      model_path_(std::move(model_path)),
+      cache_(std::make_unique<SeedBlockCache>(options_.seed_cache_capacity)),
+      batch_mu_(std::make_unique<std::mutex>()) {
+  if (options_.aggregation.has_value()) {
+    default_aggregation_ = *options_.aggregation;
+  } else {
+    const Result<Aggregation> parsed =
+        ParseAggregation(artifact_->metadata.aggregation);
+    default_aggregation_ = parsed.ok() ? parsed.value() : Aggregation::kAve;
+  }
+  const uint32_t threads =
+      ThreadPool::ResolveThreadCount(options_.num_threads);
+  if (threads > 1) batch_pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.scan_block == 0) options_.scan_block = 2048;
+
+  score_requests_ = registry->GetCounter("serve.score.requests");
+  topk_requests_ = registry->GetCounter("serve.topk.requests");
+  batch_requests_ = registry->GetCounter("serve.batch.requests");
+  batch_items_ = registry->GetCounter("serve.batch.items");
+  errors_ = registry->GetCounter("serve.errors");
+  deadline_exceeded_ = registry->GetCounter("serve.deadline_exceeded");
+  score_latency_us_ = registry->GetHistogram("serve.score.latency_us",
+                                             obs::DurationBoundariesUs());
+  topk_latency_us_ = registry->GetHistogram("serve.topk.latency_us",
+                                            obs::DurationBoundariesUs());
+  batch_latency_us_ = registry->GetHistogram("serve.batch.latency_us",
+                                             obs::DurationBoundariesUs());
+  cache_hits_ = registry->GetCounter("serve.seed_cache.hits");
+  cache_misses_ = registry->GetCounter("serve.seed_cache.misses");
+}
+
+Result<InfluenceService> InfluenceService::Load(
+    const std::string& model_path, ServiceOptions options,
+    obs::MetricsRegistry* registry) {
+  Result<ModelArtifact> artifact = LoadModelArtifact(model_path);
+  INF2VEC_RETURN_IF_ERROR(artifact.status());
+  return InfluenceService(std::move(artifact).value(), std::move(options),
+                          model_path, registry);
+}
+
+Result<InfluenceService> InfluenceService::FromArtifact(
+    ModelArtifact artifact, ServiceOptions options,
+    obs::MetricsRegistry* registry) {
+  if (artifact.store.num_users() == 0) {
+    return Status::InvalidArgument("cannot serve an empty embedding store");
+  }
+  return InfluenceService(std::move(artifact), std::move(options),
+                          "<in-memory>", registry);
+}
+
+uint64_t InfluenceService::NowUs() const {
+  return options_.clock_us ? options_.clock_us() : SteadyNowUs();
+}
+
+uint64_t InfluenceService::ResolveDeadline(uint64_t request_deadline_us,
+                                           uint64_t start_us) const {
+  const uint64_t budget = request_deadline_us != 0
+                              ? request_deadline_us
+                              : options_.default_deadline_us;
+  return budget == 0 ? 0 : start_us + budget;
+}
+
+Status InfluenceService::ValidateSeeds(
+    const std::vector<UserId>& seeds) const {
+  if (seeds.empty()) {
+    return Status::InvalidArgument(
+        "seed set is empty: at least one activated influencer is required");
+  }
+  if (seeds.size() > options_.max_seeds) {
+    return Status::InvalidArgument(
+        "seed set too large: " + std::to_string(seeds.size()) + " > max " +
+        std::to_string(options_.max_seeds));
+  }
+  const uint32_t num_users = store().num_users();
+  for (UserId u : seeds) {
+    if (u >= num_users) {
+      return Status::NotFound("unknown seed user " + std::to_string(u) +
+                              " (model has " + std::to_string(num_users) +
+                              " users)");
+    }
+  }
+  return Status::OK();
+}
+
+Aggregation InfluenceService::ResolveAggregation(
+    const std::optional<Aggregation>& requested) const {
+  return requested.value_or(default_aggregation_);
+}
+
+double InfluenceService::Warm() const {
+  const EmbeddingStore& s = store();
+  double checksum = 0.0;
+  for (UserId u = 0; u < s.num_users(); ++u) {
+    for (double x : s.Source(u)) checksum += x;
+    for (double x : s.Target(u)) checksum += x;
+    checksum += s.source_bias(u) + s.target_bias(u);
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry.GetGauge("serve.model.num_users")->Set(s.num_users());
+    registry.GetGauge("serve.model.dim")->Set(s.dim());
+  }
+  return checksum;
+}
+
+Result<ScoreResult> InfluenceService::ScoreActivation(
+    const ScoreRequest& request) const {
+  const uint64_t start = NowUs();
+  if (obs::MetricsEnabled()) score_requests_->Increment();
+  const auto fail = [this](Status status) -> Status {
+    if (obs::MetricsEnabled()) errors_->Increment();
+    return status;
+  };
+
+  if (request.candidate >= store().num_users()) {
+    return fail(Status::NotFound("unknown candidate user " +
+                                 std::to_string(request.candidate)));
+  }
+  const Status seeds_ok = ValidateSeeds(request.seeds);
+  if (!seeds_ok.ok()) return fail(seeds_ok);
+
+  const uint64_t deadline = ResolveDeadline(request.deadline_us, start);
+  bool cache_hit = false;
+  const std::shared_ptr<const SeedBlock> block =
+      cache_->Get(store(), request.seeds, &cache_hit);
+  if (obs::MetricsEnabled()) {
+    (cache_hit ? cache_hits_ : cache_misses_)->Increment();
+  }
+  if (deadline != 0 && NowUs() > deadline) {
+    if (obs::MetricsEnabled()) deadline_exceeded_->Increment();
+    return fail(Status::DeadlineExceeded("score query exceeded deadline"));
+  }
+
+  std::vector<double> scratch;
+  ScoreResult result;
+  result.cache_hit = cache_hit;
+  result.score = ScoreCandidate(
+      *block, store().Target(request.candidate).data(),
+      store().target_bias(request.candidate),
+      ResolveAggregation(request.aggregation), &scratch);
+  if (obs::MetricsEnabled()) score_latency_us_->Record(NowUs() - start);
+  return result;
+}
+
+Result<TopKResult> InfluenceService::TopK(const TopKRequest& request) const {
+  const uint64_t start = NowUs();
+  if (obs::MetricsEnabled()) topk_requests_->Increment();
+  const auto fail = [this](Status status) -> Status {
+    if (obs::MetricsEnabled()) errors_->Increment();
+    return status;
+  };
+
+  if (request.k == 0) {
+    return fail(Status::InvalidArgument("k must be positive"));
+  }
+  if (request.k > options_.max_k) {
+    return fail(Status::InvalidArgument(
+        "k too large: " + std::to_string(request.k) + " > max " +
+        std::to_string(options_.max_k)));
+  }
+  const Status seeds_ok = ValidateSeeds(request.seeds);
+  if (!seeds_ok.ok()) return fail(seeds_ok);
+
+  const uint64_t deadline = ResolveDeadline(request.deadline_us, start);
+  const Aggregation aggregation = ResolveAggregation(request.aggregation);
+
+  bool cache_hit = false;
+  const std::shared_ptr<const SeedBlock> block =
+      cache_->Get(store(), request.seeds, &cache_hit);
+  if (obs::MetricsEnabled()) {
+    (cache_hit ? cache_hits_ : cache_misses_)->Increment();
+  }
+
+  std::unordered_set<UserId> excluded;
+  if (!request.include_seeds) {
+    excluded.insert(request.seeds.begin(), request.seeds.end());
+  }
+
+  // Cache-blocked scan: the gathered seed block stays hot while target
+  // rows stream through, `scan_block` targets between deadline checks.
+  // A bounded heap keeps the k current winners with the weakest on top.
+  const EmbeddingStore& s = store();
+  std::vector<TopKEntry> heap;
+  heap.reserve(request.k);
+  std::vector<double> scratch;
+  TopKResult result;
+  result.cache_hit = cache_hit;
+  const uint32_t num_users = s.num_users();
+  for (uint32_t begin = 0; begin < num_users;
+       begin += options_.scan_block) {
+    if (deadline != 0 && NowUs() > deadline) {
+      if (obs::MetricsEnabled()) deadline_exceeded_->Increment();
+      return fail(Status::DeadlineExceeded(
+          "top-k scan exceeded deadline after " +
+          std::to_string(result.scanned) + " candidates"));
+    }
+    const uint32_t end =
+        std::min<uint64_t>(num_users, uint64_t{begin} + options_.scan_block);
+    for (uint32_t v = begin; v < end; ++v) {
+      if (!excluded.empty() && excluded.count(v) != 0) continue;
+      ++result.scanned;
+      const TopKEntry entry{
+          v, ScoreCandidate(*block, s.Target(v).data(), s.target_bias(v),
+                            aggregation, &scratch)};
+      if (heap.size() < request.k) {
+        heap.push_back(entry);
+        std::push_heap(heap.begin(), heap.end(), BetterThan);
+      } else if (BetterThan(entry, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), BetterThan);
+        heap.back() = entry;
+        std::push_heap(heap.begin(), heap.end(), BetterThan);
+      }
+    }
+  }
+
+  std::sort(heap.begin(), heap.end(), BetterThan);
+  result.entries = std::move(heap);
+  if (obs::MetricsEnabled()) topk_latency_us_->Record(NowUs() - start);
+  return result;
+}
+
+Result<BatchScoreResult> InfluenceService::ScoreBatch(
+    const BatchScoreRequest& request) const {
+  const uint64_t start = NowUs();
+  if (obs::MetricsEnabled()) batch_requests_->Increment();
+  const auto fail = [this](Status status) -> Status {
+    if (obs::MetricsEnabled()) errors_->Increment();
+    return status;
+  };
+
+  if (request.items.empty()) {
+    return fail(Status::InvalidArgument("batch is empty"));
+  }
+  if (request.items.size() > options_.max_batch) {
+    return fail(Status::InvalidArgument(
+        "batch too large: " + std::to_string(request.items.size()) +
+        " > max " + std::to_string(options_.max_batch)));
+  }
+  // Validate everything up front so errors name the offending item and no
+  // partial parallel work runs for a doomed request.
+  const uint32_t num_users = store().num_users();
+  for (size_t i = 0; i < request.items.size(); ++i) {
+    const BatchItem& item = request.items[i];
+    if (item.candidate >= num_users) {
+      return fail(Status::NotFound(
+          "batch item " + std::to_string(i) + ": unknown candidate user " +
+          std::to_string(item.candidate)));
+    }
+    const Status seeds_ok = ValidateSeeds(item.seeds);
+    if (!seeds_ok.ok()) {
+      return fail(Status(seeds_ok.code(), "batch item " + std::to_string(i) +
+                                              ": " + seeds_ok.message()));
+    }
+  }
+
+  const uint64_t deadline = ResolveDeadline(request.deadline_us, start);
+  const Aggregation aggregation = ResolveAggregation(request.aggregation);
+
+  BatchScoreResult result;
+  result.scores.resize(request.items.size(), 0.0);
+  std::atomic<uint64_t> hits{0};
+  std::atomic<bool> expired{false};
+
+  const auto score_range = [&](size_t begin, size_t end) {
+    std::vector<double> scratch;
+    uint64_t local_hits = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if ((i - begin) % 64 == 0 && deadline != 0 && NowUs() > deadline) {
+        expired.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const BatchItem& item = request.items[i];
+      bool cache_hit = false;
+      const std::shared_ptr<const SeedBlock> block =
+          cache_->Get(store(), item.seeds, &cache_hit);
+      if (cache_hit) ++local_hits;
+      result.scores[i] = ScoreCandidate(
+          *block, store().Target(item.candidate).data(),
+          store().target_bias(item.candidate), aggregation, &scratch);
+    }
+    hits.fetch_add(local_hits, std::memory_order_relaxed);
+  };
+
+  if (batch_pool_ == nullptr) {
+    score_range(0, request.items.size());
+  } else {
+    // The pool is not reentrant and posting is single-producer; serialize
+    // concurrent batch callers on it.
+    std::lock_guard<std::mutex> lock(*batch_mu_);
+    batch_pool_->ParallelFor(
+        0, request.items.size(),
+        [&](uint32_t /*shard*/, size_t begin, size_t end) {
+          score_range(begin, end);
+        });
+  }
+
+  if (expired.load(std::memory_order_relaxed)) {
+    if (obs::MetricsEnabled()) deadline_exceeded_->Increment();
+    return fail(Status::DeadlineExceeded("batch scoring exceeded deadline"));
+  }
+  result.cache_hits = hits.load(std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    batch_items_->Increment(request.items.size());
+    cache_hits_->Increment(result.cache_hits);
+    cache_misses_->Increment(request.items.size() - result.cache_hits);
+    batch_latency_us_->Record(NowUs() - start);
+  }
+  return result;
+}
+
+obs::JsonValue InfluenceService::DescribeJson() const {
+  obs::JsonValue json = obs::JsonValue::Object();
+  json.Set("model_path", model_path_);
+  json.Set("num_users", store().num_users());
+  json.Set("dim", store().dim());
+  json.Set("aggregation", AggregationName(default_aggregation_));
+  json.Set("model", metadata().ToJson());
+
+  obs::JsonValue serving = obs::JsonValue::Object();
+  serving.Set("seed_cache_capacity", options_.seed_cache_capacity);
+  serving.Set("default_deadline_us", options_.default_deadline_us);
+  serving.Set("max_seeds", options_.max_seeds);
+  serving.Set("max_k", options_.max_k);
+  serving.Set("max_batch", options_.max_batch);
+  serving.Set("num_threads",
+              batch_pool_ == nullptr ? 1u : batch_pool_->num_threads());
+  serving.Set("scan_block", options_.scan_block);
+  json.Set("serving", std::move(serving));
+
+  obs::JsonValue cache = obs::JsonValue::Object();
+  cache.Set("capacity", cache_->capacity());
+  cache.Set("size", cache_->size());
+  cache.Set("hits", cache_->hits());
+  cache.Set("misses", cache_->misses());
+  json.Set("seed_cache", std::move(cache));
+  return json;
+}
+
+}  // namespace serve
+}  // namespace inf2vec

@@ -1,0 +1,194 @@
+#ifndef INF2VEC_SERVE_INFLUENCE_SERVICE_H_
+#define INF2VEC_SERVE_INFLUENCE_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "embedding/model_io.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/seed_cache.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace inf2vec {
+namespace serve {
+
+/// Serving knobs; the defaults suit an interactive loopback deployment.
+struct ServiceOptions {
+  /// Aggregation used when a request does not name one. Unset resolves to
+  /// the artifact's metadata (falling back to Ave for legacy v1 models).
+  std::optional<Aggregation> aggregation;
+  /// LRU entries for repeated seed-set gathers; 0 disables the cache.
+  uint32_t seed_cache_capacity = 256;
+  /// Per-query budget applied when a request carries no deadline;
+  /// 0 = unbounded.
+  uint64_t default_deadline_us = 0;
+  /// Oversized-request guards: requests beyond these fail fast with
+  /// InvalidArgument instead of tying up the serving thread.
+  uint32_t max_seeds = 4096;
+  uint32_t max_k = 1024;
+  uint32_t max_batch = 65536;
+  /// Worker threads for ScoreBatch sharding. 1 scores inline; 0 resolves
+  /// to all hardware threads.
+  uint32_t num_threads = 1;
+  /// Targets scanned per deadline check in the top-k scan. 2048 rows of a
+  /// K=50 float64 table is ~800KB of streamed reads — long enough to
+  /// amortize the clock read, short enough for ~ms deadline granularity.
+  uint32_t scan_block = 2048;
+  /// Monotonic microsecond clock, injectable so deadline behavior is
+  /// deterministically testable. Null uses steady_clock.
+  std::function<uint64_t()> clock_us;
+};
+
+/// One ScoreActivation-style query: will `candidate` activate given this
+/// activated (chronologically ordered) influencer set?
+struct ScoreRequest {
+  UserId candidate = 0;
+  std::vector<UserId> seeds;
+  std::optional<Aggregation> aggregation;
+  uint64_t deadline_us = 0;  // Overrides the default when nonzero.
+};
+
+struct ScoreResult {
+  double score = 0.0;
+  bool cache_hit = false;
+};
+
+/// Top-k influence query: the k users this seed set most influences.
+struct TopKRequest {
+  std::vector<UserId> seeds;
+  uint32_t k = 10;
+  std::optional<Aggregation> aggregation;
+  uint64_t deadline_us = 0;
+  /// Seed users themselves are excluded from the ranking by default.
+  bool include_seeds = false;
+};
+
+struct TopKEntry {
+  UserId user = 0;
+  double score = 0.0;
+};
+
+struct TopKResult {
+  /// Descending score; ties broken by ascending user id.
+  std::vector<TopKEntry> entries;
+  bool cache_hit = false;
+  /// Candidates scored (num_users minus excluded seeds).
+  uint64_t scanned = 0;
+};
+
+/// Batch scoring: many (candidate, seed set) pairs in one call, sharded
+/// over the service's thread pool.
+struct BatchItem {
+  UserId candidate = 0;
+  std::vector<UserId> seeds;
+};
+
+struct BatchScoreRequest {
+  std::vector<BatchItem> items;
+  std::optional<Aggregation> aggregation;
+  uint64_t deadline_us = 0;
+};
+
+struct BatchScoreResult {
+  std::vector<double> scores;  // Parallel to request.items.
+  uint64_t cache_hits = 0;
+};
+
+/// Online influence-query engine over a loaded model artifact: load ->
+/// warm -> query. All query methods are const and safe for concurrent
+/// callers (the embedding table is immutable after load; the seed cache
+/// and metrics synchronize internally); ScoreBatch additionally
+/// serializes its internal thread-pool fan-out so concurrent batch calls
+/// queue rather than corrupt the pool.
+///
+/// Every error is a graceful Result<>: NotFound for unknown users,
+/// InvalidArgument for empty/oversized requests, DeadlineExceeded when a
+/// query overruns its budget.
+class InfluenceService {
+ public:
+  /// Loads an I2VEMB1/I2VEMB2 artifact from disk.
+  static Result<InfluenceService> Load(
+      const std::string& model_path, ServiceOptions options,
+      obs::MetricsRegistry* registry = &obs::MetricsRegistry::Default());
+
+  /// Wraps an already-loaded artifact (benches, tests).
+  static Result<InfluenceService> FromArtifact(
+      ModelArtifact artifact, ServiceOptions options,
+      obs::MetricsRegistry* registry = &obs::MetricsRegistry::Default());
+
+  InfluenceService(InfluenceService&&) = default;
+
+  /// Touches every parameter once so first queries do not pay cold page
+  /// faults; returns the table checksum it computed (and publishes model
+  /// gauges as a side effect).
+  double Warm() const;
+
+  /// Eq. 7: F({x(u, candidate) : u in seeds}); bit-identical to
+  /// EmbeddingPredictor::ScoreActivation on the same store.
+  Result<ScoreResult> ScoreActivation(const ScoreRequest& request) const;
+
+  /// Batched, cache-blocked scan over all target embeddings with a
+  /// bounded min-heap; scores are bit-identical to brute-force Eq. 7 and
+  /// ties break by ascending user id.
+  Result<TopKResult> TopK(const TopKRequest& request) const;
+
+  /// Scores every item; one shared deadline for the whole batch.
+  Result<BatchScoreResult> ScoreBatch(const BatchScoreRequest& request) const;
+
+  const EmbeddingStore& store() const { return artifact_->store; }
+  const ModelMetadata& metadata() const { return artifact_->metadata; }
+  Aggregation default_aggregation() const { return default_aggregation_; }
+  const std::string& model_path() const { return model_path_; }
+
+  const SeedBlockCache& seed_cache() const { return *cache_; }
+
+  /// The /modelz payload: artifact metadata, table shape, serving config,
+  /// cache statistics.
+  obs::JsonValue DescribeJson() const;
+
+ private:
+  InfluenceService(ModelArtifact artifact, ServiceOptions options,
+                   std::string model_path, obs::MetricsRegistry* registry);
+
+  uint64_t NowUs() const;
+  /// Effective deadline in absolute us-since-start terms; 0 = none.
+  uint64_t ResolveDeadline(uint64_t request_deadline_us,
+                           uint64_t start_us) const;
+  Status ValidateSeeds(const std::vector<UserId>& seeds) const;
+  Aggregation ResolveAggregation(
+      const std::optional<Aggregation>& requested) const;
+
+  std::unique_ptr<ModelArtifact> artifact_;  // Stable address for spans.
+  ServiceOptions options_;
+  std::string model_path_;
+  Aggregation default_aggregation_ = Aggregation::kAve;
+  std::unique_ptr<SeedBlockCache> cache_;
+  std::unique_ptr<ThreadPool> batch_pool_;          // Null when 1 thread.
+  std::unique_ptr<std::mutex> batch_mu_;            // Guards pool posting.
+
+  // Metric handles (registry-owned; valid for the registry's lifetime).
+  obs::Counter* score_requests_;
+  obs::Counter* topk_requests_;
+  obs::Counter* batch_requests_;
+  obs::Counter* batch_items_;
+  obs::Counter* errors_;
+  obs::Counter* deadline_exceeded_;
+  obs::HistogramMetric* score_latency_us_;
+  obs::HistogramMetric* topk_latency_us_;
+  obs::HistogramMetric* batch_latency_us_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+};
+
+}  // namespace serve
+}  // namespace inf2vec
+
+#endif  // INF2VEC_SERVE_INFLUENCE_SERVICE_H_

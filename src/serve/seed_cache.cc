@@ -1,0 +1,96 @@
+#include "serve/seed_cache.h"
+
+#include <cstring>
+
+namespace inf2vec {
+namespace serve {
+namespace {
+
+/// Exact binary key: the id sequence verbatim. Cheap to build and free of
+/// separator ambiguity.
+std::string CacheKey(const std::vector<UserId>& seeds) {
+  return std::string(reinterpret_cast<const char*>(seeds.data()),
+                     seeds.size() * sizeof(UserId));
+}
+
+}  // namespace
+
+SeedBlock GatherSeedBlock(const EmbeddingStore& store,
+                          const std::vector<UserId>& seeds) {
+  SeedBlock block;
+  block.dim = store.dim();
+  block.seeds = seeds;
+  block.sources.resize(seeds.size() * static_cast<size_t>(store.dim()));
+  block.source_biases.resize(seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const std::span<const double> row = store.Source(seeds[i]);
+    std::memcpy(block.sources.data() + i * static_cast<size_t>(block.dim),
+                row.data(), sizeof(double) * block.dim);
+    block.source_biases[i] = store.source_bias(seeds[i]);
+  }
+  return block;
+}
+
+std::shared_ptr<const SeedBlock> SeedBlockCache::Get(
+    const EmbeddingStore& store, const std::vector<UserId>& seeds,
+    bool* cache_hit) {
+  if (capacity_ == 0) {
+    if (cache_hit != nullptr) *cache_hit = false;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    return std::make_shared<SeedBlock>(GatherSeedBlock(store, seeds));
+  }
+
+  const std::string key = CacheKey(seeds);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second->second;
+    }
+  }
+
+  // Gather outside the lock: misses on distinct keys proceed in parallel
+  // (two racing misses on the same key both insert; last one wins, both
+  // blocks are identical).
+  auto block = std::make_shared<const SeedBlock>(GatherSeedBlock(store, seeds));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->second = block;
+    } else {
+      lru_.emplace_front(key, block);
+      index_[key] = lru_.begin();
+      while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
+    }
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  return block;
+}
+
+size_t SeedBlockCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t SeedBlockCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t SeedBlockCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace serve
+}  // namespace inf2vec

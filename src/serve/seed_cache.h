@@ -1,0 +1,79 @@
+#ifndef INF2VEC_SERVE_SEED_CACHE_H_
+#define INF2VEC_SERVE_SEED_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "embedding/embedding_store.h"
+#include "graph/social_graph.h"
+
+namespace inf2vec {
+namespace serve {
+
+/// The per-query reusable part of Eq. 7 for one activated seed set: the
+/// seed users' source rows gathered into one contiguous block (so the
+/// top-k scan streams seed rows from L1/L2 instead of hopping across the
+/// full S matrix) plus their influence-ability biases. Arithmetic over
+/// the block is bit-identical to calling EmbeddingStore::Score per seed —
+/// gathering copies rows, it does not reassociate any sum.
+struct SeedBlock {
+  std::vector<double> sources;        // num_seeds x dim, row-major.
+  std::vector<double> source_biases;  // num_seeds.
+  std::vector<UserId> seeds;          // The gathered ids, query order.
+  uint32_t dim = 0;
+
+  size_t num_seeds() const { return source_biases.size(); }
+  const double* source_row(size_t i) const {
+    return sources.data() + i * static_cast<size_t>(dim);
+  }
+};
+
+/// Builds the block by gathering from `store`. Callers validate ids.
+SeedBlock GatherSeedBlock(const EmbeddingStore& store,
+                          const std::vector<UserId>& seeds);
+
+/// Thread-safe LRU cache of SeedBlocks keyed by the exact seed-id
+/// sequence (order matters: the Latest aggregator is order-sensitive, so
+/// two orderings are distinct queries). Values are shared_ptrs so a hit
+/// stays valid after eviction while a reader still holds it.
+class SeedBlockCache {
+ public:
+  /// `capacity` in entries; 0 disables caching (every Get misses and
+  /// nothing is stored).
+  explicit SeedBlockCache(size_t capacity) : capacity_(capacity) {}
+
+  SeedBlockCache(const SeedBlockCache&) = delete;
+  SeedBlockCache& operator=(const SeedBlockCache&) = delete;
+
+  /// Returns the cached block for `seeds`, gathering and inserting on
+  /// miss. `*cache_hit` (optional) reports which path ran.
+  std::shared_ptr<const SeedBlock> Get(const EmbeddingStore& store,
+                                       const std::vector<UserId>& seeds,
+                                       bool* cache_hit);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const SeedBlock>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recent.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace serve
+}  // namespace inf2vec
+
+#endif  // INF2VEC_SERVE_SEED_CACHE_H_

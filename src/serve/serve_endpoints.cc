@@ -1,0 +1,171 @@
+#include "serve/serve_endpoints.h"
+
+#include <string>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "obs/json.h"
+#include "util/string_util.h"
+
+namespace inf2vec {
+namespace serve {
+namespace {
+
+using obs::HttpRequest;
+using obs::HttpResponse;
+using obs::JsonValue;
+
+HttpResponse ErrorResponse(const Status& status) {
+  JsonValue body = JsonValue::Object();
+  body.Set("error", status.message());
+  body.Set("code", StatusCodeName(status.code()));
+  return HttpResponse::Json(HttpCodeFor(status), body.Dump(0));
+}
+
+/// "1,5,9" -> {1, 5, 9}; rejects empties and non-numeric fields.
+Result<std::vector<UserId>> ParseSeedList(const std::string& csv) {
+  std::vector<UserId> seeds;
+  for (std::string_view field : SplitString(csv, ',')) {
+    uint32_t id = 0;
+    const Status parsed = ParseUint32(TrimString(field), &id);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("bad seed id '" + std::string(field) +
+                                     "': " + parsed.message());
+    }
+    seeds.push_back(id);
+  }
+  return seeds;
+}
+
+/// Optional uint parameter; missing keeps `*out` unchanged.
+template <typename T>
+Status ParseOptionalUint(const HttpRequest& request, const std::string& key,
+                         T* out) {
+  if (!request.HasQuery(key)) return Status::OK();
+  const std::string raw = request.QueryOr(key, "");
+  int64_t value = 0;
+  const Status parsed = ParseInt64(raw, &value);
+  if (!parsed.ok() || value < 0) {
+    return Status::InvalidArgument("bad " + key + " '" + raw + "'");
+  }
+  *out = static_cast<T>(value);
+  return Status::OK();
+}
+
+Status ParseOptionalAggregation(const HttpRequest& request,
+                                std::optional<Aggregation>* out) {
+  if (!request.HasQuery("aggregation")) return Status::OK();
+  const std::string name = request.QueryOr("aggregation", "");
+  Result<Aggregation> parsed = ParseAggregation(name);
+  if (!parsed.ok()) return parsed.status();
+  *out = parsed.value();
+  return Status::OK();
+}
+
+HttpResponse HandleScore(const InfluenceService& service,
+                         const HttpRequest& request) {
+  if (!request.HasQuery("candidate")) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing required parameter: candidate"));
+  }
+  if (!request.HasQuery("seeds")) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing required parameter: seeds"));
+  }
+  ScoreRequest query;
+  uint32_t candidate = 0;
+  Status parsed =
+      ParseUint32(request.QueryOr("candidate", ""), &candidate);
+  if (!parsed.ok()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "bad candidate '" + request.QueryOr("candidate", "") + "'"));
+  }
+  query.candidate = candidate;
+  Result<std::vector<UserId>> seeds =
+      ParseSeedList(request.QueryOr("seeds", ""));
+  if (!seeds.ok()) return ErrorResponse(seeds.status());
+  query.seeds = std::move(seeds).value();
+  parsed = ParseOptionalAggregation(request, &query.aggregation);
+  if (!parsed.ok()) return ErrorResponse(parsed);
+  parsed = ParseOptionalUint(request, "deadline_us", &query.deadline_us);
+  if (!parsed.ok()) return ErrorResponse(parsed);
+
+  const Result<ScoreResult> result = service.ScoreActivation(query);
+  if (!result.ok()) return ErrorResponse(result.status());
+
+  JsonValue body = JsonValue::Object();
+  body.Set("candidate", query.candidate);
+  body.Set("score", result.value().score);
+  body.Set("cache_hit", result.value().cache_hit);
+  return HttpResponse::Json(200, body.Dump(0));
+}
+
+HttpResponse HandleTopK(const InfluenceService& service,
+                        const HttpRequest& request) {
+  if (!request.HasQuery("seeds")) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing required parameter: seeds"));
+  }
+  TopKRequest query;
+  Result<std::vector<UserId>> seeds =
+      ParseSeedList(request.QueryOr("seeds", ""));
+  if (!seeds.ok()) return ErrorResponse(seeds.status());
+  query.seeds = std::move(seeds).value();
+  Status parsed = ParseOptionalUint(request, "k", &query.k);
+  if (!parsed.ok()) return ErrorResponse(parsed);
+  parsed = ParseOptionalAggregation(request, &query.aggregation);
+  if (!parsed.ok()) return ErrorResponse(parsed);
+  parsed = ParseOptionalUint(request, "deadline_us", &query.deadline_us);
+  if (!parsed.ok()) return ErrorResponse(parsed);
+  query.include_seeds = request.QueryOr("include_seeds", "0") == "1";
+
+  const Result<TopKResult> result = service.TopK(query);
+  if (!result.ok()) return ErrorResponse(result.status());
+
+  JsonValue body = JsonValue::Object();
+  body.Set("k", query.k);
+  body.Set("scanned", result.value().scanned);
+  body.Set("cache_hit", result.value().cache_hit);
+  JsonValue entries = JsonValue::Array();
+  for (const TopKEntry& entry : result.value().entries) {
+    JsonValue row = JsonValue::Object();
+    row.Set("user", entry.user);
+    row.Set("score", entry.score);
+    entries.Append(std::move(row));
+  }
+  body.Set("results", std::move(entries));
+  return HttpResponse::Json(200, body.Dump(0));
+}
+
+}  // namespace
+
+int HttpCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    default:
+      return 500;
+  }
+}
+
+void RegisterServeEndpoints(obs::StatsServer* server,
+                            const InfluenceService* service) {
+  server->Handle("/score", [service](const HttpRequest& request) {
+    return HandleScore(*service, request);
+  });
+  server->Handle("/topk", [service](const HttpRequest& request) {
+    return HandleTopK(*service, request);
+  });
+  server->Handle("/modelz", [service](const HttpRequest&) {
+    return HttpResponse::Json(200, service->DescribeJson().Dump(2));
+  });
+}
+
+}  // namespace serve
+}  // namespace inf2vec

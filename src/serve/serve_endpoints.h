@@ -1,0 +1,30 @@
+#ifndef INF2VEC_SERVE_SERVE_ENDPOINTS_H_
+#define INF2VEC_SERVE_SERVE_ENDPOINTS_H_
+
+#include "obs/http_server.h"
+#include "serve/influence_service.h"
+
+namespace inf2vec {
+namespace serve {
+
+/// Maps a query-path Status to its HTTP code: InvalidArgument -> 400,
+/// NotFound -> 404, DeadlineExceeded -> 504, anything else -> 500.
+int HttpCodeFor(const Status& status);
+
+/// Registers the serving endpoints on `server`:
+///
+///   GET /score?candidate=U&seeds=A,B,C[&aggregation=Ave][&deadline_us=N]
+///   GET /topk?seeds=A,B,C[&k=10][&aggregation=Ave][&deadline_us=N]
+///            [&include_seeds=1]
+///   GET /modelz
+///
+/// Responses are JSON; errors carry {"error": ..., "code": ...} with the
+/// mapping above. `service` must outlive the server (queries may arrive
+/// until Stop() returns).
+void RegisterServeEndpoints(obs::StatsServer* server,
+                            const InfluenceService* service);
+
+}  // namespace serve
+}  // namespace inf2vec
+
+#endif  // INF2VEC_SERVE_SERVE_ENDPOINTS_H_

@@ -18,7 +18,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  kDeadlineExceeded,
 };
+
+/// "OK" / "INVALID_ARGUMENT" / ... — the wire label for a code.
+const char* StatusCodeName(StatusCode code);
 
 /// Return-value error type. Functions that can fail return a Status (or a
 /// Result<T>, see below) instead of throwing; callers are expected to check
@@ -54,6 +58,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

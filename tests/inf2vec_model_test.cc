@@ -24,11 +24,11 @@ synth::World TinyWorld(uint64_t seed) {
 
 TEST(BuildInfluenceCorpusTest, ProducesPairsWithinUserSpace) {
   const synth::World world = TinyWorld(1);
-  Rng rng(2);
   ContextOptions opts;
   opts.length = 10;
   const InfluenceCorpus corpus = BuildInfluenceCorpus(
-      world.graph, world.log, opts, world.graph.num_users(), rng);
+      world.graph, world.log, opts, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 2});
   EXPECT_GT(corpus.pairs.size(), 0u);
   EXPECT_GT(corpus.num_tuples, 0u);
   for (const auto& [u, v] : corpus.pairs) {
@@ -49,12 +49,12 @@ TEST(BuildInfluenceCorpusTest, AlphaControlsCorpusComposition) {
   ContextOptions global;
   global.length = 20;
   global.alpha = 0.0;
-  Rng rng1(4);
-  Rng rng2(4);
   const InfluenceCorpus local_corpus = BuildInfluenceCorpus(
-      world.graph, world.log, local, world.graph.num_users(), rng1);
+      world.graph, world.log, local, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 4});
   const InfluenceCorpus global_corpus = BuildInfluenceCorpus(
-      world.graph, world.log, global, world.graph.num_users(), rng2);
+      world.graph, world.log, global, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 4});
   // Local context is limited by propagation structure; global context can
   // always fill its budget, so it yields at least as many pairs.
   EXPECT_GT(global_corpus.pairs.size(), local_corpus.pairs.size());
@@ -104,9 +104,9 @@ TEST(Inf2vecModelTest, ObjectiveImprovesOverEpochs) {
   config.dim = 16;
   config.epochs = 5;
   config.context.length = 10;
-  Rng rng(9);
   const InfluenceCorpus corpus = BuildInfluenceCorpus(
-      world.graph, world.log, config.context, world.graph.num_users(), rng);
+      world.graph, world.log, config.context, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 9});
   std::vector<double> objectives;
   auto model = Inf2vecModel::TrainFromCorpus(corpus, world.graph.num_users(),
                                              config, &objectives);
@@ -136,12 +136,12 @@ TEST(Inf2vecModelTest, BfsAndWalkStrategiesProduceDifferentCorpora) {
   walk.alpha = 1.0;
   ContextOptions bfs = walk;
   bfs.strategy = LocalContextStrategy::kForwardBfs;
-  Rng rng1(5);
-  Rng rng2(5);
   const InfluenceCorpus a = BuildInfluenceCorpus(
-      world.graph, world.log, walk, world.graph.num_users(), rng1);
+      world.graph, world.log, walk, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 5});
   const InfluenceCorpus b = BuildInfluenceCorpus(
-      world.graph, world.log, bfs, world.graph.num_users(), rng2);
+      world.graph, world.log, bfs, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 5});
   EXPECT_GT(a.pairs.size(), 0u);
   EXPECT_GT(b.pairs.size(), 0u);
   EXPECT_NE(a.pairs, b.pairs);
@@ -217,6 +217,38 @@ TEST(Inf2vecModelTest, RecoversPlantedInfluenceBetterThanChance) {
       EvaluateActivation(pred, world.graph, split.test);
   EXPECT_GT(metrics.num_queries, 0u);
   EXPECT_GT(metrics.auc, 0.62) << "Inf2vec failed to beat chance by margin";
+}
+
+// The deprecated Rng&/pool overloads are thin shims over the
+// CorpusBuildOptions entry and must stay bit-identical until removed.
+TEST(BuildInfluenceCorpusTest, DeprecatedShimsMatchOptionsEntry) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const synth::World world = TinyWorld(21);
+  ContextOptions opts;
+  opts.length = 10;
+
+  const InfluenceCorpus via_options = BuildInfluenceCorpus(
+      world.graph, world.log, opts, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 11});
+  Rng rng(11);
+  const InfluenceCorpus via_rng = BuildInfluenceCorpus(
+      world.graph, world.log, opts, world.graph.num_users(), rng);
+  EXPECT_EQ(via_options.pairs, via_rng.pairs);
+  EXPECT_EQ(via_options.target_frequencies, via_rng.target_frequencies);
+  EXPECT_EQ(via_options.num_tuples, via_rng.num_tuples);
+
+  ThreadPool pool_a(2);
+  const InfluenceCorpus pooled_options = BuildInfluenceCorpus(
+      world.graph, world.log, opts, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 11, .pool = &pool_a});
+  ThreadPool pool_b(2);
+  const InfluenceCorpus pooled_shim = BuildInfluenceCorpus(
+      world.graph, world.log, opts, world.graph.num_users(), /*seed=*/11,
+      pool_b);
+  EXPECT_EQ(pooled_options.pairs, pooled_shim.pairs);
+  EXPECT_EQ(pooled_options.num_tuples, pooled_shim.num_tuples);
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

@@ -96,5 +96,101 @@ TEST_F(ModelIoTest, RoundTripPreservesScores) {
   }
 }
 
+TEST_F(ModelIoTest, V2RoundTripPreservesMetadata) {
+  const EmbeddingStore store = RandomStore(11, 5, 7);
+  ModelMetadata metadata;
+  metadata.aggregation = "Latest";
+  metadata.dim = 5;
+  metadata.context_length = 50;
+  metadata.alpha = 0.25;
+  metadata.epochs = 12;
+  metadata.learning_rate = 0.01;
+  metadata.num_negatives = 8;
+  metadata.seed = 777;
+  metadata.num_threads = 4;
+  metadata.git_sha = "deadbeef1234";
+  const std::string path = Path("v2.bin");
+  ASSERT_TRUE(SaveModelArtifact(store, metadata, path).ok());
+
+  Result<ModelArtifact> loaded = LoadModelArtifact(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().store, store);
+  const ModelMetadata& got = loaded.value().metadata;
+  EXPECT_EQ(got.format_version, 2u);
+  EXPECT_EQ(got.aggregation, "Latest");
+  EXPECT_EQ(got.dim, 5u);
+  EXPECT_EQ(got.context_length, 50u);
+  EXPECT_EQ(got.alpha, 0.25);
+  EXPECT_EQ(got.epochs, 12u);
+  EXPECT_EQ(got.learning_rate, 0.01);
+  EXPECT_EQ(got.num_negatives, 8u);
+  EXPECT_EQ(got.seed, 777u);
+  EXPECT_EQ(got.num_threads, 4u);
+  EXPECT_EQ(got.git_sha, "deadbeef1234");
+}
+
+TEST_F(ModelIoTest, DefaultSavePathWritesV2ReadableByLoadEmbeddings) {
+  const EmbeddingStore store = RandomStore(6, 3, 2);
+  const std::string path = Path("default.bin");
+  ASSERT_TRUE(SaveEmbeddings(store, path).ok());
+
+  // LoadEmbeddings sees the same table; LoadModelArtifact sees default
+  // (unknown-provenance) metadata.
+  Result<EmbeddingStore> loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), store);
+  Result<ModelArtifact> artifact = LoadModelArtifact(path);
+  ASSERT_TRUE(artifact.ok());
+  EXPECT_EQ(artifact.value().metadata.format_version, 2u);
+  EXPECT_EQ(artifact.value().metadata.aggregation, "Ave");
+}
+
+TEST_F(ModelIoTest, LegacyV1FilesStillLoad) {
+  const EmbeddingStore store = RandomStore(9, 4, 3);
+  const std::string path = Path("v1.bin");
+  ASSERT_TRUE(SaveEmbeddingsV1(store, path).ok());
+
+  Result<EmbeddingStore> loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value(), store);
+
+  Result<ModelArtifact> artifact = LoadModelArtifact(path);
+  ASSERT_TRUE(artifact.ok());
+  EXPECT_EQ(artifact.value().store, store);
+  EXPECT_EQ(artifact.value().metadata.format_version, 1u);
+}
+
+TEST_F(ModelIoTest, V2RejectsCorruptMetadata) {
+  const EmbeddingStore store = RandomStore(5, 3, 4);
+  const std::string path = Path("corrupt.bin");
+  ASSERT_TRUE(SaveModelArtifact(store, ModelMetadata(), path).ok());
+
+  // Flip a byte inside the JSON metadata block (right after the 8-byte
+  // magic + 4-byte length): the parse must fail loudly, not load junk.
+  std::string mangled;
+  ASSERT_TRUE(ReadFile(path, &mangled).ok());
+  mangled[13] = '\x01';
+  ASSERT_TRUE(WriteFile(path, mangled).ok());
+  EXPECT_FALSE(LoadModelArtifact(path).ok());
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+}
+
+TEST_F(ModelIoTest, MetadataJsonRoundTripTolerantOfMissingKeys) {
+  ModelMetadata metadata;
+  metadata.aggregation = "Sum";
+  metadata.seed = 9;
+  Result<ModelMetadata> round =
+      ModelMetadata::FromJson(metadata.ToJson());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().aggregation, "Sum");
+  EXPECT_EQ(round.value().seed, 9u);
+
+  // An empty object parses to defaults (forward compatibility).
+  Result<ModelMetadata> empty =
+      ModelMetadata::FromJson(obs::JsonValue::Object());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().aggregation, "Ave");
+}
+
 }  // namespace
 }  // namespace inf2vec

@@ -26,15 +26,15 @@ namespace inf2vec {
 namespace obs {
 namespace {
 
-struct HttpResponse {
+struct ClientResponse {
   int status = 0;
   std::string headers;
   std::string body;
 };
 
 /// Minimal blocking HTTP/1.0-style client: one request, read to EOF.
-HttpResponse Fetch(uint16_t port, const std::string& target) {
-  HttpResponse response;
+ClientResponse Fetch(uint16_t port, const std::string& target) {
+  ClientResponse response;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return response;
   sockaddr_in addr = {};
@@ -85,11 +85,11 @@ TEST(StatsServerTest, ServesHealthzAndIndex) {
   ASSERT_TRUE(server.Start().ok());
   ASSERT_GT(server.port(), 0);
 
-  const HttpResponse health = Fetch(server.port(), "/healthz");
+  const ClientResponse health = Fetch(server.port(), "/healthz");
   EXPECT_EQ(health.status, 200);
   EXPECT_EQ(health.body, "ok\n");
 
-  const HttpResponse index = Fetch(server.port(), "/");
+  const ClientResponse index = Fetch(server.port(), "/");
   EXPECT_EQ(index.status, 200);
   EXPECT_NE(index.body.find("/metrics"), std::string::npos);
 
@@ -106,7 +106,7 @@ TEST(StatsServerTest, MetricsBodyEqualsScrapeExactly) {
   StatsServer server(StatsServerOptions{}, &registry);
   ASSERT_TRUE(server.Start().ok());
 
-  const HttpResponse metrics = Fetch(server.port(), "/metrics");
+  const ClientResponse metrics = Fetch(server.port(), "/metrics");
   EXPECT_EQ(metrics.status, 200);
   EXPECT_NE(metrics.headers.find("text/plain; version=0.0.4"),
             std::string::npos)
@@ -129,7 +129,7 @@ TEST(StatsServerTest, StatuszReflectsRunStatus) {
   MetricsRegistry registry;
   StatsServer server(StatsServerOptions{}, &registry);
   ASSERT_TRUE(server.Start().ok());
-  const HttpResponse statusz = Fetch(server.port(), "/statusz");
+  const ClientResponse statusz = Fetch(server.port(), "/statusz");
   server.Stop();
 
   EXPECT_EQ(statusz.status, 200);
@@ -145,7 +145,7 @@ TEST(StatsServerTest, VarzCarriesBuildProvenance) {
   MetricsRegistry registry;
   StatsServer server(StatsServerOptions{}, &registry);
   ASSERT_TRUE(server.Start().ok());
-  const HttpResponse varz = Fetch(server.port(), "/varz");
+  const ClientResponse varz = Fetch(server.port(), "/varz");
   server.Stop();
 
   EXPECT_EQ(varz.status, 200);
@@ -184,7 +184,7 @@ TEST(StatsServerTest, ConcurrentScrapesUnderWriterLoadStayExact) {
   // Scrape over HTTP while the writer hammers the counter; collect the
   // responses and assert only after the writer is joined (an ASSERT while
   // the thread is joinable would terminate the process).
-  std::vector<HttpResponse> scrapes;
+  std::vector<ClientResponse> scrapes;
   int fetches = 0;
   while (!done.load(std::memory_order_acquire) || fetches < 3) {
     scrapes.push_back(Fetch(server.port(), "/metrics"));
@@ -195,7 +195,7 @@ TEST(StatsServerTest, ConcurrentScrapesUnderWriterLoadStayExact) {
   uint64_t last = 0;
   // Newline-anchored so the "# TYPE ... counter" line does not match.
   const std::string needle = "\ninf2vec_load_increments_total ";
-  for (const HttpResponse& metrics : scrapes) {
+  for (const ClientResponse& metrics : scrapes) {
     ASSERT_EQ(metrics.status, 200) << metrics.headers;
     const size_t pos = metrics.body.find(needle);
     ASSERT_NE(pos, std::string::npos) << metrics.body;
@@ -208,7 +208,7 @@ TEST(StatsServerTest, ConcurrentScrapesUnderWriterLoadStayExact) {
   }
 
   // Quiescent again: exact equality with a direct Scrape.
-  const HttpResponse final_metrics = Fetch(server.port(), "/metrics");
+  const ClientResponse final_metrics = Fetch(server.port(), "/metrics");
   EXPECT_EQ(final_metrics.body, RenderPrometheus(registry.Scrape()));
   EXPECT_NE(final_metrics.body.find("inf2vec_load_increments_total 20000"),
             std::string::npos);
@@ -261,6 +261,93 @@ TEST(StatsServerTest, DestructorStopsRunningServer) {
   StatsServer next(StatsServerOptions{port, "127.0.0.1"}, &registry);
   EXPECT_TRUE(next.Start().ok());
   next.Stop();
+}
+
+// Regression: a query string must not break routing — /metrics?foo=1 is
+// /metrics, not a 404.
+TEST(StatsServerTest, QueryStringIsStrippedBeforeDispatch) {
+  MetricsRegistry registry;
+  registry.GetCounter("q.counter")->Increment(3);
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  const ClientResponse plain = Fetch(server.port(), "/metrics");
+  const ClientResponse with_query = Fetch(server.port(), "/metrics?foo=1");
+  EXPECT_EQ(with_query.status, 200);
+  EXPECT_EQ(with_query.body, plain.body);
+  EXPECT_EQ(Fetch(server.port(), "/healthz?probe=lb&x=%20y").status, 200);
+
+  server.Stop();
+}
+
+TEST(StatsServerTest, CustomHandlerSeesDecodedQueryParameters) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  server.Handle("/echo", [](const HttpRequest& request) {
+    std::string body = request.path;
+    for (const auto& [key, value] : request.query) {
+      body += "|" + key + "=" + value;
+    }
+    return HttpResponse::Text(200, body);
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  const ClientResponse got =
+      Fetch(server.port(), "/echo?a=1&msg=hello%20world&flag");
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, "/echo|a=1|msg=hello world|flag=");
+
+  // Registered handlers appear on the index page.
+  const ClientResponse index = Fetch(server.port(), "/");
+  EXPECT_NE(index.body.find("/echo"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(StatsServerTest, HandlerStatusCodesPassThrough) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  server.Handle("/teapot", [](const HttpRequest&) {
+    return HttpResponse::Json(400, "{\"error\":\"bad\"}");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const ClientResponse got = Fetch(server.port(), "/teapot");
+  EXPECT_EQ(got.status, 400);
+  EXPECT_EQ(got.body, "{\"error\":\"bad\"}");
+  EXPECT_NE(got.headers.find("application/json"), std::string::npos);
+  server.Stop();
+}
+
+TEST(UrlDecodeTest, DecodesPercentEscapesAndPlus) {
+  EXPECT_EQ(UrlDecode("hello%20world"), "hello world");
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("%2Fpath%3Fx%3D1"), "/path?x=1");
+  EXPECT_EQ(UrlDecode("plain"), "plain");
+  // Malformed escapes pass through untouched.
+  EXPECT_EQ(UrlDecode("bad%zz"), "bad%zz");
+  EXPECT_EQ(UrlDecode("trunc%2"), "trunc%2");
+}
+
+TEST(ParseQueryStringTest, SplitsPairsAndDecodes) {
+  const auto pairs = ParseQueryString("a=1&b=two%20words&c&=orphan&d=");
+  ASSERT_EQ(pairs.size(), 5u);
+  EXPECT_EQ(pairs[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(pairs[1],
+            (std::pair<std::string, std::string>{"b", "two words"}));
+  EXPECT_EQ(pairs[2], (std::pair<std::string, std::string>{"c", ""}));
+  EXPECT_EQ(pairs[3], (std::pair<std::string, std::string>{"", "orphan"}));
+  EXPECT_EQ(pairs[4], (std::pair<std::string, std::string>{"d", ""}));
+  EXPECT_TRUE(ParseQueryString("").empty());
+}
+
+TEST(HttpRequestTest, QueryAccessors) {
+  HttpRequest request;
+  request.query = {{"k", "10"}, {"k", "20"}, {"empty", ""}};
+  EXPECT_TRUE(request.HasQuery("k"));
+  EXPECT_FALSE(request.HasQuery("missing"));
+  EXPECT_EQ(request.QueryOr("k", "0"), "10");  // First occurrence wins.
+  EXPECT_EQ(request.QueryOr("missing", "fallback"), "fallback");
+  EXPECT_EQ(request.QueryOr("empty", "fallback"), "");
 }
 
 }  // namespace

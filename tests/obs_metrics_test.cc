@@ -196,9 +196,8 @@ TEST_F(ObsMetricsTest, CorpusCountersMatchBetweenSerialAndPooledBuilds) {
   opts.length = 10;
   MetricsRegistry& registry = MetricsRegistry::Default();
 
-  Rng rng(5);
   BuildInfluenceCorpus(world.graph, world.log, opts,
-                       world.graph.num_users(), rng);
+                       world.graph.num_users(), CorpusBuildOptions{.seed = 5});
   const uint64_t serial_contexts =
       registry.GetCounter("context.generated")->Value();
   const uint64_t serial_pairs = registry.GetCounter("corpus.pairs")->Value();
@@ -207,7 +206,7 @@ TEST_F(ObsMetricsTest, CorpusCountersMatchBetweenSerialAndPooledBuilds) {
   registry.Reset();
   ThreadPool pool(3);
   BuildInfluenceCorpus(world.graph, world.log, opts, world.graph.num_users(),
-                       /*seed=*/5, pool);
+                       CorpusBuildOptions{.seed = 5, .pool = &pool});
   // Deterministic counts: the pooled build visits the same episodes and
   // participants, so context/episode totals are identical to serial (pair
   // totals differ only through RNG-stream-dependent walk lengths).
@@ -223,9 +222,9 @@ TEST_F(ObsMetricsTest, PairsTrainedIdenticalAcrossThreadCounts) {
   const synth::World world = TinyWorld(13);
   ContextOptions opts;
   opts.length = 8;
-  Rng rng(7);
   const InfluenceCorpus corpus = BuildInfluenceCorpus(
-      world.graph, world.log, opts, world.graph.num_users(), rng);
+      world.graph, world.log, opts, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 7});
   ASSERT_GT(corpus.pairs.size(), 0u);
 
   MetricsRegistry& registry = MetricsRegistry::Default();

@@ -61,10 +61,9 @@ TEST(ParallelTrainTest, SerialPathIsBitIdenticalToLegacyImplementation) {
   config.seed = 99;
   config.num_threads = 1;
 
-  Rng corpus_rng(5);
   const InfluenceCorpus corpus = BuildInfluenceCorpus(
       world.graph, world.log, config.context, world.graph.num_users(),
-      corpus_rng);
+      CorpusBuildOptions{.seed = 5});
   const EmbeddingStore reference =
       LegacySerialReference(corpus, world.graph.num_users(), config);
 
@@ -83,9 +82,9 @@ TEST(ParallelTrainTest, SerialObjectiveRequestDoesNotPerturbTraining) {
   config.epochs = 2;
   config.context.length = 8;
   config.num_threads = 1;
-  Rng rng1(6);
   const InfluenceCorpus corpus = BuildInfluenceCorpus(
-      world.graph, world.log, config.context, world.graph.num_users(), rng1);
+      world.graph, world.log, config.context, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 6});
   std::vector<double> objectives;
   Result<Inf2vecModel> with = Inf2vecModel::TrainFromCorpus(
       corpus, world.graph.num_users(), config, &objectives);
@@ -106,12 +105,12 @@ TEST(ParallelTrainTest, ParallelCorpusIsDeterministicForFixedThreadCount) {
 
   ThreadPool pool_a(3);
   const InfluenceCorpus a = BuildInfluenceCorpus(
-      world.graph, world.log, options, world.graph.num_users(), seed,
-      pool_a);
+      world.graph, world.log, options, world.graph.num_users(),
+      CorpusBuildOptions{.seed = seed, .pool = &pool_a});
   ThreadPool pool_b(3);
   const InfluenceCorpus b = BuildInfluenceCorpus(
-      world.graph, world.log, options, world.graph.num_users(), seed,
-      pool_b);
+      world.graph, world.log, options, world.graph.num_users(),
+      CorpusBuildOptions{.seed = seed, .pool = &pool_b});
   EXPECT_EQ(a.pairs, b.pairs);
   EXPECT_EQ(a.target_frequencies, b.target_frequencies);
   EXPECT_EQ(a.num_tuples, b.num_tuples);
@@ -120,9 +119,9 @@ TEST(ParallelTrainTest, ParallelCorpusIsDeterministicForFixedThreadCount) {
   // Same world through the serial builder: the parallel corpus carries
   // different RNG streams, so pair-for-pair equality is not expected, but
   // the corpus statistics must agree (same episodes, same Algorithm 1).
-  Rng serial_rng(ThreadPool::ShardSeed(seed, 0));
   const InfluenceCorpus serial = BuildInfluenceCorpus(
-      world.graph, world.log, options, world.graph.num_users(), serial_rng);
+      world.graph, world.log, options, world.graph.num_users(),
+      CorpusBuildOptions{.seed = ThreadPool::ShardSeed(seed, 0)});
   EXPECT_EQ(a.num_tuples, serial.num_tuples);
 }
 
@@ -133,9 +132,9 @@ TEST(ParallelTrainTest, HogwildObjectiveMatchesSerialWithinTolerance) {
   config.epochs = 5;
   config.context.length = 10;
 
-  Rng rng(7);
   const InfluenceCorpus corpus = BuildInfluenceCorpus(
-      world.graph, world.log, config.context, world.graph.num_users(), rng);
+      world.graph, world.log, config.context, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 7});
 
   config.num_threads = 1;
   std::vector<double> serial_objectives;

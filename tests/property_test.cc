@@ -69,11 +69,11 @@ TEST_P(WorldPropertyTest, StProbabilitiesAreValidProbabilities) {
 
 TEST_P(WorldPropertyTest, CorpusPairsStayInUserSpace) {
   const synth::World w = MakeWorld();
-  Rng rng(GetParam().seed + 1);
   ContextOptions opts;
   opts.length = 12;
   const InfluenceCorpus corpus = BuildInfluenceCorpus(
-      w.graph, w.log, opts, w.graph.num_users(), rng);
+      w.graph, w.log, opts, w.graph.num_users(),
+      CorpusBuildOptions{.seed = GetParam().seed + 1});
   for (const auto& [u, v] : corpus.pairs) {
     ASSERT_LT(u, w.graph.num_users());
     ASSERT_LT(v, w.graph.num_users());

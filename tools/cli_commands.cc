@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <numeric>
+#include <thread>
 
 #include "action/action_log_io.h"
 #include "core/inf2vec_model.h"
@@ -20,6 +22,8 @@
 #include "obs/run_status.h"
 #include "obs/snapshotter.h"
 #include "obs/trace.h"
+#include "serve/influence_service.h"
+#include "serve/serve_endpoints.h"
 #include "synth/world_generator.h"
 #include "util/logging.h"
 
@@ -265,8 +269,21 @@ Status RunTrain(const FlagParser& flags) {
     report->AddPhase("train", train_seconds);
   }
 
+  // The saved artifact carries its own provenance (served back at /modelz
+  // when the model is loaded by `serve`).
+  ModelMetadata metadata;
+  metadata.aggregation = AggregationName(config.aggregation);
+  metadata.dim = config.dim;
+  metadata.context_length = config.context.length;
+  metadata.alpha = config.context.alpha;
+  metadata.epochs = config.epochs;
+  metadata.learning_rate = config.sgd.learning_rate;
+  metadata.num_negatives = config.sgd.num_negatives;
+  metadata.seed = config.seed;
+  metadata.num_threads = config.num_threads;
+  metadata.git_sha = obs::GetBuildInfo().git_sha;
   INF2VEC_RETURN_IF_ERROR(
-      SaveEmbeddings(model.value().embeddings(), model_path));
+      SaveModelArtifact(model.value().embeddings(), metadata, model_path));
   INF2VEC_LOG(Info) << "trained K=" << config.dim << " on "
                     << log.num_episodes() << " episodes; model -> "
                     << model_path;
@@ -409,6 +426,101 @@ Status RunExportText(const FlagParser& flags) {
   return Status::OK();
 }
 
+namespace {
+
+/// Set by the signal handler installed in RunServe; checked by its wait
+/// loop. sig_atomic_t + volatile is the full extent of what a handler may
+/// touch portably.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void ServeSignalHandler(int /*signum*/) { g_serve_stop = 1; }
+
+}  // namespace
+
+Status RunServe(const FlagParser& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) return Status::InvalidArgument("--model is required");
+
+  serve::ServiceOptions options;
+  Result<int64_t> cache = flags.GetInt("topk-cache", 256);
+  INF2VEC_RETURN_IF_ERROR(cache.status());
+  if (cache.value() < 0) {
+    return Status::InvalidArgument("--topk-cache must be >= 0 (0 disables)");
+  }
+  options.seed_cache_capacity = static_cast<uint32_t>(cache.value());
+  Result<int64_t> threads = flags.GetInt("threads", 1);
+  INF2VEC_RETURN_IF_ERROR(threads.status());
+  if (threads.value() < 0) {
+    return Status::InvalidArgument(
+        "--threads must be >= 0 (0 = all hardware threads)");
+  }
+  options.num_threads = static_cast<uint32_t>(threads.value());
+  Result<int64_t> deadline = flags.GetInt("deadline-us", 0);
+  INF2VEC_RETURN_IF_ERROR(deadline.status());
+  if (deadline.value() < 0) {
+    return Status::InvalidArgument("--deadline-us must be >= 0");
+  }
+  options.default_deadline_us = static_cast<uint64_t>(deadline.value());
+  const std::string aggregation_name = flags.GetString("aggregation", "");
+  if (!aggregation_name.empty()) {
+    Result<Aggregation> aggregation = ParseAggregation(aggregation_name);
+    INF2VEC_RETURN_IF_ERROR(aggregation.status());
+    options.aggregation = aggregation.value();
+  }
+  Result<int64_t> port_flag = flags.GetInt("port", 0);
+  INF2VEC_RETURN_IF_ERROR(port_flag.status());
+  if (port_flag.value() < 0 || port_flag.value() > 65535) {
+    return Status::InvalidArgument("--port must be in [0, 65535]");
+  }
+  Result<int64_t> max_seconds = flags.GetInt("max-seconds", 0);
+  INF2VEC_RETURN_IF_ERROR(max_seconds.status());
+
+  // Serving is the one command whose metrics matter even without
+  // --metrics-out: the serve counters/histograms back /metrics.
+  obs::EnableMetrics(true);
+
+  const auto load_start = std::chrono::steady_clock::now();
+  Result<serve::InfluenceService> service =
+      serve::InfluenceService::Load(model_path, std::move(options));
+  INF2VEC_RETURN_IF_ERROR(service.status());
+  service.value().Warm();
+  INF2VEC_LOG(Info) << "loaded + warmed " << model_path << " ("
+                    << service.value().store().num_users() << " users, dim "
+                    << service.value().store().dim() << ", aggregation "
+                    << AggregationName(service.value().default_aggregation())
+                    << ") in " << SecondsSince(load_start) << "s";
+
+  obs::StatsServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(port_flag.value());
+  obs::StatsServer server(server_options);
+  serve::RegisterServeEndpoints(&server, &service.value());
+  INF2VEC_RETURN_IF_ERROR(server.Start());
+
+  // stdout, unbuffered: the smoke script greps this line for the port.
+  std::printf("serving on http://127.0.0.1:%u (/score /topk /modelz "
+              "/metrics /healthz)\n",
+              server.port());
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  const auto serve_start = std::chrono::steady_clock::now();
+  while (g_serve_stop == 0) {
+    if (max_seconds.value() > 0 &&
+        SecondsSince(serve_start) >= static_cast<double>(max_seconds.value())) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  server.Stop();
+  INF2VEC_LOG(Info) << "serve loop exited after "
+                    << SecondsSince(serve_start) << "s";
+  return Status::OK();
+}
+
 std::string UsageText() {
   return
       "inf2vec_cli <command> [flags]\n"
@@ -436,6 +548,13 @@ std::string UsageText() {
       " activation|diffusion --aggregation Ave|Sum|Max|Latest]\n"
       "  export-text  dump a model to a text matrix\n"
       "               --model F --out F\n"
+      "  serve        online influence-query server over a saved model:\n"
+      "               /score /topk /modelz plus the stats endpoints\n"
+      "               --model F [--port 0 --topk-cache 256 --threads 1\n"
+      "                --deadline-us 0 --aggregation Ave|Sum|Max|Latest\n"
+      "                --max-seconds 0]\n"
+      "               --port 0 picks a free port (printed on stdout);\n"
+      "               --max-seconds bounds the run, 0 = until SIGINT\n"
       "\n"
       "global flags (any command):\n"
       "  --log-level debug|info|warning|error   log threshold (default"
@@ -463,6 +582,7 @@ Status Dispatch(const FlagParser& flags) {
   if (command == "top") run = RunTop;
   if (command == "evaluate") run = RunEvaluate;
   if (command == "export-text") run = RunExportText;
+  if (command == "serve") run = RunServe;
   if (run == nullptr) {
     return Status::InvalidArgument("unknown command '" + command + "'\n" +
                                    UsageText());

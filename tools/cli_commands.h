@@ -21,12 +21,15 @@ namespace cli {
 ///   evaluate     --graph F --actions F --model F [--task activation|diffusion]
 ///                [--seed-fraction 0.05 --aggregation Ave|Sum|Max|Latest]
 ///   export-text  --model F --out F
+///   serve        --model F [--port P --topk-cache N --threads N
+///                 --aggregation Ave|Sum|Max|Latest --max-seconds S]
 Status RunGenerate(const FlagParser& flags);
 Status RunTrain(const FlagParser& flags);
 Status RunScore(const FlagParser& flags);
 Status RunTop(const FlagParser& flags);
 Status RunEvaluate(const FlagParser& flags);
 Status RunExportText(const FlagParser& flags);
+Status RunServe(const FlagParser& flags);
 
 /// Dispatches on the first positional argument; returns InvalidArgument
 /// with the usage text for unknown commands.

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the `serve` subcommand, run by ctest
+# (label: serve).
+#
+#   serve_smoke.sh <inf2vec_cli>
+#
+# Generates a tiny synthetic world, trains a small model, starts the HTTP
+# serving endpoint on an ephemeral port, and exercises every endpoint the
+# service exposes: /score and /topk (including the error path), /modelz
+# metadata, /healthz, and /metrics with a query string attached (the
+# query-string regression this PR fixes). JSON payloads are validated
+# with python3, then the server is shut down via SIGTERM and must exit 0.
+set -euo pipefail
+
+CLI="$1"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [[ -n "${SERVER_PID}" ]] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill "${SERVER_PID}" 2>/dev/null || true
+    wait "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORKDIR}"
+}
+trap cleanup EXIT
+
+"${CLI}" generate --profile digg --out "${WORKDIR}" \
+    --users 200 --items 25 --seed 7
+
+"${CLI}" train \
+    --graph "${WORKDIR}/graph.tsv" --actions "${WORKDIR}/actions.tsv" \
+    --model "${WORKDIR}/model.bin" --dim 8 --epochs 1 2> /dev/null
+
+# --max-seconds caps the server's lifetime so a wedged test cannot leak a
+# process past the ctest timeout; the SIGTERM below is the normal exit.
+"${CLI}" serve --model "${WORKDIR}/model.bin" --port 0 --max-seconds 120 \
+    > "${WORKDIR}/serve.log" 2>&1 &
+SERVER_PID=$!
+
+# The CLI prints "serving on http://127.0.0.1:PORT (...)" once the socket
+# is bound; poll for it (up to ~5s) and pull the ephemeral port out.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(grep -oE 'serving on http://127\.0\.0\.1:[0-9]+' \
+      "${WORKDIR}/serve.log" 2>/dev/null | grep -oE '[0-9]+$' || true)"
+  [[ -n "${PORT}" ]] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "serve_smoke: FAIL: server exited before binding" >&2
+    cat "${WORKDIR}/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+if [[ -z "${PORT}" ]]; then
+  echo "serve_smoke: FAIL: server never reported its port" >&2
+  cat "${WORKDIR}/serve.log" >&2
+  exit 1
+fi
+BASE="http://127.0.0.1:${PORT}"
+
+# fetch <url> <expected_http_code> <body_out>
+fetch() {
+  local code
+  code="$(curl -s -o "$3" -w '%{http_code}' --max-time 10 "$1")"
+  if [[ "${code}" != "$2" ]]; then
+    echo "serve_smoke: FAIL: GET $1 returned HTTP ${code}, want $2" >&2
+    cat "$3" >&2
+    exit 1
+  fi
+}
+
+fetch "${BASE}/healthz" 200 "${WORKDIR}/healthz"
+grep -q "ok" "${WORKDIR}/healthz"
+
+fetch "${BASE}/modelz" 200 "${WORKDIR}/modelz.json"
+python3 - "${WORKDIR}/modelz.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["num_users"] == 200, doc["num_users"]
+assert doc["dim"] == 8, doc["dim"]
+assert doc["model"]["format_version"] == 2, doc["model"]
+assert "aggregation" in doc and "seed_cache" in doc and "serving" in doc
+EOF
+
+fetch "${BASE}/score?candidate=1&seeds=2,3" 200 "${WORKDIR}/score.json"
+python3 - "${WORKDIR}/score.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["candidate"] == 1
+assert isinstance(doc["score"], float)
+EOF
+
+fetch "${BASE}/topk?seeds=2,3&k=5" 200 "${WORKDIR}/topk.json"
+python3 - "${WORKDIR}/topk.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["k"] == 5 and len(doc["results"]) == 5
+assert doc["scanned"] == 198, doc["scanned"]  # 200 users minus 2 seeds.
+scores = [r["score"] for r in doc["results"]]
+assert scores == sorted(scores, reverse=True), scores
+EOF
+
+# Graceful errors: unknown users are 404s with a structured JSON body.
+fetch "${BASE}/score?candidate=999999&seeds=2" 404 "${WORKDIR}/err.json"
+python3 - "${WORKDIR}/err.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["code"] == "NOT_FOUND", doc
+EOF
+
+# Query strings must be stripped before dispatch: a load balancer probing
+# /metrics?foo=1 gets the metrics page, not a 404.
+fetch "${BASE}/metrics?foo=1" 200 "${WORKDIR}/metrics.txt"
+grep -q "inf2vec_serve_score_requests_total" "${WORKDIR}/metrics.txt"
+grep -q "inf2vec_serve_topk_requests_total" "${WORKDIR}/metrics.txt"
+
+kill -TERM "${SERVER_PID}"
+wait "${SERVER_PID}"
+SERVER_PID=""
+echo "serve_smoke: OK"
