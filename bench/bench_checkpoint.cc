@@ -1,0 +1,129 @@
+// Checkpoint subsystem bench: serialize / deserialize / durable write /
+// read of a realistically shaped training checkpoint (embeddings dominate;
+// the pair list is the next-biggest section). Reports wall time and
+// throughput per arm through BENCH_checkpoint.json so the bench gate can
+// catch regressions in the CRC path or the atomic-commit flow.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "ckpt/checkpoint.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace inf2vec;         // NOLINT
+using namespace inf2vec::bench;  // NOLINT
+
+constexpr uint32_t kNumUsers = 20000;
+constexpr uint32_t kDim = 32;
+constexpr uint64_t kNumPairs = 400000;
+constexpr uint32_t kSerializeReps = 8;
+constexpr uint32_t kFileReps = 6;
+
+ckpt::CheckpointState MakeState() {
+  ckpt::CheckpointState state;
+  state.config_hash = 0x1234abcd5678ef00ULL;
+  state.epochs_completed = 7;
+  state.total_epochs = 10;
+  Rng rng(99);
+  state.store = EmbeddingStore(kNumUsers, kDim);
+  state.store.InitUniform(-0.5, 0.5, rng);
+  state.pairs.reserve(kNumPairs);
+  state.target_frequencies.assign(kNumUsers, 0);
+  for (uint64_t i = 0; i < kNumPairs; ++i) {
+    const auto u = static_cast<UserId>(rng.UniformU64(kNumUsers));
+    const auto v = static_cast<UserId>(rng.UniformU64(kNumUsers));
+    state.pairs.emplace_back(u, v);
+    state.target_frequencies[v]++;
+  }
+  state.master_rng = rng.state();
+  state.shard_rngs = {Rng(1).state(), Rng(2).state(), Rng(3).state(),
+                      Rng(4).state()};
+  return state;
+}
+
+}  // namespace
+
+int main() {
+  const ckpt::CheckpointState state = MakeState();
+
+  std::string bytes;
+  const WallTimer serialize_wall;
+  for (uint32_t i = 0; i < kSerializeReps; ++i) {
+    bytes = ckpt::SerializeCheckpoint(state);
+  }
+  const double serialize_ms = serialize_wall.ElapsedMillis();
+
+  const WallTimer deserialize_wall;
+  for (uint32_t i = 0; i < kSerializeReps; ++i) {
+    auto got = ckpt::DeserializeCheckpoint(bytes);
+    INF2VEC_CHECK(got.ok()) << got.status().ToString();
+  }
+  const double deserialize_ms = deserialize_wall.ElapsedMillis();
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "inf2vec_bench_ckpt";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "ckpt.bin").string();
+
+  const WallTimer write_wall;
+  for (uint32_t i = 0; i < kFileReps; ++i) {
+    const Status written = ckpt::WriteCheckpointFile(path, state);
+    INF2VEC_CHECK(written.ok()) << written.ToString();
+  }
+  const double write_ms = write_wall.ElapsedMillis();
+
+  const WallTimer read_wall;
+  for (uint32_t i = 0; i < kFileReps; ++i) {
+    auto got = ckpt::ReadCheckpointFile(path);
+    INF2VEC_CHECK(got.ok()) << got.status().ToString();
+  }
+  const double read_ms = read_wall.ElapsedMillis();
+  std::filesystem::remove_all(dir);
+
+  const double mb = static_cast<double>(bytes.size()) / (1024.0 * 1024.0);
+  const auto mb_per_sec = [mb](double total_ms, uint32_t reps) {
+    return mb * reps / (total_ms / 1000.0);
+  };
+
+  std::printf("checkpoint bench: %u users, dim %u, %llu pairs, %.1f MB\n\n",
+              kNumUsers, kDim, static_cast<unsigned long long>(kNumPairs),
+              mb);
+  std::printf("%-12s %10s %12s\n", "arm", "wall ms", "MB/s");
+  std::printf("%-12s %10.1f %12.0f\n", "serialize", serialize_ms,
+              mb_per_sec(serialize_ms, kSerializeReps));
+  std::printf("%-12s %10.1f %12.0f\n", "deserialize", deserialize_ms,
+              mb_per_sec(deserialize_ms, kSerializeReps));
+  std::printf("%-12s %10.1f %12.0f\n", "write", write_ms,
+              mb_per_sec(write_ms, kFileReps));
+  std::printf("%-12s %10.1f %12.0f\n", "read", read_ms,
+              mb_per_sec(read_ms, kFileReps));
+
+  BenchReport report("checkpoint");
+  report.SetConfig("num_users", static_cast<int64_t>(kNumUsers));
+  report.SetConfig("dim", static_cast<int64_t>(kDim));
+  report.SetConfig("num_pairs", static_cast<int64_t>(kNumPairs));
+  report.SetConfig("checkpoint_bytes", static_cast<int64_t>(bytes.size()));
+  report.SetSummary("serialize_mb_per_sec",
+                    mb_per_sec(serialize_ms, kSerializeReps));
+  report.SetSummary("write_mb_per_sec", mb_per_sec(write_ms, kFileReps));
+  report.AddResult("serialize", serialize_ms,
+                   mb_per_sec(serialize_ms, kSerializeReps), kSerializeReps);
+  report.AddResult("deserialize", deserialize_ms,
+                   mb_per_sec(deserialize_ms, kSerializeReps),
+                   kSerializeReps);
+  report.AddResult("write", write_ms, mb_per_sec(write_ms, kFileReps),
+                   kFileReps);
+  report.AddResult("read", read_ms, mb_per_sec(read_ms, kFileReps),
+                   kFileReps);
+  report.Write();
+  return 0;
+}

@@ -1,0 +1,656 @@
+#include "ckpt/checkpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/crc32.h"
+#include "util/io.h"
+#include "util/thread_pool.h"
+
+namespace inf2vec {
+namespace ckpt {
+namespace {
+
+// Binary layout (host-endian; checkpoints are machine-local artifacts):
+//   magic "I2VCKPT1" | u32 section_count |
+//   per section: u32 tag | u64 payload_len | payload | u32 crc32(payload)
+constexpr char kMagic[8] = {'I', '2', 'V', 'C', 'K', 'P', 'T', '1'};
+constexpr uint32_t kSecMeta = 1;  // JSON identity/shape metadata.
+constexpr uint32_t kSecEmb = 2;   // EmbeddingStore parameters.
+constexpr uint32_t kSecFreq = 3;  // target_frequencies.
+constexpr uint32_t kSecRng = 4;   // Master + shard RNG streams.
+constexpr uint32_t kSecPair = 5;  // Pairs in checkpoint-time order.
+constexpr uint32_t kFormatVersion = 1;
+constexpr char kManifestName[] = "MANIFEST.json";
+
+template <typename T>
+void AppendScalar(std::string* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void AppendDoubles(std::string* out, const double* data, size_t count) {
+  out->append(reinterpret_cast<const char*>(data), count * sizeof(double));
+}
+
+/// Bounds-checked sequential reader over a section payload.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadDoubles(double* out, size_t count) {
+    const size_t bytes = count * sizeof(double);
+    if (size_ - pos_ < bytes) return false;
+    std::memcpy(out, data_ + pos_, bytes);
+    pos_ += bytes;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void AppendSection(std::string* out, uint32_t tag,
+                   const std::string& payload) {
+  AppendScalar(out, tag);
+  AppendScalar(out, static_cast<uint64_t>(payload.size()));
+  out->append(payload);
+  AppendScalar(out, Crc32(payload.data(), payload.size()));
+}
+
+void AppendRngState(std::string* out, const RngState& state) {
+  for (uint64_t lane : state.lanes) AppendScalar(out, lane);
+  AppendScalar(out, state.spare_gaussian);
+  AppendScalar(out, static_cast<uint8_t>(state.has_spare_gaussian ? 1 : 0));
+}
+
+bool ReadRngState(Cursor* cursor, RngState* state) {
+  for (uint64_t& lane : state->lanes) {
+    if (!cursor->Read(&lane)) return false;
+  }
+  if (!cursor->Read(&state->spare_gaussian)) return false;
+  uint8_t has = 0;
+  if (!cursor->Read(&has)) return false;
+  state->has_spare_gaussian = has != 0;
+  return true;
+}
+
+std::string SerializeSections(
+    uint64_t config_hash, uint32_t epochs_completed, uint32_t total_epochs,
+    const EmbeddingStore& store,
+    const std::vector<std::pair<UserId, UserId>>& pairs,
+    const std::vector<uint64_t>& target_frequencies,
+    const RngState& master_rng, const std::vector<RngState>& shard_rngs) {
+  const uint32_t num_users = store.num_users();
+  const uint32_t dim = store.dim();
+
+  obs::JsonValue meta = obs::JsonValue::Object();
+  meta.Set("version", kFormatVersion);
+  meta.Set("config_hash", FormatConfigHash(config_hash));
+  meta.Set("epochs_completed", epochs_completed);
+  meta.Set("total_epochs", total_epochs);
+  meta.Set("num_users", num_users);
+  meta.Set("dim", dim);
+  meta.Set("num_pairs", pairs.size());
+  meta.Set("num_shards", shard_rngs.size());
+
+  std::string emb;
+  emb.reserve(8 + sizeof(double) * (2 * static_cast<size_t>(num_users) * dim +
+                                    2 * static_cast<size_t>(num_users)));
+  AppendScalar(&emb, num_users);
+  AppendScalar(&emb, dim);
+  for (uint32_t u = 0; u < num_users; ++u) {
+    AppendDoubles(&emb, store.Source(u).data(), dim);
+  }
+  for (uint32_t u = 0; u < num_users; ++u) {
+    AppendDoubles(&emb, store.Target(u).data(), dim);
+  }
+  for (uint32_t u = 0; u < num_users; ++u) {
+    AppendScalar(&emb, store.source_bias(u));
+  }
+  for (uint32_t u = 0; u < num_users; ++u) {
+    AppendScalar(&emb, store.target_bias(u));
+  }
+
+  std::string freq;
+  freq.reserve(8 + target_frequencies.size() * sizeof(uint64_t));
+  AppendScalar(&freq, static_cast<uint64_t>(target_frequencies.size()));
+  for (uint64_t f : target_frequencies) AppendScalar(&freq, f);
+
+  std::string rng;
+  AppendRngState(&rng, master_rng);
+  AppendScalar(&rng, static_cast<uint32_t>(shard_rngs.size()));
+  for (const RngState& shard : shard_rngs) AppendRngState(&rng, shard);
+
+  std::string pair;
+  pair.reserve(8 + pairs.size() * 2 * sizeof(UserId));
+  AppendScalar(&pair, static_cast<uint64_t>(pairs.size()));
+  for (const auto& [u, v] : pairs) {
+    AppendScalar(&pair, u);
+    AppendScalar(&pair, v);
+  }
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendScalar(&out, static_cast<uint32_t>(5));
+  AppendSection(&out, kSecMeta, meta.Dump(0));
+  AppendSection(&out, kSecEmb, emb);
+  AppendSection(&out, kSecFreq, freq);
+  AppendSection(&out, kSecRng, rng);
+  AppendSection(&out, kSecPair, pair);
+  return out;
+}
+
+Result<uint64_t> ParseConfigHash(const std::string& text) {
+  std::string digits = text;
+  if (digits.rfind("0x", 0) == 0) digits = digits.substr(2);
+  if (digits.empty() || digits.size() > 16) {
+    return Status::InvalidArgument("malformed config_hash: " + text);
+  }
+  uint64_t value = 0;
+  for (char c : digits) {
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument("malformed config_hash: " + text);
+    }
+    value = (value << 4) | static_cast<uint64_t>(nibble);
+  }
+  return value;
+}
+
+Status ParseMetaSection(const std::string& payload, CheckpointState* state) {
+  Result<obs::JsonValue> parsed = obs::ParseJson(payload);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("checkpoint META section is not JSON: " +
+                                   parsed.status().message());
+  }
+  const obs::JsonValue& meta = parsed.value();
+  const obs::JsonValue* version = meta.Find("version");
+  if (version == nullptr || !version->is_number()) {
+    return Status::InvalidArgument("checkpoint META missing version");
+  }
+  if (version->AsInt() != kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint format version " +
+        std::to_string(version->AsInt()));
+  }
+  const obs::JsonValue* hash = meta.Find("config_hash");
+  if (hash == nullptr || hash->kind() != obs::JsonValue::Kind::kString) {
+    return Status::InvalidArgument("checkpoint META missing config_hash");
+  }
+  Result<uint64_t> hash_value = ParseConfigHash(hash->AsString());
+  if (!hash_value.ok()) return hash_value.status();
+  state->config_hash = hash_value.value();
+  const obs::JsonValue* epochs = meta.Find("epochs_completed");
+  const obs::JsonValue* total = meta.Find("total_epochs");
+  if (epochs == nullptr || !epochs->is_number() || total == nullptr ||
+      !total->is_number()) {
+    return Status::InvalidArgument("checkpoint META missing epoch counters");
+  }
+  state->epochs_completed = static_cast<uint32_t>(epochs->AsInt());
+  state->total_epochs = static_cast<uint32_t>(total->AsInt());
+  return Status::OK();
+}
+
+Status ParseEmbSection(const std::string& payload, CheckpointState* state) {
+  Cursor cursor(payload.data(), payload.size());
+  uint32_t num_users = 0;
+  uint32_t dim = 0;
+  if (!cursor.Read(&num_users) || !cursor.Read(&dim)) {
+    return Status::InvalidArgument("truncated checkpoint EMB header");
+  }
+  if (num_users == 0 || dim == 0) {
+    return Status::InvalidArgument("checkpoint EMB has empty dimensions");
+  }
+  const size_t values = static_cast<size_t>(num_users) * dim;
+  const size_t expected = sizeof(double) * (2 * values + 2 * num_users);
+  if (cursor.remaining() != expected) {
+    return Status::InvalidArgument(
+        "truncated checkpoint EMB section: want " + std::to_string(expected) +
+        " parameter bytes, have " + std::to_string(cursor.remaining()));
+  }
+  EmbeddingStore store(num_users, dim);
+  for (uint32_t u = 0; u < num_users; ++u) {
+    cursor.ReadDoubles(store.Source(u).data(), dim);
+  }
+  for (uint32_t u = 0; u < num_users; ++u) {
+    cursor.ReadDoubles(store.Target(u).data(), dim);
+  }
+  for (uint32_t u = 0; u < num_users; ++u) {
+    cursor.Read(&store.mutable_source_bias(u));
+  }
+  for (uint32_t u = 0; u < num_users; ++u) {
+    cursor.Read(&store.mutable_target_bias(u));
+  }
+  state->store = std::move(store);
+  return Status::OK();
+}
+
+Status ParseFreqSection(const std::string& payload, CheckpointState* state) {
+  Cursor cursor(payload.data(), payload.size());
+  uint64_t count = 0;
+  if (!cursor.Read(&count) ||
+      cursor.remaining() != count * sizeof(uint64_t)) {
+    return Status::InvalidArgument("truncated checkpoint FREQ section");
+  }
+  state->target_frequencies.resize(count);
+  for (uint64_t& f : state->target_frequencies) cursor.Read(&f);
+  return Status::OK();
+}
+
+Status ParseRngSection(const std::string& payload, CheckpointState* state) {
+  Cursor cursor(payload.data(), payload.size());
+  uint32_t num_shards = 0;
+  if (!ReadRngState(&cursor, &state->master_rng) ||
+      !cursor.Read(&num_shards)) {
+    return Status::InvalidArgument("truncated checkpoint RNG section");
+  }
+  state->shard_rngs.resize(num_shards);
+  for (RngState& shard : state->shard_rngs) {
+    if (!ReadRngState(&cursor, &shard)) {
+      return Status::InvalidArgument("truncated checkpoint RNG section");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParsePairSection(const std::string& payload, CheckpointState* state) {
+  Cursor cursor(payload.data(), payload.size());
+  uint64_t count = 0;
+  if (!cursor.Read(&count) ||
+      cursor.remaining() != count * 2 * sizeof(UserId)) {
+    return Status::InvalidArgument("truncated checkpoint PAIR section");
+  }
+  state->pairs.resize(count);
+  for (auto& [u, v] : state->pairs) {
+    cursor.Read(&u);
+    cursor.Read(&v);
+  }
+  return Status::OK();
+}
+
+void HashCombine(uint64_t* hash, const std::string& field,
+                 const std::string& value) {
+  constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+  for (char c : field) {
+    *hash = (*hash ^ static_cast<unsigned char>(c)) * kFnvPrime;
+  }
+  *hash = (*hash ^ '=') * kFnvPrime;
+  for (char c : value) {
+    *hash = (*hash ^ static_cast<unsigned char>(c)) * kFnvPrime;
+  }
+  *hash = (*hash ^ ';') * kFnvPrime;
+}
+
+std::string DoubleKey(double value) {
+  // Exact round-trip representation so the hash never depends on printf
+  // rounding defaults.
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+uint64_t HashTrainingConfig(const Inf2vecConfig& config) {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+  HashCombine(&hash, "dim", std::to_string(config.dim));
+  HashCombine(&hash, "context.length", std::to_string(config.context.length));
+  HashCombine(&hash, "context.alpha", DoubleKey(config.context.alpha));
+  HashCombine(&hash, "context.global_with_replacement",
+              std::to_string(config.context.global_with_replacement ? 1 : 0));
+  HashCombine(&hash, "context.strategy",
+              std::to_string(static_cast<int>(config.context.strategy)));
+  HashCombine(&hash, "context.bfs_max_depth",
+              std::to_string(config.context.bfs_max_depth));
+  HashCombine(&hash, "context.walk.restart_prob",
+              DoubleKey(config.context.walk.restart_prob));
+  HashCombine(&hash, "context.walk.max_step_factor",
+              std::to_string(config.context.walk.max_step_factor));
+  HashCombine(&hash, "sgd.learning_rate",
+              DoubleKey(config.sgd.learning_rate));
+  HashCombine(&hash, "sgd.num_negatives",
+              std::to_string(config.sgd.num_negatives));
+  HashCombine(&hash, "sgd.use_biases",
+              std::to_string(config.sgd.use_biases ? 1 : 0));
+  HashCombine(&hash, "sgd.use_sigmoid_table",
+              std::to_string(config.sgd.use_sigmoid_table ? 1 : 0));
+  HashCombine(&hash, "negative_kind",
+              std::to_string(static_cast<int>(config.negative_kind)));
+  HashCombine(&hash, "shuffle_pairs",
+              std::to_string(config.shuffle_pairs ? 1 : 0));
+  HashCombine(&hash, "aggregation",
+              std::to_string(static_cast<int>(config.aggregation)));
+  HashCombine(&hash, "seed", std::to_string(config.seed));
+  HashCombine(&hash, "num_threads",
+              std::to_string(
+                  ThreadPool::ResolveThreadCount(config.num_threads)));
+  return hash;
+}
+
+std::string FormatConfigHash(uint64_t config_hash) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(config_hash));
+  return buffer;
+}
+
+std::string SerializeCheckpoint(const CheckpointState& state) {
+  return SerializeSections(state.config_hash, state.epochs_completed,
+                           state.total_epochs, state.store, state.pairs,
+                           state.target_frequencies, state.master_rng,
+                           state.shard_rngs);
+}
+
+Result<CheckpointState> DeserializeCheckpoint(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) + sizeof(uint32_t) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "not an inf2vec checkpoint (bad magic or too short)");
+  }
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes.data() + sizeof(kMagic),
+              sizeof(uint32_t));
+  size_t pos = sizeof(kMagic) + sizeof(uint32_t);
+
+  CheckpointState state;
+  bool have[6] = {false, false, false, false, false, false};
+  for (uint32_t i = 0; i < section_count; ++i) {
+    if (bytes.size() - pos < sizeof(uint32_t) + sizeof(uint64_t)) {
+      return Status::InvalidArgument(
+          "truncated checkpoint: section header cut short");
+    }
+    uint32_t tag = 0;
+    uint64_t len = 0;
+    std::memcpy(&tag, bytes.data() + pos, sizeof(uint32_t));
+    pos += sizeof(uint32_t);
+    std::memcpy(&len, bytes.data() + pos, sizeof(uint64_t));
+    pos += sizeof(uint64_t);
+    if (bytes.size() - pos < len + sizeof(uint32_t)) {
+      return Status::InvalidArgument(
+          "truncated checkpoint: section " + std::to_string(tag) +
+          " payload cut short");
+    }
+    const std::string payload = bytes.substr(pos, len);
+    pos += len;
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + pos, sizeof(uint32_t));
+    pos += sizeof(uint32_t);
+    const uint32_t actual_crc = Crc32(payload.data(), payload.size());
+    if (stored_crc != actual_crc) {
+      return Status::InvalidArgument(
+          "checkpoint section " + std::to_string(tag) +
+          " CRC mismatch: stored " + std::to_string(stored_crc) +
+          ", computed " + std::to_string(actual_crc));
+    }
+    Status parsed = Status::OK();
+    switch (tag) {
+      case kSecMeta:
+        parsed = ParseMetaSection(payload, &state);
+        break;
+      case kSecEmb:
+        parsed = ParseEmbSection(payload, &state);
+        break;
+      case kSecFreq:
+        parsed = ParseFreqSection(payload, &state);
+        break;
+      case kSecRng:
+        parsed = ParseRngSection(payload, &state);
+        break;
+      case kSecPair:
+        parsed = ParsePairSection(payload, &state);
+        break;
+      default:
+        // Unknown sections are skipped for forward compatibility; the CRC
+        // already vouched for their integrity.
+        continue;
+    }
+    if (!parsed.ok()) return parsed;
+    if (tag <= 5) have[tag] = true;
+  }
+  for (uint32_t tag = 1; tag <= 5; ++tag) {
+    if (!have[tag]) {
+      return Status::InvalidArgument(
+          "checkpoint is missing required section " + std::to_string(tag));
+    }
+  }
+  return state;
+}
+
+Status WriteCheckpointFile(const std::string& path,
+                           const CheckpointState& state) {
+  return WriteFileAtomic(path, SerializeCheckpoint(state));
+}
+
+Result<CheckpointState> ReadCheckpointFile(const std::string& path) {
+  std::string bytes;
+  INF2VEC_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  Result<CheckpointState> state = DeserializeCheckpoint(bytes);
+  if (state.ok() && obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Default().GetCounter("ckpt.loads")->Increment();
+  }
+  return state;
+}
+
+Result<std::string> LatestCheckpointFile(const std::string& dir) {
+  const std::string manifest_path = dir + "/" + kManifestName;
+  std::string text;
+  if (!ReadFile(manifest_path, &text).ok()) {
+    return Status::NotFound("no checkpoint manifest in " + dir);
+  }
+  Result<obs::JsonValue> parsed = obs::ParseJson(text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("corrupt checkpoint manifest " +
+                                   manifest_path + ": " +
+                                   parsed.status().message());
+  }
+  const obs::JsonValue* checkpoints = parsed.value().Find("checkpoints");
+  if (checkpoints == nullptr ||
+      checkpoints->kind() != obs::JsonValue::Kind::kArray ||
+      checkpoints->size() == 0) {
+    return Status::NotFound("checkpoint manifest lists no checkpoints: " +
+                            manifest_path);
+  }
+  const obs::JsonValue& last = checkpoints->items().back();
+  const obs::JsonValue* file = last.Find("file");
+  if (file == nullptr || file->kind() != obs::JsonValue::Kind::kString) {
+    return Status::InvalidArgument(
+        "corrupt checkpoint manifest entry (no file): " + manifest_path);
+  }
+  return dir + "/" + file->AsString();
+}
+
+Result<CheckpointState> ReadLatestCheckpoint(const std::string& dir,
+                                             uint64_t expected_config_hash) {
+  Result<std::string> path = LatestCheckpointFile(dir);
+  if (!path.ok()) return path.status();
+  Result<CheckpointState> state = ReadCheckpointFile(path.value());
+  if (!state.ok()) return state.status();
+  if (state.value().config_hash != expected_config_hash) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path.value() + " was written under config hash " +
+        FormatConfigHash(state.value().config_hash) +
+        " but the current config hashes to " +
+        FormatConfigHash(expected_config_hash) +
+        "; only --epochs may change across a resume");
+  }
+  return state;
+}
+
+TrainResumeState ToResumeState(CheckpointState&& state) {
+  TrainResumeState resume;
+  resume.epochs_completed = state.epochs_completed;
+  resume.store = std::move(state.store);
+  resume.corpus.pairs = std::move(state.pairs);
+  resume.corpus.target_frequencies = std::move(state.target_frequencies);
+  resume.master_rng = state.master_rng;
+  resume.shard_rngs = std::move(state.shard_rngs);
+  return resume;
+}
+
+CheckpointWriter::CheckpointWriter(CheckpointOptions options,
+                                   uint64_t config_hash)
+    : options_(std::move(options)), config_hash_(config_hash) {
+  if (options_.every == 0) options_.every = 1;
+}
+
+Status CheckpointWriter::EnsureDirAndManifest() {
+  if (initialized_) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir " + options_.dir +
+                           ": " + ec.message());
+  }
+  const std::string manifest_path = options_.dir + "/" + kManifestName;
+  std::string text;
+  if (ReadFile(manifest_path, &text).ok()) {
+    Result<obs::JsonValue> parsed = obs::ParseJson(text);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("corrupt checkpoint manifest " +
+                                     manifest_path + ": " +
+                                     parsed.status().message());
+    }
+    const obs::JsonValue* hash = parsed.value().Find("config_hash");
+    if (hash == nullptr ||
+        hash->kind() != obs::JsonValue::Kind::kString ||
+        hash->AsString() != FormatConfigHash(config_hash_)) {
+      return Status::FailedPrecondition(
+          "checkpoint dir " + options_.dir +
+          " holds checkpoints of a different training config; point "
+          "--checkpoint-dir elsewhere or clear it");
+    }
+    const obs::JsonValue* checkpoints = parsed.value().Find("checkpoints");
+    if (checkpoints != nullptr &&
+        checkpoints->kind() == obs::JsonValue::Kind::kArray) {
+      for (const obs::JsonValue& item : checkpoints->items()) {
+        const obs::JsonValue* file = item.Find("file");
+        const obs::JsonValue* epochs = item.Find("epochs_completed");
+        const obs::JsonValue* size = item.Find("bytes");
+        if (file == nullptr || epochs == nullptr) continue;
+        Entry entry;
+        entry.file = file->AsString();
+        entry.epochs_completed = static_cast<uint32_t>(epochs->AsInt());
+        entry.bytes =
+            size != nullptr ? static_cast<uint64_t>(size->AsInt()) : 0;
+        entries_.push_back(std::move(entry));
+      }
+    }
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status CheckpointWriter::WriteManifestAndPrune() {
+  // Trim to retention BEFORE emitting the manifest so it never references
+  // a file this call is about to delete; the orphan files from a crash
+  // between manifest write and unlink are harmless.
+  std::vector<std::string> doomed;
+  if (options_.keep_last_n > 0) {
+    while (entries_.size() > options_.keep_last_n) {
+      doomed.push_back(entries_.front().file);
+      entries_.erase(entries_.begin());
+    }
+  }
+  obs::JsonValue manifest = obs::JsonValue::Object();
+  manifest.Set("version", kFormatVersion);
+  manifest.Set("config_hash", FormatConfigHash(config_hash_));
+  obs::JsonValue checkpoints = obs::JsonValue::Array();
+  for (const Entry& entry : entries_) {
+    obs::JsonValue item = obs::JsonValue::Object();
+    item.Set("file", entry.file);
+    item.Set("epochs_completed", entry.epochs_completed);
+    item.Set("bytes", entry.bytes);
+    checkpoints.Append(std::move(item));
+  }
+  manifest.Set("checkpoints", std::move(checkpoints));
+  INF2VEC_RETURN_IF_ERROR(WriteFileAtomic(
+      options_.dir + "/" + kManifestName, manifest.Dump(2) + "\n"));
+  for (const std::string& file : doomed) {
+    std::error_code ec;
+    std::filesystem::remove(options_.dir + "/" + file, ec);
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Default().GetCounter("ckpt.prunes")->Increment();
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckpointWriter::MaybeWrite(const TrainCheckpointView& view) {
+  if (view.epochs_completed % options_.every != 0) return Status::OK();
+  return Write(view);
+}
+
+Status CheckpointWriter::Write(const TrainCheckpointView& view) {
+  INF2VEC_RETURN_IF_ERROR(EnsureDirAndManifest());
+  const auto start = std::chrono::steady_clock::now();
+  const std::string bytes = SerializeSections(
+      config_hash_, view.epochs_completed, view.total_epochs, *view.store,
+      *view.pairs, *view.target_frequencies, view.master_rng,
+      view.shard_rngs);
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%06u.bin", view.epochs_completed);
+  INF2VEC_RETURN_IF_ERROR(
+      WriteFileAtomic(options_.dir + "/" + name, bytes));
+
+  Entry entry;
+  entry.epochs_completed = view.epochs_completed;
+  entry.file = name;
+  entry.bytes = bytes.size();
+  // Re-checkpointing an epoch (e.g. a rerun into the same dir) replaces
+  // the stale manifest row instead of duplicating it.
+  bool replaced = false;
+  for (Entry& existing : entries_) {
+    if (existing.file == entry.file) {
+      existing = entry;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) entries_.push_back(std::move(entry));
+  INF2VEC_RETURN_IF_ERROR(WriteManifestAndPrune());
+
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry.GetCounter("ckpt.writes")->Increment();
+    registry.GetCounter("ckpt.bytes")->Increment(bytes.size());
+    registry.GetGauge("ckpt.write_seconds")
+        ->Set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count());
+  }
+  return Status::OK();
+}
+
+std::function<Status(const TrainCheckpointView&)>
+CheckpointWriter::AsCallback() {
+  return [this](const TrainCheckpointView& view) { return MaybeWrite(view); };
+}
+
+}  // namespace ckpt
+}  // namespace inf2vec

@@ -1,0 +1,144 @@
+#ifndef INF2VEC_CKPT_CHECKPOINT_H_
+#define INF2VEC_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/inf2vec_model.h"
+#include "embedding/embedding_store.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace ckpt {
+
+/// Where and how often CheckpointWriter persists training state.
+struct CheckpointOptions {
+  /// Directory for checkpoint files + MANIFEST.json; created if missing.
+  std::string dir;
+  /// Write a checkpoint after every N completed epochs (1 = every epoch).
+  uint32_t every = 1;
+  /// Retention: prune oldest checkpoint files beyond the newest N.
+  /// 0 keeps everything.
+  uint32_t keep_last_n = 3;
+};
+
+/// Everything a checkpoint file carries — the full resumable training
+/// state of Algorithm 2's SGD phase (see TrainCheckpointView for why the
+/// pair order and RNG streams are part of it) plus identity metadata.
+struct CheckpointState {
+  /// HashTrainingConfig of the run that wrote the checkpoint. Resume
+  /// refuses to continue under a config with a different hash.
+  uint64_t config_hash = 0;
+  uint32_t epochs_completed = 0;
+  /// config.epochs at write time; informational (resume may extend it).
+  uint32_t total_epochs = 0;
+  EmbeddingStore store;
+  /// Flattened (source, context-member) pairs in checkpoint-time shuffled
+  /// order.
+  std::vector<std::pair<UserId, UserId>> pairs;
+  std::vector<uint64_t> target_frequencies;
+  RngState master_rng;
+  std::vector<RngState> shard_rngs;  // Empty for serial runs.
+};
+
+/// FNV-1a hash over every training-relevant Inf2vecConfig field EXCEPT
+/// `epochs` — a resumed run may raise --epochs to extend training, but any
+/// other divergence (dim, context shape, SGD knobs, seed, thread count...)
+/// would silently produce a model inconsistent with the checkpoint, so
+/// resume rejects it with FailedPrecondition. num_threads enters resolved
+/// (ResolveThreadCount), because the Hogwild RNG sharding depends on the
+/// resolved count, not the configured one.
+uint64_t HashTrainingConfig(const Inf2vecConfig& config);
+
+/// `config_hash` rendered the way MANIFEST.json stores it (hex, "0x..."),
+/// so 64-bit hashes never squeeze through a JSON double.
+std::string FormatConfigHash(uint64_t config_hash);
+
+/// Binary round trip. The format is sectioned and integrity-checked:
+/// magic "I2VCKPT1", a section count, then per section a tag, payload
+/// length, payload, and CRC32 of the payload (docs/CHECKPOINTING.md has
+/// the full layout). Deserialize returns typed errors instead of
+/// crashing on damaged input: truncation and structural damage are
+/// InvalidArgument, payload corruption is InvalidArgument with a CRC
+/// message.
+std::string SerializeCheckpoint(const CheckpointState& state);
+Result<CheckpointState> DeserializeCheckpoint(const std::string& bytes);
+
+/// File round trip; WriteCheckpointFile commits atomically (tmp + rename)
+/// so a crash mid-write never leaves a torn checkpoint behind.
+Status WriteCheckpointFile(const std::string& path,
+                           const CheckpointState& state);
+Result<CheckpointState> ReadCheckpointFile(const std::string& path);
+
+/// Resolves the newest checkpoint recorded in `dir`'s MANIFEST.json to a
+/// full path. NotFound when the directory has no manifest or the manifest
+/// lists no checkpoints.
+Result<std::string> LatestCheckpointFile(const std::string& dir);
+
+/// LatestCheckpointFile + ReadCheckpointFile + config guard: fails with
+/// FailedPrecondition when the checkpoint was written under a config whose
+/// hash differs from `expected_config_hash`.
+Result<CheckpointState> ReadLatestCheckpoint(const std::string& dir,
+                                             uint64_t expected_config_hash);
+
+/// Adapts a loaded checkpoint to Inf2vecModel::ResumeFromState input
+/// (moves the heavy members; the CheckpointState is consumed).
+TrainResumeState ToResumeState(CheckpointState&& state);
+
+/// Writes checkpoints during training. Bind MaybeWrite as the config's
+/// checkpoint_callback:
+///
+///   ckpt::CheckpointWriter writer(options, ckpt::HashTrainingConfig(cfg));
+///   cfg.checkpoint_callback = writer.AsCallback();
+///
+/// Each write commits the checkpoint file atomically, then updates
+/// MANIFEST.json (also atomically) and prunes files beyond keep_last_n.
+/// An existing manifest in the directory is continued when its
+/// config_hash matches (the --resume flow) and rejected with
+/// FailedPrecondition when it does not — mixing checkpoints of different
+/// configs in one directory is always a mistake.
+///
+/// Not thread-safe; training invokes the callback from one thread between
+/// epochs.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(CheckpointOptions options, uint64_t config_hash);
+
+  /// Writes iff view.epochs_completed is a multiple of options.every;
+  /// OK-no-op otherwise.
+  Status MaybeWrite(const TrainCheckpointView& view);
+
+  /// Unconditional write (the final checkpoint at end of training).
+  Status Write(const TrainCheckpointView& view);
+
+  /// MaybeWrite bound for Inf2vecConfig::checkpoint_callback. The writer
+  /// must outlive the training run.
+  std::function<Status(const TrainCheckpointView&)> AsCallback();
+
+  const CheckpointOptions& options() const { return options_; }
+
+ private:
+  Status EnsureDirAndManifest();
+  Status WriteManifestAndPrune();
+
+  CheckpointOptions options_;
+  uint64_t config_hash_;
+  bool initialized_ = false;
+  /// (epochs_completed, filename, bytes) per retained checkpoint, oldest
+  /// first; mirrors the manifest's "checkpoints" array.
+  struct Entry {
+    uint32_t epochs_completed = 0;
+    std::string file;
+    uint64_t bytes = 0;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ckpt
+}  // namespace inf2vec
+
+#endif  // INF2VEC_CKPT_CHECKPOINT_H_

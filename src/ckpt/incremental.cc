@@ -1,0 +1,97 @@
+#include "ckpt/incremental.h"
+
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace inf2vec {
+namespace ckpt {
+
+Result<Inf2vecModel> IncrementalUpdate(EmbeddingStore store,
+                                       const SocialGraph& graph,
+                                       const ActionLog& delta,
+                                       const Inf2vecConfig& base_config,
+                                       const IncrementalOptions& options) {
+  if (store.num_users() == 0 || store.dim() == 0) {
+    return Status::InvalidArgument("incremental update needs a trained base "
+                                   "embedding store");
+  }
+  if (store.dim() != base_config.dim) {
+    return Status::FailedPrecondition(
+        "base model dim " + std::to_string(store.dim()) +
+        " != base_config.dim " + std::to_string(base_config.dim));
+  }
+  if (delta.num_episodes() == 0) {
+    return Status::InvalidArgument("delta action log has no episodes");
+  }
+  if (graph.num_users() < store.num_users()) {
+    return Status::InvalidArgument(
+        "graph covers " + std::to_string(graph.num_users()) +
+        " users but the base model embeds " +
+        std::to_string(store.num_users()) +
+        "; the delta graph must be a superset of the base id space");
+  }
+  if (options.lr_scale <= 0.0) {
+    return Status::InvalidArgument("lr_scale must be positive");
+  }
+
+  const uint32_t num_users = graph.num_users();
+  const uint32_t new_users = num_users - store.num_users();
+  Rng init_rng(options.seed);
+  store.GrowTo(num_users, init_rng);
+
+  const uint32_t num_threads =
+      ThreadPool::ResolveThreadCount(base_config.num_threads);
+  CorpusBuildOptions build;
+  build.seed = options.seed;
+  InfluenceCorpus corpus;
+  if (num_threads <= 1) {
+    corpus = BuildInfluenceCorpus(graph, delta, base_config.context,
+                                  num_users, build);
+  } else {
+    ThreadPool pool(num_threads);
+    build.pool = &pool;
+    corpus = BuildInfluenceCorpus(graph, delta, base_config.context,
+                                  num_users, build);
+  }
+  if (corpus.pairs.empty()) {
+    return Status::InvalidArgument(
+        "delta episodes produced no influence pairs");
+  }
+
+  Inf2vecConfig config = base_config;
+  config.epochs = options.epochs;
+  config.sgd.learning_rate *= options.lr_scale;
+  // Decorrelate the delta SGD stream from both the base run and this
+  // call's corpus/init stream (same convention as Train()'s phase split).
+  config.seed = options.seed ^ 0x5deece66dULL;
+
+  TrainResumeState state;
+  state.epochs_completed = 0;
+  state.store = std::move(store);
+  state.corpus = std::move(corpus);
+  Rng sgd_rng(config.seed);
+  state.master_rng = sgd_rng.state();
+  if (num_threads > 1) {
+    state.shard_rngs.reserve(num_threads);
+    for (uint32_t s = 0; s < num_threads; ++s) {
+      state.shard_rngs.push_back(
+          Rng(ThreadPool::ShardSeed(config.seed, s)).state());
+    }
+  }
+
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry.GetCounter("ckpt.incremental_updates")->Increment();
+    registry.GetCounter("ckpt.incremental_new_users")->Increment(new_users);
+    registry.GetCounter("ckpt.incremental_pairs")
+        ->Increment(state.corpus.pairs.size());
+  }
+  return Inf2vecModel::ResumeFromState(std::move(state), config);
+}
+
+}  // namespace ckpt
+}  // namespace inf2vec

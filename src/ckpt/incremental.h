@@ -1,0 +1,55 @@
+#ifndef INF2VEC_CKPT_INCREMENTAL_H_
+#define INF2VEC_CKPT_INCREMENTAL_H_
+
+#include <cstdint>
+
+#include "action/action_log.h"
+#include "core/inf2vec_model.h"
+#include "embedding/embedding_store.h"
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace ckpt {
+
+/// Knobs of the warm-start delta pass.
+struct IncrementalOptions {
+  /// SGD epochs over the delta corpus; small by design — the base model
+  /// already converged, the delta only nudges it.
+  uint32_t epochs = 3;
+  /// Multiplier on base_config.sgd.learning_rate for the delta pass.
+  /// Reduced so fresh episodes refine rather than overwrite the converged
+  /// parameters (the fine-tuning convention).
+  double lr_scale = 0.2;
+  /// Seed of the delta pass (corpus build, new-user init, SGD stream);
+  /// independent of the base run's seed.
+  uint64_t seed = 1;
+};
+
+/// Incremental training: folds a delta action log (new episodes observed
+/// since the base model was trained) into an already-trained
+/// EmbeddingStore without a full retrain.
+///
+///  1. Grows the store to graph.num_users() — users unseen at base
+///     training time get the paper's cold-start init (S, T ~ U[-1/K, 1/K],
+///     biases 0) from Rng(options.seed).
+///  2. Builds an influence corpus from ONLY the delta episodes via the
+///     standard CorpusBuildOptions path (serial or pooled per
+///     base_config.num_threads).
+///  3. Runs options.epochs warm-start SGD epochs over that corpus at
+///     learning rate base_config.sgd.learning_rate * options.lr_scale,
+///     reusing Inf2vecModel::ResumeFromState as the warm-start engine.
+///
+/// `base_config` must be the config the base model was trained with (dim
+/// must match the store); the returned model's config reflects the delta
+/// pass (scaled LR, delta epochs).
+Result<Inf2vecModel> IncrementalUpdate(EmbeddingStore store,
+                                       const SocialGraph& graph,
+                                       const ActionLog& delta,
+                                       const Inf2vecConfig& base_config,
+                                       const IncrementalOptions& options);
+
+}  // namespace ckpt
+}  // namespace inf2vec
+
+#endif  // INF2VEC_CKPT_INCREMENTAL_H_

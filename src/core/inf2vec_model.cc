@@ -140,69 +140,46 @@ InfluenceCorpus BuildCorpusPooled(const SocialGraph& graph,
   return corpus;
 }
 
-}  // namespace
-
-InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
-                                     const ActionLog& log,
-                                     const ContextOptions& options,
-                                     uint32_t num_users,
-                                     const CorpusBuildOptions& build) {
-  if (build.pool == nullptr) {
-    Rng rng(build.seed);
-    return BuildCorpusSerial(graph, log, options, num_users, rng);
-  }
-  return BuildCorpusPooled(graph, log, options, num_users, build.seed,
-                           *build.pool);
+/// Builds the checkpoint view and invokes the configured callback (no-op
+/// without one). Runs on the training thread between epochs, so the
+/// pointed-to state is quiescent for the duration of the call.
+Status MaybeCheckpoint(const Inf2vecConfig& config, uint32_t epochs_completed,
+                       const EmbeddingStore* store,
+                       const std::vector<std::pair<UserId, UserId>>* pairs,
+                       const std::vector<uint64_t>* target_frequencies,
+                       const Rng& rng, const std::vector<Rng>& shard_rngs) {
+  if (!config.checkpoint_callback) return Status::OK();
+  TrainCheckpointView view;
+  view.epochs_completed = epochs_completed;
+  view.total_epochs = config.epochs;
+  view.num_users = store->num_users();
+  view.store = store;
+  view.pairs = pairs;
+  view.target_frequencies = target_frequencies;
+  view.master_rng = rng.state();
+  view.shard_rngs.reserve(shard_rngs.size());
+  for (const Rng& shard : shard_rngs) view.shard_rngs.push_back(shard.state());
+  return config.checkpoint_callback(view);
 }
 
-InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
-                                     const ActionLog& log,
-                                     const ContextOptions& options,
-                                     uint32_t num_users, Rng& rng) {
-  return BuildCorpusSerial(graph, log, options, num_users, rng);
-}
-
-InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
-                                     const ActionLog& log,
-                                     const ContextOptions& options,
-                                     uint32_t num_users, uint64_t seed,
-                                     ThreadPool& pool) {
-  return BuildCorpusPooled(graph, log, options, num_users, seed, pool);
-}
-
-Result<Inf2vecModel> Inf2vecModel::TrainFromCorpus(
-    const InfluenceCorpus& corpus, uint32_t num_users,
-    const Inf2vecConfig& config, std::vector<double>* epoch_objective) {
-  if (corpus.pairs.empty()) {
-    return Status::InvalidArgument(
-        "empty influence corpus: no influence pairs in the training log");
-  }
-  if (num_users == 0) {
-    return Status::InvalidArgument("num_users must be positive");
-  }
-
-  Rng rng(config.seed);
-  auto store = std::make_unique<EmbeddingStore>(num_users, config.dim);
-  store->InitPaperDefault(rng);
-
-  Result<NegativeSampler> sampler = NegativeSampler::Create(
-      config.negative_kind, num_users, corpus.target_frequencies);
-  if (!sampler.ok()) return sampler.status();
-
-  std::vector<std::pair<UserId, UserId>> pairs = corpus.pairs;
-  if (epoch_objective != nullptr) epoch_objective->clear();
+/// The SGD epoch loop shared by TrainFromCorpus (start_epoch = 0) and
+/// ResumeFromState. Serial when `shard_rngs` is empty, Hogwild over
+/// shard_rngs.size() workers otherwise. Mutates `pairs` (per-epoch
+/// shuffle), `rng`, `shard_rngs` and the store in place.
+Status RunSgdEpochs(const Inf2vecConfig& config, EmbeddingStore* store,
+                    NegativeSampler* sampler,
+                    std::vector<std::pair<UserId, UserId>>& pairs,
+                    const std::vector<uint64_t>& target_frequencies,
+                    Rng& rng, std::vector<Rng>& shard_rngs,
+                    uint32_t start_epoch,
+                    std::vector<double>* epoch_objective) {
   const bool want_objective =
       epoch_objective != nullptr || static_cast<bool>(config.epoch_callback);
-
-  const uint32_t num_threads =
-      ThreadPool::ResolveThreadCount(config.num_threads);
-  obs::RunStatus::Default().SetPhase("sgd");
-  obs::RunStatus::Default().SetThreads(num_threads);
-  if (num_threads <= 1) {
+  if (shard_rngs.empty()) {
     // Serial reference path: identical RNG stream and update order to the
     // pre-parallel implementation, hence bit-for-bit reproducible.
-    SgdTrainer trainer(store.get(), &sampler.value(), config.sgd);
-    for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    SgdTrainer trainer(store, sampler, config.sgd);
+    for (uint32_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
       const auto epoch_start = std::chrono::steady_clock::now();
       double objective_sum = 0.0;
       {
@@ -214,26 +191,27 @@ Result<Inf2vecModel> Inf2vecModel::TrainFromCorpus(
       }
       FinishEpoch(config, epoch, pairs.size(), objective_sum, want_objective,
                   SecondsSince(epoch_start), epoch_objective);
+      INF2VEC_RETURN_IF_ERROR(MaybeCheckpoint(config, epoch + 1, store,
+                                              &pairs, &target_frequencies,
+                                              rng, shard_rngs));
     }
-    return Inf2vecModel(config, std::move(store));
+    return Status::OK();
   }
 
   // Hogwild epochs: each epoch statically partitions the shuffled pair
   // vector across the pool; workers own their SgdTrainer (scratch buffers)
   // and RNG stream but share the EmbeddingStore lock-free. The shuffle
   // stays on the master rng so the pair sequence matches the serial path.
+  const uint32_t num_threads = static_cast<uint32_t>(shard_rngs.size());
   ThreadPool pool(num_threads);
   std::vector<SgdTrainer> trainers;
-  std::vector<Rng> shard_rngs;
   trainers.reserve(num_threads);
-  shard_rngs.reserve(num_threads);
   for (uint32_t s = 0; s < num_threads; ++s) {
-    trainers.emplace_back(store.get(), &sampler.value(), config.sgd);
-    shard_rngs.emplace_back(ThreadPool::ShardSeed(config.seed, s));
+    trainers.emplace_back(store, sampler, config.sgd);
   }
   std::vector<double> shard_objective(num_threads, 0.0);
 
-  for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+  for (uint32_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     const auto epoch_start = std::chrono::steady_clock::now();
     {
       obs::TraceSpan span("sgd.epoch", "train");
@@ -257,7 +235,132 @@ Result<Inf2vecModel> Inf2vecModel::TrainFromCorpus(
                                          shard_objective.end(), 0.0);
     FinishEpoch(config, epoch, pairs.size(), total, want_objective,
                 SecondsSince(epoch_start), epoch_objective);
+    INF2VEC_RETURN_IF_ERROR(MaybeCheckpoint(config, epoch + 1, store, &pairs,
+                                            &target_frequencies, rng,
+                                            shard_rngs));
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
+                                     const ActionLog& log,
+                                     const ContextOptions& options,
+                                     uint32_t num_users,
+                                     const CorpusBuildOptions& build) {
+  if (build.pool == nullptr) {
+    Rng rng(build.seed);
+    return BuildCorpusSerial(graph, log, options, num_users, rng);
+  }
+  return BuildCorpusPooled(graph, log, options, num_users, build.seed,
+                           *build.pool);
+}
+
+Result<Inf2vecModel> Inf2vecModel::TrainFromCorpus(
+    const InfluenceCorpus& corpus, uint32_t num_users,
+    const Inf2vecConfig& config, std::vector<double>* epoch_objective) {
+  if (corpus.pairs.empty()) {
+    return Status::InvalidArgument(
+        "empty influence corpus: no influence pairs in the training log");
+  }
+  if (num_users == 0) {
+    return Status::InvalidArgument("num_users must be positive");
+  }
+
+  Rng rng(config.seed);
+  auto store = std::make_unique<EmbeddingStore>(num_users, config.dim);
+  store->InitPaperDefault(rng);
+
+  Result<NegativeSampler> sampler = NegativeSampler::Create(
+      config.negative_kind, num_users, corpus.target_frequencies);
+  if (!sampler.ok()) return sampler.status();
+
+  std::vector<std::pair<UserId, UserId>> pairs = corpus.pairs;
+  if (epoch_objective != nullptr) epoch_objective->clear();
+
+  const uint32_t num_threads =
+      ThreadPool::ResolveThreadCount(config.num_threads);
+  obs::RunStatus::Default().SetPhase("sgd");
+  obs::RunStatus::Default().SetThreads(num_threads);
+  std::vector<Rng> shard_rngs;
+  if (num_threads > 1) {
+    shard_rngs.reserve(num_threads);
+    for (uint32_t s = 0; s < num_threads; ++s) {
+      shard_rngs.emplace_back(ThreadPool::ShardSeed(config.seed, s));
+    }
+  }
+  INF2VEC_RETURN_IF_ERROR(RunSgdEpochs(config, store.get(), &sampler.value(),
+                                       pairs, corpus.target_frequencies, rng,
+                                       shard_rngs, /*start_epoch=*/0,
+                                       epoch_objective));
+  return Inf2vecModel(config, std::move(store));
+}
+
+Result<Inf2vecModel> Inf2vecModel::ResumeFromState(
+    TrainResumeState state, const Inf2vecConfig& config,
+    std::vector<double>* epoch_objective) {
+  if (state.corpus.pairs.empty()) {
+    return Status::InvalidArgument("resume state has no training pairs");
+  }
+  const uint32_t num_users = state.store.num_users();
+  if (num_users == 0) {
+    return Status::InvalidArgument(
+        "resume state has an empty embedding store");
+  }
+  if (state.store.dim() != config.dim) {
+    return Status::FailedPrecondition(
+        "checkpointed dim " + std::to_string(state.store.dim()) +
+        " != config.dim " + std::to_string(config.dim));
+  }
+  if (state.corpus.target_frequencies.size() != num_users) {
+    return Status::InvalidArgument(
+        "resume state target_frequencies covers " +
+        std::to_string(state.corpus.target_frequencies.size()) +
+        " users, embedding store has " + std::to_string(num_users));
+  }
+
+  auto store = std::make_unique<EmbeddingStore>(std::move(state.store));
+  if (epoch_objective != nullptr) epoch_objective->clear();
+  if (state.epochs_completed >= config.epochs) {
+    // The checkpoint already covers every requested epoch (e.g. resuming a
+    // finished run without raising --epochs): nothing left to train.
+    return Inf2vecModel(config, std::move(store));
+  }
+
+  Result<NegativeSampler> sampler = NegativeSampler::Create(
+      config.negative_kind, num_users, state.corpus.target_frequencies);
+  if (!sampler.ok()) return sampler.status();
+
+  const uint32_t num_threads =
+      ThreadPool::ResolveThreadCount(config.num_threads);
+  obs::RunStatus::Default().SetPhase("sgd");
+  obs::RunStatus::Default().SetThreads(num_threads);
+  std::vector<Rng> shard_rngs;
+  if (num_threads > 1) {
+    if (state.shard_rngs.size() != num_threads) {
+      return Status::FailedPrecondition(
+          "checkpoint carries " + std::to_string(state.shard_rngs.size()) +
+          " shard RNG streams but config.num_threads resolves to " +
+          std::to_string(num_threads) +
+          "; resume with the checkpointed thread count");
+    }
+    shard_rngs.reserve(num_threads);
+    for (const RngState& s : state.shard_rngs) {
+      shard_rngs.push_back(Rng::FromState(s));
+    }
+  } else if (!state.shard_rngs.empty()) {
+    return Status::FailedPrecondition(
+        "checkpoint came from a Hogwild run (" +
+        std::to_string(state.shard_rngs.size()) +
+        " shard RNG streams); resume with the same num_threads");
+  }
+
+  Rng rng = Rng::FromState(state.master_rng);
+  INF2VEC_RETURN_IF_ERROR(RunSgdEpochs(
+      config, store.get(), &sampler.value(), state.corpus.pairs,
+      state.corpus.target_frequencies, rng, shard_rngs,
+      state.epochs_completed, epoch_objective));
   return Inf2vecModel(config, std::move(store));
 }
 

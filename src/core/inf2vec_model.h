@@ -32,6 +32,28 @@ struct EpochStats {
   double pairs_per_second = 0.0;
 };
 
+/// A read-only snapshot of everything the SGD phase needs to continue a
+/// run later, handed to Inf2vecConfig::checkpoint_callback after each
+/// epoch. Pointers reference training-owned storage and are only valid
+/// for the duration of the callback — serialize, don't retain.
+///
+/// `pairs` is the flattened pair vector IN ITS CURRENT SHUFFLED ORDER and
+/// `master_rng` is the stream state after the epoch finished, so a resumed
+/// run re-enters the next epoch's shuffle exactly where an uninterrupted
+/// run would: with num_threads == 1 the resumed embeddings are
+/// bit-identical to never having stopped.
+struct TrainCheckpointView {
+  uint32_t epochs_completed = 0;  // Epochs fully finished so far.
+  uint32_t total_epochs = 0;      // config.epochs of the running config.
+  uint32_t num_users = 0;
+  const EmbeddingStore* store = nullptr;
+  const std::vector<std::pair<UserId, UserId>>* pairs = nullptr;
+  const std::vector<uint64_t>* target_frequencies = nullptr;
+  RngState master_rng;
+  /// One state per Hogwild shard (empty on the serial path).
+  std::vector<RngState> shard_rngs;
+};
+
 /// All knobs of Algorithm 2, defaulting to the paper's Section V-A-2
 /// settings: K = 50, L = 50, alpha = 0.1, gamma = 0.005, |N| = 5,
 /// Ave aggregation. Setting context.alpha = 1.0 gives the paper's
@@ -68,6 +90,12 @@ struct Inf2vecConfig {
   /// which costs one extra fused objective evaluation per update — leave
   /// unset for maximum-throughput runs.
   std::function<void(const EpochStats&)> epoch_callback;
+  /// Invoked on the training thread after every SGD epoch with a snapshot
+  /// view of the resumable state (see TrainCheckpointView). The callback
+  /// decides cadence (e.g. CheckpointWriter::MaybeWrite checkpoints every
+  /// N epochs and is a no-op otherwise). Returning a non-OK status aborts
+  /// training and propagates that status to the Train*/Resume* caller.
+  std::function<Status(const TrainCheckpointView&)> checkpoint_callback;
 
   /// The Inf2vec-L ablation (Table IV): local influence context only.
   static Inf2vecConfig LocalOnly() {
@@ -115,24 +143,18 @@ InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
                                      uint32_t num_users,
                                      const CorpusBuildOptions& build);
 
-/// Deprecated serial entry point; equivalent to CorpusBuildOptions with a
-/// null pool except that it continues the caller's RNG stream. Will be
-/// removed one release after the CorpusBuildOptions migration.
-[[deprecated("use BuildInfluenceCorpus(..., CorpusBuildOptions{seed})")]]
-InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
-                                     const ActionLog& log,
-                                     const ContextOptions& options,
-                                     uint32_t num_users, Rng& rng);
-
-/// Deprecated parallel entry point; forwards to CorpusBuildOptions{seed,
-/// &pool}. Will be removed one release after the migration.
-[[deprecated(
-    "use BuildInfluenceCorpus(..., CorpusBuildOptions{seed, &pool})")]]
-InfluenceCorpus BuildInfluenceCorpus(const SocialGraph& graph,
-                                     const ActionLog& log,
-                                     const ContextOptions& options,
-                                     uint32_t num_users, uint64_t seed,
-                                     ThreadPool& pool);
+/// Everything needed to continue a partially trained run, typically
+/// deserialized from a checkpoint (ckpt::ToResumeState). `corpus.pairs`
+/// must be in the exact order the checkpoint captured them.
+struct TrainResumeState {
+  uint32_t epochs_completed = 0;
+  EmbeddingStore store;
+  InfluenceCorpus corpus;
+  RngState master_rng;
+  /// Must have exactly ResolveThreadCount(config.num_threads) entries when
+  /// resuming a Hogwild run; must be empty for the serial path.
+  std::vector<RngState> shard_rngs;
+};
 
 /// The Inf2vec model (Algorithm 2). Train() runs both phases and returns a
 /// model holding the learned EmbeddingStore; Predictor() adapts it to the
@@ -150,6 +172,18 @@ class Inf2vecModel {
   static Result<Inf2vecModel> TrainFromCorpus(
       const InfluenceCorpus& corpus, uint32_t num_users,
       const Inf2vecConfig& config, std::vector<double>* epoch_objective);
+
+  /// Continues training from a checkpointed state: runs epochs
+  /// [state.epochs_completed, config.epochs) over the restored pairs and
+  /// RNG streams. With num_threads == 1 the result is bit-identical to an
+  /// uninterrupted TrainFromCorpus run of the same config. `config` must
+  /// match the checkpointed run's training-relevant fields (the ckpt layer
+  /// enforces this via config hashing) — except `epochs`, which may be
+  /// raised to extend a finished run (warm restart). If
+  /// state.epochs_completed >= config.epochs the model is returned as-is.
+  static Result<Inf2vecModel> ResumeFromState(
+      TrainResumeState state, const Inf2vecConfig& config,
+      std::vector<double>* epoch_objective = nullptr);
 
   const EmbeddingStore& embeddings() const { return *store_; }
   const Inf2vecConfig& config() const { return config_; }

@@ -27,6 +27,24 @@ void EmbeddingStore::InitUniform(double lo, double hi, Rng& rng) {
   for (double& b : target_bias_) b = 0.0;
 }
 
+void EmbeddingStore::GrowTo(uint32_t new_num_users, Rng& rng) {
+  if (new_num_users <= num_users_) return;
+  const size_t old_values = static_cast<size_t>(num_users_) * dim_;
+  const size_t new_values = static_cast<size_t>(new_num_users) * dim_;
+  const double bound = 1.0 / static_cast<double>(dim_);
+  source_.resize(new_values);
+  for (size_t i = old_values; i < new_values; ++i) {
+    source_[i] = rng.UniformDouble(-bound, bound);
+  }
+  target_.resize(new_values);
+  for (size_t i = old_values; i < new_values; ++i) {
+    target_[i] = rng.UniformDouble(-bound, bound);
+  }
+  source_bias_.resize(new_num_users, 0.0);
+  target_bias_.resize(new_num_users, 0.0);
+  num_users_ = new_num_users;
+}
+
 INF2VEC_NO_SANITIZE_THREAD
 double EmbeddingStore::Score(UserId u, UserId v) const {
   const std::span<const double> s = Source(u);

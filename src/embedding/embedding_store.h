@@ -47,6 +47,14 @@ class EmbeddingStore {
   /// Uniform init over [lo, hi) for vectors; biases reset to 0.
   void InitUniform(double lo, double hi, Rng& rng);
 
+  /// Grows the user space to `new_num_users`, preserving every existing
+  /// parameter bit-for-bit. New users get the paper's cold-start
+  /// initialization — S, T ~ U[-1/K, 1/K], biases 0 (Algorithm 2 line 1)
+  /// — drawn from `rng` in user-id order (all S rows, then all T rows).
+  /// No-op when new_num_users <= num_users(). Used by the incremental
+  /// trainer when a delta episode stream introduces unseen users.
+  void GrowTo(uint32_t new_num_users, Rng& rng);
+
   std::span<double> Source(UserId u) {
     return {source_.data() + static_cast<size_t>(u) * dim_, dim_};
   }

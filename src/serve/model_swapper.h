@@ -1,0 +1,132 @@
+#ifndef INF2VEC_SERVE_MODEL_SWAPPER_H_
+#define INF2VEC_SERVE_MODEL_SWAPPER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/influence_service.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace serve {
+
+/// An InfluenceService stamped with the reload generation that produced
+/// it. Acquire() hands out one of these, so a request's scores and the
+/// generation it reports are always from the same model — the pair can
+/// never tear even while a swap lands mid-request.
+struct VersionedService {
+  uint64_t generation = 0;
+  InfluenceService service;
+
+  VersionedService(uint64_t generation, InfluenceService service)
+      : generation(generation), service(std::move(service)) {}
+};
+
+/// Zero-downtime model hot-swap (RCU-style). The swapper owns the current
+/// model behind a shared_ptr whose handoff is guarded by a micro-mutex
+/// (a refcount bump — nanoseconds; deliberately not libstdc++'s
+/// std::atomic<std::shared_ptr>, whose internal spinlock unlocks with
+/// relaxed ordering and is invisible to ThreadSanitizer):
+///
+///  - Readers (request handlers) call Acquire() — one guarded shared_ptr
+///    copy — and keep the snapshot for the request's lifetime. A
+///    concurrent swap cannot free a model that is still serving; the last
+///    in-flight request holding the old snapshot releases it. No reader
+///    ever waits on a model load: disk I/O and warming happen off-lock.
+///  - Reload() builds the NEW service completely off to the side (load
+///    from disk, Warm() every page) and only then publishes it; requests
+///    never observe a partially loaded model. A failed reload keeps the
+///    old model serving and reports the error.
+///  - Each InfluenceService owns a fresh SeedBlockCache, so swapping the
+///    model structurally invalidates every cached seed-block — stale
+///    scores cannot leak across generations.
+///
+/// StartWatching() spawns a poller that Reload()s when the model file's
+/// mtime changes (the `serve --watch-model` flow); /reloadz triggers the
+/// same path on demand. Reloads are serialized by an internal mutex, so
+/// the watcher and the endpoint cannot interleave loads.
+///
+/// Metrics: serve.model_generation (gauge), serve.reloads,
+/// serve.reload_errors (counters), serve.reload_seconds (gauge).
+class ModelSwapper {
+ public:
+  /// Does not load anything yet; call Reload() once for the initial load
+  /// and treat its status as fatal.
+  ModelSwapper(std::string model_path, ServiceOptions options,
+               obs::MetricsRegistry* registry =
+                   &obs::MetricsRegistry::Default());
+  ~ModelSwapper();
+
+  ModelSwapper(const ModelSwapper&) = delete;
+  ModelSwapper& operator=(const ModelSwapper&) = delete;
+
+  /// Loads + warms the model file and atomically swaps it in, bumping the
+  /// generation. On failure the previous model (if any) keeps serving
+  /// untouched and the error is returned.
+  Status Reload();
+
+  /// Current model snapshot; null only before the first successful
+  /// Reload(). Wait-free in practice (the lock only covers a pointer
+  /// copy); safe from any thread.
+  std::shared_ptr<const VersionedService> Acquire() const {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    return current_;
+  }
+
+  /// Generation of the currently served model (0 = nothing loaded yet).
+  uint64_t generation() const {
+    auto snapshot = Acquire();
+    return snapshot == nullptr ? 0 : snapshot->generation;
+  }
+
+  const std::string& model_path() const { return model_path_; }
+
+  /// Starts the mtime poller (idempotent). The poll interval trades
+  /// staleness for stat(2) traffic; 500ms is plenty for model pushes.
+  void StartWatching(uint64_t poll_interval_ms);
+  /// Stops and joins the poller (idempotent; also run by the destructor).
+  void StopWatching();
+  bool watching() const { return watcher_.joinable(); }
+
+ private:
+  void WatchLoop(uint64_t poll_interval_ms);
+
+  const std::string model_path_;
+  const ServiceOptions options_;
+  obs::MetricsRegistry* const registry_;
+
+  /// Guards only the current_ pointer handoff — never held across a load.
+  mutable std::mutex current_mu_;
+  std::shared_ptr<const VersionedService> current_;
+  std::atomic<uint64_t> next_generation_{1};
+
+  /// Serializes Reload() callers (watcher thread vs /reloadz handler).
+  std::mutex reload_mu_;
+  /// mtime of the file the current model was loaded from (guarded by
+  /// reload_mu_); the watcher reloads when the file's mtime departs from
+  /// it. A failed reload leaves it unchanged, so the watcher retries on
+  /// the next poll — a model mid-push that fails to parse once heals
+  /// itself when the push completes.
+  std::filesystem::file_time_type loaded_mtime_{};
+
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  bool stop_watching_ = false;
+  std::thread watcher_;
+
+  obs::Gauge* generation_gauge_;
+  obs::Counter* reloads_;
+  obs::Counter* reload_errors_;
+  obs::Gauge* reload_seconds_;
+};
+
+}  // namespace serve
+}  // namespace inf2vec
+
+#endif  // INF2VEC_SERVE_MODEL_SWAPPER_H_

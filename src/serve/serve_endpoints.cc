@@ -62,7 +62,16 @@ Status ParseOptionalAggregation(const HttpRequest& request,
   return Status::OK();
 }
 
+/// Generation stamp for hot-swap deployments; static single-model serving
+/// passes nullopt and emits no field.
+using GenerationTag = std::optional<uint64_t>;
+
+void SetGeneration(JsonValue* body, const GenerationTag& generation) {
+  if (generation.has_value()) body->Set("generation", *generation);
+}
+
 HttpResponse HandleScore(const InfluenceService& service,
+                         const GenerationTag& generation,
                          const HttpRequest& request) {
   if (!request.HasQuery("candidate")) {
     return ErrorResponse(
@@ -97,10 +106,12 @@ HttpResponse HandleScore(const InfluenceService& service,
   body.Set("candidate", query.candidate);
   body.Set("score", result.value().score);
   body.Set("cache_hit", result.value().cache_hit);
+  SetGeneration(&body, generation);
   return HttpResponse::Json(200, body.Dump(0));
 }
 
 HttpResponse HandleTopK(const InfluenceService& service,
+                        const GenerationTag& generation,
                         const HttpRequest& request) {
   if (!request.HasQuery("seeds")) {
     return ErrorResponse(
@@ -134,7 +145,15 @@ HttpResponse HandleTopK(const InfluenceService& service,
     entries.Append(std::move(row));
   }
   body.Set("results", std::move(entries));
+  SetGeneration(&body, generation);
   return HttpResponse::Json(200, body.Dump(0));
+}
+
+HttpResponse ModelGoneResponse() {
+  // Only reachable if traffic arrives before the initial load finished;
+  // RegisterServeEndpoints documents that as a caller bug, but a typed
+  // 500 beats dereferencing null.
+  return ErrorResponse(Status::Internal("no model loaded yet"));
 }
 
 }  // namespace
@@ -157,13 +176,50 @@ int HttpCodeFor(const Status& status) {
 void RegisterServeEndpoints(obs::StatsServer* server,
                             const InfluenceService* service) {
   server->Handle("/score", [service](const HttpRequest& request) {
-    return HandleScore(*service, request);
+    return HandleScore(*service, std::nullopt, request);
   });
   server->Handle("/topk", [service](const HttpRequest& request) {
-    return HandleTopK(*service, request);
+    return HandleTopK(*service, std::nullopt, request);
   });
   server->Handle("/modelz", [service](const HttpRequest&) {
     return HttpResponse::Json(200, service->DescribeJson().Dump(2));
+  });
+}
+
+void RegisterServeEndpoints(obs::StatsServer* server, ModelSwapper* swapper) {
+  server->Handle("/score", [swapper](const HttpRequest& request) {
+    const auto model = swapper->Acquire();
+    if (model == nullptr) return ModelGoneResponse();
+    return HandleScore(model->service, model->generation, request);
+  });
+  server->Handle("/topk", [swapper](const HttpRequest& request) {
+    const auto model = swapper->Acquire();
+    if (model == nullptr) return ModelGoneResponse();
+    return HandleTopK(model->service, model->generation, request);
+  });
+  server->Handle("/modelz", [swapper](const HttpRequest&) {
+    const auto model = swapper->Acquire();
+    if (model == nullptr) return ModelGoneResponse();
+    JsonValue body = model->service.DescribeJson();
+    body.Set("generation", model->generation);
+    body.Set("watching", swapper->watching());
+    return HttpResponse::Json(200, body.Dump(2));
+  });
+  server->Handle("/reloadz", [swapper](const HttpRequest&) {
+    const Status reloaded = swapper->Reload();
+    if (!reloaded.ok()) {
+      JsonValue body = JsonValue::Object();
+      body.Set("error", reloaded.message());
+      body.Set("code", StatusCodeName(reloaded.code()));
+      // The previous model keeps serving; say which one.
+      body.Set("serving_generation", swapper->generation());
+      return HttpResponse::Json(HttpCodeFor(reloaded), body.Dump(0));
+    }
+    JsonValue body = JsonValue::Object();
+    body.Set("status", "reloaded");
+    body.Set("generation", swapper->generation());
+    body.Set("model", swapper->model_path());
+    return HttpResponse::Json(200, body.Dump(0));
   });
 }
 

@@ -3,6 +3,7 @@
 
 #include "obs/http_server.h"
 #include "serve/influence_service.h"
+#include "serve/model_swapper.h"
 
 namespace inf2vec {
 namespace serve {
@@ -23,6 +24,21 @@ int HttpCodeFor(const Status& status);
 /// until Stop() returns).
 void RegisterServeEndpoints(obs::StatsServer* server,
                             const InfluenceService* service);
+
+/// Hot-swap variant: the same endpoints plus
+///
+///   GET /reloadz
+///
+/// which reloads the model file through `swapper` and reports the new
+/// generation (a failed reload returns the error and the still-serving
+/// generation — traffic is never interrupted). Every query handler
+/// resolves the model once via ModelSwapper::Acquire() and pins that
+/// snapshot for the whole request, so responses are internally consistent
+/// even when a swap lands mid-request; /score, /topk and /modelz
+/// responses carry a "generation" field naming the model that answered.
+/// `swapper` must outlive the server and have completed its initial
+/// Reload() before traffic arrives.
+void RegisterServeEndpoints(obs::StatsServer* server, ModelSwapper* swapper);
 
 }  // namespace serve
 }  // namespace inf2vec

@@ -1,0 +1,24 @@
+#ifndef INF2VEC_UTIL_CRC32_H_
+#define INF2VEC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace inf2vec {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant) over a
+/// byte range. Used by the checkpoint format to detect torn or bit-rotted
+/// sections before any of their content is trusted.
+///
+/// Pass a previous return value as `seed` to checksum a stream in chunks:
+/// Crc32(b, nb, Crc32(a, na)) == Crc32(concat(a, b)).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_UTIL_CRC32_H_

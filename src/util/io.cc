@@ -1,5 +1,8 @@
 #include "util/io.h"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -52,6 +55,19 @@ Status WriteFile(const std::string& path, const std::string& contents) {
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
   out.flush();
   if (!out.good()) return Status::IOError("write failure: " + path);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  // The temporary lives in the same directory so the final rename never
+  // crosses a filesystem boundary (rename is only atomic within one).
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const Status written = WriteFile(tmp, contents);
+  if (!written.ok()) return written;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("atomic rename failed: " + tmp + " -> " + path);
+  }
   return Status::OK();
 }
 

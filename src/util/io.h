@@ -21,6 +21,12 @@ Status ReadFile(const std::string& path, std::string* contents);
 /// Writes `contents` verbatim, replacing any existing file.
 Status WriteFile(const std::string& path, const std::string& contents);
 
+/// Crash-safe replacement of `path`: writes to a sibling temporary file,
+/// then commits with rename(2), which POSIX guarantees atomic within a
+/// filesystem. Readers see either the old bytes or the complete new bytes,
+/// never a torn mix — the checkpoint subsystem depends on this.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
 }  // namespace inf2vec
 
 #endif  // INF2VEC_UTIL_IO_H_

@@ -24,6 +24,20 @@ Rng::Rng(uint64_t seed) {
   for (uint64_t& lane : state_) lane = SplitMix64(s);
 }
 
+RngState Rng::state() const {
+  RngState snapshot;
+  for (int i = 0; i < 4; ++i) snapshot.lanes[i] = state_[i];
+  snapshot.spare_gaussian = spare_gaussian_;
+  snapshot.has_spare_gaussian = has_spare_gaussian_;
+  return snapshot;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.lanes[i];
+  spare_gaussian_ = state.spare_gaussian;
+  has_spare_gaussian_ = state.has_spare_gaussian;
+}
+
 uint64_t Rng::NextU64() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

@@ -8,6 +8,19 @@
 
 namespace inf2vec {
 
+/// The complete serializable state of an Rng: the four xoshiro256** lanes
+/// plus the Box-Muller spare deviate. Capturing it with Rng::state() and
+/// restoring with Rng::set_state() resumes the stream exactly where it
+/// left off — the checkpoint subsystem persists these so an interrupted
+/// training run replays bit-for-bit.
+struct RngState {
+  uint64_t lanes[4] = {0, 0, 0, 0};
+  double spare_gaussian = 0.0;
+  bool has_spare_gaussian = false;
+
+  friend bool operator==(const RngState&, const RngState&) = default;
+};
+
 /// Deterministic pseudo-random generator built on xoshiro256** with a
 /// splitmix64-seeded state. Every randomized component of the library takes
 /// an explicit Rng (or seed) so experiments are reproducible bit-for-bit.
@@ -17,6 +30,20 @@ class Rng {
  public:
   /// Seeds the four 64-bit lanes from `seed` via splitmix64.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Snapshot of the full generator state (lanes + Gaussian spare).
+  RngState state() const;
+
+  /// Restores a snapshot taken with state(); the next draw continues the
+  /// captured stream exactly.
+  void set_state(const RngState& state);
+
+  /// An Rng resumed from a snapshot; convenience for deserialization.
+  static Rng FromState(const RngState& state) {
+    Rng rng(0);
+    rng.set_state(state);
+    return rng;
+  }
 
   /// Next raw 64 random bits.
   uint64_t NextU64();

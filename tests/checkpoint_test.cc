@@ -1,0 +1,368 @@
+// Checkpoint subsystem tests. The headline pin is kill-and-resume
+// bit-identity: a serial run interrupted after epoch k and resumed from its
+// checkpoint must finish with embeddings byte-for-byte equal to a run that
+// was never interrupted.
+
+#include "ckpt/checkpoint.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "synth/world_generator.h"
+#include "util/io.h"
+
+namespace inf2vec {
+namespace ckpt {
+namespace {
+
+/// Tiny world for fast checkpoint tests.
+synth::World TinyWorld(uint64_t seed) {
+  synth::WorldProfile profile = synth::WorldProfile::DiggLike();
+  profile.num_users = 200;
+  profile.num_items = 40;
+  profile.mean_out_degree = 5.0;
+  Rng rng(seed);
+  auto world = synth::GenerateWorld(profile, rng);
+  EXPECT_TRUE(world.ok());
+  return std::move(world).value();
+}
+
+Inf2vecConfig SmallConfig() {
+  Inf2vecConfig config;
+  config.dim = 8;
+  config.epochs = 6;
+  config.context.length = 8;
+  config.seed = 11;
+  return config;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("inf2vec_ckpt_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::vector<std::string> CheckpointFiles() const {
+    std::vector<std::string> files;
+    if (!std::filesystem::exists(dir_)) return files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("ckpt-", 0) == 0) files.push_back(name);
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// A checkpoint state with non-trivial content in every section.
+CheckpointState MakeState() {
+  CheckpointState state;
+  state.config_hash = 0xdeadbeefcafef00dULL;
+  state.epochs_completed = 3;
+  state.total_epochs = 7;
+  state.store = EmbeddingStore(5, 4);
+  Rng rng(9);
+  state.store.InitUniform(-0.3, 0.3, rng);
+  for (UserId u = 0; u < 5; ++u) {
+    state.store.mutable_source_bias(u) = rng.UniformDouble(-0.1, 0.1);
+    state.store.mutable_target_bias(u) = rng.UniformDouble(-0.1, 0.1);
+  }
+  state.pairs = {{0, 1}, {2, 3}, {4, 0}, {1, 2}};
+  state.target_frequencies = {1, 1, 1, 1, 0};
+  state.master_rng = Rng(21).state();
+  state.shard_rngs = {Rng(31).state(), Rng(32).state()};
+  return state;
+}
+
+TEST_F(CheckpointTest, SerializeDeserializeRoundTripsEveryField) {
+  const CheckpointState state = MakeState();
+  const std::string bytes = SerializeCheckpoint(state);
+  Result<CheckpointState> got = DeserializeCheckpoint(bytes);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().config_hash, state.config_hash);
+  EXPECT_EQ(got.value().epochs_completed, state.epochs_completed);
+  EXPECT_EQ(got.value().total_epochs, state.total_epochs);
+  EXPECT_EQ(got.value().store, state.store);
+  EXPECT_EQ(got.value().pairs, state.pairs);
+  EXPECT_EQ(got.value().target_frequencies, state.target_frequencies);
+  EXPECT_EQ(got.value().master_rng, state.master_rng);
+  EXPECT_EQ(got.value().shard_rngs, state.shard_rngs);
+}
+
+TEST_F(CheckpointTest, FileRoundTripIsAtomicAndLossless) {
+  const CheckpointState state = MakeState();
+  const std::string path = (dir_ / "x.bin").string();
+  std::filesystem::create_directories(dir_);
+  ASSERT_TRUE(WriteCheckpointFile(path, state).ok());
+  // No tmp leftovers from the atomic commit.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos);
+  }
+  Result<CheckpointState> got = ReadCheckpointFile(path);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().store, state.store);
+  EXPECT_EQ(got.value().master_rng, state.master_rng);
+}
+
+TEST_F(CheckpointTest, TruncatedBytesAreInvalidNotACrash) {
+  const std::string bytes = SerializeCheckpoint(MakeState());
+  // Chop at several depths: inside the magic, inside a section header,
+  // inside a payload, and just before the final CRC.
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{9}, size_t{20},
+                      bytes.size() / 2, bytes.size() - 1}) {
+    Result<CheckpointState> got =
+        DeserializeCheckpoint(bytes.substr(0, keep));
+    EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument)
+        << "keep=" << keep << ": " << got.status().ToString();
+  }
+}
+
+TEST_F(CheckpointTest, FlippedPayloadByteFailsTheCrc) {
+  std::string bytes = SerializeCheckpoint(MakeState());
+  // Flip a byte deep inside the embeddings payload (well past the headers).
+  bytes[bytes.size() / 2] ^= 0x40;
+  Result<CheckpointState> got = DeserializeCheckpoint(bytes);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(got.status().message().find("CRC"), std::string::npos)
+      << got.status().ToString();
+}
+
+TEST_F(CheckpointTest, WrongMagicIsRejected) {
+  std::string bytes = SerializeCheckpoint(MakeState());
+  bytes[0] = 'X';
+  EXPECT_EQ(DeserializeCheckpoint(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointTest, HashIgnoresEpochsButNothingElse) {
+  const Inf2vecConfig base = SmallConfig();
+  Inf2vecConfig more_epochs = base;
+  more_epochs.epochs = base.epochs + 10;
+  EXPECT_EQ(HashTrainingConfig(base), HashTrainingConfig(more_epochs));
+
+  Inf2vecConfig other_dim = base;
+  other_dim.dim = base.dim + 1;
+  EXPECT_NE(HashTrainingConfig(base), HashTrainingConfig(other_dim));
+
+  Inf2vecConfig other_seed = base;
+  other_seed.seed = base.seed + 1;
+  EXPECT_NE(HashTrainingConfig(base), HashTrainingConfig(other_seed));
+
+  Inf2vecConfig other_lr = base;
+  other_lr.sgd.learning_rate *= 2;
+  EXPECT_NE(HashTrainingConfig(base), HashTrainingConfig(other_lr));
+
+  Inf2vecConfig other_threads = base;
+  other_threads.num_threads = 2;
+  EXPECT_NE(HashTrainingConfig(base), HashTrainingConfig(other_threads));
+}
+
+TEST_F(CheckpointTest, LatestCheckpointInEmptyDirIsNotFound) {
+  std::filesystem::create_directories(dir_);
+  EXPECT_EQ(LatestCheckpointFile(dir_.string()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ReadLatestCheckpoint(dir_.string(), 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, KillAndResumeIsBitIdentical) {
+  const synth::World world = TinyWorld(1);
+  const Inf2vecConfig config = SmallConfig();  // Serial: num_threads == 1.
+  const uint64_t hash = HashTrainingConfig(config);
+
+  // Reference: the uninterrupted run.
+  Result<Inf2vecModel> uninterrupted =
+      Inf2vecModel::Train(world.graph, world.log, config);
+  ASSERT_TRUE(uninterrupted.ok());
+
+  // "Kill" the same run after epoch 3: checkpoint every epoch, then make
+  // the callback fail once epoch 3 has been persisted — exactly what a
+  // SIGKILL between epochs 3 and 4 leaves on disk.
+  CheckpointOptions options;
+  options.dir = dir_.string();
+  options.keep_last_n = 0;
+  CheckpointWriter writer(options, hash);
+  Inf2vecConfig killed = config;
+  killed.checkpoint_callback = [&](const TrainCheckpointView& view) {
+    const Status written = writer.MaybeWrite(view);
+    if (!written.ok()) return written;
+    if (view.epochs_completed == 3) return Status::Internal("simulated kill");
+    return Status::OK();
+  };
+  Result<Inf2vecModel> partial =
+      Inf2vecModel::Train(world.graph, world.log, killed);
+  ASSERT_FALSE(partial.ok());
+  EXPECT_EQ(partial.status().code(), StatusCode::kInternal);
+
+  // Resume from disk under the original config and finish the run.
+  Result<CheckpointState> state = ReadLatestCheckpoint(dir_.string(), hash);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(state.value().epochs_completed, 3u);
+  Result<Inf2vecModel> resumed =
+      Inf2vecModel::ResumeFromState(ToResumeState(std::move(state).value()),
+                                    config);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+  // Bit-identical, not approximately equal: resume re-enters the exact
+  // shuffle/SGD stream the uninterrupted run would have used.
+  EXPECT_EQ(resumed.value().embeddings(), uninterrupted.value().embeddings());
+}
+
+TEST_F(CheckpointTest, WarmRestartExtendsEpochsBitIdentically) {
+  const synth::World world = TinyWorld(2);
+  Inf2vecConfig short_run = SmallConfig();
+  short_run.epochs = 3;
+  Inf2vecConfig long_run = SmallConfig();
+  long_run.epochs = 6;
+  // Only epochs differs, so both configs share one hash (and directory).
+  ASSERT_EQ(HashTrainingConfig(short_run), HashTrainingConfig(long_run));
+
+  CheckpointOptions options;
+  options.dir = dir_.string();
+  CheckpointWriter writer(options, HashTrainingConfig(short_run));
+  short_run.checkpoint_callback = writer.AsCallback();
+  ASSERT_TRUE(Inf2vecModel::Train(world.graph, world.log, short_run).ok());
+
+  Result<CheckpointState> state =
+      ReadLatestCheckpoint(dir_.string(), HashTrainingConfig(long_run));
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  Result<Inf2vecModel> extended = Inf2vecModel::ResumeFromState(
+      ToResumeState(std::move(state).value()), long_run);
+  ASSERT_TRUE(extended.ok()) << extended.status().ToString();
+
+  Result<Inf2vecModel> reference =
+      Inf2vecModel::Train(world.graph, world.log, long_run);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(extended.value().embeddings(), reference.value().embeddings());
+}
+
+TEST_F(CheckpointTest, ResumeUnderChangedConfigIsRejected) {
+  const synth::World world = TinyWorld(3);
+  Inf2vecConfig config = SmallConfig();
+  CheckpointOptions options;
+  options.dir = dir_.string();
+  CheckpointWriter writer(options, HashTrainingConfig(config));
+  config.checkpoint_callback = writer.AsCallback();
+  ASSERT_TRUE(Inf2vecModel::Train(world.graph, world.log, config).ok());
+
+  Inf2vecConfig changed = SmallConfig();
+  changed.sgd.learning_rate *= 0.5;
+  Result<CheckpointState> state =
+      ReadLatestCheckpoint(dir_.string(), HashTrainingConfig(changed));
+  EXPECT_EQ(state.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointTest, WriterRejectsDirectoryOfAnotherConfig) {
+  const synth::World world = TinyWorld(4);
+  Inf2vecConfig config = SmallConfig();
+  CheckpointOptions options;
+  options.dir = dir_.string();
+  CheckpointWriter writer(options, HashTrainingConfig(config));
+  config.checkpoint_callback = writer.AsCallback();
+  ASSERT_TRUE(Inf2vecModel::Train(world.graph, world.log, config).ok());
+
+  // A second run with a different seed must refuse to write into the same
+  // directory instead of interleaving incompatible checkpoints.
+  Inf2vecConfig other = SmallConfig();
+  other.seed = 999;
+  CheckpointWriter other_writer(options, HashTrainingConfig(other));
+  other.checkpoint_callback = other_writer.AsCallback();
+  Result<Inf2vecModel> run =
+      Inf2vecModel::Train(world.graph, world.log, other);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointTest, RetentionKeepsOnlyTheNewestN) {
+  const synth::World world = TinyWorld(5);
+  Inf2vecConfig config = SmallConfig();  // 6 epochs.
+  CheckpointOptions options;
+  options.dir = dir_.string();
+  options.keep_last_n = 2;
+  CheckpointWriter writer(options, HashTrainingConfig(config));
+  config.checkpoint_callback = writer.AsCallback();
+  ASSERT_TRUE(Inf2vecModel::Train(world.graph, world.log, config).ok());
+
+  const std::vector<std::string> files = CheckpointFiles();
+  ASSERT_EQ(files.size(), 2u) << "retention left the wrong file count";
+  EXPECT_EQ(files[0], "ckpt-000005.bin");
+  EXPECT_EQ(files[1], "ckpt-000006.bin");
+
+  // The manifest agrees with the filesystem and resolves to the newest.
+  Result<std::string> latest = LatestCheckpointFile(dir_.string());
+  ASSERT_TRUE(latest.ok());
+  EXPECT_NE(latest.value().find("ckpt-000006.bin"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, CadenceWritesEveryNthEpochOnly) {
+  const synth::World world = TinyWorld(6);
+  Inf2vecConfig config = SmallConfig();
+  config.epochs = 5;
+  CheckpointOptions options;
+  options.dir = dir_.string();
+  options.every = 2;
+  options.keep_last_n = 0;  // Keep everything; count the cadence.
+  CheckpointWriter writer(options, HashTrainingConfig(config));
+  config.checkpoint_callback = writer.AsCallback();
+  ASSERT_TRUE(Inf2vecModel::Train(world.graph, world.log, config).ok());
+
+  const std::vector<std::string> files = CheckpointFiles();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "ckpt-000002.bin");
+  EXPECT_EQ(files[1], "ckpt-000004.bin");
+}
+
+TEST_F(CheckpointTest, HogwildCheckpointResumesAndFinishes) {
+  const synth::World world = TinyWorld(7);
+  Inf2vecConfig config = SmallConfig();
+  config.num_threads = 2;
+  const uint64_t hash = HashTrainingConfig(config);
+  CheckpointOptions options;
+  options.dir = dir_.string();
+  CheckpointWriter writer(options, hash);
+  Inf2vecConfig killed = config;
+  killed.checkpoint_callback = [&](const TrainCheckpointView& view) {
+    const Status written = writer.MaybeWrite(view);
+    if (!written.ok()) return written;
+    if (view.epochs_completed == 2) return Status::Internal("simulated kill");
+    return Status::OK();
+  };
+  ASSERT_FALSE(Inf2vecModel::Train(world.graph, world.log, killed).ok());
+
+  Result<CheckpointState> state = ReadLatestCheckpoint(dir_.string(), hash);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  ASSERT_EQ(state.value().shard_rngs.size(), 2u);
+  Result<Inf2vecModel> resumed = Inf2vecModel::ResumeFromState(
+      ToResumeState(std::move(state).value()), config);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed.value().embeddings().num_users(),
+            world.graph.num_users());
+
+  // Resuming a 2-shard checkpoint under a different thread count must be
+  // refused — the Hogwild RNG sharding would no longer line up.
+  Result<CheckpointState> again = ReadLatestCheckpoint(dir_.string(), hash);
+  ASSERT_TRUE(again.ok());
+  Inf2vecConfig serial = config;
+  serial.num_threads = 1;
+  Result<Inf2vecModel> mismatched = Inf2vecModel::ResumeFromState(
+      ToResumeState(std::move(again).value()), serial);
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ckpt
+}  // namespace inf2vec

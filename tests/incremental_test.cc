@@ -1,0 +1,221 @@
+// Incremental (delta) training tests: growing the embedding store for
+// unseen users, warm-starting SGD at a reduced learning rate, and the
+// validation surface.
+
+#include "ckpt/incremental.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "synth/world_generator.h"
+
+namespace inf2vec {
+namespace ckpt {
+namespace {
+
+synth::World TinyWorld(uint64_t seed) {
+  synth::WorldProfile profile = synth::WorldProfile::DiggLike();
+  profile.num_users = 150;
+  profile.num_items = 30;
+  profile.mean_out_degree = 5.0;
+  Rng rng(seed);
+  auto world = synth::GenerateWorld(profile, rng);
+  EXPECT_TRUE(world.ok());
+  return std::move(world).value();
+}
+
+Inf2vecConfig SmallConfig() {
+  Inf2vecConfig config;
+  config.dim = 8;
+  config.epochs = 2;
+  config.context.length = 8;
+  config.seed = 5;
+  return config;
+}
+
+EmbeddingStore TrainBase(const synth::World& world,
+                         const Inf2vecConfig& config) {
+  Result<Inf2vecModel> model =
+      Inf2vecModel::Train(world.graph, world.log, config);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return model.value().embeddings();
+}
+
+/// The base world's graph widened by `extra` fresh users, each following
+/// user 0 and followed by user 1 (so the new ids can appear in episodes).
+SocialGraph WidenGraph(const SocialGraph& base, uint32_t extra) {
+  GraphBuilder builder(base.num_users() + extra);
+  for (UserId u = 0; u < base.num_users(); ++u) {
+    for (UserId v : base.OutNeighbors(u)) builder.AddEdge(u, v);
+  }
+  for (uint32_t i = 0; i < extra; ++i) {
+    const UserId fresh = base.num_users() + i;
+    builder.AddEdge(0, fresh);
+    builder.AddEdge(fresh, 1);
+  }
+  Result<SocialGraph> graph = builder.Build();
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  return std::move(graph).value();
+}
+
+/// A delta log whose episodes involve both old and brand-new users.
+ActionLog MakeDelta(uint32_t base_users, uint32_t extra) {
+  ActionLog delta;
+  for (ItemId item = 0; item < 4; ++item) {
+    DiffusionEpisode episode(1000 + item);
+    episode.Add(0, 1);
+    episode.Add(base_users + (item % extra), 2);
+    episode.Add(1, 3);
+    episode.Add(2 + item, 4);
+    EXPECT_TRUE(episode.Finalize().ok());
+    delta.AddEpisode(std::move(episode));
+  }
+  return delta;
+}
+
+TEST(IncrementalUpdateTest, GrowsStoreAndKeepsParametersFinite) {
+  const synth::World world = TinyWorld(1);
+  const Inf2vecConfig config = SmallConfig();
+  EmbeddingStore base = TrainBase(world, config);
+  const uint32_t base_users = base.num_users();
+  const uint32_t extra = 3;
+
+  const SocialGraph graph = WidenGraph(world.graph, extra);
+  const ActionLog delta = MakeDelta(base_users, extra);
+
+  Result<Inf2vecModel> updated = IncrementalUpdate(
+      std::move(base), graph, delta, config, IncrementalOptions{});
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  const EmbeddingStore& store = updated.value().embeddings();
+  EXPECT_EQ(store.num_users(), base_users + extra);
+  EXPECT_EQ(store.dim(), config.dim);
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    for (double x : store.Source(u)) EXPECT_TRUE(std::isfinite(x));
+    for (double x : store.Target(u)) EXPECT_TRUE(std::isfinite(x));
+  }
+  // The delta pass ran at the scaled learning rate.
+  EXPECT_DOUBLE_EQ(updated.value().config().sgd.learning_rate,
+                   config.sgd.learning_rate * IncrementalOptions{}.lr_scale);
+}
+
+TEST(IncrementalUpdateTest, IsDeterministicForAFixedSeed) {
+  const synth::World world = TinyWorld(2);
+  const Inf2vecConfig config = SmallConfig();
+  const EmbeddingStore base = TrainBase(world, config);
+  const SocialGraph graph = WidenGraph(world.graph, 2);
+  const ActionLog delta = MakeDelta(base.num_users(), 2);
+
+  IncrementalOptions options;
+  options.seed = 77;
+  Result<Inf2vecModel> a =
+      IncrementalUpdate(base, graph, delta, config, options);
+  Result<Inf2vecModel> b =
+      IncrementalUpdate(base, graph, delta, config, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().embeddings(), b.value().embeddings());
+
+  // A different seed initializes new users differently and draws a
+  // different corpus, so the result moves.
+  options.seed = 78;
+  Result<Inf2vecModel> c =
+      IncrementalUpdate(base, graph, delta, config, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.value().embeddings(), c.value().embeddings());
+}
+
+TEST(IncrementalUpdateTest, UntouchedUsersBarelyMoveAtScaledLr) {
+  // The fine-tuning contract: a tiny delta at lr_scale 0.2 must not
+  // bulldoze the converged base parameters. Users absent from the delta
+  // episodes' propagation neighborhoods keep their embeddings verbatim
+  // (no pair ever updates them).
+  const synth::World world = TinyWorld(3);
+  const Inf2vecConfig config = SmallConfig();
+  const EmbeddingStore base = TrainBase(world, config);
+  const SocialGraph graph = WidenGraph(world.graph, 2);
+  const ActionLog delta = MakeDelta(base.num_users(), 2);
+
+  Result<Inf2vecModel> updated =
+      IncrementalUpdate(base, graph, delta, config, IncrementalOptions{});
+  ASSERT_TRUE(updated.ok());
+  const EmbeddingStore& store = updated.value().embeddings();
+  // Negative sampling can touch anyone's target vector, but source vectors
+  // only move for users that emit pairs; count how many moved.
+  uint32_t moved = 0;
+  for (UserId u = 0; u < base.num_users(); ++u) {
+    bool same = true;
+    for (uint32_t k = 0; k < base.dim(); ++k) {
+      if (store.Source(u)[k] != base.Source(u)[k]) same = false;
+    }
+    if (!same) ++moved;
+  }
+  EXPECT_GT(moved, 0u);                       // The delta did train.
+  EXPECT_LT(moved, base.num_users() / 2);     // But most users were left be.
+}
+
+TEST(IncrementalUpdateTest, ValidatesItsInputs) {
+  const synth::World world = TinyWorld(4);
+  const Inf2vecConfig config = SmallConfig();
+  const EmbeddingStore base = TrainBase(world, config);
+  const ActionLog delta = MakeDelta(base.num_users(), 1);
+  const SocialGraph graph = WidenGraph(world.graph, 1);
+
+  // Empty base store.
+  EXPECT_EQ(IncrementalUpdate(EmbeddingStore(), graph, delta, config,
+                              IncrementalOptions{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // dim mismatch between store and config.
+  Inf2vecConfig wrong_dim = config;
+  wrong_dim.dim = config.dim + 1;
+  EXPECT_EQ(IncrementalUpdate(base, graph, delta, wrong_dim,
+                              IncrementalOptions{})
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  // Empty delta log.
+  EXPECT_EQ(IncrementalUpdate(base, graph, ActionLog(), config,
+                              IncrementalOptions{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Graph narrower than the base id space.
+  GraphBuilder narrow(base.num_users() - 10);
+  narrow.AddEdge(0, 1);
+  EXPECT_EQ(IncrementalUpdate(base, narrow.Build().value(), delta, config,
+                              IncrementalOptions{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Non-positive lr_scale.
+  IncrementalOptions bad_lr;
+  bad_lr.lr_scale = 0.0;
+  EXPECT_EQ(IncrementalUpdate(base, graph, delta, config, bad_lr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IncrementalUpdateTest, PooledDeltaPassAlsoWorks) {
+  const synth::World world = TinyWorld(6);
+  Inf2vecConfig config = SmallConfig();
+  const EmbeddingStore base = TrainBase(world, config);
+  const SocialGraph graph = WidenGraph(world.graph, 2);
+  const ActionLog delta = MakeDelta(base.num_users(), 2);
+
+  config.num_threads = 2;
+  Result<Inf2vecModel> updated =
+      IncrementalUpdate(base, graph, delta, config, IncrementalOptions{});
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_EQ(updated.value().embeddings().num_users(), graph.num_users());
+}
+
+}  // namespace
+}  // namespace ckpt
+}  // namespace inf2vec

@@ -219,36 +219,35 @@ TEST(Inf2vecModelTest, RecoversPlantedInfluenceBetterThanChance) {
   EXPECT_GT(metrics.auc, 0.62) << "Inf2vec failed to beat chance by margin";
 }
 
-// The deprecated Rng&/pool overloads are thin shims over the
-// CorpusBuildOptions entry and must stay bit-identical until removed.
-TEST(BuildInfluenceCorpusTest, DeprecatedShimsMatchOptionsEntry) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Determinism pin for the sole (CorpusBuildOptions) corpus entry point,
+// carried over from the removed Rng&/pool shim equivalence test: the same
+// seed must rebuild the same corpus, serially and for a fixed pool size.
+TEST(BuildInfluenceCorpusTest, OptionsEntryIsDeterministic) {
   const synth::World world = TinyWorld(21);
   ContextOptions opts;
   opts.length = 10;
 
-  const InfluenceCorpus via_options = BuildInfluenceCorpus(
+  const InfluenceCorpus serial_a = BuildInfluenceCorpus(
       world.graph, world.log, opts, world.graph.num_users(),
       CorpusBuildOptions{.seed = 11});
-  Rng rng(11);
-  const InfluenceCorpus via_rng = BuildInfluenceCorpus(
-      world.graph, world.log, opts, world.graph.num_users(), rng);
-  EXPECT_EQ(via_options.pairs, via_rng.pairs);
-  EXPECT_EQ(via_options.target_frequencies, via_rng.target_frequencies);
-  EXPECT_EQ(via_options.num_tuples, via_rng.num_tuples);
+  const InfluenceCorpus serial_b = BuildInfluenceCorpus(
+      world.graph, world.log, opts, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 11});
+  EXPECT_EQ(serial_a.pairs, serial_b.pairs);
+  EXPECT_EQ(serial_a.target_frequencies, serial_b.target_frequencies);
+  EXPECT_EQ(serial_a.num_tuples, serial_b.num_tuples);
 
   ThreadPool pool_a(2);
-  const InfluenceCorpus pooled_options = BuildInfluenceCorpus(
+  const InfluenceCorpus pooled_a = BuildInfluenceCorpus(
       world.graph, world.log, opts, world.graph.num_users(),
       CorpusBuildOptions{.seed = 11, .pool = &pool_a});
   ThreadPool pool_b(2);
-  const InfluenceCorpus pooled_shim = BuildInfluenceCorpus(
-      world.graph, world.log, opts, world.graph.num_users(), /*seed=*/11,
-      pool_b);
-  EXPECT_EQ(pooled_options.pairs, pooled_shim.pairs);
-  EXPECT_EQ(pooled_options.num_tuples, pooled_shim.num_tuples);
-#pragma GCC diagnostic pop
+  const InfluenceCorpus pooled_b = BuildInfluenceCorpus(
+      world.graph, world.log, opts, world.graph.num_users(),
+      CorpusBuildOptions{.seed = 11, .pool = &pool_b});
+  EXPECT_EQ(pooled_a.pairs, pooled_b.pairs);
+  EXPECT_EQ(pooled_a.target_frequencies, pooled_b.target_frequencies);
+  EXPECT_EQ(pooled_a.num_tuples, pooled_b.num_tuples);
 }
 
 }  // namespace

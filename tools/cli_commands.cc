@@ -1,6 +1,7 @@
 #include "cli_commands.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -9,6 +10,8 @@
 #include <thread>
 
 #include "action/action_log_io.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/incremental.h"
 #include "core/inf2vec_model.h"
 #include "embedding/model_io.h"
 #include "eval/activation_task.h"
@@ -23,6 +26,7 @@
 #include "obs/snapshotter.h"
 #include "obs/trace.h"
 #include "serve/influence_service.h"
+#include "serve/model_swapper.h"
 #include "serve/serve_endpoints.h"
 #include "synth/world_generator.h"
 #include "util/logging.h"
@@ -204,11 +208,21 @@ Status RunTrain(const FlagParser& flags) {
     return Status::InvalidArgument(
         "--eval-task must be activation or diffusion");
   }
+  const std::string checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  const bool resume = flags.GetBool("resume", false);
+  if (resume && checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
 
+  // A resumed run needs no corpus inputs — the checkpoint carries the
+  // flattened pairs (in their exact shuffled order) and frequencies —
+  // unless --eval-task asks for a post-train evaluation over them.
   const auto load_start = std::chrono::steady_clock::now();
   SocialGraph graph;
   ActionLog log;
-  INF2VEC_RETURN_IF_ERROR(LoadWorldInputs(flags, &graph, &log));
+  if (!resume || !eval_task.empty()) {
+    INF2VEC_RETURN_IF_ERROR(LoadWorldInputs(flags, &graph, &log));
+  }
   const double load_seconds = SecondsSince(load_start);
   Result<Inf2vecConfig> config_result = ConfigFromFlags(flags);
   INF2VEC_RETURN_IF_ERROR(config_result.status());
@@ -255,8 +269,50 @@ Status RunTrain(const FlagParser& flags) {
     };
   }
 
+  // Durable checkpoints: the writer persists the full resumable training
+  // state every --checkpoint-every epochs (and prunes beyond --keep-last);
+  // --resume restarts from the newest checkpoint instead of epoch 0.
+  std::unique_ptr<ckpt::CheckpointWriter> writer;
+  uint64_t config_hash = 0;
+  if (!checkpoint_dir.empty()) {
+    ckpt::CheckpointOptions ckpt_options;
+    ckpt_options.dir = checkpoint_dir;
+    Result<int64_t> every = flags.GetInt("checkpoint-every", 1);
+    INF2VEC_RETURN_IF_ERROR(every.status());
+    if (every.value() <= 0) {
+      return Status::InvalidArgument("--checkpoint-every must be positive");
+    }
+    ckpt_options.every = static_cast<uint32_t>(every.value());
+    Result<int64_t> keep = flags.GetInt("keep-last", 3);
+    INF2VEC_RETURN_IF_ERROR(keep.status());
+    if (keep.value() < 0) {
+      return Status::InvalidArgument(
+          "--keep-last must be >= 0 (0 keeps every checkpoint)");
+    }
+    ckpt_options.keep_last_n = static_cast<uint32_t>(keep.value());
+    config_hash = ckpt::HashTrainingConfig(config);
+    writer =
+        std::make_unique<ckpt::CheckpointWriter>(ckpt_options, config_hash);
+    config.checkpoint_callback = writer->AsCallback();
+    if (report != nullptr) {
+      report->SetConfig("checkpoint_dir", checkpoint_dir);
+      report->SetConfig("checkpoint_every", ckpt_options.every);
+      report->SetConfig("resume", resume);
+    }
+  }
+
   const auto train_start = std::chrono::steady_clock::now();
-  Result<Inf2vecModel> model = Inf2vecModel::Train(graph, log, config);
+  Result<Inf2vecModel> model = [&]() -> Result<Inf2vecModel> {
+    if (!resume) return Inf2vecModel::Train(graph, log, config);
+    Result<ckpt::CheckpointState> state =
+        ckpt::ReadLatestCheckpoint(checkpoint_dir, config_hash);
+    if (!state.ok()) return state.status();
+    INF2VEC_LOG(Info) << "resuming from checkpoint at epoch "
+                      << state.value().epochs_completed << "/"
+                      << config.epochs << " (" << checkpoint_dir << ")";
+    return Inf2vecModel::ResumeFromState(
+        ckpt::ToResumeState(std::move(state).value()), config);
+  }();
   INF2VEC_RETURN_IF_ERROR(model.status());
   const double train_seconds = SecondsSince(train_start);
   if (report != nullptr) {
@@ -284,9 +340,14 @@ Status RunTrain(const FlagParser& flags) {
   metadata.git_sha = obs::GetBuildInfo().git_sha;
   INF2VEC_RETURN_IF_ERROR(
       SaveModelArtifact(model.value().embeddings(), metadata, model_path));
-  INF2VEC_LOG(Info) << "trained K=" << config.dim << " on "
-                    << log.num_episodes() << " episodes; model -> "
-                    << model_path;
+  if (resume) {
+    INF2VEC_LOG(Info) << "resumed training to epoch " << config.epochs
+                      << "; model -> " << model_path;
+  } else {
+    INF2VEC_LOG(Info) << "trained K=" << config.dim << " on "
+                      << log.num_episodes() << " episodes; model -> "
+                      << model_path;
+  }
 
   // Optional single-run train+eval: score the fresh model on the training
   // world and attach the result to the report.
@@ -314,6 +375,98 @@ Status RunTrain(const FlagParser& flags) {
     table.AddRow("model", metrics);
     table.Print();
   }
+  return Status::OK();
+}
+
+Status RunUpdate(const FlagParser& flags) {
+  const std::string model_in = flags.GetString("model", "");
+  const std::string out = flags.GetString("out", "");
+  const std::string graph_path = flags.GetString("graph", "");
+  const std::string delta_path = flags.GetString("delta", "");
+  if (model_in.empty() || out.empty() || graph_path.empty() ||
+      delta_path.empty()) {
+    return Status::InvalidArgument(
+        "update requires --model, --graph, --delta and --out");
+  }
+
+  Result<ModelArtifact> artifact = LoadModelArtifact(model_in);
+  INF2VEC_RETURN_IF_ERROR(artifact.status());
+  Result<SocialGraph> graph = LoadEdgeListAutoSize(graph_path);
+  INF2VEC_RETURN_IF_ERROR(graph.status());
+  Result<ActionLog> delta = LoadActionLog(delta_path);
+  INF2VEC_RETURN_IF_ERROR(delta.status());
+  for (const DiffusionEpisode& e : delta.value().episodes()) {
+    for (const Adoption& adoption : e.adoptions()) {
+      if (adoption.user >= graph.value().num_users()) {
+        return Status::InvalidArgument(
+            "delta log references user beyond the graph's id space");
+      }
+    }
+  }
+
+  // The base training config is reconstructed from the artifact's
+  // provenance metadata so the delta pass trains the same model family
+  // (legacy zero fields fall back to the paper defaults).
+  const ModelMetadata& meta = artifact.value().metadata;
+  Inf2vecConfig base_config;
+  base_config.dim = artifact.value().store.dim();
+  if (meta.context_length > 0) base_config.context.length = meta.context_length;
+  if (meta.alpha > 0.0) base_config.context.alpha = meta.alpha;
+  if (meta.learning_rate > 0.0) base_config.sgd.learning_rate =
+      meta.learning_rate;
+  if (meta.num_negatives > 0) base_config.sgd.num_negatives =
+      meta.num_negatives;
+  Result<Aggregation> aggregation = ParseAggregation(meta.aggregation);
+  if (aggregation.ok()) base_config.aggregation = aggregation.value();
+  Result<int64_t> threads = flags.GetInt("threads", 1);
+  INF2VEC_RETURN_IF_ERROR(threads.status());
+  if (threads.value() < 0) {
+    return Status::InvalidArgument(
+        "--threads must be >= 0 (0 = all hardware threads)");
+  }
+  base_config.num_threads = static_cast<uint32_t>(threads.value());
+
+  ckpt::IncrementalOptions options;
+  Result<int64_t> epochs = flags.GetInt("epochs", options.epochs);
+  INF2VEC_RETURN_IF_ERROR(epochs.status());
+  if (epochs.value() <= 0) {
+    return Status::InvalidArgument("--epochs must be positive");
+  }
+  options.epochs = static_cast<uint32_t>(epochs.value());
+  Result<double> lr_scale = flags.GetDouble("lr-scale", options.lr_scale);
+  INF2VEC_RETURN_IF_ERROR(lr_scale.status());
+  options.lr_scale = lr_scale.value();
+  Result<int64_t> seed = flags.GetInt("seed", options.seed);
+  INF2VEC_RETURN_IF_ERROR(seed.status());
+  options.seed = static_cast<uint64_t>(seed.value());
+
+  const uint32_t base_users = artifact.value().store.num_users();
+  const auto update_start = std::chrono::steady_clock::now();
+  Result<Inf2vecModel> updated = ckpt::IncrementalUpdate(
+      std::move(artifact.value().store), graph.value(), delta.value(),
+      base_config, options);
+  INF2VEC_RETURN_IF_ERROR(updated.status());
+  if (g_active_report != nullptr) {
+    g_active_report->SetConfig("delta_episodes",
+                               delta.value().num_episodes());
+    g_active_report->SetConfig("epochs", options.epochs);
+    g_active_report->SetConfig("lr_scale", options.lr_scale);
+    g_active_report->AddPhase("update", SecondsSince(update_start));
+  }
+
+  ModelMetadata out_meta = meta;
+  out_meta.dim = base_config.dim;
+  out_meta.epochs = options.epochs;
+  out_meta.learning_rate = base_config.sgd.learning_rate * options.lr_scale;
+  out_meta.seed = options.seed;
+  out_meta.num_threads = base_config.num_threads;
+  out_meta.git_sha = obs::GetBuildInfo().git_sha;
+  INF2VEC_RETURN_IF_ERROR(SaveModelArtifact(updated.value().embeddings(),
+                                            out_meta, out));
+  INF2VEC_LOG(Info) << "incrementally updated " << base_users << " -> "
+                    << updated.value().embeddings().num_users()
+                    << " users over " << delta.value().num_episodes()
+                    << " delta episodes; model -> " << out;
   return Status::OK();
 }
 
@@ -429,13 +582,47 @@ Status RunExportText(const FlagParser& flags) {
 namespace {
 
 /// Set by the signal handler installed in RunServe; checked by its wait
-/// loop. sig_atomic_t + volatile is the full extent of what a handler may
-/// touch portably.
-volatile std::sig_atomic_t g_serve_stop = 0;
+/// loop. A lock-free std::atomic<int> is async-signal-safe AND visible to
+/// non-handler threads (RequestServeStop), which sig_atomic_t is not.
+std::atomic<int> g_serve_stop{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free stop flag");
 
-void ServeSignalHandler(int /*signum*/) { g_serve_stop = 1; }
+void ServeSignalHandler(int /*signum*/) {
+  g_serve_stop.store(1, std::memory_order_relaxed);
+}
+
+/// Test-only: invoked right after RunServe finishes loading the model.
+std::function<void()>& ServeStartupHook() {
+  static std::function<void()> hook;
+  return hook;
+}
+
+/// RAII: handlers must be live for the WHOLE serve lifetime — including
+/// the model load, which can take seconds on big tables. A SIGINT landing
+/// mid-load used to hit the default handler and kill the process without
+/// unwinding; now it just marks the stop flag and RunServe exits cleanly
+/// as soon as the load finishes.
+class ScopedServeSignalHandlers {
+ public:
+  ScopedServeSignalHandlers() {
+    g_serve_stop = 0;
+    std::signal(SIGINT, ServeSignalHandler);
+    std::signal(SIGTERM, ServeSignalHandler);
+  }
+  ~ScopedServeSignalHandlers() {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  }
+};
 
 }  // namespace
+
+void RequestServeStop() { g_serve_stop = 1; }
+
+void SetServeStartupHookForTest(std::function<void()> hook) {
+  ServeStartupHook() = std::move(hook);
+}
 
 Status RunServe(const FlagParser& flags) {
   const std::string model_path = flags.GetString("model", "");
@@ -474,37 +661,59 @@ Status RunServe(const FlagParser& flags) {
   }
   Result<int64_t> max_seconds = flags.GetInt("max-seconds", 0);
   INF2VEC_RETURN_IF_ERROR(max_seconds.status());
+  const bool watch_model = flags.GetBool("watch-model", false);
+  Result<int64_t> watch_interval =
+      flags.GetInt("watch-interval-ms", 500);
+  INF2VEC_RETURN_IF_ERROR(watch_interval.status());
+  if (watch_interval.value() <= 0) {
+    return Status::InvalidArgument("--watch-interval-ms must be positive");
+  }
 
   // Serving is the one command whose metrics matter even without
   // --metrics-out: the serve counters/histograms back /metrics.
   obs::EnableMetrics(true);
 
+  // Stop signals are catchable from here on — before the load, so a
+  // SIGINT racing a slow model load exits cleanly instead of killing the
+  // process via the default handler.
+  ScopedServeSignalHandlers signal_guard;
+
   const auto load_start = std::chrono::steady_clock::now();
-  Result<serve::InfluenceService> service =
-      serve::InfluenceService::Load(model_path, std::move(options));
-  INF2VEC_RETURN_IF_ERROR(service.status());
-  service.value().Warm();
-  INF2VEC_LOG(Info) << "loaded + warmed " << model_path << " ("
-                    << service.value().store().num_users() << " users, dim "
-                    << service.value().store().dim() << ", aggregation "
-                    << AggregationName(service.value().default_aggregation())
-                    << ") in " << SecondsSince(load_start) << "s";
+  serve::ModelSwapper swapper(model_path, std::move(options));
+  const Status initial_load = swapper.Reload();
+  if (ServeStartupHook()) ServeStartupHook()();
+  INF2VEC_RETURN_IF_ERROR(initial_load);
+  if (g_serve_stop != 0) {
+    INF2VEC_LOG(Info) << "stop requested during model load; exiting";
+    return Status::OK();
+  }
+  {
+    const auto model = swapper.Acquire();
+    INF2VEC_LOG(Info) << "loaded + warmed " << model_path << " ("
+                      << model->service.store().num_users() << " users, dim "
+                      << model->service.store().dim() << ", aggregation "
+                      << AggregationName(
+                             model->service.default_aggregation())
+                      << ") in " << SecondsSince(load_start) << "s";
+  }
 
   obs::StatsServerOptions server_options;
   server_options.port = static_cast<uint16_t>(port_flag.value());
   obs::StatsServer server(server_options);
-  serve::RegisterServeEndpoints(&server, &service.value());
+  serve::RegisterServeEndpoints(&server, &swapper);
   INF2VEC_RETURN_IF_ERROR(server.Start());
+  if (watch_model) {
+    swapper.StartWatching(static_cast<uint64_t>(watch_interval.value()));
+    INF2VEC_LOG(Info) << "watching " << model_path << " for changes every "
+                      << watch_interval.value() << "ms";
+  }
 
   // stdout, unbuffered: the smoke script greps this line for the port.
   std::printf("serving on http://127.0.0.1:%u (/score /topk /modelz "
-              "/metrics /healthz)\n",
+              "/reloadz /metrics /healthz)\n",
               server.port());
   std::fflush(stdout);
 
-  g_serve_stop = 0;
-  std::signal(SIGINT, ServeSignalHandler);
-  std::signal(SIGTERM, ServeSignalHandler);
   const auto serve_start = std::chrono::steady_clock::now();
   while (g_serve_stop == 0) {
     if (max_seconds.value() > 0 &&
@@ -513,8 +722,7 @@ Status RunServe(const FlagParser& flags) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  std::signal(SIGINT, SIG_DFL);
-  std::signal(SIGTERM, SIG_DFL);
+  swapper.StopWatching();
   server.Stop();
   INF2VEC_LOG(Info) << "serve loop exited after "
                     << SecondsSince(serve_start) << "s";
@@ -539,6 +747,13 @@ std::string UsageText() {
       " pairs/s, ETA) on stderr\n"
       "               --eval-task activation|diffusion: evaluate the fresh"
       " model in the same run\n"
+      "               --checkpoint-dir D: durable per-epoch checkpoints"
+      " [--checkpoint-every 1 --keep-last 3]\n"
+      "               --resume: continue from the latest checkpoint in"
+      " --checkpoint-dir (only --epochs may change)\n"
+      "  update       incrementally train a saved model on delta episodes\n"
+      "               --model IN --graph F --delta F --out OUT [--epochs 3"
+      " --lr-scale 0.2 --seed 1 --threads 1]\n"
       "  score        print x(u -> v)\n"
       "               --model F --source U --target V\n"
       "  top          print the k users most influenced by a user\n"
@@ -549,12 +764,16 @@ std::string UsageText() {
       "  export-text  dump a model to a text matrix\n"
       "               --model F --out F\n"
       "  serve        online influence-query server over a saved model:\n"
-      "               /score /topk /modelz plus the stats endpoints\n"
+      "               /score /topk /modelz /reloadz plus the stats"
+      " endpoints\n"
       "               --model F [--port 0 --topk-cache 256 --threads 1\n"
       "                --deadline-us 0 --aggregation Ave|Sum|Max|Latest\n"
-      "                --max-seconds 0]\n"
+      "                --max-seconds 0 --watch-model"
+      " --watch-interval-ms 500]\n"
       "               --port 0 picks a free port (printed on stdout);\n"
       "               --max-seconds bounds the run, 0 = until SIGINT\n"
+      "               --watch-model hot-swaps the model when the file on\n"
+      "               disk changes (zero downtime; also via GET /reloadz)\n"
       "\n"
       "global flags (any command):\n"
       "  --log-level debug|info|warning|error   log threshold (default"
@@ -578,6 +797,7 @@ Status Dispatch(const FlagParser& flags) {
   Status (*run)(const FlagParser&) = nullptr;
   if (command == "generate") run = RunGenerate;
   if (command == "train") run = RunTrain;
+  if (command == "update") run = RunUpdate;
   if (command == "score") run = RunScore;
   if (command == "top") run = RunTop;
   if (command == "evaluate") run = RunEvaluate;

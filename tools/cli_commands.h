@@ -1,6 +1,7 @@
 #ifndef INF2VEC_TOOLS_CLI_COMMANDS_H_
 #define INF2VEC_TOOLS_CLI_COMMANDS_H_
 
+#include <functional>
 #include <string>
 
 #include "util/flags.h"
@@ -16,20 +17,35 @@ namespace cli {
 ///   train        --graph F --actions F --model OUT
 ///                [--dim K --alpha A --length L --epochs E --lr G
 ///                 --negatives N --seed S --local-only --bfs-context]
+///                [--checkpoint-dir D --checkpoint-every N --keep-last N
+///                 --resume]
+///   update       --model IN --graph F --delta F --out OUT
+///                [--epochs 3 --lr-scale 0.2 --seed 1 --threads 1]
 ///   score        --model F --source U --target V
 ///   top          --model F --source U [--k 10]
 ///   evaluate     --graph F --actions F --model F [--task activation|diffusion]
 ///                [--seed-fraction 0.05 --aggregation Ave|Sum|Max|Latest]
 ///   export-text  --model F --out F
 ///   serve        --model F [--port P --topk-cache N --threads N
-///                 --aggregation Ave|Sum|Max|Latest --max-seconds S]
+///                 --aggregation Ave|Sum|Max|Latest --max-seconds S
+///                 --watch-model --watch-interval-ms 500]
 Status RunGenerate(const FlagParser& flags);
 Status RunTrain(const FlagParser& flags);
+Status RunUpdate(const FlagParser& flags);
 Status RunScore(const FlagParser& flags);
 Status RunTop(const FlagParser& flags);
 Status RunEvaluate(const FlagParser& flags);
 Status RunExportText(const FlagParser& flags);
 Status RunServe(const FlagParser& flags);
+
+/// Test hooks for the serve lifecycle. RequestServeStop() flips the same
+/// flag the SIGINT/SIGTERM handler sets, so tests can stop a serve loop
+/// without signals; SetServeStartupHookForTest installs a callback RunServe
+/// invokes right after the model load finishes (and before it decides
+/// whether to start the server), letting the shutdown-during-load race be
+/// driven deterministically. Pass nullptr to clear.
+void RequestServeStop();
+void SetServeStartupHookForTest(std::function<void()> hook);
 
 /// Dispatches on the first positional argument; returns InvalidArgument
 /// with the usage text for unknown commands.

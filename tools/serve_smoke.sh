@@ -114,6 +114,22 @@ fetch "${BASE}/metrics?foo=1" 200 "${WORKDIR}/metrics.txt"
 grep -q "inf2vec_serve_score_requests_total" "${WORKDIR}/metrics.txt"
 grep -q "inf2vec_serve_topk_requests_total" "${WORKDIR}/metrics.txt"
 
+# Zero-downtime hot swap: /reloadz reloads the model file in place and
+# bumps the serving generation; subsequent responses carry the new stamp.
+fetch "${BASE}/reloadz" 200 "${WORKDIR}/reloadz.json"
+python3 - "${WORKDIR}/reloadz.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["status"] == "reloaded", doc
+assert doc["generation"] == 2, doc
+EOF
+fetch "${BASE}/score?candidate=1&seeds=2,3" 200 "${WORKDIR}/score2.json"
+python3 - "${WORKDIR}/score2.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["generation"] == 2, doc
+EOF
+
 kill -TERM "${SERVER_PID}"
 wait "${SERVER_PID}"
 SERVER_PID=""
