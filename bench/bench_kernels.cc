@@ -1,0 +1,196 @@
+// Microbench for the runtime-dispatched kernel layer: scalar vs AVX2/FMA
+// for the four hot serving/training primitives, at the paper's dim 50
+// (deliberately not a multiple of the 4-lane AVX2 width, so every arm
+// pays the remainder-lane cost the production shapes pay).
+//
+// Arms (one row per backend each):
+//   dot        fp64 dot product, the EmbeddingStore::Score inner loop
+//   seed_scan  blocked score scan over a padded table (TopK inner loop)
+//   grad_step  fused SGD gradient accumulate + target row update
+//   dot_i8     int8 quantized dot (the `serve --quantize int8` scan)
+//
+// Reports per-backend throughput (ops/sec) plus headline speedup
+// summaries through BENCH_kernels.json. Gate: tools/bench_gate.sh.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "kernels/aligned.h"
+#include "kernels/kernels.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace inf2vec;         // NOLINT
+using namespace inf2vec::bench;  // NOLINT
+
+constexpr uint32_t kDim = 50;
+constexpr uint32_t kRows = 4096;
+constexpr uint32_t kSeedsPerScan = 8;
+constexpr uint32_t kDotReps = 40;        // x kRows dots per backend
+constexpr uint32_t kScanReps = 60;       // x kRows scored targets
+constexpr uint32_t kGradReps = 40;       // x kRows grad steps
+constexpr uint32_t kDotI8Reps = 80;      // x kRows int8 dots
+
+struct Table {
+  kernels::AlignedVector<double> rows;     // kRows x stride fp64
+  kernels::AlignedVector<int8_t> q_rows;   // kRows x q_stride int8
+  size_t stride = 0;    // doubles
+  size_t q_stride = 0;  // bytes
+};
+
+Table MakeTable(Rng& rng) {
+  Table t;
+  t.stride = kernels::PaddedStride(kDim, sizeof(double));
+  t.q_stride = kernels::PaddedStride(kDim, sizeof(int8_t));
+  t.rows.assign(static_cast<size_t>(kRows) * t.stride, 0.0);
+  t.q_rows.assign(static_cast<size_t>(kRows) * t.q_stride, 0);
+  for (uint32_t r = 0; r < kRows; ++r) {
+    for (uint32_t k = 0; k < kDim; ++k) {
+      t.rows[r * t.stride + k] = rng.UniformDouble(-0.5, 0.5);
+      t.q_rows[r * t.q_stride + k] =
+          static_cast<int8_t>(rng.UniformInt(-127, 127));
+    }
+  }
+  return t;
+}
+
+struct ArmResult {
+  double wall_ms = 0.0;
+  double ops_per_sec = 0.0;
+  uint64_t reps = 0;
+};
+
+template <typename Fn>
+ArmResult TimeArm(kernels::Isa isa, uint64_t total_ops, Fn&& fn) {
+  INF2VEC_CHECK(kernels::SetActiveIsa(isa));
+  const WallTimer wall;
+  fn();
+  ArmResult result;
+  result.wall_ms = wall.ElapsedMillis();
+  result.ops_per_sec =
+      static_cast<double>(total_ops) / (result.wall_ms / 1000.0);
+  result.reps = total_ops;
+  kernels::ResetIsaForTest();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(777);
+  const Table table = MakeTable(rng);
+  // Sinks defeat dead-code elimination; printed at the end.
+  double fp64_sink = 0.0;
+  int64_t i8_sink = 0;
+
+  const bool have_avx2 = kernels::Avx2Compiled() && kernels::Avx2Supported();
+  std::printf("kernel bench: dim %u, %u rows, best isa %s%s\n\n", kDim, kRows,
+              kernels::IsaName(kernels::BestIsa()),
+              have_avx2 ? "" : " (AVX2 arms skipped)");
+
+  const auto run_dot = [&](kernels::Isa isa) {
+    return TimeArm(isa, static_cast<uint64_t>(kDotReps) * kRows, [&] {
+      for (uint32_t rep = 0; rep < kDotReps; ++rep) {
+        for (uint32_t r = 0; r < kRows; ++r) {
+          const double* a = table.rows.data() + r * table.stride;
+          const double* b =
+              table.rows.data() + ((r * 17 + 5) % kRows) * table.stride;
+          fp64_sink += kernels::Dot(a, b, kDim);
+        }
+      }
+    });
+  };
+
+  std::vector<double> scan_out(kRows);
+  const auto run_scan = [&](kernels::Isa isa) {
+    return TimeArm(isa, static_cast<uint64_t>(kScanReps) * kRows, [&] {
+      for (uint32_t rep = 0; rep < kScanReps; ++rep) {
+        // One SeedScan per target, kSeedsPerScan seeds each: the exact
+        // shape InfluenceService::TopK drives per candidate.
+        for (uint32_t r = 0; r < kRows; ++r) {
+          kernels::SeedScan(table.rows.data(), kSeedsPerScan, table.stride,
+                            table.rows.data() + r * table.stride, kDim,
+                            scan_out.data());
+          fp64_sink += scan_out[0];
+        }
+      }
+    });
+  };
+
+  kernels::AlignedVector<double> grad(table.stride, 0.0);
+  kernels::AlignedVector<double> target(table.rows.begin(),
+                                        table.rows.begin() + table.stride);
+  const auto run_grad = [&](kernels::Isa isa) {
+    return TimeArm(isa, static_cast<uint64_t>(kGradReps) * kRows, [&] {
+      for (uint32_t rep = 0; rep < kGradReps; ++rep) {
+        for (uint32_t r = 0; r < kRows; ++r) {
+          kernels::GradStep(0.5, 1e-9, table.rows.data() + r * table.stride,
+                            target.data(), grad.data(), kDim);
+        }
+      }
+      fp64_sink += grad[0] + target[0];
+    });
+  };
+
+  const auto run_dot_i8 = [&](kernels::Isa isa) {
+    return TimeArm(isa, static_cast<uint64_t>(kDotI8Reps) * kRows, [&] {
+      for (uint32_t rep = 0; rep < kDotI8Reps; ++rep) {
+        for (uint32_t r = 0; r < kRows; ++r) {
+          const int8_t* a = table.q_rows.data() + r * table.q_stride;
+          const int8_t* b =
+              table.q_rows.data() + ((r * 17 + 5) % kRows) * table.q_stride;
+          i8_sink += kernels::DotI8(a, b, kDim);
+        }
+      }
+    });
+  };
+
+  struct Arm {
+    const char* name;
+    ArmResult scalar;
+    ArmResult avx2;
+  };
+  std::vector<Arm> arms;
+  arms.push_back({"dot", run_dot(kernels::Isa::kScalar), {}});
+  arms.push_back({"seed_scan", run_scan(kernels::Isa::kScalar), {}});
+  arms.push_back({"grad_step", run_grad(kernels::Isa::kScalar), {}});
+  arms.push_back({"dot_i8", run_dot_i8(kernels::Isa::kScalar), {}});
+  if (have_avx2) {
+    arms[0].avx2 = run_dot(kernels::Isa::kAvx2);
+    arms[1].avx2 = run_scan(kernels::Isa::kAvx2);
+    arms[2].avx2 = run_grad(kernels::Isa::kAvx2);
+    arms[3].avx2 = run_dot_i8(kernels::Isa::kAvx2);
+  }
+
+  std::printf("%-12s %14s %14s %10s\n", "arm", "scalar ops/s", "avx2 ops/s",
+              "speedup");
+  BenchReport report("kernels");
+  report.SetConfig("dim", static_cast<int64_t>(kDim));
+  report.SetConfig("rows", static_cast<int64_t>(kRows));
+  report.SetConfig("seeds_per_scan", static_cast<int64_t>(kSeedsPerScan));
+  report.SetConfig("avx2", have_avx2);
+  for (const Arm& arm : arms) {
+    const double speedup =
+        have_avx2 ? arm.avx2.ops_per_sec / arm.scalar.ops_per_sec : 1.0;
+    std::printf("%-12s %14.0f %14.0f %9.2fx\n", arm.name,
+                arm.scalar.ops_per_sec,
+                have_avx2 ? arm.avx2.ops_per_sec : 0.0, speedup);
+    report.AddResult(std::string(arm.name) + "_scalar", arm.scalar.wall_ms,
+                     arm.scalar.ops_per_sec, arm.scalar.reps);
+    if (have_avx2) {
+      report.AddResult(std::string(arm.name) + "_avx2", arm.avx2.wall_ms,
+                       arm.avx2.ops_per_sec, arm.avx2.reps);
+      report.SetSummary(std::string(arm.name) + "_avx2_speedup", speedup);
+    }
+  }
+  report.Write();
+
+  std::printf("\n(sinks: %f %" PRId64 ")\n", fp64_sink, i8_sink);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "embedding/embedding_store.h"
 
+#include "kernels/kernels.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -8,11 +9,15 @@ namespace inf2vec {
 EmbeddingStore::EmbeddingStore(uint32_t num_users, uint32_t dim)
     : num_users_(num_users),
       dim_(dim),
-      source_(static_cast<size_t>(num_users) * dim, 0.0),
-      target_(static_cast<size_t>(num_users) * dim, 0.0),
+      stride_(static_cast<uint32_t>(
+          kernels::PaddedStride(dim, sizeof(double)))),
+      source_(static_cast<size_t>(num_users) * stride_, 0.0),
+      target_(static_cast<size_t>(num_users) * stride_, 0.0),
       source_bias_(num_users, 0.0),
       target_bias_(num_users, 0.0) {
   INF2VEC_CHECK(dim > 0) << "embedding dimension must be positive";
+  INF2VEC_DASSERT_ALIGNED(source_.data());
+  INF2VEC_DASSERT_ALIGNED(target_.data());
 }
 
 void EmbeddingStore::InitPaperDefault(Rng& rng) {
@@ -21,36 +26,42 @@ void EmbeddingStore::InitPaperDefault(Rng& rng) {
 }
 
 void EmbeddingStore::InitUniform(double lo, double hi, Rng& rng) {
-  for (double& x : source_) x = rng.UniformDouble(lo, hi);
-  for (double& x : target_) x = rng.UniformDouble(lo, hi);
+  // Iterate rows through the spans, not the raw padded buffers: the RNG
+  // draw sequence (S rows then T rows, dim draws each, user-id order) is
+  // pinned by the reproducibility contract and must not consume draws for
+  // padding lanes.
+  for (UserId u = 0; u < num_users_; ++u) {
+    for (double& x : Source(u)) x = rng.UniformDouble(lo, hi);
+  }
+  for (UserId u = 0; u < num_users_; ++u) {
+    for (double& x : Target(u)) x = rng.UniformDouble(lo, hi);
+  }
   for (double& b : source_bias_) b = 0.0;
   for (double& b : target_bias_) b = 0.0;
 }
 
 void EmbeddingStore::GrowTo(uint32_t new_num_users, Rng& rng) {
   if (new_num_users <= num_users_) return;
-  const size_t old_values = static_cast<size_t>(num_users_) * dim_;
-  const size_t new_values = static_cast<size_t>(new_num_users) * dim_;
+  const uint32_t old_num_users = num_users_;
   const double bound = 1.0 / static_cast<double>(dim_);
-  source_.resize(new_values);
-  for (size_t i = old_values; i < new_values; ++i) {
-    source_[i] = rng.UniformDouble(-bound, bound);
-  }
-  target_.resize(new_values);
-  for (size_t i = old_values; i < new_values; ++i) {
-    target_[i] = rng.UniformDouble(-bound, bound);
-  }
+  source_.resize(static_cast<size_t>(new_num_users) * stride_, 0.0);
+  target_.resize(static_cast<size_t>(new_num_users) * stride_, 0.0);
   source_bias_.resize(new_num_users, 0.0);
   target_bias_.resize(new_num_users, 0.0);
   num_users_ = new_num_users;
+  for (UserId u = old_num_users; u < new_num_users; ++u) {
+    for (double& x : Source(u)) x = rng.UniformDouble(-bound, bound);
+  }
+  for (UserId u = old_num_users; u < new_num_users; ++u) {
+    for (double& x : Target(u)) x = rng.UniformDouble(-bound, bound);
+  }
 }
 
 INF2VEC_NO_SANITIZE_THREAD
 double EmbeddingStore::Score(UserId u, UserId v) const {
   const std::span<const double> s = Source(u);
   const std::span<const double> t = Target(v);
-  double dot = 0.0;
-  for (uint32_t k = 0; k < dim_; ++k) dot += s[k] * t[k];
+  const double dot = kernels::Dot(s.data(), t.data(), dim_);
   return dot + source_bias_[u] + target_bias_[v];
 }
 

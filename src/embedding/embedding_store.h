@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/social_graph.h"
+#include "kernels/aligned.h"
 #include "util/rng.h"
 
 namespace inf2vec {
@@ -14,6 +15,13 @@ namespace inf2vec {
 /// per user u a source vector S_u, a target vector T_u, an influence-ability
 /// bias b_u and a conformity bias b~_u. Stored as flat row-major buffers so
 /// the SGD inner loop is cache-friendly.
+///
+/// Row layout: the S and T matrices live in 64-byte-aligned buffers with
+/// the row pitch padded up to a whole number of cache lines
+/// (row_stride() >= dim()), so every row starts cache-line aligned for
+/// the SIMD kernel layer (src/kernels). Padding lanes are always zero and
+/// invisible through the span accessors; persisted formats store rows
+/// unpadded.
 ///
 /// Also reused by the latent-factor baselines (MF treats S as the "affects"
 /// factor and T as the "affected" factor; Node2vec uses S as node vectors
@@ -35,16 +43,22 @@ class EmbeddingStore {
   /// Empty (0 x 0) store; a placeholder until a real table is assigned
   /// (e.g. ModelArtifact before load). Bypasses the positive-dim check
   /// the sized constructor enforces.
-  EmbeddingStore() : num_users_(0), dim_(0) {}
+  EmbeddingStore() : num_users_(0), dim_(0), stride_(0) {}
 
   uint32_t num_users() const { return num_users_; }
   uint32_t dim() const { return dim_; }
+  /// Row pitch of the S/T buffers in doubles (dim rounded up to a
+  /// 64-byte multiple); the padding tail of every row is zero.
+  uint32_t row_stride() const { return stride_; }
 
   /// Paper initialization: S, T ~ U[-1/K, 1/K], biases 0 (Algorithm 2
   /// line 1).
   void InitPaperDefault(Rng& rng);
 
-  /// Uniform init over [lo, hi) for vectors; biases reset to 0.
+  /// Uniform init over [lo, hi) for vectors; biases reset to 0. Values
+  /// are drawn in user-id order, S rows before T rows, dim draws per row
+  /// — the draw sequence is part of the reproducibility contract and is
+  /// independent of the padded row pitch.
   void InitUniform(double lo, double hi, Rng& rng);
 
   /// Grows the user space to `new_num_users`, preserving every existing
@@ -56,16 +70,16 @@ class EmbeddingStore {
   void GrowTo(uint32_t new_num_users, Rng& rng);
 
   std::span<double> Source(UserId u) {
-    return {source_.data() + static_cast<size_t>(u) * dim_, dim_};
+    return {source_.data() + static_cast<size_t>(u) * stride_, dim_};
   }
   std::span<const double> Source(UserId u) const {
-    return {source_.data() + static_cast<size_t>(u) * dim_, dim_};
+    return {source_.data() + static_cast<size_t>(u) * stride_, dim_};
   }
   std::span<double> Target(UserId u) {
-    return {target_.data() + static_cast<size_t>(u) * dim_, dim_};
+    return {target_.data() + static_cast<size_t>(u) * stride_, dim_};
   }
   std::span<const double> Target(UserId u) const {
-    return {target_.data() + static_cast<size_t>(u) * dim_, dim_};
+    return {target_.data() + static_cast<size_t>(u) * stride_, dim_};
   }
 
   double source_bias(UserId u) const { return source_bias_[u]; }
@@ -73,10 +87,13 @@ class EmbeddingStore {
   double target_bias(UserId u) const { return target_bias_[u]; }
   double& mutable_target_bias(UserId u) { return target_bias_[u]; }
 
-  /// The influence score x(u, v) = S_u . T_v + b_u + b~_v (Section IV-C).
-  /// Unsynchronized: under concurrent Hogwild writers this reads whatever
-  /// coordinate values are in memory at the moment (see the class-level
-  /// concurrency contract); with no concurrent writers it is exact.
+  /// The influence score x(u, v) = S_u . T_v + b_u + b~_v (Section IV-C),
+  /// with the dot product dispatched through the active SIMD kernel
+  /// (kernels::Dot; scalar backend is bit-identical to the historical
+  /// plain loop). Unsynchronized: under concurrent Hogwild writers this
+  /// reads whatever coordinate values are in memory at the moment (see
+  /// the class-level concurrency contract); with no concurrent writers it
+  /// is exact.
   double Score(UserId u, UserId v) const;
 
   /// Concatenation [S_u ; T_u] used by the visualization experiment.
@@ -88,10 +105,11 @@ class EmbeddingStore {
  private:
   uint32_t num_users_;
   uint32_t dim_;
-  std::vector<double> source_;       // num_users * dim
-  std::vector<double> target_;       // num_users * dim
-  std::vector<double> source_bias_;  // num_users
-  std::vector<double> target_bias_;  // num_users
+  uint32_t stride_;  // Doubles per row; kernels::PaddedStride(dim, 8).
+  kernels::AlignedVector<double> source_;  // num_users * stride
+  kernels::AlignedVector<double> target_;  // num_users * stride
+  std::vector<double> source_bias_;        // num_users
+  std::vector<double> target_bias_;        // num_users
 };
 
 }  // namespace inf2vec

@@ -10,6 +10,7 @@ namespace {
 
 constexpr char kMagicV1[] = "I2VEMB1\n";
 constexpr char kMagicV2[] = "I2VEMB2\n";
+constexpr char kMagicQuant[] = "I2VQNT1\n";
 constexpr size_t kMagicLen = 8;
 /// Sanity cap for the metadata block: real headers are a few hundred
 /// bytes, so anything larger is a corrupt length field.
@@ -48,15 +49,27 @@ void AppendPayload(const EmbeddingStore& store, std::string* blob) {
   }
 }
 
-/// Reads the payload; `offset` must point just past the (n, dim) header
-/// and the blob must end exactly where the payload does.
+/// Bytes of the int8 serving section (excluding its magic): codes for S
+/// and T plus four float32 per-user arrays (scales and biases).
+size_t QuantSectionBytes(uint32_t n, uint32_t dim) {
+  return 2 * sizeof(uint32_t) + 2 * static_cast<size_t>(n) * dim +
+         4 * sizeof(float) * static_cast<size_t>(n);
+}
+
+/// The fp64 payload; `offset` must point just past the (n, dim) header.
+/// The blob must end exactly where the payload does unless
+/// `allow_trailing` (a v2 artifact possibly carrying a quantized
+/// section), in which case trailing bytes are left for the caller.
 Result<EmbeddingStore> ReadPayload(const std::string& blob, size_t offset,
                                    uint32_t n, uint32_t dim,
-                                   const std::string& path) {
+                                   const std::string& path,
+                                   bool allow_trailing = false) {
   const size_t expected = offset +
                           sizeof(double) * (2 * static_cast<size_t>(n) * dim +
                                             2 * static_cast<size_t>(n));
-  if (blob.size() != expected) {
+  const bool size_ok =
+      allow_trailing ? blob.size() >= expected : blob.size() == expected;
+  if (!size_ok) {
     return Status::InvalidArgument(
         StrFormat("embedding file size mismatch: got %zu want %zu (%s)",
                   blob.size(), expected, path.c_str()));
@@ -84,6 +97,92 @@ Result<EmbeddingStore> ReadPayload(const std::string& blob, size_t offset,
     }
   }
   return store;
+}
+
+void AppendQuantSection(const QuantizedEmbeddingStore& q, std::string* blob) {
+  const uint32_t n = q.num_users();
+  const uint32_t dim = q.dim();
+  AppendRaw(blob, kMagicQuant, kMagicLen);
+  AppendRaw(blob, &n, sizeof(n));
+  AppendRaw(blob, &dim, sizeof(dim));
+  for (UserId u = 0; u < n; ++u) AppendRaw(blob, q.Source(u).data(), dim);
+  for (UserId u = 0; u < n; ++u) AppendRaw(blob, q.Target(u).data(), dim);
+  for (UserId u = 0; u < n; ++u) {
+    const float s = q.source_scale(u);
+    AppendRaw(blob, &s, sizeof(s));
+  }
+  for (UserId u = 0; u < n; ++u) {
+    const float s = q.target_scale(u);
+    AppendRaw(blob, &s, sizeof(s));
+  }
+  for (UserId u = 0; u < n; ++u) {
+    const float b = q.source_bias(u);
+    AppendRaw(blob, &b, sizeof(b));
+  }
+  for (UserId u = 0; u < n; ++u) {
+    const float b = q.target_bias(u);
+    AppendRaw(blob, &b, sizeof(b));
+  }
+}
+
+/// Parses the int8 serving section starting at `offset` (which must be
+/// the first byte after the fp64 payload) and consuming the rest of the
+/// blob. (n, dim) must match the artifact header.
+Result<QuantizedEmbeddingStore> ReadQuantSection(const std::string& blob,
+                                                 size_t offset, uint32_t n,
+                                                 uint32_t dim,
+                                                 const std::string& path) {
+  if (blob.size() - offset < kMagicLen ||
+      std::memcmp(blob.data() + offset, kMagicQuant, kMagicLen) != 0) {
+    return Status::InvalidArgument(
+        "unrecognized trailing bytes after embedding payload: " + path);
+  }
+  offset += kMagicLen;
+  if (blob.size() - offset != QuantSectionBytes(n, dim)) {
+    return Status::InvalidArgument(
+        StrFormat("quantized section size mismatch: got %zu want %zu (%s)",
+                  blob.size() - offset, QuantSectionBytes(n, dim),
+                  path.c_str()));
+  }
+  uint32_t qn = 0;
+  uint32_t qdim = 0;
+  if (!ReadRaw(blob, &offset, &qn, 1) || !ReadRaw(blob, &offset, &qdim, 1) ||
+      qn != n || qdim != dim) {
+    return Status::InvalidArgument(
+        "quantized section shape disagrees with artifact header: " + path);
+  }
+  QuantizedEmbeddingStore q(n, dim);
+  for (UserId u = 0; u < n; ++u) {
+    if (!ReadRaw(blob, &offset, q.MutableSource(u).data(), dim)) {
+      return Status::Internal("truncated quantized source block");
+    }
+  }
+  for (UserId u = 0; u < n; ++u) {
+    if (!ReadRaw(blob, &offset, q.MutableTarget(u).data(), dim)) {
+      return Status::Internal("truncated quantized target block");
+    }
+  }
+  for (UserId u = 0; u < n; ++u) {
+    if (!ReadRaw(blob, &offset, &q.mutable_source_scale(u), 1)) {
+      return Status::Internal("truncated quantized source-scale block");
+    }
+  }
+  for (UserId u = 0; u < n; ++u) {
+    if (!ReadRaw(blob, &offset, &q.mutable_target_scale(u), 1)) {
+      return Status::Internal("truncated quantized target-scale block");
+    }
+  }
+  for (UserId u = 0; u < n; ++u) {
+    if (!ReadRaw(blob, &offset, &q.mutable_source_bias(u), 1)) {
+      return Status::Internal("truncated quantized source-bias block");
+    }
+  }
+  for (UserId u = 0; u < n; ++u) {
+    if (!ReadRaw(blob, &offset, &q.mutable_target_bias(u), 1)) {
+      return Status::Internal("truncated quantized target-bias block");
+    }
+  }
+  return q;
 }
 
 }  // namespace
@@ -154,7 +253,13 @@ Result<ModelMetadata> ModelMetadata::FromJson(const obs::JsonValue& json) {
 
 Status SaveModelArtifact(const EmbeddingStore& store,
                          const ModelMetadata& metadata,
-                         const std::string& path) {
+                         const std::string& path,
+                         const QuantizedEmbeddingStore* quantized) {
+  if (quantized != nullptr && (quantized->num_users() != store.num_users() ||
+                               quantized->dim() != store.dim())) {
+    return Status::InvalidArgument(
+        "quantized table shape disagrees with the fp64 store");
+  }
   ModelMetadata stamped = metadata;
   stamped.format_version = 2;
   const std::string meta_json = stamped.ToJson().Dump(0);
@@ -174,6 +279,7 @@ Status SaveModelArtifact(const EmbeddingStore& store,
   AppendRaw(&blob, &n, sizeof(n));
   AppendRaw(&blob, &dim, sizeof(dim));
   AppendPayload(store, &blob);
+  if (quantized != nullptr) AppendQuantSection(*quantized, &blob);
   return WriteFile(path, blob);
 }
 
@@ -234,9 +340,22 @@ Result<ModelArtifact> LoadModelArtifact(const std::string& path) {
       n == 0 || dim == 0) {
     return Status::InvalidArgument("corrupt embedding header: " + path);
   }
-  Result<EmbeddingStore> store = ReadPayload(blob, offset, n, dim, path);
+  const bool is_v2 = metadata.format_version == 2;
+  Result<EmbeddingStore> store =
+      ReadPayload(blob, offset, n, dim, path, /*allow_trailing=*/is_v2);
   INF2VEC_RETURN_IF_ERROR(store.status());
-  return ModelArtifact{std::move(store).value(), std::move(metadata)};
+
+  ModelArtifact artifact{std::move(store).value(), std::move(metadata), {}};
+  const size_t payload_end =
+      offset + sizeof(double) * (2 * static_cast<size_t>(n) * dim +
+                                 2 * static_cast<size_t>(n));
+  if (is_v2 && blob.size() > payload_end) {
+    Result<QuantizedEmbeddingStore> q =
+        ReadQuantSection(blob, payload_end, n, dim, path);
+    INF2VEC_RETURN_IF_ERROR(q.status());
+    artifact.quantized = std::move(q).value();
+  }
+  return artifact;
 }
 
 Result<EmbeddingStore> LoadEmbeddings(const std::string& path) {

@@ -2,9 +2,11 @@
 #define INF2VEC_EMBEDDING_MODEL_IO_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "embedding/embedding_store.h"
+#include "embedding/quantized_store.h"
 #include "obs/json.h"
 #include "util/status.h"
 
@@ -42,10 +44,12 @@ struct ModelMetadata {
 
 /// A loaded model: the embedding table plus its self-description. Legacy
 /// I2VEMB1 files load with metadata.format_version == 1 and defaults
-/// elsewhere.
+/// elsewhere. `quantized` is populated when the artifact carries an int8
+/// serving section (written by the `quantize` CLI subcommand).
 struct ModelArtifact {
   EmbeddingStore store;
   ModelMetadata metadata;
+  std::optional<QuantizedEmbeddingStore> quantized;
 };
 
 /// Persists an EmbeddingStore as a little-endian binary blob, format
@@ -53,9 +57,18 @@ struct ModelArtifact {
 ///   magic "I2VEMB2\n", uint32 metadata byte length, metadata JSON,
 ///   uint32 num_users, uint32 dim, then S, T, b, b~ as contiguous
 ///   float64 arrays.
+/// When `quantized` is non-null an int8 serving section follows the fp64
+/// payload (see docs/SERVING.md, "Quantized section"):
+///   magic "I2VQNT1\n", uint32 num_users, uint32 dim (both must match the
+///   artifact header), Sq and Tq as int8 rows (unpadded, row-major), then
+///   S scales, T scales, S biases, T biases as contiguous float32 arrays.
+/// Readers unaware of the section (pre-section binaries) reject such a
+/// file by size check rather than misreading it; the fp64 payload itself
+/// is byte-identical with or without the section.
 Status SaveModelArtifact(const EmbeddingStore& store,
                          const ModelMetadata& metadata,
-                         const std::string& path);
+                         const std::string& path,
+                         const QuantizedEmbeddingStore* quantized = nullptr);
 
 /// SaveModelArtifact with default (unknown-provenance) metadata; kept so
 /// existing save call sites produce valid v2 artifacts unchanged.

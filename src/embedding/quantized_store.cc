@@ -1,0 +1,74 @@
+#include "embedding/quantized_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/kernels.h"
+#include "util/logging.h"
+
+namespace inf2vec {
+
+namespace {
+
+// Symmetric per-row quantization: scale = maxabs/127, codes clamped to
+// [-127, 127]. An all-zero row gets scale 0 and all-zero codes.
+float QuantizeRow(std::span<const double> row, std::span<int8_t> out) {
+  double maxabs = 0.0;
+  for (double x : row) maxabs = std::max(maxabs, std::abs(x));
+  if (maxabs == 0.0) {
+    std::fill(out.begin(), out.end(), int8_t{0});
+    return 0.0f;
+  }
+  const float scale = static_cast<float>(maxabs / 127.0);
+  const double inv = 127.0 / maxabs;
+  for (size_t k = 0; k < row.size(); ++k) {
+    const long code = std::lround(row[k] * inv);
+    out[k] = static_cast<int8_t>(std::clamp(code, -127L, 127L));
+  }
+  return scale;
+}
+
+}  // namespace
+
+QuantizedEmbeddingStore::QuantizedEmbeddingStore(uint32_t num_users,
+                                                 uint32_t dim)
+    : num_users_(num_users),
+      dim_(dim),
+      stride_(static_cast<uint32_t>(kernels::PaddedStride(dim, 1))),
+      source_(static_cast<size_t>(num_users) * stride_, 0),
+      target_(static_cast<size_t>(num_users) * stride_, 0),
+      source_scale_(num_users, 0.0f),
+      target_scale_(num_users, 0.0f),
+      source_bias_(num_users, 0.0f),
+      target_bias_(num_users, 0.0f) {
+  INF2VEC_CHECK(dim > 0) << "embedding dimension must be positive";
+  INF2VEC_DASSERT_ALIGNED(source_.data());
+  INF2VEC_DASSERT_ALIGNED(target_.data());
+}
+
+QuantizedEmbeddingStore QuantizedEmbeddingStore::FromStore(
+    const EmbeddingStore& store) {
+  QuantizedEmbeddingStore q(store.num_users(), store.dim());
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    q.source_scale_[u] = QuantizeRow(store.Source(u), q.MutableSource(u));
+    q.target_scale_[u] = QuantizeRow(store.Target(u), q.MutableTarget(u));
+    q.source_bias_[u] = static_cast<float>(store.source_bias(u));
+    q.target_bias_[u] = static_cast<float>(store.target_bias(u));
+  }
+  return q;
+}
+
+double QuantizedEmbeddingStore::Score(UserId u, UserId v) const {
+  const int32_t idot =
+      kernels::DotI8(Source(u).data(), Target(v).data(), dim_);
+  return DequantScore(source_scale_[u], target_scale_[v], idot,
+                      source_bias_[u], target_bias_[v]);
+}
+
+size_t QuantizedEmbeddingStore::TableBytes() const {
+  return source_.size() + target_.size() +
+         sizeof(float) * (source_scale_.size() + target_scale_.size() +
+                          source_bias_.size() + target_bias_.size());
+}
+
+}  // namespace inf2vec

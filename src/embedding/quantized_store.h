@@ -1,0 +1,109 @@
+#ifndef INF2VEC_EMBEDDING_QUANTIZED_STORE_H_
+#define INF2VEC_EMBEDDING_QUANTIZED_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "embedding/embedding_store.h"
+#include "graph/social_graph.h"
+#include "kernels/aligned.h"
+
+namespace inf2vec {
+
+/// Read-only int8 serving table derived from a trained EmbeddingStore.
+///
+/// Each S/T row is quantized symmetrically: scale_r = maxabs(row)/127 and
+/// q[k] = round(x[k]/scale_r) clamped to [-127, 127] (scale_r = 0 for an
+/// all-zero row; its codes are all zero). Biases are kept as fp32 — they
+/// are O(num_users) scalars, not worth quantizing. The approximate
+/// influence score is
+///
+///   x~(u, v) = (scale_u * scale_v) * <Sq_u, Tq_v>_int32 + b_u + b~_v
+///
+/// where the int8 dot product is exact integer arithmetic on every kernel
+/// backend, so a quantized score is bitwise reproducible across scalar and
+/// AVX2 — the only approximation is the quantization itself.
+///
+/// Rows live in 64-byte-aligned buffers with the pitch padded to a whole
+/// cache line (row_stride() >= dim()); padding codes are zero and drop out
+/// of the integer dot. An int8 row is 8x smaller than the fp64 row it
+/// replaces, so the candidate scan of InfluenceService::TopK touches 1/8th
+/// the memory per block.
+///
+/// The table is immutable after construction/loading: all scoring methods
+/// are const and safe to share across serving threads without locks.
+class QuantizedEmbeddingStore {
+ public:
+  /// Empty (0 x 0) placeholder, e.g. before LoadQuantized fills it in.
+  QuantizedEmbeddingStore() : num_users_(0), dim_(0), stride_(0) {}
+
+  /// Allocates a zeroed table; used by FromStore and the artifact loader,
+  /// which then fill rows through the mutable accessors.
+  QuantizedEmbeddingStore(uint32_t num_users, uint32_t dim);
+
+  /// Quantizes every row and bias of a trained fp64 store.
+  static QuantizedEmbeddingStore FromStore(const EmbeddingStore& store);
+
+  uint32_t num_users() const { return num_users_; }
+  uint32_t dim() const { return dim_; }
+  /// Row pitch of the int8 S/T buffers in bytes (dim rounded up to a
+  /// 64-byte multiple); padding codes are zero.
+  uint32_t row_stride() const { return stride_; }
+
+  std::span<const int8_t> Source(UserId u) const {
+    return {source_.data() + static_cast<size_t>(u) * stride_, dim_};
+  }
+  std::span<const int8_t> Target(UserId u) const {
+    return {target_.data() + static_cast<size_t>(u) * stride_, dim_};
+  }
+  std::span<int8_t> MutableSource(UserId u) {
+    return {source_.data() + static_cast<size_t>(u) * stride_, dim_};
+  }
+  std::span<int8_t> MutableTarget(UserId u) {
+    return {target_.data() + static_cast<size_t>(u) * stride_, dim_};
+  }
+
+  float source_scale(UserId u) const { return source_scale_[u]; }
+  float target_scale(UserId u) const { return target_scale_[u]; }
+  float source_bias(UserId u) const { return source_bias_[u]; }
+  float target_bias(UserId u) const { return target_bias_[u]; }
+  float& mutable_source_scale(UserId u) { return source_scale_[u]; }
+  float& mutable_target_scale(UserId u) { return target_scale_[u]; }
+  float& mutable_source_bias(UserId u) { return source_bias_[u]; }
+  float& mutable_target_bias(UserId u) { return target_bias_[u]; }
+
+  /// Dequantized score for one int32 integer dot. Every scoring path
+  /// (Score below, the blocked scan in InfluenceService) MUST combine
+  /// through this one expression so a candidate's score is bitwise
+  /// identical no matter which path produced it.
+  static double DequantScore(float scale_u, float scale_v, int32_t idot,
+                             float bias_u, float bias_v) {
+    const double prod =
+        static_cast<double>(scale_u) * static_cast<double>(scale_v);
+    return (prod * static_cast<double>(idot) + static_cast<double>(bias_u)) +
+           static_cast<double>(bias_v);
+  }
+
+  /// Approximate influence score x~(u, v); see class comment.
+  double Score(UserId u, UserId v) const;
+
+  /// Bytes held by the S/T code tables plus scales and biases (the
+  /// serving-footprint number reported by bench_serve and /varz).
+  size_t TableBytes() const;
+
+ private:
+  uint32_t num_users_;
+  uint32_t dim_;
+  uint32_t stride_;  // Bytes per row; kernels::PaddedStride(dim, 1).
+  kernels::AlignedVector<int8_t> source_;  // num_users * stride
+  kernels::AlignedVector<int8_t> target_;  // num_users * stride
+  std::vector<float> source_scale_;        // num_users
+  std::vector<float> target_scale_;        // num_users
+  std::vector<float> source_bias_;         // num_users
+  std::vector<float> target_bias_;         // num_users
+};
+
+}  // namespace inf2vec
+
+#endif  // INF2VEC_EMBEDDING_QUANTIZED_STORE_H_

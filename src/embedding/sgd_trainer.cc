@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "util/logging.h"
 #include "util/sigmoid_table.h"
 #include "util/thread_pool.h"
@@ -14,6 +15,7 @@ SgdTrainer::SgdTrainer(EmbeddingStore* store, const NegativeSampler* sampler,
   INF2VEC_CHECK(store_ != nullptr);
   INF2VEC_CHECK(sampler_ != nullptr);
   source_grad_.resize(store_->dim(), 0.0);
+  INF2VEC_DASSERT_ALIGNED(source_grad_.data());
 }
 
 double SgdTrainer::SigmoidOf(double z) const {
@@ -44,10 +46,8 @@ double SgdTrainer::TrainPair(UserId u, UserId v, Rng& rng,
     if (want_objective) objective += std::log(SigmoidTable::Exact(z));
     const double coeff = 1.0 - SigmoidOf(z);
     const std::span<double> t_v = store_->Target(v);
-    for (uint32_t k = 0; k < dim; ++k) {
-      source_grad_[k] += coeff * t_v[k];
-      t_v[k] += lr * coeff * s_u[k];
-    }
+    kernels::GradStep(coeff, lr * coeff, s_u.data(), t_v.data(),
+                      source_grad_.data(), dim);
     if (options_.use_biases) {
       bias_u_grad += coeff;
       store_->mutable_target_bias(v) += lr * coeff;
@@ -59,17 +59,15 @@ double SgdTrainer::TrainPair(UserId u, UserId v, Rng& rng,
     if (want_objective) objective += std::log(SigmoidTable::Exact(-z));
     const double coeff = -SigmoidOf(z);
     const std::span<double> t_w = store_->Target(w);
-    for (uint32_t k = 0; k < dim; ++k) {
-      source_grad_[k] += coeff * t_w[k];
-      t_w[k] += lr * coeff * s_u[k];
-    }
+    kernels::GradStep(coeff, lr * coeff, s_u.data(), t_w.data(),
+                      source_grad_.data(), dim);
     if (options_.use_biases) {
       bias_u_grad += coeff;
       store_->mutable_target_bias(w) += lr * coeff;
     }
   }
 
-  for (uint32_t k = 0; k < dim; ++k) s_u[k] += lr * source_grad_[k];
+  kernels::Axpy(lr, source_grad_.data(), s_u.data(), dim);
   if (options_.use_biases) store_->mutable_source_bias(u) += lr * bias_u_grad;
 
   return objective;

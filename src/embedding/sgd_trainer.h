@@ -6,6 +6,7 @@
 
 #include "embedding/embedding_store.h"
 #include "embedding/negative_sampler.h"
+#include "kernels/aligned.h"
 #include "util/rng.h"
 
 namespace inf2vec {
@@ -66,9 +67,10 @@ class SgdTrainer {
   const NegativeSampler* sampler_;
   SgdOptions options_;
   // Scratch buffers reused across TrainPair calls to avoid reallocations in
-  // the hot loop.
+  // the hot loop. The gradient accumulator is 64-byte aligned to match the
+  // store rows the SIMD kernels stream alongside it.
   std::vector<UserId> negatives_;
-  std::vector<double> source_grad_;
+  kernels::AlignedVector<double> source_grad_;
 };
 
 }  // namespace inf2vec

@@ -1,0 +1,82 @@
+#ifndef INF2VEC_KERNELS_ALIGNED_H_
+#define INF2VEC_KERNELS_ALIGNED_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace inf2vec {
+namespace kernels {
+
+/// Alignment of every kernel-facing row buffer: one cache line, which is
+/// also the widest vector the AVX2 backend ever loads from one row.
+inline constexpr size_t kAlignment = 64;
+
+/// Rounds `n` elements of `Size` bytes up so a row of `n` values occupies
+/// a whole number of `kAlignment`-byte blocks — consecutive rows laid out
+/// at this stride all start cache-line aligned.
+constexpr size_t PaddedStride(size_t n, size_t element_size) {
+  const size_t bytes = n * element_size;
+  const size_t padded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  return padded / element_size;
+}
+
+/// Minimal C++17 allocator handing out kAlignment-aligned blocks, so
+/// std::vector buffers can be fed to aligned SIMD loads. Value-equality
+/// semantics (stateless): any two instances compare equal.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) {
+    if (n > std::numeric_limits<size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    // operator new with extended alignment: sized, aligned, throwing.
+    const size_t bytes =
+        (n * sizeof(T) + kAlignment - 1) / kAlignment * kAlignment;
+    return static_cast<T*>(
+        ::operator new(bytes, std::align_val_t(kAlignment)));
+  }
+
+  void deallocate(T* p, size_t /*n*/) noexcept {
+    ::operator delete(p, std::align_val_t(kAlignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const {
+    return false;
+  }
+};
+
+/// Row-major buffer type used by EmbeddingStore and the quantized serving
+/// table: base pointer is kAlignment-aligned, and with a PaddedStride row
+/// pitch every row is too.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+inline bool IsAligned(const void* p) {
+  return reinterpret_cast<uintptr_t>(p) % kAlignment == 0;
+}
+
+/// Debug-build alignment guard for kernel-facing buffers; compiles away
+/// under NDEBUG like assert().
+#define INF2VEC_DASSERT_ALIGNED(ptr) \
+  assert(::inf2vec::kernels::IsAligned(ptr) && "buffer must be 64B-aligned")
+
+}  // namespace kernels
+}  // namespace inf2vec
+
+#endif  // INF2VEC_KERNELS_ALIGNED_H_

@@ -1,0 +1,91 @@
+// Runtime dispatch: probe CPUID once, pick the widest compiled-in backend,
+// and publish the table behind a relaxed atomic pointer.
+
+#include <atomic>
+
+#include "kernels/kernels_internal.h"
+
+namespace inf2vec {
+namespace kernels {
+namespace {
+
+std::atomic<const KernelOps*> g_active{nullptr};
+std::atomic<bool> g_forced{false};
+
+const KernelOps* TableFor(Isa isa) {
+  return isa == Isa::kAvx2 ? Avx2OpsOrNull() : &ScalarOps();
+}
+
+/// First-use initialization: BestIsa() without any explicit startup call,
+/// so library users (tests, benches) get the dispatched path too.
+const KernelOps* ActiveOrInit() {
+  const KernelOps* ops = g_active.load(std::memory_order_relaxed);
+  if (ops == nullptr) {
+    ops = TableFor(BestIsa());
+    g_active.store(ops, std::memory_order_relaxed);
+  }
+  return ops;
+}
+
+}  // namespace
+
+bool Avx2Compiled() { return Avx2OpsOrNull() != nullptr; }
+
+bool Avx2Supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Isa BestIsa() {
+  return Avx2Compiled() && Avx2Supported() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+Isa ActiveIsa() {
+  return ActiveOrInit() == Avx2OpsOrNull() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+bool IsaForced() { return g_forced.load(std::memory_order_relaxed); }
+
+bool SetActiveIsa(Isa isa) {
+  if (isa == Isa::kAvx2 && (!Avx2Compiled() || !Avx2Supported())) {
+    return false;
+  }
+  g_active.store(TableFor(isa), std::memory_order_relaxed);
+  g_forced.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void ResetIsaForTest() {
+  g_active.store(TableFor(BestIsa()), std::memory_order_relaxed);
+  g_forced.store(false, std::memory_order_relaxed);
+}
+
+const char* IsaName(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+bool ParseIsaName(const std::string& name, Isa* isa) {
+  if (name == "scalar") {
+    *isa = Isa::kScalar;
+    return true;
+  }
+  if (name == "avx2") {
+    *isa = Isa::kAvx2;
+    return true;
+  }
+  if (name == "auto") {
+    *isa = BestIsa();
+    return true;
+  }
+  return false;
+}
+
+const KernelOps& Ops() { return *ActiveOrInit(); }
+
+}  // namespace kernels
+}  // namespace inf2vec

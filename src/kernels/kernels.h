@@ -1,0 +1,147 @@
+#ifndef INF2VEC_KERNELS_KERNELS_H_
+#define INF2VEC_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace inf2vec {
+namespace kernels {
+
+/// Vectorized math kernels for the three hot paths (serve-time scoring,
+/// the top-k scan, and the SGD inner loop), behind one runtime-dispatched
+/// function table.
+///
+/// Backends:
+///  - kScalar: plain loops, byte-for-byte the pre-kernel-layer
+///    implementations. This is the pinned reference path — tests assert
+///    bit-identity of training and scoring against frozen goldens, so its
+///    accumulation order must NEVER change.
+///  - kAvx2: AVX2/FMA, 4-wide fp64 with four independent accumulators.
+///    Reassociates dot-product sums and contracts mul+add to FMA, so fp64
+///    results may differ from scalar by a few ULPs (bounded; see
+///    docs/KERNELS.md for the accuracy contract). The int8 kernels
+///    accumulate in exact integer arithmetic and are bit-identical to
+///    scalar on every backend.
+///
+/// The active backend is chosen once at startup by CPUID (best supported
+/// wins) and can be overridden — `--kernel scalar|avx2|auto` on the CLI,
+/// SetActiveIsa() in tests. Dispatch is one relaxed atomic pointer load
+/// per call; the table itself is immutable.
+///
+/// Concurrency: all kernels are pure functions over caller-owned memory.
+/// Under Hogwild training they intentionally race on store rows exactly
+/// like the loops they replaced; they carry the same
+/// no_sanitize("thread") annotation (see EmbeddingStore's contract).
+
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// The dispatched operation table. `stride` parameters are in elements,
+/// letting callers keep rows padded to 64-byte pitch.
+struct KernelOps {
+  /// sum_k a[k]*b[k].
+  double (*dot)(const double* a, const double* b, size_t n);
+
+  /// y[k] += alpha * x[k].
+  void (*axpy)(double alpha, const double* x, double* y, size_t n);
+
+  /// The fused skip-gram inner step (Eq. 6): for every k,
+  ///   grad[k] += coeff * t[k]      (reads t BEFORE its update)
+  ///   t[k]    += lr_coeff * s[k]
+  void (*grad_step)(double coeff, double lr_coeff, const double* s,
+                    double* t, double* grad, size_t n);
+
+  /// sigma(dot(a, b) + bias) with the exact (not table) sigmoid.
+  double (*sigmoid_dot)(const double* a, const double* b, size_t n,
+                        double bias);
+
+  /// The seed-block scan primitive behind ScoreActivation/TopK: one
+  /// target row against `num_seeds` gathered seed rows (row pitch
+  /// `stride` elements); out[i] = dot(seeds + i*stride, target). Each
+  /// per-seed dot is bit-identical to this backend's dot().
+  void (*seed_scan)(const double* seeds, size_t num_seeds, size_t stride,
+                    const double* target, size_t n, double* out);
+
+  /// Exact int32 accumulation of sum_k a[k]*b[k]; identical across
+  /// backends (integer arithmetic does not reassociate rounding).
+  int32_t (*dot_i8)(const int8_t* a, const int8_t* b, size_t n);
+
+  /// seed_scan over int8 rows: out[i] = dot_i8(seeds + i*stride, target).
+  void (*seed_scan_i8)(const int8_t* seeds, size_t num_seeds, size_t stride,
+                       const int8_t* target, size_t n, int32_t* out);
+};
+
+/// The scalar reference table (always available).
+const KernelOps& ScalarOps();
+
+/// True when the binary was compiled with the AVX2 backend
+/// (INF2VEC_ENABLE_AVX2 and a -mavx2-capable compiler).
+bool Avx2Compiled();
+
+/// True when this CPU reports AVX2+FMA (cached CPUID probe).
+bool Avx2Supported();
+
+/// The best ISA this binary can run here: kAvx2 when compiled in AND
+/// supported by the CPU, else kScalar. The startup default.
+Isa BestIsa();
+
+/// The currently dispatched ISA.
+Isa ActiveIsa();
+
+/// True when ActiveIsa() was pinned by SetActiveIsa (CLI flag or test)
+/// rather than left at the CPUID-selected default.
+bool IsaForced();
+
+/// Switches the dispatch table. Returns false (and leaves dispatch
+/// unchanged) when the requested backend is not compiled in or not
+/// supported by this CPU. Not intended to race in-flight kernel calls:
+/// switch at startup or between test cases.
+bool SetActiveIsa(Isa isa);
+
+/// Resets dispatch to BestIsa() and clears the forced flag (tests).
+void ResetIsaForTest();
+
+/// "scalar" / "avx2".
+const char* IsaName(Isa isa);
+
+/// Parses "scalar", "avx2" or "auto" (case-sensitive, the CLI spelling).
+/// "auto" yields BestIsa(). Returns false on anything else.
+bool ParseIsaName(const std::string& name, Isa* isa);
+
+/// The active operation table (one relaxed atomic load).
+const KernelOps& Ops();
+
+// Convenience wrappers over the active table.
+inline double Dot(const double* a, const double* b, size_t n) {
+  return Ops().dot(a, b, n);
+}
+inline void Axpy(double alpha, const double* x, double* y, size_t n) {
+  Ops().axpy(alpha, x, y, n);
+}
+inline void GradStep(double coeff, double lr_coeff, const double* s,
+                     double* t, double* grad, size_t n) {
+  Ops().grad_step(coeff, lr_coeff, s, t, grad, n);
+}
+inline double SigmoidDot(const double* a, const double* b, size_t n,
+                         double bias) {
+  return Ops().sigmoid_dot(a, b, n, bias);
+}
+inline void SeedScan(const double* seeds, size_t num_seeds, size_t stride,
+                     const double* target, size_t n, double* out) {
+  Ops().seed_scan(seeds, num_seeds, stride, target, n, out);
+}
+inline int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  return Ops().dot_i8(a, b, n);
+}
+inline void SeedScanI8(const int8_t* seeds, size_t num_seeds, size_t stride,
+                       const int8_t* target, size_t n, int32_t* out) {
+  Ops().seed_scan_i8(seeds, num_seeds, stride, target, n, out);
+}
+
+}  // namespace kernels
+}  // namespace inf2vec
+
+#endif  // INF2VEC_KERNELS_KERNELS_H_

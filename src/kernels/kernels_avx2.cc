@@ -1,0 +1,163 @@
+// The AVX2/FMA backend. fp64 kernels run 4-wide with four independent
+// accumulators (reassociated sums, FMA contraction — a few ULPs from the
+// scalar reference; see docs/KERNELS.md). The int8 kernels widen to int16
+// lanes and madd into int32, which is exact, so they are bit-identical to
+// scalar. This file alone is compiled with -mavx2 -mfma; nothing here may
+// run unless CPUID confirmed support (kernels.cc guards dispatch).
+
+#include "kernels/kernels_internal.h"
+
+#if defined(INF2VEC_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace inf2vec {
+namespace kernels {
+namespace {
+
+/// Fixed reduction tree over the four accumulators and their lanes — the
+/// order is part of the backend's deterministic output for a given n.
+inline double ReduceAcc4(__m256d acc0, __m256d acc1, __m256d acc2,
+                         __m256d acc3) {
+  const __m256d sum =
+      _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+  const __m128d lo = _mm256_castpd256_pd128(sum);
+  const __m128d hi = _mm256_extractf128_pd(sum, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+INF2VEC_KERNELS_NO_SANITIZE_THREAD
+double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  double dot = ReduceAcc4(acc0, acc1, acc2, acc3);
+  for (; i < n; ++i) dot = std::fma(a[i], b[i], dot);
+  return dot;
+}
+
+INF2VEC_KERNELS_NO_SANITIZE_THREAD
+void AxpyAvx2(double alpha, const double* x, double* y, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+INF2VEC_KERNELS_NO_SANITIZE_THREAD
+void GradStepAvx2(double coeff, double lr_coeff, const double* s, double* t,
+                  double* grad, size_t n) {
+  const __m256d vc = _mm256_set1_pd(coeff);
+  const __m256d vl = _mm256_set1_pd(lr_coeff);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vt = _mm256_loadu_pd(t + i);  // Pre-update t feeds grad.
+    _mm256_storeu_pd(grad + i,
+                     _mm256_fmadd_pd(vc, vt, _mm256_loadu_pd(grad + i)));
+    _mm256_storeu_pd(t + i,
+                     _mm256_fmadd_pd(vl, _mm256_loadu_pd(s + i), vt));
+  }
+  for (; i < n; ++i) {
+    const double ti = t[i];
+    grad[i] = std::fma(coeff, ti, grad[i]);
+    t[i] = std::fma(lr_coeff, s[i], ti);
+  }
+}
+
+INF2VEC_KERNELS_NO_SANITIZE_THREAD
+double SigmoidDotAvx2(const double* a, const double* b, size_t n,
+                      double bias) {
+  return 1.0 / (1.0 + std::exp(-(DotAvx2(a, b, n) + bias)));
+}
+
+INF2VEC_KERNELS_NO_SANITIZE_THREAD
+void SeedScanAvx2(const double* seeds, size_t num_seeds, size_t stride,
+                  const double* target, size_t n, double* out) {
+  // Per-seed dots share the streamed target row; each dot is exactly
+  // DotAvx2, keeping block scoring bit-identical to per-row Score calls
+  // on this backend (the serving layer relies on that equality).
+  for (size_t i = 0; i < num_seeds; ++i) {
+    out[i] = DotAvx2(seeds + i * stride, target, n);
+  }
+}
+
+inline int32_t ReduceI32(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  __m128i sum = _mm_add_epi32(lo, hi);
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(sum);
+}
+
+int32_t DotI8Avx2(const int8_t* a, const int8_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i wa = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i wb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wa, wb));
+  }
+  int32_t dot = ReduceI32(acc);
+  for (; i < n; ++i) {
+    dot += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return dot;
+}
+
+void SeedScanI8Avx2(const int8_t* seeds, size_t num_seeds, size_t stride,
+                    const int8_t* target, size_t n, int32_t* out) {
+  for (size_t i = 0; i < num_seeds; ++i) {
+    out[i] = DotI8Avx2(seeds + i * stride, target, n);
+  }
+}
+
+}  // namespace
+
+const KernelOps* Avx2OpsOrNull() {
+  static constexpr KernelOps ops = {
+      DotAvx2,    AxpyAvx2,  GradStepAvx2,   SigmoidDotAvx2,
+      SeedScanAvx2, DotI8Avx2, SeedScanI8Avx2,
+  };
+  return &ops;
+}
+
+}  // namespace kernels
+}  // namespace inf2vec
+
+#else  // !INF2VEC_HAVE_AVX2
+
+namespace inf2vec {
+namespace kernels {
+
+const KernelOps* Avx2OpsOrNull() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace inf2vec
+
+#endif  // INF2VEC_HAVE_AVX2

@@ -1,0 +1,26 @@
+#ifndef INF2VEC_KERNELS_KERNELS_INTERNAL_H_
+#define INF2VEC_KERNELS_KERNELS_INTERNAL_H_
+
+#include "kernels/kernels.h"
+
+// Hogwild training intentionally races kernel reads/writes on shared
+// store rows (see EmbeddingStore's concurrency contract); the same
+// annotation the old inline loops carried moves here with them.
+#if defined(__clang__) || defined(__GNUC__)
+#define INF2VEC_KERNELS_NO_SANITIZE_THREAD \
+  __attribute__((no_sanitize("thread")))
+#else
+#define INF2VEC_KERNELS_NO_SANITIZE_THREAD
+#endif
+
+namespace inf2vec {
+namespace kernels {
+
+/// The AVX2/FMA table; null in binaries built without the backend
+/// (INF2VEC_ENABLE_AVX2=OFF or a non-x86 toolchain).
+const KernelOps* Avx2OpsOrNull();
+
+}  // namespace kernels
+}  // namespace inf2vec
+
+#endif  // INF2VEC_KERNELS_KERNELS_INTERNAL_H_

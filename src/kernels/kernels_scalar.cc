@@ -1,0 +1,76 @@
+// The scalar reference backend. These loops are byte-for-byte the
+// pre-kernel-layer implementations from EmbeddingStore::Score,
+// SgdTrainer::TrainPair and InfluenceService's ScoreCandidate; the pinned
+// bit-identity suite (tests/scalar_reference_test.cc) freezes their
+// results, so do not change accumulation order or contract to FMA here.
+
+#include <cmath>
+
+#include "kernels/kernels_internal.h"
+
+namespace inf2vec {
+namespace kernels {
+namespace {
+
+INF2VEC_KERNELS_NO_SANITIZE_THREAD
+double DotScalar(const double* a, const double* b, size_t n) {
+  double dot = 0.0;
+  for (size_t k = 0; k < n; ++k) dot += a[k] * b[k];
+  return dot;
+}
+
+INF2VEC_KERNELS_NO_SANITIZE_THREAD
+void AxpyScalar(double alpha, const double* x, double* y, size_t n) {
+  for (size_t k = 0; k < n; ++k) y[k] += alpha * x[k];
+}
+
+INF2VEC_KERNELS_NO_SANITIZE_THREAD
+void GradStepScalar(double coeff, double lr_coeff, const double* s,
+                    double* t, double* grad, size_t n) {
+  for (size_t k = 0; k < n; ++k) {
+    grad[k] += coeff * t[k];
+    t[k] += lr_coeff * s[k];
+  }
+}
+
+INF2VEC_KERNELS_NO_SANITIZE_THREAD
+double SigmoidDotScalar(const double* a, const double* b, size_t n,
+                        double bias) {
+  return 1.0 / (1.0 + std::exp(-(DotScalar(a, b, n) + bias)));
+}
+
+INF2VEC_KERNELS_NO_SANITIZE_THREAD
+void SeedScanScalar(const double* seeds, size_t num_seeds, size_t stride,
+                    const double* target, size_t n, double* out) {
+  for (size_t i = 0; i < num_seeds; ++i) {
+    out[i] = DotScalar(seeds + i * stride, target, n);
+  }
+}
+
+int32_t DotI8Scalar(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t acc = 0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += static_cast<int32_t>(a[k]) * static_cast<int32_t>(b[k]);
+  }
+  return acc;
+}
+
+void SeedScanI8Scalar(const int8_t* seeds, size_t num_seeds, size_t stride,
+                      const int8_t* target, size_t n, int32_t* out) {
+  for (size_t i = 0; i < num_seeds; ++i) {
+    out[i] = DotI8Scalar(seeds + i * stride, target, n);
+  }
+}
+
+}  // namespace
+
+const KernelOps& ScalarOps() {
+  static constexpr KernelOps ops = {
+      DotScalar,    AxpyScalar,  GradStepScalar,   SigmoidDotScalar,
+      SeedScanScalar, DotI8Scalar, SeedScanI8Scalar,
+  };
+  return ops;
+}
+
+}  // namespace kernels
+}  // namespace inf2vec

@@ -5,6 +5,8 @@
 
 #include <thread>
 
+#include "kernels/kernels.h"
+
 namespace inf2vec {
 namespace obs {
 namespace {
@@ -74,6 +76,30 @@ JsonValue BuildInfoJson() {
   return out;
 }
 
+namespace {
+std::string& QuantModeStorage() {
+  static std::string mode = "none";
+  return mode;
+}
+}  // namespace
+
+void SetServingQuantMode(const std::string& mode) {
+  QuantModeStorage() = mode;
+}
+
+const std::string& ServingQuantMode() { return QuantModeStorage(); }
+
+JsonValue KernelInfoJson() {
+  JsonValue out = JsonValue::Object();
+  out.Set("isa", kernels::IsaName(kernels::ActiveIsa()));
+  out.Set("forced", kernels::IsaForced());
+  out.Set("best", kernels::IsaName(kernels::BestIsa()));
+  out.Set("avx2_compiled", kernels::Avx2Compiled());
+  out.Set("avx2_supported", kernels::Avx2Supported());
+  out.Set("quantize", ServingQuantMode());
+  return out;
+}
+
 JsonValue EnvironmentJson() {
   JsonValue out = JsonValue::Object();
   out.Set("hostname", Hostname());
@@ -82,6 +108,7 @@ JsonValue EnvironmentJson() {
           static_cast<uint64_t>(std::thread::hardware_concurrency()));
   out.Set("peak_rss_bytes", PeakRssBytes());
   out.Set("build", BuildInfoJson());
+  out.Set("kernel", KernelInfoJson());
   return out;
 }
 

@@ -34,6 +34,17 @@ uint64_t PeakRssBytes();
 /// cxx_standard.
 JsonValue BuildInfoJson();
 
+/// Records the serving quantization mode ("none"/"int8") for /varz and
+/// the run report. Set once at command startup (the `serve` command);
+/// defaults to "none".
+void SetServingQuantMode(const std::string& mode);
+const std::string& ServingQuantMode();
+
+/// The "kernel" block: the runtime-dispatched SIMD backend (isa, whether
+/// it was forced by --kernel, what the binary compiled in and the CPU
+/// supports) plus the serving quantization mode.
+JsonValue KernelInfoJson();
+
 /// The full environment-provenance block shared by the run report's
 /// "environment" section and the stats server's /varz endpoint: the build
 /// block plus hostname, pid, hardware_concurrency, and peak_rss_bytes

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "kernels/kernels.h"
+
 namespace inf2vec {
 namespace serve {
 namespace {
@@ -16,22 +18,51 @@ uint64_t SteadyNowUs() {
           .count());
 }
 
-/// Per-seed Eq. 7 terms for one candidate, then F(). The dot accumulates
-/// coordinates in index order and the per-seed scores land in seed order,
-/// so the result is bit-identical to EmbeddingPredictor::ScoreActivation
-/// (which calls EmbeddingStore::Score per seed and aggregates).
+/// Reusable per-query scratch, sized once per request and reused across
+/// the scan so no candidate allocates.
+struct ScoreScratch {
+  std::vector<double> scores;  // Per-seed Eq. 7 terms.
+  std::vector<int32_t> idots;  // Per-seed int8 dots (int8 mode only).
+};
+
+/// Per-seed Eq. 7 terms for one candidate, then F(). kernels::SeedScan
+/// produces each per-seed dot bit-identical to kernels::Dot on the active
+/// backend, and the bias adds below keep the historical association
+/// (dot + b_u) + b~_v — so on the scalar backend the result is
+/// bit-identical to EmbeddingPredictor::ScoreActivation (which calls
+/// EmbeddingStore::Score per seed and aggregates).
 double ScoreCandidate(const SeedBlock& block, const double* target,
                       double target_bias, Aggregation aggregation,
-                      std::vector<double>* scratch) {
+                      ScoreScratch* scratch) {
   const size_t num_seeds = block.num_seeds();
-  scratch->resize(num_seeds);
+  scratch->scores.resize(num_seeds);
+  kernels::SeedScan(block.sources.data(), num_seeds, block.stride, target,
+                    block.dim, scratch->scores.data());
   for (size_t i = 0; i < num_seeds; ++i) {
-    const double* source = block.source_row(i);
-    double dot = 0.0;
-    for (uint32_t k = 0; k < block.dim; ++k) dot += source[k] * target[k];
-    (*scratch)[i] = dot + block.source_biases[i] + target_bias;
+    scratch->scores[i] =
+        scratch->scores[i] + block.source_biases[i] + target_bias;
   }
-  return Aggregate(aggregation, *scratch);
+  return Aggregate(aggregation, scratch->scores);
+}
+
+/// int8-mode counterpart: exact integer per-seed dots, dequantized
+/// through QuantizedEmbeddingStore::DequantScore — the same expression
+/// QuantizedEmbeddingStore::Score uses, so both paths agree bitwise.
+double ScoreCandidateQuantized(const SeedBlock& block, const int8_t* target,
+                               float target_scale, float target_bias,
+                               Aggregation aggregation,
+                               ScoreScratch* scratch) {
+  const size_t num_seeds = block.num_seeds();
+  scratch->scores.resize(num_seeds);
+  scratch->idots.resize(num_seeds);
+  kernels::SeedScanI8(block.q_sources.data(), num_seeds, block.q_stride,
+                      target, block.dim, scratch->idots.data());
+  for (size_t i = 0; i < num_seeds; ++i) {
+    scratch->scores[i] = QuantizedEmbeddingStore::DequantScore(
+        block.q_scales[i], target_scale, scratch->idots[i],
+        block.q_biases[i], target_bias);
+  }
+  return Aggregate(aggregation, scratch->scores);
 }
 
 /// Ranking order of the top-k result: descending score, ties broken by
@@ -42,6 +73,22 @@ bool BetterThan(const TopKEntry& a, const TopKEntry& b) {
 }
 
 }  // namespace
+
+const char* QuantModeName(QuantMode mode) {
+  return mode == QuantMode::kInt8 ? "int8" : "none";
+}
+
+bool ParseQuantModeName(const std::string& name, QuantMode* mode) {
+  if (name == "none") {
+    *mode = QuantMode::kNone;
+    return true;
+  }
+  if (name == "int8") {
+    *mode = QuantMode::kInt8;
+    return true;
+  }
+  return false;
+}
 
 InfluenceService::InfluenceService(ModelArtifact artifact,
                                    ServiceOptions options,
@@ -63,6 +110,20 @@ InfluenceService::InfluenceService(ModelArtifact artifact,
       ThreadPool::ResolveThreadCount(options_.num_threads);
   if (threads > 1) batch_pool_ = std::make_unique<ThreadPool>(threads);
   if (options_.scan_block == 0) options_.scan_block = 2048;
+
+  if (options_.quantize == QuantMode::kInt8) {
+    // Prefer the artifact's persisted int8 section (one quantization,
+    // done offline by `quantize`); fall back to quantizing the fp64
+    // table at load — identical codes either way, just slower startup.
+    if (artifact_->quantized.has_value()) {
+      qstore_ = std::make_unique<QuantizedEmbeddingStore>(
+          std::move(*artifact_->quantized));
+      artifact_->quantized.reset();
+    } else {
+      qstore_ = std::make_unique<QuantizedEmbeddingStore>(
+          QuantizedEmbeddingStore::FromStore(artifact_->store));
+    }
+  }
 
   score_requests_ = registry->GetCounter("serve.score.requests");
   topk_requests_ = registry->GetCounter("serve.topk.requests");
@@ -146,6 +207,14 @@ double InfluenceService::Warm() const {
     for (double x : s.Target(u)) checksum += x;
     checksum += s.source_bias(u) + s.target_bias(u);
   }
+  if (qstore_ != nullptr) {
+    for (UserId u = 0; u < qstore_->num_users(); ++u) {
+      for (int8_t x : qstore_->Source(u)) checksum += x;
+      for (int8_t x : qstore_->Target(u)) checksum += x;
+      checksum += qstore_->source_scale(u) + qstore_->target_scale(u) +
+                  qstore_->source_bias(u) + qstore_->target_bias(u);
+    }
+  }
   if (obs::MetricsEnabled()) {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
     registry.GetGauge("serve.model.num_users")->Set(s.num_users());
@@ -173,7 +242,8 @@ Result<ScoreResult> InfluenceService::ScoreActivation(
   const uint64_t deadline = ResolveDeadline(request.deadline_us, start);
   bool cache_hit = false;
   const std::shared_ptr<const SeedBlock> block =
-      cache_->Get(store(), request.seeds, &cache_hit);
+      qstore_ != nullptr ? cache_->Get(*qstore_, request.seeds, &cache_hit)
+                         : cache_->Get(store(), request.seeds, &cache_hit);
   if (obs::MetricsEnabled()) {
     (cache_hit ? cache_hits_ : cache_misses_)->Increment();
   }
@@ -182,13 +252,20 @@ Result<ScoreResult> InfluenceService::ScoreActivation(
     return fail(Status::DeadlineExceeded("score query exceeded deadline"));
   }
 
-  std::vector<double> scratch;
+  ScoreScratch scratch;
+  const Aggregation aggregation = ResolveAggregation(request.aggregation);
   ScoreResult result;
   result.cache_hit = cache_hit;
-  result.score = ScoreCandidate(
-      *block, store().Target(request.candidate).data(),
-      store().target_bias(request.candidate),
-      ResolveAggregation(request.aggregation), &scratch);
+  if (qstore_ != nullptr) {
+    result.score = ScoreCandidateQuantized(
+        *block, qstore_->Target(request.candidate).data(),
+        qstore_->target_scale(request.candidate),
+        qstore_->target_bias(request.candidate), aggregation, &scratch);
+  } else {
+    result.score = ScoreCandidate(
+        *block, store().Target(request.candidate).data(),
+        store().target_bias(request.candidate), aggregation, &scratch);
+  }
   if (obs::MetricsEnabled()) score_latency_us_->Record(NowUs() - start);
   return result;
 }
@@ -217,23 +294,40 @@ Result<TopKResult> InfluenceService::TopK(const TopKRequest& request) const {
 
   bool cache_hit = false;
   const std::shared_ptr<const SeedBlock> block =
-      cache_->Get(store(), request.seeds, &cache_hit);
+      qstore_ != nullptr ? cache_->Get(*qstore_, request.seeds, &cache_hit)
+                         : cache_->Get(store(), request.seeds, &cache_hit);
   if (obs::MetricsEnabled()) {
     (cache_hit ? cache_hits_ : cache_misses_)->Increment();
   }
 
-  std::unordered_set<UserId> excluded;
+  // Seeds to skip, sorted: the scan visits candidates in ascending id
+  // order, so one walking index replaces a per-candidate hash lookup.
+  std::vector<UserId> excluded;
   if (!request.include_seeds) {
-    excluded.insert(request.seeds.begin(), request.seeds.end());
+    excluded.assign(request.seeds.begin(), request.seeds.end());
+    std::sort(excluded.begin(), excluded.end());
+    excluded.erase(std::unique(excluded.begin(), excluded.end()),
+                   excluded.end());
   }
+  size_t next_excluded = 0;
 
   // Cache-blocked scan: the gathered seed block stays hot while target
   // rows stream through, `scan_block` targets between deadline checks.
   // A bounded heap keeps the k current winners with the weakest on top.
   const EmbeddingStore& s = store();
+  ScoreScratch scratch;
+  const auto score_candidate = [&](UserId v) {
+    if (qstore_ != nullptr) {
+      return ScoreCandidateQuantized(*block, qstore_->Target(v).data(),
+                                     qstore_->target_scale(v),
+                                     qstore_->target_bias(v), aggregation,
+                                     &scratch);
+    }
+    return ScoreCandidate(*block, s.Target(v).data(), s.target_bias(v),
+                          aggregation, &scratch);
+  };
   std::vector<TopKEntry> heap;
   heap.reserve(request.k);
-  std::vector<double> scratch;
   TopKResult result;
   result.cache_hit = cache_hit;
   const uint32_t num_users = s.num_users();
@@ -248,11 +342,15 @@ Result<TopKResult> InfluenceService::TopK(const TopKRequest& request) const {
     const uint32_t end =
         std::min<uint64_t>(num_users, uint64_t{begin} + options_.scan_block);
     for (uint32_t v = begin; v < end; ++v) {
-      if (!excluded.empty() && excluded.count(v) != 0) continue;
+      while (next_excluded < excluded.size() && excluded[next_excluded] < v) {
+        ++next_excluded;
+      }
+      if (next_excluded < excluded.size() && excluded[next_excluded] == v) {
+        ++next_excluded;
+        continue;
+      }
       ++result.scanned;
-      const TopKEntry entry{
-          v, ScoreCandidate(*block, s.Target(v).data(), s.target_bias(v),
-                            aggregation, &scratch)};
+      const TopKEntry entry{v, score_candidate(v)};
       if (heap.size() < request.k) {
         heap.push_back(entry);
         std::push_heap(heap.begin(), heap.end(), BetterThan);
@@ -313,7 +411,7 @@ Result<BatchScoreResult> InfluenceService::ScoreBatch(
   std::atomic<bool> expired{false};
 
   const auto score_range = [&](size_t begin, size_t end) {
-    std::vector<double> scratch;
+    ScoreScratch scratch;
     uint64_t local_hits = 0;
     for (size_t i = begin; i < end; ++i) {
       if ((i - begin) % 64 == 0 && deadline != 0 && NowUs() > deadline) {
@@ -322,12 +420,21 @@ Result<BatchScoreResult> InfluenceService::ScoreBatch(
       }
       const BatchItem& item = request.items[i];
       bool cache_hit = false;
-      const std::shared_ptr<const SeedBlock> block =
-          cache_->Get(store(), item.seeds, &cache_hit);
+      if (qstore_ != nullptr) {
+        const std::shared_ptr<const SeedBlock> block =
+            cache_->Get(*qstore_, item.seeds, &cache_hit);
+        result.scores[i] = ScoreCandidateQuantized(
+            *block, qstore_->Target(item.candidate).data(),
+            qstore_->target_scale(item.candidate),
+            qstore_->target_bias(item.candidate), aggregation, &scratch);
+      } else {
+        const std::shared_ptr<const SeedBlock> block =
+            cache_->Get(store(), item.seeds, &cache_hit);
+        result.scores[i] = ScoreCandidate(
+            *block, store().Target(item.candidate).data(),
+            store().target_bias(item.candidate), aggregation, &scratch);
+      }
       if (cache_hit) ++local_hits;
-      result.scores[i] = ScoreCandidate(
-          *block, store().Target(item.candidate).data(),
-          store().target_bias(item.candidate), aggregation, &scratch);
     }
     hits.fetch_add(local_hits, std::memory_order_relaxed);
   };
@@ -376,6 +483,12 @@ obs::JsonValue InfluenceService::DescribeJson() const {
   serving.Set("num_threads",
               batch_pool_ == nullptr ? 1u : batch_pool_->num_threads());
   serving.Set("scan_block", options_.scan_block);
+  serving.Set("quantize", QuantModeName(quant_mode()));
+  serving.Set("kernel_isa", kernels::IsaName(kernels::ActiveIsa()));
+  if (qstore_ != nullptr) {
+    serving.Set("quantized_table_bytes",
+                static_cast<uint64_t>(qstore_->TableBytes()));
+  }
   json.Set("serving", std::move(serving));
 
   obs::JsonValue cache = obs::JsonValue::Object();

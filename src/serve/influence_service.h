@@ -20,6 +20,21 @@
 namespace inf2vec {
 namespace serve {
 
+/// Numeric mode of the serving table. kInt8 serves from a
+/// QuantizedEmbeddingStore — loaded from the artifact's quantized section
+/// when present, else quantized from the fp64 table at load time — for
+/// 8x smaller scan footprint at a small recall cost (see docs/SERVING.md).
+enum class QuantMode {
+  kNone = 0,  // fp64, bit-identical to EmbeddingPredictor.
+  kInt8 = 1,
+};
+
+/// "none" / "int8".
+const char* QuantModeName(QuantMode mode);
+
+/// Parses "none" or "int8" (the CLI spelling). Returns false otherwise.
+bool ParseQuantModeName(const std::string& name, QuantMode* mode);
+
 /// Serving knobs; the defaults suit an interactive loopback deployment.
 struct ServiceOptions {
   /// Aggregation used when a request does not name one. Unset resolves to
@@ -45,6 +60,8 @@ struct ServiceOptions {
   /// Monotonic microsecond clock, injectable so deadline behavior is
   /// deterministically testable. Null uses steady_clock.
   std::function<uint64_t()> clock_us;
+  /// Numeric mode of the serving table (`serve --quantize int8`).
+  QuantMode quantize = QuantMode::kNone;
 };
 
 /// One ScoreActivation-style query: will `candidate` activate given this
@@ -145,6 +162,13 @@ class InfluenceService {
 
   const EmbeddingStore& store() const { return artifact_->store; }
   const ModelMetadata& metadata() const { return artifact_->metadata; }
+  /// Non-null when serving in int8 mode.
+  const QuantizedEmbeddingStore* quantized_store() const {
+    return qstore_.get();
+  }
+  QuantMode quant_mode() const {
+    return qstore_ == nullptr ? QuantMode::kNone : QuantMode::kInt8;
+  }
   Aggregation default_aggregation() const { return default_aggregation_; }
   const std::string& model_path() const { return model_path_; }
 
@@ -167,6 +191,9 @@ class InfluenceService {
       const std::optional<Aggregation>& requested) const;
 
   std::unique_ptr<ModelArtifact> artifact_;  // Stable address for spans.
+  /// int8 serving table; null in fp64 mode. Owned here (moved out of the
+  /// artifact's section or built at load), immutable afterwards.
+  std::unique_ptr<QuantizedEmbeddingStore> qstore_;
   ServiceOptions options_;
   std::string model_path_;
   Aggregation default_aggregation_ = Aggregation::kAve;

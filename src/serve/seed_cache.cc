@@ -19,14 +19,38 @@ SeedBlock GatherSeedBlock(const EmbeddingStore& store,
                           const std::vector<UserId>& seeds) {
   SeedBlock block;
   block.dim = store.dim();
+  block.stride = store.row_stride();
   block.seeds = seeds;
-  block.sources.resize(seeds.size() * static_cast<size_t>(store.dim()));
+  block.sources.resize(seeds.size() * static_cast<size_t>(block.stride), 0.0);
   block.source_biases.resize(seeds.size());
   for (size_t i = 0; i < seeds.size(); ++i) {
     const std::span<const double> row = store.Source(seeds[i]);
-    std::memcpy(block.sources.data() + i * static_cast<size_t>(block.dim),
-                row.data(), sizeof(double) * block.dim);
+    std::memcpy(
+        block.sources.data() + i * static_cast<size_t>(block.stride),
+        row.data(), sizeof(double) * block.dim);
     block.source_biases[i] = store.source_bias(seeds[i]);
+  }
+  return block;
+}
+
+SeedBlock GatherSeedBlock(const QuantizedEmbeddingStore& store,
+                          const std::vector<UserId>& seeds) {
+  SeedBlock block;
+  block.quantized = true;
+  block.dim = store.dim();
+  block.q_stride = store.row_stride();
+  block.seeds = seeds;
+  block.q_sources.resize(seeds.size() * static_cast<size_t>(block.q_stride),
+                         0);
+  block.q_scales.resize(seeds.size());
+  block.q_biases.resize(seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const std::span<const int8_t> row = store.Source(seeds[i]);
+    std::memcpy(
+        block.q_sources.data() + i * static_cast<size_t>(block.q_stride),
+        row.data(), block.dim);
+    block.q_scales[i] = store.source_scale(seeds[i]);
+    block.q_biases[i] = store.source_bias(seeds[i]);
   }
   return block;
 }
@@ -34,11 +58,25 @@ SeedBlock GatherSeedBlock(const EmbeddingStore& store,
 std::shared_ptr<const SeedBlock> SeedBlockCache::Get(
     const EmbeddingStore& store, const std::vector<UserId>& seeds,
     bool* cache_hit) {
+  return GetImpl(
+      seeds, [&] { return GatherSeedBlock(store, seeds); }, cache_hit);
+}
+
+std::shared_ptr<const SeedBlock> SeedBlockCache::Get(
+    const QuantizedEmbeddingStore& store, const std::vector<UserId>& seeds,
+    bool* cache_hit) {
+  return GetImpl(
+      seeds, [&] { return GatherSeedBlock(store, seeds); }, cache_hit);
+}
+
+std::shared_ptr<const SeedBlock> SeedBlockCache::GetImpl(
+    const std::vector<UserId>& seeds,
+    const std::function<SeedBlock()>& gather, bool* cache_hit) {
   if (capacity_ == 0) {
     if (cache_hit != nullptr) *cache_hit = false;
     std::lock_guard<std::mutex> lock(mu_);
     ++misses_;
-    return std::make_shared<SeedBlock>(GatherSeedBlock(store, seeds));
+    return std::make_shared<SeedBlock>(gather());
   }
 
   const std::string key = CacheKey(seeds);
@@ -56,7 +94,7 @@ std::shared_ptr<const SeedBlock> SeedBlockCache::Get(
   // Gather outside the lock: misses on distinct keys proceed in parallel
   // (two racing misses on the same key both insert; last one wins, both
   // blocks are identical).
-  auto block = std::make_shared<const SeedBlock>(GatherSeedBlock(store, seeds));
+  auto block = std::make_shared<const SeedBlock>(gather());
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++misses_;

@@ -1,0 +1,306 @@
+#include "kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "kernels/aligned.h"
+#include "util/rng.h"
+
+namespace inf2vec {
+namespace kernels {
+namespace {
+
+/// Every test restores the CPUID-selected default so backend pinning
+/// cannot leak across cases.
+class KernelsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ResetIsaForTest(); }
+
+  bool HaveAvx2() const { return Avx2Compiled() && Avx2Supported(); }
+};
+
+AlignedVector<double> RandomVector(size_t n, Rng& rng) {
+  AlignedVector<double> v(n);
+  for (double& x : v) x = rng.UniformDouble(-1.0, 1.0);
+  return v;
+}
+
+uint64_t Bits(double x) {
+  uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+/// ULP distance between two finite doubles of the same sign regime.
+uint64_t UlpDistance(double a, double b) {
+  int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  if (ia < 0) ia = std::numeric_limits<int64_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<int64_t>::min() - ib;
+  return static_cast<uint64_t>(ia > ib ? ia - ib : ib - ia);
+}
+
+TEST_F(KernelsTest, AlignedAllocatorDelivers64ByteAlignment) {
+  for (size_t n : {1u, 3u, 17u, 1000u}) {
+    AlignedVector<double> v(n);
+    EXPECT_TRUE(IsAligned(v.data())) << "n=" << n;
+    AlignedVector<int8_t> b(n);
+    EXPECT_TRUE(IsAligned(b.data())) << "n=" << n;
+  }
+}
+
+TEST_F(KernelsTest, PaddedStrideRoundsUpToCacheLines) {
+  EXPECT_EQ(PaddedStride(1, sizeof(double)), 8u);
+  EXPECT_EQ(PaddedStride(8, sizeof(double)), 8u);
+  EXPECT_EQ(PaddedStride(9, sizeof(double)), 16u);
+  EXPECT_EQ(PaddedStride(50, sizeof(double)), 56u);
+  EXPECT_EQ(PaddedStride(1, 1), 64u);
+  EXPECT_EQ(PaddedStride(64, 1), 64u);
+  EXPECT_EQ(PaddedStride(65, 1), 128u);
+}
+
+TEST_F(KernelsTest, ScalarDotMatchesPlainLoopBitForBit) {
+  Rng rng(11);
+  for (size_t n : {1u, 4u, 13u, 50u, 128u}) {
+    const AlignedVector<double> a = RandomVector(n, rng);
+    const AlignedVector<double> b = RandomVector(n, rng);
+    double expected = 0.0;
+    for (size_t k = 0; k < n; ++k) expected += a[k] * b[k];
+    EXPECT_EQ(Bits(ScalarOps().dot(a.data(), b.data(), n)), Bits(expected))
+        << "n=" << n;
+  }
+}
+
+TEST_F(KernelsTest, Avx2DotWithinUlpsOfScalarAcrossRemainderLanes) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 backend unavailable";
+  ASSERT_TRUE(SetActiveIsa(Isa::kAvx2));
+  Rng rng(23);
+  // Every dim in [1, 130] exercises each remainder-lane combination of
+  // the unroll-16 / 4-wide / scalar-tail structure.
+  for (size_t n = 1; n <= 130; ++n) {
+    const AlignedVector<double> a = RandomVector(n, rng);
+    const AlignedVector<double> b = RandomVector(n, rng);
+    const double scalar = ScalarOps().dot(a.data(), b.data(), n);
+    const double avx2 = Dot(a.data(), b.data(), n);
+    double magnitude = 0.0;
+    for (size_t k = 0; k < n; ++k) magnitude += std::abs(a[k] * b[k]);
+    // Reassociation error is bounded by ~n*eps relative to the sum of
+    // |terms|; 1e-13 * magnitude is orders looser than that bound but
+    // still catches any real indexing/lane bug outright.
+    EXPECT_LE(std::abs(avx2 - scalar),
+              1e-13 * std::max(1.0, magnitude))
+        << "n=" << n;
+  }
+}
+
+TEST_F(KernelsTest, Avx2AxpyMatchesScalarWithinUlps) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 backend unavailable";
+  Rng rng(37);
+  for (size_t n = 1; n <= 70; ++n) {
+    const AlignedVector<double> x = RandomVector(n, rng);
+    AlignedVector<double> y_scalar = RandomVector(n, rng);
+    AlignedVector<double> y_avx2 = y_scalar;
+    ScalarOps().axpy(0.125, x.data(), y_scalar.data(), n);
+    ASSERT_TRUE(SetActiveIsa(Isa::kAvx2));
+    Axpy(0.125, x.data(), y_avx2.data(), n);
+    ResetIsaForTest();
+    for (size_t k = 0; k < n; ++k) {
+      // Only FMA contraction separates the two: at most 1 ulp per lane.
+      EXPECT_LE(UlpDistance(y_scalar[k], y_avx2[k]), 1u)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST_F(KernelsTest, Avx2GradStepMatchesScalarWithinUlps) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 backend unavailable";
+  Rng rng(41);
+  for (size_t n = 1; n <= 70; ++n) {
+    const AlignedVector<double> s = RandomVector(n, rng);
+    const AlignedVector<double> t_before = RandomVector(n, rng);
+    const AlignedVector<double> g_before = RandomVector(n, rng);
+    AlignedVector<double> t_scalar = t_before;
+    AlignedVector<double> t_avx2 = t_before;
+    AlignedVector<double> g_scalar = g_before;
+    AlignedVector<double> g_avx2 = g_before;
+    ScalarOps().grad_step(0.75, -0.003, s.data(), t_scalar.data(),
+                          g_scalar.data(), n);
+    ASSERT_TRUE(SetActiveIsa(Isa::kAvx2));
+    GradStep(0.75, -0.003, s.data(), t_avx2.data(), g_avx2.data(), n);
+    ResetIsaForTest();
+    for (size_t k = 0; k < n; ++k) {
+      // Lanes can cancel (t + lr_coeff*s ~ 0, or g_old + coeff*t ~ 0), so
+      // a fixed ulp bound on the result is meaningless; bound the
+      // FMA-contraction error in units of the operand magnitude instead.
+      // A backend reading t AFTER its own update would shift grad by
+      // coeff*lr_coeff*s[k] (~1e-3) — twelve orders of magnitude beyond
+      // this tolerance — so the bound still pins the read-before-write
+      // ordering.
+      const double t_scale = std::abs(t_before[k]) + 1.0;
+      EXPECT_NEAR(t_scalar[k], t_avx2[k], 1e-15 * t_scale)
+          << "t n=" << n << " k=" << k;
+      const double g_scale =
+          std::abs(g_before[k]) + std::abs(0.75 * t_before[k]) + 1.0;
+      EXPECT_NEAR(g_scalar[k], g_avx2[k], 1e-15 * g_scale)
+          << "grad n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST_F(KernelsTest, SigmoidDotAgreesAcrossBackends) {
+  if (!HaveAvx2()) GTEST_SKIP() << "AVX2 backend unavailable";
+  Rng rng(43);
+  for (size_t n : {1u, 13u, 50u, 127u}) {
+    const AlignedVector<double> a = RandomVector(n, rng);
+    const AlignedVector<double> b = RandomVector(n, rng);
+    const double scalar = ScalarOps().sigmoid_dot(a.data(), b.data(), n, 0.25);
+    ASSERT_TRUE(SetActiveIsa(Isa::kAvx2));
+    const double avx2 = SigmoidDot(a.data(), b.data(), n, 0.25);
+    ResetIsaForTest();
+    EXPECT_NEAR(scalar, avx2, 1e-14) << "n=" << n;
+    EXPECT_GT(scalar, 0.0);
+    EXPECT_LT(scalar, 1.0);
+  }
+}
+
+TEST_F(KernelsTest, SeedScanBitIdenticalToPerSeedDotOnEveryBackend) {
+  Rng rng(53);
+  const size_t kSeeds = 7;
+  for (size_t n : {1u, 13u, 50u, 64u, 101u}) {
+    const size_t stride = PaddedStride(n, sizeof(double));
+    AlignedVector<double> block(kSeeds * stride, 0.0);
+    for (size_t i = 0; i < kSeeds; ++i) {
+      for (size_t k = 0; k < n; ++k) {
+        block[i * stride + k] = rng.UniformDouble(-1.0, 1.0);
+      }
+    }
+    const AlignedVector<double> target = RandomVector(n, rng);
+    std::vector<Isa> isas = {Isa::kScalar};
+    if (HaveAvx2()) isas.push_back(Isa::kAvx2);
+    for (Isa isa : isas) {
+      ASSERT_TRUE(SetActiveIsa(isa));
+      std::vector<double> out(kSeeds);
+      SeedScan(block.data(), kSeeds, stride, target.data(), n, out.data());
+      for (size_t i = 0; i < kSeeds; ++i) {
+        EXPECT_EQ(Bits(out[i]),
+                  Bits(Dot(block.data() + i * stride, target.data(), n)))
+            << IsaName(isa) << " n=" << n << " seed=" << i;
+      }
+      ResetIsaForTest();
+    }
+  }
+}
+
+TEST_F(KernelsTest, Int8DotExactAcrossBackendsAndRemainders) {
+  Rng rng(61);
+  for (size_t n = 1; n <= 200; ++n) {
+    AlignedVector<int8_t> a(PaddedStride(n, 1), 0);
+    AlignedVector<int8_t> b(PaddedStride(n, 1), 0);
+    for (size_t k = 0; k < n; ++k) {
+      a[k] = static_cast<int8_t>(rng.UniformInt(-127, 127));
+      b[k] = static_cast<int8_t>(rng.UniformInt(-127, 127));
+    }
+    int32_t expected = 0;
+    for (size_t k = 0; k < n; ++k) {
+      expected += static_cast<int32_t>(a[k]) * static_cast<int32_t>(b[k]);
+    }
+    EXPECT_EQ(ScalarOps().dot_i8(a.data(), b.data(), n), expected)
+        << "scalar n=" << n;
+    if (HaveAvx2()) {
+      ASSERT_TRUE(SetActiveIsa(Isa::kAvx2));
+      EXPECT_EQ(DotI8(a.data(), b.data(), n), expected) << "avx2 n=" << n;
+      ResetIsaForTest();
+    }
+  }
+}
+
+TEST_F(KernelsTest, Int8DotSaturatedInputsStayExact) {
+  // All-extreme codes maximize every intermediate: 512 * 127 * 127 still
+  // fits int32, and the madd_epi16 pairing must not overflow int16.
+  const size_t n = 512;
+  AlignedVector<int8_t> a(n, int8_t{127});
+  AlignedVector<int8_t> b(n, int8_t{-127});
+  const int32_t expected = -127 * 127 * static_cast<int32_t>(n);
+  EXPECT_EQ(ScalarOps().dot_i8(a.data(), b.data(), n), expected);
+  if (HaveAvx2()) {
+    ASSERT_TRUE(SetActiveIsa(Isa::kAvx2));
+    EXPECT_EQ(DotI8(a.data(), b.data(), n), expected);
+  }
+}
+
+TEST_F(KernelsTest, Int8SeedScanMatchesPerSeedDot) {
+  Rng rng(67);
+  const size_t kSeeds = 5;
+  const size_t n = 50;
+  const size_t stride = PaddedStride(n, 1);
+  AlignedVector<int8_t> block(kSeeds * stride, 0);
+  AlignedVector<int8_t> target(stride, 0);
+  for (size_t i = 0; i < kSeeds; ++i) {
+    for (size_t k = 0; k < n; ++k) {
+      block[i * stride + k] = static_cast<int8_t>(rng.UniformInt(-127, 127));
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    target[k] = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  }
+  std::vector<Isa> isas = {Isa::kScalar};
+  if (HaveAvx2()) isas.push_back(Isa::kAvx2);
+  for (Isa isa : isas) {
+    ASSERT_TRUE(SetActiveIsa(isa));
+    std::vector<int32_t> out(kSeeds);
+    SeedScanI8(block.data(), kSeeds, stride, target.data(), n, out.data());
+    for (size_t i = 0; i < kSeeds; ++i) {
+      EXPECT_EQ(out[i], ScalarOps().dot_i8(block.data() + i * stride,
+                                           target.data(), n))
+          << IsaName(isa) << " seed=" << i;
+    }
+    ResetIsaForTest();
+  }
+}
+
+TEST_F(KernelsTest, DispatchDefaultsToBestIsaUnforced) {
+  ResetIsaForTest();
+  EXPECT_EQ(ActiveIsa(), BestIsa());
+  EXPECT_FALSE(IsaForced());
+}
+
+TEST_F(KernelsTest, SetActiveIsaPinsAndReports) {
+  ASSERT_TRUE(SetActiveIsa(Isa::kScalar));
+  EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+  EXPECT_TRUE(IsaForced());
+  ResetIsaForTest();
+  EXPECT_FALSE(IsaForced());
+  if (HaveAvx2()) {
+    EXPECT_TRUE(SetActiveIsa(Isa::kAvx2));
+    EXPECT_EQ(ActiveIsa(), Isa::kAvx2);
+  } else {
+    EXPECT_FALSE(SetActiveIsa(Isa::kAvx2));
+    EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+  }
+}
+
+TEST_F(KernelsTest, ParseIsaNameAcceptsCliSpellings) {
+  Isa isa;
+  ASSERT_TRUE(ParseIsaName("scalar", &isa));
+  EXPECT_EQ(isa, Isa::kScalar);
+  ASSERT_TRUE(ParseIsaName("avx2", &isa));
+  EXPECT_EQ(isa, Isa::kAvx2);
+  ASSERT_TRUE(ParseIsaName("auto", &isa));
+  EXPECT_EQ(isa, BestIsa());
+  EXPECT_FALSE(ParseIsaName("sse", &isa));
+  EXPECT_FALSE(ParseIsaName("AVX2", &isa));
+  EXPECT_FALSE(ParseIsaName("", &isa));
+}
+
+TEST_F(KernelsTest, IsaNamesRoundTrip) {
+  EXPECT_STREQ(IsaName(Isa::kScalar), "scalar");
+  EXPECT_STREQ(IsaName(Isa::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace inf2vec

@@ -18,6 +18,7 @@
 #include "eval/diffusion_task.h"
 #include "eval/harness.h"
 #include "graph/graph_io.h"
+#include "kernels/kernels.h"
 #include "obs/build_info.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
@@ -52,6 +53,24 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 /// turns metric recording on; the registry is reset once so every sink
 /// sees the same run-scoped counts.
 Status SetupObservability(const FlagParser& flags) {
+  // Pin the SIMD backend before any kernel call dispatches. "auto" is the
+  // CPUID-selected default made explicit.
+  const std::string kernel_name = flags.GetString("kernel", "");
+  if (!kernel_name.empty()) {
+    kernels::Isa isa;
+    if (!kernels::ParseIsaName(kernel_name, &isa)) {
+      return Status::InvalidArgument(
+          "--kernel must be one of scalar, avx2, auto");
+    }
+    if (!kernels::SetActiveIsa(isa)) {
+      return Status::InvalidArgument(
+          std::string("--kernel ") + kernels::IsaName(isa) +
+          " requested but that backend is not available in this "
+          "binary/CPU");
+    }
+    INF2VEC_LOG(Info) << "kernel backend pinned to "
+                      << kernels::IsaName(kernels::ActiveIsa());
+  }
   const std::string level_name = flags.GetString("log-level", "");
   if (!level_name.empty()) {
     LogLevel level;
@@ -579,6 +598,43 @@ Status RunExportText(const FlagParser& flags) {
   return Status::OK();
 }
 
+Status RunQuantize(const FlagParser& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) return Status::InvalidArgument("--model is required");
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return Status::InvalidArgument("--out is required");
+
+  const auto start = std::chrono::steady_clock::now();
+  Result<ModelArtifact> artifact = LoadModelArtifact(model_path);
+  INF2VEC_RETURN_IF_ERROR(artifact.status());
+  const EmbeddingStore& store = artifact.value().store;
+  const QuantizedEmbeddingStore quantized =
+      QuantizedEmbeddingStore::FromStore(store);
+  INF2VEC_RETURN_IF_ERROR(SaveModelArtifact(store, artifact.value().metadata,
+                                            out, &quantized));
+
+  const size_t fp64_bytes =
+      sizeof(double) * (2 * static_cast<size_t>(store.num_users()) *
+                            store.dim() +
+                        2 * static_cast<size_t>(store.num_users()));
+  INF2VEC_LOG(Info) << "quantized " << store.num_users() << " x "
+                    << store.dim() << " model -> " << out << " (fp64 table "
+                    << fp64_bytes << " B, int8 table "
+                    << quantized.TableBytes() << " B) in "
+                    << SecondsSince(start) << "s";
+  if (g_active_report != nullptr) {
+    g_active_report->AddPhase("quantize", SecondsSince(start));
+    obs::JsonValue section = obs::JsonValue::Object();
+    section.Set("num_users", store.num_users());
+    section.Set("dim", store.dim());
+    section.Set("fp64_table_bytes", static_cast<uint64_t>(fp64_bytes));
+    section.Set("int8_table_bytes",
+                static_cast<uint64_t>(quantized.TableBytes()));
+    g_active_report->SetSection("quantize", std::move(section));
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// Set by the signal handler installed in RunServe; checked by its wait
@@ -654,6 +710,11 @@ Status RunServe(const FlagParser& flags) {
     INF2VEC_RETURN_IF_ERROR(aggregation.status());
     options.aggregation = aggregation.value();
   }
+  const std::string quant_name = flags.GetString("quantize", "none");
+  if (!serve::ParseQuantModeName(quant_name, &options.quantize)) {
+    return Status::InvalidArgument("--quantize must be none or int8");
+  }
+  obs::SetServingQuantMode(serve::QuantModeName(options.quantize));
   Result<int64_t> port_flag = flags.GetInt("port", 0);
   INF2VEC_RETURN_IF_ERROR(port_flag.status());
   if (port_flag.value() < 0 || port_flag.value() > 65535) {
@@ -694,7 +755,11 @@ Status RunServe(const FlagParser& flags) {
                       << model->service.store().dim() << ", aggregation "
                       << AggregationName(
                              model->service.default_aggregation())
-                      << ") in " << SecondsSince(load_start) << "s";
+                      << ", quantize "
+                      << serve::QuantModeName(model->service.quant_mode())
+                      << ", kernel "
+                      << kernels::IsaName(kernels::ActiveIsa()) << ") in "
+                      << SecondsSince(load_start) << "s";
   }
 
   obs::StatsServerOptions server_options;
@@ -763,19 +828,30 @@ std::string UsageText() {
       " activation|diffusion --aggregation Ave|Sum|Max|Latest]\n"
       "  export-text  dump a model to a text matrix\n"
       "               --model F --out F\n"
+      "  quantize     append an int8 serving section to a model artifact\n"
+      "               --model IN --out OUT (per-row symmetric int8 codes +\n"
+      "               fp32 scales/biases; `serve --quantize int8` loads it\n"
+      "               instead of re-quantizing at startup)\n"
       "  serve        online influence-query server over a saved model:\n"
       "               /score /topk /modelz /reloadz plus the stats"
       " endpoints\n"
       "               --model F [--port 0 --topk-cache 256 --threads 1\n"
       "                --deadline-us 0 --aggregation Ave|Sum|Max|Latest\n"
       "                --max-seconds 0 --watch-model"
-      " --watch-interval-ms 500]\n"
+      " --watch-interval-ms 500\n"
+      "                --quantize none|int8]\n"
+      "               --quantize int8 serves from the int8 table (8x\n"
+      "               smaller scans; uses the artifact's quantized section\n"
+      "               when present, else quantizes at load)\n"
       "               --port 0 picks a free port (printed on stdout);\n"
       "               --max-seconds bounds the run, 0 = until SIGINT\n"
       "               --watch-model hot-swaps the model when the file on\n"
       "               disk changes (zero downtime; also via GET /reloadz)\n"
       "\n"
       "global flags (any command):\n"
+      "  --kernel scalar|avx2|auto   pin the SIMD kernel backend (default:\n"
+      "                    best supported by this CPU; scalar is the\n"
+      "                    bit-exact reference path)\n"
       "  --log-level debug|info|warning|error   log threshold (default"
       " info)\n"
       "  --metrics-out F   write a structured JSON run report\n"
@@ -802,6 +878,7 @@ Status Dispatch(const FlagParser& flags) {
   if (command == "top") run = RunTop;
   if (command == "evaluate") run = RunEvaluate;
   if (command == "export-text") run = RunExportText;
+  if (command == "quantize") run = RunQuantize;
   if (command == "serve") run = RunServe;
   if (run == nullptr) {
     return Status::InvalidArgument("unknown command '" + command + "'\n" +

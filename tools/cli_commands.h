@@ -26,9 +26,10 @@ namespace cli {
 ///   evaluate     --graph F --actions F --model F [--task activation|diffusion]
 ///                [--seed-fraction 0.05 --aggregation Ave|Sum|Max|Latest]
 ///   export-text  --model F --out F
+///   quantize     --model IN --out OUT   (append an int8 serving section)
 ///   serve        --model F [--port P --topk-cache N --threads N
 ///                 --aggregation Ave|Sum|Max|Latest --max-seconds S
-///                 --watch-model --watch-interval-ms 500]
+///                 --watch-model --watch-interval-ms 500 --quantize int8]
 Status RunGenerate(const FlagParser& flags);
 Status RunTrain(const FlagParser& flags);
 Status RunUpdate(const FlagParser& flags);
@@ -36,6 +37,7 @@ Status RunScore(const FlagParser& flags);
 Status RunTop(const FlagParser& flags);
 Status RunEvaluate(const FlagParser& flags);
 Status RunExportText(const FlagParser& flags);
+Status RunQuantize(const FlagParser& flags);
 Status RunServe(const FlagParser& flags);
 
 /// Test hooks for the serve lifecycle. RequestServeStop() flips the same
