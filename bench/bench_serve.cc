@@ -12,6 +12,13 @@
 //   topk_int8     same scan against the int8-quantized table
 //   batch         1024-item ScoreBatch calls (throughput row: items/sec)
 //
+// plus the request-observability overhead gate: the same topk workload
+// run twice per iteration — bare, and wrapped in the full per-request
+// RequestScope (rpcz + tracez + access log) the HTTP server installs —
+// interleaved so both arms share the machine's clock state. The median
+// per-pair ratio must stay under the 2% acceptance gate
+// (summary.request_obs_pass in BENCH_serve.json).
+//
 // Metrics recording is enabled, matching the production `serve` command,
 // so latencies include the striped-counter cost the real server pays.
 
@@ -24,7 +31,9 @@
 
 #include "bench_common.h"
 #include "embedding/model_io.h"
+#include "obs/access_log.h"
 #include "obs/metrics.h"
+#include "obs/request_obs.h"
 #include "serve/influence_service.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -50,6 +59,7 @@ constexpr uint32_t kCachedQueries = 20000;
 constexpr uint32_t kTopKQueries = 24;
 constexpr uint32_t kBatchSize = 1024;
 constexpr uint32_t kBatchCalls = 8;
+constexpr uint32_t kObsPairs = 12;  // Interleaved (bare, traced) pairs.
 
 uint64_t NowUs() {
   return static_cast<uint64_t>(
@@ -200,6 +210,54 @@ int main() {
   const double batch_items_per_sec =
       static_cast<double>(kBatchCalls) * kBatchSize / (batch.wall_ms / 1000.0);
 
+  // Request-observability overhead gate. Each iteration runs the SAME
+  // hot-cache topk query bare and then inside a full RequestScope
+  // (rpcz + tracez + access log — everything `serve --access-log` turns
+  // on, including the scope teardown that serializes the wide event);
+  // adjacent runs share clock state, so the median per-pair ratio
+  // resolves a 2% signal that back-to-back whole-arm runs cannot.
+  obs::RpczRegistry rpcz;
+  obs::TracezBuffer tracez(32, 32, /*slow_threshold_us=*/0);
+  obs::AccessLog access_log;
+  const char* access_log_path = "BENCH_access_log.jsonl";
+  INF2VEC_CHECK(access_log.Open(access_log_path).ok());
+  obs::RequestObservability request_obs{&rpcz, &tracez, &access_log};
+
+  const auto run_topk = [&](uint32_t i) {
+    serve::TopKRequest request;
+    request.seeds = seed_sets[0];  // Hot cache: gather noise excluded.
+    request.k = 10;
+    const auto result = service.TopK(request);
+    INF2VEC_CHECK(result.ok()) << result.status().ToString();
+    (void)i;
+  };
+  run_topk(0);  // Warm the seed cache before either arm is timed.
+
+  std::vector<uint64_t> bare_us, traced_us;
+  std::vector<double> obs_ratios;
+  for (uint32_t i = 0; i < kObsPairs; ++i) {
+    const uint64_t bare_start = NowUs();
+    run_topk(i);
+    bare_us.push_back(NowUs() - bare_start);
+
+    const uint64_t traced_start = NowUs();
+    {
+      obs::RequestScope scope(request_obs, "GET", "/topk", "");
+      run_topk(i);
+      scope.set_status(200);
+    }  // Scope teardown (record assembly + log append) is on the clock.
+    traced_us.push_back(NowUs() - traced_start);
+    obs_ratios.push_back(static_cast<double>(traced_us.back()) /
+                         static_cast<double>(bare_us.back()));
+  }
+  std::sort(obs_ratios.begin(), obs_ratios.end());
+  const double obs_overhead = obs_ratios[obs_ratios.size() / 2] - 1.0;
+  const double bare_p50 = PercentileUs(bare_us, 0.50);
+  const double traced_p50 = PercentileUs(traced_us, 0.50);
+  INF2VEC_CHECK(access_log.lines_written() == kObsPairs);
+  access_log.Close();
+  std::remove(access_log_path);
+
   std::printf("%-14s %10s %12s %12s %12s\n", "arm", "wall ms", "qps",
               "p50 us", "p99 us");
   const auto print_arm = [](const char* name, const ArmStats& s, double qps) {
@@ -211,6 +269,11 @@ int main() {
   print_arm("topk", topk, topk.qps);
   print_arm("topk_int8", topk_int8, topk_int8.qps);
   print_arm("batch", batch, batch_items_per_sec);
+
+  std::printf(
+      "\nrequest obs (rpcz+tracez+access-log): bare p50 %.0fus, traced "
+      "p50 %.0fus, overhead %+.2f%% (gate: < 2%%)\n",
+      bare_p50, traced_p50, 100.0 * obs_overhead);
 
   const double int8_table_bytes =
       static_cast<double>(int8_service.quantized_store()->TableBytes());
@@ -235,6 +298,9 @@ int main() {
   report.SetSummary("batch_items_per_sec", batch_items_per_sec);
   report.SetSummary("int8_topk_speedup", topk_int8.qps / topk.qps);
   report.SetSummary("int8_table_ratio", fp64_table_bytes / int8_table_bytes);
+  report.SetSummary("request_obs_relative_overhead", obs_overhead);
+  report.SetSummary("request_obs_gate", 0.02);
+  report.SetSummary("request_obs_pass", obs_overhead < 0.02);
 
   const auto add_row = [&report](const char* name, const ArmStats& s,
                                  double qps, uint64_t reps) {
@@ -248,6 +314,16 @@ int main() {
   add_row("topk_int8", topk_int8, topk_int8.qps, kTopKQueries);
   add_row("batch", batch, batch_items_per_sec,
           static_cast<uint64_t>(kBatchCalls) * kBatchSize);
+  {
+    obs::JsonValue& bare_row = report.AddResult(
+        "topk_bare", bare_p50 * kObsPairs / 1000.0,
+        1e6 / bare_p50, kObsPairs);
+    bare_row.Set("p50_us", bare_p50);
+    obs::JsonValue& traced_row = report.AddResult(
+        "topk_request_obs", traced_p50 * kObsPairs / 1000.0,
+        1e6 / traced_p50, kObsPairs);
+    traced_row.Set("p50_us", traced_p50);
+  }
   report.Write();
 
   obs::EnableMetrics(false);

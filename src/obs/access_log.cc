@@ -1,0 +1,52 @@
+#include "obs/access_log.h"
+
+namespace inf2vec {
+namespace obs {
+
+Status AccessLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open access log for append: " + path);
+  }
+  path_ = path;
+  lines_written_ = 0;
+  return Status::OK();
+}
+
+bool AccessLog::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr;
+}
+
+void AccessLog::Append(const JsonValue& event) {
+  const std::string line = event.Dump(0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  // Per-line flush: an access log that loses its tail on crash is useless
+  // for exactly the requests one wants to debug.
+  std::fflush(file_);
+  ++lines_written_;
+}
+
+uint64_t AccessLog::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_written_;
+}
+
+void AccessLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace obs
+}  // namespace inf2vec

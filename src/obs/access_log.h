@@ -1,0 +1,59 @@
+#ifndef INF2VEC_OBS_ACCESS_LOG_H_
+#define INF2VEC_OBS_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace obs {
+
+/// Append-only JSONL event log: one compact JSON object per line, flushed
+/// per line so `tail -f` and a crash both see every completed record. The
+/// serving plane writes one wide event per HTTP request through this
+/// (`serve --access-log`); the writer itself is schema-agnostic — callers
+/// hand it fully-built JsonValue objects.
+///
+/// Thread-safe: a mutex serializes Append, so concurrent writers (serving
+/// thread + watcher, test clients) interleave whole lines, never bytes.
+class AccessLog {
+ public:
+  AccessLog() = default;
+  ~AccessLog() { Close(); }
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Opens `path` for appending (created when missing). Idempotent per
+  /// instance: re-opening closes the previous file first.
+  Status Open(const std::string& path);
+
+  bool is_open() const;
+
+  /// Serializes `event` compactly and appends it as one line. No-op when
+  /// the log is not open — call sites need no guard.
+  void Append(const JsonValue& event);
+
+  /// Lines successfully written since Open.
+  uint64_t lines_written() const;
+
+  const std::string& path() const { return path_; }
+
+  /// Flushes and closes; further Appends are no-ops until re-opened.
+  void Close();
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;  // Guarded by mu_.
+  std::string path_;
+  uint64_t lines_written_ = 0;  // Guarded by mu_.
+};
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_ACCESS_LOG_H_

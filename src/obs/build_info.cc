@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "kernels/kernels.h"
+#include "obs/trace.h"
 
 namespace inf2vec {
 namespace obs {
@@ -109,6 +110,17 @@ JsonValue EnvironmentJson() {
   out.Set("peak_rss_bytes", PeakRssBytes());
   out.Set("build", BuildInfoJson());
   out.Set("kernel", KernelInfoJson());
+  out.Set("trace", TraceInfoJson());
+  return out;
+}
+
+JsonValue TraceInfoJson() {
+  const TraceCollector& trace = TraceCollector::Default();
+  JsonValue out = JsonValue::Object();
+  out.Set("enabled", trace.enabled());
+  out.Set("events", static_cast<uint64_t>(trace.size()));
+  out.Set("capacity", static_cast<uint64_t>(trace.capacity()));
+  out.Set("dropped", trace.dropped());
   return out;
 }
 

@@ -45,10 +45,16 @@ const std::string& ServingQuantMode();
 /// supports) plus the serving quantization mode.
 JsonValue KernelInfoJson();
 
+/// The "trace" block: default-collector state — enabled, buffered event
+/// count, ring capacity, and events dropped to ring overwrites (the same
+/// quantity exported as inf2vec_trace_dropped_total).
+JsonValue TraceInfoJson();
+
 /// The full environment-provenance block shared by the run report's
 /// "environment" section and the stats server's /varz endpoint: the build
-/// block plus hostname, pid, hardware_concurrency, and peak_rss_bytes
-/// (sampled at call time, so the report sees the end-of-run peak).
+/// block plus hostname, pid, hardware_concurrency, peak_rss_bytes
+/// (sampled at call time, so the report sees the end-of-run peak), and the
+/// trace-collector state.
 JsonValue EnvironmentJson();
 
 }  // namespace obs

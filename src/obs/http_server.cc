@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
@@ -26,6 +27,9 @@ void SendResponse(int fd, const HttpResponse& response) {
                     response.reason + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += "Connection: close\r\n\r\n";
   out += response.body;
   size_t sent = 0;
@@ -55,8 +59,11 @@ const char* ReasonFor(int code) {
 }
 
 /// First line of "METHOD SP TARGET SP VERSION"; empty method on garbage.
-/// The target splits into path + decoded query parameters.
-void ParseRequestLine(const std::string& request, HttpRequest* parsed) {
+/// The target splits into path + decoded query parameters. Header lines
+/// after the request line parse into lower-cased name/value pairs
+/// (garbage header lines are skipped — the request-id plumbing must not
+/// make the server stricter than it was).
+void ParseRequestHead(const std::string& request, HttpRequest* parsed) {
   const size_t line_end = request.find("\r\n");
   const std::string line =
       line_end == std::string::npos ? request : request.substr(0, line_end);
@@ -74,6 +81,30 @@ void ParseRequestLine(const std::string& request, HttpRequest* parsed) {
     target.resize(query);
   }
   parsed->path = std::move(target);
+
+  size_t cursor = line_end == std::string::npos ? request.size() : line_end + 2;
+  while (cursor < request.size()) {
+    size_t next = request.find("\r\n", cursor);
+    if (next == std::string::npos) next = request.size();
+    if (next == cursor) break;  // Empty line: end of the header block.
+    const std::string header = request.substr(cursor, next - cursor);
+    const size_t colon = header.find(':');
+    if (colon != std::string::npos && colon > 0) {
+      std::string name = header.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      size_t value_start = colon + 1;
+      while (value_start < header.size() && header[value_start] == ' ') {
+        ++value_start;
+      }
+      size_t value_end = header.size();
+      while (value_end > value_start && header[value_end - 1] == ' ') {
+        --value_end;
+      }
+      parsed->headers.emplace_back(
+          std::move(name), header.substr(value_start, value_end - value_start));
+    }
+    cursor = next + 2;
+  }
 }
 
 int HexDigit(char c) {
@@ -96,6 +127,14 @@ std::string HttpRequest::QueryOr(const std::string& key,
                                  const std::string& fallback) const {
   for (const auto& [k, v] : query) {
     if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::string HttpRequest::HeaderOr(const std::string& name,
+                                  const std::string& fallback) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
   }
   return fallback;
 }
@@ -173,6 +212,11 @@ std::vector<std::string> StatsServer::HandledPaths() const {
   paths.reserve(handlers_.size());
   for (const auto& [path, handler] : handlers_) paths.push_back(path);
   return paths;
+}
+
+void StatsServer::SetRequestObservability(RequestObservability obs) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  request_obs_ = obs;
 }
 
 void StatsServer::RegisterBuiltinEndpoints() {
@@ -316,7 +360,7 @@ void StatsServer::HandleConnection(int client_fd) {
   }
 
   HttpRequest parsed;
-  ParseRequestLine(request, &parsed);
+  ParseRequestHead(request, &parsed);
 
   HttpResponse response;
   if (parsed.method.empty()) {
@@ -325,13 +369,28 @@ void StatsServer::HandleConnection(int client_fd) {
     response = HttpResponse::Text(405, "only GET is supported\n");
   } else {
     Handler handler;
+    RequestObservability obs;
     {
       std::lock_guard<std::mutex> lock(handlers_mu_);
       const auto it = handlers_.find(parsed.path);
       if (it != handlers_.end()) handler = it->second;
+      obs = request_obs_;
     }
     if (handler) {
-      response = handler(parsed);
+      if (obs.enabled()) {
+        // The scope closes before the response is sent: by the time a
+        // client sees the reply, its trace is queryable in /rpcz, /tracez
+        // and the access log.
+        RequestScope scope(obs, parsed.method, parsed.path,
+                           parsed.HeaderOr("x-request-id", ""));
+        response = handler(parsed);
+        scope.set_status(response.code);
+        scope.set_response_bytes(response.body.size());
+        response.extra_headers.emplace_back("X-Request-Id",
+                                            scope.request_id());
+      } else {
+        response = handler(parsed);
+      }
     } else {
       response = HttpResponse::Text(404, "unknown path " + parsed.path + "\n");
     }

@@ -11,23 +11,30 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/request_obs.h"
 #include "util/status.h"
 
 namespace inf2vec {
 namespace obs {
 
 /// A parsed GET request as seen by endpoint handlers: the path with any
-/// query string already stripped, plus the decoded query parameters in
-/// request order (duplicate keys preserved; first wins for QueryOr).
+/// query string already stripped, the decoded query parameters in request
+/// order (duplicate keys preserved; first wins for QueryOr), and the
+/// request headers with lower-cased names (HTTP header names are
+/// case-insensitive; first wins for HeaderOr).
 struct HttpRequest {
   std::string method;
   std::string path;
   std::vector<std::pair<std::string, std::string>> query;
+  std::vector<std::pair<std::string, std::string>> headers;
 
   bool HasQuery(const std::string& key) const;
   /// First value of `key`, or `fallback` when absent.
   std::string QueryOr(const std::string& key,
                       const std::string& fallback) const;
+  /// First value of header `name` (lower-case), or `fallback` when absent.
+  std::string HeaderOr(const std::string& name,
+                       const std::string& fallback) const;
 };
 
 /// What a handler sends back; defaults to an empty 200 text/plain.
@@ -36,6 +43,8 @@ struct HttpResponse {
   std::string reason = "OK";
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Additional response headers (e.g. X-Request-Id); names sent verbatim.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
 
   static HttpResponse Text(int code, std::string body);
   static HttpResponse Json(int code, std::string body);
@@ -104,6 +113,17 @@ class StatsServer {
   /// Registered paths, sorted (the "/" index lists them).
   std::vector<std::string> HandledPaths() const;
 
+  /// Installs request-level observability: every request that reaches a
+  /// registered handler runs inside a RequestScope — root trace span with
+  /// child spans from the handler, per-endpoint /rpcz accounting, /tracez
+  /// retention, and one access-log line — and the response carries an
+  /// X-Request-Id header (the inbound one when the client sent it).
+  /// Malformed / unknown-path requests bypass the scope: they never reach
+  /// serving code and would pollute per-endpoint series with unbounded
+  /// garbage paths. Pass a default-constructed bundle to turn it off.
+  /// Thread-safe; the pointed-to objects must outlive the server.
+  void SetRequestObservability(RequestObservability obs);
+
   /// Binds, listens, and spawns the accept thread. Fails (without leaking
   /// fds) when the port is taken or the address does not parse.
   Status Start();
@@ -127,6 +147,7 @@ class StatsServer {
   MetricsRegistry* registry_;
   mutable std::mutex handlers_mu_;
   std::map<std::string, Handler> handlers_;
+  RequestObservability request_obs_;  // Guarded by handlers_mu_.
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // [read, write]; written once by Stop().
   uint16_t port_ = 0;

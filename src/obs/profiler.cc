@@ -1,0 +1,334 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "obs/http_server.h"
+#include "util/string_util.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+/// Handler-visible state. The handler may fire on any thread at any
+/// instruction, so everything it touches is a raw pointer or an atomic set
+/// up before the timer is armed and torn down only after it is disarmed.
+/// Storage itself lives in process-lifetime vectors (below) so a straggler
+/// signal delivered during disarm still writes into valid memory.
+std::vector<void*> g_pc_storage;
+std::vector<int> g_depth_storage;
+void** g_pcs = nullptr;
+int* g_depths = nullptr;
+size_t g_capacity = 0;
+std::atomic<size_t> g_cursor{0};
+std::atomic<uint64_t> g_truncated{0};
+std::atomic<bool> g_armed{false};
+struct sigaction g_previous_action;
+
+extern "C" void ProfSignalHandler(int /*signum*/) {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  const size_t index = g_cursor.fetch_add(1, std::memory_order_relaxed);
+  if (index >= g_capacity) {
+    g_truncated.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // backtrace() is safe here because Start() already forced glibc to load
+  // its unwinder (the lazy first call allocates; later calls do not).
+  g_depths[index] =
+      backtrace(g_pcs + index * CpuProfiler::kMaxFrames, CpuProfiler::kMaxFrames);
+}
+
+/// Best-effort PC -> display name. dladdr needs the symbol exported
+/// (-rdynamic / CMAKE_ENABLE_EXPORTS for the static parts of the binary);
+/// anonymous-namespace and inlined frames fall back to a hex address,
+/// which still folds consistently.
+std::string SymbolizePc(void* pc) {
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // Drop the parameter list: folded-stack lines stay grep-able and short,
+    // and overloads collapsing into one frame is the flamegraph convention.
+    const size_t paren = name.find('(');
+    if (paren != std::string::npos) name.resize(paren);
+    // Folded format reserves ';' as the frame separator.
+    std::replace(name.begin(), name.end(), ';', ':');
+    return name;
+  }
+  return StrFormat("0x%zx", reinterpret_cast<size_t>(pc));
+}
+
+bool IsProfilerMachineryFrame(const std::string& name) {
+  return name.find("ProfSignalHandler") != std::string::npos ||
+         name.find("restore_rt") != std::string::npos ||
+         name.find("killpg") != std::string::npos;
+}
+
+}  // namespace
+
+CpuProfiler& CpuProfiler::Default() {
+  static CpuProfiler* profiler = new CpuProfiler();
+  return *profiler;
+}
+
+CpuProfiler::CpuProfiler() = default;
+
+CpuProfiler::~CpuProfiler() { Stop(); }
+
+Status CpuProfiler::Start() { return Start(Options{}); }
+
+Status CpuProfiler::StartForDuration(double seconds) {
+  return StartForDuration(seconds, Options{});
+}
+
+Status CpuProfiler::Start(const Options& options) {
+  std::thread stale;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("profiler already running");
+    }
+    if (options.hz <= 0 || options.hz > 10000) {
+      return Status::InvalidArgument(
+          StrFormat("profiler hz out of range (1..10000): %d", options.hz));
+    }
+    if (options.max_samples == 0) {
+      return Status::InvalidArgument("profiler max_samples must be > 0");
+    }
+    stale = std::move(auto_stop_);
+    options_ = options;
+
+    g_armed.store(false, std::memory_order_relaxed);
+    g_pc_storage.assign(options.max_samples * kMaxFrames, nullptr);
+    g_depth_storage.assign(options.max_samples, 0);
+    g_pcs = g_pc_storage.data();
+    g_depths = g_depth_storage.data();
+    g_capacity = options.max_samples;
+    g_cursor.store(0, std::memory_order_relaxed);
+    g_truncated.store(0, std::memory_order_relaxed);
+
+    // Warm up glibc's unwinder outside signal context (the first call
+    // lazily loads libgcc and allocates — neither is signal-safe).
+    void* warm[4];
+    backtrace(warm, 4);
+
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = ProfSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    if (sigaction(SIGPROF, &action, &g_previous_action) != 0) {
+      return Status::IOError("sigaction(SIGPROF) failed");
+    }
+    g_armed.store(true, std::memory_order_release);
+
+    const long interval_us = std::max(1000000L / options.hz, 100L);
+    itimerval timer;
+    timer.it_interval.tv_sec = interval_us / 1000000;
+    timer.it_interval.tv_usec = interval_us % 1000000;
+    timer.it_value = timer.it_interval;
+    if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+      g_armed.store(false, std::memory_order_release);
+      sigaction(SIGPROF, &g_previous_action, nullptr);
+      return Status::IOError("setitimer(ITIMER_PROF) failed");
+    }
+    timer_armed_ = true;
+    cancel_auto_stop_ = false;
+    running_.store(true, std::memory_order_release);
+  }
+  // A finished auto-stop thread from a previous session joins instantly.
+  if (stale.joinable()) stale.join();
+  return Status::OK();
+}
+
+Status CpuProfiler::StartForDuration(double seconds, const Options& options) {
+  if (seconds <= 0.0 || seconds > 3600.0) {
+    return Status::InvalidArgument(
+        StrFormat("profiler duration out of range (0..3600s): %g", seconds));
+  }
+  Status started = Start(options);
+  if (!started.ok()) return started;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_stop_ = std::thread([this, seconds] {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                      [this] { return cancel_auto_stop_; });
+    if (!cancel_auto_stop_) StopTimerLocked();
+  });
+  return Status::OK();
+}
+
+void CpuProfiler::StopTimerLocked() {
+  if (!timer_armed_) return;
+  itimerval timer;
+  std::memset(&timer, 0, sizeof(timer));
+  setitimer(ITIMER_PROF, &timer, nullptr);
+  sigaction(SIGPROF, &g_previous_action, nullptr);
+  // Buffers stay mapped, so a signal already in flight lands harmlessly;
+  // the flag just stops new samples from being claimed.
+  g_armed.store(false, std::memory_order_release);
+  timer_armed_ = false;
+  running_.store(false, std::memory_order_release);
+}
+
+Status CpuProfiler::Stop() {
+  std::thread pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancel_auto_stop_ = true;
+    stop_cv_.notify_all();
+    pending = std::move(auto_stop_);
+    StopTimerLocked();
+  }
+  if (pending.joinable()) pending.join();
+  return Status::OK();
+}
+
+size_t CpuProfiler::sample_count() const {
+  return std::min(g_cursor.load(std::memory_order_relaxed), g_capacity);
+}
+
+uint64_t CpuProfiler::truncated() const {
+  return g_truncated.load(std::memory_order_relaxed);
+}
+
+std::string CpuProfiler::FoldedStacks() const {
+  const size_t samples = sample_count();
+  // Per-PC symbolization cache: a hot loop produces thousands of samples
+  // over a handful of distinct addresses.
+  std::unordered_map<void*, std::string> names;
+  auto name_of = [&names](void* pc) -> const std::string& {
+    auto it = names.find(pc);
+    if (it == names.end()) it = names.emplace(pc, SymbolizePc(pc)).first;
+    return it->second;
+  };
+
+  std::map<std::string, uint64_t> folded;
+  std::vector<const std::string*> frames;
+  for (size_t i = 0; i < samples; ++i) {
+    const int depth =
+        std::min(g_depth_storage[i], static_cast<int>(kMaxFrames));
+    if (depth <= 0) continue;
+    void* const* pcs = g_pcs + i * kMaxFrames;
+    // Frames come innermost-first. Trim the profiler's own machinery (the
+    // handler and the kernel signal trampoline) off the leaf end; the
+    // first real frame is the instruction the signal interrupted.
+    frames.clear();
+    int start = 0;
+    for (int f = 0; f < depth; ++f) {
+      if (IsProfilerMachineryFrame(name_of(pcs[f]))) start = f + 1;
+    }
+    if (start >= depth) start = 0;  // Never trim the whole stack away.
+    for (int f = depth - 1; f >= start; --f) frames.push_back(&name_of(pcs[f]));
+    std::string key;
+    for (size_t f = 0; f < frames.size(); ++f) {
+      if (f > 0) key += ';';
+      key += *frames[f];
+    }
+    ++folded[key];
+  }
+
+  // Biggest stacks first: the dominant frame is on line one.
+  std::vector<std::pair<std::string, uint64_t>> rows(folded.begin(),
+                                                     folded.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::string out;
+  for (const auto& [stack, count] : rows) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+Status CpuProfiler::WriteFolded(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open profile output file: " + path);
+  }
+  const std::string folded = FoldedStacks();
+  const size_t written = std::fwrite(folded.data(), 1, folded.size(), f);
+  std::fclose(f);
+  if (written != folded.size()) {
+    return Status::IOError("short write to profile output file: " + path);
+  }
+  return Status::OK();
+}
+
+JsonValue CpuProfiler::DescribeJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("running", running());
+  out.Set("hz", options_.hz);
+  out.Set("samples", static_cast<uint64_t>(sample_count()));
+  out.Set("truncated", truncated());
+  return out;
+}
+
+void RegisterProfilerEndpoint(StatsServer* server, CpuProfiler* profiler) {
+  server->Handle("/pprofz", [profiler](const HttpRequest& request) {
+    if (profiler == nullptr) {
+      return HttpResponse::Json(404,
+                                "{\"error\": \"profiler not enabled\"}\n");
+    }
+    const std::string seconds_raw = request.QueryOr("seconds", "");
+    if (!seconds_raw.empty()) {
+      if (profiler->running()) {
+        JsonValue status = profiler->DescribeJson();
+        status.Set("status", "running");
+        return HttpResponse::Json(200, status.Dump(2) + "\n");
+      }
+      char* end = nullptr;
+      const double seconds = std::strtod(seconds_raw.c_str(), &end);
+      if (end == seconds_raw.c_str() || *end != '\0') {
+        return HttpResponse::Json(
+            400, "{\"error\": \"bad seconds '" + JsonEscape(seconds_raw) +
+                     "'\"}\n");
+      }
+      Status started = profiler->StartForDuration(seconds);
+      if (!started.ok()) {
+        return HttpResponse::Json(400, "{\"error\": \"" +
+                                           JsonEscape(started.ToString()) +
+                                           "\"}\n");
+      }
+      JsonValue status = JsonValue::Object();
+      status.Set("status", "started");
+      status.Set("seconds", seconds);
+      status.Set("hz", profiler->hz());
+      return HttpResponse::Json(200, status.Dump(2) + "\n");
+    }
+    if (profiler->running()) {
+      JsonValue status = profiler->DescribeJson();
+      status.Set("status", "running");
+      return HttpResponse::Json(200, status.Dump(2) + "\n");
+    }
+    if (profiler->sample_count() == 0) {
+      return HttpResponse::Json(
+          200,
+          "{\"status\": \"idle\", \"hint\": \"GET /pprofz?seconds=N to "
+          "profile\"}\n");
+    }
+    return HttpResponse::Text(200, profiler->FoldedStacks());
+  });
+}
+
+}  // namespace obs
+}  // namespace inf2vec

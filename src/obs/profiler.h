@@ -1,0 +1,126 @@
+#ifndef INF2VEC_OBS_PROFILER_H_
+#define INF2VEC_OBS_PROFILER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace obs {
+
+class StatsServer;  // obs/http_server.h; kept forward to avoid a cycle.
+
+/// Sampling CPU profiler: SIGPROF driven by setitimer(ITIMER_PROF), so
+/// samples land proportionally to CPU actually burned (a blocked thread is
+/// never sampled — exactly the bias a "where do my cycles go" profile
+/// wants). The signal handler does the absolute minimum that is
+/// async-signal-safe: one relaxed fetch_add to claim a preallocated slot
+/// and one backtrace() into it (glibc's backtrace is warmed up — forced to
+/// load its unwinder — before the timer is armed, so the handler itself
+/// never allocates). Symbolization (dladdr + demangle) and aggregation run
+/// entirely offline in FoldedStacks().
+///
+/// Output is folded-stack text, one line per distinct stack, root first:
+///
+///   main;RunServe;TopK;ScoreBlockF32Avx2 412
+///
+/// i.e. directly flamegraph.pl / speedscope compatible, and trivially
+/// grep-able for "which frame dominates" assertions in tests.
+///
+/// The profiler is process-global (SIGPROF has one handler) — use
+/// Default(). Start/Stop are serialized; starting while running is an
+/// error. Samples survive Stop until the next Start, so /pprofz's
+/// start-then-poll flow and `--profile-out`'s profile-whole-run flow both
+/// read results after disarm.
+class CpuProfiler {
+ public:
+  struct Options {
+    /// Samples per second of CPU time.
+    int hz = 200;
+    /// Preallocated sample capacity; samples past this are counted in
+    /// truncated() and dropped (the handler never grows the buffer).
+    size_t max_samples = 1 << 15;
+  };
+
+  /// Frames kept per sample; deeper stacks are truncated at the leaf end.
+  static constexpr int kMaxFrames = 32;
+
+  static CpuProfiler& Default();
+
+  CpuProfiler();
+  ~CpuProfiler();
+
+  CpuProfiler(const CpuProfiler&) = delete;
+  CpuProfiler& operator=(const CpuProfiler&) = delete;
+
+  /// Arms the timer and installs the SIGPROF handler. Clears any samples
+  /// from a previous session. Fails if already running.
+  Status Start(const Options& options);
+  Status Start();
+
+  /// Start + a managed background thread that stops the profiler after
+  /// `seconds` of wall time (Stop() cancels it early). This is what
+  /// /pprofz?seconds=N uses: the stats server must not block while the
+  /// profile runs — a blocked server thread would serve no requests and
+  /// the profile would capture an idle process.
+  Status StartForDuration(double seconds, const Options& options);
+  Status StartForDuration(double seconds);
+
+  /// Disarms the timer, restores the previous SIGPROF disposition, joins
+  /// the auto-stop thread if one is pending. Idempotent.
+  Status Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Samples captured in the current/most recent session.
+  size_t sample_count() const;
+  /// Samples dropped because the buffer was full.
+  uint64_t truncated() const;
+  int hz() const { return options_.hz; }
+
+  /// Symbolized, aggregated folded stacks ("frame;frame;frame count\n"
+  /// lines, biggest count first). Call after Stop, or while running for a
+  /// partial view (samples racing in may be missed — fine for polling).
+  std::string FoldedStacks() const;
+
+  Status WriteFolded(const std::string& path) const;
+
+  /// Summary for the run report / /pprofz status: running, hz, samples,
+  /// truncated.
+  JsonValue DescribeJson() const;
+
+ private:
+  void StopTimerLocked();
+
+  Options options_;
+  std::atomic<bool> running_{false};
+  mutable std::mutex mu_;  // Serializes Start/Stop and the stop thread.
+  std::condition_variable stop_cv_;
+  bool cancel_auto_stop_ = false;  // Guarded by mu_.
+  std::thread auto_stop_;          // Guarded by mu_ (join outside lock).
+  bool timer_armed_ = false;       // Guarded by mu_.
+};
+
+/// Registers GET /pprofz on `server`, start-then-poll style (the stats
+/// server is single-threaded, so a handler that blocked for the profile
+/// duration would starve serving and profile an idle process):
+///
+///   GET /pprofz?seconds=N   starts an N-second profile, returns
+///                           immediately with {"status": "started"}
+///                           (or "running" if one is in flight)
+///   GET /pprofz             while running: JSON status;
+///                           after: the folded-stack text of the last
+///                           profile; never profiled: {"status": "idle"}
+void RegisterProfilerEndpoint(StatsServer* server, CpuProfiler* profiler);
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_PROFILER_H_

@@ -13,21 +13,53 @@ namespace {
 /// so tidy short forms matter less than exactness here.
 std::string FormatValue(double value) { return StrFormat("%.17g", value); }
 
-void AppendHistogram(const std::string& name, const Histogram& histogram,
-                     std::string* out) {
-  *out += "# TYPE " + name + " histogram\n";
+/// Registry names may carry a label block: `http.requests{endpoint="/topk"}`
+/// registers one metric per label combination under one Prometheus family.
+/// Split so the base sanitizes normally and the labels pass through
+/// verbatim (they are constructed programmatically, never from user data).
+struct SplitName {
+  std::string base;
+  std::string labels;  // Includes the braces; empty when unlabeled.
+};
+
+SplitName SplitLabels(const std::string& name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') return {name, ""};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+/// Merges one more `key="value"` pair into a label block ("" -> "{extra}").
+std::string WithLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+/// Emits "# TYPE family kind" once per family: labeled series of one base
+/// are adjacent in the name-sorted snapshot, and Prometheus parsers reject
+/// a family typed twice.
+void AppendTypeLine(const std::string& family, const char* kind,
+                    std::string* last_typed, std::string* out) {
+  if (family == *last_typed) return;
+  *out += "# TYPE " + family + " " + kind + "\n";
+  *last_typed = family;
+}
+
+void AppendHistogram(const std::string& family, const std::string& labels,
+                     const Histogram& histogram, std::string* out) {
   uint64_t cumulative = 0;
   uint64_t weighted_sum = 0;
   for (const auto& [bucket, count] : histogram.Items()) {
     cumulative += count;
     weighted_sum += bucket * count;
-    *out += name + "_bucket{le=\"" + std::to_string(bucket) + "\"} " +
+    *out += family + "_bucket" +
+            WithLabel(labels, "le=\"" + std::to_string(bucket) + "\"") + " " +
             std::to_string(cumulative) + "\n";
   }
-  *out += name + "_bucket{le=\"+Inf\"} " +
+  *out += family + "_bucket" + WithLabel(labels, "le=\"+Inf\"") + " " +
           std::to_string(histogram.total_count()) + "\n";
-  *out += name + "_sum " + std::to_string(weighted_sum) + "\n";
-  *out += name + "_count " + std::to_string(histogram.total_count()) + "\n";
+  *out += family + "_sum" + labels + " " + std::to_string(weighted_sum) + "\n";
+  *out += family + "_count" + labels + " " +
+          std::to_string(histogram.total_count()) + "\n";
 }
 
 }  // namespace
@@ -44,18 +76,24 @@ std::string PrometheusName(const std::string& name) {
 
 std::string RenderPrometheus(const MetricsRegistry::Snapshot& snapshot) {
   std::string out;
+  std::string last_typed;
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string metric = PrometheusName(name) + "_total";
-    out += "# TYPE " + metric + " counter\n";
-    out += metric + " " + std::to_string(value) + "\n";
+    const SplitName split = SplitLabels(name);
+    const std::string family = PrometheusName(split.base) + "_total";
+    AppendTypeLine(family, "counter", &last_typed, &out);
+    out += family + split.labels + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string metric = PrometheusName(name);
-    out += "# TYPE " + metric + " gauge\n";
-    out += metric + " " + FormatValue(value) + "\n";
+    const SplitName split = SplitLabels(name);
+    const std::string family = PrometheusName(split.base);
+    AppendTypeLine(family, "gauge", &last_typed, &out);
+    out += family + split.labels + " " + FormatValue(value) + "\n";
   }
   for (const auto& [name, histogram] : snapshot.histograms) {
-    AppendHistogram(PrometheusName(name), histogram, &out);
+    const SplitName split = SplitLabels(name);
+    const std::string family = PrometheusName(split.base);
+    AppendTypeLine(family, "histogram", &last_typed, &out);
+    AppendHistogram(family, split.labels, histogram, &out);
   }
   return out;
 }

@@ -1,0 +1,325 @@
+#include "obs/request_obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <random>
+
+#include "obs/http_server.h"
+#include "util/string_util.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+/// The root span every RequestScope opens; phase attribution treats it as
+/// the envelope, not a phase.
+constexpr char kRootSpanName[] = "request";
+
+uint64_t WallClockMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+JsonValue AttrsJson(
+    const std::vector<std::pair<std::string, std::string>>& attrs) {
+  JsonValue out = JsonValue::Object();
+  for (const auto& [key, value] : attrs) out.Set(key, value);
+  return out;
+}
+
+}  // namespace
+
+std::string GenerateRequestId() {
+  // One random prefix per process run + a sequence number: ids are unique
+  // within the run and two runs against the same log file stay
+  // distinguishable.
+  static const uint32_t boot = [] {
+    std::random_device rd;
+    return static_cast<uint32_t>(rd());
+  }();
+  static std::atomic<uint32_t> seq{1};
+  return StrFormat("%08x-%08x", boot,
+                   seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+RpczRegistry::RpczRegistry(MetricsRegistry* registry)
+    : registry_(registry), start_(std::chrono::steady_clock::now()) {}
+
+RpczRegistry::Endpoint* RpczRegistry::Begin(const std::string& endpoint) {
+  Endpoint* record = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Endpoint>& slot = endpoints_[endpoint];
+    if (slot == nullptr) {
+      slot = std::make_unique<Endpoint>();
+      slot->name = endpoint;
+      // Labeled series: obs/prometheus renders `base{label}` names as a
+      // proper Prometheus label block.
+      const std::string label = "{endpoint=\"" + endpoint + "\"}";
+      slot->requests = registry_->GetCounter("http.requests" + label);
+      slot->errors = registry_->GetCounter("http.errors" + label);
+      slot->latency_us = registry_->GetHistogram("http.latency_us" + label,
+                                                 DurationBoundariesUs());
+    }
+    record = slot.get();
+  }
+  record->in_flight.fetch_add(1, std::memory_order_relaxed);
+  return record;
+}
+
+void RpczRegistry::End(Endpoint* endpoint, int status, uint64_t latency_us) {
+  if (endpoint == nullptr) return;
+  endpoint->in_flight.fetch_sub(1, std::memory_order_relaxed);
+  endpoint->requests->Increment();
+  if (status >= 400) endpoint->errors->Increment();
+  endpoint->latency_us->Record(latency_us);
+}
+
+JsonValue RpczRegistry::ToJson() const {
+  const double uptime_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  JsonValue endpoints = JsonValue::Object();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, endpoint] : endpoints_) {
+      const uint64_t requests = endpoint->requests->Value();
+      const Histogram latency = endpoint->latency_us->Snapshot();
+      JsonValue row = JsonValue::Object();
+      row.Set("requests", requests);
+      row.Set("errors", endpoint->errors->Value());
+      row.Set("in_flight",
+              endpoint->in_flight.load(std::memory_order_relaxed));
+      row.Set("rate_per_sec",
+              uptime_sec > 0.0 ? static_cast<double>(requests) / uptime_sec
+                               : 0.0);
+      row.Set("p50_us", latency.Quantile(0.50));
+      row.Set("p95_us", latency.Quantile(0.95));
+      row.Set("p99_us", latency.Quantile(0.99));
+      endpoints.Set(name, std::move(row));
+    }
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("uptime_sec", uptime_sec);
+  out.Set("endpoints", std::move(endpoints));
+  return out;
+}
+
+JsonValue RequestTraceRecord::PhasesJson() const {
+  // Sum durations by span name. Only the root has no parent (every span
+  // below the handler nests under it), so parent_id == 0 filters the
+  // envelope out of the phase breakdown.
+  JsonValue out = JsonValue::Object();
+  for (const TraceEvent& span : spans) {
+    if (span.parent_id == 0) continue;
+    const JsonValue* existing = out.Find(span.name);
+    const uint64_t prior =
+        existing != nullptr ? static_cast<uint64_t>(existing->AsInt()) : 0;
+    out.Set(span.name, prior + span.duration_us);
+  }
+  return out;
+}
+
+JsonValue RequestTraceRecord::ToAccessLogJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("request_id", request_id);
+  out.Set("method", method);
+  out.Set("endpoint", endpoint);
+  out.Set("status", status);
+  out.Set("start_unix_us", start_unix_us);
+  out.Set("total_us", total_us);
+  out.Set("response_bytes", response_bytes);
+  out.Set("phases", PhasesJson());
+  out.Set("attrs", AttrsJson(attrs));
+  return out;
+}
+
+JsonValue RequestTraceRecord::ToJson() const {
+  JsonValue out = ToAccessLogJson();
+  JsonValue span_rows = JsonValue::Array();
+  for (const TraceEvent& span : spans) {
+    JsonValue row = JsonValue::Object();
+    row.Set("name", span.name);
+    row.Set("start_us", span.start_us);
+    row.Set("duration_us", span.duration_us);
+    row.Set("id", span.id);
+    row.Set("parent_id", span.parent_id);
+    if (!span.args.empty()) row.Set("args", AttrsJson(span.args));
+    span_rows.Append(std::move(row));
+  }
+  out.Set("spans", std::move(span_rows));
+  return out;
+}
+
+TracezBuffer::TracezBuffer(size_t recent_capacity, size_t slow_capacity,
+                           uint64_t slow_threshold_us)
+    : recent_capacity_(std::max<size_t>(1, recent_capacity)),
+      slow_capacity_(std::max<size_t>(1, slow_capacity)),
+      slow_threshold_us_(slow_threshold_us) {
+  recent_.reserve(recent_capacity_);
+  slow_.reserve(slow_capacity_);
+}
+
+void TracezBuffer::Record(RequestTraceRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (record.total_us >= slow_threshold_us_) {
+    if (slow_.size() < slow_capacity_) {
+      slow_.push_back(record);
+    } else {
+      // Full: replace the FASTEST retained trace, and only with a slower
+      // one — the slowest-N set is monotone, fast bursts cannot flush it.
+      auto fastest = std::min_element(
+          slow_.begin(), slow_.end(),
+          [](const RequestTraceRecord& a, const RequestTraceRecord& b) {
+            return a.total_us < b.total_us;
+          });
+      if (record.total_us > fastest->total_us) *fastest = record;
+    }
+  }
+  if (recent_.size() < recent_capacity_) {
+    recent_.push_back(std::move(record));
+  } else {
+    recent_[next_recent_] = std::move(record);
+    next_recent_ = (next_recent_ + 1) % recent_capacity_;
+    wrapped_ = true;
+    ++evicted_;
+  }
+}
+
+std::vector<RequestTraceRecord> TracezBuffer::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestTraceRecord> out;
+  out.reserve(recent_.size());
+  if (!wrapped_) {
+    out.assign(recent_.rbegin(), recent_.rend());
+    return out;
+  }
+  // Ring has wrapped: newest is the slot just before the write cursor.
+  for (size_t i = 0; i < recent_.size(); ++i) {
+    const size_t index =
+        (next_recent_ + recent_.size() - 1 - i) % recent_.size();
+    out.push_back(recent_[index]);
+  }
+  return out;
+}
+
+std::vector<RequestTraceRecord> TracezBuffer::Slowest() const {
+  std::vector<RequestTraceRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = slow_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestTraceRecord& a, const RequestTraceRecord& b) {
+              return a.total_us > b.total_us;
+            });
+  return out;
+}
+
+uint64_t TracezBuffer::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+JsonValue TracezBuffer::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("slow_threshold_us", slow_threshold_us_);
+  out.Set("evicted", evicted());
+  JsonValue slow_rows = JsonValue::Array();
+  for (const RequestTraceRecord& record : Slowest()) {
+    slow_rows.Append(record.ToJson());
+  }
+  out.Set("slowest", std::move(slow_rows));
+  JsonValue recent_rows = JsonValue::Array();
+  for (const RequestTraceRecord& record : Recent()) {
+    recent_rows.Append(record.ToJson());
+  }
+  out.Set("recent", std::move(recent_rows));
+  return out;
+}
+
+RequestScope::RequestScope(const RequestObservability& obs, std::string method,
+                           std::string endpoint,
+                           const std::string& inbound_request_id)
+    : obs_(obs),
+      request_id_(inbound_request_id.empty() ? GenerateRequestId()
+                                             : inbound_request_id),
+      method_(std::move(method)),
+      endpoint_(std::move(endpoint)),
+      start_unix_us_(WallClockMicros()),
+      start_us_(TraceCollector::Default().NowMicros()),
+      start_steady_(std::chrono::steady_clock::now()),
+      rpcz_endpoint_(obs_.rpcz != nullptr ? obs_.rpcz->Begin(endpoint_)
+                                          : nullptr),
+      // Span capture costs strings + clock reads per span, so the sink is
+      // installed only when something will consume the spans.
+      sink_guard_(obs_.tracez != nullptr || obs_.access_log != nullptr
+                      ? this
+                      : nullptr),
+      root_(std::make_unique<TraceSpan>(kRootSpanName, "serve")) {}
+
+void RequestScope::OnSpanEnd(const TraceEvent& event) {
+  // Only ever called from the request thread (the sink is thread-local),
+  // so no synchronization.
+  spans_.push_back(event);
+}
+
+RequestScope::~RequestScope() {
+  // Close the root span first so its event (with every attribute the
+  // handler attached) lands in spans_ through OnSpanEnd.
+  const bool collect = obs_.tracez != nullptr || obs_.access_log != nullptr;
+  root_->SetAttr("request_id", request_id_);
+  root_.reset();
+
+  const uint64_t total_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_steady_)
+          .count());
+  if (obs_.rpcz != nullptr) {
+    obs_.rpcz->End(rpcz_endpoint_, status_, total_us);
+  }
+  if (!collect) return;
+
+  RequestTraceRecord record;
+  record.request_id = std::move(request_id_);
+  record.method = std::move(method_);
+  record.endpoint = std::move(endpoint_);
+  record.status = status_;
+  record.start_unix_us = start_unix_us_;
+  record.total_us = total_us;
+  record.response_bytes = response_bytes_;
+  for (TraceEvent& span : spans_) {
+    // Rebase onto the request clock so traces read as "us into request".
+    span.start_us = span.start_us >= start_us_ ? span.start_us - start_us_ : 0;
+    if (span.parent_id == 0) record.attrs = span.args;
+  }
+  record.spans = std::move(spans_);
+
+  if (obs_.access_log != nullptr) {
+    obs_.access_log->Append(record.ToAccessLogJson());
+  }
+  if (obs_.tracez != nullptr) {
+    obs_.tracez->Record(std::move(record));
+  }
+}
+
+void RegisterRequestObsEndpoints(StatsServer* server, RpczRegistry* rpcz,
+                                 TracezBuffer* tracez) {
+  server->Handle("/rpcz", [rpcz](const HttpRequest&) {
+    if (rpcz == nullptr) {
+      return HttpResponse::Json(404, "{\"error\": \"rpcz not enabled\"}\n");
+    }
+    return HttpResponse::Json(200, rpcz->ToJson().Dump(2) + "\n");
+  });
+  server->Handle("/tracez", [tracez](const HttpRequest&) {
+    if (tracez == nullptr) {
+      return HttpResponse::Json(404, "{\"error\": \"tracez not enabled\"}\n");
+    }
+    return HttpResponse::Json(200, tracez->ToJson().Dump(2) + "\n");
+  });
+}
+
+}  // namespace obs
+}  // namespace inf2vec

@@ -1,0 +1,214 @@
+#ifndef INF2VEC_OBS_REQUEST_OBS_H_
+#define INF2VEC_OBS_REQUEST_OBS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/access_log.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace inf2vec {
+namespace obs {
+
+class StatsServer;  // obs/http_server.h; kept forward to avoid a cycle.
+
+/// Request ids are short hex tokens, unique within a process run. An
+/// inbound X-Request-Id always wins over a generated one so ids correlate
+/// across services.
+std::string GenerateRequestId();
+
+/// Live per-endpoint serving statistics — the data behind /rpcz. One
+/// Begin/End pair per request; Begin resolves the endpoint record once so
+/// the request path pays a single map lookup. Alongside the local
+/// aggregates, every endpoint publishes labeled Prometheus series into
+/// the metrics registry:
+///
+///   inf2vec_http_requests_total{endpoint="/topk"}
+///   inf2vec_http_errors_total{endpoint="/topk"}
+///   inf2vec_http_latency_us{endpoint="/topk"}   (histogram)
+///
+/// Thread-safe: the map is guarded by a mutex (touched once per request
+/// at Begin); counters/histograms synchronize internally; in-flight is a
+/// plain atomic.
+class RpczRegistry {
+ public:
+  explicit RpczRegistry(
+      MetricsRegistry* registry = &MetricsRegistry::Default());
+
+  RpczRegistry(const RpczRegistry&) = delete;
+  RpczRegistry& operator=(const RpczRegistry&) = delete;
+
+  struct Endpoint {
+    std::string name;
+    std::atomic<int64_t> in_flight{0};
+    Counter* requests = nullptr;
+    Counter* errors = nullptr;
+    HistogramMetric* latency_us = nullptr;
+  };
+
+  /// Marks a request in flight on `endpoint` (registered on first use)
+  /// and returns its record; pass the pointer to End.
+  Endpoint* Begin(const std::string& endpoint);
+
+  /// Completes the request: status >= 400 counts as an error.
+  void End(Endpoint* endpoint, int status, uint64_t latency_us);
+
+  /// The /rpcz payload: uptime plus, per endpoint, request count, error
+  /// count, in-flight, lifetime rate, and p50/p95/p99 latency.
+  JsonValue ToJson() const;
+
+ private:
+  MetricsRegistry* const registry_;
+  const std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  /// unique_ptr values: Endpoint addresses stay stable across rehash.
+  std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
+};
+
+/// One fully-attributed request trace: the wide event the access log
+/// writes and /tracez serves. `spans` holds every span completed on the
+/// request thread while the request ran (timestamps rebased to the
+/// request start), `attrs` the root span's attributes.
+struct RequestTraceRecord {
+  std::string request_id;
+  std::string method;
+  std::string endpoint;
+  int status = 0;
+  uint64_t start_unix_us = 0;  // Wall clock, for log correlation.
+  uint64_t total_us = 0;
+  uint64_t response_bytes = 0;
+  std::vector<TraceEvent> spans;
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  /// Child spans summed by name: {"parse": 12, "kernel_scan": 840, ...}.
+  JsonValue PhasesJson() const;
+  /// Full trace (id, endpoint, status, timings, phases, attrs, spans).
+  JsonValue ToJson() const;
+  /// The access-log wide event: one compact line's worth — everything in
+  /// ToJson minus the raw span list (phases carry the attribution).
+  JsonValue ToAccessLogJson() const;
+};
+
+/// Retains finished request traces for /tracez: a ring of the N most
+/// recent requests (any speed) plus the N slowest requests at or above
+/// `slow_threshold_us`. The slow buffer evicts its FASTEST entry when
+/// full, so tail-latency requests are never pushed out by a burst of fast
+/// traffic — the failure mode a plain ring has exactly when /tracez
+/// matters. Threshold 0 admits every request to the slow ranking.
+class TracezBuffer {
+ public:
+  explicit TracezBuffer(size_t recent_capacity = 32,
+                        size_t slow_capacity = 32,
+                        uint64_t slow_threshold_us = 0);
+
+  TracezBuffer(const TracezBuffer&) = delete;
+  TracezBuffer& operator=(const TracezBuffer&) = delete;
+
+  void Record(RequestTraceRecord record);
+
+  /// Most recent first.
+  std::vector<RequestTraceRecord> Recent() const;
+  /// Slowest first.
+  std::vector<RequestTraceRecord> Slowest() const;
+
+  /// Recent-ring records overwritten so far.
+  uint64_t evicted() const;
+  uint64_t slow_threshold_us() const { return slow_threshold_us_; }
+
+  /// The /tracez payload.
+  JsonValue ToJson() const;
+
+ private:
+  const size_t recent_capacity_;
+  const size_t slow_capacity_;
+  const uint64_t slow_threshold_us_;
+  mutable std::mutex mu_;
+  std::vector<RequestTraceRecord> recent_;  // Ring. Guarded by mu_.
+  size_t next_recent_ = 0;                  // Guarded by mu_.
+  bool wrapped_ = false;                    // Guarded by mu_.
+  uint64_t evicted_ = 0;                    // Guarded by mu_.
+  std::vector<RequestTraceRecord> slow_;    // Unordered. Guarded by mu_.
+};
+
+/// The request-observability bundle a server (or bench loop) threads
+/// through its dispatch path. Any member may be null; everything-null
+/// means requests run exactly as before (zero overhead). The pointed-to
+/// objects must outlive every request.
+struct RequestObservability {
+  RpczRegistry* rpcz = nullptr;
+  TracezBuffer* tracez = nullptr;
+  AccessLog* access_log = nullptr;
+
+  bool enabled() const {
+    return rpcz != nullptr || tracez != nullptr || access_log != nullptr;
+  }
+};
+
+/// RAII scope around one request: opens the root TraceSpan, installs a
+/// thread-local sink so every span below the handler lands in this
+/// request's trace, and on destruction records the assembled
+/// RequestTraceRecord into rpcz / tracez / the access log.
+///
+/// Usage (what StatsServer does per request):
+///
+///   RequestScope scope(obs, "GET", "/topk", inbound_id);
+///   ... run the handler; spans + TraceSpan::Current()->SetAttr land here
+///   scope.set_status(response.code);
+///   scope.set_response_bytes(response.body.size());
+///   // destructor finalizes
+///
+/// One scope per thread at a time (scopes install a thread-local sink);
+/// nesting requests is not a thing this layer models.
+class RequestScope : public TraceSink {
+ public:
+  RequestScope(const RequestObservability& obs, std::string method,
+               std::string endpoint, const std::string& inbound_request_id);
+  ~RequestScope() override;
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  const std::string& request_id() const { return request_id_; }
+  /// The request's root span (active for the scope's lifetime); attach
+  /// request-level attributes here. Never null.
+  TraceSpan* root() { return root_.get(); }
+
+  void set_status(int status) { status_ = status; }
+  void set_response_bytes(uint64_t bytes) { response_bytes_ = bytes; }
+
+  void OnSpanEnd(const TraceEvent& event) override;
+
+ private:
+  RequestObservability obs_;
+  std::string request_id_;
+  std::string method_;
+  std::string endpoint_;
+  int status_ = 200;
+  uint64_t response_bytes_ = 0;
+  uint64_t start_unix_us_ = 0;
+  uint64_t start_us_ = 0;  // Collector clock, rebases child spans.
+  std::chrono::steady_clock::time_point start_steady_;
+  RpczRegistry::Endpoint* rpcz_endpoint_ = nullptr;
+  std::vector<TraceEvent> spans_;
+  ScopedTraceSink sink_guard_;
+  std::unique_ptr<TraceSpan> root_;
+};
+
+/// Registers GET /rpcz and GET /tracez on `server`. Null members are
+/// served as informative 404-style JSON rather than crashing, so partial
+/// deployments (rpcz without tracez) work.
+void RegisterRequestObsEndpoints(StatsServer* server, RpczRegistry* rpcz,
+                                 TracezBuffer* tracez);
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_REQUEST_OBS_H_

@@ -9,6 +9,17 @@
 
 namespace inf2vec {
 namespace obs {
+namespace {
+
+/// Per-thread span state: the innermost active span (parent for the next
+/// one) and the installed sink. Thread-locals, so no synchronization.
+thread_local TraceSpan* t_current_span = nullptr;
+thread_local TraceSink* t_sink = nullptr;
+
+/// Process-wide span-id source; 0 is reserved for "no parent".
+std::atomic<uint64_t> g_next_span_id{1};
+
+}  // namespace
 
 TraceCollector::TraceCollector(size_t capacity)
     : capacity_(std::max<size_t>(1, capacity)),
@@ -30,17 +41,29 @@ uint64_t TraceCollector::NowMicros() const {
 }
 
 void TraceCollector::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(event));
-    return;
+  bool overflowed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(event));
+    } else {
+      // Full: overwrite the oldest (the cursor always points at it once
+      // the ring has wrapped).
+      ring_[next_] = std::move(event);
+      next_ = (next_ + 1) % capacity_;
+      wrapped_ = true;
+      ++dropped_;
+      overflowed = true;
+    }
   }
-  // Full: overwrite the oldest (the cursor always points at it once the
-  // ring has wrapped).
-  ring_[next_] = std::move(event);
-  next_ = (next_ + 1) % capacity_;
-  wrapped_ = true;
-  ++dropped_;
+  // Overflow is the one trace condition operators must see: the ring
+  // wrapping during a burst is exactly when /tracez-style accounting goes
+  // blind. Counted off-lock — the counter stripes synchronize themselves.
+  if (overflowed && MetricsEnabled()) {
+    static Counter* drops =
+        MetricsRegistry::Default().GetCounter("trace.dropped");
+    drops->Increment();
+  }
 }
 
 std::vector<TraceEvent> TraceCollector::Events() const {
@@ -82,10 +105,29 @@ std::string TraceCollector::ToChromeTraceJson() const {
     if (i > 0) out += ',';
     out += StrFormat(
         "\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-        "\"ts\": %llu, \"dur\": %llu, \"pid\": 1, \"tid\": %u}",
+        "\"ts\": %llu, \"dur\": %llu, \"pid\": 1, \"tid\": %u",
         JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(),
         static_cast<unsigned long long>(e.start_us),
         static_cast<unsigned long long>(e.duration_us), e.tid);
+    // Span linkage + attributes ride in "args" so the viewer's details
+    // pane shows them; absent for legacy two-field events.
+    if (e.id != 0 || !e.args.empty()) {
+      out += ", \"args\": {";
+      bool first = true;
+      if (e.id != 0) {
+        out += StrFormat("\"span_id\": %llu, \"parent_id\": %llu",
+                         static_cast<unsigned long long>(e.id),
+                         static_cast<unsigned long long>(e.parent_id));
+        first = false;
+      }
+      for (const auto& [key, value] : e.args) {
+        if (!first) out += ", ";
+        out += "\"" + JsonEscape(key) + "\": \"" + JsonEscape(value) + "\"";
+        first = false;
+      }
+      out += "}";
+    }
+    out += "}";
   }
   out += "\n]}\n";
   return out;
@@ -105,22 +147,69 @@ Status TraceCollector::WriteChromeTrace(const std::string& path) const {
   return Status::OK();
 }
 
+TraceSink* SetThreadTraceSink(TraceSink* sink) {
+  TraceSink* previous = t_sink;
+  t_sink = sink;
+  return previous;
+}
+
+TraceSink* ThreadTraceSink() { return t_sink; }
+
+TraceSpan* TraceSpan::Current() { return t_current_span; }
+
 TraceSpan::TraceSpan(std::string name, std::string category,
-                     TraceCollector* collector)
-    : collector_(collector != nullptr && collector->enabled() ? collector
-                                                              : nullptr) {
-  if (collector_ == nullptr) return;
+                     TraceCollector* collector) {
+  sink_ = t_sink;
+  const bool collector_on = collector != nullptr && collector->enabled();
+  if (sink_ == nullptr && !collector_on) return;  // Inert.
+  active_ = true;
+  collector_ = collector_on ? collector : nullptr;
   name_ = std::move(name);
   category_ = std::move(category);
-  start_us_ = collector_->NowMicros();
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = this;
+  // Sink-only spans still time against the default collector's epoch so
+  // every span in the process shares one clock base.
+  start_us_ = (collector_ != nullptr ? collector_ : &TraceCollector::Default())
+                  ->NowMicros();
 }
 
 TraceSpan::~TraceSpan() {
-  if (collector_ == nullptr) return;
-  const uint64_t end_us = collector_->NowMicros();
-  collector_->Record(TraceEvent{
-      std::move(name_), std::move(category_), CurrentThreadIndex(), start_us_,
-      end_us - start_us_});
+  if (!active_) return;
+  t_current_span = parent_;
+  const uint64_t end_us =
+      (collector_ != nullptr ? collector_ : &TraceCollector::Default())
+          ->NowMicros();
+  TraceEvent event{std::move(name_),
+                   std::move(category_),
+                   CurrentThreadIndex(),
+                   start_us_,
+                   end_us - start_us_,
+                   id_,
+                   parent_ != nullptr ? parent_->id_ : 0,
+                   std::move(args_)};
+  if (sink_ != nullptr) sink_->OnSpanEnd(event);
+  if (collector_ != nullptr) collector_->Record(std::move(event));
+}
+
+void TraceSpan::SetAttr(const std::string& key, std::string value) {
+  if (!active_) return;
+  args_.emplace_back(key, std::move(value));
+}
+
+void TraceSpan::SetAttr(const std::string& key, const char* value) {
+  SetAttr(key, std::string(value));
+}
+
+void TraceSpan::SetAttr(const std::string& key, uint64_t value) {
+  if (!active_) return;
+  args_.emplace_back(key, std::to_string(value));
+}
+
+void TraceSpan::SetAttr(const std::string& key, bool value) {
+  if (!active_) return;
+  args_.emplace_back(key, value ? "true" : "false");
 }
 
 }  // namespace obs

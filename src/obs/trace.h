@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -15,12 +16,19 @@ namespace obs {
 
 /// One completed span, chrome://tracing "X" (complete) event semantics:
 /// half-open interval [start_us, start_us + duration_us) on track `tid`.
+/// `id`/`parent_id` link spans into a tree (0 = root / no parent) and
+/// `args` carries per-span attributes (seed-set size, cache hit/miss,
+/// kernel ISA...) — both are emitted into the chrome trace's "args" so
+/// Perfetto shows them in the span details pane.
 struct TraceEvent {
   std::string name;
   std::string category;
   uint32_t tid = 0;
   uint64_t start_us = 0;
   uint64_t duration_us = 0;
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  std::vector<std::pair<std::string, std::string>> args;
 };
 
 /// Fixed-capacity ring buffer of completed spans. Recording is guarded by
@@ -28,7 +36,10 @@ struct TraceEvent {
 /// magnitude below pair-level work, so the lock never sees real
 /// contention. When the ring is full the OLDEST event is overwritten: a
 /// trace of a long run keeps its tail, which is where the interesting
-/// convergence behaviour lives. Disabled (the default) collectors record
+/// convergence behaviour lives. Overwrites bump the `trace.dropped`
+/// counter (exported as inf2vec_trace_dropped_total and in /varz) so a
+/// busy period that wraps the ring is visible instead of silently
+/// corrupting span accounting. Disabled (the default) collectors record
 /// nothing; TraceSpan checks the flag once at construction.
 class TraceCollector {
  public:
@@ -75,11 +86,48 @@ class TraceCollector {
   std::chrono::steady_clock::time_point epoch_;  // Guarded by mu_.
 };
 
+/// Receives every span completed on the thread it is installed on (see
+/// SetThreadTraceSink). The request-observability layer installs one per
+/// HTTP request so spans opened anywhere below the handler — endpoint
+/// parsing, seed-cache gather, the kernel scan — assemble into that
+/// request's trace without the serving code knowing about HTTP.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnSpanEnd(const TraceEvent& event) = 0;
+};
+
+/// Installs `sink` as the calling thread's span sink and returns the
+/// previous one (null = none). Callers restore the previous sink when
+/// done — ScopedTraceSink does this automatically.
+TraceSink* SetThreadTraceSink(TraceSink* sink);
+TraceSink* ThreadTraceSink();
+
+/// RAII sink installation for one scope (one request, one bench arm).
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink* sink)
+      : previous_(SetThreadTraceSink(sink)) {}
+  ~ScopedTraceSink() { SetThreadTraceSink(previous_); }
+
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceSink* previous_;
+};
+
 /// RAII span: captures the start time at construction, records a
-/// TraceEvent into the collector at destruction. When the collector is
-/// disabled at construction the span is inert (two relaxed loads total).
-/// Spans may nest freely across scopes and threads; the viewer nests by
-/// interval containment per track.
+/// TraceEvent at destruction — into the collector (when enabled) and into
+/// the calling thread's TraceSink (when installed). When neither is
+/// active at construction the span is inert: two relaxed loads, no
+/// strings, no clock reads, and SetAttr is a no-op.
+///
+/// Active spans form a per-thread stack: a span's parent is the span that
+/// was Current() when it was constructed, so nesting needs no explicit
+/// plumbing. Spans may still nest freely across scopes and threads; the
+/// chrome viewer nests by interval containment per track, and the
+/// id/parent_id linkage reconstructs the tree exactly.
 class TraceSpan {
  public:
   explicit TraceSpan(std::string name, std::string category = "inf2vec",
@@ -89,11 +137,30 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// Innermost active span on the calling thread; null when tracing is
+  /// off. Lets deep code attach attributes to the enclosing span (e.g. a
+  /// request handler stamping the model generation on its root span).
+  static TraceSpan* Current();
+
+  /// Attaches a key/value attribute. No-op on an inert span.
+  void SetAttr(const std::string& key, std::string value);
+  void SetAttr(const std::string& key, const char* value);
+  void SetAttr(const std::string& key, uint64_t value);
+  void SetAttr(const std::string& key, bool value);
+
+  bool active() const { return active_; }
+  uint64_t span_id() const { return id_; }
+
  private:
-  TraceCollector* collector_;  // Null when inert.
+  bool active_ = false;
+  TraceCollector* collector_ = nullptr;  // Null unless collector-enabled.
+  TraceSink* sink_ = nullptr;            // Null unless a sink is installed.
+  TraceSpan* parent_ = nullptr;          // Enclosing active span, if any.
+  uint64_t id_ = 0;
   std::string name_;
   std::string category_;
   uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
 };
 
 }  // namespace obs

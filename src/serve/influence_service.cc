@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "kernels/kernels.h"
+#include "obs/trace.h"
 
 namespace inf2vec {
 namespace serve {
@@ -241,9 +242,14 @@ Result<ScoreResult> InfluenceService::ScoreActivation(
 
   const uint64_t deadline = ResolveDeadline(request.deadline_us, start);
   bool cache_hit = false;
-  const std::shared_ptr<const SeedBlock> block =
-      qstore_ != nullptr ? cache_->Get(*qstore_, request.seeds, &cache_hit)
-                         : cache_->Get(store(), request.seeds, &cache_hit);
+  std::shared_ptr<const SeedBlock> block;
+  {
+    obs::TraceSpan span("cache_lookup", "serve");
+    block = qstore_ != nullptr
+                ? cache_->Get(*qstore_, request.seeds, &cache_hit)
+                : cache_->Get(store(), request.seeds, &cache_hit);
+    span.SetAttr("cache_hit", cache_hit);
+  }
   if (obs::MetricsEnabled()) {
     (cache_hit ? cache_hits_ : cache_misses_)->Increment();
   }
@@ -256,15 +262,19 @@ Result<ScoreResult> InfluenceService::ScoreActivation(
   const Aggregation aggregation = ResolveAggregation(request.aggregation);
   ScoreResult result;
   result.cache_hit = cache_hit;
-  if (qstore_ != nullptr) {
-    result.score = ScoreCandidateQuantized(
-        *block, qstore_->Target(request.candidate).data(),
-        qstore_->target_scale(request.candidate),
-        qstore_->target_bias(request.candidate), aggregation, &scratch);
-  } else {
-    result.score = ScoreCandidate(
-        *block, store().Target(request.candidate).data(),
-        store().target_bias(request.candidate), aggregation, &scratch);
+  {
+    obs::TraceSpan span("kernel_scan", "serve");
+    span.SetAttr("seed_count", static_cast<uint64_t>(request.seeds.size()));
+    if (qstore_ != nullptr) {
+      result.score = ScoreCandidateQuantized(
+          *block, qstore_->Target(request.candidate).data(),
+          qstore_->target_scale(request.candidate),
+          qstore_->target_bias(request.candidate), aggregation, &scratch);
+    } else {
+      result.score = ScoreCandidate(
+          *block, store().Target(request.candidate).data(),
+          store().target_bias(request.candidate), aggregation, &scratch);
+    }
   }
   if (obs::MetricsEnabled()) score_latency_us_->Record(NowUs() - start);
   return result;
@@ -293,9 +303,14 @@ Result<TopKResult> InfluenceService::TopK(const TopKRequest& request) const {
   const Aggregation aggregation = ResolveAggregation(request.aggregation);
 
   bool cache_hit = false;
-  const std::shared_ptr<const SeedBlock> block =
-      qstore_ != nullptr ? cache_->Get(*qstore_, request.seeds, &cache_hit)
-                         : cache_->Get(store(), request.seeds, &cache_hit);
+  std::shared_ptr<const SeedBlock> block;
+  {
+    obs::TraceSpan span("cache_lookup", "serve");
+    block = qstore_ != nullptr
+                ? cache_->Get(*qstore_, request.seeds, &cache_hit)
+                : cache_->Get(store(), request.seeds, &cache_hit);
+    span.SetAttr("cache_hit", cache_hit);
+  }
   if (obs::MetricsEnabled()) {
     (cache_hit ? cache_hits_ : cache_misses_)->Increment();
   }
@@ -331,39 +346,48 @@ Result<TopKResult> InfluenceService::TopK(const TopKRequest& request) const {
   TopKResult result;
   result.cache_hit = cache_hit;
   const uint32_t num_users = s.num_users();
-  for (uint32_t begin = 0; begin < num_users;
-       begin += options_.scan_block) {
-    if (deadline != 0 && NowUs() > deadline) {
-      if (obs::MetricsEnabled()) deadline_exceeded_->Increment();
-      return fail(Status::DeadlineExceeded(
-          "top-k scan exceeded deadline after " +
-          std::to_string(result.scanned) + " candidates"));
-    }
-    const uint32_t end =
-        std::min<uint64_t>(num_users, uint64_t{begin} + options_.scan_block);
-    for (uint32_t v = begin; v < end; ++v) {
-      while (next_excluded < excluded.size() && excluded[next_excluded] < v) {
-        ++next_excluded;
+  {
+    obs::TraceSpan span("kernel_scan", "serve");
+    span.SetAttr("seed_count", static_cast<uint64_t>(request.seeds.size()));
+    span.SetAttr("candidates", static_cast<uint64_t>(num_users));
+    for (uint32_t begin = 0; begin < num_users;
+         begin += options_.scan_block) {
+      if (deadline != 0 && NowUs() > deadline) {
+        if (obs::MetricsEnabled()) deadline_exceeded_->Increment();
+        return fail(Status::DeadlineExceeded(
+            "top-k scan exceeded deadline after " +
+            std::to_string(result.scanned) + " candidates"));
       }
-      if (next_excluded < excluded.size() && excluded[next_excluded] == v) {
-        ++next_excluded;
-        continue;
-      }
-      ++result.scanned;
-      const TopKEntry entry{v, score_candidate(v)};
-      if (heap.size() < request.k) {
-        heap.push_back(entry);
-        std::push_heap(heap.begin(), heap.end(), BetterThan);
-      } else if (BetterThan(entry, heap.front())) {
-        std::pop_heap(heap.begin(), heap.end(), BetterThan);
-        heap.back() = entry;
-        std::push_heap(heap.begin(), heap.end(), BetterThan);
+      const uint32_t end =
+          std::min<uint64_t>(num_users, uint64_t{begin} + options_.scan_block);
+      for (uint32_t v = begin; v < end; ++v) {
+        while (next_excluded < excluded.size() &&
+               excluded[next_excluded] < v) {
+          ++next_excluded;
+        }
+        if (next_excluded < excluded.size() && excluded[next_excluded] == v) {
+          ++next_excluded;
+          continue;
+        }
+        ++result.scanned;
+        const TopKEntry entry{v, score_candidate(v)};
+        if (heap.size() < request.k) {
+          heap.push_back(entry);
+          std::push_heap(heap.begin(), heap.end(), BetterThan);
+        } else if (BetterThan(entry, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), BetterThan);
+          heap.back() = entry;
+          std::push_heap(heap.begin(), heap.end(), BetterThan);
+        }
       }
     }
   }
 
-  std::sort(heap.begin(), heap.end(), BetterThan);
-  result.entries = std::move(heap);
+  {
+    obs::TraceSpan span("merge", "serve");
+    std::sort(heap.begin(), heap.end(), BetterThan);
+    result.entries = std::move(heap);
+  }
   if (obs::MetricsEnabled()) topk_latency_us_->Record(NowUs() - start);
   return result;
 }

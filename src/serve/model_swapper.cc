@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace inf2vec {
 namespace serve {
 
@@ -20,6 +22,7 @@ ModelSwapper::~ModelSwapper() { StopWatching(); }
 
 Status ModelSwapper::Reload() {
   std::lock_guard<std::mutex> lock(reload_mu_);
+  obs::TraceSpan span("model_reload", "serve");
   const auto start = std::chrono::steady_clock::now();
 
   // Stat before reading: if the file is replaced between the stat and the
@@ -40,6 +43,7 @@ Status ModelSwapper::Reload() {
 
   const uint64_t generation =
       next_generation_.fetch_add(1, std::memory_order_relaxed);
+  span.SetAttr("generation", generation);
   auto versioned = std::make_shared<const VersionedService>(
       generation, std::move(loaded).value());
   {

@@ -2,9 +2,21 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace inf2vec {
 namespace serve {
 namespace {
+
+/// Miss-path gather under a span: a request trace shows "seed_gather" time
+/// exactly when the cache missed, so hit/miss is legible from the phase
+/// breakdown alone.
+std::shared_ptr<const SeedBlock> TracedGather(
+    const std::function<SeedBlock()>& gather, size_t seed_count) {
+  obs::TraceSpan span("seed_gather", "serve");
+  span.SetAttr("seed_count", static_cast<uint64_t>(seed_count));
+  return std::make_shared<const SeedBlock>(gather());
+}
 
 /// Exact binary key: the id sequence verbatim. Cheap to build and free of
 /// separator ambiguity.
@@ -74,9 +86,10 @@ std::shared_ptr<const SeedBlock> SeedBlockCache::GetImpl(
     const std::function<SeedBlock()>& gather, bool* cache_hit) {
   if (capacity_ == 0) {
     if (cache_hit != nullptr) *cache_hit = false;
+    std::shared_ptr<const SeedBlock> block = TracedGather(gather, seeds.size());
     std::lock_guard<std::mutex> lock(mu_);
     ++misses_;
-    return std::make_shared<SeedBlock>(gather());
+    return block;
   }
 
   const std::string key = CacheKey(seeds);
@@ -94,7 +107,7 @@ std::shared_ptr<const SeedBlock> SeedBlockCache::GetImpl(
   // Gather outside the lock: misses on distinct keys proceed in parallel
   // (two racing misses on the same key both insert; last one wins, both
   // blocks are identical).
-  auto block = std::make_shared<const SeedBlock>(gather());
+  std::shared_ptr<const SeedBlock> block = TracedGather(gather, seeds.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++misses_;

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "core/aggregation.h"
+#include "kernels/kernels.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace inf2vec {
@@ -22,19 +24,41 @@ HttpResponse ErrorResponse(const Status& status) {
   return HttpResponse::Json(HttpCodeFor(status), body.Dump(0));
 }
 
-/// "1,5,9" -> {1, 5, 9}; rejects empties and non-numeric fields.
-Result<std::vector<UserId>> ParseSeedList(const std::string& csv) {
+/// "1,5,9" -> {1, 5, 9}; rejects empties and non-numeric fields. `key`
+/// names the query parameter in the error so 400s always point at the
+/// offending input.
+Result<std::vector<UserId>> ParseSeedList(const HttpRequest& request,
+                                          const std::string& key) {
+  if (!request.HasQuery(key)) {
+    return Status::InvalidArgument("missing required parameter: " + key);
+  }
+  const std::string csv = request.QueryOr(key, "");
   std::vector<UserId> seeds;
   for (std::string_view field : SplitString(csv, ',')) {
     uint32_t id = 0;
     const Status parsed = ParseUint32(TrimString(field), &id);
     if (!parsed.ok()) {
-      return Status::InvalidArgument("bad seed id '" + std::string(field) +
+      return Status::InvalidArgument("bad " + key + " entry '" +
+                                     std::string(field) +
                                      "': " + parsed.message());
     }
     seeds.push_back(id);
   }
   return seeds;
+}
+
+/// Required uint parameter; 400s name `key`.
+Status ParseRequiredUint32(const HttpRequest& request, const std::string& key,
+                           uint32_t* out) {
+  if (!request.HasQuery(key)) {
+    return Status::InvalidArgument("missing required parameter: " + key);
+  }
+  const std::string raw = request.QueryOr(key, "");
+  const Status parsed = ParseUint32(raw, out);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("bad " + key + " '" + raw + "'");
+  }
+  return Status::OK();
 }
 
 /// Optional uint parameter; missing keeps `*out` unchanged.
@@ -57,7 +81,10 @@ Status ParseOptionalAggregation(const HttpRequest& request,
   if (!request.HasQuery("aggregation")) return Status::OK();
   const std::string name = request.QueryOr("aggregation", "");
   Result<Aggregation> parsed = ParseAggregation(name);
-  if (!parsed.ok()) return parsed.status();
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("bad aggregation '" + name +
+                                   "': " + parsed.status().message());
+  }
   *out = parsed.value();
   return Status::OK();
 }
@@ -66,6 +93,34 @@ Status ParseOptionalAggregation(const HttpRequest& request,
 /// passes nullopt and emits no field.
 using GenerationTag = std::optional<uint64_t>;
 
+/// The parameters /score and /topk share — required `seeds`, optional
+/// `aggregation` and `deadline_us` — parsed once, identically, under a
+/// "parse" trace span. Every failure names the offending parameter.
+template <typename RequestT>
+Status ParseCommonQuery(const HttpRequest& request, RequestT* query) {
+  Result<std::vector<UserId>> seeds = ParseSeedList(request, "seeds");
+  if (!seeds.ok()) return seeds.status();
+  query->seeds = std::move(seeds).value();
+  INF2VEC_RETURN_IF_ERROR(
+      ParseOptionalAggregation(request, &query->aggregation));
+  INF2VEC_RETURN_IF_ERROR(
+      ParseOptionalUint(request, "deadline_us", &query->deadline_us));
+  return Status::OK();
+}
+
+/// Stamps the request-level attributes (seed-set size, kernel ISA, quant
+/// mode, generation) onto the enclosing request's root span — a no-op
+/// unless request observability has a scope open on this thread.
+void AnnotateRootSpan(const InfluenceService& service,
+                      const GenerationTag& generation, size_t seed_count) {
+  obs::TraceSpan* root = obs::TraceSpan::Current();
+  if (root == nullptr) return;
+  root->SetAttr("seed_count", static_cast<uint64_t>(seed_count));
+  root->SetAttr("kernel_isa", kernels::IsaName(kernels::ActiveIsa()));
+  root->SetAttr("quant_mode", QuantModeName(service.quant_mode()));
+  if (generation.has_value()) root->SetAttr("generation", *generation);
+}
+
 void SetGeneration(JsonValue* body, const GenerationTag& generation) {
   if (generation.has_value()) body->Set("generation", *generation);
 }
@@ -73,35 +128,21 @@ void SetGeneration(JsonValue* body, const GenerationTag& generation) {
 HttpResponse HandleScore(const InfluenceService& service,
                          const GenerationTag& generation,
                          const HttpRequest& request) {
-  if (!request.HasQuery("candidate")) {
-    return ErrorResponse(
-        Status::InvalidArgument("missing required parameter: candidate"));
-  }
-  if (!request.HasQuery("seeds")) {
-    return ErrorResponse(
-        Status::InvalidArgument("missing required parameter: seeds"));
-  }
   ScoreRequest query;
-  uint32_t candidate = 0;
-  Status parsed =
-      ParseUint32(request.QueryOr("candidate", ""), &candidate);
-  if (!parsed.ok()) {
-    return ErrorResponse(Status::InvalidArgument(
-        "bad candidate '" + request.QueryOr("candidate", "") + "'"));
+  {
+    obs::TraceSpan span("parse", "serve");
+    const Status candidate =
+        ParseRequiredUint32(request, "candidate", &query.candidate);
+    if (!candidate.ok()) return ErrorResponse(candidate);
+    const Status common = ParseCommonQuery(request, &query);
+    if (!common.ok()) return ErrorResponse(common);
   }
-  query.candidate = candidate;
-  Result<std::vector<UserId>> seeds =
-      ParseSeedList(request.QueryOr("seeds", ""));
-  if (!seeds.ok()) return ErrorResponse(seeds.status());
-  query.seeds = std::move(seeds).value();
-  parsed = ParseOptionalAggregation(request, &query.aggregation);
-  if (!parsed.ok()) return ErrorResponse(parsed);
-  parsed = ParseOptionalUint(request, "deadline_us", &query.deadline_us);
-  if (!parsed.ok()) return ErrorResponse(parsed);
+  AnnotateRootSpan(service, generation, query.seeds.size());
 
   const Result<ScoreResult> result = service.ScoreActivation(query);
   if (!result.ok()) return ErrorResponse(result.status());
 
+  obs::TraceSpan span("serialize", "serve");
   JsonValue body = JsonValue::Object();
   body.Set("candidate", query.candidate);
   body.Set("score", result.value().score);
@@ -113,26 +154,22 @@ HttpResponse HandleScore(const InfluenceService& service,
 HttpResponse HandleTopK(const InfluenceService& service,
                         const GenerationTag& generation,
                         const HttpRequest& request) {
-  if (!request.HasQuery("seeds")) {
-    return ErrorResponse(
-        Status::InvalidArgument("missing required parameter: seeds"));
-  }
   TopKRequest query;
-  Result<std::vector<UserId>> seeds =
-      ParseSeedList(request.QueryOr("seeds", ""));
-  if (!seeds.ok()) return ErrorResponse(seeds.status());
-  query.seeds = std::move(seeds).value();
-  Status parsed = ParseOptionalUint(request, "k", &query.k);
-  if (!parsed.ok()) return ErrorResponse(parsed);
-  parsed = ParseOptionalAggregation(request, &query.aggregation);
-  if (!parsed.ok()) return ErrorResponse(parsed);
-  parsed = ParseOptionalUint(request, "deadline_us", &query.deadline_us);
-  if (!parsed.ok()) return ErrorResponse(parsed);
-  query.include_seeds = request.QueryOr("include_seeds", "0") == "1";
+  {
+    obs::TraceSpan span("parse", "serve");
+    const Status common = ParseCommonQuery(request, &query);
+    if (!common.ok()) return ErrorResponse(common);
+    const Status k = ParseOptionalUint(request, "k", &query.k);
+    if (!k.ok()) return ErrorResponse(k);
+    query.include_seeds = request.QueryOr("include_seeds", "0") == "1";
+  }
+  AnnotateRootSpan(service, generation, query.seeds.size());
 
   const Result<TopKResult> result = service.TopK(query);
   if (!result.ok()) return ErrorResponse(result.status());
 
+  obs::TraceSpan span("serialize", "serve");
+  span.SetAttr("results", static_cast<uint64_t>(result.value().entries.size()));
   JsonValue body = JsonValue::Object();
   body.Set("k", query.k);
   body.Set("scanned", result.value().scanned);

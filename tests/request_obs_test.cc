@@ -1,0 +1,497 @@
+// Request-level observability tests: request-id generation and
+// propagation (X-Request-Id in and out), /rpcz per-endpoint aggregates,
+// the /tracez recent ring + slowest-N retention, RequestScope's
+// thread-local span assembly (including the cache-miss vs cache-hit
+// phase-presence contract against a real InfluenceService), the wide
+// JSONL access log, and concurrent scrape-vs-query safety (the TSan
+// target).
+
+#include "obs/request_obs.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "embedding/model_io.h"
+#include "obs/access_log.h"
+#include "obs/http_server.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "serve/influence_service.h"
+#include "util/rng.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+struct ClientResponse {
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+/// Minimal blocking HTTP client with custom request headers (the stock
+/// obs_http_test client cannot send X-Request-Id).
+ClientResponse Fetch(uint16_t port, const std::string& target,
+                     const std::string& extra_headers = "") {
+  ClientResponse response;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return response;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return response;
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n" +
+                              extra_headers + "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return response;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) return response;
+  const size_t space = raw.find(' ');
+  if (space == std::string::npos || space + 4 > line_end) return response;
+  response.status = std::stoi(raw.substr(space + 1, 3));
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return response;
+  response.headers = raw.substr(0, header_end);
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+/// A finished record with just enough shape for buffer tests.
+RequestTraceRecord MakeRecord(const std::string& endpoint,
+                              uint64_t total_us) {
+  RequestTraceRecord record;
+  record.request_id = GenerateRequestId();
+  record.method = "GET";
+  record.endpoint = endpoint;
+  record.status = 200;
+  record.total_us = total_us;
+  return record;
+}
+
+TEST(RequestIdTest, GeneratedIdsAreWellFormedAndUnique) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string id = GenerateRequestId();
+    ASSERT_EQ(id.size(), 17u) << id;
+    EXPECT_EQ(id[8], '-') << id;
+    for (size_t j = 0; j < id.size(); ++j) {
+      if (j == 8) continue;
+      EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(id[j]))) << id;
+    }
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+  }
+}
+
+TEST(RpczRegistryTest, CountsRequestsErrorsInFlightAndLatency) {
+  MetricsRegistry metrics;
+  RpczRegistry rpcz(&metrics);
+
+  RpczRegistry::Endpoint* topk = rpcz.Begin("/topk");
+  ASSERT_NE(topk, nullptr);
+  EXPECT_EQ(topk->in_flight.load(), 1);
+  rpcz.End(topk, 200, 1000);
+  EXPECT_EQ(topk->in_flight.load(), 0);
+  rpcz.End(rpcz.Begin("/topk"), 404, 3000);
+  rpcz.End(rpcz.Begin("/score"), 200, 50);
+
+  // Begin resolves to the same record for the same endpoint.
+  RpczRegistry::Endpoint* again = rpcz.Begin("/topk");
+  EXPECT_EQ(again, topk);
+  rpcz.End(again, 200, 2000);
+
+  const JsonValue doc = rpcz.ToJson();
+  EXPECT_GT(doc.Find("uptime_sec")->AsDouble(), 0.0);
+  const JsonValue* endpoints = doc.Find("endpoints");
+  ASSERT_NE(endpoints, nullptr);
+  const JsonValue* topk_row = endpoints->Find("/topk");
+  ASSERT_NE(topk_row, nullptr);
+  EXPECT_EQ(topk_row->Find("requests")->AsInt(), 3);
+  EXPECT_EQ(topk_row->Find("errors")->AsInt(), 1);
+  EXPECT_EQ(topk_row->Find("in_flight")->AsInt(), 0);
+  EXPECT_GT(topk_row->Find("rate_per_sec")->AsDouble(), 0.0);
+  EXPECT_GE(topk_row->Find("p99_us")->AsDouble(),
+            topk_row->Find("p50_us")->AsDouble());
+  ASSERT_NE(endpoints->Find("/score"), nullptr);
+  EXPECT_EQ(endpoints->Find("/score")->Find("errors")->AsInt(), 0);
+}
+
+TEST(RpczRegistryTest, PublishesLabeledPrometheusSeries) {
+  MetricsRegistry metrics;
+  RpczRegistry rpcz(&metrics);
+  rpcz.End(rpcz.Begin("/topk"), 200, 1500);
+  rpcz.End(rpcz.Begin("/topk"), 500, 80);
+
+  const std::string text = RenderPrometheus(metrics.Scrape());
+  EXPECT_NE(text.find("inf2vec_http_requests_total{endpoint=\"/topk\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("inf2vec_http_errors_total{endpoint=\"/topk\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("inf2vec_http_latency_us_bucket{endpoint=\"/topk\""),
+            std::string::npos)
+      << text;
+}
+
+TEST(TracezBufferTest, RecentRingKeepsNewestAndCountsEvictions) {
+  TracezBuffer buffer(/*recent_capacity=*/3, /*slow_capacity=*/3,
+                      /*slow_threshold_us=*/0);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    buffer.Record(MakeRecord("/r" + std::to_string(i), i * 10));
+  }
+  const std::vector<RequestTraceRecord> recent = buffer.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].endpoint, "/r5");  // Newest first.
+  EXPECT_EQ(recent[1].endpoint, "/r4");
+  EXPECT_EQ(recent[2].endpoint, "/r3");
+  EXPECT_EQ(buffer.evicted(), 2u);
+}
+
+TEST(TracezBufferTest, SlowBufferSurvivesFastBursts) {
+  TracezBuffer buffer(/*recent_capacity=*/2, /*slow_capacity=*/2,
+                      /*slow_threshold_us=*/100);
+  buffer.Record(MakeRecord("/slow-a", 5000));
+  buffer.Record(MakeRecord("/slow-b", 900));
+  // A burst of fast requests churns the recent ring but must not touch
+  // the slow set: below threshold they are not even candidates.
+  for (int i = 0; i < 50; ++i) buffer.Record(MakeRecord("/fast", 10));
+
+  const std::vector<RequestTraceRecord> slowest = buffer.Slowest();
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_EQ(slowest[0].endpoint, "/slow-a");  // Slowest first.
+  EXPECT_EQ(slowest[1].endpoint, "/slow-b");
+
+  // A slower-than-the-fastest-retained request evicts only the fastest.
+  buffer.Record(MakeRecord("/slow-c", 2000));
+  const std::vector<RequestTraceRecord> updated = buffer.Slowest();
+  ASSERT_EQ(updated.size(), 2u);
+  EXPECT_EQ(updated[0].endpoint, "/slow-a");
+  EXPECT_EQ(updated[1].endpoint, "/slow-c");
+}
+
+TEST(RequestTraceRecordTest, PhasesSumChildrenAndSkipTheRoot) {
+  RequestTraceRecord record;
+  TraceEvent root;
+  root.name = "request";
+  root.id = 1;
+  root.parent_id = 0;
+  root.duration_us = 1000;
+  TraceEvent scan;
+  scan.name = "kernel_scan";
+  scan.id = 2;
+  scan.parent_id = 1;
+  scan.duration_us = 600;
+  TraceEvent scan2 = scan;
+  scan2.id = 3;
+  scan2.duration_us = 150;
+  record.spans = {scan, scan2, root};
+
+  const JsonValue phases = record.PhasesJson();
+  ASSERT_NE(phases.Find("kernel_scan"), nullptr);
+  EXPECT_EQ(phases.Find("kernel_scan")->AsInt(), 750);
+  EXPECT_EQ(phases.Find("request"), nullptr);  // Envelope, not a phase.
+}
+
+TEST(RequestScopeTest, AssemblesTraceWritesAccessLogAndFeedsRpcz) {
+  MetricsRegistry metrics;
+  RpczRegistry rpcz(&metrics);
+  TracezBuffer tracez;
+  AccessLog access_log;
+  const std::string log_path =
+      testing::TempDir() + "/request_obs_access.jsonl";
+  std::remove(log_path.c_str());
+  ASSERT_TRUE(access_log.Open(log_path).ok());
+  RequestObservability obs{&rpcz, &tracez, &access_log};
+
+  {
+    RequestScope scope(obs, "GET", "/topk", /*inbound_request_id=*/"");
+    ASSERT_FALSE(scope.request_id().empty());
+    scope.root()->SetAttr("seed_count", static_cast<uint64_t>(3));
+    { TraceSpan parse("parse", "serve"); }
+    { TraceSpan scan("kernel_scan", "serve"); }
+    scope.set_status(200);
+    scope.set_response_bytes(512);
+  }
+
+  // rpcz saw the request.
+  const JsonValue rpcz_doc = rpcz.ToJson();
+  EXPECT_EQ(
+      rpcz_doc.Find("endpoints")->Find("/topk")->Find("requests")->AsInt(),
+      1);
+
+  // tracez retained the fully-assembled record.
+  const std::vector<RequestTraceRecord> recent = tracez.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  const RequestTraceRecord& record = recent[0];
+  EXPECT_EQ(record.endpoint, "/topk");
+  EXPECT_EQ(record.status, 200);
+  EXPECT_EQ(record.response_bytes, 512u);
+  ASSERT_EQ(record.spans.size(), 3u);  // parse, kernel_scan, root.
+  const JsonValue phases = record.PhasesJson();
+  EXPECT_NE(phases.Find("parse"), nullptr);
+  EXPECT_NE(phases.Find("kernel_scan"), nullptr);
+  // Root attributes (plus the stamped request_id) surfaced as attrs.
+  bool saw_seed_count = false, saw_request_id = false;
+  for (const auto& [key, value] : record.attrs) {
+    if (key == "seed_count") saw_seed_count = value == "3";
+    if (key == "request_id") saw_request_id = value == record.request_id;
+  }
+  EXPECT_TRUE(saw_seed_count);
+  EXPECT_TRUE(saw_request_id);
+
+  // The access log got exactly one schema-shaped line.
+  access_log.Close();
+  std::FILE* f = std::fopen(log_path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[4096];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  std::fclose(f);
+  Result<JsonValue> event = ParseJson(line);
+  ASSERT_TRUE(event.ok()) << line;
+  EXPECT_EQ(event.value().Find("endpoint")->AsString(), "/topk");
+  EXPECT_EQ(event.value().Find("request_id")->AsString(),
+            record.request_id);
+  EXPECT_NE(event.value().Find("phases")->Find("kernel_scan"), nullptr);
+  std::remove(log_path.c_str());
+}
+
+TEST(RequestScopeTest, InboundRequestIdWinsOverGenerated) {
+  TracezBuffer tracez;
+  RequestObservability obs{nullptr, &tracez, nullptr};
+  {
+    RequestScope scope(obs, "GET", "/score", "upstream-7");
+    EXPECT_EQ(scope.request_id(), "upstream-7");
+  }
+  ASSERT_EQ(tracez.Recent().size(), 1u);
+  EXPECT_EQ(tracez.Recent()[0].request_id, "upstream-7");
+}
+
+TEST(RequestScopeTest, SlowQueryCaptureRetainsDelayedRequest) {
+  // Threshold sits far above the fast requests and far below the slow
+  // one, so exactly the delayed request lands in the slow buffer.
+  TracezBuffer tracez(/*recent_capacity=*/4, /*slow_capacity=*/4,
+                      /*slow_threshold_us=*/5000);
+  RequestObservability obs{nullptr, &tracez, nullptr};
+  for (int i = 0; i < 3; ++i) {
+    RequestScope scope(obs, "GET", "/fast", "");
+  }
+  {
+    RequestScope scope(obs, "GET", "/delayed", "");
+    TraceSpan span("kernel_scan", "serve");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const std::vector<RequestTraceRecord> slowest = tracez.Slowest();
+  ASSERT_EQ(slowest.size(), 1u);
+  EXPECT_EQ(slowest[0].endpoint, "/delayed");
+  EXPECT_GE(slowest[0].total_us, 5000u);
+  EXPECT_NE(slowest[0].PhasesJson().Find("kernel_scan"), nullptr);
+  EXPECT_EQ(tracez.Recent().size(), 4u);  // Fast ones still in recent.
+}
+
+/// Fixed-seed service for the phase-attribution tests.
+serve::InfluenceService MakeService(uint32_t num_users, uint32_t dim) {
+  EmbeddingStore store(num_users, dim);
+  Rng rng(17);
+  store.InitUniform(-0.5, 0.5, rng);
+  ModelArtifact artifact;
+  artifact.store = std::move(store);
+  artifact.metadata.dim = dim;
+  auto service = serve::InfluenceService::FromArtifact(std::move(artifact),
+                                                       serve::ServiceOptions{});
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  return std::move(service).value();
+}
+
+TEST(RequestScopeTest, CacheMissVersusHitIsLegibleFromPhasePresence) {
+  const serve::InfluenceService service = MakeService(128, 8);
+  TracezBuffer tracez;
+  RequestObservability obs{nullptr, &tracez, nullptr};
+
+  serve::TopKRequest query;
+  query.seeds = {3, 7, 11};
+  query.k = 5;
+  {
+    RequestScope scope(obs, "GET", "/topk", "");  // Cold: gather runs.
+    ASSERT_TRUE(service.TopK(query).ok());
+  }
+  {
+    RequestScope scope(obs, "GET", "/topk", "");  // Hot: cache hit.
+    ASSERT_TRUE(service.TopK(query).ok());
+  }
+
+  const std::vector<RequestTraceRecord> recent = tracez.Recent();
+  ASSERT_EQ(recent.size(), 2u);
+  const JsonValue hit_phases = recent[0].PhasesJson();    // Newest first.
+  const JsonValue miss_phases = recent[1].PhasesJson();
+  // The miss shows seed_gather time; the hit must not — hit/miss is
+  // legible from the phase breakdown alone.
+  EXPECT_NE(miss_phases.Find("seed_gather"), nullptr)
+      << miss_phases.Dump(0);
+  EXPECT_EQ(hit_phases.Find("seed_gather"), nullptr) << hit_phases.Dump(0);
+  // Both scanned the table and merged results.
+  for (const JsonValue* phases : {&miss_phases, &hit_phases}) {
+    EXPECT_NE(phases->Find("cache_lookup"), nullptr) << phases->Dump(0);
+    EXPECT_NE(phases->Find("kernel_scan"), nullptr) << phases->Dump(0);
+  }
+}
+
+TEST(RequestObsHttpTest, ServerEchoesRequestIdAndRecordsTrace) {
+  MetricsRegistry metrics;
+  RpczRegistry rpcz(&metrics);
+  TracezBuffer tracez;
+  StatsServer server(StatsServerOptions{}, &metrics);
+  server.SetRequestObservability({&rpcz, &tracez, nullptr});
+  server.Handle("/spanny", [](const HttpRequest&) {
+    TraceSpan span("kernel_scan", "serve");
+    return HttpResponse::Json(200, "{\"ok\": true}");
+  });
+  RegisterRequestObsEndpoints(&server, &rpcz, &tracez);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Inbound id comes back on the response and stamps the trace.
+  const ClientResponse tagged =
+      Fetch(server.port(), "/spanny", "X-Request-Id: abc-123\r\n");
+  EXPECT_EQ(tagged.status, 200);
+  EXPECT_NE(tagged.headers.find("X-Request-Id: abc-123"), std::string::npos)
+      << tagged.headers;
+
+  // Without an inbound id the server generates one.
+  const ClientResponse untagged = Fetch(server.port(), "/spanny");
+  EXPECT_NE(untagged.headers.find("X-Request-Id: "), std::string::npos)
+      << untagged.headers;
+
+  // /rpcz reports the endpoint; /tracez carries the attributed traces.
+  const ClientResponse rpcz_response = Fetch(server.port(), "/rpcz");
+  ASSERT_EQ(rpcz_response.status, 200);
+  Result<JsonValue> rpcz_doc = ParseJson(rpcz_response.body);
+  ASSERT_TRUE(rpcz_doc.ok()) << rpcz_response.body;
+  EXPECT_GE(rpcz_doc.value()
+                .Find("endpoints")
+                ->Find("/spanny")
+                ->Find("requests")
+                ->AsInt(),
+            2);
+
+  const ClientResponse tracez_response = Fetch(server.port(), "/tracez");
+  ASSERT_EQ(tracez_response.status, 200);
+  Result<JsonValue> tracez_doc = ParseJson(tracez_response.body);
+  ASSERT_TRUE(tracez_doc.ok()) << tracez_response.body;
+  const JsonValue* slowest = tracez_doc.value().Find("slowest");
+  ASSERT_NE(slowest, nullptr);
+  ASSERT_GT(slowest->size(), 0u);
+  bool saw_tagged = false;
+  for (const JsonValue& trace : slowest->items()) {
+    if (trace.Find("request_id")->AsString() == "abc-123") {
+      saw_tagged = true;
+      EXPECT_EQ(trace.Find("endpoint")->AsString(), "/spanny");
+      EXPECT_NE(trace.Find("phases")->Find("kernel_scan"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_tagged) << tracez_response.body;
+
+  // 404s bypass the scope: no phantom endpoint appears in rpcz.
+  EXPECT_EQ(Fetch(server.port(), "/missing").status, 404);
+  EXPECT_EQ(ParseJson(Fetch(server.port(), "/rpcz").body)
+                .value()
+                .Find("endpoints")
+                ->Find("/missing"),
+            nullptr);
+
+  server.Stop();
+}
+
+TEST(RequestObsHttpTest, ConcurrentScrapesAndQueriesAreClean) {
+  // The TSan target: four threads running traced request scopes against
+  // the shared rpcz/tracez/access-log state while a scraper thread reads
+  // every aggregate view concurrently.
+  MetricsRegistry metrics;
+  RpczRegistry rpcz(&metrics);
+  TracezBuffer tracez(/*recent_capacity=*/8, /*slow_capacity=*/8,
+                      /*slow_threshold_us=*/0);
+  AccessLog access_log;
+  const std::string log_path =
+      testing::TempDir() + "/request_obs_concurrent.jsonl";
+  std::remove(log_path.c_str());
+  ASSERT_TRUE(access_log.Open(log_path).ok());
+  RequestObservability obs{&rpcz, &tracez, &access_log};
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 200;
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)rpcz.ToJson();
+      (void)tracez.ToJson();
+      (void)tracez.evicted();
+    }
+  });
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        RequestScope scope(obs, "GET", "/w" + std::to_string(t), "");
+        TraceSpan span("kernel_scan", "serve");
+        scope.set_status(i % 10 == 0 ? 500 : 200);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+
+  const JsonValue doc = rpcz.ToJson();
+  uint64_t total = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    const JsonValue* row =
+        doc.Find("endpoints")->Find("/w" + std::to_string(t));
+    ASSERT_NE(row, nullptr);
+    total += static_cast<uint64_t>(row->Find("requests")->AsInt());
+    EXPECT_EQ(row->Find("in_flight")->AsInt(), 0);
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kRequestsPerThread);
+  EXPECT_EQ(access_log.lines_written(),
+            static_cast<uint64_t>(kThreads) * kRequestsPerThread);
+  access_log.Close();
+  std::remove(log_path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace inf2vec

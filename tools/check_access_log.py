@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Schema validator for `serve --access-log` wide-event JSONL files.
+
+Usage: check_access_log.py LOG.jsonl [--min-lines N]
+                           [--expect-endpoint /topk] [--expect-phase parse]
+                           [--expect-request-id ID]
+
+Each line must be one JSON object with the wide-event schema documented in
+docs/OBSERVABILITY.md: request identity (request_id, method, endpoint),
+outcome (status, response_bytes), timing (start_unix_us, total_us), the
+per-phase duration breakdown (phases), and the root-span attributes
+(attrs). Exits 0 when every line validates, 1 with a diagnostic otherwise.
+Kept dependency-free (stdlib json only) so it runs in any CI image.
+
+`--self-test` exercises the validator against embedded good/bad fixtures
+and is wired up as the `access_log_schema_self_test` ctest entry.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+
+REQUIRED_KEYS = (
+    "request_id", "method", "endpoint", "status", "start_unix_us",
+    "total_us", "response_bytes", "phases", "attrs",
+)
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise SchemaError(message)
+
+
+def check_nonneg_int(obj, key, where):
+    require(key in obj, f"{where}: missing key '{key}'")
+    require(isinstance(obj[key], int) and not isinstance(obj[key], bool),
+            f"{where}: '{key}' must be an integer, "
+            f"got {type(obj[key]).__name__}")
+    require(obj[key] >= 0, f"{where}: '{key}'={obj[key]} is negative")
+
+
+def check_event(event, where):
+    require(isinstance(event, dict), f"{where}: must be a JSON object")
+    for key in REQUIRED_KEYS:
+        require(key in event, f"{where}: missing key '{key}'")
+    require(isinstance(event["request_id"], str) and event["request_id"],
+            f"{where}: request_id must be a non-empty string")
+    require(isinstance(event["method"], str) and event["method"],
+            f"{where}: method must be a non-empty string")
+    require(isinstance(event["endpoint"], str)
+            and event["endpoint"].startswith("/"),
+            f"{where}: endpoint must be a path starting with '/'")
+    check_nonneg_int(event, "status", where)
+    require(100 <= event["status"] <= 599,
+            f"{where}: status={event['status']} is not an HTTP status")
+    for key in ("start_unix_us", "total_us", "response_bytes"):
+        check_nonneg_int(event, key, where)
+    phases = event["phases"]
+    require(isinstance(phases, dict), f"{where}: phases must be an object")
+    for name in phases:
+        check_nonneg_int(phases, name, f"{where}: phases")
+        # Phases are children of the request envelope; a phase longer than
+        # the request means the rebase or the clock went wrong.
+        require(phases[name] <= event["total_us"] + 1000,
+                f"{where}: phase '{name}'={phases[name]}us exceeds "
+                f"total_us={event['total_us']}")
+    attrs = event["attrs"]
+    require(isinstance(attrs, dict), f"{where}: attrs must be an object")
+    for name, value in attrs.items():
+        require(isinstance(value, str),
+                f"{where}: attrs['{name}'] must be a string")
+
+
+def check_log(path, args):
+    events = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"line {lineno}"
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SchemaError(f"{where}: not valid JSON: {e}") from e
+            check_event(event, where)
+            events.append(event)
+    require(len(events) >= args.min_lines,
+            f"expected at least {args.min_lines} events, got {len(events)}")
+    if args.expect_endpoint:
+        require(any(e["endpoint"] == args.expect_endpoint for e in events),
+                f"no event for endpoint '{args.expect_endpoint}'")
+    if args.expect_phase:
+        require(any(args.expect_phase in e["phases"] for e in events),
+                f"no event carries phase '{args.expect_phase}'")
+    if args.expect_request_id:
+        require(any(e["request_id"] == args.expect_request_id
+                    for e in events),
+                f"no event with request_id '{args.expect_request_id}'")
+    return len(events)
+
+
+GOOD_LINE = json.dumps({
+    "request_id": "f00dcafe-00000001", "method": "GET", "endpoint": "/topk",
+    "status": 200, "start_unix_us": 1700000000000000, "total_us": 1234,
+    "response_bytes": 512,
+    "phases": {"parse": 10, "seed_gather": 200, "kernel_scan": 900,
+               "merge": 40, "serialize": 30},
+    "attrs": {"seed_count": "3", "kernel_isa": "avx2", "quant_mode": "none"},
+})
+
+BAD_LINES = [
+    # Missing request_id.
+    GOOD_LINE.replace('"request_id": "f00dcafe-00000001", ', ""),
+    # Status out of range.
+    GOOD_LINE.replace('"status": 200', '"status": 777'),
+    # Phase longer than the request.
+    GOOD_LINE.replace('"kernel_scan": 900', '"kernel_scan": 99999999'),
+    # Not JSON at all.
+    "this is not json",
+]
+
+
+def self_test():
+    default = argparse.Namespace(min_lines=1, expect_endpoint="/topk",
+                                 expect_phase="kernel_scan",
+                                 expect_request_id="f00dcafe-00000001")
+    with tempfile.NamedTemporaryFile("w", suffix=".jsonl") as f:
+        f.write(GOOD_LINE + "\n" + GOOD_LINE + "\n")
+        f.flush()
+        check_log(f.name, default)
+    for i, bad in enumerate(BAD_LINES):
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl") as f:
+            f.write(bad + "\n")
+            f.flush()
+            try:
+                check_log(f.name, argparse.Namespace(
+                    min_lines=1, expect_endpoint=None, expect_phase=None,
+                    expect_request_id=None))
+            except SchemaError:
+                continue
+            print(f"check_access_log: FAIL: bad fixture {i} passed",
+                  file=sys.stderr)
+            return 1
+    print("check_access_log: self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("log", nargs="?",
+                        help="path to a --access-log JSONL file")
+    parser.add_argument("--min-lines", type=int, default=1,
+                        help="minimum number of events required (default 1)")
+    parser.add_argument("--expect-endpoint",
+                        help="require at least one event for this endpoint")
+    parser.add_argument("--expect-phase",
+                        help="require at least one event carrying this phase")
+    parser.add_argument("--expect-request-id",
+                        help="require an event with this exact request id")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate embedded fixtures and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.log:
+        parser.error("LOG.jsonl is required unless --self-test")
+    try:
+        count = check_log(args.log, args)
+    except (OSError, SchemaError) as e:
+        print(f"check_access_log: FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"check_access_log: OK ({count} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,8 @@
 """Schema validator for inf2vec --metrics-out run reports.
 
 Usage: check_run_report.py REPORT.json [--command train] [--expect-epochs N]
-                           [--expect-eval] [--trace TRACE.json]
+                           [--expect-eval] [--expect-profile]
+                           [--trace TRACE.json]
 
 Exits 0 when the report (and optional trace) match the schema documented in
 docs/OBSERVABILITY.md, 1 with a diagnostic otherwise. Kept dependency-free
@@ -129,6 +130,33 @@ def check_report(report, args):
                     "cxx_standard"):
             require(isinstance(build.get(key), str) and build[key],
                     f"environment.build.{key} must be a non-empty string")
+        trace = env.get("trace")
+        require(isinstance(trace, dict),
+                "environment.trace must be an object")
+        require(isinstance(trace.get("enabled"), bool),
+                "environment.trace.enabled must be a boolean")
+        for key in ("events", "capacity", "dropped"):
+            check_number(trace, key, "environment.trace")
+            require(trace[key] >= 0,
+                    f"environment.trace.{key} must be non-negative")
+        require(trace["events"] <= trace["capacity"],
+                f"environment.trace holds {trace['events']} events but "
+                f"claims capacity {trace['capacity']}")
+
+    if args.expect_profile:
+        profile = report.get("profile")
+        require(isinstance(profile, dict),
+                "profile section missing or not an object")
+        require(isinstance(profile.get("running"), bool)
+                and not profile["running"],
+                "profile.running must be false in a finished report")
+        for key in ("hz", "samples", "truncated"):
+            check_number(profile, key, "profile")
+        require(profile["hz"] > 0, "profile.hz must be positive")
+        require(profile["samples"] >= 0 and profile["truncated"] >= 0,
+                "profile sample counts must be non-negative")
+        require(isinstance(profile.get("path"), str) and profile["path"],
+                "profile.path must be a non-empty string")
 
 
 def check_trace(trace):
@@ -158,7 +186,10 @@ def main():
     parser.add_argument("--expect-eval", action="store_true",
                         help="require a valid eval section")
     parser.add_argument("--expect-environment", action="store_true",
-                        help="require a valid environment provenance section")
+                        help="require a valid environment provenance section "
+                             "(including the trace collector stats)")
+    parser.add_argument("--expect-profile", action="store_true",
+                        help="require a valid --profile-out profile section")
     parser.add_argument("--trace", help="also validate a --trace-out file")
     args = parser.parse_args()
 

@@ -19,9 +19,12 @@
 #include "eval/harness.h"
 #include "graph/graph_io.h"
 #include "kernels/kernels.h"
+#include "obs/access_log.h"
 #include "obs/build_info.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/request_obs.h"
 #include "obs/run_report.h"
 #include "obs/run_status.h"
 #include "obs/snapshotter.h"
@@ -91,6 +94,11 @@ Status SetupObservability(const FlagParser& flags) {
   if (!flags.GetString("trace-out", "").empty()) {
     obs::TraceCollector::Default().Clear();
     obs::TraceCollector::Default().set_enabled(true);
+  }
+  // Whole-run CPU profile: armed before the command body, disarmed (and
+  // written as folded stacks) by Dispatch after it returns.
+  if (!flags.GetString("profile-out", "").empty()) {
+    INF2VEC_RETURN_IF_ERROR(obs::CpuProfiler::Default().Start());
   }
   return Status::OK();
 }
@@ -729,6 +737,17 @@ Status RunServe(const FlagParser& flags) {
   if (watch_interval.value() <= 0) {
     return Status::InvalidArgument("--watch-interval-ms must be positive");
   }
+  const std::string access_log_path = flags.GetString("access-log", "");
+  Result<int64_t> slow_trace_us = flags.GetInt("slow-trace-us", 0);
+  INF2VEC_RETURN_IF_ERROR(slow_trace_us.status());
+  if (slow_trace_us.value() < 0) {
+    return Status::InvalidArgument("--slow-trace-us must be >= 0");
+  }
+  Result<int64_t> tracez_capacity = flags.GetInt("tracez-capacity", 32);
+  INF2VEC_RETURN_IF_ERROR(tracez_capacity.status());
+  if (tracez_capacity.value() <= 0) {
+    return Status::InvalidArgument("--tracez-capacity must be positive");
+  }
 
   // Serving is the one command whose metrics matter even without
   // --metrics-out: the serve counters/histograms back /metrics.
@@ -762,10 +781,32 @@ Status RunServe(const FlagParser& flags) {
                       << SecondsSince(load_start) << "s";
   }
 
+  // Request-level observability. /rpcz and /tracez are always live for
+  // serve (their cost is one map lookup + a ring write per request); the
+  // access log only writes when --access-log names a file. Declared
+  // before the server so they outlive every in-flight request.
+  obs::RpczRegistry rpcz;
+  obs::TracezBuffer tracez(
+      static_cast<size_t>(tracez_capacity.value()),
+      static_cast<size_t>(tracez_capacity.value()),
+      static_cast<uint64_t>(slow_trace_us.value()));
+  obs::AccessLog access_log;
+  if (!access_log_path.empty()) {
+    INF2VEC_RETURN_IF_ERROR(access_log.Open(access_log_path));
+    INF2VEC_LOG(Info) << "access log -> " << access_log_path;
+  }
+  obs::RequestObservability request_obs;
+  request_obs.rpcz = &rpcz;
+  request_obs.tracez = &tracez;
+  request_obs.access_log = access_log.is_open() ? &access_log : nullptr;
+
   obs::StatsServerOptions server_options;
   server_options.port = static_cast<uint16_t>(port_flag.value());
   obs::StatsServer server(server_options);
+  server.SetRequestObservability(request_obs);
   serve::RegisterServeEndpoints(&server, &swapper);
+  obs::RegisterRequestObsEndpoints(&server, &rpcz, &tracez);
+  obs::RegisterProfilerEndpoint(&server, &obs::CpuProfiler::Default());
   INF2VEC_RETURN_IF_ERROR(server.Start());
   if (watch_model) {
     swapper.StartWatching(static_cast<uint64_t>(watch_interval.value()));
@@ -775,7 +816,7 @@ Status RunServe(const FlagParser& flags) {
 
   // stdout, unbuffered: the smoke script greps this line for the port.
   std::printf("serving on http://127.0.0.1:%u (/score /topk /modelz "
-              "/reloadz /metrics /healthz)\n",
+              "/reloadz /metrics /healthz /rpcz /tracez /pprofz)\n",
               server.port());
   std::fflush(stdout);
 
@@ -833,13 +874,19 @@ std::string UsageText() {
       "               fp32 scales/biases; `serve --quantize int8` loads it\n"
       "               instead of re-quantizing at startup)\n"
       "  serve        online influence-query server over a saved model:\n"
-      "               /score /topk /modelz /reloadz plus the stats"
-      " endpoints\n"
+      "               /score /topk /modelz /reloadz plus the stats +\n"
+      "               observability endpoints (/rpcz /tracez /pprofz)\n"
       "               --model F [--port 0 --topk-cache 256 --threads 1\n"
       "                --deadline-us 0 --aggregation Ave|Sum|Max|Latest\n"
       "                --max-seconds 0 --watch-model"
       " --watch-interval-ms 500\n"
-      "                --quantize none|int8]\n"
+      "                --quantize none|int8 --access-log F"
+      " --slow-trace-us 0\n"
+      "                --tracez-capacity 32]\n"
+      "               --access-log F: one wide JSONL event per request\n"
+      "               (id, endpoint, status, per-phase micros)\n"
+      "               --slow-trace-us N: /tracez slow buffer only keeps\n"
+      "               requests at or above N microseconds (0 = rank all)\n"
       "               --quantize int8 serves from the int8 table (8x\n"
       "               smaller scans; uses the artifact's quantized section\n"
       "               when present, else quantizes at load)\n"
@@ -856,6 +903,9 @@ std::string UsageText() {
       " info)\n"
       "  --metrics-out F   write a structured JSON run report\n"
       "  --trace-out F     write a chrome://tracing / Perfetto trace\n"
+      "  --profile-out F   sample the whole run with the SIGPROF CPU\n"
+      "                    profiler, write folded stacks (flamegraph.pl /\n"
+      "                    speedscope input) to F on exit\n"
       "  --serve-port P    embedded stats server on 127.0.0.1:P for the\n"
       "                    run: /metrics (Prometheus), /statusz, /varz,\n"
       "                    /healthz; 0 = kernel-picked port\n"
@@ -902,10 +952,11 @@ Status Dispatch(const FlagParser& flags) {
     obs::StatsServerOptions options;
     options.port = static_cast<uint16_t>(port.value());
     server = std::make_unique<obs::StatsServer>(options);
+    obs::RegisterProfilerEndpoint(server.get(), &obs::CpuProfiler::Default());
     INF2VEC_RETURN_IF_ERROR(server->Start());
     INF2VEC_LOG(Info) << "stats server on http://127.0.0.1:"
                       << server->port()
-                      << " (/metrics /statusz /varz /healthz)";
+                      << " (/metrics /statusz /varz /healthz /pprofz)";
   }
 
   // Periodic metrics time series: one JSONL line per interval.
@@ -942,6 +993,23 @@ Status Dispatch(const FlagParser& flags) {
                       << " metric snapshots -> " << snapshot_out;
   }
   if (server != nullptr) server->Stop();
+
+  // Disarm the whole-run profiler BEFORE writing reports so its own
+  // serialization work never shows up in the profile, then persist the
+  // folded stacks and describe the session in the run report.
+  const std::string profile_out = flags.GetString("profile-out", "");
+  if (!profile_out.empty()) {
+    obs::CpuProfiler& profiler = obs::CpuProfiler::Default();
+    INF2VEC_RETURN_IF_ERROR(profiler.Stop());
+    obs::JsonValue profile = profiler.DescribeJson();
+    profile.Set("path", profile_out);
+    report.SetSection("profile", std::move(profile));
+    if (status.ok()) {
+      INF2VEC_RETURN_IF_ERROR(profiler.WriteFolded(profile_out));
+      INF2VEC_LOG(Info) << "wrote cpu profile (" << profiler.sample_count()
+                        << " samples) -> " << profile_out;
+    }
+  }
 
   if (status.ok() && !metrics_out.empty()) {
     report.SetSection("environment", obs::EnvironmentJson());

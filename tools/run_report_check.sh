@@ -25,9 +25,17 @@ trap 'rm -rf "${WORKDIR}"' EXIT
     --epochs 3 --threads 2 --eval-task activation --progress \
     --metrics-out "${WORKDIR}/report.json" \
     --trace-out "${WORKDIR}/trace.json" \
+    --profile-out "${WORKDIR}/profile.folded" \
     --metrics-snapshot-out "${WORKDIR}/snapshots.jsonl" \
     --metrics-snapshot-interval-ms 50 2> "${WORKDIR}/train.log"
 cat "${WORKDIR}/train.log" >&2
+
+# --profile-out must produce the folded-stack artifact (possibly empty on
+# a run too short to be sampled) and a profile section in the report.
+if [[ ! -f "${WORKDIR}/profile.folded" ]]; then
+  echo "run_report_check: FAIL: --profile-out wrote no file" >&2
+  exit 1
+fi
 
 # The stats server is strictly opt-in: no --serve-port, no socket.
 if grep -q "stats server" "${WORKDIR}/train.log"; then
@@ -37,7 +45,7 @@ fi
 
 python3 "${CHECKER}" "${WORKDIR}/report.json" \
     --command train --expect-epochs 3 --expect-eval \
-    --expect-environment \
+    --expect-environment --expect-profile \
     --trace "${WORKDIR}/trace.json"
 
 # The snapshot series must parse, count up from seq 0, and contain at

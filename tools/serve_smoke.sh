@@ -7,9 +7,13 @@
 # Generates a tiny synthetic world, trains a small model, starts the HTTP
 # serving endpoint on an ephemeral port, and exercises every endpoint the
 # service exposes: /score and /topk (including the error path), /modelz
-# metadata, /healthz, and /metrics with a query string attached (the
-# query-string regression this PR fixes). JSON payloads are validated
-# with python3, then the server is shut down via SIGTERM and must exit 0.
+# metadata, /healthz, /metrics with a query string attached (the
+# query-string regression an earlier PR fixed), plus the request-level
+# observability plane: X-Request-Id echo, the /rpcz per-endpoint stats,
+# the /tracez slow-query capture with per-phase attribution, and the
+# --access-log wide-event JSONL (validated with check_access_log.py).
+# JSON payloads are validated with python3, then the server is shut down
+# via SIGTERM and must exit 0.
 set -euo pipefail
 
 CLI="$1"
@@ -34,6 +38,7 @@ trap cleanup EXIT
 # --max-seconds caps the server's lifetime so a wedged test cannot leak a
 # process past the ctest timeout; the SIGTERM below is the normal exit.
 "${CLI}" serve --model "${WORKDIR}/model.bin" --port 0 --max-seconds 120 \
+    --access-log "${WORKDIR}/access.jsonl" \
     > "${WORKDIR}/serve.log" 2>&1 &
 SERVER_PID=$!
 
@@ -130,7 +135,71 @@ doc = json.load(open(sys.argv[1]))
 assert doc["generation"] == 2, doc
 EOF
 
+# Request-id propagation: an inbound X-Request-Id must come back on the
+# response and appear verbatim in the access log below.
+curl -s -D "${WORKDIR}/rid_headers" -o "${WORKDIR}/rid.json" \
+    --max-time 10 -H "X-Request-Id: smoke-rid-42" \
+    "${BASE}/topk?seeds=2,3&k=3"
+if ! grep -qi "^x-request-id: smoke-rid-42" "${WORKDIR}/rid_headers"; then
+  echo "serve_smoke: FAIL: X-Request-Id not echoed" >&2
+  cat "${WORKDIR}/rid_headers" >&2
+  exit 1
+fi
+
+# /rpcz: per-endpoint live stats — request counts, rate, and latency
+# percentiles for the endpoints exercised above.
+fetch "${BASE}/rpcz" 200 "${WORKDIR}/rpcz.json"
+python3 - "${WORKDIR}/rpcz.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["uptime_sec"] > 0, doc
+endpoints = doc["endpoints"]
+for path in ("/score", "/topk"):
+    row = endpoints[path]
+    assert row["requests"] >= 1, (path, row)
+    assert row["rate_per_sec"] > 0, (path, row)
+    assert row["p50_us"] >= 0 and row["p99_us"] >= row["p50_us"], (path, row)
+    assert row["in_flight"] >= 0, (path, row)
+# The bad-user /score above must have been counted as an error.
+assert endpoints["/score"]["errors"] >= 1, endpoints["/score"]
+EOF
+
+# /tracez: the slow-query capture must retain at least one fully
+# phase-attributed /topk trace (parse -> seed_gather -> kernel_scan ->
+# merge -> serialize) stamped with the request-level attributes.
+fetch "${BASE}/tracez" 200 "${WORKDIR}/tracez.json"
+python3 - "${WORKDIR}/tracez.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["slowest"], "slow buffer is empty"
+topk = [t for t in doc["slowest"] + doc["recent"]
+        if t["endpoint"] == "/topk" and t["status"] == 200]
+assert topk, "no /topk trace retained"
+best = max(topk, key=lambda t: len(t["phases"]))
+for phase in ("parse", "kernel_scan", "serialize"):
+    assert phase in best["phases"], (phase, best["phases"])
+assert best["total_us"] >= best["phases"]["kernel_scan"], best
+assert best["request_id"], best
+assert "kernel_isa" in best["attrs"], best["attrs"]
+assert "seed_count" in best["attrs"], best["attrs"]
+assert len(best["spans"]) >= 4, best["spans"]
+EOF
+
+# The labeled per-endpoint Prometheus series must be on /metrics too.
+fetch "${BASE}/metrics" 200 "${WORKDIR}/metrics2.txt"
+grep -q 'inf2vec_http_requests_total{endpoint="/topk"}' \
+    "${WORKDIR}/metrics2.txt"
+grep -q 'inf2vec_http_latency_us_bucket{endpoint="/topk"' \
+    "${WORKDIR}/metrics2.txt"
+
 kill -TERM "${SERVER_PID}"
 wait "${SERVER_PID}"
 SERVER_PID=""
+
+# The access log: every request above produced one wide event; validate
+# the schema and the propagation of the custom request id.
+python3 "$(dirname "$0")/check_access_log.py" "${WORKDIR}/access.jsonl" \
+    --min-lines 5 --expect-endpoint /topk --expect-phase kernel_scan \
+    --expect-request-id smoke-rid-42
+
 echo "serve_smoke: OK"
