@@ -21,6 +21,10 @@
 //
 // Metrics recording is enabled, matching the production `serve` command,
 // so latencies include the striped-counter cost the real server pays.
+// The memory plane is live too: byte accounting plus the sampling heap
+// profiler run for the whole bench, and the report carries a coverage
+// gate (summary.mem_coverage_pass) checking that the accounted gauges
+// explain >= 80% of sampled RSS at peak table residency.
 
 #include <algorithm>
 #include <chrono>
@@ -32,6 +36,8 @@
 #include "bench_common.h"
 #include "embedding/model_io.h"
 #include "obs/access_log.h"
+#include "obs/heap_profiler.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/request_obs.h"
 #include "serve/influence_service.h"
@@ -107,6 +113,14 @@ int main() {
   obs::MetricsRegistry::Default().Reset();
   obs::EnableMetrics(true);
 
+  // The memory plane runs for the whole bench: byte accounting is always
+  // on (it is in production too), and the sampling heap profiler starts
+  // here at its default 512 KB period so the request-obs overhead gate
+  // below measures the full `serve --heap-profile-out` configuration, not
+  // a stripped-down one.
+  obs::MemoryRegistry::Default().Reset();
+  INF2VEC_CHECK(obs::HeapProfiler::Default().Start().ok());
+
   // Synthetic fixed-seed model: serving cost depends only on table shape,
   // not on learned values, so training here would add minutes for nothing.
   Rng rng(4242);
@@ -156,6 +170,19 @@ int main() {
       seeds.push_back(static_cast<UserId>(rng.UniformU64(kNumUsers)));
     }
   }
+
+  // Coverage checkpoint at peak residency: both serving tables (fp64 and
+  // fp64+int8) are resident and the arms only allocate request-sized
+  // transients, so this is where the accounted gauges either explain the
+  // kernel's RSS figure or don't (acceptance: >= 80%).
+  const obs::MemoryRegistry::Snapshot mem_snap =
+      obs::MemoryRegistry::Default().Scrape();
+  const obs::MemorySample mem_sample = obs::SampleProcessMemory();
+  const double mem_coverage =
+      mem_sample.rss_bytes > 0
+          ? static_cast<double>(mem_snap.total_bytes) /
+                static_cast<double>(mem_sample.rss_bytes)
+          : 0.0;
 
   std::printf("serve bench: %u users, dim %u, %u seed sets x %u seeds\n\n",
               kNumUsers, kDim, kNumSeedSets, kSeedsPerSet);
@@ -287,6 +314,16 @@ int main() {
               cache.size(), static_cast<unsigned long long>(cache.hits()),
               static_cast<unsigned long long>(cache.misses()));
 
+  obs::HeapProfiler& heap = obs::HeapProfiler::Default();
+  std::printf(
+      "\nmemory: accounted %.0f MB / rss %.0f MB = %.2f coverage "
+      "(gate: >= 0.80); heap profiler %llu samples, %.0f MB sampled\n",
+      static_cast<double>(mem_snap.total_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(mem_sample.rss_bytes) / (1024.0 * 1024.0),
+      mem_coverage,
+      static_cast<unsigned long long>(heap.total_samples()),
+      static_cast<double>(heap.sampled_alloc_bytes()) / (1024.0 * 1024.0));
+
   BenchReport report("serve");
   report.SetConfig("num_users", static_cast<int64_t>(kNumUsers));
   report.SetConfig("dim", static_cast<int64_t>(kDim));
@@ -301,6 +338,17 @@ int main() {
   report.SetSummary("request_obs_relative_overhead", obs_overhead);
   report.SetSummary("request_obs_gate", 0.02);
   report.SetSummary("request_obs_pass", obs_overhead < 0.02);
+  report.SetSummary("mem_accounted_bytes", mem_snap.total_bytes);
+  report.SetSummary("mem_rss_bytes", mem_sample.rss_bytes);
+  report.SetSummary("mem_coverage", mem_coverage);
+  report.SetSummary("mem_coverage_gate", 0.80);
+  // Only gate when /proc was readable; accounting itself never depends
+  // on it.
+  report.SetSummary("mem_coverage_pass",
+                    mem_sample.sampled && mem_coverage >= 0.80);
+  report.SetSummary("heap_profiler_samples", heap.total_samples());
+  report.SetSummary("heap_profiler_sampled_alloc_bytes",
+                    heap.sampled_alloc_bytes());
 
   const auto add_row = [&report](const char* name, const ArmStats& s,
                                  double qps, uint64_t reps) {
@@ -326,6 +374,8 @@ int main() {
   }
   report.Write();
 
+  INF2VEC_CHECK(heap.Stop().ok());
+  heap.Reset();
   obs::EnableMetrics(false);
   obs::MetricsRegistry::Default().Reset();
   return 0;

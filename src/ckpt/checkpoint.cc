@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "util/crc32.h"
 #include "util/io.h"
@@ -613,6 +614,11 @@ Status CheckpointWriter::Write(const TrainCheckpointView& view) {
       config_hash_, view.epochs_completed, view.total_epochs, *view.store,
       *view.pairs, *view.target_frequencies, view.master_rng,
       view.shard_rngs);
+  // The serialized image is a full copy of the training state; charge it
+  // for the serialize->fsync window so /memz shows the checkpoint spike.
+  obs::ScopedBytes buffer_bytes(
+      obs::MemoryRegistry::Default().GetGauge("ckpt.writer_buffer"),
+      bytes.capacity());
   char name[32];
   std::snprintf(name, sizeof(name), "ckpt-%06u.bin", view.epochs_completed);
   INF2VEC_RETURN_IF_ERROR(

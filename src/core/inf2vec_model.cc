@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "diffusion/propagation_network.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/run_status.h"
 #include "obs/trace.h"
@@ -23,6 +24,15 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 /// identical for serial and pooled builds of the same corpus).
 void RecordCorpusMetrics(const InfluenceCorpus& corpus,
                          size_t num_episodes) {
+  // Corpus buffers dominate training-side heap after the embedding table;
+  // absolute Set (not Add) so a rebuilt corpus re-states rather than
+  // double-counts. The corpus lives to the end of the run, so nothing
+  // frees the figure — that is the truth of the training process.
+  obs::MemoryRegistry::Default()
+      .GetGauge("train.corpus")
+      ->Set(corpus.pairs.capacity() * sizeof(corpus.pairs[0]) +
+            corpus.target_frequencies.capacity() *
+                sizeof(corpus.target_frequencies[0]));
   if (!obs::MetricsEnabled()) return;
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
   registry.GetCounter("corpus.episodes")->Increment(num_episodes);

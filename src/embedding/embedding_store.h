@@ -99,6 +99,15 @@ class EmbeddingStore {
   /// Concatenation [S_u ; T_u] used by the visualization experiment.
   std::vector<double> ConcatenatedVector(UserId u) const;
 
+  /// Heap bytes held by the parameter buffers (S/T tables at their padded
+  /// stride plus the bias vectors). Capacity-based, so it matches what the
+  /// allocator actually handed out.
+  uint64_t ApproxBytes() const {
+    return (source_.capacity() + target_.capacity() + source_bias_.capacity() +
+            target_bias_.capacity()) *
+           sizeof(double);
+  }
+
   friend bool operator==(const EmbeddingStore&, const EmbeddingStore&) =
       default;
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "kernels/kernels.h"
+#include "obs/memory.h"
 #include "obs/trace.h"
 
 namespace inf2vec {
@@ -111,6 +112,7 @@ JsonValue EnvironmentJson() {
   out.Set("build", BuildInfoJson());
   out.Set("kernel", KernelInfoJson());
   out.Set("trace", TraceInfoJson());
+  out.Set("memory", MemorySummaryJson());
   return out;
 }
 

@@ -1,0 +1,476 @@
+#include "obs/heap_profiler.h"
+
+#include <execinfo.h>
+#include <stdlib.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/http_server.h"
+#include "obs/symbolize.h"
+
+namespace inf2vec {
+namespace obs {
+// Internal linkage is deliberately NOT used here: the operator new/delete
+// replacements at the bottom of this file live at global scope and need
+// qualified access to this machinery.
+namespace heap_internal {
+
+constexpr int kMaxFrames = 48;
+
+/// One distinct allocation stack, with both cumulative and live weights.
+struct StackRecord {
+  int depth = 0;
+  void* pcs[kMaxFrames];
+  uint64_t alloc_bytes = 0;
+  uint64_t live_bytes = 0;
+};
+
+struct LiveAlloc {
+  uint64_t weight = 0;
+  uint64_t stack_hash = 0;
+};
+
+/// All control state is constant-initialized atomics: the new/delete
+/// replacements run before main() and during static destruction, when
+/// nothing dynamically initialized can be trusted.
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_ever_enabled{false};
+std::atomic<uint64_t> g_period{512 * 1024};
+std::atomic<uint64_t> g_sampled_alloc_bytes{0};
+std::atomic<uint64_t> g_sampled_live_bytes{0};
+std::atomic<uint64_t> g_total_samples{0};
+std::atomic<uint64_t> g_live_count{0};
+
+/// Per-thread bytes allocated since the last sample. Trivially
+/// constructible, so touching it from a hook during TLS setup is safe.
+thread_local uint64_t t_accum = 0;
+/// Reentrancy guard: the profile tables themselves allocate (rehash), and
+/// code holding the profile mutex must never re-enter the sampling path.
+thread_local bool t_in_hook = false;
+
+struct HookGuard {
+  bool prev;
+  HookGuard() : prev(t_in_hook) { t_in_hook = true; }
+  ~HookGuard() { t_in_hook = prev; }
+};
+
+/// Leaked on purpose: hooks can fire during static destruction.
+std::mutex& ProfileMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+using StackMap = std::unordered_map<uint64_t, StackRecord>;
+using LiveMap = std::unordered_map<void*, LiveAlloc>;
+StackMap* g_stacks = nullptr;  // Guarded by ProfileMutex().
+LiveMap* g_live = nullptr;     // Guarded by ProfileMutex().
+
+uint64_t HashStack(void* const* pcs, int depth) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a.
+  for (int i = 0; i < depth; ++i) {
+    h ^= reinterpret_cast<uint64_t>(pcs[i]);
+    h *= 1099511628211ULL;
+  }
+  return h ^ static_cast<uint64_t>(depth);
+}
+
+/// Slow path, ~once per sample period: walk the stack and record under
+/// the profile mutex.
+void RecordSample(void* ptr, uint64_t weight) {
+  HookGuard guard;
+  void* pcs[kMaxFrames];
+  const int depth = backtrace(pcs, kMaxFrames);
+  if (depth <= 0) return;
+  const uint64_t hash = HashStack(pcs, depth);
+  std::lock_guard<std::mutex> lock(ProfileMutex());
+  if (g_stacks == nullptr || g_live == nullptr) return;
+  StackRecord& record = (*g_stacks)[hash];
+  if (record.depth == 0) {
+    record.depth = depth;
+    std::memcpy(record.pcs, pcs, sizeof(void*) * static_cast<size_t>(depth));
+  }
+  record.alloc_bytes += weight;
+  record.live_bytes += weight;
+  (*g_live)[ptr] = LiveAlloc{weight, hash};
+  g_sampled_alloc_bytes.fetch_add(weight, std::memory_order_relaxed);
+  g_sampled_live_bytes.fetch_add(weight, std::memory_order_relaxed);
+  g_total_samples.fetch_add(1, std::memory_order_relaxed);
+  g_live_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void MaybeSample(void* ptr, size_t size) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  if (t_in_hook) return;
+  t_accum += size;
+  const uint64_t period = g_period.load(std::memory_order_relaxed);
+  if (t_accum < period) return;
+  const uint64_t weight = t_accum;
+  t_accum = 0;
+  RecordSample(ptr, weight);
+}
+
+/// Free side: drop the live entry if this pointer was sampled. One
+/// relaxed load when the profiler has never run; one more when no samples
+/// are live.
+inline void ForgetPointer(void* ptr) {
+  if (ptr == nullptr) return;
+  if (!g_ever_enabled.load(std::memory_order_relaxed)) return;
+  if (g_live_count.load(std::memory_order_relaxed) == 0) return;
+  if (t_in_hook) return;
+  HookGuard guard;
+  std::lock_guard<std::mutex> lock(ProfileMutex());
+  if (g_live == nullptr) return;
+  const auto it = g_live->find(ptr);
+  if (it == g_live->end()) return;
+  const LiveAlloc alloc = it->second;
+  g_live->erase(it);
+  const auto sit = g_stacks->find(alloc.stack_hash);
+  if (sit != g_stacks->end()) {
+    sit->second.live_bytes -=
+        std::min(sit->second.live_bytes, alloc.weight);
+  }
+  uint64_t live = g_sampled_live_bytes.load(std::memory_order_relaxed);
+  g_sampled_live_bytes.store(live >= alloc.weight ? live - alloc.weight : 0,
+                             std::memory_order_relaxed);
+  g_live_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void* AllocateBytes(size_t size, size_t alignment) {
+  const size_t request = size == 0 ? 1 : size;
+  void* ptr = nullptr;
+  if (alignment <= alignof(std::max_align_t)) {
+    ptr = malloc(request);
+  } else {
+    const size_t align =
+        alignment < sizeof(void*) ? sizeof(void*) : alignment;
+    if (posix_memalign(&ptr, align, request) != 0) ptr = nullptr;
+  }
+  if (ptr != nullptr) MaybeSample(ptr, request);
+  return ptr;
+}
+
+void* OperatorNewImpl(size_t size, size_t alignment) {
+  for (;;) {
+    void* ptr = AllocateBytes(size, alignment);
+    if (ptr != nullptr) return ptr;
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void OperatorDeleteImpl(void* ptr) {
+  ForgetPointer(ptr);
+  // glibc free() handles both malloc and posix_memalign pointers.
+  free(ptr);
+}
+
+bool IsHookMachineryFrame(const std::string& name) {
+  return name.find("operator new") != std::string::npos ||
+         name.find("heap_internal") != std::string::npos ||
+         name.find("HeapProfiler") != std::string::npos ||
+         name.find("backtrace") != std::string::npos;
+}
+
+/// Renders a copied set of stack records as folded stacks weighted by
+/// `weight_of`, biggest first. Symbolization happens outside the profile
+/// mutex (it allocates heavily).
+std::string FoldStacks(const std::vector<StackRecord>& records,
+                       uint64_t (*weight_of)(const StackRecord&)) {
+  std::unordered_map<void*, std::string> names;
+  auto name_of = [&names](void* pc) -> const std::string& {
+    auto it = names.find(pc);
+    if (it == names.end()) it = names.emplace(pc, SymbolizePc(pc)).first;
+    return it->second;
+  };
+
+  std::map<std::string, uint64_t> folded;
+  for (const StackRecord& record : records) {
+    const uint64_t weight = weight_of(record);
+    if (weight == 0 || record.depth <= 0) continue;
+    // Frames come innermost-first. Trim the sampling machinery (the hook,
+    // backtrace, operator new itself) off the leaf end; the first real
+    // frame is the allocation site.
+    int start = 0;
+    for (int f = 0; f < record.depth; ++f) {
+      if (IsHookMachineryFrame(name_of(record.pcs[f]))) start = f + 1;
+    }
+    if (start >= record.depth) start = 0;  // Never trim the whole stack.
+    std::string key;
+    for (int f = record.depth - 1; f >= start; --f) {
+      if (!key.empty()) key += ';';
+      key += name_of(record.pcs[f]);
+    }
+    folded[key] += weight;
+  }
+
+  std::vector<std::pair<std::string, uint64_t>> rows(folded.begin(),
+                                                     folded.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::string out;
+  for (const auto& [stack, bytes] : rows) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(bytes);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<StackRecord> CopyRecords() {
+  HookGuard guard;
+  std::lock_guard<std::mutex> lock(ProfileMutex());
+  std::vector<StackRecord> records;
+  if (g_stacks != nullptr) {
+    records.reserve(g_stacks->size());
+    for (const auto& [hash, record] : *g_stacks) records.push_back(record);
+  }
+  return records;
+}
+
+}  // namespace heap_internal
+
+using heap_internal::g_enabled;
+using heap_internal::g_ever_enabled;
+using heap_internal::g_live;
+using heap_internal::g_live_count;
+using heap_internal::g_period;
+using heap_internal::g_sampled_alloc_bytes;
+using heap_internal::g_sampled_live_bytes;
+using heap_internal::g_stacks;
+using heap_internal::g_total_samples;
+using heap_internal::HookGuard;
+using heap_internal::ProfileMutex;
+using heap_internal::StackRecord;
+
+HeapProfiler& HeapProfiler::Default() {
+  static HeapProfiler* profiler = new HeapProfiler();
+  return *profiler;
+}
+
+Status HeapProfiler::Start(const Options& options) {
+  const uint64_t period = options.sample_period_bytes == 0
+                              ? Options{}.sample_period_bytes
+                              : options.sample_period_bytes;
+  HookGuard guard;
+  // Warm glibc's unwinder outside the hook path: the first backtrace()
+  // lazily loads libgcc and allocates.
+  void* warm[4];
+  backtrace(warm, 4);
+  std::lock_guard<std::mutex> lock(ProfileMutex());
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("heap profiler already running");
+  }
+  if (g_stacks == nullptr) {
+    g_stacks = new heap_internal::StackMap();
+    g_live = new heap_internal::LiveMap();
+  }
+  g_period.store(period, std::memory_order_relaxed);
+  g_ever_enabled.store(true, std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status HeapProfiler::Stop() {
+  g_enabled.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+void HeapProfiler::Reset() {
+  HookGuard guard;
+  std::lock_guard<std::mutex> lock(ProfileMutex());
+  if (g_stacks != nullptr) g_stacks->clear();
+  if (g_live != nullptr) g_live->clear();
+  g_sampled_alloc_bytes.store(0, std::memory_order_relaxed);
+  g_sampled_live_bytes.store(0, std::memory_order_relaxed);
+  g_total_samples.store(0, std::memory_order_relaxed);
+  g_live_count.store(0, std::memory_order_relaxed);
+}
+
+bool HeapProfiler::running() const {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+uint64_t HeapProfiler::sample_period_bytes() const {
+  return g_period.load(std::memory_order_relaxed);
+}
+
+uint64_t HeapProfiler::sampled_live_bytes() const {
+  return g_sampled_live_bytes.load(std::memory_order_relaxed);
+}
+
+uint64_t HeapProfiler::sampled_alloc_bytes() const {
+  return g_sampled_alloc_bytes.load(std::memory_order_relaxed);
+}
+
+uint64_t HeapProfiler::live_samples() const {
+  return g_live_count.load(std::memory_order_relaxed);
+}
+
+uint64_t HeapProfiler::total_samples() const {
+  return g_total_samples.load(std::memory_order_relaxed);
+}
+
+std::string HeapProfiler::FoldedLive() const {
+  return heap_internal::FoldStacks(
+      heap_internal::CopyRecords(),
+      [](const StackRecord& r) { return r.live_bytes; });
+}
+
+std::string HeapProfiler::FoldedAlloc() const {
+  return heap_internal::FoldStacks(
+      heap_internal::CopyRecords(),
+      [](const StackRecord& r) { return r.alloc_bytes; });
+}
+
+Status HeapProfiler::WriteFolded(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open heap profile output file: " + path);
+  }
+  const std::string folded = FoldedLive();
+  const size_t written = std::fwrite(folded.data(), 1, folded.size(), f);
+  std::fclose(f);
+  if (written != folded.size()) {
+    return Status::IOError("short write to heap profile output file: " + path);
+  }
+  return Status::OK();
+}
+
+JsonValue HeapProfiler::DescribeJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("running", running());
+  out.Set("sample_period_bytes", sample_period_bytes());
+  out.Set("samples", total_samples());
+  out.Set("live_samples", live_samples());
+  out.Set("sampled_alloc_bytes", sampled_alloc_bytes());
+  out.Set("sampled_live_bytes", sampled_live_bytes());
+  return out;
+}
+
+void RegisterHeapProfilerEndpoint(StatsServer* server) {
+  server->Handle("/heapz", [](const HttpRequest& request) {
+    HeapProfiler& profiler = HeapProfiler::Default();
+    if (request.HasQuery("stop")) {
+      (void)profiler.Stop();
+      JsonValue status = profiler.DescribeJson();
+      status.Set("status", "stopped");
+      return HttpResponse::Json(200, status.Dump(2) + "\n");
+    }
+    if (request.HasQuery("period")) {
+      const std::string raw = request.QueryOr("period", "0");
+      char* end = nullptr;
+      const unsigned long long period = std::strtoull(raw.c_str(), &end, 10);
+      if (end == raw.c_str() || *end != '\0') {
+        return HttpResponse::Json(
+            400, "{\"error\": \"bad period '" + JsonEscape(raw) + "'\"}\n");
+      }
+      HeapProfiler::Options options;
+      if (period != 0) options.sample_period_bytes = period;
+      const Status started = profiler.Start(options);
+      if (!started.ok()) {
+        return HttpResponse::Json(
+            400,
+            "{\"error\": \"" + JsonEscape(started.ToString()) + "\"}\n");
+      }
+      JsonValue status = profiler.DescribeJson();
+      status.Set("status", "started");
+      return HttpResponse::Json(200, status.Dump(2) + "\n");
+    }
+    if (profiler.total_samples() == 0) {
+      JsonValue status = profiler.DescribeJson();
+      status.Set("status", profiler.running() ? "running" : "idle");
+      status.Set("hint",
+                 "GET /heapz?period=N to start sampling (N bytes per "
+                 "sample, 0 = default); ?mode=alloc for cumulative");
+      return HttpResponse::Json(200, status.Dump(2) + "\n");
+    }
+    const bool alloc_mode = request.QueryOr("mode", "live") == "alloc";
+    return HttpResponse::Text(
+        200, alloc_mode ? profiler.FoldedAlloc() : profiler.FoldedLive());
+  });
+}
+
+}  // namespace obs
+}  // namespace inf2vec
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacements. These must cover the aligned
+// overloads: kernels::AlignedAllocator routes every embedding-table buffer
+// through ::operator new(size_t, std::align_val_t), and missing it would
+// blind the profiler to the process's dominant allocations.
+// ---------------------------------------------------------------------------
+
+using inf2vec::obs::heap_internal::OperatorDeleteImpl;
+using inf2vec::obs::heap_internal::OperatorNewImpl;
+
+void* operator new(std::size_t size) { return OperatorNewImpl(size, 0); }
+void* operator new[](std::size_t size) { return OperatorNewImpl(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return OperatorNewImpl(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return OperatorNewImpl(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return inf2vec::obs::heap_internal::AllocateBytes(size, 0);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return inf2vec::obs::heap_internal::AllocateBytes(size, 0);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return inf2vec::obs::heap_internal::AllocateBytes(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return inf2vec::obs::heap_internal::AllocateBytes(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { OperatorDeleteImpl(ptr); }
+void operator delete[](void* ptr) noexcept { OperatorDeleteImpl(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept {
+  OperatorDeleteImpl(ptr);
+}
+void operator delete[](void* ptr, std::size_t) noexcept {
+  OperatorDeleteImpl(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  OperatorDeleteImpl(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  OperatorDeleteImpl(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  OperatorDeleteImpl(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  OperatorDeleteImpl(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  OperatorDeleteImpl(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  OperatorDeleteImpl(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  OperatorDeleteImpl(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  OperatorDeleteImpl(ptr);
+}

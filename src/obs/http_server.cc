@@ -11,6 +11,8 @@
 #include <cstring>
 
 #include "obs/build_info.h"
+#include "obs/heap_profiler.h"
+#include "obs/memory.h"
 #include "obs/prometheus.h"
 #include "obs/run_status.h"
 #include "util/logging.h"
@@ -236,6 +238,13 @@ void StatsServer::RegisterBuiltinEndpoints() {
   Handle("/healthz", [](const HttpRequest&) {
     return HttpResponse::Text(200, "ok\n");
   });
+  Handle("/memz", [](const HttpRequest&) {
+    return HttpResponse::Json(200, MemzJson().Dump(2) + "\n");
+  });
+  // Referencing the heap profiler here also guarantees heap_profiler.o —
+  // and with it the operator new/delete replacements — is linked into
+  // every binary that hosts a StatsServer.
+  RegisterHeapProfilerEndpoint(this);
   Handle("/", [this](const HttpRequest&) {
     std::string body = "inf2vec stats server\nendpoints:";
     for (const std::string& path : HandledPaths()) {
@@ -349,6 +358,11 @@ void StatsServer::HandleConnection(int client_fd) {
   // is garbage and gets a 400.
   std::string request;
   constexpr size_t kMaxRequestBytes = 8192;
+  // Connection-lifetime accounting: the request head is the only buffer
+  // the server holds per connection, so /memz shows exactly what a burst
+  // of slow clients pins.
+  ScopedBytes conn_bytes(
+      MemoryRegistry::Default().GetGauge("obs.http_conn_buffer"), 0);
   while (request.find("\r\n\r\n") == std::string::npos &&
          request.size() < kMaxRequestBytes) {
     if (!WaitReadable(client_fd)) return;  // Stop() during a slow request.
@@ -357,6 +371,7 @@ void StatsServer::HandleConnection(int client_fd) {
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // Peer closed (or error) before a full head.
     request.append(buffer, static_cast<size_t>(n));
+    conn_bytes.Resize(request.capacity());
   }
 
   HttpRequest parsed;

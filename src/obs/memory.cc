@@ -1,0 +1,354 @@
+#include "obs/memory.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/heap_profiler.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+/// Budget is global, relaxed-atomic state: the serving shed check reads it
+/// on every /score//topk request and must never take a lock.
+std::atomic<uint64_t> g_budget_bytes{0};
+std::atomic<uint64_t> g_headroom_bytes{0};
+
+/// Parses "VmRSS:   123456 kB" style lines out of a /proc status-format
+/// file into the matching *_bytes fields. Returns false when the file
+/// cannot be read at all.
+bool ParseProcStatusFile(
+    const char* path,
+    const std::vector<std::pair<const char*, uint64_t*>>& fields) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    for (const auto& [key, out] : fields) {
+      const size_t key_len = std::strlen(key);
+      if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') {
+        continue;
+      }
+      unsigned long long kb = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &kb) == 1) {
+        *out = static_cast<uint64_t>(kb) * 1024ULL;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+JsonValue AccountedJson(const MemoryRegistry::Snapshot& snapshot) {
+  JsonValue accounted = JsonValue::Object();
+  accounted.Set("total_bytes", snapshot.total_bytes);
+  JsonValue gauges = JsonValue::Object();
+  for (const MemoryRegistry::Entry& entry : snapshot.entries) {
+    JsonValue row = JsonValue::Object();
+    row.Set("bytes", entry.bytes);
+    row.Set("high_water_bytes", entry.high_water_bytes);
+    if (entry.provider) row.Set("provider", true);
+    gauges.Set(entry.name, std::move(row));
+  }
+  accounted.Set("gauges", std::move(gauges));
+  return accounted;
+}
+
+JsonValue ProcessJson(const MemorySample& sample) {
+  JsonValue process = JsonValue::Object();
+  process.Set("sampled", sample.sampled);
+  process.Set("rss_bytes", sample.rss_bytes);
+  process.Set("peak_rss_bytes", sample.peak_rss_bytes);
+  process.Set("vm_size_bytes", sample.vm_size_bytes);
+  process.Set("anon_bytes", sample.anon_bytes);
+  process.Set("file_bytes", sample.file_bytes);
+  process.Set("shmem_bytes", sample.shmem_bytes);
+  return process;
+}
+
+JsonValue BudgetJson(const MemoryBudget& budget) {
+  JsonValue out = JsonValue::Object();
+  out.Set("budget_bytes", budget.budget_bytes);
+  out.Set("headroom_bytes", budget.headroom_bytes);
+  // The same figure the shedding check reads (push gauges only) — NOT the
+  // scrape total, which also folds in scrape-time providers the O(1)
+  // budget check cannot see. Keeping them aligned means over_budget here
+  // always agrees with what /score and /topk are doing.
+  out.Set("accounted_bytes", MemoryRegistry::Default().AccountedBytes());
+  out.Set("over_budget", OverMemoryBudget());
+  return out;
+}
+
+}  // namespace
+
+MemoryGauge::MemoryGauge(std::string name, std::atomic<int64_t>* total,
+                         Gauge* metric)
+    : name_(std::move(name)), total_(total), metric_(metric) {}
+
+void MemoryGauge::MaybeRaiseHighWater(int64_t observed) {
+  int64_t seen = high_water_.load(std::memory_order_relaxed);
+  while (observed > seen &&
+         !high_water_.compare_exchange_weak(seen, observed,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryGauge::Add(int64_t delta) {
+  const int64_t now = bytes_.fetch_add(delta, std::memory_order_relaxed) +
+                      delta;
+  total_->fetch_add(delta, std::memory_order_relaxed);
+  MaybeRaiseHighWater(now);
+  metric_->Set(static_cast<double>(now > 0 ? now : 0));
+}
+
+void MemoryGauge::Set(uint64_t bytes) {
+  const int64_t target = static_cast<int64_t>(bytes);
+  const int64_t previous = bytes_.exchange(target, std::memory_order_relaxed);
+  total_->fetch_add(target - previous, std::memory_order_relaxed);
+  MaybeRaiseHighWater(target);
+  metric_->Set(static_cast<double>(target));
+}
+
+MemoryRegistry& MemoryRegistry::Default() {
+  static MemoryRegistry* registry = new MemoryRegistry();
+  return *registry;
+}
+
+MemoryGauge* MemoryRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    Gauge* metric =
+        MetricsRegistry::Default().GetGauge("mem." + name + ".bytes");
+    it = gauges_
+             .emplace(name, std::unique_ptr<MemoryGauge>(
+                                new MemoryGauge(name, &total_, metric)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MemoryRegistry::RegisterProvider(const std::string& name,
+                                      std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_[name] = std::move(fn);
+}
+
+void MemoryRegistry::UnregisterProvider(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_.erase(name);
+  provider_high_water_.erase(name);
+}
+
+MemoryRegistry::Snapshot MemoryRegistry::Scrape() const {
+  Snapshot snapshot;
+  // Copy the provider list out of the lock before calling: a provider may
+  // take its owner's mutex (trace ring), and holding ours across that
+  // call would order locks provider-owner-after-registry for no benefit.
+  std::vector<std::pair<std::string, std::function<uint64_t()>>> providers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, gauge] : gauges_) {
+      Entry entry;
+      entry.name = name;
+      entry.bytes = gauge->bytes();
+      entry.high_water_bytes = gauge->high_water_bytes();
+      snapshot.entries.push_back(std::move(entry));
+      snapshot.total_bytes += snapshot.entries.back().bytes;
+    }
+    providers.assign(providers_.begin(), providers_.end());
+  }
+  for (const auto& [name, fn] : providers) {
+    Entry entry;
+    entry.name = name;
+    entry.bytes = fn();
+    entry.provider = true;
+    snapshot.total_bytes += entry.bytes;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      uint64_t& high = provider_high_water_[name];
+      high = std::max(high, entry.bytes);
+      entry.high_water_bytes = high;
+    }
+    // Providers only refresh their Prometheus gauge at scrape time; the
+    // write-through path covers push gauges.
+    MetricsRegistry::Default()
+        .GetGauge("mem." + name + ".bytes")
+        ->Set(static_cast<double>(entry.bytes));
+    snapshot.entries.push_back(std::move(entry));
+  }
+  std::sort(snapshot.entries.begin(), snapshot.entries.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return snapshot;
+}
+
+void MemoryRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, gauge] : gauges_) {
+    gauge->bytes_.store(0, std::memory_order_relaxed);
+    gauge->high_water_.store(0, std::memory_order_relaxed);
+  }
+  providers_.clear();
+  provider_high_water_.clear();
+  total_.store(0, std::memory_order_relaxed);
+}
+
+ScopedBytes::ScopedBytes(MemoryGauge* gauge, uint64_t bytes)
+    : gauge_(gauge), bytes_(bytes) {
+  if (gauge_ != nullptr && bytes_ != 0) {
+    gauge_->Add(static_cast<int64_t>(bytes_));
+  }
+}
+
+ScopedBytes::ScopedBytes(ScopedBytes&& other) noexcept
+    : gauge_(other.gauge_), bytes_(other.bytes_) {
+  other.gauge_ = nullptr;
+  other.bytes_ = 0;
+}
+
+ScopedBytes& ScopedBytes::operator=(ScopedBytes&& other) noexcept {
+  if (this != &other) {
+    Release();
+    gauge_ = other.gauge_;
+    bytes_ = other.bytes_;
+    other.gauge_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+ScopedBytes::~ScopedBytes() { Release(); }
+
+void ScopedBytes::Resize(uint64_t bytes) {
+  if (gauge_ == nullptr) return;
+  gauge_->Add(static_cast<int64_t>(bytes) - static_cast<int64_t>(bytes_));
+  bytes_ = bytes;
+}
+
+void ScopedBytes::Release() {
+  if (gauge_ != nullptr && bytes_ != 0) {
+    gauge_->Add(-static_cast<int64_t>(bytes_));
+  }
+  gauge_ = nullptr;
+  bytes_ = 0;
+}
+
+MemorySample SampleProcessMemory() {
+  MemorySample sample;
+  sample.sampled = ParseProcStatusFile(
+      "/proc/self/status", {{"VmRSS", &sample.rss_bytes},
+                            {"VmHWM", &sample.peak_rss_bytes},
+                            {"VmSize", &sample.vm_size_bytes},
+                            {"RssAnon", &sample.anon_bytes},
+                            {"RssFile", &sample.file_bytes},
+                            {"RssShmem", &sample.shmem_bytes}});
+  // smaps_rollup (Linux >= 4.14) refines the breakdown when present: its
+  // Anonymous/Rss figures include pages /proc/self/status misses for some
+  // mapping types. Best-effort — absence keeps the status numbers.
+  uint64_t rollup_rss = 0;
+  uint64_t rollup_anon = 0;
+  if (ParseProcStatusFile("/proc/self/smaps_rollup",
+                          {{"Rss", &rollup_rss},
+                           {"Anonymous", &rollup_anon}})) {
+    if (rollup_rss != 0) sample.rss_bytes = rollup_rss;
+    if (rollup_anon != 0) sample.anon_bytes = rollup_anon;
+  }
+  // The kernel batches per-thread RSS deltas (SPLIT_RSS_COUNTING syncs
+  // every 64 page faults) and only folds them into VmHWM at sync points,
+  // so VmRSS can transiently read a few pages above VmHWM. Clamp so the
+  // peak >= current invariant holds for every consumer.
+  sample.peak_rss_bytes = std::max(sample.peak_rss_bytes, sample.rss_bytes);
+  return sample;
+}
+
+void SetMemoryBudget(const MemoryBudget& budget) {
+  g_budget_bytes.store(budget.budget_bytes, std::memory_order_relaxed);
+  g_headroom_bytes.store(budget.headroom_bytes, std::memory_order_relaxed);
+}
+
+MemoryBudget GetMemoryBudget() {
+  MemoryBudget budget;
+  budget.budget_bytes = g_budget_bytes.load(std::memory_order_relaxed);
+  budget.headroom_bytes = g_headroom_bytes.load(std::memory_order_relaxed);
+  return budget;
+}
+
+bool OverMemoryBudget(uint64_t extra_bytes) {
+  const uint64_t budget = g_budget_bytes.load(std::memory_order_relaxed);
+  if (budget == 0) return false;
+  const uint64_t headroom = g_headroom_bytes.load(std::memory_order_relaxed);
+  const uint64_t accounted = MemoryRegistry::Default().AccountedBytes();
+  return accounted + headroom + extra_bytes > budget;
+}
+
+JsonValue MemzJson() {
+  const MemoryRegistry::Snapshot snapshot = MemoryRegistry::Default().Scrape();
+  const MemorySample sample = SampleProcessMemory();
+
+  JsonValue out = JsonValue::Object();
+  out.Set("schema_version", 1);
+  out.Set("accounted", AccountedJson(snapshot));
+  out.Set("process", ProcessJson(sample));
+
+  JsonValue coverage = JsonValue::Object();
+  coverage.Set("accounted_over_rss",
+               sample.rss_bytes == 0
+                   ? 0.0
+                   : static_cast<double>(snapshot.total_bytes) /
+                         static_cast<double>(sample.rss_bytes));
+  out.Set("coverage", std::move(coverage));
+
+  const MemoryBudget budget = GetMemoryBudget();
+  if (budget.budget_bytes != 0) {
+    out.Set("budget", BudgetJson(budget));
+  }
+  out.Set("heap_profiler", HeapProfiler::Default().DescribeJson());
+  return out;
+}
+
+JsonValue MemoryReportJson() {
+  const MemoryRegistry::Snapshot snapshot = MemoryRegistry::Default().Scrape();
+  const MemorySample sample = SampleProcessMemory();
+  JsonValue out = JsonValue::Object();
+  out.Set("accounted", AccountedJson(snapshot));
+  out.Set("process", ProcessJson(sample));
+  const MemoryBudget budget = GetMemoryBudget();
+  if (budget.budget_bytes != 0) {
+    out.Set("budget", BudgetJson(budget));
+  }
+  return out;
+}
+
+JsonValue MemorySeriesJson() {
+  const MemoryRegistry::Snapshot snapshot = MemoryRegistry::Default().Scrape();
+  const MemorySample sample = SampleProcessMemory();
+  JsonValue out = JsonValue::Object();
+  out.Set("accounted_bytes", snapshot.total_bytes);
+  out.Set("rss_bytes", sample.rss_bytes);
+  JsonValue gauges = JsonValue::Object();
+  for (const MemoryRegistry::Entry& entry : snapshot.entries) {
+    gauges.Set(entry.name, entry.bytes);
+  }
+  out.Set("gauges", std::move(gauges));
+  return out;
+}
+
+JsonValue MemorySummaryJson() {
+  const MemoryRegistry::Snapshot snapshot = MemoryRegistry::Default().Scrape();
+  const MemorySample sample = SampleProcessMemory();
+  JsonValue out = JsonValue::Object();
+  out.Set("accounted_bytes", snapshot.total_bytes);
+  out.Set("rss_bytes", sample.rss_bytes);
+  out.Set("peak_rss_bytes", sample.peak_rss_bytes);
+  JsonValue gauges = JsonValue::Object();
+  for (const MemoryRegistry::Entry& entry : snapshot.entries) {
+    gauges.Set(entry.name, entry.bytes);
+  }
+  out.Set("gauges", std::move(gauges));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace inf2vec

@@ -1,0 +1,183 @@
+#ifndef INF2VEC_OBS_MEMORY_H_
+#define INF2VEC_OBS_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace inf2vec {
+namespace obs {
+
+/// Byte-accounting gauge for one named memory owner (embedding table,
+/// seed cache, trace ring...). Owners report allocate/free/resize deltas;
+/// the gauge tracks the current figure and its high-water mark, and
+/// write-throughs every update into the default MetricsRegistry as
+/// `mem.<name>.bytes` so Prometheus (/metrics) and the snapshotter see
+/// memory for free. Updates are lock-free atomics — safe from any thread,
+/// including destructors running at process exit.
+class MemoryGauge {
+ public:
+  /// Allocate (positive) or free (negative) delta.
+  void Add(int64_t delta);
+  /// Absolute set (owners that recompute their total, e.g. on resize).
+  void Set(uint64_t bytes);
+
+  /// Current accounted bytes (clamped at zero: a stray double-free in the
+  /// accounting never reports negative memory).
+  uint64_t bytes() const {
+    const int64_t v = bytes_.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+  }
+  uint64_t high_water_bytes() const {
+    return static_cast<uint64_t>(high_water_.load(std::memory_order_relaxed));
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MemoryRegistry;
+  MemoryGauge(std::string name, std::atomic<int64_t>* total, Gauge* metric);
+  void MaybeRaiseHighWater(int64_t observed);
+
+  std::string name_;
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<int64_t> high_water_{0};
+  std::atomic<int64_t>* total_;  // Registry-wide accounted total.
+  Gauge* metric_;                // mem.<name>.bytes write-through.
+};
+
+/// Name-addressed registry of MemoryGauges plus scrape-time providers.
+/// GetGauge registers on first use and returns a stable handle (same name
+/// => same handle) — the MetricsRegistry idiom. Providers are callbacks
+/// computed at scrape time, for owners whose live bytes are cheaper to
+/// walk on demand than to maintain incrementally (ring buffers); they are
+/// excluded from the O(1) AccountedBytes() fast path the serving budget
+/// check reads, but included in Scrape()/MemzJson().
+class MemoryRegistry {
+ public:
+  MemoryRegistry() = default;
+  MemoryRegistry(const MemoryRegistry&) = delete;
+  MemoryRegistry& operator=(const MemoryRegistry&) = delete;
+
+  /// Process-wide instance (never destroyed, so gauge handles outlive
+  /// every static destructor that might still report frees).
+  static MemoryRegistry& Default();
+
+  MemoryGauge* GetGauge(const std::string& name);
+
+  /// Registers (or replaces) a scrape-time byte provider. Use only for
+  /// process-lifetime owners (singletons); per-instance owners should
+  /// push deltas through a gauge instead.
+  void RegisterProvider(const std::string& name, std::function<uint64_t()> fn);
+  void UnregisterProvider(const std::string& name);
+
+  struct Entry {
+    std::string name;
+    uint64_t bytes = 0;
+    uint64_t high_water_bytes = 0;
+    bool provider = false;  // Scrape-time callback vs push gauge.
+  };
+  struct Snapshot {
+    std::vector<Entry> entries;  // Name-sorted.
+    uint64_t total_bytes = 0;    // Gauges + providers.
+  };
+  Snapshot Scrape() const;
+
+  /// Sum of the push gauges only — one relaxed load, cheap enough for a
+  /// per-request budget check.
+  uint64_t AccountedBytes() const {
+    const int64_t v = total_.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+  }
+
+  /// Zeroes every gauge and drops providers (tests only; handles stay
+  /// valid).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MemoryGauge>> gauges_;
+  std::map<std::string, std::function<uint64_t()>> providers_;
+  /// Scrape-time high-water marks for providers (keyed like providers_).
+  mutable std::map<std::string, uint64_t> provider_high_water_;
+  std::atomic<int64_t> total_{0};
+};
+
+/// RAII byte reservation: Add(bytes) on construction, the matching free
+/// on destruction. Movable so owners (InfluenceService and friends) can
+/// hold one as a member. Resize() re-reports when the owner's footprint
+/// changes.
+class ScopedBytes {
+ public:
+  ScopedBytes() = default;
+  ScopedBytes(MemoryGauge* gauge, uint64_t bytes);
+  ScopedBytes(ScopedBytes&& other) noexcept;
+  ScopedBytes& operator=(ScopedBytes&& other) noexcept;
+  ScopedBytes(const ScopedBytes&) = delete;
+  ScopedBytes& operator=(const ScopedBytes&) = delete;
+  ~ScopedBytes();
+
+  void Resize(uint64_t bytes);
+  /// Frees the reservation early (idempotent).
+  void Release();
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryGauge* gauge_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+/// Kernel's view of this process: /proc/self/status (VmRSS / VmHWM /
+/// VmSize and the RssAnon/RssFile/RssShmem breakdown) plus
+/// /proc/self/smaps_rollup when available. All byte figures; zero when a
+/// field is missing. `sampled` is false when /proc is unreadable (the
+/// rest of the plane still works — accounting is /proc-independent).
+struct MemorySample {
+  uint64_t rss_bytes = 0;
+  uint64_t peak_rss_bytes = 0;
+  uint64_t vm_size_bytes = 0;
+  uint64_t anon_bytes = 0;
+  uint64_t file_bytes = 0;
+  uint64_t shmem_bytes = 0;
+  bool sampled = false;
+};
+MemorySample SampleProcessMemory();
+
+/// Soft memory budget for serving (`serve --mem-budget-bytes`). Zero
+/// budget = unlimited. `headroom_bytes` is slack reserved for everything
+/// accounting cannot see (allocator overhead, stacks, code).
+struct MemoryBudget {
+  uint64_t budget_bytes = 0;
+  uint64_t headroom_bytes = 0;
+};
+void SetMemoryBudget(const MemoryBudget& budget);
+MemoryBudget GetMemoryBudget();
+/// True when a budget is set and accounted + headroom + extra_bytes
+/// exceeds it. `extra_bytes` lets a hot-swap preflight the double-resident
+/// peak before committing to the load.
+bool OverMemoryBudget(uint64_t extra_bytes = 0);
+
+/// The GET /memz payload: accounted gauges, the /proc sample, coverage
+/// (accounted / rss), the budget block when one is set, and the heap
+/// profiler's status. Schema checked by tools/check_memz.py.
+JsonValue MemzJson();
+/// The run report's "memory" section (same accounting, no heap block).
+JsonValue MemoryReportJson();
+/// Compact per-tick series for the metrics snapshotter JSONL:
+/// {accounted_bytes, rss_bytes, gauges:{name: bytes}}.
+JsonValue MemorySeriesJson();
+/// One-line summary for /varz: accounted total + rss.
+JsonValue MemorySummaryJson();
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_MEMORY_H_

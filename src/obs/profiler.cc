@@ -1,7 +1,5 @@
 #include "obs/profiler.h"
 
-#include <cxxabi.h>
-#include <dlfcn.h>
 #include <execinfo.h>
 #include <signal.h>
 #include <sys/time.h>
@@ -15,6 +13,7 @@
 #include <unordered_map>
 
 #include "obs/http_server.h"
+#include "obs/symbolize.h"
 #include "util/string_util.h"
 
 namespace inf2vec {
@@ -47,30 +46,6 @@ extern "C" void ProfSignalHandler(int /*signum*/) {
   // its unwinder (the lazy first call allocates; later calls do not).
   g_depths[index] =
       backtrace(g_pcs + index * CpuProfiler::kMaxFrames, CpuProfiler::kMaxFrames);
-}
-
-/// Best-effort PC -> display name. dladdr needs the symbol exported
-/// (-rdynamic / CMAKE_ENABLE_EXPORTS for the static parts of the binary);
-/// anonymous-namespace and inlined frames fall back to a hex address,
-/// which still folds consistently.
-std::string SymbolizePc(void* pc) {
-  Dl_info info;
-  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
-    int status = 0;
-    char* demangled =
-        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
-    std::string name =
-        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
-    std::free(demangled);
-    // Drop the parameter list: folded-stack lines stay grep-able and short,
-    // and overloads collapsing into one frame is the flamegraph convention.
-    const size_t paren = name.find('(');
-    if (paren != std::string::npos) name.resize(paren);
-    // Folded format reserves ';' as the frame separator.
-    std::replace(name.begin(), name.end(), ';', ':');
-    return name;
-  }
-  return StrFormat("0x%zx", reinterpret_cast<size_t>(pc));
 }
 
 bool IsProfilerMachineryFrame(const std::string& name) {

@@ -153,39 +153,88 @@ JsonValue RequestTraceRecord::ToJson() const {
   return out;
 }
 
+namespace {
+
+/// Approximate heap footprint of one retained request trace: the struct,
+/// its strings, and every captured span with its attributes.
+uint64_t RecordApproxBytes(const RequestTraceRecord& record) {
+  uint64_t bytes = sizeof(RequestTraceRecord);
+  bytes += record.request_id.capacity() + record.method.capacity() +
+           record.endpoint.capacity();
+  bytes += record.spans.capacity() * sizeof(TraceEvent);
+  for (const TraceEvent& span : record.spans) {
+    bytes += span.name.capacity() + span.category.capacity();
+    bytes += span.args.capacity() * sizeof(std::pair<std::string, std::string>);
+    for (const auto& [key, value] : span.args) {
+      bytes += key.capacity() + value.capacity();
+    }
+  }
+  bytes += record.attrs.capacity() * sizeof(std::pair<std::string, std::string>);
+  for (const auto& [key, value] : record.attrs) {
+    bytes += key.capacity() + value.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace
+
 TracezBuffer::TracezBuffer(size_t recent_capacity, size_t slow_capacity,
                            uint64_t slow_threshold_us)
     : recent_capacity_(std::max<size_t>(1, recent_capacity)),
       slow_capacity_(std::max<size_t>(1, slow_capacity)),
-      slow_threshold_us_(slow_threshold_us) {
+      slow_threshold_us_(slow_threshold_us),
+      mem_gauge_(MemoryRegistry::Default().GetGauge("obs.tracez_ring")) {
   recent_.reserve(recent_capacity_);
   slow_.reserve(slow_capacity_);
 }
 
-void TracezBuffer::Record(RequestTraceRecord record) {
+TracezBuffer::~TracezBuffer() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (record.total_us >= slow_threshold_us_) {
-    if (slow_.size() < slow_capacity_) {
-      slow_.push_back(record);
-    } else {
-      // Full: replace the FASTEST retained trace, and only with a slower
-      // one — the slowest-N set is monotone, fast bursts cannot flush it.
-      auto fastest = std::min_element(
-          slow_.begin(), slow_.end(),
-          [](const RequestTraceRecord& a, const RequestTraceRecord& b) {
-            return a.total_us < b.total_us;
-          });
-      if (record.total_us > fastest->total_us) *fastest = record;
+  if (bytes_ != 0) mem_gauge_->Add(-static_cast<int64_t>(bytes_));
+}
+
+void TracezBuffer::Record(RequestTraceRecord record) {
+  const int64_t incoming = static_cast<int64_t>(RecordApproxBytes(record));
+  int64_t delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (record.total_us >= slow_threshold_us_) {
+      if (slow_.size() < slow_capacity_) {
+        slow_.push_back(record);
+        delta += incoming;
+      } else {
+        // Full: replace the FASTEST retained trace, and only with a slower
+        // one — the slowest-N set is monotone, fast bursts cannot flush it.
+        auto fastest = std::min_element(
+            slow_.begin(), slow_.end(),
+            [](const RequestTraceRecord& a, const RequestTraceRecord& b) {
+              return a.total_us < b.total_us;
+            });
+        if (record.total_us > fastest->total_us) {
+          delta += incoming - static_cast<int64_t>(RecordApproxBytes(*fastest));
+          *fastest = record;
+        }
+      }
     }
+    if (recent_.size() < recent_capacity_) {
+      recent_.push_back(std::move(record));
+      delta += incoming;
+    } else {
+      delta +=
+          incoming - static_cast<int64_t>(RecordApproxBytes(recent_[next_recent_]));
+      recent_[next_recent_] = std::move(record);
+      next_recent_ = (next_recent_ + 1) % recent_capacity_;
+      wrapped_ = true;
+      ++evicted_;
+    }
+    bytes_ = static_cast<uint64_t>(static_cast<int64_t>(bytes_) + delta);
   }
-  if (recent_.size() < recent_capacity_) {
-    recent_.push_back(std::move(record));
-  } else {
-    recent_[next_recent_] = std::move(record);
-    next_recent_ = (next_recent_ + 1) % recent_capacity_;
-    wrapped_ = true;
-    ++evicted_;
-  }
+  if (delta != 0) mem_gauge_->Add(delta);
+}
+
+uint64_t TracezBuffer::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 std::vector<RequestTraceRecord> TracezBuffer::Recent() const {

@@ -12,6 +12,7 @@
 
 #include "obs/access_log.h"
 #include "obs/json.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -108,11 +109,19 @@ class TracezBuffer {
   explicit TracezBuffer(size_t recent_capacity = 32,
                         size_t slow_capacity = 32,
                         uint64_t slow_threshold_us = 0);
+  ~TracezBuffer();
 
   TracezBuffer(const TracezBuffer&) = delete;
   TracezBuffer& operator=(const TracezBuffer&) = delete;
 
   void Record(RequestTraceRecord record);
+
+  /// Approximate live bytes across both rings, maintained incrementally
+  /// (one delta per Record — never a scan on the request path). Reported
+  /// into the "obs.tracez_ring" memory gauge; instances push deltas, so
+  /// several buffers account additively and a destroyed buffer gives its
+  /// bytes back.
+  uint64_t ApproxBytes() const;
 
   /// Most recent first.
   std::vector<RequestTraceRecord> Recent() const;
@@ -136,6 +145,8 @@ class TracezBuffer {
   bool wrapped_ = false;                    // Guarded by mu_.
   uint64_t evicted_ = 0;                    // Guarded by mu_.
   std::vector<RequestTraceRecord> slow_;    // Unordered. Guarded by mu_.
+  uint64_t bytes_ = 0;                      // Guarded by mu_.
+  MemoryGauge* mem_gauge_;                  // Registry-owned.
 };
 
 /// The request-observability bundle a server (or bench loop) threads

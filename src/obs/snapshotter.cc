@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/memory.h"
+
 namespace inf2vec {
 namespace obs {
 
@@ -97,6 +99,9 @@ void MetricsSnapshotter::WriteSnapshot() {
   line.Set("counters", std::move(counters));
   line.Set("deltas", std::move(deltas));
   line.Set("gauges", std::move(gauges));
+  // Accounted-vs-RSS per tick: the time series form of /memz, so a leak
+  // (RSS climbing away from accounted bytes) shows up in the JSONL.
+  line.Set("memory", MemorySeriesJson());
 
   const std::string text = line.Dump(0) + "\n";
   std::fwrite(text.data(), 1, text.size(), file_);

@@ -1,0 +1,32 @@
+#include "obs/symbolize.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace inf2vec {
+namespace obs {
+
+std::string SymbolizePc(void* pc) {
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    const size_t paren = name.find('(');
+    if (paren != std::string::npos) name.resize(paren);
+    std::replace(name.begin(), name.end(), ';', ':');
+    return name;
+  }
+  return StrFormat("0x%zx", reinterpret_cast<size_t>(pc));
+}
+
+}  // namespace obs
+}  // namespace inf2vec

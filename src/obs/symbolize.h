@@ -1,0 +1,22 @@
+#ifndef INF2VEC_OBS_SYMBOLIZE_H_
+#define INF2VEC_OBS_SYMBOLIZE_H_
+
+#include <string>
+
+namespace inf2vec {
+namespace obs {
+
+/// Best-effort PC -> display name for folded-stack output, shared by the
+/// CPU profiler and the heap profiler. dladdr needs the symbol exported
+/// (-rdynamic / CMAKE_ENABLE_EXPORTS for the static parts of the binary);
+/// anonymous-namespace and inlined frames fall back to a hex address,
+/// which still folds consistently. The parameter list is stripped
+/// (overloads collapse into one frame — the flamegraph convention) and
+/// ';' is replaced because the folded format reserves it as the frame
+/// separator.
+std::string SymbolizePc(void* pc);
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_SYMBOLIZE_H_

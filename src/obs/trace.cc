@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/json.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "util/string_util.h"
 
@@ -28,7 +29,15 @@ TraceCollector::TraceCollector(size_t capacity)
 }
 
 TraceCollector& TraceCollector::Default() {
-  static TraceCollector* collector = new TraceCollector();
+  static TraceCollector* collector = [] {
+    auto* c = new TraceCollector();
+    // The singleton never dies, so a scrape-time provider is safe; /memz
+    // charges the ring's live bytes without the hot Record() path paying
+    // for byte bookkeeping.
+    MemoryRegistry::Default().RegisterProvider(
+        "obs.trace_ring", [c] { return static_cast<uint64_t>(c->ApproxBytes()); });
+    return c;
+  }();
   return *collector;
 }
 
@@ -81,6 +90,20 @@ std::vector<TraceEvent> TraceCollector::Events() const {
 size_t TraceCollector::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ring_.size();
+}
+
+size_t TraceCollector::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = ring_.capacity() * sizeof(TraceEvent);
+  for (const TraceEvent& event : ring_) {
+    bytes += event.name.capacity() + event.category.capacity();
+    bytes += event.args.capacity() *
+             sizeof(std::pair<std::string, std::string>);
+    for (const auto& [key, value] : event.args) {
+      bytes += key.capacity() + value.capacity();
+    }
+  }
+  return bytes;
 }
 
 uint64_t TraceCollector::dropped() const {

@@ -68,6 +68,11 @@ class TraceCollector {
   /// Events overwritten because the ring was full.
   uint64_t dropped() const;
 
+  /// Approximate live bytes held by the ring (event structs + their
+  /// string payloads). Walks the ring under the mutex — scrape-time cost,
+  /// reported into /memz through a MemoryRegistry provider.
+  size_t ApproxBytes() const;
+
   /// Empties the ring and restarts the time epoch.
   void Clear();
 

@@ -126,6 +126,14 @@ InfluenceService::InfluenceService(ModelArtifact artifact,
     }
   }
 
+  obs::MemoryRegistry& mem = obs::MemoryRegistry::Default();
+  table_bytes_ = obs::ScopedBytes(mem.GetGauge("serve.embedding_table"),
+                                  artifact_->store.ApproxBytes());
+  if (qstore_ != nullptr) {
+    qtable_bytes_ = obs::ScopedBytes(mem.GetGauge("serve.quantized_table"),
+                                     qstore_->TableBytes());
+  }
+
   score_requests_ = registry->GetCounter("serve.score.requests");
   topk_requests_ = registry->GetCounter("serve.topk.requests");
   batch_requests_ = registry->GetCounter("serve.batch.requests");
@@ -509,6 +517,7 @@ obs::JsonValue InfluenceService::DescribeJson() const {
   serving.Set("scan_block", options_.scan_block);
   serving.Set("quantize", QuantModeName(quant_mode()));
   serving.Set("kernel_isa", kernels::IsaName(kernels::ActiveIsa()));
+  serving.Set("embedding_table_bytes", artifact_->store.ApproxBytes());
   if (qstore_ != nullptr) {
     serving.Set("quantized_table_bytes",
                 static_cast<uint64_t>(qstore_->TableBytes()));
@@ -520,6 +529,7 @@ obs::JsonValue InfluenceService::DescribeJson() const {
   cache.Set("size", cache_->size());
   cache.Set("hits", cache_->hits());
   cache.Set("misses", cache_->misses());
+  cache.Set("bytes", cache_->total_bytes());
   json.Set("seed_cache", std::move(cache));
   return json;
 }

@@ -12,6 +12,7 @@
 #include "core/aggregation.h"
 #include "embedding/model_io.h"
 #include "obs/json.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "serve/seed_cache.h"
 #include "util/status.h"
@@ -178,6 +179,13 @@ class InfluenceService {
   /// cache statistics.
   obs::JsonValue DescribeJson() const;
 
+  /// Bytes this service accounts into the memory registry: the fp64
+  /// table plus, in int8 mode, the quantized serving table. What a
+  /// hot-swap preflight must assume a second resident copy costs.
+  uint64_t AccountedBytes() const {
+    return table_bytes_.bytes() + qtable_bytes_.bytes();
+  }
+
  private:
   InfluenceService(ModelArtifact artifact, ServiceOptions options,
                    std::string model_path, obs::MetricsRegistry* registry);
@@ -200,6 +208,11 @@ class InfluenceService {
   std::unique_ptr<SeedBlockCache> cache_;
   std::unique_ptr<ThreadPool> batch_pool_;          // Null when 1 thread.
   std::unique_ptr<std::mutex> batch_mu_;            // Guards pool posting.
+  /// Byte reservations in the memory plane; released on destruction, so
+  /// a retired generation's tables vanish from /memz when the last
+  /// shared_ptr drops.
+  obs::ScopedBytes table_bytes_;   // serve.embedding_table.
+  obs::ScopedBytes qtable_bytes_;  // serve.quantized_table.
 
   // Metric handles (registry-owned; valid for the registry's lifetime).
   obs::Counter* score_requests_;

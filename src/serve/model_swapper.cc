@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/memory.h"
 #include "obs/trace.h"
 
 namespace inf2vec {
@@ -16,7 +17,9 @@ ModelSwapper::ModelSwapper(std::string model_path, ServiceOptions options,
       generation_gauge_(registry->GetGauge("serve.model_generation")),
       reloads_(registry->GetCounter("serve.reloads")),
       reload_errors_(registry->GetCounter("serve.reload_errors")),
-      reload_seconds_(registry->GetGauge("serve.reload_seconds")) {}
+      reload_seconds_(registry->GetGauge("serve.reload_seconds")),
+      swap_transient_gauge_(
+          registry->GetGauge("serve.swap_transient_bytes")) {}
 
 ModelSwapper::~ModelSwapper() { StopWatching(); }
 
@@ -31,6 +34,24 @@ Status ModelSwapper::Reload() {
   std::error_code ec;
   const auto mtime = std::filesystem::last_write_time(model_path_, ec);
 
+  // Budget preflight: while the new model loads and warms, BOTH
+  // generations are resident. Refuse the swap when that double-resident
+  // peak would blow the serving budget — keeping the old model serving
+  // beats OOM-killing the process mid-swap. The current model's table
+  // bytes approximate the incoming one (same artifact family); a first
+  // load has nothing resident and nothing to preflight.
+  if (const auto current = Acquire(); current != nullptr) {
+    const uint64_t incoming = current->service.AccountedBytes();
+    if (obs::OverMemoryBudget(incoming)) {
+      reload_errors_->Increment();
+      return Status::FailedPrecondition(
+          "hot-swap preflight: loading a second ~" +
+          std::to_string(incoming) +
+          " byte model would exceed the memory budget; old model keeps "
+          "serving");
+    }
+  }
+
   Result<InfluenceService> loaded =
       InfluenceService::Load(model_path_, options_, registry_);
   if (!loaded.ok()) {
@@ -40,6 +61,22 @@ Status ModelSwapper::Reload() {
   // Fault in every page of the new table BEFORE it takes traffic; the
   // swap must not trade a working hot model for a cold one.
   loaded.value().Warm();
+
+  // Double-resident peak: the new model is fully built and the old one
+  // has not been released yet — this is the swap's true memory cost.
+  {
+    const bool had_previous = Acquire() != nullptr;
+    const uint64_t transient =
+        had_previous ? obs::MemoryRegistry::Default().AccountedBytes() : 0;
+    last_transient_bytes_.store(transient, std::memory_order_relaxed);
+    uint64_t peak = peak_transient_bytes_.load(std::memory_order_relaxed);
+    while (transient > peak && !peak_transient_bytes_.compare_exchange_weak(
+                                   peak, transient,
+                                   std::memory_order_relaxed)) {
+    }
+    swap_transient_gauge_->Set(static_cast<double>(
+        peak_transient_bytes_.load(std::memory_order_relaxed)));
+  }
 
   const uint64_t generation =
       next_generation_.fetch_add(1, std::memory_order_relaxed);

@@ -94,6 +94,19 @@ class ModelSwapper {
   void StopWatching();
   bool watching() const { return watcher_.joinable(); }
 
+  /// Registry-accounted bytes at the double-resident peak of the most
+  /// recent successful swap — old model still serving, new one warmed,
+  /// neither freed yet. 0 before the second reload (the first load has no
+  /// prior resident model). Stamped into /reloadz and tracked as the
+  /// serve.swap_transient_bytes high-water gauge.
+  uint64_t last_swap_transient_bytes() const {
+    return last_transient_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Largest double-resident peak seen over the process lifetime.
+  uint64_t peak_swap_transient_bytes() const {
+    return peak_transient_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WatchLoop(uint64_t poll_interval_ms);
 
@@ -124,6 +137,9 @@ class ModelSwapper {
   obs::Counter* reloads_;
   obs::Counter* reload_errors_;
   obs::Gauge* reload_seconds_;
+  obs::Gauge* swap_transient_gauge_;  // serve.swap_transient_bytes.
+  std::atomic<uint64_t> last_transient_bytes_{0};
+  std::atomic<uint64_t> peak_transient_bytes_{0};
 };
 
 }  // namespace serve

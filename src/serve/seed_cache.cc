@@ -27,6 +27,32 @@ std::string CacheKey(const std::vector<UserId>& seeds) {
 
 }  // namespace
 
+SeedBlockCache::SeedBlockCache(size_t capacity)
+    : capacity_(capacity),
+      mem_gauge_(
+          obs::MemoryRegistry::Default().GetGauge("serve.seed_cache")),
+      bytes_metric_(obs::MetricsRegistry::Default().GetGauge(
+          "serve.seed_cache_bytes")) {}
+
+SeedBlockCache::~SeedBlockCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes_ != 0) AccountLocked(-static_cast<int64_t>(bytes_));
+}
+
+uint64_t SeedBlockCache::EntryBytes(const Entry& entry) {
+  uint64_t bytes = entry.first.capacity();
+  if (entry.second != nullptr) {
+    bytes += sizeof(SeedBlock) + entry.second->ApproxBytes();
+  }
+  return bytes;
+}
+
+void SeedBlockCache::AccountLocked(int64_t delta) {
+  bytes_ = static_cast<uint64_t>(static_cast<int64_t>(bytes_) + delta);
+  mem_gauge_->Add(delta);
+  bytes_metric_->Set(static_cast<double>(bytes_));
+}
+
 SeedBlock GatherSeedBlock(const EmbeddingStore& store,
                           const std::vector<UserId>& seeds) {
   SeedBlock block;
@@ -114,11 +140,15 @@ std::shared_ptr<const SeedBlock> SeedBlockCache::GetImpl(
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
+      const int64_t replaced = static_cast<int64_t>(EntryBytes(*it->second));
       it->second->second = block;
+      AccountLocked(static_cast<int64_t>(EntryBytes(*it->second)) - replaced);
     } else {
       lru_.emplace_front(key, block);
       index_[key] = lru_.begin();
+      AccountLocked(static_cast<int64_t>(EntryBytes(lru_.front())));
       while (lru_.size() > capacity_) {
+        AccountLocked(-static_cast<int64_t>(EntryBytes(lru_.back())));
         index_.erase(lru_.back().first);
         lru_.pop_back();
       }
@@ -141,6 +171,11 @@ uint64_t SeedBlockCache::hits() const {
 uint64_t SeedBlockCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+uint64_t SeedBlockCache::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 }  // namespace serve

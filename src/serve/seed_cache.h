@@ -15,6 +15,8 @@
 #include "embedding/quantized_store.h"
 #include "graph/social_graph.h"
 #include "kernels/aligned.h"
+#include "obs/memory.h"
+#include "obs/metrics.h"
 
 namespace inf2vec {
 namespace serve {
@@ -51,6 +53,17 @@ struct SeedBlock {
   const int8_t* q_source_row(size_t i) const {
     return q_sources.data() + i * static_cast<size_t>(q_stride);
   }
+
+  /// Heap bytes this block holds. Capacity-based, so an fp64 block costs
+  /// num_seeds * stride * 8 where the int8 block costs num_seeds *
+  /// q_stride — the 8x stride gap is visible in cache accounting.
+  uint64_t ApproxBytes() const {
+    return sources.capacity() * sizeof(double) +
+           source_biases.capacity() * sizeof(double) +
+           seeds.capacity() * sizeof(UserId) + q_sources.capacity() +
+           q_scales.capacity() * sizeof(float) +
+           q_biases.capacity() * sizeof(float);
+  }
 };
 
 /// Builds an fp64 block by gathering from `store`. Callers validate ids.
@@ -72,7 +85,8 @@ class SeedBlockCache {
  public:
   /// `capacity` in entries; 0 disables caching (every Get misses and
   /// nothing is stored).
-  explicit SeedBlockCache(size_t capacity) : capacity_(capacity) {}
+  explicit SeedBlockCache(size_t capacity);
+  ~SeedBlockCache();
 
   SeedBlockCache(const SeedBlockCache&) = delete;
   SeedBlockCache& operator=(const SeedBlockCache&) = delete;
@@ -93,6 +107,14 @@ class SeedBlockCache {
   uint64_t hits() const;
   uint64_t misses() const;
 
+  /// Live bytes across every retained block (keys + block payloads),
+  /// maintained incrementally at insert/replace/evict. With fp64 blocks
+  /// each entry costs ~8x its int8 counterpart — the per-entry stride gap
+  /// the quantized mode exists to win. Also pushed into the
+  /// "serve.seed_cache" memory gauge and the serve.seed_cache_bytes
+  /// metric gauge.
+  uint64_t total_bytes() const;
+
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const SeedBlock>>;
 
@@ -100,12 +122,20 @@ class SeedBlockCache {
       const std::vector<UserId>& seeds,
       const std::function<SeedBlock()>& gather, bool* cache_hit);
 
+  /// Bytes charged for one retained entry (key + block).
+  static uint64_t EntryBytes(const Entry& entry);
+  /// Applies a byte delta to bytes_ (under mu_) and both exported gauges.
+  void AccountLocked(int64_t delta);
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // Front = most recent.
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t bytes_ = 0;  // Guarded by mu_.
+  obs::MemoryGauge* mem_gauge_;   // Registry-owned.
+  obs::Gauge* bytes_metric_;      // serve.seed_cache_bytes.
 };
 
 }  // namespace serve

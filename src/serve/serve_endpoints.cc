@@ -6,6 +6,8 @@
 #include "core/aggregation.h"
 #include "kernels/kernels.h"
 #include "obs/json.h"
+#include "obs/memory.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 
@@ -193,6 +195,27 @@ HttpResponse ModelGoneResponse() {
   return ErrorResponse(Status::Internal("no model loaded yet"));
 }
 
+/// Soft-budget load shedding for the query endpoints (`serve
+/// --mem-budget-bytes`): when accounted bytes + headroom sit over the
+/// budget, /score and /topk answer 503 instead of queueing work on a
+/// process the kernel is about to OOM-kill. Returns true (and fills
+/// `*response`) when the request must be shed. The check is two relaxed
+/// loads — free when no budget is configured.
+bool ShedOverBudget(HttpResponse* response) {
+  if (!obs::OverMemoryBudget()) return false;
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* pressure =
+        obs::MetricsRegistry::Default().GetCounter("serve.mem_pressure");
+    pressure->Increment();
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("error",
+           "serving over memory budget; request shed (see /memz)");
+  body.Set("code", "MEM_PRESSURE");
+  *response = HttpResponse::Json(503, body.Dump(0));
+  return true;
+}
+
 }  // namespace
 
 int HttpCodeFor(const Status& status) {
@@ -213,9 +236,13 @@ int HttpCodeFor(const Status& status) {
 void RegisterServeEndpoints(obs::StatsServer* server,
                             const InfluenceService* service) {
   server->Handle("/score", [service](const HttpRequest& request) {
+    HttpResponse shed;
+    if (ShedOverBudget(&shed)) return shed;
     return HandleScore(*service, std::nullopt, request);
   });
   server->Handle("/topk", [service](const HttpRequest& request) {
+    HttpResponse shed;
+    if (ShedOverBudget(&shed)) return shed;
     return HandleTopK(*service, std::nullopt, request);
   });
   server->Handle("/modelz", [service](const HttpRequest&) {
@@ -225,11 +252,15 @@ void RegisterServeEndpoints(obs::StatsServer* server,
 
 void RegisterServeEndpoints(obs::StatsServer* server, ModelSwapper* swapper) {
   server->Handle("/score", [swapper](const HttpRequest& request) {
+    HttpResponse shed;
+    if (ShedOverBudget(&shed)) return shed;
     const auto model = swapper->Acquire();
     if (model == nullptr) return ModelGoneResponse();
     return HandleScore(model->service, model->generation, request);
   });
   server->Handle("/topk", [swapper](const HttpRequest& request) {
+    HttpResponse shed;
+    if (ShedOverBudget(&shed)) return shed;
     const auto model = swapper->Acquire();
     if (model == nullptr) return ModelGoneResponse();
     return HandleTopK(model->service, model->generation, request);
@@ -256,6 +287,9 @@ void RegisterServeEndpoints(obs::StatsServer* server, ModelSwapper* swapper) {
     body.Set("status", "reloaded");
     body.Set("generation", swapper->generation());
     body.Set("model", swapper->model_path());
+    // The accounted double-resident peak of this swap (0 on the first
+    // load — nothing was resident to double).
+    body.Set("swap_transient_bytes", swapper->last_swap_transient_bytes());
     return HttpResponse::Json(200, body.Dump(0));
   });
 }

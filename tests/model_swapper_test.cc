@@ -20,6 +20,7 @@
 
 #include "core/embedding_predictor.h"
 #include "embedding/model_io.h"
+#include "obs/memory.h"
 #include "util/io.h"
 #include "util/rng.h"
 
@@ -258,6 +259,58 @@ TEST_F(ModelSwapperTest, WatcherIgnoresAVanishedFile) {
   ASSERT_NE(swapper.Acquire(), nullptr);
 
   swapper.StopWatching();
+}
+
+TEST_F(ModelSwapperTest, SwapAccountsTheDoubleResidentTransient) {
+  // Zeroed baseline so AccountedBytes() below is this swapper's tables
+  // alone (earlier tests' services are destroyed by now).
+  obs::MemoryRegistry::Default().Reset();
+
+  ASSERT_TRUE(SaveModel(model_path_, 1).ok());
+  ModelSwapper swapper(model_path_, {});
+  ASSERT_TRUE(swapper.Reload().ok());
+  // First load doubled nothing: no transient to report.
+  EXPECT_EQ(swapper.last_swap_transient_bytes(), 0u);
+  const uint64_t single = obs::MemoryRegistry::Default().AccountedBytes();
+  ASSERT_GT(single, 0u) << "a resident model must account its tables";
+
+  ASSERT_TRUE(SaveModel(model_path_, 2).ok());
+  ASSERT_TRUE(swapper.Reload().ok());
+  // While the swap warmed generation 2, generation 1 was still serving:
+  // the recorded peak must exceed single residency.
+  EXPECT_GT(swapper.last_swap_transient_bytes(), single);
+  EXPECT_GE(swapper.peak_swap_transient_bytes(),
+            swapper.last_swap_transient_bytes());
+  // And after publication the old tables were freed — steady state is
+  // back below the transient peak.
+  EXPECT_LT(obs::MemoryRegistry::Default().AccountedBytes(),
+            swapper.last_swap_transient_bytes());
+}
+
+TEST_F(ModelSwapperTest, BudgetPreflightRefusesADoomedSwap) {
+  obs::MemoryRegistry::Default().Reset();
+  obs::SetMemoryBudget({0, 0});
+
+  ASSERT_TRUE(SaveModel(model_path_, 1).ok());
+  ModelSwapper swapper(model_path_, {});
+  ASSERT_TRUE(swapper.Reload().ok());
+  const uint64_t single = obs::MemoryRegistry::Default().AccountedBytes();
+  ASSERT_GT(single, 0u);
+
+  // A budget that admits one resident model but not two: the preflight
+  // must refuse before loading, and the old model must keep serving.
+  obs::SetMemoryBudget({single + single / 2, 0});
+  ASSERT_TRUE(SaveModel(model_path_, 2).ok());
+  const Status refused = swapper.Reload();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(swapper.generation(), 1u);
+  ASSERT_NE(swapper.Acquire(), nullptr);
+
+  // Lifting the budget lets the same swap through.
+  obs::SetMemoryBudget({0, 0});
+  ASSERT_TRUE(swapper.Reload().ok());
+  EXPECT_EQ(swapper.generation(), 2u);
 }
 
 TEST_F(ModelSwapperTest, DestructorStopsAnActiveWatcher) {

@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Schema validator for GET /memz payloads (the memory observability
+plane).
+
+Usage: check_memz.py MEMZ.json [--expect-gauge NAME]...
+                     [--min-coverage X] [--expect-budget]
+
+The payload is one JSON object:
+  {"schema_version": 1,
+   "accounted": {"total_bytes": N,
+                 "gauges": {name: {"bytes": N, "high_water_bytes": N,
+                                   "provider": true?}}},
+   "process": {"sampled": bool, "rss_bytes": N, "peak_rss_bytes": N,
+               "vm_size_bytes": N, "anon_bytes": N, "file_bytes": N,
+               "shmem_bytes": N},
+   "coverage": {"accounted_over_rss": X},
+   "budget": {"budget_bytes": N, "headroom_bytes": N,
+              "accounted_bytes": N, "over_budget": bool},   # optional
+   "heap_profiler": {"running": bool, "sample_period_bytes": N,
+                     "samples": N, "live_samples": N,
+                     "sampled_alloc_bytes": N, "sampled_live_bytes": N}}
+Cross-field invariants checked: gauge bytes sum to accounted.total_bytes,
+high-water marks never sit below current bytes, and a sampled process has
+peak_rss >= rss > 0. Exits 0 on success, 1 with a diagnostic otherwise.
+Dependency-free (stdlib json only) so it runs in any CI image.
+
+`--self-test` exercises the validator against embedded good/bad fixtures
+and is wired up as the `memz_schema_self_test` ctest entry.
+"""
+
+import argparse
+import copy
+import json
+import sys
+import tempfile
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise SchemaError(message)
+
+
+def check_nonneg_int(obj, key, where):
+    require(key in obj, f"{where}: missing key '{key}'")
+    value = obj[key]
+    require(isinstance(value, int) and not isinstance(value, bool),
+            f"{where}: '{key}' must be an integer, "
+            f"got {type(value).__name__}")
+    require(value >= 0, f"{where}: '{key}'={value} is negative")
+
+
+def check_bool(obj, key, where):
+    require(key in obj, f"{where}: missing key '{key}'")
+    require(isinstance(obj[key], bool),
+            f"{where}: '{key}' must be a boolean, got {obj[key]!r}")
+
+
+def check_accounted(accounted, where):
+    require(isinstance(accounted, dict), f"{where}: must be an object")
+    check_nonneg_int(accounted, "total_bytes", where)
+    gauges = accounted.get("gauges")
+    require(isinstance(gauges, dict), f"{where}: 'gauges' must be an object")
+    total = 0
+    for name, gauge in gauges.items():
+        gwhere = f"{where}: gauges['{name}']"
+        require(isinstance(gauge, dict), f"{gwhere}: must be an object")
+        check_nonneg_int(gauge, "bytes", gwhere)
+        check_nonneg_int(gauge, "high_water_bytes", gwhere)
+        require(gauge["high_water_bytes"] >= gauge["bytes"],
+                f"{gwhere}: high_water_bytes={gauge['high_water_bytes']} "
+                f"below bytes={gauge['bytes']}")
+        if "provider" in gauge:
+            check_bool(gauge, "provider", gwhere)
+        total += gauge["bytes"]
+    require(total == accounted["total_bytes"],
+            f"{where}: gauges sum to {total}, "
+            f"total_bytes says {accounted['total_bytes']}")
+
+
+def check_process(process, where):
+    require(isinstance(process, dict), f"{where}: must be an object")
+    check_bool(process, "sampled", where)
+    for key in ("rss_bytes", "peak_rss_bytes", "vm_size_bytes",
+                "anon_bytes", "file_bytes", "shmem_bytes"):
+        check_nonneg_int(process, key, where)
+    if process["sampled"]:
+        require(process["rss_bytes"] > 0,
+                f"{where}: sampled process must have rss_bytes > 0")
+        require(process["peak_rss_bytes"] >= process["rss_bytes"],
+                f"{where}: peak_rss_bytes={process['peak_rss_bytes']} "
+                f"below rss_bytes={process['rss_bytes']}")
+
+
+def check_budget(budget, where):
+    require(isinstance(budget, dict), f"{where}: must be an object")
+    for key in ("budget_bytes", "headroom_bytes", "accounted_bytes"):
+        check_nonneg_int(budget, key, where)
+    check_bool(budget, "over_budget", where)
+    require(budget["budget_bytes"] > 0,
+            f"{where}: a present budget block must have budget_bytes > 0")
+
+
+def check_heap_profiler(heap, where):
+    require(isinstance(heap, dict), f"{where}: must be an object")
+    check_bool(heap, "running", where)
+    for key in ("sample_period_bytes", "samples", "live_samples",
+                "sampled_alloc_bytes", "sampled_live_bytes"):
+        check_nonneg_int(heap, key, where)
+    require(heap["sampled_alloc_bytes"] >= heap["sampled_live_bytes"],
+            f"{where}: sampled_alloc_bytes below sampled_live_bytes")
+    require(heap["samples"] >= heap["live_samples"],
+            f"{where}: samples below live_samples")
+
+
+def check_memz(doc, where, args):
+    require(isinstance(doc, dict), f"{where}: must be a JSON object")
+    require(doc.get("schema_version") == 1,
+            f"{where}: schema_version must be 1, "
+            f"got {doc.get('schema_version')!r}")
+    for key in ("accounted", "process", "coverage", "heap_profiler"):
+        require(key in doc, f"{where}: missing key '{key}'")
+    check_accounted(doc["accounted"], f"{where}: accounted")
+    check_process(doc["process"], f"{where}: process")
+    coverage = doc["coverage"]
+    require(isinstance(coverage, dict),
+            f"{where}: 'coverage' must be an object")
+    ratio = coverage.get("accounted_over_rss")
+    require(isinstance(ratio, (int, float)) and not isinstance(ratio, bool)
+            and ratio >= 0,
+            f"{where}: coverage.accounted_over_rss must be a non-negative "
+            f"number, got {ratio!r}")
+    if "budget" in doc:
+        check_budget(doc["budget"], f"{where}: budget")
+    elif args.expect_budget:
+        raise SchemaError(f"{where}: --expect-budget but no budget block")
+    check_heap_profiler(doc["heap_profiler"], f"{where}: heap_profiler")
+
+    gauges = doc["accounted"]["gauges"]
+    for name in args.expect_gauge or ():
+        require(name in gauges, f"{where}: no gauge named '{name}' "
+                f"(have: {', '.join(sorted(gauges)) or 'none'})")
+    if args.min_coverage is not None:
+        require(ratio >= args.min_coverage,
+                f"{where}: coverage {ratio:.3f} below "
+                f"--min-coverage {args.min_coverage}")
+
+
+def check_file(path, args):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            raise SchemaError(f"{path}: not valid JSON: {e}") from e
+    check_memz(doc, path, args)
+
+
+GOOD_DOC = {
+    "schema_version": 1,
+    "accounted": {
+        "total_bytes": 1300,
+        "gauges": {
+            "serve.embedding_table": {"bytes": 1000,
+                                      "high_water_bytes": 1000},
+            "serve.seed_cache": {"bytes": 200, "high_water_bytes": 250},
+            "obs.trace_ring": {"bytes": 100, "high_water_bytes": 100,
+                               "provider": True},
+        },
+    },
+    "process": {"sampled": True, "rss_bytes": 2000, "peak_rss_bytes": 2100,
+                "vm_size_bytes": 4000, "anon_bytes": 1800,
+                "file_bytes": 150, "shmem_bytes": 50},
+    "coverage": {"accounted_over_rss": 0.65},
+    "budget": {"budget_bytes": 4096, "headroom_bytes": 128,
+               "accounted_bytes": 1200, "over_budget": False},
+    "heap_profiler": {"running": True, "sample_period_bytes": 524288,
+                      "samples": 42, "live_samples": 40,
+                      "sampled_alloc_bytes": 900, "sampled_live_bytes": 800},
+}
+
+
+def bad_fixtures():
+    """Yields (description, mutated-doc) pairs that must all be rejected."""
+    bad = copy.deepcopy(GOOD_DOC)
+    del bad["process"]
+    yield "missing process block", bad
+
+    bad = copy.deepcopy(GOOD_DOC)
+    bad["accounted"]["total_bytes"] = 9999
+    yield "gauge sum != total_bytes", bad
+
+    bad = copy.deepcopy(GOOD_DOC)
+    bad["accounted"]["gauges"]["serve.seed_cache"]["high_water_bytes"] = 10
+    yield "high water below current bytes", bad
+
+    bad = copy.deepcopy(GOOD_DOC)
+    bad["process"]["rss_bytes"] = -5
+    yield "negative rss", bad
+
+    bad = copy.deepcopy(GOOD_DOC)
+    bad["coverage"]["accounted_over_rss"] = "lots"
+    yield "coverage not a number", bad
+
+    bad = copy.deepcopy(GOOD_DOC)
+    bad["heap_profiler"]["sampled_live_bytes"] = 10**9
+    yield "live bytes exceed cumulative bytes", bad
+
+    bad = copy.deepcopy(GOOD_DOC)
+    bad["schema_version"] = 2
+    yield "wrong schema version", bad
+
+
+def self_test():
+    strict = argparse.Namespace(
+        expect_gauge=["serve.embedding_table", "obs.trace_ring"],
+        min_coverage=0.5, expect_budget=True)
+    lax = argparse.Namespace(expect_gauge=[], min_coverage=None,
+                             expect_budget=False)
+    with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
+        json.dump(GOOD_DOC, f)
+        f.flush()
+        check_file(f.name, strict)
+        check_file(f.name, lax)
+    for description, doc in bad_fixtures():
+        with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
+            json.dump(doc, f)
+            f.flush()
+            try:
+                check_file(f.name, lax)
+            except SchemaError:
+                continue
+            print(f"check_memz: FAIL: bad fixture passed: {description}",
+                  file=sys.stderr)
+            return 1
+    # The optional gates must also trip on a doc that is merely valid.
+    no_budget = copy.deepcopy(GOOD_DOC)
+    del no_budget["budget"]
+    for args, doc, description in (
+            (strict, no_budget, "--expect-budget with no budget block"),
+            (argparse.Namespace(expect_gauge=["no.such.gauge"],
+                                min_coverage=None, expect_budget=False),
+             GOOD_DOC, "--expect-gauge for an absent gauge"),
+            (argparse.Namespace(expect_gauge=[], min_coverage=0.99,
+                                expect_budget=False),
+             GOOD_DOC, "--min-coverage above the doc's coverage")):
+        with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
+            json.dump(doc, f)
+            f.flush()
+            try:
+                check_file(f.name, args)
+            except SchemaError:
+                continue
+            print(f"check_memz: FAIL: gate did not trip: {description}",
+                  file=sys.stderr)
+            return 1
+    print("check_memz: self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("memz", nargs="?", help="path to a /memz JSON dump")
+    parser.add_argument("--expect-gauge", action="append", default=[],
+                        help="require this accounted gauge (repeatable)")
+    parser.add_argument("--min-coverage", type=float, default=None,
+                        help="require coverage.accounted_over_rss >= X")
+    parser.add_argument("--expect-budget", action="store_true",
+                        help="require the budget block to be present")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate embedded fixtures and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.memz:
+        parser.error("MEMZ.json is required unless --self-test")
+    try:
+        check_file(args.memz, args)
+    except (OSError, SchemaError) as e:
+        print(f"check_memz: FAIL: {e}", file=sys.stderr)
+        return 1
+    print("check_memz: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

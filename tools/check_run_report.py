@@ -143,6 +143,37 @@ def check_report(report, args):
                 f"environment.trace holds {trace['events']} events but "
                 f"claims capacity {trace['capacity']}")
 
+    # The memory block is written unconditionally since the memory plane
+    # landed; validate whenever present, require under --expect-memory.
+    memory = report.get("memory")
+    if args.expect_memory:
+        require(isinstance(memory, dict),
+                "memory section missing or not an object")
+    if isinstance(memory, dict):
+        accounted = memory.get("accounted")
+        require(isinstance(accounted, dict),
+                "memory.accounted must be an object")
+        check_number(accounted, "total_bytes", "memory.accounted")
+        require(accounted["total_bytes"] >= 0,
+                "memory.accounted.total_bytes must be non-negative")
+        gauges = accounted.get("gauges")
+        require(isinstance(gauges, dict),
+                "memory.accounted.gauges must be an object")
+        for name, gauge in gauges.items():
+            where = f"memory.accounted.gauges['{name}']"
+            require(isinstance(gauge, dict), f"{where} must be an object")
+            for key in ("bytes", "high_water_bytes"):
+                check_number(gauge, key, where)
+            require(gauge["high_water_bytes"] >= gauge["bytes"],
+                    f"{where}: high water below current bytes")
+        process = memory.get("process")
+        require(isinstance(process, dict),
+                "memory.process must be an object")
+        require(isinstance(process.get("sampled"), bool),
+                "memory.process.sampled must be a boolean")
+        for key in ("rss_bytes", "peak_rss_bytes", "vm_size_bytes"):
+            check_number(process, key, "memory.process")
+
     if args.expect_profile:
         profile = report.get("profile")
         require(isinstance(profile, dict),
@@ -157,6 +188,21 @@ def check_report(report, args):
                 "profile sample counts must be non-negative")
         require(isinstance(profile.get("path"), str) and profile["path"],
                 "profile.path must be a non-empty string")
+
+    if args.expect_heap_profile:
+        heap = report.get("heap_profile")
+        require(isinstance(heap, dict),
+                "heap_profile section missing or not an object")
+        require(isinstance(heap.get("running"), bool)
+                and not heap["running"],
+                "heap_profile.running must be false in a finished report")
+        for key in ("sample_period_bytes", "samples", "sampled_alloc_bytes",
+                    "sampled_live_bytes"):
+            check_number(heap, key, "heap_profile")
+        require(heap["sample_period_bytes"] > 0,
+                "heap_profile.sample_period_bytes must be positive")
+        require(isinstance(heap.get("path"), str) and heap["path"],
+                "heap_profile.path must be a non-empty string")
 
 
 def check_trace(trace):
@@ -190,6 +236,10 @@ def main():
                              "(including the trace collector stats)")
     parser.add_argument("--expect-profile", action="store_true",
                         help="require a valid --profile-out profile section")
+    parser.add_argument("--expect-memory", action="store_true",
+                        help="require the memory accounting section")
+    parser.add_argument("--expect-heap-profile", action="store_true",
+                        help="require a valid --heap-profile-out section")
     parser.add_argument("--trace", help="also validate a --trace-out file")
     args = parser.parse_args()
 

@@ -6,10 +6,13 @@ Usage: check_snapshot.py SNAPSHOT.jsonl [--min-lines N]
 Each line must be a self-contained JSON object:
   {"schema_version": 1, "seq": N, "uptime_ms": T,
    "counters": {name: cumulative_int}, "deltas": {name: int_since_prev},
-   "gauges": {name: number}}
+   "gauges": {name: number},
+   "memory": {"accounted_bytes": N, "rss_bytes": N, "gauges": {name: N}}}
 with seq counting up from 0, uptime_ms non-decreasing, and every counter
-non-negative and non-decreasing across lines. Exits 0 on success, 1 with a
-diagnostic otherwise. Dependency-free (stdlib json only).
+non-negative and non-decreasing across lines. The per-tick memory series
+(present on every line since the memory plane landed; tolerated absent for
+older captures) must carry non-negative byte figures. Exits 0 on success,
+1 with a diagnostic otherwise. Dependency-free (stdlib json only).
 """
 
 import argparse
@@ -66,6 +69,24 @@ def check_lines(lines, path):
             require(isinstance(value, (int, float)) and not
                     isinstance(value, bool),
                     f"{where}: gauges['{name}'] must be a number")
+
+        if "memory" in snap:
+            memory = snap["memory"]
+            require(isinstance(memory, dict),
+                    f"{where}: 'memory' must be an object")
+            for key in ("accounted_bytes", "rss_bytes"):
+                value = memory.get(key)
+                require(isinstance(value, int)
+                        and not isinstance(value, bool) and value >= 0,
+                        f"{where}: memory['{key}'] must be a non-negative "
+                        f"integer, got {value!r}")
+            require(isinstance(memory.get("gauges"), dict),
+                    f"{where}: memory.gauges must be an object")
+            for name, value in memory["gauges"].items():
+                require(isinstance(value, int)
+                        and not isinstance(value, bool) and value >= 0,
+                        f"{where}: memory.gauges['{name}'] must be a "
+                        f"non-negative integer, got {value!r}")
 
         for name, value in snap["counters"].items():
             prev = prev_counters.get(name, 0)

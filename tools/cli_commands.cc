@@ -21,7 +21,9 @@
 #include "kernels/kernels.h"
 #include "obs/access_log.h"
 #include "obs/build_info.h"
+#include "obs/heap_profiler.h"
 #include "obs/http_server.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/request_obs.h"
@@ -99,6 +101,18 @@ Status SetupObservability(const FlagParser& flags) {
   // written as folded stacks) by Dispatch after it returns.
   if (!flags.GetString("profile-out", "").empty()) {
     INF2VEC_RETURN_IF_ERROR(obs::CpuProfiler::Default().Start());
+  }
+  // Whole-run sampling heap profile, same lifecycle as --profile-out.
+  if (!flags.GetString("heap-profile-out", "").empty()) {
+    obs::HeapProfiler::Options options;
+    Result<int64_t> period = flags.GetInt(
+        "heap-profile-period", static_cast<int64_t>(options.sample_period_bytes));
+    INF2VEC_RETURN_IF_ERROR(period.status());
+    if (period.value() <= 0) {
+      return Status::InvalidArgument("--heap-profile-period must be positive");
+    }
+    options.sample_period_bytes = static_cast<uint64_t>(period.value());
+    INF2VEC_RETURN_IF_ERROR(obs::HeapProfiler::Default().Start(options));
   }
   return Status::OK();
 }
@@ -748,6 +762,27 @@ Status RunServe(const FlagParser& flags) {
   if (tracez_capacity.value() <= 0) {
     return Status::InvalidArgument("--tracez-capacity must be positive");
   }
+  Result<int64_t> mem_budget = flags.GetInt("mem-budget-bytes", 0);
+  INF2VEC_RETURN_IF_ERROR(mem_budget.status());
+  if (mem_budget.value() < 0) {
+    return Status::InvalidArgument(
+        "--mem-budget-bytes must be >= 0 (0 = unlimited)");
+  }
+  Result<int64_t> mem_headroom = flags.GetInt("mem-headroom-bytes", 0);
+  INF2VEC_RETURN_IF_ERROR(mem_headroom.status());
+  if (mem_headroom.value() < 0) {
+    return Status::InvalidArgument("--mem-headroom-bytes must be >= 0");
+  }
+  {
+    // Soft serving budget: /score and /topk shed with 503 while accounted
+    // bytes + headroom sit over the budget, and hot-swaps preflight the
+    // double-resident peak against it. Set (or cleared) before the load
+    // so a model too large for the budget sheds from the first request.
+    obs::MemoryBudget budget;
+    budget.budget_bytes = static_cast<uint64_t>(mem_budget.value());
+    budget.headroom_bytes = static_cast<uint64_t>(mem_headroom.value());
+    obs::SetMemoryBudget(budget);
+  }
 
   // Serving is the one command whose metrics matter even without
   // --metrics-out: the serve counters/histograms back /metrics.
@@ -816,7 +851,8 @@ Status RunServe(const FlagParser& flags) {
 
   // stdout, unbuffered: the smoke script greps this line for the port.
   std::printf("serving on http://127.0.0.1:%u (/score /topk /modelz "
-              "/reloadz /metrics /healthz /rpcz /tracez /pprofz)\n",
+              "/reloadz /metrics /healthz /rpcz /tracez /pprofz /memz "
+              "/heapz)\n",
               server.port());
   std::fflush(stdout);
 
@@ -882,7 +918,13 @@ std::string UsageText() {
       " --watch-interval-ms 500\n"
       "                --quantize none|int8 --access-log F"
       " --slow-trace-us 0\n"
-      "                --tracez-capacity 32]\n"
+      "                --tracez-capacity 32 --mem-budget-bytes 0\n"
+      "                --mem-headroom-bytes 0]\n"
+      "               --mem-budget-bytes N: soft serving budget; /score\n"
+      "               and /topk answer 503 while accounted bytes (+ the\n"
+      "               --mem-headroom-bytes slack) exceed N, and /reloadz\n"
+      "               refuses swaps whose double-resident peak would blow\n"
+      "               the budget (0 = unlimited; see GET /memz)\n"
       "               --access-log F: one wide JSONL event per request\n"
       "               (id, endpoint, status, per-phase micros)\n"
       "               --slow-trace-us N: /tracez slow buffer only keeps\n"
@@ -906,6 +948,11 @@ std::string UsageText() {
       "  --profile-out F   sample the whole run with the SIGPROF CPU\n"
       "                    profiler, write folded stacks (flamegraph.pl /\n"
       "                    speedscope input) to F on exit\n"
+      "  --heap-profile-out F   sample allocations for the whole run\n"
+      "                    (operator new interposition), write folded\n"
+      "                    stacks weighted by live bytes to F on exit;\n"
+      "                    --heap-profile-period N sets the sampling\n"
+      "                    period in bytes (default 524288)\n"
       "  --serve-port P    embedded stats server on 127.0.0.1:P for the\n"
       "                    run: /metrics (Prometheus), /statusz, /varz,\n"
       "                    /healthz; 0 = kernel-picked port\n"
@@ -956,7 +1003,8 @@ Status Dispatch(const FlagParser& flags) {
     INF2VEC_RETURN_IF_ERROR(server->Start());
     INF2VEC_LOG(Info) << "stats server on http://127.0.0.1:"
                       << server->port()
-                      << " (/metrics /statusz /varz /healthz /pprofz)";
+                      << " (/metrics /statusz /varz /healthz /pprofz /memz"
+                      << " /heapz)";
   }
 
   // Periodic metrics time series: one JSONL line per interval.
@@ -1010,9 +1058,24 @@ Status Dispatch(const FlagParser& flags) {
                         << " samples) -> " << profile_out;
     }
   }
+  const std::string heap_profile_out = flags.GetString("heap-profile-out", "");
+  if (!heap_profile_out.empty()) {
+    obs::HeapProfiler& heap = obs::HeapProfiler::Default();
+    INF2VEC_RETURN_IF_ERROR(heap.Stop());
+    obs::JsonValue profile = heap.DescribeJson();
+    profile.Set("path", heap_profile_out);
+    report.SetSection("heap_profile", std::move(profile));
+    if (status.ok()) {
+      INF2VEC_RETURN_IF_ERROR(heap.WriteFolded(heap_profile_out));
+      INF2VEC_LOG(Info) << "wrote heap profile (" << heap.total_samples()
+                        << " samples, " << heap.sampled_live_bytes()
+                        << " live sampled bytes) -> " << heap_profile_out;
+    }
+  }
 
   if (status.ok() && !metrics_out.empty()) {
     report.SetSection("environment", obs::EnvironmentJson());
+    report.SetSection("memory", obs::MemoryReportJson());
     report.FinalizeFromRegistry(obs::MetricsRegistry::Default());
     INF2VEC_RETURN_IF_ERROR(report.WriteJson(metrics_out));
     INF2VEC_LOG(Info) << "wrote run report -> " << metrics_out;

@@ -26,6 +26,8 @@ trap 'rm -rf "${WORKDIR}"' EXIT
     --metrics-out "${WORKDIR}/report.json" \
     --trace-out "${WORKDIR}/trace.json" \
     --profile-out "${WORKDIR}/profile.folded" \
+    --heap-profile-out "${WORKDIR}/heap.folded" \
+    --heap-profile-period 65536 \
     --metrics-snapshot-out "${WORKDIR}/snapshots.jsonl" \
     --metrics-snapshot-interval-ms 50 2> "${WORKDIR}/train.log"
 cat "${WORKDIR}/train.log" >&2
@@ -37,6 +39,14 @@ if [[ ! -f "${WORKDIR}/profile.folded" ]]; then
   exit 1
 fi
 
+# --heap-profile-out likewise: the folded live-heap artifact (possibly
+# empty when everything sampled was freed by exit) plus a report section
+# whose cumulative counters are validated below via --expect-heap-profile.
+if [[ ! -f "${WORKDIR}/heap.folded" ]]; then
+  echo "run_report_check: FAIL: --heap-profile-out wrote no file" >&2
+  exit 1
+fi
+
 # The stats server is strictly opt-in: no --serve-port, no socket.
 if grep -q "stats server" "${WORKDIR}/train.log"; then
   echo "run_report_check: FAIL: stats server started without --serve-port" >&2
@@ -45,7 +55,8 @@ fi
 
 python3 "${CHECKER}" "${WORKDIR}/report.json" \
     --command train --expect-epochs 3 --expect-eval \
-    --expect-environment --expect-profile \
+    --expect-environment --expect-profile --expect-memory \
+    --expect-heap-profile \
     --trace "${WORKDIR}/trace.json"
 
 # The snapshot series must parse, count up from seq 0, and contain at

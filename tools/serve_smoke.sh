@@ -11,7 +11,9 @@
 # query-string regression an earlier PR fixed), plus the request-level
 # observability plane: X-Request-Id echo, the /rpcz per-endpoint stats,
 # the /tracez slow-query capture with per-phase attribution, and the
-# --access-log wide-event JSONL (validated with check_access_log.py).
+# --access-log wide-event JSONL (validated with check_access_log.py), and
+# the memory plane: /memz byte accounting (validated with check_memz.py)
+# plus the /heapz sampling heap profiler's start/stop lifecycle.
 # JSON payloads are validated with python3, then the server is shut down
 # via SIGTERM and must exit 0.
 set -euo pipefail
@@ -191,6 +193,49 @@ grep -q 'inf2vec_http_requests_total{endpoint="/topk"}' \
     "${WORKDIR}/metrics2.txt"
 grep -q 'inf2vec_http_latency_us_bucket{endpoint="/topk"' \
     "${WORKDIR}/metrics2.txt"
+
+# /memz: the byte-accounting plane. The serving tables and the seed cache
+# (warmed by the queries above) must be accounted, and the payload must
+# pass the full schema validator.
+fetch "${BASE}/memz" 200 "${WORKDIR}/memz.json"
+python3 "$(dirname "$0")/check_memz.py" "${WORKDIR}/memz.json" \
+    --expect-gauge serve.embedding_table --expect-gauge serve.seed_cache
+# The accounted gauges are exported as Prometheus series too.
+grep -q 'inf2vec_mem_serve_embedding_table_bytes' "${WORKDIR}/metrics2.txt"
+
+# /heapz: idle -> status JSON; ?period starts sampling; traffic then
+# yields folded stacks; ?stop=1 stops. The running profiler must also be
+# visible in /memz's heap_profiler block.
+fetch "${BASE}/heapz" 200 "${WORKDIR}/heapz_idle.json"
+python3 - "${WORKDIR}/heapz_idle.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["status"] == "idle", doc
+assert doc["running"] is False, doc
+EOF
+fetch "${BASE}/heapz?period=65536" 200 "${WORKDIR}/heapz_start.json"
+python3 - "${WORKDIR}/heapz_start.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["status"] == "started", doc
+assert doc["sample_period_bytes"] == 65536, doc
+EOF
+# Drive allocations through the request path so the profiler has samples.
+for i in 4 5 6 7; do
+  fetch "${BASE}/topk?seeds=${i},$((i+10))&k=5" 200 "${WORKDIR}/warm.json"
+done
+fetch "${BASE}/memz" 200 "${WORKDIR}/memz2.json"
+python3 - "${WORKDIR}/memz2.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["heap_profiler"]["running"] is True, doc["heap_profiler"]
+EOF
+fetch "${BASE}/heapz?stop=1" 200 "${WORKDIR}/heapz_stop.json"
+python3 - "${WORKDIR}/heapz_stop.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["status"] == "stopped", doc
+EOF
 
 kill -TERM "${SERVER_PID}"
 wait "${SERVER_PID}"
