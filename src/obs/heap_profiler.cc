@@ -360,7 +360,7 @@ JsonValue HeapProfiler::DescribeJson() const {
 }
 
 void RegisterHeapProfilerEndpoint(StatsServer* server) {
-  server->Handle("/heapz", [](const HttpRequest& request) {
+  server->Route("GET", "/heapz", [](const HttpRequest& request) {
     HeapProfiler& profiler = HeapProfiler::Default();
     if (request.HasQuery("stop")) {
       (void)profiler.Stop();
@@ -373,16 +373,13 @@ void RegisterHeapProfilerEndpoint(StatsServer* server) {
       char* end = nullptr;
       const unsigned long long period = std::strtoull(raw.c_str(), &end, 10);
       if (end == raw.c_str() || *end != '\0') {
-        return HttpResponse::Json(
-            400, "{\"error\": \"bad period '" + JsonEscape(raw) + "'\"}\n");
+        return ErrorJson(400, "INVALID_ARGUMENT", "bad period '" + raw + "'");
       }
       HeapProfiler::Options options;
       if (period != 0) options.sample_period_bytes = period;
       const Status started = profiler.Start(options);
       if (!started.ok()) {
-        return HttpResponse::Json(
-            400,
-            "{\"error\": \"" + JsonEscape(started.ToString()) + "\"}\n");
+        return ErrorJson(400, "INVALID_ARGUMENT", started.ToString());
       }
       JsonValue status = profiler.DescribeJson();
       status.Set("status", "started");

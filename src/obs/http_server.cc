@@ -1,17 +1,22 @@
 #include "obs/http_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "obs/build_info.h"
 #include "obs/heap_profiler.h"
+#include "obs/json.h"
 #include "obs/memory.h"
 #include "obs/prometheus.h"
 #include "obs/run_status.h"
@@ -21,93 +26,8 @@ namespace inf2vec {
 namespace obs {
 namespace {
 
-/// Serializes and writes the whole response; best-effort (a client that
-/// hung up mid-write is its own problem). MSG_NOSIGNAL keeps a dead peer
-/// from raising SIGPIPE in the training process.
-void SendResponse(int fd, const HttpResponse& response) {
-  std::string out = "HTTP/1.1 " + std::to_string(response.code) + " " +
-                    response.reason + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  for (const auto& [name, value] : response.extra_headers) {
-    out += name + ": " + value + "\r\n";
-  }
-  out += "Connection: close\r\n\r\n";
-  out += response.body;
-  size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n =
-        send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;
-    }
-    sent += static_cast<size_t>(n);
-  }
-}
-
-const char* ReasonFor(int code) {
-  switch (code) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 413: return "Payload Too Large";
-    case 500: return "Internal Server Error";
-    case 503: return "Service Unavailable";
-    case 504: return "Gateway Timeout";
-    default: return "Unknown";
-  }
-}
-
-/// First line of "METHOD SP TARGET SP VERSION"; empty method on garbage.
-/// The target splits into path + decoded query parameters. Header lines
-/// after the request line parse into lower-cased name/value pairs
-/// (garbage header lines are skipped — the request-id plumbing must not
-/// make the server stricter than it was).
-void ParseRequestHead(const std::string& request, HttpRequest* parsed) {
-  const size_t line_end = request.find("\r\n");
-  const std::string line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
-  const size_t sp1 = line.find(' ');
-  if (sp1 == std::string::npos) return;
-  const size_t sp2 = line.find(' ', sp1 + 1);
-  if (sp2 == std::string::npos) return;
-  parsed->method = line.substr(0, sp1);
-  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  // Dispatch is on the bare path: /metrics?foo=1 routes as /metrics and
-  // the query string becomes structured parameters.
-  const size_t query = target.find('?');
-  if (query != std::string::npos) {
-    parsed->query = ParseQueryString(target.substr(query + 1));
-    target.resize(query);
-  }
-  parsed->path = std::move(target);
-
-  size_t cursor = line_end == std::string::npos ? request.size() : line_end + 2;
-  while (cursor < request.size()) {
-    size_t next = request.find("\r\n", cursor);
-    if (next == std::string::npos) next = request.size();
-    if (next == cursor) break;  // Empty line: end of the header block.
-    const std::string header = request.substr(cursor, next - cursor);
-    const size_t colon = header.find(':');
-    if (colon != std::string::npos && colon > 0) {
-      std::string name = header.substr(0, colon);
-      for (char& c : name) c = static_cast<char>(std::tolower(c));
-      size_t value_start = colon + 1;
-      while (value_start < header.size() && header[value_start] == ' ') {
-        ++value_start;
-      }
-      size_t value_end = header.size();
-      while (value_end > value_start && header[value_end - 1] == ' ') {
-        --value_end;
-      }
-      parsed->headers.emplace_back(
-          std::move(name), header.substr(value_start, value_end - value_start));
-    }
-    cursor = next + 2;
-  }
-}
+constexpr uint64_t kListenKey = 0;
+constexpr uint64_t kWakeKey = 1;
 
 int HexDigit(char c) {
   if (c >= '0' && c <= '9') return c - '0';
@@ -116,7 +36,219 @@ int HexDigit(char c) {
   return -1;
 }
 
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Internal(std::string("fcntl(O_NONBLOCK) failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+/// True when a comma-separated Connection header value names `token`
+/// (case-insensitive), e.g. "keep-alive, Upgrade" -> "keep-alive".
+bool ConnectionHeaderHas(const std::string& value, const std::string& token) {
+  const std::string lowered = ToLower(value);
+  size_t start = 0;
+  while (start <= lowered.size()) {
+    size_t end = lowered.find(',', start);
+    if (end == std::string::npos) end = lowered.size();
+    size_t a = start, b = end;
+    while (a < b && lowered[a] == ' ') ++a;
+    while (b > a && lowered[b - 1] == ' ') --b;
+    if (lowered.compare(a, b - a, token) == 0) return true;
+    if (end == lowered.size()) break;
+    start = end + 1;
+  }
+  return false;
+}
+
+/// Serializes one response; the Connection header reflects the resolved
+/// keep-alive decision so clients can reuse (or must drop) the socket.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  const bool close = !keep_alive || response.close_connection;
+  std::string out = "HTTP/1.1 " + std::to_string(response.code) + " " +
+                    response.reason + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += close ? "Connection: close\r\n\r\n" : "Connection: keep-alive\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+/// Outcome of parsing one request head: a request, or an error response
+/// the event loop answers directly (and then closes the connection).
+struct HeadParse {
+  bool ok = false;
+  HttpRequest request;
+  size_t content_length = 0;
+  int error_code = 400;
+  std::string error_label = "BAD_REQUEST";
+  std::string error_message;
+};
+
+/// Strict head parser: exactly "METHOD SP TARGET SP HTTP/1.x" then header
+/// lines. Unlike the old read-to-EOF server, framing errors are typed:
+/// malformed request lines and Content-Length values are 400s, an
+/// unsupported version is a 505, chunked transfer is a 501, and an
+/// oversized body is a 413 — all decided here, before any body byte is
+/// read.
+HeadParse ParseRequestHead(const std::string& head, size_t max_body_bytes) {
+  HeadParse parse;
+  const size_t line_end = head.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos || sp1 == 0 ||
+      sp2 == sp1 + 1 || line.find(' ', sp2 + 1) != std::string::npos) {
+    parse.error_message = "malformed request line";
+    return parse;
+  }
+  parse.request.method = line.substr(0, sp1);
+  parse.request.version = line.substr(sp2 + 1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') {
+    parse.error_message = "request target must be an absolute path";
+    return parse;
+  }
+  if (parse.request.version != "HTTP/1.1" &&
+      parse.request.version != "HTTP/1.0") {
+    parse.error_code = 505;
+    parse.error_label = "HTTP_VERSION_NOT_SUPPORTED";
+    parse.error_message =
+        "unsupported protocol version '" + parse.request.version + "'";
+    return parse;
+  }
+  // Dispatch is on the bare path: /metrics?foo=1 routes as /metrics and
+  // the query string becomes structured parameters.
+  const size_t query = target.find('?');
+  if (query != std::string::npos) {
+    parse.request.query = ParseQueryString(target.substr(query + 1));
+    target.resize(query);
+  }
+  parse.request.path = std::move(target);
+
+  // Header block. Garbage header lines are skipped (the server must not
+  // be stricter than it historically was for merely odd headers), but
+  // the framing headers — Content-Length, Transfer-Encoding — are
+  // validated hard: they decide how many bytes get read next.
+  size_t cursor = line_end == std::string::npos ? head.size() : line_end + 2;
+  bool have_content_length = false;
+  while (cursor < head.size()) {
+    size_t next = head.find("\r\n", cursor);
+    if (next == std::string::npos) next = head.size();
+    if (next == cursor) break;  // Empty line: end of the header block.
+    const std::string header = head.substr(cursor, next - cursor);
+    cursor = next + 2;
+    const size_t colon = header.find(':');
+    if (colon == std::string::npos || colon == 0) continue;
+    std::string name = ToLower(header.substr(0, colon));
+    size_t value_start = colon + 1;
+    while (value_start < header.size() && header[value_start] == ' ') {
+      ++value_start;
+    }
+    size_t value_end = header.size();
+    while (value_end > value_start && header[value_end - 1] == ' ') {
+      --value_end;
+    }
+    std::string value = header.substr(value_start, value_end - value_start);
+    if (name == "content-length") {
+      if (value.empty()) {
+        parse.error_message = "malformed Content-Length ''";
+        return parse;
+      }
+      uint64_t length = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9' || length > (UINT64_MAX - 9) / 10) {
+          parse.error_message = "malformed Content-Length '" + value + "'";
+          return parse;
+        }
+        length = length * 10 + static_cast<uint64_t>(c - '0');
+      }
+      if (have_content_length && length != parse.content_length) {
+        parse.error_message = "conflicting Content-Length headers";
+        return parse;
+      }
+      have_content_length = true;
+      parse.content_length = static_cast<size_t>(length);
+    } else if (name == "transfer-encoding") {
+      parse.error_code = 501;
+      parse.error_label = "NOT_IMPLEMENTED";
+      parse.error_message = "Transfer-Encoding is not supported; "
+                            "use Content-Length framing";
+      return parse;
+    }
+    parse.request.headers.emplace_back(std::move(name), std::move(value));
+  }
+  if (parse.content_length > max_body_bytes) {
+    parse.error_code = 413;
+    parse.error_label = "BODY_TOO_LARGE";
+    parse.error_message =
+        "request body of " + std::to_string(parse.content_length) +
+        " bytes exceeds the " + std::to_string(max_body_bytes) +
+        "-byte limit";
+    return parse;
+  }
+
+  const std::string connection =
+      parse.request.HeaderOr("connection", "");
+  if (parse.request.version == "HTTP/1.1") {
+    parse.request.keep_alive = !ConnectionHeaderHas(connection, "close");
+  } else {
+    parse.request.keep_alive = ConnectionHeaderHas(connection, "keep-alive");
+  }
+  parse.ok = true;
+  return parse;
+}
+
 }  // namespace
+
+/// One accepted connection, owned exclusively by the event-loop thread.
+/// Workers never see this struct: they receive a copy of the request and
+/// return serialized bytes keyed by (conn id, slot seq), so a connection
+/// torn down mid-request simply drops the late completion.
+struct StatsServer::Conn {
+  int fd = -1;
+  uint64_t id = 0;
+  std::string in;           // Unparsed inbound bytes.
+  size_t in_consumed = 0;   // Parse cursor into `in` (compacted per pass).
+  std::string out;          // Serialized responses awaiting write.
+  size_t out_off = 0;
+
+  /// Ordered response slots — one per parsed request, completed possibly
+  /// out of order by the workers, flushed strictly in order.
+  struct Slot {
+    uint64_t seq = 0;
+    bool ready = false;
+    bool close_after = false;
+    std::string bytes;
+  };
+  std::deque<Slot> slots;
+  uint64_t next_seq = 0;
+
+  bool peer_closed = false;       // recv() == 0: no more requests.
+  bool closing_after_flush = false;  // Stop reading; close once drained.
+  bool reading_body = false;
+  size_t body_needed = 0;
+  HttpRequest pending;            // Parsed head awaiting its body.
+  uint32_t armed_events = 0;      // Currently registered epoll interest.
+  uint64_t requests_seen = 0;
+  std::chrono::steady_clock::time_point last_activity;
+  /// Connection-lifetime accounting: buffered request/response bytes are
+  /// the only per-connection memory, so /memz shows exactly what a burst
+  /// of slow clients pins.
+  ScopedBytes bytes_gauge;
+};
 
 bool HttpRequest::HasQuery(const std::string& key) const {
   for (const auto& [k, v] : query) {
@@ -141,10 +273,28 @@ std::string HttpRequest::HeaderOr(const std::string& name,
   return fallback;
 }
 
+const char* HttpReasonPhrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
 HttpResponse HttpResponse::Text(int code, std::string body) {
   HttpResponse response;
   response.code = code;
-  response.reason = ReasonFor(code);
+  response.reason = HttpReasonPhrase(code);
   response.body = std::move(body);
   return response;
 }
@@ -153,6 +303,14 @@ HttpResponse HttpResponse::Json(int code, std::string body) {
   HttpResponse response = Text(code, std::move(body));
   response.content_type = "application/json";
   return response;
+}
+
+HttpResponse ErrorJson(int http_code, const std::string& code,
+                       const std::string& message) {
+  JsonValue body = JsonValue::Object();
+  body.Set("error", message);
+  body.Set("code", code);
+  return HttpResponse::Json(http_code, body.Dump(0) + "\n");
 }
 
 std::string UrlDecode(const std::string& raw) {
@@ -197,22 +355,39 @@ std::vector<std::pair<std::string, std::string>> ParseQueryString(
 }
 
 StatsServer::StatsServer(StatsServerOptions options, MetricsRegistry* registry)
-    : options_(std::move(options)), registry_(registry) {
+    : options_(std::move(options)),
+      registry_(registry),
+      requests_total_(registry->GetCounter("http.requests")),
+      connections_total_(registry->GetCounter("http.connections")),
+      keepalive_reuses_(registry->GetCounter("http.keepalive_reuses")),
+      shed_(registry->GetCounter("http.shed")),
+      parse_errors_(registry->GetCounter("http.parse_errors")) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.max_pipeline == 0) options_.max_pipeline = 1;
+  if (options_.max_inflight == 0) options_.max_inflight = 1;
   RegisterBuiltinEndpoints();
 }
 
 StatsServer::~StatsServer() { Stop(); }
 
-void StatsServer::Handle(const std::string& path, Handler handler) {
+void StatsServer::Route(const std::string& method, const std::string& path,
+                        Handler handler) {
   std::lock_guard<std::mutex> lock(handlers_mu_);
-  handlers_[path] = std::move(handler);
+  auto& methods = routes_[path];
+  for (auto& [m, h] : methods) {
+    if (m == method) {
+      h = std::move(handler);
+      return;
+    }
+  }
+  methods.emplace_back(method, std::move(handler));
 }
 
 std::vector<std::string> StatsServer::HandledPaths() const {
   std::lock_guard<std::mutex> lock(handlers_mu_);
   std::vector<std::string> paths;
-  paths.reserve(handlers_.size());
-  for (const auto& [path, handler] : handlers_) paths.push_back(path);
+  paths.reserve(routes_.size());
+  for (const auto& [path, methods] : routes_) paths.push_back(path);
   return paths;
 }
 
@@ -222,30 +397,30 @@ void StatsServer::SetRequestObservability(RequestObservability obs) {
 }
 
 void StatsServer::RegisterBuiltinEndpoints() {
-  Handle("/metrics", [this](const HttpRequest&) {
+  Route("GET", "/metrics", [this](const HttpRequest&) {
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = RenderPrometheus(registry_->Scrape());
     return response;
   });
-  Handle("/statusz", [](const HttpRequest&) {
+  Route("GET", "/statusz", [](const HttpRequest&) {
     return HttpResponse::Json(200,
                               RunStatus::Default().ToJson().Dump(2) + "\n");
   });
-  Handle("/varz", [](const HttpRequest&) {
+  Route("GET", "/varz", [](const HttpRequest&) {
     return HttpResponse::Json(200, EnvironmentJson().Dump(2) + "\n");
   });
-  Handle("/healthz", [](const HttpRequest&) {
+  Route("GET", "/healthz", [](const HttpRequest&) {
     return HttpResponse::Text(200, "ok\n");
   });
-  Handle("/memz", [](const HttpRequest&) {
+  Route("GET", "/memz", [](const HttpRequest&) {
     return HttpResponse::Json(200, MemzJson().Dump(2) + "\n");
   });
   // Referencing the heap profiler here also guarantees heap_profiler.o —
   // and with it the operator new/delete replacements — is linked into
   // every binary that hosts a StatsServer.
   RegisterHeapProfilerEndpoint(this);
-  Handle("/", [this](const HttpRequest&) {
+  Route("GET", "/", [this](const HttpRequest&) {
     std::string body = "inf2vec stats server\nendpoints:";
     for (const std::string& path : HandledPaths()) {
       if (path != "/") body += " " + path;
@@ -257,8 +432,15 @@ void StatsServer::RegisterBuiltinEndpoints() {
 Status StatsServer::Start() {
   if (running_) return Status::FailedPrecondition("stats server already running");
 
-  if (pipe(wake_pipe_) != 0) {
-    return Status::Internal(std::string("pipe() failed: ") +
+  epoll_fd_ = epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(std::string("epoll_create1() failed: ") +
+                            std::strerror(errno));
+  }
+  wake_fd_ = eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    Stop();
+    return Status::Internal(std::string("eventfd() failed: ") +
                             std::strerror(errno));
   }
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
@@ -286,10 +468,17 @@ Status StatsServer::Start() {
                            options_.bind_address + ":" +
                            std::to_string(options_.port) + ": " + error);
   }
-  if (listen(listen_fd_, 16) != 0) {
+  if (listen(listen_fd_, 128) != 0) {
     const std::string error = std::strerror(errno);
     Stop();
     return Status::IOError("listen() failed: " + error);
+  }
+  {
+    const Status nonblocking = SetNonBlocking(listen_fd_);
+    if (!nonblocking.ok()) {
+      Stop();
+      return nonblocking;
+    }
   }
 
   sockaddr_in bound;
@@ -299,118 +488,554 @@ Status StatsServer::Start() {
     port_ = ntohs(bound.sin_port);
   }
 
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = EPOLLIN;
+  event.data.u64 = kListenKey;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event) != 0) {
+    Stop();
+    return Status::Internal(std::string("epoll_ctl(listen) failed: ") +
+                            std::strerror(errno));
+  }
+  event.events = EPOLLIN;
+  event.data.u64 = kWakeKey;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) != 0) {
+    Stop();
+    return Status::Internal(std::string("epoll_ctl(wake) failed: ") +
+                            std::strerror(errno));
+  }
+
+  stopping_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_stopping_ = false;
+  }
+  inflight_.store(0, std::memory_order_relaxed);
   running_ = true;
-  thread_ = std::thread([this] { AcceptLoop(); });
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  workers_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
   return Status::OK();
 }
 
 void StatsServer::Stop() {
   if (running_) {
-    // One byte through the self-pipe unblocks every poll() in the server
-    // thread (accept loop and any in-flight connection read).
-    const char wake = 'x';
-    ssize_t ignored = write(wake_pipe_[1], &wake, 1);
-    (void)ignored;
-    thread_.join();
+    stopping_.store(true, std::memory_order_release);
+    WakeLoop();
+    loop_thread_.join();  // Closes every connection on the way out.
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_stopping_ = true;
+      job_queue_.clear();  // Their connections are gone already.
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      completions_.clear();
+    }
     running_ = false;
   }
-  for (int* fd : {&listen_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
     if (*fd >= 0) {
       close(*fd);
       *fd = -1;
     }
   }
   port_ = 0;
+  stopping_.store(false, std::memory_order_relaxed);
 }
 
-bool StatsServer::WaitReadable(int fd) {
+void StatsServer::WakeLoop() {
+  const uint64_t one = 1;
+  const ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool: admission queue out, completion queue back.
+
+void StatsServer::WorkerLoop() {
   for (;;) {
-    pollfd fds[2];
-    fds[0].fd = fd;
-    fds[0].events = POLLIN;
-    fds[1].fd = wake_pipe_[0];
-    fds[1].events = POLLIN;
-    const int n = poll(fds, 2, -1);
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return queue_stopping_ || !job_queue_.empty(); });
+      if (queue_stopping_) return;
+      job = std::move(job_queue_.front());
+      job_queue_.pop_front();
+    }
+    HttpResponse response = Dispatch(job.request);
+    Completion completion;
+    completion.conn_id = job.conn_id;
+    completion.slot_seq = job.slot_seq;
+    completion.close_after = !job.request.keep_alive ||
+                             response.close_connection;
+    completion.bytes = SerializeResponse(response, job.request.keep_alive);
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      completions_.push_back(std::move(completion));
+    }
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    WakeLoop();
+  }
+}
+
+HttpResponse StatsServer::Dispatch(const HttpRequest& request) {
+  Handler handler;
+  RequestObservability obs;
+  std::string allowed;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    const auto it = routes_.find(request.path);
+    if (it != routes_.end()) {
+      for (const auto& [method, route_handler] : it->second) {
+        if (method == request.method) {
+          handler = route_handler;
+        } else {
+          if (!allowed.empty()) allowed += ", ";
+          allowed += method;
+        }
+      }
+    }
+    obs = request_obs_;
+  }
+  if (!handler) {
+    if (!allowed.empty()) {
+      HttpResponse response =
+          ErrorJson(405, "METHOD_NOT_ALLOWED",
+                    "method " + request.method + " not allowed for " +
+                        request.path);
+      response.extra_headers.emplace_back("Allow", allowed);
+      return response;
+    }
+    return ErrorJson(404, "NOT_FOUND", "unknown path " + request.path);
+  }
+  if (obs.enabled()) {
+    // The scope closes before the response is queued for write: by the
+    // time a client sees the reply, its trace is queryable in /rpcz,
+    // /tracez and the access log. One scope per request — connection
+    // reuse never shares ids or spans across requests.
+    RequestScope scope(obs, request.method, request.path,
+                       request.HeaderOr("x-request-id", ""));
+    HttpResponse response = handler(request);
+    scope.set_status(response.code);
+    scope.set_response_bytes(response.body.size());
+    response.extra_headers.emplace_back("X-Request-Id", scope.request_id());
+    return response;
+  }
+  return handler(request);
+}
+
+// ---------------------------------------------------------------------------
+// Event loop (single thread; owns all connection state).
+
+void StatsServer::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  auto last_sweep = std::chrono::steady_clock::now();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int timeout_ms = options_.idle_timeout_ms > 0 ? 100 : -1;
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
-    }
-    if (fds[1].revents != 0) return false;  // Stop() fired.
-    if (fds[0].revents != 0) return true;
-  }
-}
-
-void StatsServer::AcceptLoop() {
-  while (WaitReadable(listen_fd_)) {
-    const int client_fd = accept(listen_fd_, nullptr, nullptr);
-    if (client_fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
-    HandleConnection(client_fd);
-    close(client_fd);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    for (int i = 0; i < n; ++i) {
+      const uint64_t key = events[i].data.u64;
+      if (key == kWakeKey) {
+        uint64_t drained = 0;
+        while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompletions();
+      } else if (key == kListenKey) {
+        AcceptNewConnections();
+      } else {
+        const auto it = conns_.find(key);
+        if (it == conns_.end()) continue;  // Closed earlier this batch.
+        Conn* conn = it->second.get();
+        if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+            (events[i].events & EPOLLIN) == 0) {
+          DestroyConn(conn);
+          continue;
+        }
+        if ((events[i].events & EPOLLIN) != 0) OnConnReadable(conn);
+        // Readable handling may have destroyed the connection.
+        const auto again = conns_.find(key);
+        if (again == conns_.end()) continue;
+        if ((events[i].events & EPOLLOUT) != 0) OnConnWritable(conn);
+      }
+    }
+    if (options_.idle_timeout_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_sweep >= std::chrono::milliseconds(100)) {
+        last_sweep = now;
+        SweepIdleConns();
+      }
+    }
+  }
+  // Teardown on the owning thread: every connection closes here, so no
+  // other thread ever touches a Conn.
+  while (!conns_.empty()) DestroyConn(conns_.begin()->second.get());
+}
+
+void StatsServer::AcceptNewConnections() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or a transient error.
+    }
+    if (conns_.size() >= options_.max_connections) {
+      // Over the connection cap: shedding by immediate close is the only
+      // option that costs no memory for a client that may never talk.
+      close(fd);
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->last_activity = std::chrono::steady_clock::now();
+    conn->bytes_gauge = ScopedBytes(
+        MemoryRegistry::Default().GetGauge("obs.http_conn_buffer"), 0);
+
+    epoll_event event;
+    std::memset(&event, 0, sizeof(event));
+    event.events = EPOLLIN;
+    event.data.u64 = conn->id;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      close(fd);
+      continue;
+    }
+    conn->armed_events = EPOLLIN;
+    if (MetricsEnabled()) connections_total_->Increment();
+    conns_.emplace(conn->id, std::move(conn));
   }
 }
 
-void StatsServer::HandleConnection(int client_fd) {
-  // Read until the end of the request head; GET requests have no body.
-  // 8 KB is far beyond any sane request line + headers — anything longer
-  // is garbage and gets a 400.
-  std::string request;
-  constexpr size_t kMaxRequestBytes = 8192;
-  // Connection-lifetime accounting: the request head is the only buffer
-  // the server holds per connection, so /memz shows exactly what a burst
-  // of slow clients pins.
-  ScopedBytes conn_bytes(
-      MemoryRegistry::Default().GetGauge("obs.http_conn_buffer"), 0);
-  while (request.find("\r\n\r\n") == std::string::npos &&
-         request.size() < kMaxRequestBytes) {
-    if (!WaitReadable(client_fd)) return;  // Stop() during a slow request.
-    char buffer[1024];
-    const ssize_t n = recv(client_fd, buffer, sizeof(buffer), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // Peer closed (or error) before a full head.
-    request.append(buffer, static_cast<size_t>(n));
-    conn_bytes.Resize(request.capacity());
-  }
-
-  HttpRequest parsed;
-  ParseRequestHead(request, &parsed);
-
-  HttpResponse response;
-  if (parsed.method.empty()) {
-    response = HttpResponse::Text(400, "malformed request\n");
-  } else if (parsed.method != "GET") {
-    response = HttpResponse::Text(405, "only GET is supported\n");
-  } else {
-    Handler handler;
-    RequestObservability obs;
-    {
-      std::lock_guard<std::mutex> lock(handlers_mu_);
-      const auto it = handlers_.find(parsed.path);
-      if (it != handlers_.end()) handler = it->second;
-      obs = request_obs_;
-    }
-    if (handler) {
-      if (obs.enabled()) {
-        // The scope closes before the response is sent: by the time a
-        // client sees the reply, its trace is queryable in /rpcz, /tracez
-        // and the access log.
-        RequestScope scope(obs, parsed.method, parsed.path,
-                           parsed.HeaderOr("x-request-id", ""));
-        response = handler(parsed);
-        scope.set_status(response.code);
-        scope.set_response_bytes(response.body.size());
-        response.extra_headers.emplace_back("X-Request-Id",
-                                            scope.request_id());
-      } else {
-        response = handler(parsed);
+void StatsServer::OnConnReadable(Conn* conn) {
+  conn->last_activity = std::chrono::steady_clock::now();
+  char buffer[16384];
+  for (;;) {
+    const ssize_t n = recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn->in.append(buffer, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buffer)) break;
+      // A full buffer may mean more is waiting; bound the per-event read
+      // so one firehose connection cannot starve the loop.
+      if (conn->in.size() - conn->in_consumed >
+          options_.max_request_head_bytes + options_.max_body_bytes) {
+        break;
       }
-    } else {
-      response = HttpResponse::Text(404, "unknown path " + parsed.path + "\n");
+      continue;
+    }
+    if (n == 0) {
+      conn->peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    DestroyConn(conn);
+    return;
+  }
+  ParseConnInput(conn);
+  const uint64_t id = conn->id;
+  TryWrite(conn);
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;  // TryWrite closed it.
+  if (conn->peer_closed && conn->slots.empty() &&
+      conn->out_off >= conn->out.size()) {
+    DestroyConn(conn);
+    return;
+  }
+  AccountConnBytes(conn);
+  UpdateInterest(conn);
+}
+
+void StatsServer::OnConnWritable(Conn* conn) {
+  conn->last_activity = std::chrono::steady_clock::now();
+  const uint64_t id = conn->id;
+  TryWrite(conn);
+  if (conns_.find(id) == conns_.end()) return;
+  AccountConnBytes(conn);
+  UpdateInterest(conn);
+}
+
+void StatsServer::ParseConnInput(Conn* conn) {
+  while (!conn->closing_after_flush) {
+    if (conn->slots.size() >= options_.max_pipeline) break;  // Back-pressure.
+    if (conn->reading_body) {
+      if (conn->in.size() - conn->in_consumed < conn->body_needed) break;
+      conn->pending.body.assign(conn->in, conn->in_consumed,
+                                conn->body_needed);
+      conn->in_consumed += conn->body_needed;
+      conn->reading_body = false;
+      conn->body_needed = 0;
+      SubmitRequest(conn, std::move(conn->pending));
+      conn->pending = HttpRequest();
+      continue;
+    }
+    const size_t head_end = conn->in.find("\r\n\r\n", conn->in_consumed);
+    if (head_end == std::string::npos) {
+      if (conn->in.size() - conn->in_consumed >
+          options_.max_request_head_bytes) {
+        if (MetricsEnabled()) parse_errors_->Increment();
+        CompleteSlotInline(
+            conn, conn->next_seq++,
+            ErrorJson(431, "HEADER_TOO_LARGE",
+                      "request line + headers exceed " +
+                          std::to_string(options_.max_request_head_bytes) +
+                          " bytes"),
+            /*close_after=*/true);
+      }
+      break;
+    }
+    if (head_end + 4 - conn->in_consumed > options_.max_request_head_bytes) {
+      if (MetricsEnabled()) parse_errors_->Increment();
+      CompleteSlotInline(
+          conn, conn->next_seq++,
+          ErrorJson(431, "HEADER_TOO_LARGE",
+                    "request line + headers exceed " +
+                        std::to_string(options_.max_request_head_bytes) +
+                        " bytes"),
+          /*close_after=*/true);
+      break;
+    }
+    const std::string head =
+        conn->in.substr(conn->in_consumed, head_end + 4 - conn->in_consumed);
+    conn->in_consumed = head_end + 4;
+    HeadParse parse = ParseRequestHead(head, options_.max_body_bytes);
+    if (!parse.ok) {
+      if (MetricsEnabled()) parse_errors_->Increment();
+      CompleteSlotInline(
+          conn, conn->next_seq++,
+          ErrorJson(parse.error_code, parse.error_label, parse.error_message),
+          /*close_after=*/true);
+      break;
+    }
+    if (parse.content_length > 0) {
+      conn->reading_body = true;
+      conn->body_needed = parse.content_length;
+      conn->pending = std::move(parse.request);
+      continue;
+    }
+    SubmitRequest(conn, std::move(parse.request));
+  }
+  if (conn->in_consumed > 0) {
+    conn->in.erase(0, conn->in_consumed);
+    conn->in_consumed = 0;
+  }
+}
+
+void StatsServer::SubmitRequest(Conn* conn, HttpRequest request) {
+  conn->requests_seen++;
+  if (MetricsEnabled()) {
+    requests_total_->Increment();
+    if (conn->requests_seen > 1) keepalive_reuses_->Increment();
+  }
+  const uint64_t seq = conn->next_seq++;
+  Conn::Slot slot;
+  slot.seq = seq;
+  conn->slots.push_back(std::move(slot));
+  const bool request_close = !request.keep_alive;
+
+  // Bounded admission: requests over the in-flight cap are shed right
+  // here with 429 — no worker time, no queue growth, and the connection
+  // stays usable so a backing-off client can retry cheaply.
+  bool admitted = false;
+  uint32_t inflight = inflight_.load(std::memory_order_relaxed);
+  while (inflight < options_.max_inflight) {
+    if (inflight_.compare_exchange_weak(inflight, inflight + 1,
+                                        std::memory_order_relaxed)) {
+      admitted = true;
+      break;
     }
   }
-  SendResponse(client_fd, response);
+  if (!admitted) {
+    if (MetricsEnabled()) shed_->Increment();
+    HttpResponse shed = ErrorJson(
+        429, "OVERLOADED",
+        "server over its admission limit of " +
+            std::to_string(options_.max_inflight) +
+            " in-flight requests; back off and retry");
+    shed.extra_headers.emplace_back("Retry-After", "1");
+    CompleteSlotInline(conn, seq, shed, request_close);
+  } else {
+    Job job;
+    job.conn_id = conn->id;
+    job.slot_seq = seq;
+    job.request = std::move(request);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      job_queue_.push_back(std::move(job));
+    }
+    queue_cv_.notify_one();
+  }
+  if (request_close) {
+    // "Connection: close" honored: nothing after this request gets
+    // parsed; the connection drains its pending responses and closes.
+    conn->closing_after_flush = true;
+  }
+}
+
+void StatsServer::CompleteSlotInline(Conn* conn, uint64_t slot_seq,
+                                     const HttpResponse& response,
+                                     bool close_after) {
+  // Inline completions answer before any worker: the slot may not exist
+  // yet (parse errors mint their own seq).
+  bool found = false;
+  for (Conn::Slot& slot : conn->slots) {
+    if (slot.seq == slot_seq) {
+      slot.bytes = SerializeResponse(response, !close_after);
+      slot.ready = true;
+      slot.close_after = close_after;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    Conn::Slot slot;
+    slot.seq = slot_seq;
+    slot.bytes = SerializeResponse(response, !close_after);
+    slot.ready = true;
+    slot.close_after = close_after;
+    conn->slots.push_back(std::move(slot));
+  }
+  if (close_after) conn->closing_after_flush = true;
+  FlushReadySlots(conn);
+}
+
+void StatsServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    batch.swap(completions_);
+  }
+  for (const Completion& completion : batch) ApplyCompletion(completion);
+}
+
+void StatsServer::ApplyCompletion(const Completion& completion) {
+  const auto it = conns_.find(completion.conn_id);
+  if (it == conns_.end()) return;  // Connection died while the worker ran.
+  Conn* conn = it->second.get();
+  for (Conn::Slot& slot : conn->slots) {
+    if (slot.seq == completion.slot_seq) {
+      slot.bytes = completion.bytes;
+      slot.ready = true;
+      slot.close_after = completion.close_after;
+      break;
+    }
+  }
+  FlushReadySlots(conn);
+  const uint64_t id = conn->id;
+  TryWrite(conn);
+  const auto again = conns_.find(id);
+  if (again == conns_.end()) return;
+  // Slots drained below the pipeline cap may unblock parsing of input
+  // that arrived while the connection was back-pressured.
+  ParseConnInput(conn);
+  FlushReadySlots(conn);
+  TryWrite(conn);
+  if (conns_.find(id) == conns_.end()) return;
+  if (conn->peer_closed && conn->slots.empty() &&
+      conn->out_off >= conn->out.size()) {
+    DestroyConn(conn);
+    return;
+  }
+  AccountConnBytes(conn);
+  UpdateInterest(conn);
+}
+
+void StatsServer::FlushReadySlots(Conn* conn) {
+  while (!conn->slots.empty() && conn->slots.front().ready) {
+    Conn::Slot& slot = conn->slots.front();
+    conn->out += slot.bytes;
+    if (slot.close_after) conn->closing_after_flush = true;
+    conn->slots.pop_front();
+  }
+  // Compact the out buffer when everything written so far is consumed.
+  if (conn->out_off > 0 && conn->out_off == conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+  }
+}
+
+void StatsServer::TryWrite(Conn* conn) {
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n = send(conn->fd, conn->out.data() + conn->out_off,
+                           conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // Peer is gone mid-write: nothing left to deliver.
+    DestroyConn(conn);
+    return;
+  }
+  if (conn->out_off == conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+    if (conn->closing_after_flush && conn->slots.empty()) {
+      DestroyConn(conn);
+    }
+  }
+}
+
+void StatsServer::UpdateInterest(Conn* conn) {
+  uint32_t wanted = 0;
+  const bool paused = conn->slots.size() >= options_.max_pipeline;
+  if (!conn->peer_closed && !conn->closing_after_flush && !paused) {
+    wanted |= EPOLLIN;
+  }
+  if (conn->out_off < conn->out.size()) wanted |= EPOLLOUT;
+  if (wanted == conn->armed_events) return;
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = wanted;
+  event.data.u64 = conn->id;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event) == 0) {
+    conn->armed_events = wanted;
+  }
+}
+
+void StatsServer::AccountConnBytes(Conn* conn) {
+  uint64_t bytes = conn->in.capacity() + conn->out.capacity();
+  for (const Conn::Slot& slot : conn->slots) bytes += slot.bytes.capacity();
+  conn->bytes_gauge.Resize(bytes);
+}
+
+void StatsServer::DestroyConn(Conn* conn) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  close(conn->fd);
+  conns_.erase(conn->id);  // Frees the Conn (and its byte reservation).
+}
+
+void StatsServer::SweepIdleConns() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<Conn*> idle;
+  for (const auto& [id, conn] : conns_) {
+    // Only truly quiet connections: nothing buffered, nothing in flight.
+    if (conn->slots.empty() && conn->out_off >= conn->out.size() &&
+        now - conn->last_activity > limit) {
+      idle.push_back(conn.get());
+    }
+  }
+  for (Conn* conn : idle) DestroyConn(conn);
 }
 
 }  // namespace obs

@@ -1,12 +1,17 @@
 #ifndef INF2VEC_OBS_HTTP_SERVER_H_
 #define INF2VEC_OBS_HTTP_SERVER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -17,14 +22,21 @@
 namespace inf2vec {
 namespace obs {
 
-/// A parsed GET request as seen by endpoint handlers: the path with any
-/// query string already stripped, the decoded query parameters in request
-/// order (duplicate keys preserved; first wins for QueryOr), and the
-/// request headers with lower-cased names (HTTP header names are
-/// case-insensitive; first wins for HeaderOr).
+/// A parsed request as seen by endpoint handlers: the path with any query
+/// string already stripped, the decoded query parameters in request order
+/// (duplicate keys preserved; first wins for QueryOr), the request headers
+/// with lower-cased names (HTTP header names are case-insensitive; first
+/// wins for HeaderOr), and — for POST — the Content-Length-framed body.
 struct HttpRequest {
-  std::string method;
+  std::string method;   // "GET", "POST", ... (verbatim from the wire).
   std::string path;
+  std::string version;  // "HTTP/1.1" / "HTTP/1.0".
+  std::string body;     // Empty unless the request carried Content-Length.
+  /// Resolved keep-alive decision: HTTP/1.1 unless "Connection: close",
+  /// HTTP/1.0 only with "Connection: keep-alive". The server frames the
+  /// response accordingly; handlers can read it but not change it (a
+  /// handler forces a close through HttpResponse::close_connection).
+  bool keep_alive = false;
   std::vector<std::pair<std::string, std::string>> query;
   std::vector<std::pair<std::string, std::string>> headers;
 
@@ -45,10 +57,29 @@ struct HttpResponse {
   std::string body;
   /// Additional response headers (e.g. X-Request-Id); names sent verbatim.
   std::vector<std::pair<std::string, std::string>> extra_headers;
+  /// Force "Connection: close" after this response even on a keep-alive
+  /// connection (the response is still flushed first).
+  bool close_connection = false;
 
   static HttpResponse Text(int code, std::string body);
   static HttpResponse Json(int code, std::string body);
 };
+
+/// The one JSON error envelope every endpoint in the process shares:
+///
+///   {"error": <human-readable message>, "code": <MACHINE_CODE>}
+///
+/// `code` is a stable machine-readable label (StatusCodeName spelling for
+/// Status-mapped errors — "INVALID_ARGUMENT", "NOT_FOUND", ... — plus the
+/// transport-level labels "OVERLOADED", "MEM_PRESSURE",
+/// "HEADER_TOO_LARGE", "BODY_TOO_LARGE", "METHOD_NOT_ALLOWED",
+/// "NOT_IMPLEMENTED"). Schema documented in docs/SERVING.md.
+HttpResponse ErrorJson(int http_code, const std::string& code,
+                       const std::string& message);
+
+/// Canonical reason phrase for a status code ("Unknown" for codes the
+/// server never emits).
+const char* HttpReasonPhrase(int code);
 
 /// Percent-decodes a URL component ('+' becomes space; malformed %XX
 /// sequences pass through verbatim).
@@ -66,34 +97,67 @@ struct StatsServerOptions {
   /// Loopback by default: the stats plane is an operator tool, not a
   /// public API.
   std::string bind_address = "127.0.0.1";
+  /// Handler worker threads (`serve --serve-threads`). Handlers run on
+  /// this pool, so every registered handler must be safe for concurrent
+  /// invocation. Minimum 1.
+  uint32_t num_workers = 2;
+  /// Admission bound (`serve --max-inflight`): requests parsed while this
+  /// many are already queued or executing are shed with 429 OVERLOADED
+  /// instead of growing an unbounded queue (http.shed counter).
+  uint32_t max_inflight = 256;
+  /// Per-connection pipelining depth: the event loop stops reading a
+  /// connection with this many responses outstanding until some flush
+  /// (back-pressure, not an error).
+  uint32_t max_pipeline = 32;
+  /// Request line + headers beyond this answer 431 and close.
+  size_t max_request_head_bytes = 8192;
+  /// Declared Content-Length beyond this answers 413 and closes.
+  size_t max_body_bytes = 1 << 20;
+  /// Accepted connections beyond this are closed immediately.
+  uint32_t max_connections = 1024;
+  /// Keep-alive connections idle longer than this are closed by a
+  /// periodic sweep; 0 disables the sweep (tests, short-lived tools).
+  uint32_t idle_timeout_ms = 0;
 };
 
-/// Dependency-free embedded stats server: blocking POSIX sockets on one
-/// background thread, GET-only, one short-lived connection at a time.
-/// Built-in endpoints (registered at construction):
+/// Dependency-free embedded HTTP server: one epoll event-loop thread
+/// drives non-blocking accept/read/write connection state machines
+/// (HTTP/1.1 keep-alive + pipelining, Content-Length-framed POST bodies),
+/// and a small worker pool runs the handlers. Built-in endpoints
+/// (registered at construction):
 ///
 ///   /metrics  Prometheus text exposition of the registry (obs/prometheus)
 ///   /statusz  live run status JSON (obs/run_status)
 ///   /healthz  200 "ok"
 ///   /varz     build + environment provenance JSON (obs/build_info)
+///   /memz     byte-level memory accounting JSON (obs/memory)
+///   /heapz    sampling heap profiler (obs/heap_profiler)
 ///
-/// Further endpoints register through Handle() — the serving subsystem
+/// Further endpoints register through Route() — the serving subsystem
 /// (src/serve) adds /score, /topk and /modelz this way. Dispatch strips
 /// the query string before matching, so "/metrics?foo=1" routes to
 /// /metrics and handlers read parameters from HttpRequest::query.
 ///
-/// Responses are tiny (a scrape of every metric is a few KB), so serving
-/// inline on the accept thread keeps the design at ~zero cost for the
-/// training threads: handlers must only *read* shared state through
-/// thread-safe interfaces (Scrape(), RunStatus snapshot, an immutable
-/// model artifact) — they run on the server thread while the process
-/// works.
+/// Flow of one request: the event loop parses it off the connection (431
+/// on an oversized head, 400 on a malformed Content-Length, 413 on an
+/// oversized body — all without reading to EOF), assigns it an ordered
+/// response slot, and submits it to the worker pool unless max_inflight
+/// requests are already in flight (then it answers 429 directly — the
+/// admission queue is bounded). A worker runs the handler (inside a
+/// RequestScope when request observability is installed), serializes the
+/// response, and hands the bytes back to the event loop, which writes
+/// responses strictly in request order per connection — pipelined clients
+/// always see answers in the order they asked.
 ///
-/// Shutdown is deterministic: Stop() wakes the accept loop through a
-/// self-pipe (the loop polls {listen_fd, pipe} and every in-flight
-/// connection polls {client_fd, pipe}), joins the thread, and closes the
-/// socket — no leaked thread, port released on return. Destruction stops
-/// a running server.
+/// Handlers run on worker threads while the process works, so they must
+/// only *read* shared state through thread-safe interfaces (Scrape(),
+/// RunStatus snapshot, an immutable model artifact) and must tolerate
+/// concurrent invocation of the same handler.
+///
+/// Shutdown is deterministic: Stop() wakes the event loop through an
+/// eventfd, joins it (closing every connection), drains and joins the
+/// worker pool, and closes the listen socket — no leaked thread, port
+/// released on return. Destruction stops a running server.
 class StatsServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -105,27 +169,35 @@ class StatsServer {
   StatsServer(const StatsServer&) = delete;
   StatsServer& operator=(const StatsServer&) = delete;
 
-  /// Registers (or replaces) the handler for an exact path. Thread-safe;
-  /// may be called before or after Start. The handler runs on the server
-  /// thread and must be safe against concurrent process activity.
-  void Handle(const std::string& path, Handler handler);
+  /// Registers (or replaces) the handler for an exact (method, path)
+  /// pair. Thread-safe; may be called before or after Start. The handler
+  /// runs on a worker thread and must be safe against concurrent process
+  /// activity and concurrent invocations of itself. A path with at least
+  /// one route answers 405 (with an Allow header) for unrouted methods;
+  /// unknown paths answer 404.
+  void Route(const std::string& method, const std::string& path,
+             Handler handler);
 
-  /// Registered paths, sorted (the "/" index lists them).
+  /// Registered paths, sorted and deduplicated across methods (the "/"
+  /// index lists them).
   std::vector<std::string> HandledPaths() const;
 
   /// Installs request-level observability: every request that reaches a
   /// registered handler runs inside a RequestScope — root trace span with
   /// child spans from the handler, per-endpoint /rpcz accounting, /tracez
   /// retention, and one access-log line — and the response carries an
-  /// X-Request-Id header (the inbound one when the client sent it).
-  /// Malformed / unknown-path requests bypass the scope: they never reach
-  /// serving code and would pollute per-endpoint series with unbounded
-  /// garbage paths. Pass a default-constructed bundle to turn it off.
-  /// Thread-safe; the pointed-to objects must outlive the server.
+  /// X-Request-Id header (the inbound one when the client sent it). The
+  /// scope is strictly per-request, never per-connection: each request on
+  /// a reused keep-alive connection gets its own id, span tree, and rpcz
+  /// row. Malformed / unknown-path requests bypass the scope: they never
+  /// reach serving code and would pollute per-endpoint series with
+  /// unbounded garbage paths. Pass a default-constructed bundle to turn
+  /// it off. Thread-safe; the pointed-to objects must outlive the server.
   void SetRequestObservability(RequestObservability obs);
 
-  /// Binds, listens, and spawns the accept thread. Fails (without leaking
-  /// fds) when the port is taken or the address does not parse.
+  /// Binds, listens, and spawns the event loop + worker threads. Fails
+  /// (without leaking fds) when the port is taken or the address does not
+  /// parse.
   Status Start();
 
   /// Idempotent; safe to call on a never-started server.
@@ -137,22 +209,86 @@ class StatsServer {
   uint16_t port() const { return port_; }
 
  private:
+  struct Conn;
+
+  /// One admitted request travelling to the worker pool.
+  struct Job {
+    uint64_t conn_id = 0;
+    uint64_t slot_seq = 0;
+    HttpRequest request;
+  };
+  /// One finished response travelling back to the event loop.
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t slot_seq = 0;
+    std::string bytes;
+    bool close_after = false;
+  };
+
   void RegisterBuiltinEndpoints();
-  void AcceptLoop();
-  void HandleConnection(int client_fd);
-  /// Waits until `fd` is readable or the stop pipe fires; false on stop.
-  bool WaitReadable(int fd);
+  void EventLoop();
+  void WorkerLoop();
+  /// Routes + runs the handler (worker thread). 404/405 for unmatched.
+  HttpResponse Dispatch(const HttpRequest& request);
+  void WakeLoop();
+
+  // Event-loop-thread-only connection machinery.
+  void AcceptNewConnections();
+  void OnConnReadable(Conn* conn);
+  void OnConnWritable(Conn* conn);
+  void ParseConnInput(Conn* conn);
+  void SubmitRequest(Conn* conn, HttpRequest request);
+  /// Completes a slot without a worker round-trip (parse errors, 429s).
+  void CompleteSlotInline(Conn* conn, uint64_t slot_seq,
+                          const HttpResponse& response, bool close_after);
+  void ApplyCompletion(const Completion& completion);
+  void FlushReadySlots(Conn* conn);
+  void TryWrite(Conn* conn);
+  void UpdateInterest(Conn* conn);
+  void AccountConnBytes(Conn* conn);
+  void DestroyConn(Conn* conn);
+  void DrainCompletions();
+  void SweepIdleConns();
 
   StatsServerOptions options_;
   MetricsRegistry* registry_;
+
   mutable std::mutex handlers_mu_;
-  std::map<std::string, Handler> handlers_;
+  /// path -> [(METHOD, handler)] — the method list is tiny (1-2 entries).
+  std::map<std::string, std::vector<std::pair<std::string, Handler>>> routes_;
   RequestObservability request_obs_;  // Guarded by handlers_mu_.
+
+  // Admission queue (workers block here).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> job_queue_;
+  bool queue_stopping_ = false;  // Guarded by queue_mu_.
+  /// Queued + executing requests, bounded by options_.max_inflight.
+  std::atomic<uint32_t> inflight_{0};
+
+  // Completion queue (event loop drains on eventfd wake).
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_;
+
+  // Event-loop-thread-only state.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listen fd, 1 = wake fd in epoll data.
+
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  // [read, write]; written once by Stop().
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd; written by workers and Stop().
   uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
   bool running_ = false;
-  std::thread thread_;
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  // Transport metrics (registry-owned; incremented under MetricsEnabled).
+  Counter* requests_total_;
+  Counter* connections_total_;
+  Counter* keepalive_reuses_;
+  Counter* shed_;
+  Counter* parse_errors_;
 };
 
 }  // namespace obs

@@ -259,10 +259,9 @@ JsonValue CpuProfiler::DescribeJson() const {
 }
 
 void RegisterProfilerEndpoint(StatsServer* server, CpuProfiler* profiler) {
-  server->Handle("/pprofz", [profiler](const HttpRequest& request) {
+  server->Route("GET", "/pprofz", [profiler](const HttpRequest& request) {
     if (profiler == nullptr) {
-      return HttpResponse::Json(404,
-                                "{\"error\": \"profiler not enabled\"}\n");
+      return ErrorJson(404, "NOT_FOUND", "profiler not enabled");
     }
     const std::string seconds_raw = request.QueryOr("seconds", "");
     if (!seconds_raw.empty()) {
@@ -274,15 +273,12 @@ void RegisterProfilerEndpoint(StatsServer* server, CpuProfiler* profiler) {
       char* end = nullptr;
       const double seconds = std::strtod(seconds_raw.c_str(), &end);
       if (end == seconds_raw.c_str() || *end != '\0') {
-        return HttpResponse::Json(
-            400, "{\"error\": \"bad seconds '" + JsonEscape(seconds_raw) +
-                     "'\"}\n");
+        return ErrorJson(400, "INVALID_ARGUMENT",
+                         "bad seconds '" + seconds_raw + "'");
       }
       Status started = profiler->StartForDuration(seconds);
       if (!started.ok()) {
-        return HttpResponse::Json(400, "{\"error\": \"" +
-                                           JsonEscape(started.ToString()) +
-                                           "\"}\n");
+        return ErrorJson(400, "INVALID_ARGUMENT", started.ToString());
       }
       JsonValue status = JsonValue::Object();
       status.Set("status", "started");

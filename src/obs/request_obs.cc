@@ -356,15 +356,15 @@ RequestScope::~RequestScope() {
 
 void RegisterRequestObsEndpoints(StatsServer* server, RpczRegistry* rpcz,
                                  TracezBuffer* tracez) {
-  server->Handle("/rpcz", [rpcz](const HttpRequest&) {
+  server->Route("GET", "/rpcz", [rpcz](const HttpRequest&) {
     if (rpcz == nullptr) {
-      return HttpResponse::Json(404, "{\"error\": \"rpcz not enabled\"}\n");
+      return ErrorJson(404, "NOT_FOUND", "rpcz not enabled");
     }
     return HttpResponse::Json(200, rpcz->ToJson().Dump(2) + "\n");
   });
-  server->Handle("/tracez", [tracez](const HttpRequest&) {
+  server->Route("GET", "/tracez", [tracez](const HttpRequest&) {
     if (tracez == nullptr) {
-      return HttpResponse::Json(404, "{\"error\": \"tracez not enabled\"}\n");
+      return ErrorJson(404, "NOT_FOUND", "tracez not enabled");
     }
     return HttpResponse::Json(200, tracez->ToJson().Dump(2) + "\n");
   });

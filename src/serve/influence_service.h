@@ -100,6 +100,10 @@ struct TopKResult {
   bool cache_hit = false;
   /// Candidates scored (num_users minus excluded seeds).
   uint64_t scanned = 0;
+  /// True when this result was shared from another request's in-flight
+  /// scan (serve::TopKBatcher single-flight coalescing), not scanned for
+  /// this request.
+  bool coalesced = false;
 };
 
 /// Batch scoring: many (candidate, seed set) pairs in one call, sharded

@@ -1,5 +1,6 @@
 #include "serve/serve_endpoints.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/topk_batcher.h"
 #include "util/string_util.h"
 
 namespace inf2vec {
@@ -19,11 +21,12 @@ using obs::HttpRequest;
 using obs::HttpResponse;
 using obs::JsonValue;
 
+/// Query-path Status in the process-wide error envelope (obs::ErrorJson):
+/// the machine code is the StatusCodeName spelling, the HTTP code the
+/// HttpCodeFor mapping.
 HttpResponse ErrorResponse(const Status& status) {
-  JsonValue body = JsonValue::Object();
-  body.Set("error", status.message());
-  body.Set("code", StatusCodeName(status.code()));
-  return HttpResponse::Json(HttpCodeFor(status), body.Dump(0));
+  return obs::ErrorJson(HttpCodeFor(status), StatusCodeName(status.code()),
+                        status.message());
 }
 
 /// "1,5,9" -> {1, 5, 9}; rejects empties and non-numeric fields. `key`
@@ -153,8 +156,116 @@ HttpResponse HandleScore(const InfluenceService& service,
   return HttpResponse::Json(200, body.Dump(0));
 }
 
+/// Parses the POST /score body — a true batch through ScoreBatch:
+///
+///   {"queries": [{"candidate": U, "seeds": [A, B]}, ...],
+///    "aggregation": "Ave", "deadline_us": N}
+///
+/// (aggregation and deadline_us optional, shared by the whole batch).
+Status ParseBatchBody(const std::string& body, BatchScoreRequest* batch) {
+  Result<JsonValue> parsed = obs::ParseJson(body);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("bad JSON body: " +
+                                   parsed.status().message());
+  }
+  const JsonValue& root = parsed.value();
+  if (root.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("body must be a JSON object");
+  }
+  const JsonValue* queries = root.Find("queries");
+  if (queries == nullptr || queries->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("body must carry a \"queries\" array");
+  }
+  batch->items.reserve(queries->size());
+  for (size_t i = 0; i < queries->items().size(); ++i) {
+    const JsonValue& entry = queries->items()[i];
+    const std::string at = "queries[" + std::to_string(i) + "]";
+    if (entry.kind() != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument(at + " must be an object");
+    }
+    BatchItem item;
+    const JsonValue* candidate = entry.Find("candidate");
+    if (candidate == nullptr ||
+        candidate->kind() != JsonValue::Kind::kInt ||
+        candidate->AsInt() < 0) {
+      return Status::InvalidArgument(at +
+                                     ".candidate must be a non-negative id");
+    }
+    item.candidate = static_cast<UserId>(candidate->AsInt());
+    const JsonValue* seeds = entry.Find("seeds");
+    if (seeds == nullptr || seeds->kind() != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument(at + ".seeds must be an array of ids");
+    }
+    item.seeds.reserve(seeds->size());
+    for (const JsonValue& seed : seeds->items()) {
+      if (seed.kind() != JsonValue::Kind::kInt || seed.AsInt() < 0) {
+        return Status::InvalidArgument(at + ".seeds must be non-negative ids");
+      }
+      item.seeds.push_back(static_cast<UserId>(seed.AsInt()));
+    }
+    batch->items.push_back(std::move(item));
+  }
+  const JsonValue* aggregation = root.Find("aggregation");
+  if (aggregation != nullptr) {
+    if (aggregation->kind() != JsonValue::Kind::kString) {
+      return Status::InvalidArgument("aggregation must be a string");
+    }
+    Result<Aggregation> kind = ParseAggregation(aggregation->AsString());
+    if (!kind.ok()) {
+      return Status::InvalidArgument("bad aggregation '" +
+                                     aggregation->AsString() +
+                                     "': " + kind.status().message());
+    }
+    batch->aggregation = kind.value();
+  }
+  const JsonValue* deadline = root.Find("deadline_us");
+  if (deadline != nullptr) {
+    if (deadline->kind() != JsonValue::Kind::kInt || deadline->AsInt() < 0) {
+      return Status::InvalidArgument("deadline_us must be a non-negative int");
+    }
+    batch->deadline_us = static_cast<uint64_t>(deadline->AsInt());
+  }
+  return Status::OK();
+}
+
+HttpResponse HandleScoreBatch(const InfluenceService& service,
+                              const GenerationTag& generation,
+                              const HttpRequest& request) {
+  BatchScoreRequest batch;
+  {
+    obs::TraceSpan span("parse", "serve");
+    const Status parsed = ParseBatchBody(request.body, &batch);
+    if (!parsed.ok()) return ErrorResponse(parsed);
+  }
+  size_t seed_count = 0;
+  for (const BatchItem& item : batch.items) seed_count += item.seeds.size();
+  AnnotateRootSpan(service, generation, seed_count);
+  obs::TraceSpan* root = obs::TraceSpan::Current();
+  if (root != nullptr) {
+    root->SetAttr("batch_items", static_cast<uint64_t>(batch.items.size()));
+  }
+
+  const Result<BatchScoreResult> result = service.ScoreBatch(batch);
+  if (!result.ok()) return ErrorResponse(result.status());
+
+  obs::TraceSpan span("serialize", "serve");
+  JsonValue body = JsonValue::Object();
+  body.Set("count", static_cast<uint64_t>(result.value().scores.size()));
+  body.Set("cache_hits", result.value().cache_hits);
+  JsonValue results = JsonValue::Array();
+  for (size_t i = 0; i < result.value().scores.size(); ++i) {
+    JsonValue row = JsonValue::Object();
+    row.Set("candidate", batch.items[i].candidate);
+    row.Set("score", result.value().scores[i]);
+    results.Append(std::move(row));
+  }
+  body.Set("results", std::move(results));
+  SetGeneration(&body, generation);
+  return HttpResponse::Json(200, body.Dump(0));
+}
+
 HttpResponse HandleTopK(const InfluenceService& service,
-                        const GenerationTag& generation,
+                        const GenerationTag& generation, TopKBatcher* batcher,
                         const HttpRequest& request) {
   TopKRequest query;
   {
@@ -167,7 +278,11 @@ HttpResponse HandleTopK(const InfluenceService& service,
   }
   AnnotateRootSpan(service, generation, query.seeds.size());
 
-  const Result<TopKResult> result = service.TopK(query);
+  // Concurrent requests for the same (generation, seed set) coalesce
+  // into one cache-blocked scan; only the leader runs service.TopK.
+  const Result<TopKResult> result = batcher->Execute(
+      generation.value_or(0), query,
+      [&service](const TopKRequest& scan) { return service.TopK(scan); });
   if (!result.ok()) return ErrorResponse(result.status());
 
   obs::TraceSpan span("serialize", "serve");
@@ -176,6 +291,7 @@ HttpResponse HandleTopK(const InfluenceService& service,
   body.Set("k", query.k);
   body.Set("scanned", result.value().scanned);
   body.Set("cache_hit", result.value().cache_hit);
+  body.Set("coalesced", result.value().coalesced);
   JsonValue entries = JsonValue::Array();
   for (const TopKEntry& entry : result.value().entries) {
     JsonValue row = JsonValue::Object();
@@ -208,11 +324,8 @@ bool ShedOverBudget(HttpResponse* response) {
         obs::MetricsRegistry::Default().GetCounter("serve.mem_pressure");
     pressure->Increment();
   }
-  JsonValue body = JsonValue::Object();
-  body.Set("error",
-           "serving over memory budget; request shed (see /memz)");
-  body.Set("code", "MEM_PRESSURE");
-  *response = HttpResponse::Json(503, body.Dump(0));
+  *response = obs::ErrorJson(
+      503, "MEM_PRESSURE", "serving over memory budget; request shed (see /memz)");
   return true;
 }
 
@@ -235,37 +348,54 @@ int HttpCodeFor(const Status& status) {
 
 void RegisterServeEndpoints(obs::StatsServer* server,
                             const InfluenceService* service) {
-  server->Handle("/score", [service](const HttpRequest& request) {
+  auto batcher = std::make_shared<TopKBatcher>();
+  server->Route("GET", "/score", [service](const HttpRequest& request) {
     HttpResponse shed;
     if (ShedOverBudget(&shed)) return shed;
     return HandleScore(*service, std::nullopt, request);
   });
-  server->Handle("/topk", [service](const HttpRequest& request) {
+  server->Route("POST", "/score", [service](const HttpRequest& request) {
     HttpResponse shed;
     if (ShedOverBudget(&shed)) return shed;
-    return HandleTopK(*service, std::nullopt, request);
+    return HandleScoreBatch(*service, std::nullopt, request);
   });
-  server->Handle("/modelz", [service](const HttpRequest&) {
+  server->Route("GET", "/topk", [service, batcher](const HttpRequest& request) {
+    HttpResponse shed;
+    if (ShedOverBudget(&shed)) return shed;
+    return HandleTopK(*service, std::nullopt, batcher.get(), request);
+  });
+  server->Route("GET", "/modelz", [service](const HttpRequest&) {
     return HttpResponse::Json(200, service->DescribeJson().Dump(2));
   });
 }
 
 void RegisterServeEndpoints(obs::StatsServer* server, ModelSwapper* swapper) {
-  server->Handle("/score", [swapper](const HttpRequest& request) {
+  auto batcher = std::make_shared<TopKBatcher>();
+  server->Route("GET", "/score", [swapper](const HttpRequest& request) {
     HttpResponse shed;
     if (ShedOverBudget(&shed)) return shed;
     const auto model = swapper->Acquire();
     if (model == nullptr) return ModelGoneResponse();
     return HandleScore(model->service, model->generation, request);
   });
-  server->Handle("/topk", [swapper](const HttpRequest& request) {
+  server->Route("POST", "/score", [swapper](const HttpRequest& request) {
     HttpResponse shed;
     if (ShedOverBudget(&shed)) return shed;
     const auto model = swapper->Acquire();
     if (model == nullptr) return ModelGoneResponse();
-    return HandleTopK(model->service, model->generation, request);
+    return HandleScoreBatch(model->service, model->generation, request);
   });
-  server->Handle("/modelz", [swapper](const HttpRequest&) {
+  server->Route("GET", "/topk", [swapper, batcher](const HttpRequest& request) {
+    HttpResponse shed;
+    if (ShedOverBudget(&shed)) return shed;
+    const auto model = swapper->Acquire();
+    if (model == nullptr) return ModelGoneResponse();
+    // The generation keys the coalescer, so requests racing a hot swap
+    // never share a scan across models.
+    return HandleTopK(model->service, model->generation, batcher.get(),
+                      request);
+  });
+  server->Route("GET", "/modelz", [swapper](const HttpRequest&) {
     const auto model = swapper->Acquire();
     if (model == nullptr) return ModelGoneResponse();
     JsonValue body = model->service.DescribeJson();
@@ -273,7 +403,7 @@ void RegisterServeEndpoints(obs::StatsServer* server, ModelSwapper* swapper) {
     body.Set("watching", swapper->watching());
     return HttpResponse::Json(200, body.Dump(2));
   });
-  server->Handle("/reloadz", [swapper](const HttpRequest&) {
+  server->Route("GET", "/reloadz", [swapper](const HttpRequest&) {
     const Status reloaded = swapper->Reload();
     if (!reloaded.ok()) {
       JsonValue body = JsonValue::Object();

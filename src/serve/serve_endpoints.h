@@ -14,14 +14,22 @@ int HttpCodeFor(const Status& status);
 
 /// Registers the serving endpoints on `server`:
 ///
-///   GET /score?candidate=U&seeds=A,B,C[&aggregation=Ave][&deadline_us=N]
-///   GET /topk?seeds=A,B,C[&k=10][&aggregation=Ave][&deadline_us=N]
-///            [&include_seeds=1]
-///   GET /modelz
+///   GET  /score?candidate=U&seeds=A,B,C[&aggregation=Ave][&deadline_us=N]
+///   POST /score   {"queries": [{"candidate": U, "seeds": [A, B]}, ...],
+///                  "aggregation": "Ave", "deadline_us": N}
+///   GET  /topk?seeds=A,B,C[&k=10][&aggregation=Ave][&deadline_us=N]
+///             [&include_seeds=1]
+///   GET  /modelz
 ///
-/// Responses are JSON; errors carry {"error": ..., "code": ...} with the
-/// mapping above. `service` must outlive the server (queries may arrive
-/// until Stop() returns).
+/// The GET /score form is the single-query alias; the POST body scores
+/// the whole batch through InfluenceService::ScoreBatch. Concurrent GET
+/// /topk requests for the same seed set coalesce into one scan through a
+/// serve::TopKBatcher owned by the registration. Responses are JSON;
+/// errors use the process-wide envelope {"error": ..., "code": ...}
+/// (obs::ErrorJson) with the mapping above. `service` must outlive the
+/// server (queries may arrive until Stop() returns). Handlers run on the
+/// server's worker pool — everything they touch is const or internally
+/// synchronized.
 void RegisterServeEndpoints(obs::StatsServer* server,
                             const InfluenceService* service);
 

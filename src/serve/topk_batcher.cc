@@ -1,0 +1,80 @@
+#include "serve/topk_batcher.h"
+
+namespace inf2vec {
+namespace serve {
+
+TopKBatcher::TopKBatcher(obs::MetricsRegistry* registry)
+    : coalesced_(registry->GetCounter("serve.topk_coalesced")) {}
+
+std::string TopKBatcher::KeyFor(uint64_t generation,
+                                const TopKRequest& request) {
+  std::string key = std::to_string(generation);
+  key += '|';
+  key += request.aggregation.has_value()
+             ? std::to_string(static_cast<int>(*request.aggregation))
+             : "-";
+  key += request.include_seeds ? "|1|" : "|0|";
+  for (const UserId seed : request.seeds) {
+    key += std::to_string(seed);
+    key += ',';
+  }
+  return key;
+}
+
+Result<TopKResult> TopKBatcher::Execute(uint64_t generation,
+                                        const TopKRequest& request,
+                                        const ScanFn& scan) {
+  const std::string key = KeyFor(generation, request);
+  std::shared_ptr<Group> group;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = groups_.find(key);
+    if (it != groups_.end() && request.k <= it->second->k) {
+      group = it->second;  // Join the in-flight scan.
+    } else if (it == groups_.end()) {
+      group = std::make_shared<Group>();
+      group->k = request.k;
+      groups_.emplace(key, group);
+      leader = true;
+    }
+    // else: an in-flight scan exists but kept fewer rows than this
+    // request wants — run an independent scan, uncoalesced.
+  }
+
+  if (group == nullptr) return scan(request);
+
+  if (leader) {
+    Result<TopKResult> scanned = scan(request);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Remove the group first so late arrivals start a fresh scan
+      // instead of sharing a result computed before they asked.
+      groups_.erase(key);
+      group->done = true;
+      if (scanned.ok()) {
+        group->result = scanned.value();
+      } else {
+        group->status = scanned.status();
+      }
+    }
+    cv_.notify_all();
+    return scanned;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&group] { return group->done; });
+    if (obs::MetricsEnabled()) coalesced_->Increment();
+    if (!group->status.ok()) return group->status;
+    TopKResult shared = group->result;
+    if (shared.entries.size() > request.k) shared.entries.resize(request.k);
+    shared.coalesced = true;
+    return shared;
+  }
+}
+
+uint64_t TopKBatcher::coalesced_total() const { return coalesced_->Value(); }
+
+}  // namespace serve
+}  // namespace inf2vec

@@ -1,0 +1,78 @@
+#ifndef INF2VEC_SERVE_TOPK_BATCHER_H_
+#define INF2VEC_SERVE_TOPK_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "serve/influence_service.h"
+
+namespace inf2vec {
+namespace serve {
+
+/// Single-flight coalescer for concurrent /topk requests over the same
+/// seed block. A full top-k scan reads the entire target table (tens of
+/// milliseconds at 1M users), so N concurrent clients asking about the
+/// same hot seed set would burn N scans computing one answer. Execute()
+/// keys each in-flight scan by (generation, seeds, aggregation,
+/// include_seeds); the first caller — the leader — runs the scan, and
+/// every caller that arrives for the same key while it runs waits and
+/// shares the leader's result, truncated to its own (smaller or equal)
+/// k. A follower asking for MORE rows than the leader scanned for cannot
+/// be served from the shared heap and falls back to its own scan.
+///
+/// Sharing is deliberately coarse: followers inherit the leader's
+/// outcome, including a failure (a DeadlineExceeded leader fails its
+/// followers — they arrived later, so their budgets are tighter still).
+/// The generation in the key isolates hot-swap deployments: requests
+/// answered by different model generations never share a scan.
+///
+/// Thread-safe; designed to be called from the HTTP worker pool.
+class TopKBatcher {
+ public:
+  using ScanFn = std::function<Result<TopKResult>(const TopKRequest&)>;
+
+  explicit TopKBatcher(
+      obs::MetricsRegistry* registry = &obs::MetricsRegistry::Default());
+
+  TopKBatcher(const TopKBatcher&) = delete;
+  TopKBatcher& operator=(const TopKBatcher&) = delete;
+
+  /// Runs (or joins) the scan for `request`. `generation` must change
+  /// whenever the underlying model does. `scan` is invoked at most once
+  /// per coalition, on the leader's thread. Results that were shared from
+  /// another request's scan come back with `coalesced = true`.
+  Result<TopKResult> Execute(uint64_t generation, const TopKRequest& request,
+                             const ScanFn& scan);
+
+  /// Requests served from another request's scan (serve.topk_coalesced).
+  uint64_t coalesced_total() const;
+
+ private:
+  struct Group {
+    bool done = false;
+    uint32_t k = 0;           // The leader's k: the rows the heap kept.
+    Status status = Status::OK();
+    TopKResult result;
+  };
+
+  static std::string KeyFor(uint64_t generation, const TopKRequest& request);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// In-flight scans only: the leader erases its group before waking the
+  /// followers (they hold a shared_ptr), so finished results never pin
+  /// the map.
+  std::unordered_map<std::string, std::shared_ptr<Group>> groups_;
+  obs::Counter* coalesced_;  // Registry-owned.
+};
+
+}  // namespace serve
+}  // namespace inf2vec
+
+#endif  // INF2VEC_SERVE_TOPK_BATCHER_H_

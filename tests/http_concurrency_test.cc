@@ -1,0 +1,488 @@
+// Concurrency + wire-conformance tests for the epoll StatsServer: raw
+// keep-alive sockets driving pipelining order, Connection: close,
+// per-request X-Request-Id under connection reuse, bounded-admission 429
+// shedding, POST body framing, and typed rejection of malformed input
+// (431/400/413/501/505) — the suite the TSan build runs with >= 8
+// concurrent keep-alive clients.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/http_server.h"
+#include "obs/metrics.h"
+#include "obs/request_obs.h"
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+/// Blocking client socket that keeps its connection open across requests
+/// — the keep-alive counterpart to obs_http_test's one-shot Fetch().
+class ClientConn {
+ public:
+  explicit ClientConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~ClientConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool ok() const { return fd_ >= 0; }
+
+  bool SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  struct Response {
+    int status = 0;
+    std::string headers;
+    std::string body;
+  };
+
+  /// Reads exactly one Content-Length-framed response off the connection.
+  /// Returns false on EOF / malformed framing.
+  bool ReadResponse(Response* out) {
+    // Head.
+    size_t head_end;
+    while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    out->headers = buffer_.substr(0, head_end);
+    const size_t space = out->headers.find(' ');
+    if (space == std::string::npos) return false;
+    out->status = std::stoi(out->headers.substr(space + 1, 3));
+    size_t content_length = 0;
+    const size_t cl = LowerHeaders(out->headers).find("content-length: ");
+    if (cl != std::string::npos) {
+      content_length = std::stoul(out->headers.substr(cl + 16));
+    }
+    buffer_.erase(0, head_end + 4);
+    while (buffer_.size() < content_length) {
+      if (!Fill()) return false;
+    }
+    out->body = buffer_.substr(0, content_length);
+    buffer_.erase(0, content_length);
+    return true;
+  }
+
+  /// True when the peer closed (EOF) with no further response bytes.
+  bool AtEof() {
+    while (buffer_.empty()) {
+      if (!Fill()) return true;
+    }
+    return false;
+  }
+
+ private:
+  static std::string LowerHeaders(const std::string& headers) {
+    std::string lowered = headers;
+    for (char& c : lowered) c = static_cast<char>(std::tolower(c));
+    return lowered;
+  }
+
+  bool Fill() {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string Get(const std::string& target, const std::string& extra = "") {
+  return "GET " + target + " HTTP/1.1\r\nHost: t\r\n" + extra + "\r\n";
+}
+
+TEST(HttpKeepAliveTest, SequentialRequestsReuseOneConnection) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(conn.SendRaw(Get("/healthz")));
+    ClientConn::Response response;
+    ASSERT_TRUE(conn.ReadResponse(&response));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "ok\n");
+    EXPECT_NE(response.headers.find("Connection: keep-alive"),
+              std::string::npos);
+  }
+  server.Stop();
+}
+
+TEST(HttpKeepAliveTest, PipelinedResponsesPreserveRequestOrder) {
+  MetricsRegistry registry;
+  StatsServerOptions options;
+  options.num_workers = 4;  // Out-of-order completion is possible...
+  StatsServer server(options, &registry);
+  // ...because the first request sleeps while the rest finish instantly.
+  server.Route("GET", "/tagged", [](const HttpRequest& request) {
+    const std::string tag = request.QueryOr("tag", "?");
+    if (tag == "0") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return HttpResponse::Text(200, "tag=" + tag);
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  std::string burst;
+  for (int i = 0; i < 6; ++i) burst += Get("/tagged?tag=" + std::to_string(i));
+  ASSERT_TRUE(conn.SendRaw(burst));
+  for (int i = 0; i < 6; ++i) {
+    ClientConn::Response response;
+    ASSERT_TRUE(conn.ReadResponse(&response));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "tag=" + std::to_string(i));
+  }
+  server.Stop();
+}
+
+TEST(HttpKeepAliveTest, ConnectionCloseIsHonored) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  // Two pipelined requests, the FIRST asking for close: the server must
+  // answer it, close, and never process the second.
+  ASSERT_TRUE(conn.SendRaw(Get("/healthz", "Connection: close\r\n") +
+                           Get("/healthz")));
+  ClientConn::Response response;
+  ASSERT_TRUE(conn.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.headers.find("Connection: close"), std::string::npos);
+  EXPECT_TRUE(conn.AtEof());
+  server.Stop();
+}
+
+TEST(HttpKeepAliveTest, Http10DefaultsToCloseUnlessKeepAliveRequested) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    ClientConn conn(server.port());
+    ASSERT_TRUE(conn.SendRaw("GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n"));
+    ClientConn::Response response;
+    ASSERT_TRUE(conn.ReadResponse(&response));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.headers.find("Connection: close"), std::string::npos);
+    EXPECT_TRUE(conn.AtEof());
+  }
+  {
+    ClientConn conn(server.port());
+    ASSERT_TRUE(conn.SendRaw(
+        "GET /healthz HTTP/1.0\r\nHost: t\r\nConnection: keep-alive\r\n\r\n"));
+    ClientConn::Response response;
+    ASSERT_TRUE(conn.ReadResponse(&response));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.headers.find("Connection: keep-alive"),
+              std::string::npos);
+    // Still usable.
+    ASSERT_TRUE(conn.SendRaw(Get("/healthz")));
+    ASSERT_TRUE(conn.ReadResponse(&response));
+    EXPECT_EQ(response.status, 200);
+  }
+  server.Stop();
+}
+
+TEST(HttpKeepAliveTest, RequestIdStaysPerRequestAcrossConnectionReuse) {
+  MetricsRegistry registry;
+  RpczRegistry rpcz(&registry);
+  StatsServer server(StatsServerOptions{}, &registry);
+  server.SetRequestObservability({&rpcz, nullptr, nullptr});
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  // Distinct inbound ids on one connection come back on their own
+  // responses — ids are request-scoped, never connection-scoped.
+  ASSERT_TRUE(conn.SendRaw(Get("/healthz", "X-Request-Id: req-a\r\n")));
+  ClientConn::Response first;
+  ASSERT_TRUE(conn.ReadResponse(&first));
+  EXPECT_NE(first.headers.find("X-Request-Id: req-a"), std::string::npos);
+
+  ASSERT_TRUE(conn.SendRaw(Get("/healthz", "X-Request-Id: req-b\r\n")));
+  ClientConn::Response second;
+  ASSERT_TRUE(conn.ReadResponse(&second));
+  EXPECT_NE(second.headers.find("X-Request-Id: req-b"), std::string::npos);
+  EXPECT_EQ(second.headers.find("req-a"), std::string::npos);
+
+  // And with no inbound id, each request on the connection gets a fresh
+  // generated one.
+  ASSERT_TRUE(conn.SendRaw(Get("/healthz") + Get("/healthz")));
+  ClientConn::Response third, fourth;
+  ASSERT_TRUE(conn.ReadResponse(&third));
+  ASSERT_TRUE(conn.ReadResponse(&fourth));
+  const auto extract_id = [](const std::string& headers) {
+    const size_t at = headers.find("X-Request-Id: ");
+    EXPECT_NE(at, std::string::npos) << headers;
+    const size_t end = headers.find("\r\n", at);
+    return headers.substr(at + 14, end - at - 14);
+  };
+  EXPECT_NE(extract_id(third.headers), extract_id(fourth.headers));
+  server.Stop();
+}
+
+TEST(HttpConcurrencyTest, EightConcurrentKeepAliveClientsStayCoherent) {
+  MetricsRegistry registry;
+  StatsServerOptions options;
+  options.num_workers = 4;
+  StatsServer server(options, &registry);
+  std::atomic<uint64_t> handled{0};
+  server.Route("GET", "/work", [&handled](const HttpRequest& request) {
+    handled.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse::Text(200, "w" + request.QueryOr("i", ""));
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientConn conn(server.port());
+      if (!conn.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string tag = std::to_string(c * 1000 + i);
+        if (!conn.SendRaw(Get("/work?i=" + tag))) {
+          failures.fetch_add(1);
+          return;
+        }
+        ClientConn::Response response;
+        if (!conn.ReadResponse(&response) || response.status != 200 ||
+            response.body != "w" + tag) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(handled.load(), kClients * kRequestsPerClient);
+  server.Stop();
+}
+
+TEST(HttpConcurrencyTest, AdmissionOverflowShedsWith429) {
+  MetricsRegistry registry;
+  StatsServerOptions options;
+  options.num_workers = 2;
+  options.max_inflight = 1;
+  StatsServer server(options, &registry);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false, release = false;
+  server.Route("GET", "/slow", [&](const HttpRequest&) {
+    std::unique_lock<std::mutex> lock(mu);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+    return HttpResponse::Text(200, "done");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConn blocked(server.port());
+  ASSERT_TRUE(blocked.SendRaw(Get("/slow")));
+  {
+    // The one admission slot is held by a handler that cannot finish yet.
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return entered; }));
+  }
+
+  // A second connection's request must shed immediately with the typed
+  // envelope — no queueing behind the stuck handler.
+  ClientConn shed(server.port());
+  ASSERT_TRUE(shed.SendRaw(Get("/healthz")));
+  ClientConn::Response shed_response;
+  ASSERT_TRUE(shed.ReadResponse(&shed_response));
+  EXPECT_EQ(shed_response.status, 429);
+  EXPECT_NE(shed_response.body.find("\"code\":\"OVERLOADED\""),
+            std::string::npos)
+      << shed_response.body;
+  EXPECT_NE(shed_response.headers.find("Retry-After"), std::string::npos);
+  // The shed connection survives for a retry.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ClientConn::Response unblocked;
+  ASSERT_TRUE(blocked.ReadResponse(&unblocked));
+  EXPECT_EQ(unblocked.status, 200);
+  ASSERT_TRUE(shed.SendRaw(Get("/healthz")));
+  ClientConn::Response retried;
+  ASSERT_TRUE(shed.ReadResponse(&retried));
+  EXPECT_EQ(retried.status, 200);
+  server.Stop();
+}
+
+TEST(HttpPostTest, BodyArrivingInFragmentsReachesHandlerIntact) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  server.Route("POST", "/sink", [](const HttpRequest& request) {
+    return HttpResponse::Text(200, request.method + ":" + request.body);
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConn conn(server.port());
+  const std::string body = "hello body bytes";
+  const std::string head = "POST /sink HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                           std::to_string(body.size()) + "\r\n\r\n";
+  // Head first, then the body in two fragments — exercises the
+  // reading_body resume path across epoll wakeups.
+  ASSERT_TRUE(conn.SendRaw(head));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(conn.SendRaw(body.substr(0, 5)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(conn.SendRaw(body.substr(5)));
+  ClientConn::Response response;
+  ASSERT_TRUE(conn.ReadResponse(&response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "POST:" + body);
+  server.Stop();
+}
+
+TEST(HttpPostTest, UnroutedMethodAnswers405WithAllow) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientConn conn(server.port());
+  ASSERT_TRUE(conn.SendRaw(
+      "POST /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\n\r\nhi"));
+  ClientConn::Response response;
+  ASSERT_TRUE(conn.ReadResponse(&response));
+  EXPECT_EQ(response.status, 405);
+  EXPECT_NE(response.headers.find("Allow: GET"), std::string::npos);
+  EXPECT_NE(response.body.find("\"code\":\"METHOD_NOT_ALLOWED\""),
+            std::string::npos)
+      << response.body;
+  server.Stop();
+}
+
+// --- Malformed-input rejection (the read-until-EOF bugfix) -------------
+
+struct MalformedCase {
+  const char* name;
+  std::string raw;
+  int expected_status;
+  const char* expected_code;
+};
+
+TEST(HttpMalformedInputTest, TypedRejectionsInsteadOfSilentEofReads) {
+  MetricsRegistry registry;
+  StatsServer server(StatsServerOptions{}, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<MalformedCase> cases = {
+      {"garbage request line", "NONSENSE\r\n\r\n", 400, "BAD_REQUEST"},
+      {"relative target", "GET healthz HTTP/1.1\r\n\r\n", 400, "BAD_REQUEST"},
+      {"unsupported version", "GET / HTTP/2.0\r\n\r\n", 505,
+       "HTTP_VERSION_NOT_SUPPORTED"},
+      {"malformed content-length",
+       "POST /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 400, "BAD_REQUEST"},
+      {"negative content-length",
+       "POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400, "BAD_REQUEST"},
+      {"conflicting content-lengths",
+       "POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 7\r\n\r\n",
+       400, "BAD_REQUEST"},
+      {"oversized declared body",
+       "POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n", 413,
+       "BODY_TOO_LARGE"},
+      {"chunked transfer",
+       "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501,
+       "NOT_IMPLEMENTED"},
+  };
+  for (const MalformedCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    ClientConn conn(server.port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.SendRaw(c.raw));
+    ClientConn::Response response;
+    ASSERT_TRUE(conn.ReadResponse(&response));
+    EXPECT_EQ(response.status, c.expected_status);
+    EXPECT_NE(response.body.find(std::string("\"code\":\"") +
+                                 c.expected_code + "\""),
+              std::string::npos)
+        << response.body;
+    // Parse errors poison the connection: it closes after the error.
+    EXPECT_TRUE(conn.AtEof());
+  }
+  server.Stop();
+}
+
+TEST(HttpMalformedInputTest, OversizedRequestHeadAnswers431) {
+  MetricsRegistry registry;
+  StatsServerOptions options;
+  options.max_request_head_bytes = 512;
+  StatsServer server(options, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Never terminates the head; the server must 431 once the cap is
+  // blown, NOT read quietly forever.
+  ClientConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.SendRaw("GET /" + std::string(1024, 'a') + " HTTP/1.1\r\n"));
+  ClientConn::Response response;
+  ASSERT_TRUE(conn.ReadResponse(&response));
+  EXPECT_EQ(response.status, 431);
+  EXPECT_NE(response.body.find("\"code\":\"HEADER_TOO_LARGE\""),
+            std::string::npos)
+      << response.body;
+  EXPECT_TRUE(conn.AtEof());
+
+  // An oversized-but-terminated head gets the same typed answer.
+  ClientConn terminated(server.port());
+  ASSERT_TRUE(terminated.SendRaw("GET / HTTP/1.1\r\nX-Pad: " +
+                                 std::string(1024, 'b') + "\r\n\r\n"));
+  ClientConn::Response second;
+  ASSERT_TRUE(terminated.ReadResponse(&second));
+  EXPECT_EQ(second.status, 431);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace inf2vec

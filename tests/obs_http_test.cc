@@ -112,7 +112,9 @@ TEST(StatsServerTest, MetricsBodyEqualsScrapeExactly) {
             std::string::npos)
       << metrics.headers;
   // No writers are active, so the body must equal a render of Scrape()
-  // byte for byte — the server adds no metrics of its own.
+  // byte for byte — the server's own transport counters (http.*) exist
+  // in the registry but stay frozen at 0 here (metrics are disabled by
+  // default), so both renders agree.
   EXPECT_EQ(metrics.body, RenderPrometheus(registry.Scrape()));
 
   server.Stop();
@@ -283,7 +285,7 @@ TEST(StatsServerTest, QueryStringIsStrippedBeforeDispatch) {
 TEST(StatsServerTest, CustomHandlerSeesDecodedQueryParameters) {
   MetricsRegistry registry;
   StatsServer server(StatsServerOptions{}, &registry);
-  server.Handle("/echo", [](const HttpRequest& request) {
+  server.Route("GET", "/echo", [](const HttpRequest& request) {
     std::string body = request.path;
     for (const auto& [key, value] : request.query) {
       body += "|" + key + "=" + value;
@@ -307,7 +309,7 @@ TEST(StatsServerTest, CustomHandlerSeesDecodedQueryParameters) {
 TEST(StatsServerTest, HandlerStatusCodesPassThrough) {
   MetricsRegistry registry;
   StatsServer server(StatsServerOptions{}, &registry);
-  server.Handle("/teapot", [](const HttpRequest&) {
+  server.Route("GET", "/teapot", [](const HttpRequest&) {
     return HttpResponse::Json(400, "{\"error\":\"bad\"}");
   });
   ASSERT_TRUE(server.Start().ok());

@@ -377,7 +377,7 @@ TEST(RequestObsHttpTest, ServerEchoesRequestIdAndRecordsTrace) {
   TracezBuffer tracez;
   StatsServer server(StatsServerOptions{}, &metrics);
   server.SetRequestObservability({&rpcz, &tracez, nullptr});
-  server.Handle("/spanny", [](const HttpRequest&) {
+  server.Route("GET", "/spanny", [](const HttpRequest&) {
     TraceSpan span("kernel_scan", "serve");
     return HttpResponse::Json(200, "{\"ok\": true}");
   });

@@ -1,0 +1,241 @@
+// TopKBatcher single-flight semantics: one scan per coalition, followers
+// share (truncated to their k), generations never mix, larger-k
+// followers scan independently, and a failed leader fails its followers.
+
+#include "serve/topk_batcher.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace inf2vec {
+namespace serve {
+namespace {
+
+TopKRequest MakeRequest(std::vector<UserId> seeds, uint32_t k) {
+  TopKRequest request;
+  request.seeds = std::move(seeds);
+  request.k = k;
+  return request;
+}
+
+/// A controllable fake scan: counts invocations and can hold the leader
+/// inside the scan until the test has lined its followers up.
+struct FakeScan {
+  std::atomic<int> calls{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool hold = false;
+  int waiting = 0;  // Followers the test wants parked before release.
+
+  Result<TopKResult> operator()(const TopKRequest& request) {
+    calls.fetch_add(1);
+    if (hold) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return waiting == 0; });
+    }
+    TopKResult result;
+    for (uint32_t i = 0; i < request.k; ++i) {
+      result.entries.push_back({i, static_cast<double>(request.k - i)});
+    }
+    result.scanned = 100;
+    return result;
+  }
+};
+
+TEST(TopKBatcherTest, LoneRequestScansAndIsNotCoalesced) {
+  obs::MetricsRegistry registry;
+  TopKBatcher batcher(&registry);
+  FakeScan scan;
+  const Result<TopKResult> got =
+      batcher.Execute(1, MakeRequest({1, 2}, 5), std::ref(scan));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(scan.calls.load(), 1);
+  EXPECT_FALSE(got.value().coalesced);
+  EXPECT_EQ(got.value().entries.size(), 5u);
+}
+
+TEST(TopKBatcherTest, SequentialSameKeyRequestsDoNotShareStaleResults) {
+  obs::MetricsRegistry registry;
+  TopKBatcher batcher(&registry);
+  FakeScan scan;
+  for (int i = 0; i < 3; ++i) {
+    const Result<TopKResult> got =
+        batcher.Execute(1, MakeRequest({1, 2}, 5), std::ref(scan));
+    ASSERT_TRUE(got.ok());
+    EXPECT_FALSE(got.value().coalesced);
+  }
+  // No caching across completed scans — single-flight only.
+  EXPECT_EQ(scan.calls.load(), 3);
+}
+
+TEST(TopKBatcherTest, ConcurrentSameSeedRequestsShareOneScan) {
+  obs::MetricsRegistry registry;
+  TopKBatcher batcher(&registry);
+  FakeScan scan;
+  scan.hold = true;
+  constexpr int kFollowers = 4;
+  scan.waiting = kFollowers;
+
+  std::vector<Result<TopKResult>> results;
+  results.reserve(kFollowers + 1);
+  for (int i = 0; i <= kFollowers; ++i) {
+    results.emplace_back(Status::Internal("unset"));
+  }
+  // The leader enters the scan and blocks until all followers arrive.
+  std::thread leader([&] {
+    results[0] = batcher.Execute(7, MakeRequest({5, 6, 7}, 10), std::ref(scan));
+  });
+  while (scan.calls.load() == 0) std::this_thread::yield();
+
+  std::vector<std::thread> followers;
+  for (int i = 1; i <= kFollowers; ++i) {
+    followers.emplace_back([&, i] {
+      // Smaller/equal k: all must share the leader's heap.
+      const uint32_t k = static_cast<uint32_t>(3 + i);
+      Result<TopKResult> got =
+          batcher.Execute(7, MakeRequest({5, 6, 7}, k), std::ref(scan));
+      std::lock_guard<std::mutex> lock(scan.mu);
+      results[i] = std::move(got);
+    });
+  }
+  // Give the followers time to park on the in-flight group, then release
+  // the leader. A follower that arrives late simply runs its own scan —
+  // the scan-or-coalesce accounting below holds either way.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  {
+    std::lock_guard<std::mutex> lock(scan.mu);
+    scan.waiting = 0;
+  }
+  scan.cv.notify_all();
+  leader.join();
+  for (std::thread& t : followers) t.join();
+
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[0].value().coalesced);
+  EXPECT_EQ(results[0].value().entries.size(), 10u);
+  int coalesced = 0;
+  for (int i = 1; i <= kFollowers; ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    if (results[i].value().coalesced) {
+      coalesced++;
+      // Truncated to the follower's own k, same leading order.
+      EXPECT_EQ(results[i].value().entries.size(),
+                static_cast<size_t>(3 + i));
+      EXPECT_EQ(results[i].value().entries[0].user,
+                results[0].value().entries[0].user);
+    }
+  }
+  // Every follower that arrived while the leader was in flight shared its
+  // scan; total scans stayed well below one-per-request.
+  EXPECT_EQ(scan.calls.load() + coalesced, kFollowers + 1);
+  EXPECT_GE(coalesced, 1);
+  EXPECT_EQ(batcher.coalesced_total(), 0u);  // Metrics disabled here.
+}
+
+TEST(TopKBatcherTest, DifferentGenerationsNeverShareAScan) {
+  obs::MetricsRegistry registry;
+  TopKBatcher batcher(&registry);
+  FakeScan scan;
+  scan.hold = true;
+  scan.waiting = 1;
+
+  std::thread leader([&] {
+    const Result<TopKResult> got =
+        batcher.Execute(1, MakeRequest({9}, 5), std::ref(scan));
+    EXPECT_TRUE(got.ok());
+  });
+  while (scan.calls.load() == 0) std::this_thread::yield();
+
+  // Same seeds, different generation: must start its own scan (the fake
+  // releases both once the second call arrives).
+  std::thread other([&] {
+    const Result<TopKResult> got =
+        batcher.Execute(2, MakeRequest({9}, 5), std::ref(scan));
+    EXPECT_TRUE(got.ok());
+    EXPECT_FALSE(got.value().coalesced);
+  });
+  while (scan.calls.load() < 2) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(scan.mu);
+    scan.waiting = 0;
+  }
+  scan.cv.notify_all();
+  leader.join();
+  other.join();
+  EXPECT_EQ(scan.calls.load(), 2);
+}
+
+TEST(TopKBatcherTest, LargerKFollowerRunsItsOwnScan) {
+  obs::MetricsRegistry registry;
+  TopKBatcher batcher(&registry);
+  FakeScan scan;
+  scan.hold = true;
+  scan.waiting = 1;
+
+  std::thread leader([&] {
+    const Result<TopKResult> got =
+        batcher.Execute(1, MakeRequest({4, 2}, 5), std::ref(scan));
+    EXPECT_TRUE(got.ok());
+  });
+  while (scan.calls.load() == 0) std::this_thread::yield();
+
+  std::thread bigger([&] {
+    // Wants more rows than the in-flight heap kept — cannot share.
+    const Result<TopKResult> got =
+        batcher.Execute(1, MakeRequest({4, 2}, 50), std::ref(scan));
+    EXPECT_TRUE(got.ok());
+    EXPECT_FALSE(got.value().coalesced);
+    EXPECT_EQ(got.value().entries.size(), 50u);
+  });
+  while (scan.calls.load() < 2) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(scan.mu);
+    scan.waiting = 0;
+  }
+  scan.cv.notify_all();
+  leader.join();
+  bigger.join();
+  EXPECT_EQ(scan.calls.load(), 2);
+}
+
+TEST(TopKBatcherTest, LeaderFailurePropagatesToFollowers) {
+  obs::MetricsRegistry registry;
+  TopKBatcher batcher(&registry);
+  std::atomic<int> calls{0};
+  std::atomic<bool> release{false};
+  const TopKBatcher::ScanFn failing =
+      [&](const TopKRequest&) -> Result<TopKResult> {
+    calls.fetch_add(1);
+    while (!release.load()) std::this_thread::yield();
+    return Status::DeadlineExceeded("scan overran");
+  };
+
+  std::thread leader([&] {
+    const Result<TopKResult> got =
+        batcher.Execute(1, MakeRequest({1}, 5), failing);
+    EXPECT_FALSE(got.ok());
+  });
+  while (calls.load() == 0) std::this_thread::yield();
+
+  std::thread follower([&] {
+    const Result<TopKResult> got =
+        batcher.Execute(1, MakeRequest({1}, 5), failing);
+    // Either it joined the doomed coalition (inherits the error) or it
+    // arrived after the erase and ran its own failing scan — both fail.
+    EXPECT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.store(true);
+  leader.join();
+  follower.join();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace inf2vec

@@ -835,8 +835,21 @@ Status RunServe(const FlagParser& flags) {
   request_obs.tracez = &tracez;
   request_obs.access_log = access_log.is_open() ? &access_log : nullptr;
 
+  Result<int64_t> serve_threads = flags.GetInt("serve-threads", 4);
+  INF2VEC_RETURN_IF_ERROR(serve_threads.status());
+  if (serve_threads.value() <= 0) {
+    return Status::InvalidArgument("--serve-threads must be positive");
+  }
+  Result<int64_t> max_inflight = flags.GetInt("max-inflight", 256);
+  INF2VEC_RETURN_IF_ERROR(max_inflight.status());
+  if (max_inflight.value() <= 0) {
+    return Status::InvalidArgument("--max-inflight must be positive");
+  }
+
   obs::StatsServerOptions server_options;
   server_options.port = static_cast<uint16_t>(port_flag.value());
+  server_options.num_workers = static_cast<uint32_t>(serve_threads.value());
+  server_options.max_inflight = static_cast<uint32_t>(max_inflight.value());
   obs::StatsServer server(server_options);
   server.SetRequestObservability(request_obs);
   serve::RegisterServeEndpoints(&server, &swapper);
@@ -919,7 +932,12 @@ std::string UsageText() {
       "                --quantize none|int8 --access-log F"
       " --slow-trace-us 0\n"
       "                --tracez-capacity 32 --mem-budget-bytes 0\n"
-      "                --mem-headroom-bytes 0]\n"
+      "                --mem-headroom-bytes 0 --serve-threads 4\n"
+      "                --max-inflight 256]\n"
+      "               --serve-threads N: HTTP worker threads running the\n"
+      "               handlers (the epoll event loop itself is one more)\n"
+      "               --max-inflight N: bounded admission — requests over\n"
+      "               N queued+executing shed with 429 OVERLOADED\n"
       "               --mem-budget-bytes N: soft serving budget; /score\n"
       "               and /topk answer 503 while accounted bytes (+ the\n"
       "               --mem-headroom-bytes slack) exceed N, and /reloadz\n"

@@ -6,7 +6,10 @@
 #
 # Generates a tiny synthetic world, trains a small model, starts the HTTP
 # serving endpoint on an ephemeral port, and exercises every endpoint the
-# service exposes: /score and /topk (including the error path), /modelz
+# service exposes: /score and /topk (including the error path), the
+# POST /score batch body with its GET-alias equivalence, a raw-socket
+# keep-alive leg proving two pipelined requests share one connection but
+# get distinct X-Request-Ids, /modelz
 # metadata, /healthz, /metrics with a query string attached (the
 # query-string regression an earlier PR fixed), plus the request-level
 # observability plane: X-Request-Id echo, the /rpcz per-endpoint stats,
@@ -40,6 +43,7 @@ trap cleanup EXIT
 # --max-seconds caps the server's lifetime so a wedged test cannot leak a
 # process past the ctest timeout; the SIGTERM below is the normal exit.
 "${CLI}" serve --model "${WORKDIR}/model.bin" --port 0 --max-seconds 120 \
+    --serve-threads 3 --max-inflight 64 \
     --access-log "${WORKDIR}/access.jsonl" \
     > "${WORKDIR}/serve.log" 2>&1 &
 SERVER_PID=$!
@@ -113,6 +117,90 @@ python3 - "${WORKDIR}/err.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["code"] == "NOT_FOUND", doc
+assert "error" in doc, doc
+EOF
+
+# post <url> <json_body> <expected_http_code> <body_out>
+post() {
+  local code
+  code="$(curl -s -o "$4" -w '%{http_code}' --max-time 10 -X POST \
+      -H 'Content-Type: application/json' --data "$2" "$1")"
+  if [[ "${code}" != "$3" ]]; then
+    echo "serve_smoke: FAIL: POST $1 returned HTTP ${code}, want $3" >&2
+    cat "$4" >&2
+    exit 1
+  fi
+}
+
+# Method-aware routing + POST bodies: a JSON batch through POST /score
+# must score row 0 exactly like the GET single-query alias above.
+post "${BASE}/score" \
+    '{"queries": [{"candidate": 1, "seeds": [2, 3]},
+                  {"candidate": 4, "seeds": [2, 3]}]}' \
+    200 "${WORKDIR}/batch.json"
+python3 - "${WORKDIR}/batch.json" "${WORKDIR}/score.json" <<'EOF'
+import json, sys
+batch = json.load(open(sys.argv[1]))
+single = json.load(open(sys.argv[2]))
+assert batch["count"] == 2, batch
+assert len(batch["results"]) == 2, batch
+assert batch["results"][0]["candidate"] == 1, batch
+assert batch["results"][0]["score"] == single["score"], (batch, single)
+EOF
+
+# A malformed batch body is a typed 400, not a silent hang or a 200.
+post "${BASE}/score" '{"queries": 7}' 400 "${WORKDIR}/badbatch.json"
+python3 - "${WORKDIR}/badbatch.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["code"] == "INVALID_ARGUMENT", doc
+EOF
+
+# An unrouted method is a 405 naming the allowed methods.
+post "${BASE}/topk" '{}' 405 "${WORKDIR}/405.json"
+python3 - "${WORKDIR}/405.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["code"] == "METHOD_NOT_ALLOWED", doc
+EOF
+
+# Keep-alive leg over a raw socket: two pipelined requests must come back
+# in order on the SAME connection, each with its own X-Request-Id.
+python3 - "${PORT}" <<'EOF'
+import socket, sys
+port = int(sys.argv[1])
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+req = b"GET /score?candidate=1&seeds=2,3 HTTP/1.1\r\nHost: smoke\r\n\r\n"
+s.sendall(req + req)  # Pipelined: both written before any read.
+buf = b""
+def read_response():
+    global buf
+    while b"\r\n\r\n" not in buf:
+        chunk = s.recv(4096)
+        assert chunk, "server closed a keep-alive connection early"
+        buf += chunk
+    head, rest = buf.split(b"\r\n\r\n", 1)
+    lines = head.decode().split("\r\n")
+    status = int(lines[0].split()[1])
+    clen, rid = 0, ""
+    for line in lines[1:]:
+        name, _, value = line.partition(": ")
+        if name.lower() == "content-length":
+            clen = int(value)
+        elif name.lower() == "x-request-id":
+            rid = value
+    while len(rest) < clen:
+        chunk = s.recv(4096)
+        assert chunk, "server closed mid-body"
+        rest += chunk
+    buf = rest[clen:]
+    return status, rid
+first = read_response()
+second = read_response()
+s.close()
+assert first[0] == 200 and second[0] == 200, (first, second)
+assert first[1] and second[1], (first, second)
+assert first[1] != second[1], "request ids must be per-request, not per-conn"
 EOF
 
 # Query strings must be stripped before dispatch: a load balancer probing
