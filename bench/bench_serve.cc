@@ -49,11 +49,6 @@
 // gate (summary.mem_coverage_pass) checking that the accounted gauges
 // explain >= 80% of sampled RSS at peak table residency.
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -69,6 +64,7 @@
 #include "embedding/model_io.h"
 #include "obs/access_log.h"
 #include "obs/heap_profiler.h"
+#include "obs/http_client.h"
 #include "obs/http_server.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
@@ -145,83 +141,36 @@ struct ArmStats {
   double p99_us = 0.0;
 };
 
-/// Minimal blocking HTTP/1.1 loopback client for the serving arms:
-/// keep-alive, pipelining (callers send several requests then read the
-/// responses back in order), Content-Length framing. Response bodies are
-/// scanned only for the "coalesced" flag; everything else is discarded.
-class HttpClient {
+/// Pipelining adapter over the shared obs::HttpClient raw-wire surface:
+/// callers send several prebuilt requests, then read the responses back
+/// in order. Response bodies are scanned only for the "coalesced" flag;
+/// everything else is discarded. Deadline 0 == blocking, matching the
+/// closed-loop arms' assumption that the server always answers.
+class BenchConn {
  public:
-  explicit HttpClient(uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) return;
-    sockaddr_in addr = {};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
-  ~HttpClient() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-  HttpClient(const HttpClient&) = delete;
-  HttpClient& operator=(const HttpClient&) = delete;
+  explicit BenchConn(uint16_t port) : client_(port) { client_.Connect(); }
+  BenchConn(const BenchConn&) = delete;
+  BenchConn& operator=(const BenchConn&) = delete;
 
-  bool ok() const { return fd_ >= 0; }
+  bool ok() const { return client_.connected(); }
 
-  bool Send(const std::string& raw) {
-    size_t sent = 0;
-    while (sent < raw.size()) {
-      const ssize_t n =
-          ::send(fd_, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) return false;
-      sent += static_cast<size_t>(n);
-    }
-    return true;
-  }
+  bool Send(const std::string& raw) { return client_.SendRaw(raw); }
 
   /// Reads exactly one framed response; returns its status code, or -1 on
   /// a transport/framing error. Sets *coalesced when the body carries the
   /// /topk single-flight marker.
   int ReadResponse(bool* coalesced = nullptr) {
-    size_t head_end;
-    while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
-      if (!Fill()) return -1;
-    }
-    const size_t space = buffer_.find(' ');
-    if (space == std::string::npos || space > head_end) return -1;
-    const int status = std::atoi(buffer_.c_str() + space + 1);
-    size_t body_len = 0;
-    const size_t cl = buffer_.find("Content-Length: ");
-    if (cl != std::string::npos && cl < head_end) {
-      body_len = static_cast<size_t>(std::atoll(buffer_.c_str() + cl + 16));
-    }
-    const size_t total = head_end + 4 + body_len;
-    while (buffer_.size() < total) {
-      if (!Fill()) return -1;
-    }
+    obs::HttpClientResponse response;
+    if (!client_.ReadResponse(&response)) return -1;
     if (coalesced != nullptr) {
-      *coalesced = buffer_.substr(head_end + 4, body_len)
-                       .find("\"coalesced\":true") != std::string::npos;
+      *coalesced =
+          response.body.find("\"coalesced\":true") != std::string::npos;
     }
-    buffer_.erase(0, total);
-    return status;
+    return response.status;
   }
 
  private:
-  bool Fill() {
-    char chunk[8192];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;
-    buffer_.append(chunk, static_cast<size_t>(n));
-    return true;
-  }
-
-  int fd_ = -1;
-  std::string buffer_;
+  obs::HttpClient client_;
 };
 
 /// Runs `n` iterations of `fn`, timing each; returns wall/QPS/percentiles.
@@ -449,7 +398,7 @@ int main() {
   // Serial baseline: a fresh TCP connection per request, one in flight —
   // what every request paid before keep-alive.
   const ArmStats http_serial = RunArm(kHttpSerialRequests, [&](uint32_t i) {
-    HttpClient conn(http_port);
+    BenchConn conn(http_port);
     INF2VEC_CHECK(conn.ok());
     INF2VEC_CHECK(conn.Send(score_request(i, /*keep_alive=*/false)));
     INF2VEC_CHECK(conn.ReadResponse() == 200);
@@ -479,7 +428,7 @@ int main() {
     std::vector<std::thread> clients;
     for (uint32_t c = 0; c < kHttpClients; ++c) {
       clients.emplace_back([&, c] {
-        HttpClient conn(http_port);
+        BenchConn conn(http_port);
         INF2VEC_CHECK(conn.ok());
         std::vector<uint64_t> local;
         local.reserve(kBurstsPerClient * kPipelineDepth);
@@ -520,7 +469,7 @@ int main() {
     std::vector<std::thread> clients;
     for (uint32_t c = 0; c < kOpenLoopThreads; ++c) {
       clients.emplace_back([&, c] {
-        HttpClient conn(http_port);
+        BenchConn conn(http_port);
         INF2VEC_CHECK(conn.ok());
         std::vector<uint64_t> local;
         local.reserve(kOpenLoopPerThread);
@@ -570,7 +519,7 @@ int main() {
     std::vector<std::thread> clients;
     for (uint32_t c = 0; c < kCoalesceClients; ++c) {
       clients.emplace_back([&] {
-        HttpClient conn(http_port);
+        BenchConn conn(http_port);
         INF2VEC_CHECK(conn.ok());
         std::vector<uint64_t> local;
         local.reserve(kCoalesceRounds);

@@ -1,0 +1,274 @@
+// Scatter-gather serving bench: the coordinator's fan-out /topk against
+// an in-process shard fleet (real loopback HTTP, the production
+// ShardService handlers) versus the single-node InfluenceService scan of
+// the same table. Reports the distribution cost of sharding — JSON
+// round-trips, per-shard gather, thread fan-out, merge — at 1 and 3
+// shards, plus the routed /score path, through BENCH_shard.json.
+//
+// Arms:
+//   topk_single   single-node InfluenceService::TopK, no HTTP (baseline)
+//   topk_1shard   coordinator over ONE shard: pure scatter-gather
+//                 overhead (serialize + HTTP + parse), no parallelism
+//   topk_3shard   coordinator over three shards: each backend scans a
+//                 third of the table concurrently
+//   score_route   coordinator routed /score (gather + one backend call)
+//
+// Every coordinator ranking is checked bit-identical to the single-node
+// answer while the clock runs (summary.merge_equality_pass) — the bench
+// doubles as a continuous merge-equality property check at bench scale.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "embedding/model_io.h"
+#include "obs/http_server.h"
+#include "obs/metrics.h"
+#include "serve/influence_service.h"
+#include "shard/coordinator.h"
+#include "shard/shard_service.h"
+#include "shard/shard_split.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace inf2vec;         // NOLINT
+using namespace inf2vec::bench;  // NOLINT
+
+// Large enough that the per-shard scan dominates fixed HTTP cost at 3
+// shards, small enough that artifact split + load stays in seconds.
+constexpr uint32_t kNumUsers = 200000;
+constexpr uint32_t kDim = 32;
+constexpr uint32_t kSeedsPerSet = 4;
+constexpr uint32_t kNumSeedSets = 64;
+constexpr uint32_t kTopKQueries = 48;
+constexpr uint32_t kScoreQueries = 400;
+constexpr uint32_t kTopK = 10;
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double PercentileUs(std::vector<uint64_t>& latencies, double q) {
+  INF2VEC_CHECK(!latencies.empty());
+  std::sort(latencies.begin(), latencies.end());
+  const double rank = q * static_cast<double>(latencies.size() - 1);
+  return static_cast<double>(latencies[static_cast<size_t>(rank + 0.5)]);
+}
+
+struct ArmStats {
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+template <typename Fn>
+ArmStats RunArm(uint32_t n, Fn&& fn) {
+  std::vector<uint64_t> latencies;
+  latencies.reserve(n);
+  const WallTimer wall;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t start = NowUs();
+    fn(i);
+    latencies.push_back(NowUs() - start);
+  }
+  ArmStats stats;
+  stats.wall_ms = wall.ElapsedMillis();
+  stats.qps = static_cast<double>(n) / (stats.wall_ms / 1000.0);
+  stats.p50_us = PercentileUs(latencies, 0.50);
+  stats.p99_us = PercentileUs(latencies, 0.99);
+  return stats;
+}
+
+/// One in-process shard backend: service + HTTP server + its registry.
+struct ShardBackend {
+  obs::MetricsRegistry registry;
+  std::unique_ptr<shard::ShardService> service;
+  std::unique_ptr<obs::StatsServer> server;
+};
+
+/// Splits the model into `num_shards` slices and serves each slice from
+/// an in-process epoll server, exactly like `serve --shard` does.
+std::vector<std::unique_ptr<ShardBackend>> StartFleet(
+    const std::string& model_path, const std::string& dir,
+    uint32_t num_shards) {
+  std::filesystem::create_directories(dir);
+  auto paths = shard::SplitModelArtifact(model_path, dir, num_shards);
+  INF2VEC_CHECK(paths.ok()) << paths.status().ToString();
+  std::vector<std::unique_ptr<ShardBackend>> fleet;
+  for (const std::string& path : paths.value()) {
+    auto backend = std::make_unique<ShardBackend>();
+    auto service =
+        shard::ShardService::Load(path, {}, &backend->registry);
+    INF2VEC_CHECK(service.ok()) << service.status().ToString();
+    backend->service = std::make_unique<shard::ShardService>(
+        std::move(service).value());
+    backend->server = std::make_unique<obs::StatsServer>(
+        obs::StatsServerOptions{}, &backend->registry);
+    shard::RegisterShardEndpoints(backend->server.get(),
+                                  backend->service.get());
+    INF2VEC_CHECK(backend->server->Start().ok());
+    fleet.push_back(std::move(backend));
+  }
+  return fleet;
+}
+
+shard::ShardCoordinator Connect(
+    const std::vector<std::unique_ptr<ShardBackend>>& fleet) {
+  shard::CoordinatorOptions options;
+  for (const auto& backend : fleet) {
+    options.backends.push_back("127.0.0.1:" +
+                               std::to_string(backend->server->port()));
+  }
+  options.shard_deadline_ms = 10000;
+  auto coordinator = shard::ShardCoordinator::Connect(std::move(options));
+  INF2VEC_CHECK(coordinator.ok()) << coordinator.status().ToString();
+  return std::move(coordinator).value();
+}
+
+}  // namespace
+
+int main() {
+  // Fixed-seed synthetic table: scatter-gather cost depends on shape, not
+  // on learned values.
+  Rng rng(777);
+  EmbeddingStore store(kNumUsers, kDim);
+  store.InitUniform(-0.5, 0.5, rng);
+  for (UserId u = 0; u < kNumUsers; ++u) {
+    store.mutable_source_bias(u) = rng.UniformDouble(-0.1, 0.1);
+    store.mutable_target_bias(u) = rng.UniformDouble(-0.1, 0.1);
+  }
+
+  const std::string model_path = "BENCH_shard_model.i2v";
+  ModelMetadata metadata;
+  metadata.aggregation = "Ave";
+  metadata.dim = kDim;
+  INF2VEC_CHECK(SaveModelArtifact(store, metadata, model_path).ok());
+
+  auto single_or = serve::InfluenceService::Load(model_path, {});
+  INF2VEC_CHECK(single_or.ok()) << single_or.status().ToString();
+  const serve::InfluenceService single = std::move(single_or).value();
+  single.Warm();
+
+  auto fleet1 = StartFleet(model_path, "BENCH_shard_fleet1", 1);
+  auto fleet3 = StartFleet(model_path, "BENCH_shard_fleet3", 3);
+  shard::ShardCoordinator coord1 = Connect(fleet1);
+  shard::ShardCoordinator coord3 = Connect(fleet3);
+
+  std::vector<std::vector<UserId>> seed_sets(kNumSeedSets);
+  for (auto& seeds : seed_sets) {
+    seeds.reserve(kSeedsPerSet);
+    for (uint32_t i = 0; i < kSeedsPerSet; ++i) {
+      seeds.push_back(static_cast<UserId>(rng.UniformU64(kNumUsers)));
+    }
+  }
+
+  std::printf("shard bench: %u users, dim %u, k=%u, fleets of 1 and 3\n\n",
+              kNumUsers, kDim, kTopK);
+
+  // The single-node reference answers, computed once and reused as the
+  // merge-equality oracle inside the coordinator arms.
+  std::vector<serve::TopKResult> expected;
+  expected.reserve(kTopKQueries);
+  const ArmStats topk_single = RunArm(kTopKQueries, [&](uint32_t i) {
+    serve::TopKRequest request;
+    request.seeds = seed_sets[i % kNumSeedSets];
+    request.k = kTopK;
+    auto result = single.TopK(request);
+    INF2VEC_CHECK(result.ok()) << result.status().ToString();
+    expected.push_back(std::move(result).value());
+  });
+
+  bool equality_pass = true;
+  const auto run_coord = [&](shard::ShardCoordinator& coord, uint32_t i) {
+    shard::CoordTopKRequest request;
+    request.seeds = seed_sets[i % kNumSeedSets];
+    request.k = kTopK;
+    auto merged = coord.TopK(request);
+    INF2VEC_CHECK(merged.ok()) << merged.status().ToString();
+    INF2VEC_CHECK(!merged.value().degraded);
+    // Bit-identical to the single-node ranking, on the clock.
+    const auto& got = merged.value().entries;
+    const auto& want = expected[i].entries;
+    if (got.size() != want.size()) equality_pass = false;
+    for (size_t j = 0; equality_pass && j < got.size(); ++j) {
+      if (got[j].user != want[j].user || got[j].score != want[j].score) {
+        equality_pass = false;
+      }
+    }
+  };
+
+  const ArmStats topk_1shard = RunArm(
+      kTopKQueries, [&](uint32_t i) { run_coord(coord1, i); });
+  const ArmStats topk_3shard = RunArm(
+      kTopKQueries, [&](uint32_t i) { run_coord(coord3, i); });
+  INF2VEC_CHECK(equality_pass) << "coordinator ranking diverged";
+
+  const ArmStats score_route = RunArm(kScoreQueries, [&](uint32_t i) {
+    const UserId candidate = (i * 7919) % kNumUsers;
+    auto scored = coord3.Score(candidate, seed_sets[i % kNumSeedSets],
+                               std::nullopt, 0);
+    INF2VEC_CHECK(scored.ok()) << scored.status().ToString();
+  });
+
+  for (auto& backend : fleet1) backend->server->Stop();
+  for (auto& backend : fleet3) backend->server->Stop();
+
+  const double overhead_1shard = topk_1shard.p50_us / topk_single.p50_us;
+  const double speedup_3shard = topk_1shard.p50_us / topk_3shard.p50_us;
+
+  std::printf("%-14s %10s %12s %12s %12s\n", "arm", "wall ms", "qps",
+              "p50 us", "p99 us");
+  const auto print_arm = [](const char* name, const ArmStats& s) {
+    std::printf("%-14s %10.1f %12.0f %12.0f %12.0f\n", name, s.wall_ms,
+                s.qps, s.p50_us, s.p99_us);
+  };
+  print_arm("topk_single", topk_single);
+  print_arm("topk_1shard", topk_1shard);
+  print_arm("topk_3shard", topk_3shard);
+  print_arm("score_route", score_route);
+  std::printf(
+      "\nscatter-gather: %.2fx single-node p50 at 1 shard (distribution "
+      "tax), %.2fx faster at 3 shards than 1; merge equality %s\n",
+      overhead_1shard, speedup_3shard, equality_pass ? "pass" : "FAIL");
+
+  BenchReport report("shard");
+  report.SetConfig("num_users", static_cast<int64_t>(kNumUsers));
+  report.SetConfig("dim", static_cast<int64_t>(kDim));
+  report.SetConfig("k", static_cast<int64_t>(kTopK));
+  report.SetConfig("seeds_per_set", static_cast<int64_t>(kSeedsPerSet));
+  report.SetSummary("merge_equality_pass", equality_pass);
+  report.SetSummary("scatter_gather_overhead_1shard", overhead_1shard);
+  report.SetSummary("speedup_3shard_over_1shard", speedup_3shard);
+  report.SetSummary("topk_single_p50_us", topk_single.p50_us);
+  report.SetSummary("topk_3shard_p50_us", topk_3shard.p50_us);
+  const auto add_row = [&report](const char* name, const ArmStats& s,
+                                 uint64_t reps) {
+    obs::JsonValue& row = report.AddResult(name, s.wall_ms, s.qps, reps);
+    row.Set("p50_us", s.p50_us);
+    row.Set("p99_us", s.p99_us);
+  };
+  add_row("topk_single", topk_single, kTopKQueries);
+  add_row("topk_1shard", topk_1shard, kTopKQueries);
+  add_row("topk_3shard", topk_3shard, kTopKQueries);
+  add_row("score_route", score_route, kScoreQueries);
+  report.Write();
+
+  std::error_code ec;
+  std::filesystem::remove(model_path, ec);
+  std::filesystem::remove_all("BENCH_shard_fleet1", ec);
+  std::filesystem::remove_all("BENCH_shard_fleet3", ec);
+  return 0;
+}

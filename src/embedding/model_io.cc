@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "util/crc32.h"
 #include "util/io.h"
 #include "util/string_util.h"
 
@@ -11,7 +12,11 @@ namespace {
 constexpr char kMagicV1[] = "I2VEMB1\n";
 constexpr char kMagicV2[] = "I2VEMB2\n";
 constexpr char kMagicQuant[] = "I2VQNT1\n";
+constexpr char kMagicShard[] = "I2VSHRD1";
 constexpr size_t kMagicLen = 8;
+/// Shard section after its magic: six identity fields + crc32.
+constexpr size_t kShardSectionBytes = 5 * sizeof(uint32_t) +
+                                      sizeof(uint64_t) + sizeof(uint32_t);
 /// Sanity cap for the metadata block: real headers are a few hundred
 /// bytes, so anything larger is a corrupt length field.
 constexpr uint32_t kMaxMetadataBytes = 1 << 20;
@@ -125,20 +130,15 @@ void AppendQuantSection(const QuantizedEmbeddingStore& q, std::string* blob) {
   }
 }
 
-/// Parses the int8 serving section starting at `offset` (which must be
-/// the first byte after the fp64 payload) and consuming the rest of the
-/// blob. (n, dim) must match the artifact header.
+/// Parses the int8 serving section whose magic sits at `*offset`,
+/// advancing `*offset` past the section (further trailing sections — the
+/// shard identity — may follow). (n, dim) must match the artifact header.
 Result<QuantizedEmbeddingStore> ReadQuantSection(const std::string& blob,
-                                                 size_t offset, uint32_t n,
+                                                 size_t* offset_in, uint32_t n,
                                                  uint32_t dim,
                                                  const std::string& path) {
-  if (blob.size() - offset < kMagicLen ||
-      std::memcmp(blob.data() + offset, kMagicQuant, kMagicLen) != 0) {
-    return Status::InvalidArgument(
-        "unrecognized trailing bytes after embedding payload: " + path);
-  }
-  offset += kMagicLen;
-  if (blob.size() - offset != QuantSectionBytes(n, dim)) {
+  size_t offset = *offset_in + kMagicLen;
+  if (blob.size() - offset < QuantSectionBytes(n, dim)) {
     return Status::InvalidArgument(
         StrFormat("quantized section size mismatch: got %zu want %zu (%s)",
                   blob.size() - offset, QuantSectionBytes(n, dim),
@@ -182,10 +182,99 @@ Result<QuantizedEmbeddingStore> ReadQuantSection(const std::string& blob,
       return Status::Internal("truncated quantized target-bias block");
     }
   }
+  *offset_in = offset;
   return q;
 }
 
+void AppendShardSection(const ShardSliceInfo& shard, std::string* blob) {
+  std::string fields;
+  AppendRaw(&fields, &shard.shard_index, sizeof(uint32_t));
+  AppendRaw(&fields, &shard.num_shards, sizeof(uint32_t));
+  AppendRaw(&fields, &shard.begin_user, sizeof(uint32_t));
+  AppendRaw(&fields, &shard.end_user, sizeof(uint32_t));
+  AppendRaw(&fields, &shard.total_users, sizeof(uint32_t));
+  AppendRaw(&fields, &shard.model_hash, sizeof(uint64_t));
+  const uint32_t crc = Crc32(fields.data(), fields.size());
+  AppendRaw(blob, kMagicShard, kMagicLen);
+  *blob += fields;
+  AppendRaw(blob, &crc, sizeof(crc));
+}
+
+/// Parses the shard-identity section whose magic sits at `*offset`,
+/// advancing `*offset` past it. The crc makes a flipped bit in the tiny
+/// identity block (which the fp64 size checks cannot see) a load error
+/// instead of a silently wrong shard range.
+Result<ShardSliceInfo> ReadShardSection(const std::string& blob,
+                                        size_t* offset_in, uint32_t n,
+                                        const std::string& path) {
+  size_t offset = *offset_in + kMagicLen;
+  if (blob.size() - offset < kShardSectionBytes) {
+    return Status::InvalidArgument("truncated shard section: " + path);
+  }
+  const char* fields = blob.data() + offset;
+  const size_t fields_bytes = kShardSectionBytes - sizeof(uint32_t);
+  ShardSliceInfo shard;
+  uint32_t crc = 0;
+  if (!ReadRaw(blob, &offset, &shard.shard_index, 1) ||
+      !ReadRaw(blob, &offset, &shard.num_shards, 1) ||
+      !ReadRaw(blob, &offset, &shard.begin_user, 1) ||
+      !ReadRaw(blob, &offset, &shard.end_user, 1) ||
+      !ReadRaw(blob, &offset, &shard.total_users, 1) ||
+      !ReadRaw(blob, &offset, &shard.model_hash, 1) ||
+      !ReadRaw(blob, &offset, &crc, 1)) {
+    return Status::Internal("truncated shard section: " + path);
+  }
+  if (crc != Crc32(fields, fields_bytes)) {
+    return Status::InvalidArgument("shard section crc mismatch: " + path);
+  }
+  if (shard.num_shards == 0 || shard.shard_index >= shard.num_shards ||
+      shard.begin_user >= shard.end_user ||
+      shard.end_user > shard.total_users ||
+      shard.end_user - shard.begin_user != n) {
+    return Status::InvalidArgument(
+        StrFormat("shard section inconsistent with artifact: shard %u/%u "
+                  "range [%u,%u) of %u users, store holds %u (%s)",
+                  shard.shard_index, shard.num_shards, shard.begin_user,
+                  shard.end_user, shard.total_users, n, path.c_str()));
+  }
+  *offset_in = offset;
+  return shard;
+}
+
 }  // namespace
+
+uint64_t ComputeModelContentHash(const EmbeddingStore& store) {
+  constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+  constexpr uint64_t kFnvPrime = 1099511628211ULL;
+  uint64_t hash = kFnvOffset;
+  const auto mix = [&hash](const void* data, size_t bytes) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+      hash ^= p[i];
+      hash *= kFnvPrime;
+    }
+  };
+  const uint32_t n = store.num_users();
+  const uint32_t dim = store.dim();
+  mix(&n, sizeof(n));
+  mix(&dim, sizeof(dim));
+  // Exactly the AppendPayload byte order: S rows, T rows, b, b~.
+  for (UserId u = 0; u < n; ++u) {
+    mix(store.Source(u).data(), sizeof(double) * dim);
+  }
+  for (UserId u = 0; u < n; ++u) {
+    mix(store.Target(u).data(), sizeof(double) * dim);
+  }
+  for (UserId u = 0; u < n; ++u) {
+    const double b = store.source_bias(u);
+    mix(&b, sizeof(b));
+  }
+  for (UserId u = 0; u < n; ++u) {
+    const double b = store.target_bias(u);
+    mix(&b, sizeof(b));
+  }
+  return hash;
+}
 
 obs::JsonValue ModelMetadata::ToJson() const {
   obs::JsonValue json = obs::JsonValue::Object();
@@ -254,11 +343,20 @@ Result<ModelMetadata> ModelMetadata::FromJson(const obs::JsonValue& json) {
 Status SaveModelArtifact(const EmbeddingStore& store,
                          const ModelMetadata& metadata,
                          const std::string& path,
-                         const QuantizedEmbeddingStore* quantized) {
+                         const QuantizedEmbeddingStore* quantized,
+                         const ShardSliceInfo* shard) {
   if (quantized != nullptr && (quantized->num_users() != store.num_users() ||
                                quantized->dim() != store.dim())) {
     return Status::InvalidArgument(
         "quantized table shape disagrees with the fp64 store");
+  }
+  if (shard != nullptr &&
+      (shard->num_shards == 0 || shard->shard_index >= shard->num_shards ||
+       shard->begin_user >= shard->end_user ||
+       shard->end_user > shard->total_users ||
+       shard->end_user - shard->begin_user != store.num_users())) {
+    return Status::InvalidArgument(
+        "shard identity disagrees with the store being saved");
   }
   ModelMetadata stamped = metadata;
   stamped.format_version = 2;
@@ -280,6 +378,7 @@ Status SaveModelArtifact(const EmbeddingStore& store,
   AppendRaw(&blob, &dim, sizeof(dim));
   AppendPayload(store, &blob);
   if (quantized != nullptr) AppendQuantSection(*quantized, &blob);
+  if (shard != nullptr) AppendShardSection(*shard, &blob);
   return WriteFile(path, blob);
 }
 
@@ -345,15 +444,32 @@ Result<ModelArtifact> LoadModelArtifact(const std::string& path) {
       ReadPayload(blob, offset, n, dim, path, /*allow_trailing=*/is_v2);
   INF2VEC_RETURN_IF_ERROR(store.status());
 
-  ModelArtifact artifact{std::move(store).value(), std::move(metadata), {}};
-  const size_t payload_end =
+  ModelArtifact artifact{std::move(store).value(), std::move(metadata), {}, {}};
+  size_t cursor =
       offset + sizeof(double) * (2 * static_cast<size_t>(n) * dim +
                                  2 * static_cast<size_t>(n));
-  if (is_v2 && blob.size() > payload_end) {
-    Result<QuantizedEmbeddingStore> q =
-        ReadQuantSection(blob, payload_end, n, dim, path);
-    INF2VEC_RETURN_IF_ERROR(q.status());
-    artifact.quantized = std::move(q).value();
+  // Optional trailing sections, each at most once, in any order:
+  // quantized table (I2VQNT1) and shard identity (I2VSHRD1).
+  while (is_v2 && cursor < blob.size()) {
+    if (blob.size() - cursor >= kMagicLen &&
+        std::memcmp(blob.data() + cursor, kMagicQuant, kMagicLen) == 0 &&
+        !artifact.quantized.has_value()) {
+      Result<QuantizedEmbeddingStore> q =
+          ReadQuantSection(blob, &cursor, n, dim, path);
+      INF2VEC_RETURN_IF_ERROR(q.status());
+      artifact.quantized = std::move(q).value();
+      continue;
+    }
+    if (blob.size() - cursor >= kMagicLen &&
+        std::memcmp(blob.data() + cursor, kMagicShard, kMagicLen) == 0 &&
+        !artifact.shard.has_value()) {
+      Result<ShardSliceInfo> shard = ReadShardSection(blob, &cursor, n, path);
+      INF2VEC_RETURN_IF_ERROR(shard.status());
+      artifact.shard = std::move(shard).value();
+      continue;
+    }
+    return Status::InvalidArgument(
+        "unrecognized trailing bytes after embedding payload: " + path);
   }
   return artifact;
 }

@@ -42,14 +42,38 @@ struct ModelMetadata {
   static Result<ModelMetadata> FromJson(const obs::JsonValue& json);
 };
 
+/// Identity of one range-partitioned shard artifact (section I2VSHRD1,
+/// written by the `shard-split` CLI subcommand). The artifact's store
+/// holds users [begin_user, end_user) of a whole model with total_users
+/// rows; `model_hash` is the content hash of the *whole* fp64 payload
+/// (ComputeModelContentHash), stamped identically into every shard of a
+/// split so a coordinator can reject shards cut from different models.
+struct ShardSliceInfo {
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 0;
+  uint32_t begin_user = 0;  // inclusive global user id
+  uint32_t end_user = 0;    // exclusive global user id
+  uint32_t total_users = 0;
+  uint64_t model_hash = 0;
+};
+
+/// FNV-1a 64 over (num_users, dim, then the exact fp64 payload bytes S,
+/// T, b, b~ in artifact order). Cheap (one linear pass), stable across
+/// platforms (explicit little-endian field hashing would be needed for
+/// big-endian targets; every supported target is little-endian, matching
+/// the artifact format itself).
+uint64_t ComputeModelContentHash(const EmbeddingStore& store);
+
 /// A loaded model: the embedding table plus its self-description. Legacy
 /// I2VEMB1 files load with metadata.format_version == 1 and defaults
 /// elsewhere. `quantized` is populated when the artifact carries an int8
-/// serving section (written by the `quantize` CLI subcommand).
+/// serving section (written by the `quantize` CLI subcommand); `shard`
+/// when it carries a shard-identity section (written by `shard-split`).
 struct ModelArtifact {
   EmbeddingStore store;
   ModelMetadata metadata;
   std::optional<QuantizedEmbeddingStore> quantized;
+  std::optional<ShardSliceInfo> shard;
 };
 
 /// Persists an EmbeddingStore as a little-endian binary blob, format
@@ -62,13 +86,19 @@ struct ModelArtifact {
 ///   magic "I2VQNT1\n", uint32 num_users, uint32 dim (both must match the
 ///   artifact header), Sq and Tq as int8 rows (unpadded, row-major), then
 ///   S scales, T scales, S biases, T biases as contiguous float32 arrays.
-/// Readers unaware of the section (pre-section binaries) reject such a
+/// When `shard` is non-null a fixed-size shard-identity section follows
+/// (after the quantized section when both are present):
+///   magic "I2VSHRD1", uint32 shard_index, uint32 num_shards,
+///   uint32 begin_user, uint32 end_user, uint32 total_users,
+///   uint64 model_hash, uint32 crc32 over the preceding six fields.
+/// Readers unaware of either section (pre-section binaries) reject such a
 /// file by size check rather than misreading it; the fp64 payload itself
-/// is byte-identical with or without the section.
+/// is byte-identical with or without the sections.
 Status SaveModelArtifact(const EmbeddingStore& store,
                          const ModelMetadata& metadata,
                          const std::string& path,
-                         const QuantizedEmbeddingStore* quantized = nullptr);
+                         const QuantizedEmbeddingStore* quantized = nullptr,
+                         const ShardSliceInfo* shard = nullptr);
 
 /// SaveModelArtifact with default (unknown-provenance) metadata; kept so
 /// existing save call sites produce valid v2 artifacts unchanged.

@@ -1,0 +1,346 @@
+#include "obs/http_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace inf2vec {
+namespace obs {
+namespace {
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// 0 deadline == wait forever. Returns the poll() timeout argument, or -2
+// when the deadline already passed.
+int PollTimeout(uint64_t deadline_abs_ms) {
+  if (deadline_abs_ms == 0) return -1;
+  const uint64_t now = NowMs();
+  if (now >= deadline_abs_ms) return -2;
+  const uint64_t left = deadline_abs_ms - now;
+  return left > 60'000 ? 60'000 : static_cast<int>(left);
+}
+
+bool WaitFd(int fd, short events, uint64_t deadline_abs_ms) {
+  for (;;) {
+    const int timeout = PollTimeout(deadline_abs_ms);
+    if (timeout == -2) return false;
+    pollfd pfd = {fd, events, 0};
+    const int n = ::poll(&pfd, 1, timeout);
+    if (n > 0) return true;
+    if (n == 0) {
+      if (deadline_abs_ms != 0) continue;  // recompute; clamped slice
+      return false;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+std::string Lowered(const std::string& text) {
+  std::string lowered = text;
+  for (char& c : lowered) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lowered;
+}
+
+/// Finds header `name` (lowercase) in a raw head block; returns the value
+/// with surrounding whitespace trimmed, or false.
+bool FindHeader(const std::string& headers, const std::string& name,
+                std::string* value) {
+  const std::string lowered = Lowered(headers);
+  const std::string needle = "\r\n" + name + ":";
+  const size_t at = lowered.find(needle);
+  if (at == std::string::npos) return false;
+  const size_t value_begin = at + needle.size();
+  size_t value_end = lowered.find("\r\n", value_begin);
+  if (value_end == std::string::npos) value_end = headers.size();
+  std::string raw = headers.substr(value_begin, value_end - value_begin);
+  const size_t first = raw.find_first_not_of(" \t");
+  if (first == std::string::npos) {
+    value->clear();
+    return true;
+  }
+  const size_t last = raw.find_last_not_of(" \t");
+  *value = raw.substr(first, last - first + 1);
+  return true;
+}
+
+/// Parses "HTTP/1.1 NNN ..." -> NNN, or 0.
+int ParseStatusLine(const std::string& head) {
+  const size_t space = head.find(' ');
+  if (space == std::string::npos || space + 4 > head.size()) return 0;
+  int status = 0;
+  for (size_t i = space + 1; i < space + 4; ++i) {
+    const char c = head[i];
+    if (c < '0' || c > '9') return 0;
+    status = status * 10 + (c - '0');
+  }
+  return status;
+}
+
+}  // namespace
+
+std::string HttpClientResponse::HeaderOr(const std::string& name,
+                                         const std::string& fallback) const {
+  std::string value;
+  if (FindHeader(headers, Lowered(name), &value)) return value;
+  return fallback;
+}
+
+bool HttpClientResponse::HasHeader(const std::string& name) const {
+  std::string value;
+  return FindHeader(headers, Lowered(name), &value);
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      fd_(other.fd_),
+      fresh_(other.fresh_),
+      buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    fd_ = other.fd_;
+    fresh_ = other.fresh_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  fresh_ = false;
+  buffer_.clear();
+}
+
+bool HttpClient::Connect(uint64_t deadline_ms) {
+  if (fd_ >= 0) return true;
+  const uint64_t deadline_abs = deadline_ms == 0 ? 0 : NowMs() + deadline_ms;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+    if (!WaitFd(fd, POLLOUT, deadline_abs)) {
+      ::close(fd);
+      return false;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return false;
+    }
+  }
+  fd_ = fd;
+  fresh_ = true;
+  buffer_.clear();
+  return true;
+}
+
+bool HttpClient::SendRaw(const std::string& bytes, uint64_t deadline_ms) {
+  const uint64_t deadline_abs = deadline_ms == 0 ? 0 : NowMs() + deadline_ms;
+  if (fd_ < 0 && !Connect(deadline_ms)) return false;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!WaitFd(fd_, POLLOUT, deadline_abs)) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  fresh_ = false;
+  return true;
+}
+
+bool HttpClient::Fill(uint64_t deadline_abs_ms) {
+  if (fd_ < 0) return false;
+  for (;;) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      return true;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!WaitFd(fd_, POLLIN, deadline_abs_ms)) return false;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool HttpClient::ReadResponse(HttpClientResponse* out, uint64_t deadline_ms) {
+  const uint64_t deadline_abs = deadline_ms == 0 ? 0 : NowMs() + deadline_ms;
+  size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (!Fill(deadline_abs)) return false;
+  }
+  out->headers = buffer_.substr(0, head_end);
+  out->status = ParseStatusLine(out->headers);
+  if (out->status == 0) return false;
+  size_t content_length = 0;
+  std::string length_value;
+  if (FindHeader(out->headers, "content-length", &length_value)) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(length_value.c_str(), &end, 10);
+    if (errno != 0 || end == length_value.c_str()) return false;
+    content_length = static_cast<size_t>(parsed);
+  }
+  buffer_.erase(0, head_end + 4);
+  while (buffer_.size() < content_length) {
+    if (!Fill(deadline_abs)) return false;
+  }
+  out->body = buffer_.substr(0, content_length);
+  buffer_.erase(0, content_length);
+  return true;
+}
+
+bool HttpClient::AtEof() {
+  while (buffer_.empty()) {
+    if (!Fill(/*deadline_abs_ms=*/0)) return true;
+  }
+  return false;
+}
+
+std::string HttpClient::FormatRequest(
+    const std::string& method, const std::string& target,
+    const std::string& host, const std::string& body,
+    const std::vector<std::string>& extra_headers, bool keep_alive) {
+  std::string request = method + " " + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\n";
+  if (!keep_alive) request += "Connection: close\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  for (const std::string& header : extra_headers) {
+    request += header + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  return request;
+}
+
+bool HttpClient::CallOnce(const std::string& request, HttpClientResponse* out,
+                          uint64_t deadline_abs_ms, bool* reused_conn_died) {
+  *reused_conn_died = false;
+  const bool was_fresh = fresh_;
+  if (fd_ < 0) {
+    if (!Connect(deadline_abs_ms == 0 ? 0 : deadline_abs_ms - NowMs())) {
+      return false;
+    }
+  }
+  // Remaining-deadline plumbing below passes absolute time through the
+  // relative-ms API; compute leftovers at each step.
+  const auto remaining = [deadline_abs_ms]() -> uint64_t {
+    if (deadline_abs_ms == 0) return 0;
+    const uint64_t now = NowMs();
+    return now >= deadline_abs_ms ? 1 : deadline_abs_ms - now;
+  };
+  if (deadline_abs_ms != 0 && NowMs() >= deadline_abs_ms) return false;
+  if (!SendRaw(request, remaining())) {
+    *reused_conn_died = !was_fresh;
+    return false;
+  }
+  if (!ReadResponse(out, remaining())) {
+    *reused_conn_died = !was_fresh;
+    return false;
+  }
+  // Honor a server-initiated close so the next Call() reconnects.
+  if (Lowered(out->HeaderOr("Connection", "")) == "close") Close();
+  return true;
+}
+
+bool HttpClient::Call(const std::string& method, const std::string& target,
+                      const std::string& body, HttpClientResponse* out,
+                      uint64_t deadline_ms) {
+  const uint64_t deadline_abs = deadline_ms == 0 ? 0 : NowMs() + deadline_ms;
+  const std::string request = FormatRequest(method, target, host_, body);
+  bool reused_conn_died = false;
+  if (CallOnce(request, out, deadline_abs, &reused_conn_died)) return true;
+  if (!reused_conn_died) return false;
+  // The kept-alive peer hung up between calls (idle sweep, restart);
+  // one reconnect + retry, still under the original deadline.
+  Close();
+  return CallOnce(request, out, deadline_abs, &reused_conn_died);
+}
+
+bool HttpClient::Get(const std::string& target, HttpClientResponse* out,
+                     uint64_t deadline_ms) {
+  return Call("GET", target, "", out, deadline_ms);
+}
+
+bool HttpClient::Post(const std::string& target, const std::string& body,
+                      HttpClientResponse* out, uint64_t deadline_ms) {
+  return Call("POST", target, body, out, deadline_ms);
+}
+
+HttpClientResponse HttpClient::Fetch(uint16_t port, const std::string& target,
+                                     uint64_t deadline_ms) {
+  HttpClientResponse response;
+  HttpClient client(port);
+  const uint64_t deadline_abs = deadline_ms == 0 ? 0 : NowMs() + deadline_ms;
+  if (!client.Connect(deadline_ms)) return response;
+  const std::string request = FormatRequest("GET", target, client.host(), "",
+                                            {}, /*keep_alive=*/false);
+  if (!client.SendRaw(request, deadline_ms)) return response;
+  // Read to EOF, then split — tolerates responses without Content-Length.
+  while (client.Fill(deadline_abs)) {
+  }
+  const std::string& raw = client.buffer_;
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return response;
+  response.headers = raw.substr(0, head_end);
+  response.status = ParseStatusLine(response.headers);
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace obs
+}  // namespace inf2vec

@@ -1,0 +1,107 @@
+// Minimal blocking-style HTTP/1.1 loopback client with keep-alive reuse
+// and per-call deadlines, shared by the test suites, bench_serve, and the
+// shard coordinator's backend fan-out. One HttpClient == one connection;
+// it is NOT thread-safe — give each fan-out thread its own instance.
+//
+// The socket is always non-blocking under the hood; every operation is a
+// poll() loop against an absolute deadline, so a dead or wedged peer can
+// never hang the caller past its budget (the property the coordinator's
+// degraded mode depends on). deadline_ms == 0 means "no deadline".
+#ifndef INF2VEC_OBS_HTTP_CLIENT_H_
+#define INF2VEC_OBS_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace inf2vec {
+namespace obs {
+
+/// One parsed response as read off the wire. `headers` is the raw head
+/// block (status line + header lines, no trailing CRLFCRLF) so wire-level
+/// tests can assert on exact bytes.
+struct HttpClientResponse {
+  int status = 0;
+  std::string headers;
+  std::string body;
+
+  /// Case-insensitive single-header lookup over the raw head block.
+  /// Returns `fallback` when the header is absent.
+  std::string HeaderOr(const std::string& name,
+                       const std::string& fallback) const;
+  bool HasHeader(const std::string& name) const;
+};
+
+class HttpClient {
+ public:
+  HttpClient() = default;
+  /// Does not connect; the first Call()/Connect() does.
+  explicit HttpClient(uint16_t port, std::string host = "127.0.0.1")
+      : host_(std::move(host)), port_(port) {}
+  ~HttpClient();
+
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return host_; }
+  bool connected() const { return fd_ >= 0; }
+
+  /// (Re)establishes the connection. Idempotent when already connected.
+  bool Connect(uint64_t deadline_ms = 0);
+  void Close();
+
+  /// Sends one request and reads its Content-Length-framed response off
+  /// the shared connection. Connects lazily; when a *reused* connection
+  /// turns out to be dead (peer closed between calls), reconnects once
+  /// and retries. The deadline covers connect + send + read together.
+  bool Call(const std::string& method, const std::string& target,
+            const std::string& body, HttpClientResponse* out,
+            uint64_t deadline_ms = 0);
+  bool Get(const std::string& target, HttpClientResponse* out,
+           uint64_t deadline_ms = 0);
+  bool Post(const std::string& target, const std::string& body,
+            HttpClientResponse* out, uint64_t deadline_ms = 0);
+
+  // --- Raw-wire surface (conformance tests drive framing by hand) ---
+
+  /// Writes raw bytes; no framing added. Connects lazily, never retries.
+  bool SendRaw(const std::string& bytes, uint64_t deadline_ms = 0);
+  /// Reads exactly one Content-Length-framed response (missing
+  /// Content-Length == empty body). False on EOF or malformed head.
+  bool ReadResponse(HttpClientResponse* out, uint64_t deadline_ms = 0);
+  /// True when the peer closed (EOF) with no further response bytes.
+  bool AtEof();
+
+  /// Builds a request head + body with Host and Content-Length headers.
+  /// `extra_headers` lines are inserted verbatim before the blank line.
+  static std::string FormatRequest(
+      const std::string& method, const std::string& target,
+      const std::string& host, const std::string& body,
+      const std::vector<std::string>& extra_headers = {},
+      bool keep_alive = true);
+
+  /// One-shot convenience: GET with Connection: close, read to EOF,
+  /// parse. Status 0 on any transport failure.
+  static HttpClientResponse Fetch(uint16_t port, const std::string& target,
+                                  uint64_t deadline_ms = 0);
+
+ private:
+  bool Fill(uint64_t deadline_abs_ms);  // appends >=1 byte or fails
+  bool CallOnce(const std::string& request, HttpClientResponse* out,
+                uint64_t deadline_abs_ms, bool* reused_conn_died);
+
+  std::string host_ = "127.0.0.1";
+  uint16_t port_ = 0;
+  int fd_ = -1;
+  bool fresh_ = false;  // no request has used this connection yet
+  std::string buffer_;  // bytes received but not yet consumed
+};
+
+}  // namespace obs
+}  // namespace inf2vec
+
+#endif  // INF2VEC_OBS_HTTP_CLIENT_H_

@@ -276,6 +276,7 @@ std::string HttpRequest::HeaderOr(const std::string& name,
 const char* HttpReasonPhrase(int code) {
   switch (code) {
     case 200: return "OK";
+    case 206: return "Partial Content";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";

@@ -155,18 +155,26 @@ Result<InfluenceService> InfluenceService::Load(
     obs::MetricsRegistry* registry) {
   Result<ModelArtifact> artifact = LoadModelArtifact(model_path);
   INF2VEC_RETURN_IF_ERROR(artifact.status());
+  if (artifact.value().shard.has_value()) {
+    // A slice only answers for its own user range; serving it as a whole
+    // model would silently mis-rank. The shard serve mode loads these.
+    return Status::FailedPrecondition(
+        "model is a shard slice (I2VSHRD1 section present); serve it with "
+        "`serve --shard`: " +
+        model_path);
+  }
   return InfluenceService(std::move(artifact).value(), std::move(options),
                           model_path, registry);
 }
 
 Result<InfluenceService> InfluenceService::FromArtifact(
     ModelArtifact artifact, ServiceOptions options,
-    obs::MetricsRegistry* registry) {
+    obs::MetricsRegistry* registry, std::string model_path) {
   if (artifact.store.num_users() == 0) {
     return Status::InvalidArgument("cannot serve an empty embedding store");
   }
   return InfluenceService(std::move(artifact), std::move(options),
-                          "<in-memory>", registry);
+                          std::move(model_path), registry);
 }
 
 uint64_t InfluenceService::NowUs() const {
@@ -332,6 +340,20 @@ Result<TopKResult> InfluenceService::TopK(const TopKRequest& request) const {
     excluded.erase(std::unique(excluded.begin(), excluded.end()),
                    excluded.end());
   }
+
+  Result<TopKResult> result = ScanTopK(*block, request.k, aggregation,
+                                       excluded, deadline,
+                                       request.seeds.size());
+  INF2VEC_RETURN_IF_ERROR(result.status());
+  result.value().cache_hit = cache_hit;
+  if (obs::MetricsEnabled()) topk_latency_us_->Record(NowUs() - start);
+  return result;
+}
+
+Result<TopKResult> InfluenceService::ScanTopK(
+    const SeedBlock& block, uint32_t k, Aggregation aggregation,
+    const std::vector<UserId>& excluded, uint64_t deadline,
+    uint64_t num_seeds) const {
   size_t next_excluded = 0;
 
   // Cache-blocked scan: the gathered seed block stays hot while target
@@ -341,30 +363,32 @@ Result<TopKResult> InfluenceService::TopK(const TopKRequest& request) const {
   ScoreScratch scratch;
   const auto score_candidate = [&](UserId v) {
     if (qstore_ != nullptr) {
-      return ScoreCandidateQuantized(*block, qstore_->Target(v).data(),
+      return ScoreCandidateQuantized(block, qstore_->Target(v).data(),
                                      qstore_->target_scale(v),
                                      qstore_->target_bias(v), aggregation,
                                      &scratch);
     }
-    return ScoreCandidate(*block, s.Target(v).data(), s.target_bias(v),
+    return ScoreCandidate(block, s.Target(v).data(), s.target_bias(v),
                           aggregation, &scratch);
   };
   std::vector<TopKEntry> heap;
-  heap.reserve(request.k);
+  heap.reserve(k);
   TopKResult result;
-  result.cache_hit = cache_hit;
   const uint32_t num_users = s.num_users();
   {
     obs::TraceSpan span("kernel_scan", "serve");
-    span.SetAttr("seed_count", static_cast<uint64_t>(request.seeds.size()));
+    span.SetAttr("seed_count", num_seeds);
     span.SetAttr("candidates", static_cast<uint64_t>(num_users));
     for (uint32_t begin = 0; begin < num_users;
          begin += options_.scan_block) {
       if (deadline != 0 && NowUs() > deadline) {
-        if (obs::MetricsEnabled()) deadline_exceeded_->Increment();
-        return fail(Status::DeadlineExceeded(
+        if (obs::MetricsEnabled()) {
+          deadline_exceeded_->Increment();
+          errors_->Increment();
+        }
+        return Status::DeadlineExceeded(
             "top-k scan exceeded deadline after " +
-            std::to_string(result.scanned) + " candidates"));
+            std::to_string(result.scanned) + " candidates");
       }
       const uint32_t end =
           std::min<uint64_t>(num_users, uint64_t{begin} + options_.scan_block);
@@ -379,7 +403,7 @@ Result<TopKResult> InfluenceService::TopK(const TopKRequest& request) const {
         }
         ++result.scanned;
         const TopKEntry entry{v, score_candidate(v)};
-        if (heap.size() < request.k) {
+        if (heap.size() < k) {
           heap.push_back(entry);
           std::push_heap(heap.begin(), heap.end(), BetterThan);
         } else if (BetterThan(entry, heap.front())) {
@@ -396,8 +420,102 @@ Result<TopKResult> InfluenceService::TopK(const TopKRequest& request) const {
     std::sort(heap.begin(), heap.end(), BetterThan);
     result.entries = std::move(heap);
   }
+  return result;
+}
+
+Status InfluenceService::ValidateBlock(const SeedBlock& block) const {
+  if (block.num_seeds() == 0) {
+    return Status::InvalidArgument(
+        "seed block is empty: at least one activated influencer is required");
+  }
+  if (block.num_seeds() > options_.max_seeds) {
+    return Status::InvalidArgument(
+        "seed block too large: " + std::to_string(block.num_seeds()) +
+        " > max " + std::to_string(options_.max_seeds));
+  }
+  if (block.dim != store().dim()) {
+    return Status::InvalidArgument(
+        "seed block dim " + std::to_string(block.dim) +
+        " disagrees with model dim " + std::to_string(store().dim()));
+  }
+  if (block.quantized != (qstore_ != nullptr)) {
+    return Status::FailedPrecondition(
+        std::string("seed block quantization mode mismatch: block is ") +
+        (block.quantized ? "int8" : "fp64") + ", service serves " +
+        QuantModeName(quant_mode()));
+  }
+  return Status::OK();
+}
+
+Result<TopKResult> InfluenceService::TopKWithBlock(
+    const SeedBlock& block, const BlockTopKRequest& request) const {
+  const uint64_t start = NowUs();
+  if (obs::MetricsEnabled()) topk_requests_->Increment();
+  const auto fail = [this](Status status) -> Status {
+    if (obs::MetricsEnabled()) errors_->Increment();
+    return status;
+  };
+
+  if (request.k == 0) {
+    return fail(Status::InvalidArgument("k must be positive"));
+  }
+  if (request.k > options_.max_k) {
+    return fail(Status::InvalidArgument(
+        "k too large: " + std::to_string(request.k) + " > max " +
+        std::to_string(options_.max_k)));
+  }
+  const Status block_ok = ValidateBlock(block);
+  if (!block_ok.ok()) return fail(block_ok);
+
+  const uint64_t deadline = ResolveDeadline(request.deadline_us, start);
+  const Aggregation aggregation = ResolveAggregation(request.aggregation);
+  std::vector<UserId> excluded = request.exclude;
+  std::sort(excluded.begin(), excluded.end());
+  excluded.erase(std::unique(excluded.begin(), excluded.end()),
+                 excluded.end());
+
+  Result<TopKResult> result = ScanTopK(block, request.k, aggregation,
+                                       excluded, deadline, block.num_seeds());
+  INF2VEC_RETURN_IF_ERROR(result.status());
   if (obs::MetricsEnabled()) topk_latency_us_->Record(NowUs() - start);
   return result;
+}
+
+Result<double> InfluenceService::ScoreWithBlock(
+    const SeedBlock& block, UserId candidate,
+    const std::optional<Aggregation>& aggregation) const {
+  const uint64_t start = NowUs();
+  if (obs::MetricsEnabled()) score_requests_->Increment();
+  const auto fail = [this](Status status) -> Status {
+    if (obs::MetricsEnabled()) errors_->Increment();
+    return status;
+  };
+
+  if (candidate >= store().num_users()) {
+    return fail(Status::NotFound("unknown candidate user " +
+                                 std::to_string(candidate)));
+  }
+  const Status block_ok = ValidateBlock(block);
+  if (!block_ok.ok()) return fail(block_ok);
+
+  ScoreScratch scratch;
+  const Aggregation agg = ResolveAggregation(aggregation);
+  double score;
+  {
+    obs::TraceSpan span("kernel_scan", "serve");
+    span.SetAttr("seed_count", static_cast<uint64_t>(block.num_seeds()));
+    if (qstore_ != nullptr) {
+      score = ScoreCandidateQuantized(block, qstore_->Target(candidate).data(),
+                                      qstore_->target_scale(candidate),
+                                      qstore_->target_bias(candidate), agg,
+                                      &scratch);
+    } else {
+      score = ScoreCandidate(block, store().Target(candidate).data(),
+                             store().target_bias(candidate), agg, &scratch);
+    }
+  }
+  if (obs::MetricsEnabled()) score_latency_us_->Record(NowUs() - start);
+  return score;
 }
 
 Result<BatchScoreResult> InfluenceService::ScoreBatch(

@@ -106,6 +106,18 @@ struct TopKResult {
   bool coalesced = false;
 };
 
+/// Shard-mode top-k over a *transported* seed block (src/shard/): a shard
+/// process receives the gathered seed rows on the wire instead of owning
+/// them locally, and scans only its local slice. `exclude` carries the
+/// coordinator's seed-exclusion set mapped into this shard's local id
+/// space (need not be sorted or deduplicated).
+struct BlockTopKRequest {
+  uint32_t k = 10;
+  std::optional<Aggregation> aggregation;
+  uint64_t deadline_us = 0;
+  std::vector<UserId> exclude;
+};
+
 /// Batch scoring: many (candidate, seed set) pairs in one call, sharded
 /// over the service's thread pool.
 struct BatchItem {
@@ -141,10 +153,12 @@ class InfluenceService {
       const std::string& model_path, ServiceOptions options,
       obs::MetricsRegistry* registry = &obs::MetricsRegistry::Default());
 
-  /// Wraps an already-loaded artifact (benches, tests).
+  /// Wraps an already-loaded artifact (benches, tests, shard serving).
+  /// `model_path` is display-only provenance for /modelz.
   static Result<InfluenceService> FromArtifact(
       ModelArtifact artifact, ServiceOptions options,
-      obs::MetricsRegistry* registry = &obs::MetricsRegistry::Default());
+      obs::MetricsRegistry* registry = &obs::MetricsRegistry::Default(),
+      std::string model_path = "<in-memory>");
 
   InfluenceService(InfluenceService&&) = default;
 
@@ -164,6 +178,21 @@ class InfluenceService {
 
   /// Scores every item; one shared deadline for the whole batch.
   Result<BatchScoreResult> ScoreBatch(const BatchScoreRequest& request) const;
+
+  /// Top-k scan driven by an externally supplied seed block (shard serve
+  /// mode). Runs the exact same scan loop as TopK() — same kernels, same
+  /// comparator, same deadline blocking — so local entries are
+  /// bit-identical to the corresponding slice of a single-node scan when
+  /// the block's bytes match GatherSeedBlock's output. The block's
+  /// quantized flag must match the service's quant mode.
+  Result<TopKResult> TopKWithBlock(const SeedBlock& block,
+                                   const BlockTopKRequest& request) const;
+
+  /// Eq. 7 score of one local candidate against a transported seed block;
+  /// same bit-identity contract as TopKWithBlock.
+  Result<double> ScoreWithBlock(
+      const SeedBlock& block, UserId candidate,
+      const std::optional<Aggregation>& aggregation) const;
 
   const EmbeddingStore& store() const { return artifact_->store; }
   const ModelMetadata& metadata() const { return artifact_->metadata; }
@@ -201,6 +230,16 @@ class InfluenceService {
   Status ValidateSeeds(const std::vector<UserId>& seeds) const;
   Aggregation ResolveAggregation(
       const std::optional<Aggregation>& requested) const;
+  /// A transported seed block must look exactly like one this service
+  /// would gather itself (shape + quantization mode).
+  Status ValidateBlock(const SeedBlock& block) const;
+  /// The shared bounded-heap scan core behind TopK and TopKWithBlock.
+  /// `excluded` must be sorted and unique; `deadline` is absolute (0 =
+  /// none); increments error/deadline metrics on failure.
+  Result<TopKResult> ScanTopK(const SeedBlock& block, uint32_t k,
+                              Aggregation aggregation,
+                              const std::vector<UserId>& excluded,
+                              uint64_t deadline, uint64_t num_seeds) const;
 
   std::unique_ptr<ModelArtifact> artifact_;  // Stable address for spans.
   /// int8 serving table; null in fp64 mode. Owned here (moved out of the

@@ -326,6 +326,9 @@ bool ShedOverBudget(HttpResponse* response) {
   }
   *response = obs::ErrorJson(
       503, "MEM_PRESSURE", "serving over memory budget; request shed (see /memz)");
+  // Same backoff hint the 429 OVERLOADED shed sends: pressure clears on
+  // the order of a snapshot interval, so "try again in a second".
+  response->extra_headers.emplace_back("Retry-After", "1");
   return true;
 }
 

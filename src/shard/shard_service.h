@@ -1,0 +1,74 @@
+// One shard server: an InfluenceService over a shard artifact's local
+// slice plus the global-id bookkeeping and the shard-protocol HTTP
+// endpoints the coordinator drives:
+//
+//   GET  /shardz   shard identity (index, range, model hash, quant mode)
+//   POST /gather   {"seeds": [global ids in range]} -> SeedBlock JSON of
+//                  their source rows (phase 1 of a scatter-gather query)
+//   POST /topk     ShardTopKRequest JSON (transported seed block) ->
+//                  local top-k with global ids (phase 2)
+//   POST /score    {"candidate": global, "block": ...} -> {"score": ...}
+//   GET  /modelz   the usual service description plus a "shard" block
+//
+// Scoring runs through InfluenceService::TopKWithBlock/ScoreWithBlock —
+// the exact single-node scan over the local slice — so entries are
+// bit-identical to the corresponding rows of a whole-model scan.
+#ifndef INF2VEC_SHARD_SHARD_SERVICE_H_
+#define INF2VEC_SHARD_SHARD_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "embedding/model_io.h"
+#include "obs/http_server.h"
+#include "serve/influence_service.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace shard {
+
+class ShardService {
+ public:
+  /// Loads a shard artifact (must carry an I2VSHRD1 section) and builds
+  /// the serving engine over its slice. `options.quantize` selects fp64
+  /// or int8 serving exactly as in single-node serve.
+  static Result<ShardService> Load(
+      const std::string& artifact_path, serve::ServiceOptions options,
+      obs::MetricsRegistry* registry = &obs::MetricsRegistry::Default());
+
+  ShardService(ShardService&&) = default;
+
+  const ShardSliceInfo& info() const { return info_; }
+  const serve::InfluenceService& service() const { return *service_; }
+
+  bool OwnsUser(UserId global) const {
+    return global >= info_.begin_user && global < info_.end_user;
+  }
+  UserId ToLocal(UserId global) const { return global - info_.begin_user; }
+  UserId ToGlobal(UserId local) const { return local + info_.begin_user; }
+
+  /// The /shardz payload.
+  obs::JsonValue ShardzJson() const;
+
+ private:
+  ShardService(serve::InfluenceService service, ShardSliceInfo info);
+
+  /// unique_ptr keeps the service address stable across moves (handlers
+  /// capture it).
+  std::unique_ptr<serve::InfluenceService> service_;
+  ShardSliceInfo info_;
+};
+
+/// Formats a whole-model hash for the wire ("%016llx" hex — uint64 does
+/// not fit a JSON int).
+std::string FormatModelHash(uint64_t hash);
+
+/// Registers the shard-protocol endpoints above on `server`. `shard`
+/// must outlive the server.
+void RegisterShardEndpoints(obs::StatsServer* server,
+                            const ShardService* shard);
+
+}  // namespace shard
+}  // namespace inf2vec
+
+#endif  // INF2VEC_SHARD_SHARD_SERVICE_H_

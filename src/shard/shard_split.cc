@@ -1,0 +1,121 @@
+#include "shard/shard_split.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace inf2vec {
+namespace shard {
+
+std::vector<ShardRange> ComputeShardRanges(uint32_t total_users,
+                                           uint32_t num_shards) {
+  std::vector<ShardRange> ranges;
+  ranges.reserve(num_shards);
+  const uint32_t base = total_users / num_shards;
+  const uint32_t extra = total_users % num_shards;
+  uint32_t begin = 0;
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    const uint32_t size = base + (i < extra ? 1 : 0);
+    ranges.push_back({begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
+std::string ShardArtifactFileName(uint32_t shard_index, uint32_t num_shards) {
+  return StrFormat("shard-%u-of-%u.i2v", shard_index, num_shards);
+}
+
+Result<ModelArtifact> BuildShardArtifact(const ModelArtifact& full,
+                                         uint32_t shard_index,
+                                         uint32_t num_shards,
+                                         uint64_t model_hash) {
+  const uint32_t total = full.store.num_users();
+  const uint32_t dim = full.store.dim();
+  if (num_shards == 0 || num_shards > total) {
+    return Status::InvalidArgument(
+        StrFormat("cannot split %u users into %u shards", total, num_shards));
+  }
+  if (shard_index >= num_shards) {
+    return Status::InvalidArgument(
+        StrFormat("shard index %u out of range (num_shards %u)", shard_index,
+                  num_shards));
+  }
+
+  const ShardRange range = ComputeShardRanges(total, num_shards)[shard_index];
+  const uint32_t size = range.end - range.begin;
+
+  ModelArtifact slice;
+  slice.metadata = full.metadata;
+  slice.store = EmbeddingStore(size, dim);
+  for (uint32_t local = 0; local < size; ++local) {
+    const UserId global = range.begin + local;
+    std::memcpy(slice.store.Source(local).data(),
+                full.store.Source(global).data(), sizeof(double) * dim);
+    std::memcpy(slice.store.Target(local).data(),
+                full.store.Target(global).data(), sizeof(double) * dim);
+    slice.store.mutable_source_bias(local) = full.store.source_bias(global);
+    slice.store.mutable_target_bias(local) = full.store.target_bias(global);
+  }
+
+  if (full.quantized.has_value()) {
+    QuantizedEmbeddingStore q(size, dim);
+    for (uint32_t local = 0; local < size; ++local) {
+      const UserId global = range.begin + local;
+      std::memcpy(q.MutableSource(local).data(),
+                  full.quantized->Source(global).data(), dim);
+      std::memcpy(q.MutableTarget(local).data(),
+                  full.quantized->Target(global).data(), dim);
+      q.mutable_source_scale(local) = full.quantized->source_scale(global);
+      q.mutable_target_scale(local) = full.quantized->target_scale(global);
+      q.mutable_source_bias(local) = full.quantized->source_bias(global);
+      q.mutable_target_bias(local) = full.quantized->target_bias(global);
+    }
+    slice.quantized = std::move(q);
+  }
+
+  ShardSliceInfo info;
+  info.shard_index = shard_index;
+  info.num_shards = num_shards;
+  info.begin_user = range.begin;
+  info.end_user = range.end;
+  info.total_users = total;
+  info.model_hash = model_hash;
+  slice.shard = info;
+  return slice;
+}
+
+Result<std::vector<std::string>> SplitModelArtifact(
+    const std::string& model_path, const std::string& out_dir,
+    uint32_t num_shards) {
+  Result<ModelArtifact> full = LoadModelArtifact(model_path);
+  INF2VEC_RETURN_IF_ERROR(full.status());
+  if (full.value().shard.has_value()) {
+    // Same code plain `serve` uses for the mirror-image refusal: the
+    // artifact is valid, the operation just doesn't apply to a slice.
+    return Status::FailedPrecondition(
+        "refusing to split an artifact that is already a shard: " +
+        model_path);
+  }
+  const uint64_t model_hash = ComputeModelContentHash(full.value().store);
+
+  std::vector<std::string> paths;
+  paths.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    Result<ModelArtifact> slice =
+        BuildShardArtifact(full.value(), i, num_shards, model_hash);
+    INF2VEC_RETURN_IF_ERROR(slice.status());
+    const std::string path =
+        out_dir + "/" + ShardArtifactFileName(i, num_shards);
+    const ModelArtifact& artifact = slice.value();
+    INF2VEC_RETURN_IF_ERROR(SaveModelArtifact(
+        artifact.store, artifact.metadata, path,
+        artifact.quantized.has_value() ? &*artifact.quantized : nullptr,
+        &*artifact.shard));
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace shard
+}  // namespace inf2vec

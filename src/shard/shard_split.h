@@ -1,0 +1,60 @@
+// Range-partitioning of a model artifact into N per-shard artifacts (the
+// `shard-split` CLI subcommand). Each shard file is a normal I2VEMB2
+// artifact whose store holds users [begin, end) of the whole model, plus
+// an I2VSHRD1 identity section (shard index, range, whole-model content
+// hash) so a shard server knows which global ids it owns and a
+// coordinator can refuse to assemble shards cut from different models.
+//
+// Slicing copies rows; it never reassociates arithmetic, so every fp64
+// bit of shard i row j equals the whole model's row begin+j. The int8
+// section is sliced the same way when present — per-row symmetric
+// quantization is row-local, so the sliced codes equal what quantizing
+// the slice would produce.
+#ifndef INF2VEC_SHARD_SHARD_SPLIT_H_
+#define INF2VEC_SHARD_SHARD_SPLIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "embedding/model_io.h"
+#include "util/status.h"
+
+namespace inf2vec {
+namespace shard {
+
+/// [begin, end) global-user range of one shard.
+struct ShardRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+};
+
+/// Balanced tiling of [0, total_users) into num_shards contiguous ranges:
+/// the first total % N shards get one extra user. Every shard is
+/// non-empty (requires num_shards <= total_users).
+std::vector<ShardRange> ComputeShardRanges(uint32_t total_users,
+                                           uint32_t num_shards);
+
+/// Canonical shard file name within an output directory.
+std::string ShardArtifactFileName(uint32_t shard_index, uint32_t num_shards);
+
+/// Cuts shard `shard_index` of `num_shards` out of a full artifact.
+/// `model_hash` must be ComputeModelContentHash(full.store) — passed in
+/// so a split computes the whole-model hash once, not N times.
+Result<ModelArtifact> BuildShardArtifact(const ModelArtifact& full,
+                                         uint32_t shard_index,
+                                         uint32_t num_shards,
+                                         uint64_t model_hash);
+
+/// Loads the artifact at `model_path`, splits it into `num_shards` shard
+/// artifacts, and writes them into `out_dir` (which must exist) under
+/// ShardArtifactFileName names. Returns the written paths in shard order.
+/// Refuses to split an artifact that is itself a shard.
+Result<std::vector<std::string>> SplitModelArtifact(
+    const std::string& model_path, const std::string& out_dir,
+    uint32_t num_shards);
+
+}  // namespace shard
+}  // namespace inf2vec
+
+#endif  // INF2VEC_SHARD_SHARD_SPLIT_H_

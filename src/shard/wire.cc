@@ -1,0 +1,281 @@
+#include "shard/wire.h"
+
+#include <cstring>
+
+#include "kernels/aligned.h"
+
+namespace inf2vec {
+namespace shard {
+namespace {
+
+using obs::JsonValue;
+
+bool IsArray(const JsonValue* v) {
+  return v != nullptr && v->kind() == JsonValue::Kind::kArray;
+}
+
+}  // namespace
+
+obs::JsonValue UserIdsToJson(const std::vector<UserId>& ids) {
+  JsonValue array = JsonValue::Array();
+  for (UserId id : ids) array.Append(id);
+  return array;
+}
+
+Result<std::vector<UserId>> UserIdsFromJson(const obs::JsonValue& json,
+                                            const std::string& what) {
+  if (json.kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(what + " must be a JSON array");
+  }
+  std::vector<UserId> ids;
+  ids.reserve(json.size());
+  for (const JsonValue& item : json.items()) {
+    if (!item.is_number()) {
+      return Status::InvalidArgument(what + " entries must be integers");
+    }
+    const int64_t id = item.AsInt();
+    if (id < 0 || id > static_cast<int64_t>(UINT32_MAX)) {
+      return Status::InvalidArgument(what + " entry out of user-id range");
+    }
+    ids.push_back(static_cast<UserId>(id));
+  }
+  return ids;
+}
+
+obs::JsonValue SeedBlockToJson(const serve::SeedBlock& block) {
+  JsonValue json = JsonValue::Object();
+  json.Set("dim", block.dim);
+  json.Set("quantized", block.quantized);
+  json.Set("seeds", UserIdsToJson(block.seeds));
+  if (!block.quantized) {
+    JsonValue rows = JsonValue::Array();
+    JsonValue biases = JsonValue::Array();
+    for (size_t i = 0; i < block.num_seeds(); ++i) {
+      const double* row = block.source_row(i);
+      JsonValue vec = JsonValue::Array();
+      for (uint32_t d = 0; d < block.dim; ++d) vec.Append(row[d]);
+      rows.Append(std::move(vec));
+      biases.Append(block.source_biases[i]);
+    }
+    json.Set("rows", std::move(rows));
+    json.Set("biases", std::move(biases));
+  } else {
+    JsonValue rows = JsonValue::Array();
+    JsonValue scales = JsonValue::Array();
+    JsonValue biases = JsonValue::Array();
+    for (size_t i = 0; i < block.num_seeds(); ++i) {
+      const int8_t* row = block.q_source_row(i);
+      JsonValue vec = JsonValue::Array();
+      for (uint32_t d = 0; d < block.dim; ++d) {
+        vec.Append(static_cast<int64_t>(row[d]));
+      }
+      rows.Append(std::move(vec));
+      // float -> double is exact, so fp32 scales/biases survive the trip.
+      scales.Append(static_cast<double>(block.q_scales[i]));
+      biases.Append(static_cast<double>(block.q_biases[i]));
+    }
+    json.Set("q_rows", std::move(rows));
+    json.Set("q_scales", std::move(scales));
+    json.Set("q_biases", std::move(biases));
+  }
+  return json;
+}
+
+Result<serve::SeedBlock> SeedBlockFromJson(const obs::JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("seed block must be a JSON object");
+  }
+  const JsonValue* dim_v = json.Find("dim");
+  if (dim_v == nullptr || !dim_v->is_number() || dim_v->AsInt() <= 0) {
+    return Status::InvalidArgument("seed block missing positive 'dim'");
+  }
+  const uint32_t dim = static_cast<uint32_t>(dim_v->AsInt());
+  const JsonValue* quantized_v = json.Find("quantized");
+  const bool quantized = quantized_v != nullptr && quantized_v->AsBool();
+
+  const JsonValue* seeds_v = json.Find("seeds");
+  if (seeds_v == nullptr) {
+    return Status::InvalidArgument("seed block missing 'seeds'");
+  }
+  Result<std::vector<UserId>> seeds = UserIdsFromJson(*seeds_v, "seeds");
+  INF2VEC_RETURN_IF_ERROR(seeds.status());
+  const size_t num_seeds = seeds.value().size();
+
+  serve::SeedBlock block;
+  block.dim = dim;
+  block.quantized = quantized;
+  block.seeds = std::move(seeds).value();
+
+  if (!quantized) {
+    const JsonValue* rows = json.Find("rows");
+    const JsonValue* biases = json.Find("biases");
+    if (!IsArray(rows) || !IsArray(biases) || rows->size() != num_seeds ||
+        biases->size() != num_seeds) {
+      return Status::InvalidArgument(
+          "seed block rows/biases disagree with seed count");
+    }
+    // Same layout GatherSeedBlock builds: kernel-aligned stride, zero
+    // padding, dim doubles copied per row.
+    block.stride =
+        static_cast<uint32_t>(kernels::PaddedStride(dim, sizeof(double)));
+    block.sources.resize(num_seeds * static_cast<size_t>(block.stride), 0.0);
+    block.source_biases.resize(num_seeds);
+    for (size_t i = 0; i < num_seeds; ++i) {
+      const JsonValue& vec = rows->items()[i];
+      if (vec.kind() != JsonValue::Kind::kArray || vec.size() != dim) {
+        return Status::InvalidArgument("seed row length disagrees with dim");
+      }
+      double* out = block.sources.data() + i * block.stride;
+      for (uint32_t d = 0; d < dim; ++d) {
+        if (!vec.items()[d].is_number()) {
+          return Status::InvalidArgument("seed row entries must be numbers");
+        }
+        out[d] = vec.items()[d].AsDouble();
+      }
+      if (!biases->items()[i].is_number()) {
+        return Status::InvalidArgument("seed biases must be numbers");
+      }
+      block.source_biases[i] = biases->items()[i].AsDouble();
+    }
+    return block;
+  }
+
+  const JsonValue* rows = json.Find("q_rows");
+  const JsonValue* scales = json.Find("q_scales");
+  const JsonValue* biases = json.Find("q_biases");
+  if (!IsArray(rows) || !IsArray(scales) || !IsArray(biases) ||
+      rows->size() != num_seeds || scales->size() != num_seeds ||
+      biases->size() != num_seeds) {
+    return Status::InvalidArgument(
+        "quantized seed block arrays disagree with seed count");
+  }
+  block.q_stride = static_cast<uint32_t>(kernels::PaddedStride(dim, 1));
+  block.q_sources.resize(num_seeds * static_cast<size_t>(block.q_stride), 0);
+  block.q_scales.resize(num_seeds);
+  block.q_biases.resize(num_seeds);
+  for (size_t i = 0; i < num_seeds; ++i) {
+    const JsonValue& vec = rows->items()[i];
+    if (vec.kind() != JsonValue::Kind::kArray || vec.size() != dim) {
+      return Status::InvalidArgument("seed row length disagrees with dim");
+    }
+    int8_t* out = block.q_sources.data() + i * static_cast<size_t>(block.q_stride);
+    for (uint32_t d = 0; d < dim; ++d) {
+      const JsonValue& code = vec.items()[d];
+      if (!code.is_number()) {
+        return Status::InvalidArgument("int8 codes must be integers");
+      }
+      const int64_t value = code.AsInt();
+      if (value < -128 || value > 127) {
+        return Status::InvalidArgument("int8 code out of range");
+      }
+      out[d] = static_cast<int8_t>(value);
+    }
+    if (!scales->items()[i].is_number() || !biases->items()[i].is_number()) {
+      return Status::InvalidArgument("q_scales/q_biases must be numbers");
+    }
+    block.q_scales[i] = static_cast<float>(scales->items()[i].AsDouble());
+    block.q_biases[i] = static_cast<float>(biases->items()[i].AsDouble());
+  }
+  return block;
+}
+
+obs::JsonValue ShardTopKRequestToJson(const ShardTopKRequest& request) {
+  JsonValue json = JsonValue::Object();
+  json.Set("k", request.k);
+  if (request.aggregation.has_value()) {
+    json.Set("aggregation", AggregationName(*request.aggregation));
+  }
+  if (request.deadline_us != 0) json.Set("deadline_us", request.deadline_us);
+  json.Set("exclude", UserIdsToJson(request.exclude));
+  json.Set("block", SeedBlockToJson(request.block));
+  return json;
+}
+
+Result<ShardTopKRequest> ShardTopKRequestFromJson(const obs::JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("shard topk request must be an object");
+  }
+  ShardTopKRequest request;
+  const JsonValue* k = json.Find("k");
+  if (k == nullptr || !k->is_number() || k->AsInt() <= 0 ||
+      k->AsInt() > static_cast<int64_t>(UINT32_MAX)) {
+    return Status::InvalidArgument("shard topk request needs positive 'k'");
+  }
+  request.k = static_cast<uint32_t>(k->AsInt());
+  if (const JsonValue* agg = json.Find("aggregation")) {
+    Result<Aggregation> parsed = ParseAggregation(agg->AsString());
+    INF2VEC_RETURN_IF_ERROR(parsed.status());
+    request.aggregation = parsed.value();
+  }
+  if (const JsonValue* deadline = json.Find("deadline_us")) {
+    if (!deadline->is_number() || deadline->AsInt() < 0) {
+      return Status::InvalidArgument("deadline_us must be non-negative");
+    }
+    request.deadline_us = static_cast<uint64_t>(deadline->AsInt());
+  }
+  if (const JsonValue* exclude = json.Find("exclude")) {
+    Result<std::vector<UserId>> ids = UserIdsFromJson(*exclude, "exclude");
+    INF2VEC_RETURN_IF_ERROR(ids.status());
+    request.exclude = std::move(ids).value();
+  }
+  const JsonValue* block = json.Find("block");
+  if (block == nullptr) {
+    return Status::InvalidArgument("shard topk request missing 'block'");
+  }
+  Result<serve::SeedBlock> decoded = SeedBlockFromJson(*block);
+  INF2VEC_RETURN_IF_ERROR(decoded.status());
+  request.block = std::move(decoded).value();
+  return request;
+}
+
+obs::JsonValue ShardTopKResponseToJson(const ShardTopKResponse& response) {
+  JsonValue json = JsonValue::Object();
+  json.Set("shard", response.shard_index);
+  json.Set("scanned", response.scanned);
+  JsonValue entries = JsonValue::Array();
+  for (const serve::TopKEntry& entry : response.entries) {
+    JsonValue row = JsonValue::Object();
+    row.Set("user", entry.user);
+    row.Set("score", entry.score);
+    entries.Append(std::move(row));
+  }
+  json.Set("entries", std::move(entries));
+  return json;
+}
+
+Result<ShardTopKResponse> ShardTopKResponseFromJson(
+    const obs::JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("shard topk response must be an object");
+  }
+  ShardTopKResponse response;
+  const JsonValue* shard = json.Find("shard");
+  if (shard == nullptr || !shard->is_number() || shard->AsInt() < 0) {
+    return Status::InvalidArgument("shard topk response missing 'shard'");
+  }
+  response.shard_index = static_cast<uint32_t>(shard->AsInt());
+  const JsonValue* scanned = json.Find("scanned");
+  if (scanned == nullptr || !scanned->is_number() || scanned->AsInt() < 0) {
+    return Status::InvalidArgument("shard topk response missing 'scanned'");
+  }
+  response.scanned = static_cast<uint64_t>(scanned->AsInt());
+  const JsonValue* entries = json.Find("entries");
+  if (!IsArray(entries)) {
+    return Status::InvalidArgument("shard topk response missing 'entries'");
+  }
+  response.entries.reserve(entries->size());
+  for (const JsonValue& row : entries->items()) {
+    const JsonValue* user = row.Find("user");
+    const JsonValue* score = row.Find("score");
+    if (user == nullptr || !user->is_number() || user->AsInt() < 0 ||
+        score == nullptr || !score->is_number()) {
+      return Status::InvalidArgument("malformed shard topk entry");
+    }
+    response.entries.push_back(
+        {static_cast<UserId>(user->AsInt()), score->AsDouble()});
+  }
+  return response;
+}
+
+}  // namespace shard
+}  // namespace inf2vec

@@ -5,11 +5,6 @@
 // (431/400/413/501/505) — the suite the TSan build runs with >= 8
 // concurrent keep-alive clients.
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -19,6 +14,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/http_client.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
 #include "obs/request_obs.h"
@@ -27,96 +23,36 @@ namespace inf2vec {
 namespace obs {
 namespace {
 
-/// Blocking client socket that keeps its connection open across requests
-/// — the keep-alive counterpart to obs_http_test's one-shot Fetch().
+/// Keep-alive conformance harness over the shared obs::HttpClient's
+/// raw-wire surface (SendRaw / ReadResponse / AtEof) — framing stays
+/// hand-driven so these tests keep asserting exact wire behavior, with
+/// a bounded per-operation deadline instead of blocking reads.
 class ClientConn {
  public:
-  explicit ClientConn(uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    sockaddr_in addr = {};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
-  ~ClientConn() {
-    if (fd_ >= 0) ::close(fd_);
+  explicit ClientConn(uint16_t port) : client_(port) {
+    client_.Connect(kDeadlineMs);
   }
 
-  bool ok() const { return fd_ >= 0; }
+  bool ok() const { return client_.connected(); }
 
   bool SendRaw(const std::string& bytes) {
-    size_t sent = 0;
-    while (sent < bytes.size()) {
-      const ssize_t n =
-          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) return false;
-      sent += static_cast<size_t>(n);
-    }
-    return true;
+    return client_.SendRaw(bytes, kDeadlineMs);
   }
 
-  struct Response {
-    int status = 0;
-    std::string headers;
-    std::string body;
-  };
+  using Response = HttpClientResponse;
 
   /// Reads exactly one Content-Length-framed response off the connection.
   /// Returns false on EOF / malformed framing.
   bool ReadResponse(Response* out) {
-    // Head.
-    size_t head_end;
-    while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
-      if (!Fill()) return false;
-    }
-    out->headers = buffer_.substr(0, head_end);
-    const size_t space = out->headers.find(' ');
-    if (space == std::string::npos) return false;
-    out->status = std::stoi(out->headers.substr(space + 1, 3));
-    size_t content_length = 0;
-    const size_t cl = LowerHeaders(out->headers).find("content-length: ");
-    if (cl != std::string::npos) {
-      content_length = std::stoul(out->headers.substr(cl + 16));
-    }
-    buffer_.erase(0, head_end + 4);
-    while (buffer_.size() < content_length) {
-      if (!Fill()) return false;
-    }
-    out->body = buffer_.substr(0, content_length);
-    buffer_.erase(0, content_length);
-    return true;
+    return client_.ReadResponse(out, kDeadlineMs);
   }
 
   /// True when the peer closed (EOF) with no further response bytes.
-  bool AtEof() {
-    while (buffer_.empty()) {
-      if (!Fill()) return true;
-    }
-    return false;
-  }
+  bool AtEof() { return client_.AtEof(); }
 
  private:
-  static std::string LowerHeaders(const std::string& headers) {
-    std::string lowered = headers;
-    for (char& c : lowered) c = static_cast<char>(std::tolower(c));
-    return lowered;
-  }
-
-  bool Fill() {
-    char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;
-    buffer_.append(chunk, static_cast<size_t>(n));
-    return true;
-  }
-
-  int fd_ = -1;
-  std::string buffer_;
+  static constexpr uint64_t kDeadlineMs = 10000;
+  HttpClient client_;
 };
 
 std::string Get(const std::string& target, const std::string& extra = "") {

@@ -1,15 +1,10 @@
-// Embedded stats-server tests, driven by a tiny in-test POSIX HTTP client
-// (no curl dependency): endpoint routing, the /metrics-equals-Scrape()
-// exactness contract, opt-in isolation via a private registry, concurrent
-// scrapes under writer load (the TSan target), and deterministic shutdown
-// with port release.
+// Embedded stats-server tests, driven by the shared obs::HttpClient
+// one-shot Fetch (no curl dependency): endpoint routing, the
+// /metrics-equals-Scrape() exactness contract, opt-in isolation via a
+// private registry, concurrent scrapes under writer load (the TSan
+// target), and deterministic shutdown with port release.
 
 #include "obs/http_server.h"
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include <atomic>
 #include <string>
@@ -17,6 +12,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/http_client.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
@@ -26,57 +22,11 @@ namespace inf2vec {
 namespace obs {
 namespace {
 
-struct ClientResponse {
-  int status = 0;
-  std::string headers;
-  std::string body;
-};
+using ClientResponse = HttpClientResponse;
 
-/// Minimal blocking HTTP/1.0-style client: one request, read to EOF.
+/// One request with Connection: close, read to EOF.
 ClientResponse Fetch(uint16_t port, const std::string& target) {
-  ClientResponse response;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return response;
-  sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return response;
-  }
-  const std::string request =
-      "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
-      "Connection: close\r\n\r\n";
-  size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n =
-        ::send(fd, request.data() + sent, request.size() - sent, 0);
-    if (n <= 0) {
-      ::close(fd);
-      return response;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  std::string raw;
-  char buffer[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
-    raw.append(buffer, static_cast<size_t>(n));
-  }
-  ::close(fd);
-
-  const size_t line_end = raw.find("\r\n");
-  if (line_end == std::string::npos) return response;
-  const size_t space = raw.find(' ');
-  if (space == std::string::npos || space + 4 > line_end) return response;
-  response.status = std::stoi(raw.substr(space + 1, 3));
-  const size_t header_end = raw.find("\r\n\r\n");
-  if (header_end == std::string::npos) return response;
-  response.headers = raw.substr(0, header_end);
-  response.body = raw.substr(header_end + 4);
-  return response;
+  return HttpClient::Fetch(port, target, /*deadline_ms=*/5000);
 }
 
 TEST(StatsServerTest, ServesHealthzAndIndex) {

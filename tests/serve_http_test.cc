@@ -3,17 +3,14 @@
 // unified error envelope, and /rpcz row-per-request accounting under
 // keep-alive connection reuse.
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/http_client.h"
 #include "obs/http_server.h"
 #include "obs/json.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/request_obs.h"
 #include "serve/influence_service.h"
@@ -44,58 +41,14 @@ InfluenceService MakeService(uint32_t num_users, uint32_t dim) {
   return std::move(service).value();
 }
 
-struct HttpResult {
-  int status = 0;
-  std::string headers;
-  std::string body;
-};
+using HttpResult = obs::HttpClientResponse;
 
-/// One-shot client with method + body support (Connection: close).
+/// One-shot request with method + body support.
 HttpResult Call(uint16_t port, const std::string& method,
                 const std::string& target, const std::string& body = "") {
+  obs::HttpClient client(port);
   HttpResult result;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return result;
-  sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return result;
-  }
-  std::string request = method + " " + target +
-                        " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n";
-  if (!body.empty()) {
-    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  }
-  request += "\r\n" + body;
-  size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n =
-        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      ::close(fd);
-      return result;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  std::string raw;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
-    raw.append(chunk, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  const size_t space = raw.find(' ');
-  const size_t head_end = raw.find("\r\n\r\n");
-  if (space == std::string::npos || head_end == std::string::npos) {
-    return result;
-  }
-  result.status = std::stoi(raw.substr(space + 1, 3));
-  result.headers = raw.substr(0, head_end);
-  result.body = raw.substr(head_end + 4);
+  client.Call(method, target, body, &result, /*deadline_ms=*/5000);
   return result;
 }
 
@@ -209,6 +162,24 @@ TEST_F(ServeHttpTest, TopKReportsCoalescedFieldOnSingleRequests) {
   EXPECT_EQ(doc.value().Find("results")->size(), 3u);
 }
 
+TEST_F(ServeHttpTest, MemPressureShedCarriesRetryAfterHeader) {
+  // Headroom alone exceeds the 1-byte budget, so the shed fires no
+  // matter what the accounting plane currently holds.
+  obs::SetMemoryBudget({1, 2});
+  const HttpResult shed = Call(server_.port(), "GET", "/topk?seeds=1&k=3");
+  EXPECT_EQ(shed.status, 503);
+  Result<JsonValue> doc = ParseJson(shed.body);
+  ASSERT_TRUE(doc.ok()) << shed.body;
+  EXPECT_EQ(doc.value().Find("code")->AsString(), "MEM_PRESSURE");
+  // The same backoff hint the 429 OVERLOADED shed sends: clients should
+  // treat both shed flavors identically.
+  EXPECT_EQ(shed.HeaderOr("Retry-After", ""), "1") << shed.headers;
+
+  // Budget cleared: the same query serves again.
+  obs::SetMemoryBudget({0, 0});
+  EXPECT_EQ(Call(server_.port(), "GET", "/topk?seeds=1&k=3").status, 200);
+}
+
 TEST(ServeHttpRpczTest, RpczCountsEveryRequestOnAReusedConnection) {
   obs::MetricsRegistry registry;
   obs::RpczRegistry rpcz(&registry);
@@ -219,44 +190,30 @@ TEST(ServeHttpRpczTest, RpczCountsEveryRequestOnAReusedConnection) {
   obs::RegisterRequestObsEndpoints(&server, &rpcz, nullptr);
   ASSERT_TRUE(server.Start().ok());
 
-  // Three requests pipelined down ONE keep-alive connection.
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(server.port());
-  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-            0);
+  // Four requests pipelined down ONE keep-alive connection via the
+  // client's raw-wire surface (framing driven by hand, read back one
+  // framed response at a time).
+  obs::HttpClient client(server.port());
   std::string burst;
   for (int i = 0; i < 3; ++i) {
-    burst += "GET /score?candidate=5&seeds=1,2 HTTP/1.1\r\nHost: t\r\n\r\n";
+    burst += obs::HttpClient::FormatRequest(
+        "GET", "/score?candidate=5&seeds=1,2", "t", "");
   }
-  burst += "GET /score?candidate=5&seeds=1,2 HTTP/1.1\r\nHost: t\r\n"
-           "Connection: close\r\n\r\n";
-  ASSERT_EQ(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL),
-            static_cast<ssize_t>(burst.size()));
-  std::string raw;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
-    raw.append(chunk, static_cast<size_t>(n));
-  }
-  ::close(fd);
+  burst += obs::HttpClient::FormatRequest(
+      "GET", "/score?candidate=5&seeds=1,2", "t", "", {},
+      /*keep_alive=*/false);
+  ASSERT_TRUE(client.SendRaw(burst, /*deadline_ms=*/5000));
   // Four 200s and four distinct request ids came back.
-  size_t statuses = 0, at = 0;
-  while ((at = raw.find("HTTP/1.1 200", at)) != std::string::npos) {
-    statuses++;
-    at++;
-  }
-  EXPECT_EQ(statuses, 4u);
   std::vector<std::string> ids;
-  at = 0;
-  while ((at = raw.find("X-Request-Id: ", at)) != std::string::npos) {
-    const size_t end = raw.find("\r\n", at);
-    ids.push_back(raw.substr(at + 14, end - at - 14));
-    at = end;
+  for (int i = 0; i < 4; ++i) {
+    obs::HttpClientResponse response;
+    ASSERT_TRUE(client.ReadResponse(&response, /*deadline_ms=*/5000)) << i;
+    EXPECT_EQ(response.status, 200) << i;
+    const std::string id = response.HeaderOr("X-Request-Id", "");
+    EXPECT_FALSE(id.empty()) << i;
+    ids.push_back(id);
   }
+  EXPECT_TRUE(client.AtEof());
   ASSERT_EQ(ids.size(), 4u);
   for (size_t i = 1; i < ids.size(); ++i) EXPECT_NE(ids[0], ids[i]);
 

@@ -34,8 +34,12 @@
 #include "serve/influence_service.h"
 #include "serve/model_swapper.h"
 #include "serve/serve_endpoints.h"
+#include "shard/coordinator.h"
+#include "shard/shard_service.h"
+#include "shard/shard_split.h"
 #include "synth/world_generator.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace inf2vec {
 namespace cli {
@@ -657,6 +661,34 @@ Status RunQuantize(const FlagParser& flags) {
   return Status::OK();
 }
 
+Status RunShardSplit(const FlagParser& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) return Status::InvalidArgument("--model is required");
+  const std::string out_dir = flags.GetString("out-dir", "");
+  if (out_dir.empty()) return Status::InvalidArgument("--out-dir is required");
+  Result<int64_t> shards = flags.GetInt("shards", 0);
+  INF2VEC_RETURN_IF_ERROR(shards.status());
+  if (shards.value() <= 0 || shards.value() > 4096) {
+    return Status::InvalidArgument("--shards must be in [1, 4096]");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  Result<std::vector<std::string>> paths = shard::SplitModelArtifact(
+      model_path, out_dir, static_cast<uint32_t>(shards.value()));
+  INF2VEC_RETURN_IF_ERROR(paths.status());
+  for (const std::string& path : paths.value()) {
+    INF2VEC_LOG(Info) << "wrote shard " << path;
+  }
+  INF2VEC_LOG(Info) << "split " << model_path << " into "
+                    << paths.value().size() << " shard artifacts in "
+                    << SecondsSince(start) << "s";
+  if (g_active_report != nullptr) {
+    g_active_report->SetConfig("shards", shards.value());
+    g_active_report->AddPhase("shard_split", SecondsSince(start));
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// Set by the signal handler installed in RunServe; checked by its wait
@@ -702,7 +734,250 @@ void SetServeStartupHookForTest(std::function<void()> hook) {
   ServeStartupHook() = std::move(hook);
 }
 
+namespace {
+
+/// HTTP-plane flags shared by every serving mode (plain, shard,
+/// coordinator).
+struct ServeHttpFlags {
+  uint16_t port = 0;
+  int64_t max_seconds = 0;
+  uint32_t serve_threads = 4;
+  uint32_t max_inflight = 256;
+  std::string access_log_path;
+  uint64_t slow_trace_us = 0;
+  size_t tracez_capacity = 32;
+};
+
+Status ParseServeHttpFlags(const FlagParser& flags, ServeHttpFlags* out) {
+  Result<int64_t> port = flags.GetInt("port", 0);
+  INF2VEC_RETURN_IF_ERROR(port.status());
+  if (port.value() < 0 || port.value() > 65535) {
+    return Status::InvalidArgument("--port must be in [0, 65535]");
+  }
+  out->port = static_cast<uint16_t>(port.value());
+  Result<int64_t> max_seconds = flags.GetInt("max-seconds", 0);
+  INF2VEC_RETURN_IF_ERROR(max_seconds.status());
+  out->max_seconds = max_seconds.value();
+  Result<int64_t> serve_threads = flags.GetInt("serve-threads", 4);
+  INF2VEC_RETURN_IF_ERROR(serve_threads.status());
+  if (serve_threads.value() <= 0) {
+    return Status::InvalidArgument("--serve-threads must be positive");
+  }
+  out->serve_threads = static_cast<uint32_t>(serve_threads.value());
+  Result<int64_t> max_inflight = flags.GetInt("max-inflight", 256);
+  INF2VEC_RETURN_IF_ERROR(max_inflight.status());
+  if (max_inflight.value() <= 0) {
+    return Status::InvalidArgument("--max-inflight must be positive");
+  }
+  out->max_inflight = static_cast<uint32_t>(max_inflight.value());
+  out->access_log_path = flags.GetString("access-log", "");
+  Result<int64_t> slow_trace_us = flags.GetInt("slow-trace-us", 0);
+  INF2VEC_RETURN_IF_ERROR(slow_trace_us.status());
+  if (slow_trace_us.value() < 0) {
+    return Status::InvalidArgument("--slow-trace-us must be >= 0");
+  }
+  out->slow_trace_us = static_cast<uint64_t>(slow_trace_us.value());
+  Result<int64_t> tracez_capacity = flags.GetInt("tracez-capacity", 32);
+  INF2VEC_RETURN_IF_ERROR(tracez_capacity.status());
+  if (tracez_capacity.value() <= 0) {
+    return Status::InvalidArgument("--tracez-capacity must be positive");
+  }
+  out->tracez_capacity = static_cast<size_t>(tracez_capacity.value());
+  return Status::OK();
+}
+
+/// Blocks until SIGINT/SIGTERM/RequestServeStop() or the --max-seconds
+/// cap expires.
+void ServeWaitLoop(int64_t max_seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  while (g_serve_stop == 0) {
+    if (max_seconds > 0 &&
+        SecondsSince(start) >= static_cast<double>(max_seconds)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+/// `serve --shard`: serve one shard slice. The query surface is the
+/// coordinator-facing /gather + /topk + /score over the shard's local
+/// user range, plus /shardz for topology discovery.
+Status RunServeShard(const FlagParser& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) return Status::InvalidArgument("--model is required");
+
+  serve::ServiceOptions options;
+  Result<int64_t> threads = flags.GetInt("threads", 1);
+  INF2VEC_RETURN_IF_ERROR(threads.status());
+  if (threads.value() < 0) {
+    return Status::InvalidArgument(
+        "--threads must be >= 0 (0 = all hardware threads)");
+  }
+  options.num_threads = static_cast<uint32_t>(threads.value());
+  Result<int64_t> deadline = flags.GetInt("deadline-us", 0);
+  INF2VEC_RETURN_IF_ERROR(deadline.status());
+  if (deadline.value() < 0) {
+    return Status::InvalidArgument("--deadline-us must be >= 0");
+  }
+  options.default_deadline_us = static_cast<uint64_t>(deadline.value());
+  const std::string aggregation_name = flags.GetString("aggregation", "");
+  if (!aggregation_name.empty()) {
+    Result<Aggregation> aggregation = ParseAggregation(aggregation_name);
+    INF2VEC_RETURN_IF_ERROR(aggregation.status());
+    options.aggregation = aggregation.value();
+  }
+  const std::string quant_name = flags.GetString("quantize", "none");
+  if (!serve::ParseQuantModeName(quant_name, &options.quantize)) {
+    return Status::InvalidArgument("--quantize must be none or int8");
+  }
+  obs::SetServingQuantMode(serve::QuantModeName(options.quantize));
+  ServeHttpFlags http;
+  INF2VEC_RETURN_IF_ERROR(ParseServeHttpFlags(flags, &http));
+
+  obs::EnableMetrics(true);
+  ScopedServeSignalHandlers signal_guard;
+
+  const auto load_start = std::chrono::steady_clock::now();
+  Result<shard::ShardService> service = shard::ShardService::Load(
+      model_path, std::move(options), &obs::MetricsRegistry::Default());
+  INF2VEC_RETURN_IF_ERROR(service.status());
+  if (g_serve_stop != 0) {
+    INF2VEC_LOG(Info) << "stop requested during shard load; exiting";
+    return Status::OK();
+  }
+  const ShardSliceInfo& info = service.value().info();
+  INF2VEC_LOG(Info) << "loaded shard " << info.shard_index << "/"
+                    << info.num_shards << " of " << model_path << " (users ["
+                    << info.begin_user << "," << info.end_user << ") of "
+                    << info.total_users << ", dim "
+                    << service.value().service().store().dim()
+                    << ", quantize "
+                    << serve::QuantModeName(
+                           service.value().service().quant_mode())
+                    << ") in " << SecondsSince(load_start) << "s";
+
+  obs::RpczRegistry rpcz;
+  obs::TracezBuffer tracez(http.tracez_capacity, http.tracez_capacity,
+                           http.slow_trace_us);
+  obs::AccessLog access_log;
+  if (!http.access_log_path.empty()) {
+    INF2VEC_RETURN_IF_ERROR(access_log.Open(http.access_log_path));
+    INF2VEC_LOG(Info) << "access log -> " << http.access_log_path;
+  }
+  obs::RequestObservability request_obs;
+  request_obs.rpcz = &rpcz;
+  request_obs.tracez = &tracez;
+  request_obs.access_log = access_log.is_open() ? &access_log : nullptr;
+
+  obs::StatsServerOptions server_options;
+  server_options.port = http.port;
+  server_options.num_workers = http.serve_threads;
+  server_options.max_inflight = http.max_inflight;
+  obs::StatsServer server(server_options);
+  server.SetRequestObservability(request_obs);
+  shard::RegisterShardEndpoints(&server, &service.value());
+  obs::RegisterRequestObsEndpoints(&server, &rpcz, &tracez);
+  INF2VEC_RETURN_IF_ERROR(server.Start());
+
+  // stdout, unbuffered: the smoke script greps this line for the port.
+  std::printf("serving on http://127.0.0.1:%u (shard %u/%u users [%u,%u)"
+              " /gather /topk /score /shardz /modelz /metrics /healthz)\n",
+              server.port(), info.shard_index, info.num_shards,
+              info.begin_user, info.end_user);
+  std::fflush(stdout);
+  ServeWaitLoop(http.max_seconds);
+  server.Stop();
+  return Status::OK();
+}
+
+/// `serve --coordinator`: the scatter-gather front-end. Connects to every
+/// --backends shard at startup, then serves merged /topk and routed
+/// /score in the global id space.
+Status RunServeCoordinator(const FlagParser& flags) {
+  const std::string backends_raw = flags.GetString("backends", "");
+  shard::CoordinatorOptions options;
+  for (std::string_view field : SplitString(backends_raw, ',')) {
+    const std::string address(TrimString(field));
+    if (!address.empty()) options.backends.push_back(address);
+  }
+  if (options.backends.empty()) {
+    return Status::InvalidArgument(
+        "--coordinator requires --backends host:port[,host:port...]");
+  }
+  Result<int64_t> shard_deadline = flags.GetInt("shard-deadline-ms", 250);
+  INF2VEC_RETURN_IF_ERROR(shard_deadline.status());
+  if (shard_deadline.value() <= 0) {
+    return Status::InvalidArgument("--shard-deadline-ms must be positive");
+  }
+  options.shard_deadline_ms = static_cast<uint64_t>(shard_deadline.value());
+  Result<int64_t> connect_deadline = flags.GetInt("connect-deadline-ms", 2000);
+  INF2VEC_RETURN_IF_ERROR(connect_deadline.status());
+  if (connect_deadline.value() <= 0) {
+    return Status::InvalidArgument("--connect-deadline-ms must be positive");
+  }
+  options.connect_deadline_ms =
+      static_cast<uint64_t>(connect_deadline.value());
+  ServeHttpFlags http;
+  INF2VEC_RETURN_IF_ERROR(ParseServeHttpFlags(flags, &http));
+
+  obs::EnableMetrics(true);
+  ScopedServeSignalHandlers signal_guard;
+
+  // Declared before the coordinator: it keeps a pointer to rpcz for the
+  // per-backend call rows.
+  obs::RpczRegistry rpcz;
+  obs::TracezBuffer tracez(http.tracez_capacity, http.tracez_capacity,
+                           http.slow_trace_us);
+  obs::AccessLog access_log;
+  if (!http.access_log_path.empty()) {
+    INF2VEC_RETURN_IF_ERROR(access_log.Open(http.access_log_path));
+    INF2VEC_LOG(Info) << "access log -> " << http.access_log_path;
+  }
+  options.rpcz = &rpcz;
+  options.registry = &obs::MetricsRegistry::Default();
+
+  const auto connect_start = std::chrono::steady_clock::now();
+  Result<shard::ShardCoordinator> coordinator =
+      shard::ShardCoordinator::Connect(std::move(options));
+  INF2VEC_RETURN_IF_ERROR(coordinator.status());
+  INF2VEC_LOG(Info) << "connected to " << coordinator.value().num_shards()
+                    << " shard backends (" << coordinator.value().total_users()
+                    << " users, dim " << coordinator.value().dim()
+                    << ", quantize "
+                    << (coordinator.value().quantized() ? "int8" : "none")
+                    << ", model " << coordinator.value().model_hash()
+                    << ") in " << SecondsSince(connect_start) << "s";
+
+  obs::RequestObservability request_obs;
+  request_obs.rpcz = &rpcz;
+  request_obs.tracez = &tracez;
+  request_obs.access_log = access_log.is_open() ? &access_log : nullptr;
+
+  obs::StatsServerOptions server_options;
+  server_options.port = http.port;
+  server_options.num_workers = http.serve_threads;
+  server_options.max_inflight = http.max_inflight;
+  obs::StatsServer server(server_options);
+  server.SetRequestObservability(request_obs);
+  shard::RegisterCoordinatorEndpoints(&server, &coordinator.value());
+  obs::RegisterRequestObsEndpoints(&server, &rpcz, &tracez);
+  INF2VEC_RETURN_IF_ERROR(server.Start());
+
+  // stdout, unbuffered: the smoke script greps this line for the port.
+  std::printf("serving on http://127.0.0.1:%u (coordinator over %u shards"
+              " /topk /score /shardz /metrics /healthz /rpcz /tracez)\n",
+              server.port(), coordinator.value().num_shards());
+  std::fflush(stdout);
+  ServeWaitLoop(http.max_seconds);
+  server.Stop();
+  return Status::OK();
+}
+
+}  // namespace
+
 Status RunServe(const FlagParser& flags) {
+  if (flags.GetBool("shard", false)) return RunServeShard(flags);
+  if (flags.GetBool("coordinator", false)) return RunServeCoordinator(flags);
   const std::string model_path = flags.GetString("model", "");
   if (model_path.empty()) return Status::InvalidArgument("--model is required");
 
@@ -922,6 +1197,11 @@ std::string UsageText() {
       "               --model IN --out OUT (per-row symmetric int8 codes +\n"
       "               fp32 scales/biases; `serve --quantize int8` loads it\n"
       "               instead of re-quantizing at startup)\n"
+      "  shard-split  range-partition a model artifact into N shard\n"
+      "               artifacts, each stamped with an I2VSHRD1 identity\n"
+      "               section (shard index, user range, whole-model\n"
+      "               content hash; rejected at load on mismatch)\n"
+      "               --model IN --out-dir D --shards N\n"
       "  serve        online influence-query server over a saved model:\n"
       "               /score /topk /modelz /reloadz plus the stats +\n"
       "               observability endpoints (/rpcz /tracez /pprofz)\n"
@@ -954,6 +1234,15 @@ std::string UsageText() {
       "               --max-seconds bounds the run, 0 = until SIGINT\n"
       "               --watch-model hot-swaps the model when the file on\n"
       "               disk changes (zero downtime; also via GET /reloadz)\n"
+      "               --shard: serve one shard-split slice; answers\n"
+      "               /gather /topk /score over its local user range plus\n"
+      "               /shardz (plain serve refuses shard artifacts)\n"
+      "               --coordinator --backends host:port,...: scatter-\n"
+      "               gather front-end; fans /topk to every shard, merges\n"
+      "               rankings bit-identically to a single node, answers\n"
+      "               206 + degraded:true + shards_missing when a shard\n"
+      "               misses its --shard-deadline-ms (default 250) or is\n"
+      "               down (see docs/SHARDING.md)\n"
       "\n"
       "global flags (any command):\n"
       "  --kernel scalar|avx2|auto   pin the SIMD kernel backend (default:\n"
@@ -994,6 +1283,7 @@ Status Dispatch(const FlagParser& flags) {
   if (command == "evaluate") run = RunEvaluate;
   if (command == "export-text") run = RunExportText;
   if (command == "quantize") run = RunQuantize;
+  if (command == "shard-split") run = RunShardSplit;
   if (command == "serve") run = RunServe;
   if (run == nullptr) {
     return Status::InvalidArgument("unknown command '" + command + "'\n" +

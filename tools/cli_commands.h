@@ -27,9 +27,14 @@ namespace cli {
 ///                [--seed-fraction 0.05 --aggregation Ave|Sum|Max|Latest]
 ///   export-text  --model F --out F
 ///   quantize     --model IN --out OUT   (append an int8 serving section)
+///   shard-split  --model IN --out-dir D --shards N   (range-partition an
+///                artifact into N shard slices with I2VSHRD1 sections)
 ///   serve        --model F [--port P --topk-cache N --threads N
 ///                 --aggregation Ave|Sum|Max|Latest --max-seconds S
 ///                 --watch-model --watch-interval-ms 500 --quantize int8]
+///                --shard: serve one shard slice (/gather /topk /score over
+///                the local user range); --coordinator --backends H:P,...:
+///                scatter-gather front-end merging shard rankings
 Status RunGenerate(const FlagParser& flags);
 Status RunTrain(const FlagParser& flags);
 Status RunUpdate(const FlagParser& flags);
@@ -38,6 +43,7 @@ Status RunTop(const FlagParser& flags);
 Status RunEvaluate(const FlagParser& flags);
 Status RunExportText(const FlagParser& flags);
 Status RunQuantize(const FlagParser& flags);
+Status RunShardSplit(const FlagParser& flags);
 Status RunServe(const FlagParser& flags);
 
 /// Test hooks for the serve lifecycle. RequestServeStop() flips the same
